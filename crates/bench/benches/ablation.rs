@@ -1,0 +1,39 @@
+//! A1 + A2: limitation and design-choice ablations (§5.3, §5.5).
+//!
+//! Prints a table of accuracy / coverage / cost for: the full system,
+//! alias resolution disabled (Figure 13 failure mode), one probed
+//! address per block, stop sets disabled, and ground-truth
+//! relationships.
+
+use bdrmap_bench::bench_scale;
+use bdrmap_eval::ablation::{run_ablations, stress_config};
+use bdrmap_eval::report::TextTable;
+use bdrmap_eval::Scenario;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let sc = Scenario::build("ablation", &stress_config(50, bench_scale()));
+    let results = run_ablations(&sc, 0);
+    let mut t = TextTable::new(&[
+        "variant", "links", "accuracy", "coverage", "routers", "packets",
+    ]);
+    for r in &results {
+        t.row(vec![
+            r.name.clone(),
+            r.validation.links_total.to_string(),
+            format!("{:.1}%", r.validation.link_accuracy() * 100.0),
+            format!("{:.1}%", r.validation.bgp_coverage() * 100.0),
+            r.routers.to_string(),
+            r.packets.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("suite", |b| b.iter(|| run_ablations(&sc, 0).len()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

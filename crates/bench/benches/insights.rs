@@ -1,0 +1,60 @@
+//! F14 + F15 + F16: the §6 interconnection-insight figures over a large
+//! access network with 19 VPs.
+//!
+//! Prints the regenerated series once (per-prefix diversity shares,
+//! marginal-utility curves, per-VP link longitudes), then times each
+//! figure's analysis over pre-collected traces.
+
+use bdrmap_bench::access_scenario;
+use bdrmap_eval::insights::{collect_vp_traces, fig14, fig15, fig16};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let sc = access_scenario(20);
+    let per_vp = collect_vp_traces(&sc, 3);
+
+    // ------------------------------------------------- print the series
+    let f14 = fig14(&sc, &per_vp);
+    println!(
+        "Figure 14 ({} far prefixes): 1 router {:.1}% (paper <2%), 5-15 routers {:.1}% (paper 73%), >15 {:.1}% (paper 13%), same next-hop {:.1}% (paper 67%)",
+        f14.far.per_prefix.len(),
+        f14.far.frac_routers(|r| r == 1) * 100.0,
+        f14.far.frac_routers(|r| (5..=15).contains(&r)) * 100.0,
+        f14.far.frac_routers(|r| r > 15) * 100.0,
+        f14.far.frac_same_next_hop() * 100.0
+    );
+    let f15 = fig15(&sc, &per_vp);
+    println!("Figure 15 (cumulative links by #VPs):");
+    for curve in &f15 {
+        println!(
+            "  {:<24} truth={:<3} {:?}",
+            curve.name, curve.true_links, curve.cumulative
+        );
+    }
+    let f16 = fig16(&sc, &per_vp);
+    println!("Figure 16 (per-VP observed link longitudes):");
+    for row in f16.iter().take(4) {
+        let summary: Vec<String> = row
+            .links
+            .iter()
+            .map(|(n, l)| format!("{n}:{}", l.len()))
+            .collect();
+        println!(
+            "  vp{} @ {:.1}: {}",
+            row.vp,
+            row.vp_longitude,
+            summary.join(" ")
+        );
+    }
+
+    // ------------------------------------------------------ time them
+    let mut group = c.benchmark_group("insights");
+    group.sample_size(10);
+    group.bench_function("fig14", |b| b.iter(|| fig14(&sc, &per_vp)));
+    group.bench_function("fig15", |b| b.iter(|| fig15(&sc, &per_vp)));
+    group.bench_function("fig16", |b| b.iter(|| fig16(&sc, &per_vp)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

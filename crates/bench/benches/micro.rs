@@ -1,0 +1,111 @@
+//! Micro-benchmarks of the substrate hot paths: longest-prefix match,
+//! valley-free propagation, data-plane forwarding, traceroute, and the
+//! Ally alias test. These bound the cost model behind the experiment
+//! harness and catch regressions in the inner loops.
+
+use bdrmap_dataplane::{DataPlane, Probe, ProbeKind};
+use bdrmap_probe::{EngineConfig, ProbeEngine, StopSet};
+use bdrmap_topo::{generate, TopoConfig};
+use bdrmap_types::{Asn, Prefix, PrefixTrie};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    // ------------------------------------------------------ trie lookup
+    let mut trie: PrefixTrie<u32> = PrefixTrie::new();
+    let net = generate(&TopoConfig::large_access_scaled(60, 0.08));
+    for (i, o) in net.origins.iter().enumerate() {
+        trie.insert(o.prefix, i as u32);
+    }
+    let addrs: Vec<bdrmap_types::Addr> = net
+        .origins
+        .iter()
+        .map(|o| o.prefix.nth(o.prefix.size().min(300) - 1))
+        .collect();
+    c.bench_function("trie/longest-prefix-match", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % addrs.len();
+            black_box(trie.lookup(addrs[i]))
+        })
+    });
+
+    // ------------------------------------------------------ propagation
+    let oracle = bdrmap_bgp::RoutingOracle::new(net.graph.clone(), net.origins.clone());
+    let origs: Vec<_> = net.origins.iter().cloned().collect();
+    c.bench_function("bgp/route-tree-cached", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % origs.len();
+            black_box(oracle.route_tree(&origs[i]).reachable_count())
+        })
+    });
+
+    // ------------------------------------------------------- forwarding
+    let dp = Arc::new(DataPlane::new(net));
+    let vp = dp.internet().vps[0].addr;
+    let dsts: Vec<bdrmap_types::Addr> = dp
+        .internet()
+        .origins
+        .iter()
+        .map(|o| o.prefix.nth(1))
+        .collect();
+    c.bench_function("dataplane/probe-ttl8", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dsts.len();
+            black_box(dp.probe(&Probe {
+                src: vp,
+                dst: dsts[i],
+                ttl: 8,
+                flow: 7,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 0,
+            }))
+        })
+    });
+
+    // ------------------------------------------------------- traceroute
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let stop = StopSet::new();
+    c.bench_function("probe/full-traceroute", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dsts.len();
+            black_box(engine.trace(dsts[i], Asn(1), &stop).hops.len())
+        })
+    });
+
+    // ------------------------------------------------------------- ally
+    let netr = dp.internet();
+    let pair = netr
+        .routers
+        .iter()
+        .find_map(|r| {
+            if !matches!(r.ipid, bdrmap_topo::IpidModel::SharedCounter { .. })
+                || r.policy != bdrmap_topo::ResponsePolicy::Normal
+                || netr.vp_siblings.contains(&r.owner)
+                || r.ifaces.len() < 2
+            {
+                return None;
+            }
+            let a = netr.ifaces[r.ifaces[0].index()].addr;
+            let b = netr.ifaces[r.ifaces[1].index()].addr;
+            (netr.origins.lookup(a).is_some() && netr.origins.lookup(b).is_some()).then_some((a, b))
+        })
+        .expect("alias-testable router");
+    c.bench_function("probe/ally-pair", |b| {
+        b.iter(|| black_box(engine.ally(pair.0, pair.1)))
+    });
+
+    // ------------------------------------------------------- generation
+    c.bench_function("topo/generate-tiny", |b| {
+        b.iter(|| black_box(generate(&TopoConfig::tiny(99)).routers.len()))
+    });
+
+    let _ = Prefix::DEFAULT;
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! R2: resource-limited devices (§5.8).
+//!
+//! Paper: bdrmap needs ≈150 MB centrally while the device-side prober
+//! uses 3.5 MB. The reproduced claim is the ratio: device-resident state
+//! stays constant and small while central state grows with the measured
+//! Internet.
+
+use bdrmap_eval::resources::resources;
+use bdrmap_eval::Scenario;
+use bdrmap_topo::TopoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let scenarios = vec![
+        Scenario::build("tiny", &TopoConfig::tiny(41)),
+        Scenario::build("R&E network", &TopoConfig::re_network(42)),
+        Scenario::build(
+            "Large access (scaled)",
+            &TopoConfig::large_access_scaled(43, 0.05),
+        ),
+    ];
+    for sc in &scenarios {
+        let r = resources(sc, 0);
+        println!(
+            "{}: central {} B vs device {} B — ratio ×{:.0} over {} traces (paper: ≈43×)",
+            r.scenario,
+            r.central_bytes,
+            r.device_bytes,
+            r.ratio(),
+            r.traces
+        );
+    }
+
+    let mut group = c.benchmark_group("resources");
+    group.sample_size(10);
+    group.bench_function("offloaded-trace-phase/R&E", |b| {
+        b.iter(|| resources(&scenarios[1], 0).device_bytes)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! R1: probing run-time (§5.3) with and without doubletree stop sets.
+//!
+//! The paper quotes ≈12 h for an R&E network and ≈48 h for a large
+//! access network at 100 pps. Probe counts here convert to simulated
+//! hours identically (packets ÷ 100 ÷ 3600); what must reproduce is the
+//! *ratio* between network sizes and the savings from stop sets.
+
+use bdrmap_bench::bench_scale;
+use bdrmap_eval::runtime::runtime;
+use bdrmap_eval::Scenario;
+use bdrmap_topo::TopoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let s = bench_scale();
+    let scenarios = vec![
+        Scenario::build("R&E network", &TopoConfig::re_network(31)),
+        Scenario::build(
+            "Large access network",
+            &TopoConfig::large_access_scaled(32, s),
+        ),
+    ];
+    for sc in &scenarios {
+        let r = runtime(sc, 0);
+        println!(
+            "{}: {} packets ({:.2} simulated h at 100 pps) with stop sets; {} packets ({:.2} h) without; savings ×{:.2}",
+            r.scenario, r.packets_with, r.hours_with, r.packets_without, r.hours_without,
+            r.savings_factor()
+        );
+    }
+    let mut group = c.benchmark_group("runtime");
+    group.sample_size(10);
+    for sc in &scenarios {
+        group.bench_function(format!("trace-phase/{}", sc.name), |b| {
+            b.iter(|| runtime(sc, 0).packets_with)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

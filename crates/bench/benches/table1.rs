@@ -1,0 +1,50 @@
+//! T1 + V1: Table 1 (heuristic usage vs BGP coverage) and the §5.6
+//! ground-truth validation, for the paper's three tabled networks.
+//!
+//! Prints the regenerated table rows once, then times the full bdrmap
+//! pipeline (probing + alias resolution + inference) per scenario.
+
+use bdrmap_bench::bench_scale;
+use bdrmap_core::BdrmapConfig;
+use bdrmap_eval::table1::{render, table1};
+use bdrmap_eval::validate::validate;
+use bdrmap_eval::Scenario;
+use bdrmap_topo::TopoConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn scenarios() -> Vec<Scenario> {
+    let s = bench_scale();
+    vec![
+        Scenario::build("R&E network", &TopoConfig::re_network(1)),
+        Scenario::build(
+            "Large access network",
+            &TopoConfig::large_access_scaled(2, s),
+        ),
+        Scenario::build("Tier-1 network", &TopoConfig::tier1_scaled(3, s)),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = BdrmapConfig::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for sc in scenarios() {
+        // Print the reproduced artefact once.
+        let map = sc.run_vp(0, &cfg);
+        println!("{}", render(&table1(&sc, &map)));
+        let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+        let v = validate(sc.net(), &neighbors, &map);
+        println!(
+            "validation: {:.1}% links correct, {:.1}% BGP coverage (paper: 96.3-98.9%, 92.2-96.8%)\n",
+            v.link_accuracy() * 100.0,
+            v.bgp_coverage() * 100.0
+        );
+        group.bench_function(sc.name.clone(), |b| {
+            b.iter(|| sc.run_vp(0, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target regenerates one of the paper's tables or figures
+//! (see DESIGN.md's experiment index) and prints the reproduced rows /
+//! series once before timing the computation with Criterion.
+
+use bdrmap_eval::Scenario;
+use bdrmap_topo::TopoConfig;
+
+/// Scenario scale used by benches: large enough for meaningful shape,
+/// small enough to iterate. Pass `BDRMAP_BENCH_FULL=1` for paper scale.
+pub fn bench_scale() -> f64 {
+    if std::env::var("BDRMAP_BENCH_FULL").is_ok() {
+        1.0
+    } else {
+        0.08
+    }
+}
+
+/// The benches' standard large-access scenario.
+pub fn access_scenario(seed: u64) -> Scenario {
+    Scenario::build(
+        "large access network",
+        &TopoConfig::large_access_scaled(seed, bench_scale()),
+    )
+}

@@ -1,0 +1,272 @@
+//! The AS-level topology graph with business relationships.
+
+use bdrmap_types::{Asn, OrgId, Relationship};
+use serde::{Deserialize, Serialize};
+
+/// The ground-truth AS-level topology.
+///
+/// ASNs are allocated densely from 1 to [`AsGraph::num_ases`]; `Asn(0)` is
+/// reserved. Each undirected adjacency is stored on both endpoints with the
+/// relationship as seen from that endpoint (so a link stored as `Customer`
+/// on X appears as `Provider` on the neighbor).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AsGraph {
+    adj: Vec<Vec<(Asn, Relationship)>>,
+    orgs: Vec<OrgId>,
+    next_org: u32,
+}
+
+impl Default for AsGraph {
+    fn default() -> Self {
+        AsGraph::new()
+    }
+}
+
+impl AsGraph {
+    /// An empty graph.
+    pub fn new() -> AsGraph {
+        AsGraph {
+            // Slot 0 is the reserved ASN.
+            adj: vec![Vec::new()],
+            orgs: vec![OrgId(u32::MAX)],
+            next_org: 0,
+        }
+    }
+
+    /// Number of ASes in the graph (ASNs run `1..=num_ases`).
+    pub fn num_ases(&self) -> usize {
+        self.adj.len() - 1
+    }
+
+    /// Iterate over all ASNs.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> {
+        (1..self.adj.len() as u32).map(Asn)
+    }
+
+    /// Allocate a new AS in its own fresh organisation.
+    pub fn add_as(&mut self) -> Asn {
+        let org = OrgId(self.next_org);
+        self.next_org += 1;
+        self.add_as_in_org(org)
+    }
+
+    /// Allocate a new AS belonging to an existing organisation
+    /// (a *sibling* of any other AS in that organisation).
+    pub fn add_as_in_org(&mut self, org: OrgId) -> Asn {
+        let asn = Asn(self.adj.len() as u32);
+        self.adj.push(Vec::new());
+        self.orgs.push(org);
+        if org.0 >= self.next_org {
+            self.next_org = org.0 + 1;
+        }
+        asn
+    }
+
+    /// The organisation an AS belongs to.
+    pub fn org(&self, a: Asn) -> OrgId {
+        self.orgs[a.0 as usize]
+    }
+
+    /// All ASes in the same organisation as `a`, including `a` itself.
+    pub fn siblings(&self, a: Asn) -> Vec<Asn> {
+        let org = self.org(a);
+        self.ases().filter(|&b| self.org(b) == org).collect()
+    }
+
+    /// True if `a` and `b` are under common administrative control.
+    pub fn same_org(&self, a: Asn, b: Asn) -> bool {
+        self.org(a) == self.org(b)
+    }
+
+    /// Add a relationship link: `rel` is the role of `b` as seen from `a`
+    /// (e.g. `Relationship::Customer` means *b is a customer of a*).
+    ///
+    /// # Panics
+    /// Panics if the link already exists or if `a == b`.
+    pub fn add_link(&mut self, a: Asn, b: Asn, rel: Relationship) {
+        assert_ne!(a, b, "self-link");
+        assert!(
+            self.relationship(a, b).is_none(),
+            "duplicate AS link {a}-{b}"
+        );
+        self.adj[a.0 as usize].push((b, rel));
+        self.adj[b.0 as usize].push((a, rel.flip()));
+    }
+
+    /// The role of `b` as seen from `a`, if the two ASes are adjacent.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.adj[a.0 as usize]
+            .iter()
+            .find(|(n, _)| *n == b)
+            .map(|(_, r)| *r)
+    }
+
+    /// All neighbors of `a` with their role as seen from `a`.
+    pub fn neighbors(&self, a: Asn) -> &[(Asn, Relationship)] {
+        &self.adj[a.0 as usize]
+    }
+
+    /// Neighbors of `a` in a given role.
+    pub fn neighbors_with(&self, a: Asn, rel: Relationship) -> impl Iterator<Item = Asn> + '_ {
+        self.adj[a.0 as usize]
+            .iter()
+            .filter(move |(_, r)| *r == rel)
+            .map(|(n, _)| *n)
+    }
+
+    /// Customers of `a`.
+    pub fn customers(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Customer)
+    }
+
+    /// Peers of `a`.
+    pub fn peers(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Peer)
+    }
+
+    /// Providers of `a`.
+    pub fn providers(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Provider)
+    }
+
+    /// Degree of `a` (number of AS-level neighbors).
+    pub fn degree(&self, a: Asn) -> usize {
+        self.adj[a.0 as usize].len()
+    }
+
+    /// The *customer cone* of `a`: the set of ASes reachable from `a`
+    /// walking only provider→customer edges, including `a`. Used by the
+    /// relationship-inference pass and by evaluation.
+    pub fn customer_cone(&self, a: Asn) -> Vec<Asn> {
+        let mut seen = vec![false; self.adj.len()];
+        let mut stack = vec![a];
+        let mut out = Vec::new();
+        seen[a.0 as usize] = true;
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for c in self.customers(u) {
+                if !seen[c.0 as usize] {
+                    seen[c.0 as usize] = true;
+                    stack.push(c);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True if the provider→customer subgraph is acyclic, which the
+    /// generator must guarantee for valley-free propagation to terminate
+    /// with a well-defined result.
+    pub fn provider_customer_acyclic(&self) -> bool {
+        // Kahn's algorithm over provider→customer edges.
+        let n = self.adj.len();
+        let mut indeg = vec![0usize; n];
+        for a in self.ases() {
+            for c in self.customers(a) {
+                indeg[c.0 as usize] += 1;
+            }
+        }
+        let mut queue: Vec<Asn> = self.ases().filter(|a| indeg[a.0 as usize] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(u) = queue.pop() {
+            visited += 1;
+            for c in self.customers(u) {
+                indeg[c.0 as usize] -= 1;
+                if indeg[c.0 as usize] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        visited == self.num_ases()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small fixture: 1 is provider of 2 and 3; 2 and 3 peer; 3 is
+    /// provider of 4.
+    fn fixture() -> AsGraph {
+        let mut g = AsGraph::new();
+        let a1 = g.add_as();
+        let a2 = g.add_as();
+        let a3 = g.add_as();
+        let a4 = g.add_as();
+        g.add_link(a1, a2, Relationship::Customer);
+        g.add_link(a1, a3, Relationship::Customer);
+        g.add_link(a2, a3, Relationship::Peer);
+        g.add_link(a3, a4, Relationship::Customer);
+        g
+    }
+
+    #[test]
+    fn relationships_are_symmetric() {
+        let g = fixture();
+        assert_eq!(g.relationship(Asn(1), Asn(2)), Some(Relationship::Customer));
+        assert_eq!(g.relationship(Asn(2), Asn(1)), Some(Relationship::Provider));
+        assert_eq!(g.relationship(Asn(2), Asn(3)), Some(Relationship::Peer));
+        assert_eq!(g.relationship(Asn(3), Asn(2)), Some(Relationship::Peer));
+        assert_eq!(g.relationship(Asn(1), Asn(4)), None);
+    }
+
+    #[test]
+    fn neighbor_queries() {
+        let g = fixture();
+        let custs: Vec<Asn> = g.customers(Asn(1)).collect();
+        assert_eq!(custs, vec![Asn(2), Asn(3)]);
+        let provs: Vec<Asn> = g.providers(Asn(4)).collect();
+        assert_eq!(provs, vec![Asn(3)]);
+        let peers: Vec<Asn> = g.peers(Asn(2)).collect();
+        assert_eq!(peers, vec![Asn(3)]);
+        assert_eq!(g.degree(Asn(3)), 3);
+    }
+
+    #[test]
+    fn customer_cone() {
+        let g = fixture();
+        assert_eq!(
+            g.customer_cone(Asn(1)),
+            vec![Asn(1), Asn(2), Asn(3), Asn(4)]
+        );
+        assert_eq!(g.customer_cone(Asn(3)), vec![Asn(3), Asn(4)]);
+        assert_eq!(g.customer_cone(Asn(4)), vec![Asn(4)]);
+    }
+
+    #[test]
+    fn acyclicity_check() {
+        let g = fixture();
+        assert!(g.provider_customer_acyclic());
+        let mut bad = AsGraph::new();
+        let a = bad.add_as();
+        let b = bad.add_as();
+        let c = bad.add_as();
+        bad.add_link(a, b, Relationship::Customer);
+        bad.add_link(b, c, Relationship::Customer);
+        bad.add_link(c, a, Relationship::Customer);
+        assert!(!bad.provider_customer_acyclic());
+    }
+
+    #[test]
+    fn siblings_share_org() {
+        let mut g = AsGraph::new();
+        let a = g.add_as();
+        let org = g.org(a);
+        let b = g.add_as_in_org(org);
+        let c = g.add_as();
+        assert!(g.same_org(a, b));
+        assert!(!g.same_org(a, c));
+        assert_eq!(g.siblings(a), vec![a, b]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_link_panics() {
+        let mut g = AsGraph::new();
+        let a = g.add_as();
+        let b = g.add_as();
+        g.add_link(a, b, Relationship::Peer);
+        g.add_link(b, a, Relationship::Peer);
+    }
+}

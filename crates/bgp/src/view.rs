@@ -1,0 +1,220 @@
+//! Public BGP collector views.
+//!
+//! Route Views and RIPE RIS collect each collector peer's *best* path to
+//! every prefix. That is all the public ever sees of interdomain routing:
+//! links that never appear on a collector peer's best path are invisible,
+//! which is why Table 1 of the paper compares bdrmap's traceroute-derived
+//! links against an incomplete BGP baseline. [`CollectorView`] reproduces
+//! that mechanism: pick a set of collector-peer ASes, record their best
+//! AS paths, and derive from those paths the prefix→origin table, the
+//! visible AS-link set, and the raw paths the relationship-inference pass
+//! consumes.
+
+use crate::propagate::RoutingOracle;
+use bdrmap_types::{Addr, Asn, Prefix, PrefixTrie};
+use std::collections::{BTreeSet, HashMap};
+
+/// A snapshot of the public BGP view assembled from collector peers.
+#[derive(Clone, Debug, Default)]
+pub struct CollectorView {
+    /// Prefix → origin ASes observed in collected paths.
+    ip2as: PrefixTrie<Vec<Asn>>,
+    /// Undirected AS links observed on any collected path, stored with
+    /// the lower ASN first.
+    links: BTreeSet<(Asn, Asn)>,
+    /// Deduplicated AS paths (collector peer first, origin last).
+    paths: Vec<Vec<Asn>>,
+    /// The collector peers the view was assembled from.
+    peers: Vec<Asn>,
+}
+
+impl CollectorView {
+    /// Assemble the view: for every origination, record each collector
+    /// peer's best AS path.
+    pub fn collect(oracle: &RoutingOracle, collector_peers: &[Asn]) -> CollectorView {
+        let mut ip2as: PrefixTrie<Vec<Asn>> = PrefixTrie::new();
+        let mut links = BTreeSet::new();
+        let mut path_set: HashMap<Vec<Asn>, ()> = HashMap::new();
+
+        for o in oracle.origins().iter() {
+            let tree = oracle.route_tree(o);
+            let mut origins_seen: Vec<Asn> = Vec::new();
+            for &peer in collector_peers {
+                let Some(path) = tree.as_path(peer) else {
+                    continue;
+                };
+                let origin = *path.last().expect("paths are non-empty");
+                if !origins_seen.contains(&origin) {
+                    origins_seen.push(origin);
+                }
+                for w in path.windows(2) {
+                    let (a, b) = if w[0] < w[1] {
+                        (w[0], w[1])
+                    } else {
+                        (w[1], w[0])
+                    };
+                    links.insert((a, b));
+                }
+                path_set.entry(path).or_insert(());
+            }
+            if !origins_seen.is_empty() {
+                origins_seen.sort_unstable();
+                ip2as.insert(o.prefix, origins_seen);
+            }
+        }
+
+        let mut paths: Vec<Vec<Asn>> = path_set.into_keys().collect();
+        paths.sort_unstable();
+        CollectorView {
+            ip2as,
+            links,
+            paths,
+            peers: collector_peers.to_vec(),
+        }
+    }
+
+    /// Longest-match origin ASes for an address, as observed publicly.
+    pub fn origins_of(&self, a: Addr) -> Option<(Prefix, &[Asn])> {
+        self.ip2as.lookup(a).map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// Exact-match origin ASes for a prefix.
+    pub fn origins_of_prefix(&self, p: Prefix) -> Option<&[Asn]> {
+        self.ip2as.get(p).map(|v| v.as_slice())
+    }
+
+    /// All publicly visible routed prefixes with observed origins.
+    pub fn prefixes(&self) -> impl Iterator<Item = (Prefix, &[Asn])> {
+        self.ip2as.iter().map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// Number of routed prefixes in the view.
+    pub fn num_prefixes(&self) -> usize {
+        self.ip2as.len()
+    }
+
+    /// True if the AS link {a, b} appears on any collected path.
+    pub fn has_link(&self, a: Asn, b: Asn) -> bool {
+        let k = if a < b { (a, b) } else { (b, a) };
+        self.links.contains(&k)
+    }
+
+    /// All visible AS links (lower ASN first).
+    pub fn links(&self) -> impl Iterator<Item = (Asn, Asn)> + '_ {
+        self.links.iter().copied()
+    }
+
+    /// Neighbors of `a` visible in the public view.
+    pub fn neighbors_of(&self, a: Asn) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .links
+            .iter()
+            .filter_map(|&(x, y)| {
+                if x == a {
+                    Some(y)
+                } else if y == a {
+                    Some(x)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The deduplicated AS paths (collector peer first).
+    pub fn paths(&self) -> &[Vec<Asn>] {
+        &self.paths
+    }
+
+    /// The collector peers used.
+    pub fn collector_peers(&self) -> &[Asn] {
+        &self.peers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::AsGraph;
+    use crate::origin::OriginTable;
+    use bdrmap_types::Relationship;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// 1 (tier-1, collector peer) — customer 2 (access) — customer 4 (stub);
+    /// 2 peers with 3; 3 customer of 1; 3 originates a prefix.
+    fn fixture() -> RoutingOracle {
+        let mut g = AsGraph::new();
+        let a1 = g.add_as();
+        let a2 = g.add_as();
+        let a3 = g.add_as();
+        let a4 = g.add_as();
+        g.add_link(a1, a2, Relationship::Customer);
+        g.add_link(a1, a3, Relationship::Customer);
+        g.add_link(a2, a3, Relationship::Peer);
+        g.add_link(a2, a4, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce(p("10.3.0.0/16"), a3);
+        t.announce(p("10.4.0.0/16"), a4);
+        RoutingOracle::new(g, t)
+    }
+
+    #[test]
+    fn collector_sees_customer_chain_links() {
+        let oracle = fixture();
+        let view = CollectorView::collect(&oracle, &[Asn(1)]);
+        // 1's best path to 10.4/16 is 1-2-4.
+        assert!(view.has_link(Asn(1), Asn(2)));
+        assert!(view.has_link(Asn(2), Asn(4)));
+        assert!(view.has_link(Asn(1), Asn(3)));
+    }
+
+    #[test]
+    fn peer_link_invisible_from_above() {
+        let oracle = fixture();
+        let view = CollectorView::collect(&oracle, &[Asn(1)]);
+        // The 2-3 peer link never appears on AS1's best paths: peer routes
+        // are not exported upward.
+        assert!(!view.has_link(Asn(2), Asn(3)));
+    }
+
+    #[test]
+    fn peer_link_visible_from_customer_cone() {
+        let oracle = fixture();
+        // A collector peer inside AS2's customer cone sees 2's peer route
+        // toward AS3's prefix.
+        let view = CollectorView::collect(&oracle, &[Asn(4)]);
+        assert!(view.has_link(Asn(2), Asn(3)));
+    }
+
+    #[test]
+    fn ip2as_longest_match() {
+        let oracle = fixture();
+        let view = CollectorView::collect(&oracle, &[Asn(1), Asn(4)]);
+        let (pfx, origins) = view.origins_of("10.3.0.1".parse().unwrap()).unwrap();
+        assert_eq!(pfx, p("10.3.0.0/16"));
+        assert_eq!(origins, &[Asn(3)]);
+        assert!(view.origins_of("172.16.0.1".parse().unwrap()).is_none());
+        assert_eq!(view.num_prefixes(), 2);
+    }
+
+    #[test]
+    fn neighbors_of_vp_as() {
+        let oracle = fixture();
+        let view = CollectorView::collect(&oracle, &[Asn(1), Asn(4)]);
+        assert_eq!(view.neighbors_of(Asn(2)), vec![Asn(1), Asn(3), Asn(4)]);
+    }
+
+    #[test]
+    fn paths_are_deduplicated_and_sorted() {
+        let oracle = fixture();
+        let view = CollectorView::collect(&oracle, &[Asn(1)]);
+        let paths = view.paths();
+        assert!(paths.windows(2).all(|w| w[0] < w[1]));
+        assert!(paths.iter().all(|p| p.first() == Some(&Asn(1))));
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests for the BGP substrate: valley-free invariants of
+//! propagation over random AS hierarchies, collector-view consistency,
+//! and the multipath tie set.
+
+use bdrmap_bgp::{AdvertisementScope, AsGraph, CollectorView, OriginTable, RoutingOracle};
+use bdrmap_types::{Asn, Prefix, Relationship};
+use proptest::prelude::*;
+
+/// A random but well-formed hierarchy: layer 0 = clique of tier-1s,
+/// layers below pick providers from the layer above and peers within
+/// their own layer. Provider→customer edges always point downward, so
+/// the relation is acyclic by construction.
+#[derive(Debug, Clone)]
+struct RandomInternet {
+    graph: AsGraph,
+    origins: OriginTable,
+    all: Vec<Asn>,
+}
+
+fn arb_internet() -> impl Strategy<Value = RandomInternet> {
+    (
+        2usize..=4,                               // tier-1s
+        prop::collection::vec(1usize..=4, 1..=3), // per-layer sizes
+        any::<u64>(),                             // decisions seed
+    )
+        .prop_map(|(t1, layers, seed)| {
+            // Simple deterministic PRNG (xorshift) from the seed.
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let mut g = AsGraph::new();
+            let mut above: Vec<Asn> = (0..t1).map(|_| g.add_as()).collect();
+            for i in 0..above.len() {
+                for j in (i + 1)..above.len() {
+                    g.add_link(above[i], above[j], Relationship::Peer);
+                }
+            }
+            let mut all = above.clone();
+            for layer in layers {
+                let mut this: Vec<Asn> = Vec::new();
+                for _ in 0..layer {
+                    let a = g.add_as();
+                    // 1-2 providers from the layer above.
+                    let p1 = above[(next() as usize) % above.len()];
+                    g.add_link(p1, a, Relationship::Customer);
+                    if above.len() > 1 && next() % 2 == 0 {
+                        let p2 = above[(next() as usize) % above.len()];
+                        if g.relationship(p2, a).is_none() {
+                            g.add_link(p2, a, Relationship::Customer);
+                        }
+                    }
+                    // Peer with an earlier member of this layer sometimes.
+                    if !this.is_empty() && next() % 3 == 0 {
+                        let q = this[(next() as usize) % this.len()];
+                        if g.relationship(q, a).is_none() {
+                            g.add_link(q, a, Relationship::Peer);
+                        }
+                    }
+                    this.push(a);
+                }
+                all.extend(this.iter().copied());
+                above = this;
+            }
+            let mut origins = OriginTable::new();
+            for (i, &a) in all.iter().enumerate() {
+                let p: Prefix = format!("10.{}.0.0/16", i + 1).parse().unwrap();
+                origins.announce(p, a);
+            }
+            RandomInternet {
+                graph: g,
+                origins,
+                all,
+            }
+        })
+}
+
+/// Check the valley-free property of a path given ground-truth labels:
+/// a sequence of uphill (customer→provider) steps, at most one peer
+/// step, then downhill (provider→customer) steps.
+fn valley_free(graph: &AsGraph, path: &[Asn]) -> bool {
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    enum Phase {
+        Up,
+        Peak,
+        Down,
+    }
+    // Paths run collector → origin: the route was learned in the other
+    // direction, so walk it reversed: origin exports upward first.
+    let mut phase = Phase::Up;
+    for w in path.windows(2).rev() {
+        // Step from w[1] (closer to origin) to w[0].
+        let rel = graph.relationship(w[1], w[0]);
+        match rel {
+            Some(Relationship::Provider) => {
+                // Route moves origin→provider: only allowed while
+                // ascending.
+                if phase > Phase::Up {
+                    return false;
+                }
+            }
+            Some(Relationship::Peer) => {
+                if phase > Phase::Up {
+                    return false;
+                }
+                phase = Phase::Peak;
+            }
+            Some(Relationship::Customer) => {
+                phase = Phase::Down;
+            }
+            None => return false,
+        }
+    }
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn propagation_is_valley_free(net in arb_internet()) {
+        let oracle = RoutingOracle::new(net.graph.clone(), net.origins.clone());
+        for o in net.origins.iter() {
+            let tree = oracle.route_tree(o);
+            for &a in &net.all {
+                if let Some(path) = tree.as_path(a) {
+                    prop_assert!(
+                        valley_free(&net.graph, &path),
+                        "valley in path {path:?}"
+                    );
+                    // Path ends at the origin and starts at a.
+                    prop_assert_eq!(path[0], a);
+                    prop_assert!(o.origins.contains(path.last().unwrap()));
+                    // No AS repeats (loop-free).
+                    let mut sorted = path.clone();
+                    sorted.sort_unstable();
+                    sorted.dedup();
+                    prop_assert_eq!(sorted.len(), path.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn customer_prefixes_reach_everyone(net in arb_internet()) {
+        // Valley-free propagation still guarantees global reachability
+        // of every origination in a hierarchy where every AS has a
+        // provider chain to the clique.
+        let oracle = RoutingOracle::new(net.graph.clone(), net.origins.clone());
+        for o in net.origins.iter() {
+            let tree = oracle.route_tree(o);
+            prop_assert_eq!(tree.reachable_count(), net.all.len());
+        }
+    }
+
+    #[test]
+    fn tied_next_hops_contains_best(net in arb_internet()) {
+        let oracle = RoutingOracle::new(net.graph.clone(), net.origins.clone());
+        for o in net.origins.iter() {
+            let tree = oracle.route_tree(o);
+            for &a in &net.all {
+                let Some(best) = tree.route(a) else { continue };
+                let Some(nh) = best.next_hop else { continue };
+                let tied = oracle.tied_next_hops(a, o);
+                prop_assert!(
+                    tied.contains(&nh),
+                    "{a}: best next hop {nh} missing from tie set {tied:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn collector_view_paths_exist_and_start_at_peers(net in arb_internet()) {
+        let peers: Vec<Asn> = net.all.iter().copied().take(3).collect();
+        let oracle = RoutingOracle::new(net.graph.clone(), net.origins.clone());
+        let view = CollectorView::collect(&oracle, &peers);
+        for path in view.paths() {
+            prop_assert!(peers.contains(&path[0]));
+            prop_assert!(valley_free(&net.graph, path));
+        }
+        // Every origination is visible (hierarchy guarantees routes).
+        prop_assert_eq!(view.num_prefixes(), net.origins.len());
+    }
+
+    #[test]
+    fn scoped_advertisement_only_restricts(net in arb_internet()) {
+        // Restricting an announcement to a neighbor subset can only
+        // shrink the set of ASes with routes.
+        let some_origin = net.all[net.all.len() - 1];
+        let neighbors: Vec<Asn> = net
+            .graph
+            .neighbors(some_origin)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect();
+        prop_assume!(!neighbors.is_empty());
+        let p: Prefix = "172.20.0.0/16".parse().unwrap();
+        let mut full = net.origins.clone();
+        full.announce(p, some_origin);
+        let mut scoped = net.origins.clone();
+        scoped.announce_scoped(
+            p,
+            vec![some_origin],
+            AdvertisementScope::Neighbors(vec![neighbors[0]]),
+        );
+        let o_full = full.get(p).unwrap().clone();
+        let o_scoped = scoped.get(p).unwrap().clone();
+        let oracle_full = RoutingOracle::new(net.graph.clone(), full);
+        let oracle_scoped = RoutingOracle::new(net.graph.clone(), scoped);
+        let r_full = oracle_full.route_tree(&o_full).reachable_count();
+        let r_scoped = oracle_scoped.route_tree(&o_scoped).reachable_count();
+        prop_assert!(r_scoped <= r_full, "scoped {r_scoped} > full {r_full}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Minimal argument parsing: `--flag`, `--key value`, and positional
+//! subcommands. Hand-rolled to keep the dependency set at the workspace
+//! baseline.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus options.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    /// First positional token.
+    pub command: Option<String>,
+    /// `--key value` options.
+    options: BTreeMap<String, String>,
+    /// Bare `--flag` switches.
+    flags: Vec<String>,
+}
+
+/// A parse failure with a message suitable for the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parse a token stream (excluding `argv[0]`). `value_keys` lists the
+    /// options that consume a value; any other `--x` is a flag.
+    pub fn parse<I: IntoIterator<Item = String>>(
+        tokens: I,
+        value_keys: &[&str],
+    ) -> Result<Args, ArgError> {
+        let mut out = Args::default();
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                if value_keys.contains(&key) {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                    if v.starts_with("--") {
+                        return Err(ArgError(format!("--{key} needs a value, got {v}")));
+                    }
+                    out.options.insert(key.to_string(), v);
+                } else {
+                    out.flags.push(key.to_string());
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(ArgError(format!("unexpected argument: {tok}")));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(|s| s.as_str())
+    }
+
+    /// Parsed value of `--key`, or the default.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value for --{key}: {v}"))),
+        }
+    }
+
+    /// True if `--flag` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Reject unknown flags (typo guard).
+    pub fn check_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for f in &self.flags {
+            if !allowed.contains(&f.as_str()) {
+                return Err(ArgError(format!("unknown flag: --{f}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, ArgError> {
+        Args::parse(
+            s.split_whitespace().map(String::from),
+            &["seed", "scale", "preset", "vps"],
+        )
+    }
+
+    #[test]
+    fn parses_command_options_and_flags() {
+        let a = parse("run --preset re --seed 7 --full").unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get("preset"), Some("re"));
+        assert_eq!(a.get_parse::<u64>("seed", 0).unwrap(), 7);
+        assert!(a.flag("full"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_when_absent() {
+        let a = parse("run").unwrap();
+        assert_eq!(a.get_parse::<u64>("seed", 42).unwrap(), 42);
+        assert_eq!(a.get_parse::<f64>("scale", 0.1).unwrap(), 0.1);
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse("run --seed").is_err());
+        assert!(parse("run --seed --full").is_err());
+    }
+
+    #[test]
+    fn invalid_value_is_an_error() {
+        let a = parse("run --seed banana").unwrap();
+        assert!(a.get_parse::<u64>("seed", 0).is_err());
+    }
+
+    #[test]
+    fn extra_positional_rejected() {
+        assert!(parse("run extra").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_detected() {
+        let a = parse("run --bogus").unwrap();
+        assert!(a.check_flags(&["full"]).is_err());
+        assert!(a.check_flags(&["full", "bogus"]).is_ok());
+    }
+}

@@ -1,0 +1,567 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, Args};
+use bdrmap_core::{merge_maps, BdrmapConfig};
+use bdrmap_eval::report::TextTable;
+use bdrmap_eval::Scenario;
+use bdrmap_topo::TopoConfig;
+
+/// Resolve `--preset/--seed/--scale` into a generator config.
+pub fn preset(args: &Args) -> Result<TopoConfig, ArgError> {
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let scale: f64 = args.get_parse("scale", 0.1)?;
+    let name = args.get("preset").unwrap_or("tiny");
+    let cfg = match name {
+        "tiny" => TopoConfig::tiny(seed),
+        "re" | "r&e" => TopoConfig::re_network(seed),
+        "large-access" | "access" => {
+            if args.flag("full") {
+                TopoConfig::large_access(seed)
+            } else {
+                TopoConfig::large_access_scaled(seed, scale)
+            }
+        }
+        "tier1" => {
+            if args.flag("full") {
+                TopoConfig::tier1(seed)
+            } else {
+                TopoConfig::tier1_scaled(seed, scale)
+            }
+        }
+        "small-access" => TopoConfig::small_access(seed),
+        other => return Err(ArgError(format!("unknown preset: {other}"))),
+    };
+    Ok(cfg)
+}
+
+fn bdrmap_config(args: &Args) -> BdrmapConfig {
+    BdrmapConfig {
+        alias_resolution: !args.flag("no-alias"),
+        addrs_per_block: if args.flag("one-addr") { 1 } else { 5 },
+        use_stop_sets: !args.flag("no-stop-sets"),
+        ..Default::default()
+    }
+}
+
+/// `bdrmap generate`: build a topology, print the inventory.
+pub fn generate(args: &Args) -> Result<(), ArgError> {
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let net = sc.net();
+    println!(
+        "generated: {} ASes, {} routers, {} interfaces, {} links, {} routed prefixes, {} IXPs, {} VPs",
+        net.graph.num_ases(),
+        net.routers.len(),
+        net.ifaces.len(),
+        net.links.len(),
+        net.origins.len(),
+        net.ixps.len(),
+        net.vps.len()
+    );
+    let mut kinds: std::collections::BTreeMap<String, usize> = Default::default();
+    for a in net.graph.ases() {
+        *kinds
+            .entry(format!("{:?}", net.as_info(a).kind))
+            .or_insert(0) += 1;
+    }
+    let mut t = TextTable::new(&["AS kind", "count"]);
+    for (k, c) in kinds {
+        t.row(vec![k, c.to_string()]);
+    }
+    println!("\n{}", t.render());
+    println!(
+        "measured network: {} ({} PoPs, {} interdomain links, {} BGP neighbors)",
+        net.vp_as,
+        net.as_info(net.vp_as).pops.len(),
+        net.border_links_of(net.vp_as).len(),
+        net.graph.neighbors(net.vp_as).len()
+    );
+    Ok(())
+}
+
+/// `bdrmap run`: one VP, full pipeline, printed border map + score.
+pub fn run(args: &Args) -> Result<(), ArgError> {
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let vp: usize = args.get_parse("vp", 0)?;
+    if vp >= sc.num_vps() {
+        return Err(ArgError(format!(
+            "--vp {vp} out of range (have {})",
+            sc.num_vps()
+        )));
+    }
+    let map = sc.run_vp(vp, &bdrmap_config(args));
+    println!(
+        "vp{} probed {} packets ({:.2} simulated h at 100 pps)\n",
+        vp,
+        map.packets,
+        map.elapsed_ms as f64 / 3.6e6
+    );
+    let mut t = TextTable::new(&["neighbor", "links", "heuristics"]);
+    for (nb, links) in map.links_by_neighbor() {
+        let mut tags: Vec<String> = links.iter().map(|l| format!("{:?}", l.heuristic)).collect();
+        tags.sort();
+        tags.dedup();
+        t.row(vec![
+            nb.to_string(),
+            links.len().to_string(),
+            tags.join(","),
+        ]);
+    }
+    println!("{}", t.render());
+    let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+    let v = bdrmap_eval::validate::validate(sc.net(), &neighbors, &map);
+    println!(
+        "validation: {}/{} links correct ({:.1}%), BGP coverage {:.1}%, owner accuracy {:.1}%",
+        v.links_correct,
+        v.links_total,
+        v.link_accuracy() * 100.0,
+        v.bgp_coverage() * 100.0,
+        v.owner_accuracy() * 100.0
+    );
+    Ok(())
+}
+
+/// `bdrmap merge`: all VPs merged into one interconnectivity view.
+pub fn merge(args: &Args) -> Result<(), ArgError> {
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let nvps: usize = args.get_parse("vps", sc.num_vps())?;
+    let nvps = nvps.min(sc.num_vps());
+    let bcfg = bdrmap_config(args);
+    let maps: Vec<_> = (0..nvps).map(|i| sc.run_vp(i, &bcfg)).collect();
+    let merged = merge_maps(&maps);
+    println!(
+        "merged {} VPs: {} routers, {} links, {} neighbors",
+        merged.vps,
+        merged.routers.len(),
+        merged.links.len(),
+        merged.neighbors().len()
+    );
+    // Top neighbors by link count — the inference-side Figure 15 view.
+    let mut by_links: Vec<_> = merged.links_per_neighbor().into_iter().collect();
+    by_links.sort_by_key(|&(a, c)| (std::cmp::Reverse(c), a));
+    let mut t = TextTable::new(&["neighbor", "links (merged)", "name"]);
+    for (nb, c) in by_links.iter().take(15) {
+        t.row(vec![
+            nb.to_string(),
+            c.to_string(),
+            sc.net().as_info(*nb).name.clone(),
+        ]);
+    }
+    println!("\n{}", t.render());
+    Ok(())
+}
+
+/// `bdrmap table1`: the Table 1 suite.
+pub fn table1(args: &Args) -> Result<(), ArgError> {
+    let full = args.flag("full");
+    let seed: u64 = args.get_parse("seed", 1)?;
+    let scale: f64 = args.get_parse("scale", 0.12)?;
+    let scenarios: Vec<(&str, TopoConfig)> = vec![
+        ("R&E network", TopoConfig::re_network(seed)),
+        (
+            "Large access network",
+            if full {
+                TopoConfig::large_access(seed + 1)
+            } else {
+                TopoConfig::large_access_scaled(seed + 1, scale)
+            },
+        ),
+        (
+            "Tier-1 network",
+            if full {
+                TopoConfig::tier1(seed + 2)
+            } else {
+                TopoConfig::tier1_scaled(seed + 2, scale)
+            },
+        ),
+        ("Small access network", TopoConfig::small_access(seed + 3)),
+    ];
+    for (name, cfg) in scenarios {
+        let sc = Scenario::build(name, &cfg);
+        let map = sc.run_vp(0, &bdrmap_config(args));
+        println!(
+            "{}",
+            bdrmap_eval::table1::render(&bdrmap_eval::table1::table1(&sc, &map))
+        );
+        let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+        let v = bdrmap_eval::validate::validate(sc.net(), &neighbors, &map);
+        println!(
+            "validation: {:.1}% links correct, {:.1}% coverage (paper: 96.3-98.9%, 92.2-96.8%)\n",
+            v.link_accuracy() * 100.0,
+            v.bgp_coverage() * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// `bdrmap insights`: Figures 14/15/16.
+pub fn insights(args: &Args) -> Result<(), ArgError> {
+    let seed: u64 = args.get_parse("seed", 20)?;
+    let scale: f64 = args.get_parse("scale", 0.1)?;
+    let cfg = if args.flag("full") {
+        TopoConfig::large_access(seed)
+    } else {
+        TopoConfig::large_access_scaled(seed, scale)
+    };
+    let sc = Scenario::build("large access network", &cfg);
+    let per_vp =
+        bdrmap_eval::insights::collect_vp_traces(&sc, if args.flag("full") { 5 } else { 3 });
+
+    let f14 = bdrmap_eval::insights::fig14(&sc, &per_vp);
+    println!(
+        "Figure 14 ({} prefixes, {} far):",
+        f14.all.per_prefix.len(),
+        f14.far.per_prefix.len()
+    );
+    for (label, d) in [("all", &f14.all), ("far", &f14.far)] {
+        println!(
+            "  [{label}] 1 router {:.1}% | 5-15 {:.1}% | >15 {:.1}% | same next-hop {:.1}%",
+            d.frac_routers(|r| r == 1) * 100.0,
+            d.frac_routers(|r| (5..=15).contains(&r)) * 100.0,
+            d.frac_routers(|r| r > 15) * 100.0,
+            d.frac_same_next_hop() * 100.0
+        );
+    }
+    println!("\nFigure 15 (cumulative links by #VPs):");
+    for c in bdrmap_eval::insights::fig15(&sc, &per_vp) {
+        println!(
+            "  {:<24} truth={:<3} {:?}",
+            c.name, c.true_links, c.cumulative
+        );
+    }
+    println!("\nFigure 16 (per-VP link longitudes, first/middle/last VP):");
+    let f16 = bdrmap_eval::insights::fig16(&sc, &per_vp);
+    for row in [f16.first(), f16.get(f16.len() / 2), f16.last()]
+        .into_iter()
+        .flatten()
+    {
+        print!("  vp{:<2} @ {:>7.1}:", row.vp, row.vp_longitude);
+        for (name, lons) in &row.links {
+            let s: Vec<String> = lons.iter().map(|l| format!("{l:.0}")).collect();
+            print!("  {}=[{}]", name, s.join(","));
+        }
+        println!();
+    }
+    Ok(())
+}
+
+/// `bdrmap ablation`.
+pub fn ablation(args: &Args) -> Result<(), ArgError> {
+    let seed: u64 = args.get_parse("seed", 55)?;
+    let scale: f64 = args.get_parse("scale", 0.08)?;
+    let sc = Scenario::build(
+        "ablation",
+        &bdrmap_eval::ablation::stress_config(seed, scale),
+    );
+    let results = bdrmap_eval::ablation::run_ablations(&sc, 0);
+    let mut t = TextTable::new(&[
+        "variant", "links", "accuracy", "coverage", "routers", "packets",
+    ]);
+    for r in &results {
+        t.row(vec![
+            r.name.clone(),
+            r.validation.links_total.to_string(),
+            format!("{:.1}%", r.validation.link_accuracy() * 100.0),
+            format!("{:.1}%", r.validation.bgp_coverage() * 100.0),
+            r.routers.to_string(),
+            r.packets.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    Ok(())
+}
+
+/// `bdrmap resources`: §5.8 accounting.
+pub fn resources(args: &Args) -> Result<(), ArgError> {
+    let seed: u64 = args.get_parse("seed", 77)?;
+    let sc = Scenario::build("resources", &TopoConfig::re_network(seed));
+    let r = bdrmap_eval::resources::resources(&sc, 0);
+    println!(
+        "central {} B vs device {} B over {} traces — ratio ×{:.0} (paper: ≈43×)",
+        r.central_bytes,
+        r.device_bytes,
+        r.traces,
+        r.ratio()
+    );
+    Ok(())
+}
+
+/// `bdrmap probe`: trace collection only, saved to a warts-like store.
+/// Decouples probing from inference exactly as scamper/warts does.
+pub fn probe(args: &Args) -> Result<(), ArgError> {
+    let out = args
+        .get("out")
+        .ok_or_else(|| ArgError("probe needs --out <path>".into()))?;
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let vp: usize = args.get_parse("vp", 0)?;
+    let engine = sc.engine(vp);
+    let ip2as = sc.input.ip2as_for_probing();
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    let bcfg = bdrmap_config(args);
+    let coll = bdrmap_probe::run_traces(
+        &engine,
+        &targets,
+        bdrmap_probe::RunOptions {
+            parallelism: bcfg.parallelism,
+            addrs_per_block: bcfg.addrs_per_block,
+            use_stop_sets: bcfg.use_stop_sets,
+        },
+        |a| ip2as.is_external(a),
+    );
+    let n = coll.traces.len();
+    let packets = coll.budget.packets;
+    bdrmap_probe::store::save(std::path::Path::new(out), &coll)
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!("saved {n} traces ({packets} packets) to {out}");
+    Ok(())
+}
+
+/// `bdrmap infer`: run the heuristics over a saved trace store (the
+/// scenario must be regenerated with the same preset/seed so the public
+/// inputs and the alias-probing substrate match the collection run).
+pub fn infer(args: &Args) -> Result<(), ArgError> {
+    let input_path = args
+        .get("in")
+        .ok_or_else(|| ArgError("infer needs --in <path>".into()))?;
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let vp: usize = args.get_parse("vp", 0)?;
+    let coll = bdrmap_probe::store::load(std::path::Path::new(input_path))
+        .map_err(|e| ArgError(format!("reading {input_path}: {e}")))?;
+    println!("loaded {} traces from {input_path}", coll.traces.len());
+    let engine = sc.engine(vp);
+    let map = bdrmap_core::run_bdrmap_on_traces(&engine, &sc.input, &bdrmap_config(args), coll);
+    let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+    let v = bdrmap_eval::validate::validate(sc.net(), &neighbors, &map);
+    println!(
+        "inferred {} links to {} neighbors — {:.1}% correct, {:.1}% coverage",
+        map.links.len(),
+        map.neighbors().len(),
+        v.link_accuracy() * 100.0,
+        v.bgp_coverage() * 100.0
+    );
+    Ok(())
+}
+
+/// `bdrmap fleet`: the §5.7 "25 other networks" experiment.
+pub fn fleet(args: &Args) -> Result<(), ArgError> {
+    let mut cfg = preset(args)?;
+    cfg.extra_vp_hosts = args.get_parse("hosts", 5)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let results = bdrmap_eval::fleet::run_fleet(&sc, &bdrmap_config(args));
+    let mut t = TextTable::new(&["host", "kind", "links", "accuracy", "coverage"]);
+    for r in &results {
+        t.row(vec![
+            r.host.to_string(),
+            r.kind.clone(),
+            r.links.to_string(),
+            format!("{:.1}%", r.validation.link_accuracy() * 100.0),
+            format!("{:.1}%", r.validation.bgp_coverage() * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+    let avg: f64 = results
+        .iter()
+        .map(|r| r.validation.link_accuracy())
+        .sum::<f64>()
+        / results.len().max(1) as f64;
+    println!(
+        "{} hosting networks, mean link accuracy {:.1}% (paper §5.7: 'similar results' across 25 networks)",
+        results.len(),
+        avg * 100.0
+    );
+    Ok(())
+}
+
+/// `bdrmap congestion`: the end-to-end §2 application — discover the
+/// borders, inject diurnal queuing, find it with TSLP.
+pub fn congestion(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_dataplane::CongestionProfile;
+    const PERIOD_MS: u64 = 3_600_000;
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("re"), &cfg);
+    let net = sc.net();
+    let map = sc.run_vp(0, &bdrmap_config(args));
+    // Congest three links found on the map.
+    let mut congested = Vec::new();
+    for l in &map.links {
+        if congested.len() == 3 {
+            break;
+        }
+        let Some(far) = l.far_addr else { continue };
+        let Some(lid) = net.iface_of_addr(far).and_then(|i| i.link) else {
+            continue;
+        };
+        if !congested.contains(&lid) {
+            sc.dp.congest(
+                lid,
+                CongestionProfile {
+                    peak_us: 40_000,
+                    period_ms: PERIOD_MS,
+                },
+            );
+            congested.push(lid);
+        }
+    }
+    let engine = sc.engine(0);
+    let (mut tp, mut fp, mut fnn) = (0, 0, 0);
+    for l in &map.links {
+        let (Some(near), Some(far)) = (l.near_addr, l.far_addr) else {
+            continue;
+        };
+        let r = bdrmap_probe::tslp::tslp(&engine, near, far, PERIOD_MS, 2, 24);
+        if r.far.samples.is_empty() {
+            continue;
+        }
+        let flagged = r.congested(8_000);
+        let truth = net
+            .iface_of_addr(far)
+            .and_then(|i| i.link)
+            .map(|lid| congested.contains(&lid))
+            .unwrap_or(false);
+        match (flagged, truth) {
+            (true, true) => tp += 1,
+            (true, false) => fp += 1,
+            (false, true) => fnn += 1,
+            _ => {}
+        }
+    }
+    println!(
+        "injected congestion on {} discovered links; TSLP found {tp} (false positives {fp}, missed {fnn})",
+        congested.len()
+    );
+    Ok(())
+}
+
+/// `bdrmap devcheck`: the §5.1 development-mode sanity checks — DNS
+/// agreement and the border-router degree anomaly scan.
+pub fn devcheck(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_topo::{DnsConfig, DnsDb};
+    let cfg = preset(args)?;
+    let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    let map = sc.run_vp(0, &bdrmap_config(args));
+    let db = DnsDb::synthesize(sc.net(), cfg.seed, &DnsConfig::default());
+    let net = sc.net();
+    let check = bdrmap_eval::devcheck::dns_check(&db, &map, |a| net.as_info(a).name.clone());
+    println!(
+        "DNS cross-check: {}/{} labels agree ({:.1}%), {} uncovered/unparseable, {} disagreements",
+        check.agree,
+        check.comparable,
+        check.agreement() * 100.0,
+        check.uncovered,
+        check.disagree.len()
+    );
+    for (host, asn) in check.disagree.iter().take(5) {
+        println!("  suspicious: {host} inferred as {asn} (stale label or inference error — §5.1)");
+    }
+    let anomalies = bdrmap_eval::devcheck::degree_anomalies(&map, 4);
+    if anomalies.is_empty() {
+        println!("degree check: no border router fronts >4 links to one neighbor — clean");
+    } else {
+        for a in anomalies {
+            println!(
+                "degree check: router #{} shows {} links to {} — possible unresolved aliases",
+                a.near, a.count, a.far_as
+            );
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from), crate::VALUE_KEYS).unwrap()
+    }
+
+    #[test]
+    fn preset_resolution() {
+        assert!(preset(&args("run --preset tiny")).is_ok());
+        assert!(preset(&args("run --preset re")).is_ok());
+        assert!(preset(&args("run --preset large-access --scale 0.05")).is_ok());
+        assert!(preset(&args("run --preset nonsense")).is_err());
+        assert!(preset(&args("run --seed banana")).is_err());
+    }
+
+    #[test]
+    fn bdrmap_config_flags() {
+        let c = bdrmap_config(&args("run --no-alias --one-addr"));
+        assert!(!c.alias_resolution);
+        assert_eq!(c.addrs_per_block, 1);
+        assert!(c.use_stop_sets);
+        let d = bdrmap_config(&args("run --no-stop-sets"));
+        assert!(!d.use_stop_sets);
+        assert!(d.alias_resolution);
+    }
+
+    #[test]
+    fn generate_and_run_commands_work() {
+        generate(&args("generate --preset tiny --seed 9")).unwrap();
+        run(&args("run --preset tiny --seed 9")).unwrap();
+    }
+
+    #[test]
+    fn merge_command_works() {
+        merge(&args("merge --preset tiny --seed 9 --vps 2")).unwrap();
+    }
+
+    #[test]
+    fn probe_then_infer_round_trips() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bdrw");
+        let path_s = path.to_str().unwrap();
+        probe(&args(&format!(
+            "probe --preset tiny --seed 9 --out {path_s}"
+        )))
+        .unwrap();
+        infer(&args(&format!(
+            "infer --preset tiny --seed 9 --in {path_s}"
+        )))
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_and_congestion_commands_work() {
+        fleet(&args("fleet --preset tiny --seed 9 --hosts 2")).unwrap();
+        congestion(&args("congestion --preset tiny --seed 9")).unwrap();
+        devcheck(&args("devcheck --preset tiny --seed 9")).unwrap();
+    }
+
+    #[test]
+    fn probe_requires_out() {
+        assert!(probe(&args("probe --preset tiny")).is_err());
+        assert!(infer(&args("infer --preset tiny")).is_err());
+    }
+
+    #[test]
+    fn run_rejects_bad_vp() {
+        assert!(run(&args("run --preset tiny --seed 9 --vp 99")).is_err());
+    }
+
+    #[test]
+    fn presets_cover_all_vp_kinds() {
+        use bdrmap_topo::AsKind;
+        let kinds = [
+            preset(&args("x --preset re")).unwrap().vp_kind,
+            preset(&args("x --preset large-access")).unwrap().vp_kind,
+            preset(&args("x --preset tier1")).unwrap().vp_kind,
+            preset(&args("x --preset small-access")).unwrap().vp_kind,
+        ];
+        assert_eq!(
+            kinds,
+            [
+                AsKind::ResearchEdu,
+                AsKind::Access,
+                AsKind::Tier1,
+                AsKind::SmallAccess
+            ]
+        );
+    }
+}

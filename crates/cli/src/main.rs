@@ -1,0 +1,94 @@
+//! `bdrmap` — the command-line face of the reproduction.
+//!
+//! ```text
+//! bdrmap generate  --preset large-access --seed 42 [--scale 0.1]
+//! bdrmap run       --preset re --seed 1 [--vp 0] [--no-alias] [--one-addr]
+//! bdrmap merge     --preset large-access --seed 2 --scale 0.08 [--vps 5]
+//! bdrmap table1    [--full] [--seed N]
+//! bdrmap insights  [--full] [--seed N]
+//! bdrmap ablation  [--seed N] [--scale 0.08]
+//! bdrmap resources [--seed N]
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+const VALUE_KEYS: &[&str] = &["preset", "seed", "scale", "vp", "vps", "out", "in", "hosts"];
+const FLAGS: &[&str] = &["full", "no-alias", "one-addr", "no-stop-sets", "help"];
+
+fn usage() -> &'static str {
+    "bdrmap — inference of borders between IP networks (IMC 2016 reproduction)
+
+USAGE:
+    bdrmap <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate    generate a ground-truth Internet and print its summary
+    run         run the full pipeline from one VP and print the border map
+    merge       run every VP and print the merged interconnectivity view
+    table1      regenerate Table 1 + §5.6 validation for the paper's networks
+    insights    regenerate Figures 14/15/16 (19-VP access network)
+    ablation    run the design-choice ablation suite
+    resources   reproduce the §5.8 central-vs-device state comparison
+    probe       collect traces only and save them (--out traces.bdrw)
+    infer       run inference over saved traces (--in traces.bdrw)
+    fleet       run bdrmap from VPs hosted in many other networks (§5.7)
+    devcheck    §5.1 development-mode sanity checks over synthesized DNS
+    congestion  discover borders, inject diurnal congestion, detect with TSLP
+
+OPTIONS:
+    --preset <tiny|re|large-access|tier1|small-access>   topology preset
+    --seed <u64>         RNG seed (default 42)
+    --scale <f64>        scale factor for the big presets (default 0.1)
+    --vp <idx>           vantage point index for `run` (default 0)
+    --vps <n>            number of VPs for `merge` (default: all)
+    --full               paper-scale scenarios for table1/insights
+    --no-alias           disable alias resolution (ablation A1)
+    --one-addr           probe one address per block (ablation A2)
+    --no-stop-sets       disable doubletree stop sets
+    --out <path>         where `probe` writes the trace store
+    --in <path>          trace store `infer` reads
+"
+}
+
+fn main() {
+    let args = match Args::parse(std::env::args().skip(1), VALUE_KEYS) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = args.check_flags(FLAGS) {
+        eprintln!("error: {e}\n\n{}", usage());
+        std::process::exit(2);
+    }
+    if args.flag("help") || args.command.is_none() {
+        println!("{}", usage());
+        return;
+    }
+    let result = match args.command.as_deref().unwrap() {
+        "generate" => commands::generate(&args),
+        "run" => commands::run(&args),
+        "merge" => commands::merge(&args),
+        "table1" => commands::table1(&args),
+        "insights" => commands::insights(&args),
+        "ablation" => commands::ablation(&args),
+        "resources" => commands::resources(&args),
+        "probe" => commands::probe(&args),
+        "infer" => commands::infer(&args),
+        "fleet" => commands::fleet(&args),
+        "devcheck" => commands::devcheck(&args),
+        "congestion" => commands::congestion(&args),
+        other => {
+            eprintln!("error: unknown command: {other}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,198 @@
+//! Alias-resolution driving (§5.3 "Resolve IP address aliases").
+//!
+//! bdrmap assembles candidate alias sets as it walks the traces and
+//! probes them with Mercator, Ally, and prefixscan. Negative Ally
+//! results are kept as vetoes: a pair the measurements said was *not*
+//! aliases must never be merged, even transitively.
+
+use crate::input::{Ip2As, Mapping};
+use bdrmap_probe::{AliasVerdict, Prober, Trace};
+use bdrmap_types::Addr;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// Confirmed alias pairs and vetoes.
+#[derive(Debug, Default)]
+pub struct AliasData {
+    /// Pairs confirmed to share a router.
+    pub aliases: Vec<(Addr, Addr)>,
+    /// Pairs measured to be on different routers.
+    pub not_aliases: HashSet<(Addr, Addr)>,
+    /// Addresses confirmed (by prefixscan) to be the inbound interface
+    /// of a point-to-point link from the given previous-hop address.
+    pub ptp_confirmed: Vec<(Addr, Addr)>,
+    /// Alias probes spent.
+    pub pairs_tested: usize,
+}
+
+impl AliasData {
+    /// Normalised key for a pair.
+    pub fn key(a: Addr, b: Addr) -> (Addr, Addr) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// True if the pair was measured as not-aliases.
+    pub fn vetoed(&self, a: Addr, b: Addr) -> bool {
+        self.not_aliases.contains(&Self::key(a, b))
+    }
+}
+
+/// Run the alias-resolution phase over collected traces.
+pub fn resolve<P: Prober + ?Sized>(
+    prober: &P,
+    traces: &[Trace],
+    ip2as: &Ip2As,
+    max_ally_per_set: usize,
+) -> AliasData {
+    let mut data = AliasData::default();
+
+    // --- Mercator on every distinct time-exceeded address. ------------
+    let mut te_addrs: BTreeSet<Addr> = BTreeSet::new();
+    for tr in traces {
+        te_addrs.extend(tr.te_addrs());
+    }
+    let mut mercator_src: HashMap<Addr, Addr> = HashMap::new();
+    for &a in &te_addrs {
+        if let Some(m) = prober.mercator(a) {
+            if m.responded_from != a {
+                data.aliases.push((a, m.responded_from));
+            }
+            mercator_src.insert(a, m.responded_from);
+        }
+    }
+    // Two probed addresses answering from one source are aliases.
+    let mut by_src: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
+    for (&probed, &src) in &mercator_src {
+        by_src.entry(src).or_default().push(probed);
+    }
+    for group in by_src.values() {
+        for w in group.windows(2) {
+            data.aliases.push((w[0], w[1]));
+        }
+    }
+
+    // --- Prefixscan on adjacent trace segments. -----------------------
+    // For each (prev, cur) adjacency where cur might be a far-side
+    // interface (cur external or VP-mapped), test whether cur's subnet
+    // mate aliases with prev.
+    let mut segments: BTreeSet<(Addr, Addr)> = BTreeSet::new();
+    for tr in traces {
+        let hops: Vec<Addr> = tr.te_addrs().collect();
+        for w in hops.windows(2) {
+            if w[0] != w[1] {
+                segments.insert((w[0], w[1]));
+            }
+        }
+    }
+    for &(prev, cur) in &segments {
+        data.pairs_tested += 1;
+        if let Some(mate) = prober.prefixscan(prev, cur) {
+            data.ptp_confirmed.push((prev, cur));
+            if mate != prev {
+                data.aliases.push((mate, prev));
+            }
+        }
+    }
+
+    // --- Ally on candidate sets sharing a predecessor. -----------------
+    // Addresses that follow the same previous hop toward the same target
+    // AS are candidates for being interfaces of one router (load-balanced
+    // paths, virtual routers — the Figure 13 scenario).
+    let mut cand_sets: BTreeMap<(Addr, bdrmap_types::Asn), BTreeSet<Addr>> = BTreeMap::new();
+    for tr in traces {
+        let hops: Vec<Addr> = tr.te_addrs().collect();
+        for w in hops.windows(2) {
+            cand_sets
+                .entry((w[0], tr.target_as))
+                .or_default()
+                .insert(w[1]);
+        }
+    }
+    // Also merge per-predecessor across target ASes (the same far router
+    // appears on paths to many destinations).
+    let mut by_pred: BTreeMap<Addr, BTreeSet<Addr>> = BTreeMap::new();
+    for ((pred, _), set) in &cand_sets {
+        by_pred
+            .entry(*pred)
+            .or_default()
+            .extend(set.iter().copied());
+    }
+    let mut tested: HashSet<(Addr, Addr)> = HashSet::new();
+    for set in by_pred.values() {
+        // Only same-mapping candidates: two successors in different
+        // networks are not plausibly one router.
+        let members: Vec<Addr> = set.iter().copied().collect();
+        let mut budget = max_ally_per_set;
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if budget == 0 {
+                    break;
+                }
+                let (a, b) = (members[i], members[j]);
+                let key = AliasData::key(a, b);
+                if tested.contains(&key) {
+                    continue;
+                }
+                if !compatible_mapping(ip2as, a, b) {
+                    continue;
+                }
+                tested.insert(key);
+                budget -= 1;
+                data.pairs_tested += 1;
+                match prober.ally(a, b) {
+                    AliasVerdict::Aliases => data.aliases.push((a, b)),
+                    AliasVerdict::NotAliases => {
+                        data.not_aliases.insert(key);
+                    }
+                    AliasVerdict::Unknown => {}
+                }
+            }
+        }
+    }
+
+    data
+}
+
+/// Two addresses are plausible aliases only when their IP-AS mappings do
+/// not contradict: identical external origin, either VP-mapped, one side
+/// unrouted, or an IXP address (which lives on a member router).
+fn compatible_mapping(ip2as: &Ip2As, a: Addr, b: Addr) -> bool {
+    match (ip2as.lookup(a), ip2as.lookup(b)) {
+        (Mapping::External(x), Mapping::External(y)) => x.iter().any(|o| y.contains(o)),
+        (Mapping::Unrouted, _) | (_, Mapping::Unrouted) => true,
+        (Mapping::Ixp, _) | (_, Mapping::Ixp) => true,
+        (Mapping::Vp, Mapping::Vp) => true,
+        // A VP-mapped and an external address can share a neighbor's
+        // border router (the neighbor numbers one side from VP space).
+        (Mapping::Vp, Mapping::External(_)) | (Mapping::External(_), Mapping::Vp) => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn key_is_order_independent() {
+        assert_eq!(
+            AliasData::key(a("10.0.0.2"), a("10.0.0.1")),
+            AliasData::key(a("10.0.0.1"), a("10.0.0.2"))
+        );
+    }
+
+    #[test]
+    fn veto_lookup() {
+        let mut d = AliasData::default();
+        d.not_aliases
+            .insert(AliasData::key(a("10.0.0.1"), a("10.0.0.2")));
+        assert!(d.vetoed(a("10.0.0.2"), a("10.0.0.1")));
+        assert!(!d.vetoed(a("10.0.0.1"), a("10.0.0.3")));
+    }
+}

@@ -1,0 +1,213 @@
+//! Beyond the first border: interdomain links between *other* networks.
+//!
+//! The paper closes by noting it "only taken the first step —
+//! identifying interdomain links directly connected to and visible from
+//! the network hosting a measurement vantage point"; the follow-on work
+//! (bdrmapIT, Marder et al.) extends router-ownership inference to the
+//! whole traceroute graph. This module implements that extension over
+//! bdrmap's own machinery: the §5.4 heuristics already assign an owner
+//! to every *observed* router, so interdomain links farther out are the
+//! adjacencies where the inferred owner changes between two external
+//! networks.
+//!
+//! Confidence is necessarily lower than at the first border (the paper's
+//! §1: sampling bias means fewer constraints far from the VP), so each
+//! extracted link carries the hop distance and the heuristics behind
+//! both endpoints, letting consumers filter.
+
+use crate::graph::ObservedGraph;
+use crate::output::Heuristic;
+use bdrmap_types::{Addr, Asn};
+use serde::{Deserialize, Serialize};
+
+/// An inferred interdomain link between two networks, neither of which
+/// need be the hosting network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FarLink {
+    /// The side closer to the VP.
+    pub near_as: Asn,
+    /// The side farther from the VP.
+    pub far_as: Asn,
+    /// Observed interface on the near router.
+    pub near_addr: Addr,
+    /// Observed interface on the far router.
+    pub far_addr: Addr,
+    /// Hop distance of the near router from the VP.
+    pub near_hop: u8,
+    /// Heuristic behind the near owner.
+    pub near_heuristic: Option<Heuristic>,
+    /// Heuristic behind the far owner.
+    pub far_heuristic: Option<Heuristic>,
+}
+
+/// Extract every ownership-change adjacency from an owned router graph.
+/// `owner_of` supplies the per-router inference (`None` = undecided);
+/// `vp_asns` filters out the hosting network's own borders (those are
+/// the first-class [`crate::BorderMap`] links).
+pub fn far_links(
+    graph: &ObservedGraph,
+    owner_of: impl Fn(usize) -> Option<Asn>,
+    heuristic_of: impl Fn(usize) -> Option<Heuristic>,
+    vp_asns: &[Asn],
+) -> Vec<FarLink> {
+    let mut out = Vec::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for path in &graph.paths {
+        for w in path.routers.windows(2) {
+            let (nr, na) = w[0];
+            let (fr, fa) = w[1];
+            let (Some(near_as), Some(far_as)) = (owner_of(nr), owner_of(fr)) else {
+                continue;
+            };
+            if near_as == far_as {
+                continue;
+            }
+            // First-border links belong to the BorderMap, not here.
+            if vp_asns.contains(&near_as) || vp_asns.contains(&far_as) {
+                continue;
+            }
+            if !seen.insert((nr, fr)) {
+                continue;
+            }
+            out.push(FarLink {
+                near_as,
+                far_as,
+                near_addr: na,
+                far_addr: fa,
+                near_hop: graph.routers[nr].min_hop,
+                near_heuristic: heuristic_of(nr),
+                far_heuristic: heuristic_of(fr),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aliases::AliasData;
+    use crate::input::Input;
+    use bdrmap_bgp::{AsGraph, CollectorView, InferredRelationships, OriginTable, RoutingOracle};
+    use bdrmap_probe::{Trace, TraceHop, TraceStop};
+    use bdrmap_types::{Prefix, Relationship};
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn hop(addr_s: &str, ttl: u8) -> TraceHop {
+        TraceHop {
+            ttl,
+            addr: Some(a(addr_s)),
+            time_exceeded: true,
+            other_icmp: false,
+            ipid: 0,
+        }
+    }
+
+    #[test]
+    fn extracts_second_degree_links() {
+        // VP(2) → transit(3) → stub(4): the 3–4 link is beyond the first
+        // border.
+        let mut g = AsGraph::new();
+        let t1 = g.add_as();
+        let vp = g.add_as();
+        let tr = g.add_as();
+        let stub = g.add_as();
+        g.add_link(t1, vp, Relationship::Customer);
+        g.add_link(vp, tr, Relationship::Customer);
+        g.add_link(tr, stub, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce("10.2.0.0/16".parse::<Prefix>().unwrap(), vp);
+        t.announce("10.3.0.0/16".parse::<Prefix>().unwrap(), tr);
+        t.announce("10.4.0.0/16".parse::<Prefix>().unwrap(), stub);
+        let oracle = RoutingOracle::new(g, t);
+        let view = CollectorView::collect(&oracle, &[t1]);
+        let rels = InferredRelationships::infer(&view);
+        let input = Input {
+            view,
+            rels,
+            ixp_prefixes: vec![],
+            rir: vec![],
+            vp_asns: vec![vp],
+        };
+
+        let traces = vec![Trace {
+            dst: a("10.4.0.1"),
+            target_as: stub,
+            hops: vec![
+                hop("10.2.0.1", 1),
+                hop("10.3.9.1", 2), // transit's router
+                hop("10.4.9.1", 3), // stub's router
+            ],
+            stop: TraceStop::GapLimit,
+        }];
+        let ip2as = input.ip2as_with_estimation(&traces);
+        let graph = ObservedGraph::build(&traces, &AliasData::default(), &ip2as);
+        let map = crate::heuristics::infer(
+            &graph,
+            &input,
+            &ip2as,
+            bdrmap_probe::TraceCollection {
+                traces,
+                budget: Default::default(),
+            },
+        );
+        let owner_of = |r: usize| map.routers[r].owner;
+        let heur_of = |r: usize| map.routers[r].heuristic;
+        let far = far_links(&graph, owner_of, heur_of, &input.vp_asns);
+        assert_eq!(far.len(), 1, "{far:?}");
+        assert_eq!(far[0].near_as, tr);
+        assert_eq!(far[0].far_as, stub);
+        assert_eq!(far[0].near_hop, 2);
+    }
+
+    #[test]
+    fn first_border_links_excluded() {
+        // Only a VP→neighbor adjacency: nothing beyond the first border.
+        let mut g = AsGraph::new();
+        let t1 = g.add_as();
+        let vp = g.add_as();
+        let n = g.add_as();
+        g.add_link(t1, vp, Relationship::Customer);
+        g.add_link(vp, n, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce("10.2.0.0/16".parse::<Prefix>().unwrap(), vp);
+        t.announce("10.3.0.0/16".parse::<Prefix>().unwrap(), n);
+        let oracle = RoutingOracle::new(g, t);
+        let view = CollectorView::collect(&oracle, &[t1]);
+        let rels = InferredRelationships::infer(&view);
+        let input = Input {
+            view,
+            rels,
+            ixp_prefixes: vec![],
+            rir: vec![],
+            vp_asns: vec![vp],
+        };
+        let traces = vec![Trace {
+            dst: a("10.3.0.1"),
+            target_as: n,
+            hops: vec![hop("10.2.0.1", 1), hop("10.3.9.1", 2)],
+            stop: TraceStop::GapLimit,
+        }];
+        let ip2as = input.ip2as_with_estimation(&traces);
+        let graph = ObservedGraph::build(&traces, &AliasData::default(), &ip2as);
+        let map = crate::heuristics::infer(
+            &graph,
+            &input,
+            &ip2as,
+            bdrmap_probe::TraceCollection {
+                traces,
+                budget: Default::default(),
+            },
+        );
+        let far = far_links(
+            &graph,
+            |r| map.routers[r].owner,
+            |r| map.routers[r].heuristic,
+            &input.vp_asns,
+        );
+        assert!(far.is_empty(), "{far:?}");
+    }
+}

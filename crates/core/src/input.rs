@@ -1,0 +1,269 @@
+//! Input data (§5.2 of the paper) and IP-to-AS mapping.
+
+use bdrmap_bgp::{CollectorView, InferredRelationships};
+use bdrmap_probe::Trace;
+use bdrmap_types::RirRecord;
+use bdrmap_types::{Addr, Asn, Prefix, PrefixSet, PrefixTrie};
+
+/// Everything bdrmap is seeded with: all public, none of it ground
+/// truth.
+pub struct Input {
+    /// The public BGP view (prefix origins + visible links).
+    pub view: CollectorView,
+    /// AS relationships inferred from that view.
+    pub rels: InferredRelationships,
+    /// IXP peering LAN prefixes (PeeringDB/PCH substitute).
+    pub ixp_prefixes: Vec<Prefix>,
+    /// RIR delegation records (prefix → opaque org ID).
+    pub rir: Vec<RirRecord>,
+    /// The hosting network's ASes: the measured AS plus its manually
+    /// curated siblings (§5.2 "VP ASes").
+    pub vp_asns: Vec<Asn>,
+}
+
+/// What an address maps to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Mapping {
+    /// Originated (or estimated to be held) by the hosting network.
+    Vp,
+    /// Originated by external ASes (usually one; several for MOAS).
+    External(Vec<Asn>),
+    /// Inside an IXP peering LAN.
+    Ixp,
+    /// Not covered by any announcement.
+    Unrouted,
+}
+
+impl Mapping {
+    /// The external origin if the mapping is a single external AS.
+    pub fn single_external(&self) -> Option<Asn> {
+        match self {
+            Mapping::External(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// All external origins (empty otherwise).
+    pub fn externals(&self) -> &[Asn] {
+        match self {
+            Mapping::External(v) => v,
+            _ => &[],
+        }
+    }
+}
+
+/// The IP-to-AS mapper: collector view + IXP list + estimated VP space.
+pub struct Ip2As {
+    view_origins: PrefixTrie<Vec<Asn>>,
+    ixps: PrefixSet,
+    vp_asns: Vec<Asn>,
+    /// Prefixes estimated to belong to the hosting network although it
+    /// does not announce them (§5.4.1, via RIR delegations).
+    estimated_vp: PrefixSet,
+}
+
+impl Ip2As {
+    /// Map one address.
+    pub fn lookup(&self, a: Addr) -> Mapping {
+        if self.ixps.covers_addr(a) {
+            return Mapping::Ixp;
+        }
+        if let Some((_, origins)) = self.view_origins.lookup(a) {
+            if origins.iter().any(|o| self.vp_asns.contains(o)) {
+                return Mapping::Vp;
+            }
+            return Mapping::External(origins.clone());
+        }
+        if self.estimated_vp.covers_addr(a) {
+            return Mapping::Vp;
+        }
+        Mapping::Unrouted
+    }
+
+    /// True if the address maps to an external network (the stop-set /
+    /// block-retry criterion of §5.3).
+    pub fn is_external(&self, a: Addr) -> bool {
+        matches!(self.lookup(a), Mapping::External(_))
+    }
+
+    /// True if the address maps to the hosting network.
+    pub fn is_vp(&self, a: Addr) -> bool {
+        matches!(self.lookup(a), Mapping::Vp)
+    }
+
+    /// The hosting network's primary ASN.
+    pub fn vp_asn(&self) -> Asn {
+        self.vp_asns[0]
+    }
+
+    /// The hosting network's sibling set.
+    pub fn vp_asns(&self) -> &[Asn] {
+        &self.vp_asns
+    }
+}
+
+impl Input {
+    /// The mapper used during probing, before VP-space estimation is
+    /// possible (no traces yet).
+    pub fn ip2as_for_probing(&self) -> Ip2As {
+        self.build_ip2as(PrefixSet::new())
+    }
+
+    /// The final mapper: walks the traces and, wherever an address
+    /// originated by the hosting network appears, estimates that any
+    /// *unrouted* address earlier in that trace is also the hosting
+    /// network's, attributing the whole RIR-delegated block (§5.4.1).
+    pub fn ip2as_with_estimation(&self, traces: &[Trace]) -> Ip2As {
+        let base = self.ip2as_for_probing();
+        let mut estimated = PrefixSet::new();
+        let rir: PrefixTrie<Prefix> = self.rir.iter().map(|r| (r.prefix, r.prefix)).collect();
+        for tr in traces {
+            // Find the last hop originated by a VP AS.
+            let Some(last_vp) = tr
+                .hops
+                .iter()
+                .rposition(|h| h.addr.is_some_and(|a| base.is_vp(a)))
+            else {
+                continue;
+            };
+            for h in &tr.hops[..last_vp] {
+                let Some(a) = h.addr else { continue };
+                if base.lookup(a) == Mapping::Unrouted {
+                    // Attribute the covering RIR delegation, or a /24
+                    // around the address if no record matches.
+                    match rir.lookup(a) {
+                        Some((_, &block)) => estimated.insert(block),
+                        None => estimated.insert(Prefix::new(a, 24)),
+                    };
+                }
+            }
+        }
+        self.build_ip2as(estimated)
+    }
+
+    fn build_ip2as(&self, estimated_vp: PrefixSet) -> Ip2As {
+        let view_origins: PrefixTrie<Vec<Asn>> =
+            self.view.prefixes().map(|(p, o)| (p, o.to_vec())).collect();
+        let ixps: PrefixSet = self.ixp_prefixes.iter().copied().collect();
+        Ip2As {
+            view_origins,
+            ixps,
+            vp_asns: self.vp_asns.clone(),
+            estimated_vp,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_bgp::{AsGraph, OriginTable, RoutingOracle};
+    use bdrmap_probe::{TraceHop, TraceStop};
+    use bdrmap_types::Relationship;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn input() -> Input {
+        let mut g = AsGraph::new();
+        let t1 = g.add_as(); // collector peer / tier-1
+        let vp = g.add_as();
+        let ext = g.add_as();
+        g.add_link(t1, vp, Relationship::Customer);
+        g.add_link(vp, ext, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce(p("10.2.0.0/16"), vp);
+        t.announce(p("10.3.0.0/16"), ext);
+        let oracle = RoutingOracle::new(g, t);
+        let view = CollectorView::collect(&oracle, &[t1]);
+        let rels = InferredRelationships::infer(&view);
+        Input {
+            view,
+            rels,
+            ixp_prefixes: vec![p("198.32.0.0/24")],
+            rir: vec![RirRecord {
+                prefix: p("172.16.8.0/22"),
+                opaque_org: 42,
+            }],
+            vp_asns: vec![vp],
+        }
+    }
+
+    #[test]
+    fn basic_mappings() {
+        let ip2as = input().ip2as_for_probing();
+        assert_eq!(ip2as.lookup(a("10.2.1.1")), Mapping::Vp);
+        assert_eq!(ip2as.lookup(a("10.3.1.1")), Mapping::External(vec![Asn(3)]));
+        assert_eq!(ip2as.lookup(a("198.32.0.9")), Mapping::Ixp);
+        assert_eq!(ip2as.lookup(a("172.16.9.1")), Mapping::Unrouted);
+        assert!(ip2as.is_external(a("10.3.1.1")));
+        assert!(!ip2as.is_external(a("10.2.1.1")));
+    }
+
+    #[test]
+    fn vp_space_estimation_from_traces() {
+        let inp = input();
+        let hop = |addr: &str, ttl| TraceHop {
+            ttl,
+            addr: Some(a(addr)),
+            time_exceeded: true,
+            other_icmp: false,
+            ipid: 0,
+        };
+        // An unrouted RIR-delegated address appears *before* a VP
+        // address: the whole delegated block becomes VP space.
+        let tr = Trace {
+            dst: a("10.3.0.1"),
+            target_as: Asn(3),
+            hops: vec![hop("172.16.9.1", 1), hop("10.2.0.1", 2), hop("10.3.0.9", 3)],
+            stop: TraceStop::GapLimit,
+        };
+        let ip2as = inp.ip2as_with_estimation(&[tr]);
+        assert_eq!(ip2as.lookup(a("172.16.9.1")), Mapping::Vp);
+        // The whole /22 is attributed, not just the /32.
+        assert_eq!(ip2as.lookup(a("172.16.11.200")), Mapping::Vp);
+        // But unrelated unrouted space is not.
+        assert_eq!(ip2as.lookup(a("172.16.12.1")), Mapping::Unrouted);
+    }
+
+    #[test]
+    fn unrouted_after_vp_is_not_estimated() {
+        let inp = input();
+        let hop = |addr: &str, ttl| TraceHop {
+            ttl,
+            addr: Some(a(addr)),
+            time_exceeded: true,
+            other_icmp: false,
+            ipid: 0,
+        };
+        let tr = Trace {
+            dst: a("10.3.0.1"),
+            target_as: Asn(3),
+            hops: vec![hop("10.2.0.1", 1), hop("172.16.9.1", 2)],
+            stop: TraceStop::GapLimit,
+        };
+        let ip2as = inp.ip2as_with_estimation(&[tr]);
+        assert_eq!(
+            ip2as.lookup(a("172.16.9.1")),
+            Mapping::Unrouted,
+            "space beyond the last VP hop belongs to neighbors, not the VP"
+        );
+    }
+
+    #[test]
+    fn moas_mapping_keeps_all_origins() {
+        let m = Mapping::External(vec![Asn(3), Asn(5)]);
+        assert_eq!(m.single_external(), None);
+        assert_eq!(m.externals(), &[Asn(3), Asn(5)]);
+        assert_eq!(
+            Mapping::External(vec![Asn(3)]).single_external(),
+            Some(Asn(3))
+        );
+        assert!(Mapping::Vp.externals().is_empty());
+    }
+}

@@ -1,0 +1,409 @@
+//! Merging border maps from multiple vantage points.
+//!
+//! §6 of the paper aggregates 19 per-VP runs into one view of the
+//! access network's interconnectivity. Router identity across VPs comes
+//! from shared interface addresses: two per-VP routers that answered
+//! with any common address are one physical router (the alias sets were
+//! built against the same ground truth, so address overlap is the
+//! honest cross-VP join key — no simulator internals needed).
+
+use crate::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+use bdrmap_types::{Addr, Asn};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The merged view over several vantage points.
+#[derive(Clone, Debug, Default)]
+pub struct MergedMap {
+    /// Reconciled routers (address-disjoint).
+    pub routers: Vec<InferredRouter>,
+    /// Deduplicated interdomain links.
+    pub links: Vec<InferredLink>,
+    /// Number of contributing vantage points.
+    pub vps: usize,
+}
+
+impl MergedMap {
+    /// Neighbor ASes with at least one link.
+    pub fn neighbors(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.links.iter().map(|l| l.far_as).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Distinct links per neighbor — the inference-side counterpart of
+    /// the paper's Figure 15 counts.
+    pub fn links_per_neighbor(&self) -> BTreeMap<Asn, usize> {
+        let mut m = BTreeMap::new();
+        for l in &self.links {
+            *m.entry(l.far_as).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Incrementally merge per-VP maps; intermediate states give the
+/// cumulative (marginal-utility) series.
+#[derive(Debug, Default)]
+pub struct Merger {
+    /// Canonical router id per address.
+    addr_router: HashMap<Addr, usize>,
+    routers: Vec<InferredRouter>,
+    /// Links keyed by (near router, far identity).
+    links: BTreeMap<(usize, FarKey), InferredLink>,
+    vps: usize,
+}
+
+/// Identity of a link's far side: a reconciled router, or a silent
+/// neighbor AS hanging off the near router.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum FarKey {
+    Router(usize),
+    Silent(Asn),
+}
+
+impl Merger {
+    /// Empty merger.
+    pub fn new() -> Merger {
+        Merger::default()
+    }
+
+    /// Canonical router for a set of addresses, creating/merging as
+    /// needed.
+    fn canonical(&mut self, r: &InferredRouter) -> usize {
+        // Find every existing canonical router sharing an address.
+        let mut hits: BTreeSet<usize> = BTreeSet::new();
+        for a in r.addrs.iter().chain(&r.other_addrs) {
+            if let Some(&c) = self.addr_router.get(a) {
+                hits.insert(c);
+            }
+        }
+        let target = match hits.iter().next() {
+            Some(&t) => t,
+            None => {
+                self.routers.push(InferredRouter {
+                    addrs: Vec::new(),
+                    other_addrs: Vec::new(),
+                    owner: None,
+                    heuristic: None,
+                    min_hop: u8::MAX,
+                });
+                self.routers.len() - 1
+            }
+        };
+        // Fold any additional hit routers into the target.
+        for &other in hits.iter().skip(1) {
+            let (addrs, others) = {
+                let o = &mut self.routers[other];
+                (
+                    std::mem::take(&mut o.addrs),
+                    std::mem::take(&mut o.other_addrs),
+                )
+            };
+            for a in addrs.iter().chain(&others) {
+                self.addr_router.insert(*a, target);
+            }
+            self.routers[target].addrs.extend(addrs);
+            self.routers[target].other_addrs.extend(others);
+            // Remap links referencing `other`.
+            let moved: Vec<((usize, FarKey), InferredLink)> = self
+                .links
+                .iter()
+                .filter(|((n, f), _)| *n == other || *f == FarKey::Router(other))
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            for (k, mut v) in moved {
+                self.links.remove(&k);
+                let n = if k.0 == other { target } else { k.0 };
+                let f = if k.1 == FarKey::Router(other) {
+                    FarKey::Router(target)
+                } else {
+                    k.1
+                };
+                v.near = n;
+                if let FarKey::Router(fr) = f {
+                    v.far = Some(fr);
+                }
+                self.links.entry((n, f)).or_insert(v);
+            }
+        }
+        // Absorb this VP-local router's data.
+        let t = &mut self.routers[target];
+        for &a in &r.addrs {
+            if !t.addrs.contains(&a) {
+                t.addrs.push(a);
+            }
+            self.addr_router.insert(a, target);
+        }
+        for &a in &r.other_addrs {
+            if !t.addrs.contains(&a) && !t.other_addrs.contains(&a) {
+                t.other_addrs.push(a);
+            }
+            self.addr_router.insert(a, target);
+        }
+        t.min_hop = t.min_hop.min(r.min_hop);
+        // Keep the earliest-assigned owner; note disagreements by
+        // preferring the one backed by a stronger (lower-numbered)
+        // heuristic.
+        match (&t.owner, r.owner) {
+            (None, Some(o)) => {
+                t.owner = Some(o);
+                t.heuristic = r.heuristic;
+            }
+            (Some(_), Some(o)) if t.heuristic.map(rank) > r.heuristic.map(rank) => {
+                t.owner = Some(o);
+                t.heuristic = r.heuristic;
+            }
+            _ => {}
+        }
+        target
+    }
+
+    /// Merge one VP's map.
+    pub fn add(&mut self, map: &BorderMap) {
+        self.vps += 1;
+        // Reconcile routers first (indices into `map.routers`). A later
+        // router can fold an earlier canonical away, so link endpoints
+        // are re-resolved through the live address index rather than
+        // the (possibly stale) per-router results.
+        let canon: Vec<usize> = map.routers.iter().map(|r| self.canonical(r)).collect();
+        let resolve = |i: usize, canon: &[usize], this: &Merger| -> usize {
+            map.routers[i]
+                .addrs
+                .first()
+                .or(map.routers[i].other_addrs.first())
+                .and_then(|a| this.addr_router.get(a).copied())
+                .unwrap_or(canon[i])
+        };
+        for l in &map.links {
+            let near = resolve(l.near, &canon, self);
+            let far = match l.far {
+                Some(f) => FarKey::Router(resolve(f, &canon, self)),
+                None => FarKey::Silent(l.far_as),
+            };
+            let merged = InferredLink {
+                near,
+                far: match far {
+                    FarKey::Router(f) => Some(f),
+                    FarKey::Silent(_) => None,
+                },
+                far_as: l.far_as,
+                near_addr: l.near_addr,
+                far_addr: l.far_addr,
+                heuristic: l.heuristic,
+            };
+            self.links.entry((near, far)).or_insert(merged);
+        }
+    }
+
+    /// Snapshot the merged state. Folded-away (empty) routers are
+    /// dropped and link indices remapped accordingly.
+    pub fn snapshot(&self) -> MergedMap {
+        let mut remap: Vec<Option<usize>> = vec![None; self.routers.len()];
+        let mut routers = Vec::new();
+        for (i, r) in self.routers.iter().enumerate() {
+            if !r.addrs.is_empty() || !r.other_addrs.is_empty() {
+                remap[i] = Some(routers.len());
+                routers.push(r.clone());
+            }
+        }
+        let links = self
+            .links
+            .values()
+            .filter_map(|l| {
+                let near = remap[l.near]?;
+                let far = match l.far {
+                    Some(f) => Some(remap[f]?),
+                    None => None,
+                };
+                Some(InferredLink {
+                    near,
+                    far,
+                    ..l.clone()
+                })
+            })
+            .collect();
+        MergedMap {
+            routers,
+            links,
+            vps: self.vps,
+        }
+    }
+}
+
+/// Heuristic strength for owner disagreements: the paper's evaluation
+/// order (§5.4) doubles as a confidence order.
+fn rank(h: Heuristic) -> u8 {
+    match h {
+        Heuristic::VpInternal => 0,
+        Heuristic::MultihomedToVp => 1,
+        Heuristic::Firewall => 2,
+        Heuristic::FirewallNextAs => 3,
+        Heuristic::UnroutedOneAs => 4,
+        Heuristic::UnroutedProvider => 5,
+        Heuristic::UnroutedNextAs => 6,
+        Heuristic::OneNet => 7,
+        Heuristic::OneNetConsecutive => 8,
+        Heuristic::ThirdParty => 9,
+        Heuristic::RelKnownNeighbor => 10,
+        Heuristic::RelCustomerOfCustomer => 11,
+        Heuristic::RelSubsequentSingle => 12,
+        Heuristic::CountMajority => 13,
+        Heuristic::IpAsFallback => 14,
+        Heuristic::CollapsedPtp => 15,
+        Heuristic::SilentNeighbor => 16,
+        Heuristic::OtherIcmp => 17,
+    }
+}
+
+/// Merge a batch of per-VP maps.
+pub fn merge_maps(maps: &[BorderMap]) -> MergedMap {
+    let mut m = Merger::new();
+    for map in maps {
+        m.add(map);
+    }
+    m.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn router(addrs: &[&str], owner: u32, h: Heuristic) -> InferredRouter {
+        InferredRouter {
+            addrs: addrs.iter().map(|s| a(s)).collect(),
+            other_addrs: vec![],
+            owner: Some(Asn(owner)),
+            heuristic: Some(h),
+            min_hop: 1,
+        }
+    }
+
+    fn link(near: usize, far: Option<usize>, far_as: u32, h: Heuristic) -> InferredLink {
+        InferredLink {
+            near,
+            far,
+            far_as: Asn(far_as),
+            near_addr: None,
+            far_addr: None,
+            heuristic: h,
+        }
+    }
+
+    #[test]
+    fn shared_address_reconciles_routers() {
+        let vp1 = BorderMap {
+            routers: vec![
+                router(&["10.0.0.1"], 1, Heuristic::VpInternal),
+                router(&["10.0.0.2", "10.0.0.6"], 7, Heuristic::OneNet),
+            ],
+            links: vec![link(0, Some(1), 7, Heuristic::OneNet)],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let vp2 = BorderMap {
+            routers: vec![
+                router(&["10.0.0.9"], 1, Heuristic::VpInternal),
+                // Same far router, seen through a different interface
+                // plus one shared address.
+                router(&["10.0.0.6", "10.0.0.10"], 7, Heuristic::OneNet),
+            ],
+            links: vec![link(0, Some(1), 7, Heuristic::OneNet)],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let merged = merge_maps(&[vp1, vp2]);
+        // 3 routers: two distinct near routers, one far router.
+        assert_eq!(merged.routers.len(), 3, "{:?}", merged.routers);
+        // 2 links (different near routers to the same far router).
+        assert_eq!(merged.links.len(), 2);
+        assert_eq!(merged.neighbors(), vec![Asn(7)]);
+        assert_eq!(merged.links_per_neighbor()[&Asn(7)], 2);
+    }
+
+    #[test]
+    fn identical_maps_merge_idempotently() {
+        let map = BorderMap {
+            routers: vec![
+                router(&["10.0.0.1"], 1, Heuristic::VpInternal),
+                router(&["10.0.0.2"], 7, Heuristic::Firewall),
+            ],
+            links: vec![link(0, Some(1), 7, Heuristic::Firewall)],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let merged = merge_maps(&[map.clone(), map.clone(), map]);
+        assert_eq!(merged.routers.len(), 2);
+        assert_eq!(merged.links.len(), 1);
+        assert_eq!(merged.vps, 3);
+    }
+
+    #[test]
+    fn silent_links_dedupe_per_neighbor_and_near_router() {
+        let mk = |near_addr: &str| BorderMap {
+            routers: vec![router(&[near_addr], 1, Heuristic::VpInternal)],
+            links: vec![InferredLink {
+                near: 0,
+                far: None,
+                far_as: Asn(9),
+                near_addr: Some(a(near_addr)),
+                far_addr: None,
+                heuristic: Heuristic::SilentNeighbor,
+            }],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        // Same near router in both VPs → one silent link.
+        let merged = merge_maps(&[mk("10.0.0.1"), mk("10.0.0.1")]);
+        assert_eq!(merged.links.len(), 1);
+        // Different near routers → the neighbor shows two attachment
+        // points.
+        let merged2 = merge_maps(&[mk("10.0.0.1"), mk("10.0.0.5")]);
+        assert_eq!(merged2.links.len(), 2);
+    }
+
+    #[test]
+    fn owner_disagreement_resolved_by_heuristic_rank() {
+        let weak = BorderMap {
+            routers: vec![router(&["10.0.0.2"], 9, Heuristic::IpAsFallback)],
+            links: vec![],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let strong = BorderMap {
+            routers: vec![router(&["10.0.0.2"], 7, Heuristic::Firewall)],
+            links: vec![],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let merged = merge_maps(&[weak, strong]);
+        assert_eq!(merged.routers.len(), 1);
+        assert_eq!(
+            merged.routers[0].owner,
+            Some(Asn(7)),
+            "firewall beats IP-AS fallback"
+        );
+    }
+
+    #[test]
+    fn transitive_merge_through_chains_of_shared_addresses() {
+        // VP1 sees {a,b}, VP2 sees {b,c}, VP3 sees {c,d}: one router.
+        let mk = |addrs: &[&str]| BorderMap {
+            routers: vec![router(addrs, 7, Heuristic::OneNet)],
+            links: vec![],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        let merged = merge_maps(&[
+            mk(&["10.0.0.1", "10.0.0.2"]),
+            mk(&["10.0.0.2", "10.0.0.3"]),
+            mk(&["10.0.0.3", "10.0.0.4"]),
+        ]);
+        assert_eq!(merged.routers.len(), 1);
+        assert_eq!(merged.routers[0].addrs.len(), 4);
+    }
+}

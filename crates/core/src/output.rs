@@ -1,0 +1,219 @@
+//! bdrmap's output: inferred routers, owners, and interdomain links.
+
+use bdrmap_types::{Addr, Asn};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// The heuristic that produced an ownership or link inference,
+/// numbered as in §5.4 of the paper. Table 1 is a group-by over these.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Heuristic {
+    /// §5.4.1 step 1.1: neighbor multihomed to the VP network through
+    /// adjacent routers.
+    MultihomedToVp,
+    /// §5.4.1 step 1.2: subsequent VP-routed interfaces imply a VP
+    /// router.
+    VpInternal,
+    /// §5.4.2: the last router toward a neighbor, numbered from VP
+    /// space, behind which a firewall discards probes.
+    Firewall,
+    /// §5.4.3 step 3.1: unrouted interfaces, one AS observed after.
+    UnroutedOneAs,
+    /// §5.4.3 step 3.2: unrouted interfaces, several ASes after — the
+    /// most frequent provider wins.
+    UnroutedProvider,
+    /// §5.4.3: unrouted interfaces, nothing routed after — fall back to
+    /// `nextas`.
+    UnroutedNextAs,
+    /// §5.4.4 step 4.1: the router's own addresses and an adjacent
+    /// router map to one AS (onenet).
+    OneNet,
+    /// §5.4.4 step 4.2: VP-numbered border with two consecutive
+    /// same-AS routers after it.
+    OneNetConsecutive,
+    /// §5.4.5 steps 5.1/5.2: third-party address unmasked via AS
+    /// relationships.
+    ThirdParty,
+    /// §5.4.5 step 5.3: adjacent addresses belong to a known peer or
+    /// customer.
+    RelKnownNeighbor,
+    /// §5.4.5 step 5.4: adjacent AS is a customer of a customer
+    /// (sibling-style indirection).
+    RelCustomerOfCustomer,
+    /// §5.4.5 step 5.5: a single AS follows the router (a neighbor not
+    /// present in BGP — the "hidden peer" row of Table 1).
+    RelSubsequentSingle,
+    /// §5.4.6 step 6.1: several adjacent ASes — the one with most
+    /// adjacent addresses wins.
+    CountMajority,
+    /// §5.4.6 step 6.2: plain IP-AS mapping of the router's own
+    /// addresses.
+    IpAsFallback,
+    /// §5.4.7: analytically collapsed single-interface near-side
+    /// routers.
+    CollapsedPtp,
+    /// §5.4.8 step 8.1: silent neighbor placed by the common last VP
+    /// router of traces toward it.
+    SilentNeighbor,
+    /// §5.4.8 step 8.2: neighbor seen only through echo-reply /
+    /// destination-unreachable messages.
+    OtherIcmp,
+    /// §5.4.2 with the `nextas` candidate (several destination ASes).
+    FirewallNextAs,
+}
+
+/// An inferred router: a set of aliased interfaces with an owner.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InferredRouter {
+    /// Interfaces observed in ICMP time-exceeded messages.
+    pub addrs: Vec<Addr>,
+    /// Interfaces observed only in other ICMP (not used for ownership).
+    pub other_addrs: Vec<Addr>,
+    /// Inferred operator. `None` when nothing could be concluded.
+    pub owner: Option<Asn>,
+    /// Which heuristic decided the owner.
+    pub heuristic: Option<Heuristic>,
+    /// Minimum hop distance from the VP.
+    pub min_hop: u8,
+}
+
+/// An inferred interdomain link of the hosting network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InferredLink {
+    /// Index of the near-side (VP network) router in
+    /// [`BorderMap::routers`].
+    pub near: usize,
+    /// Index of the far-side router, when one was observed. Silent
+    /// neighbors (§5.4.8) have no far router.
+    pub far: Option<usize>,
+    /// The neighbor network on the far side.
+    pub far_as: Asn,
+    /// The near-side interface the far router was observed behind.
+    pub near_addr: Option<Addr>,
+    /// A far-side interface, when observed.
+    pub far_addr: Option<Addr>,
+    /// The heuristic that attributed the far side.
+    pub heuristic: Heuristic,
+}
+
+/// The complete border map inferred from one vantage point.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct BorderMap {
+    /// All observed routers (VP-internal and neighbor).
+    pub routers: Vec<InferredRouter>,
+    /// The hosting network's interdomain links.
+    pub links: Vec<InferredLink>,
+    /// Probe traffic spent collecting the data.
+    pub packets: u64,
+    /// Simulated milliseconds the collection took.
+    pub elapsed_ms: u64,
+}
+
+impl BorderMap {
+    /// Neighbor ASes with at least one inferred link.
+    pub fn neighbors(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.links.iter().map(|l| l.far_as).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Links grouped by neighbor AS.
+    pub fn links_by_neighbor(&self) -> BTreeMap<Asn, Vec<&InferredLink>> {
+        let mut m: BTreeMap<Asn, Vec<&InferredLink>> = BTreeMap::new();
+        for l in &self.links {
+            m.entry(l.far_as).or_default().push(l);
+        }
+        m
+    }
+
+    /// Count of links per heuristic (the Table 1 row source).
+    pub fn heuristic_histogram(&self) -> BTreeMap<Heuristic, usize> {
+        let mut m = BTreeMap::new();
+        for l in &self.links {
+            *m.entry(l.heuristic).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// The router owning a given observed address, if any.
+    pub fn router_of(&self, a: Addr) -> Option<usize> {
+        self.routers
+            .iter()
+            .position(|r| r.addrs.contains(&a) || r.other_addrs.contains(&a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn map() -> BorderMap {
+        BorderMap {
+            routers: vec![
+                InferredRouter {
+                    addrs: vec![addr("10.0.0.1")],
+                    other_addrs: vec![],
+                    owner: Some(Asn(1)),
+                    heuristic: Some(Heuristic::VpInternal),
+                    min_hop: 1,
+                },
+                InferredRouter {
+                    addrs: vec![addr("10.0.0.2"), addr("10.0.0.6")],
+                    other_addrs: vec![addr("192.0.2.1")],
+                    owner: Some(Asn(7)),
+                    heuristic: Some(Heuristic::OneNet),
+                    min_hop: 2,
+                },
+            ],
+            links: vec![
+                InferredLink {
+                    near: 0,
+                    far: Some(1),
+                    far_as: Asn(7),
+                    near_addr: Some(addr("10.0.0.1")),
+                    far_addr: Some(addr("10.0.0.2")),
+                    heuristic: Heuristic::OneNet,
+                },
+                InferredLink {
+                    near: 0,
+                    far: None,
+                    far_as: Asn(9),
+                    near_addr: Some(addr("10.0.0.1")),
+                    far_addr: None,
+                    heuristic: Heuristic::SilentNeighbor,
+                },
+            ],
+            packets: 10,
+            elapsed_ms: 100,
+        }
+    }
+
+    #[test]
+    fn neighbors_and_grouping() {
+        let m = map();
+        assert_eq!(m.neighbors(), vec![Asn(7), Asn(9)]);
+        let by = m.links_by_neighbor();
+        assert_eq!(by[&Asn(7)].len(), 1);
+        assert_eq!(by[&Asn(9)].len(), 1);
+    }
+
+    #[test]
+    fn histogram_counts_links() {
+        let h = map().heuristic_histogram();
+        assert_eq!(h[&Heuristic::OneNet], 1);
+        assert_eq!(h[&Heuristic::SilentNeighbor], 1);
+    }
+
+    #[test]
+    fn router_lookup_covers_other_addrs() {
+        let m = map();
+        assert_eq!(m.router_of(addr("10.0.0.6")), Some(1));
+        assert_eq!(m.router_of(addr("192.0.2.1")), Some(1));
+        assert_eq!(m.router_of(addr("203.0.113.1")), None);
+    }
+}

@@ -1,0 +1,253 @@
+//! End-to-end: generate a small Internet, probe it, infer borders, and
+//! check the inferences against ground truth.
+
+use bdrmap_bgp::{CollectorView, InferredRelationships};
+use bdrmap_core::{run_bdrmap, BdrmapConfig, Input};
+use bdrmap_dataplane::DataPlane;
+use bdrmap_probe::{EngineConfig, ProbeEngine};
+use bdrmap_topo::{generate, AsKind, Internet, TopoConfig};
+use bdrmap_types::Asn;
+use std::sync::Arc;
+
+/// Build the public input data for a generated Internet: collector view
+/// from the Tier-1s plus a few stubs, inferred relationships, IXP
+/// prefixes, RIR records.
+fn build_input(net: &Internet, dp: &DataPlane) -> Input {
+    let mut peers: Vec<Asn> = net
+        .graph
+        .ases()
+        .filter(|&a| net.as_info(a).kind == AsKind::Tier1)
+        .collect();
+    // A few stub collector peers give the view peer-link visibility.
+    peers.extend(
+        net.graph
+            .ases()
+            .filter(|&a| net.as_info(a).kind == AsKind::Stub)
+            .take(6),
+    );
+    let view = CollectorView::collect(dp.oracle(), &peers);
+    let rels = InferredRelationships::infer(&view);
+    Input {
+        view,
+        rels,
+        ixp_prefixes: net.ixps.iter().map(|x| x.lan).collect(),
+        rir: net.rir.clone(),
+        vp_asns: net.vp_siblings.clone(),
+    }
+}
+
+fn run(seed: u64) -> (Arc<DataPlane>, bdrmap_core::BorderMap) {
+    let net = generate(&TopoConfig::tiny(seed));
+    let dp = Arc::new(DataPlane::new(net));
+    let input = build_input(dp.internet(), &dp);
+    let vp = dp.internet().vps[0].addr;
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let map = run_bdrmap(&engine, &input, &BdrmapConfig::default());
+    (dp, map)
+}
+
+#[test]
+fn finds_most_bgp_neighbors() {
+    let (dp, map) = run(101);
+    let net = dp.internet();
+    let true_neighbors: Vec<Asn> = net
+        .graph
+        .neighbors(net.vp_as)
+        .iter()
+        .map(|&(a, _)| a)
+        .filter(|a| !net.vp_siblings.contains(a))
+        .collect();
+    let inferred = map.neighbors();
+    let found = true_neighbors
+        .iter()
+        .filter(|a| inferred.contains(a))
+        .count();
+    let frac = found as f64 / true_neighbors.len() as f64;
+    assert!(
+        frac >= 0.75,
+        "found only {found}/{} true neighbors: inferred {inferred:?}",
+        true_neighbors.len()
+    );
+}
+
+#[test]
+fn inferred_links_mostly_correct() {
+    let (dp, map) = run(102);
+    let net = dp.internet();
+    // A link inference is correct if far_as's organisation actually has
+    // an interdomain link (or shared IXP LAN) with the VP organisation.
+    let mut correct = 0;
+    let mut wrong = Vec::new();
+    for l in &map.links {
+        let direct = net
+            .vp_siblings
+            .iter()
+            .any(|&v| !net.interdomain_links_between(v, l.far_as).is_empty());
+        let via_ixp = net.ixps.iter().any(|x| {
+            x.members.contains(&l.far_as) && net.vp_siblings.iter().any(|v| x.members.contains(v))
+        });
+        // Sibling-of-correct counts as correct (paper's methodology).
+        let sibling_ok = net.graph.ases().any(|b| {
+            net.graph.same_org(b, l.far_as)
+                && net
+                    .vp_siblings
+                    .iter()
+                    .any(|&v| !net.interdomain_links_between(v, b).is_empty())
+        });
+        if direct || via_ixp || sibling_ok {
+            correct += 1;
+        } else {
+            wrong.push(l.far_as);
+        }
+    }
+    let total = map.links.len();
+    assert!(total > 5, "too few links inferred: {total}");
+    let frac = correct as f64 / total as f64;
+    assert!(
+        frac >= 0.85,
+        "only {correct}/{total} links correct; wrong neighbors: {wrong:?}"
+    );
+}
+
+#[test]
+fn router_owner_accuracy_high() {
+    let (dp, map) = run(103);
+    let net = dp.internet();
+    let mut checked = 0;
+    let mut correct = 0;
+    for r in &map.routers {
+        let Some(owner) = r.owner else { continue };
+        // Ground truth by majority over the router's addresses that are
+        // real interfaces.
+        let mut truth = std::collections::BTreeMap::new();
+        for &a in &r.addrs {
+            if let Some(o) = net.owner_of_addr(a) {
+                *truth.entry(o).or_insert(0usize) += 1;
+            }
+        }
+        let Some((&true_owner, _)) = truth.iter().max_by_key(|(_, &c)| c) else {
+            continue;
+        };
+        checked += 1;
+        if owner == true_owner || net.graph.same_org(owner, true_owner) {
+            correct += 1;
+        }
+    }
+    assert!(checked > 20, "too few owned routers: {checked}");
+    let frac = correct as f64 / checked as f64;
+    assert!(
+        frac >= 0.80,
+        "owner accuracy {correct}/{checked} = {frac:.2}"
+    );
+}
+
+#[test]
+fn vp_internal_routers_identified() {
+    let (dp, map) = run(104);
+    let net = dp.internet();
+    // Routers inferred as VP-internal must actually be VP-org routers.
+    let mut vp_inferred = 0;
+    let mut vp_correct = 0;
+    for r in &map.routers {
+        if r.owner == Some(net.vp_as) {
+            vp_inferred += 1;
+            let truth = r.addrs.iter().filter_map(|&a| net.owner_of_addr(a)).next();
+            if truth.is_some_and(|o| net.vp_siblings.contains(&o)) {
+                vp_correct += 1;
+            }
+        }
+    }
+    assert!(vp_inferred >= 3, "no VP-internal routers inferred");
+    // At this tiny scale a single third-party misattribution moves the
+    // ratio a lot; the paper-scale accuracy targets live in bdrmap-eval.
+    assert!(
+        vp_correct * 10 >= vp_inferred * 7,
+        "VP-internal precision {vp_correct}/{vp_inferred}"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    // Full bit-for-bit determinism holds at parallelism 1 (with worker
+    // pools, rate-limited responders make alias verdicts depend on
+    // probe interleaving — as they would in the real network).
+    let run1 = |seed| {
+        let net = generate(&TopoConfig::tiny(seed));
+        let dp = Arc::new(DataPlane::new(net));
+        let input = build_input(dp.internet(), &dp);
+        let vp = dp.internet().vps[0].addr;
+        let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        run_bdrmap(
+            &engine,
+            &input,
+            &BdrmapConfig {
+                parallelism: 1,
+                ..Default::default()
+            },
+        )
+    };
+    let m1 = run1(105);
+    let m2 = run1(105);
+    assert_eq!(m1.links.len(), m2.links.len());
+    assert_eq!(m1.neighbors(), m2.neighbors());
+    assert_eq!(m1.routers.len(), m2.routers.len());
+    for (a, b) in m1.links.iter().zip(&m2.links) {
+        assert_eq!(a.far_as, b.far_as);
+        assert_eq!(a.near_addr, b.near_addr);
+        assert_eq!(a.heuristic, b.heuristic);
+    }
+}
+
+#[test]
+fn ablation_no_alias_resolution_still_runs() {
+    let net = generate(&TopoConfig::tiny(106));
+    let dp = Arc::new(DataPlane::new(net));
+    let input = build_input(dp.internet(), &dp);
+    let vp = dp.internet().vps[0].addr;
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let cfg = BdrmapConfig {
+        alias_resolution: false,
+        ..Default::default()
+    };
+    let map = run_bdrmap(&engine, &input, &cfg);
+    assert!(!map.links.is_empty());
+    // Fewer aliases resolved → at least as many routers inferred.
+    let cfg_full = BdrmapConfig::default();
+    let engine2 = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let full = run_bdrmap(&engine2, &input, &cfg_full);
+    assert!(map.routers.len() >= full.routers.len());
+}
+
+#[test]
+fn remote_controller_produces_same_shape() {
+    let net = generate(&TopoConfig::tiny(107));
+    let dp = Arc::new(DataPlane::new(net));
+    let input = build_input(dp.internet(), &dp);
+    let vp = dp.internet().vps[0].addr;
+    // Local.
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let local = run_bdrmap(
+        &engine,
+        &input,
+        &BdrmapConfig {
+            parallelism: 1,
+            ..Default::default()
+        },
+    );
+    // Remote (device offload).
+    let (ctl, device, handle) =
+        bdrmap_probe::remote::Controller::spawn_local(Arc::clone(&dp), vp, 100, 64);
+    let remote = run_bdrmap(
+        &ctl,
+        &input,
+        &BdrmapConfig {
+            parallelism: 1,
+            ..Default::default()
+        },
+    );
+    ctl.shutdown();
+    handle.join().unwrap();
+    // Same neighbors discovered through either deployment.
+    assert_eq!(local.neighbors(), remote.neighbors());
+    assert!(device.state_bytes() < 8192);
+}

@@ -1,0 +1,723 @@
+//! Surgical tests for each §5.4 heuristic: hand-built traces over a
+//! hand-built BGP view, checking that each rule fires on exactly the
+//! topological pattern the paper describes.
+
+use bdrmap_bgp::{AsGraph, CollectorView, InferredRelationships, OriginTable, RoutingOracle};
+use bdrmap_core::aliases::AliasData;
+use bdrmap_core::graph::ObservedGraph;
+use bdrmap_core::heuristics::infer;
+use bdrmap_core::{Heuristic, Input};
+use bdrmap_probe::{Trace, TraceCollection, TraceHop, TraceStop};
+use bdrmap_types::{Addr, Asn, Prefix, Relationship};
+
+fn a(s: &str) -> Addr {
+    s.parse().unwrap()
+}
+
+fn p(s: &str) -> Prefix {
+    s.parse().unwrap()
+}
+
+/// World: AS1 = tier-1 collector; AS2 = VP network; AS3, AS4 = customers
+/// of AS2; AS5 = peer of AS2 (visible via stub collector 6 under AS2);
+/// AS6 = stub customer of AS2 (collector); AS7 = provider of AS4
+/// (besides AS2); AS8 = customer of AS5, AS9 = unknown (announces space
+/// but no link to VP in BGP).
+struct World {
+    input: Input,
+}
+
+fn world() -> World {
+    let mut g = AsGraph::new();
+    let t1 = g.add_as(); // 1
+    let vp = g.add_as(); // 2
+    let c3 = g.add_as(); // 3
+    let c4 = g.add_as(); // 4
+    let p5 = g.add_as(); // 5
+    let s6 = g.add_as(); // 6
+    let t7 = g.add_as(); // 7 (transit)
+    let c8 = g.add_as(); // 8
+    let x9 = g.add_as(); // 9
+    g.add_link(t1, vp, Relationship::Customer);
+    g.add_link(t1, t7, Relationship::Customer);
+    g.add_link(vp, c3, Relationship::Customer);
+    g.add_link(vp, c4, Relationship::Customer);
+    g.add_link(t7, c4, Relationship::Customer); // c4 multihomed
+    g.add_link(vp, p5, Relationship::Peer);
+    g.add_link(vp, s6, Relationship::Customer);
+    g.add_link(p5, c8, Relationship::Customer);
+    g.add_link(t1, x9, Relationship::Customer);
+    let mut t = OriginTable::new();
+    t.announce(p("10.1.0.0/16"), t1);
+    t.announce(p("10.2.0.0/16"), vp); // VP eyeball + infra
+    t.announce(p("10.3.0.0/16"), c3);
+    t.announce(p("10.4.0.0/16"), c4);
+    t.announce(p("10.5.0.0/16"), p5);
+    t.announce(p("10.6.0.0/16"), s6);
+    t.announce(p("10.7.0.0/16"), t7);
+    t.announce(p("10.8.0.0/16"), c8);
+    t.announce(p("10.9.0.0/16"), x9);
+    let oracle = RoutingOracle::new(g, t);
+    let view = CollectorView::collect(&oracle, &[Asn(1), Asn(6)]);
+    let rels = InferredRelationships::infer(&view);
+    World {
+        input: Input {
+            view,
+            rels,
+            ixp_prefixes: vec![p("198.32.0.0/24")],
+            rir: vec![],
+            vp_asns: vec![Asn(2)],
+        },
+    }
+}
+
+fn hop(addr_s: &str, ttl: u8) -> TraceHop {
+    TraceHop {
+        ttl,
+        addr: Some(a(addr_s)),
+        time_exceeded: true,
+        other_icmp: false,
+        ipid: 0,
+    }
+}
+
+fn gap(ttl: u8) -> TraceHop {
+    TraceHop {
+        ttl,
+        addr: None,
+        time_exceeded: false,
+        other_icmp: false,
+        ipid: 0,
+    }
+}
+
+fn trace(dst: &str, target: u32, hops: Vec<TraceHop>) -> Trace {
+    Trace {
+        dst: a(dst),
+        target_as: Asn(target),
+        hops,
+        stop: TraceStop::GapLimit,
+    }
+}
+
+fn run(w: &World, traces: Vec<Trace>) -> bdrmap_core::BorderMap {
+    let ip2as = w.input.ip2as_with_estimation(&traces);
+    let graph = ObservedGraph::build(&traces, &AliasData::default(), &ip2as);
+    infer(
+        &graph,
+        &w.input,
+        &ip2as,
+        TraceCollection {
+            traces,
+            budget: Default::default(),
+        },
+    )
+}
+
+/// §5.4.1 step 1.2 + §5.4.2: VP internals identified, firewall customer
+/// placed behind the last VP-space hop.
+#[test]
+fn firewall_heuristic_fires() {
+    let w = world();
+    // Trace toward customer AS3: vp hops (10.2.x), then the customer's
+    // border responds with VP space (10.2.9.x) and nothing after.
+    let traces = vec![trace(
+        "10.3.0.1",
+        3,
+        vec![
+            hop("10.2.0.1", 1),
+            hop("10.2.0.5", 2),
+            hop("10.2.9.2", 3),
+            gap(4),
+            gap(5),
+        ],
+    )];
+    let map = run(&w, traces);
+    assert_eq!(map.links.len(), 1, "{:?}", map.links);
+    let l = &map.links[0];
+    assert_eq!(l.far_as, Asn(3));
+    assert_eq!(l.heuristic, Heuristic::Firewall);
+    // The near side is the VP router that preceded it.
+    assert_eq!(l.near_addr, Some(a("10.2.0.5")));
+    // VP internals got VP ownership.
+    let r0 = map.router_of(a("10.2.0.1")).unwrap();
+    assert_eq!(map.routers[r0].owner, Some(Asn(2)));
+    assert_eq!(map.routers[r0].heuristic, Some(Heuristic::VpInternal));
+}
+
+/// §5.4.4 step 4.1 (onenet): consecutive same-AS interfaces.
+#[test]
+fn onenet_heuristic_fires() {
+    let w = world();
+    // Customer AS3 responds with its own space at two consecutive hops.
+    // A second trace proves the first hop belongs to the VP network
+    // (as every real first hop is proven by traces to other targets).
+    let traces = vec![
+        trace(
+            "10.3.0.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.3.7.1", 2), hop("10.3.7.5", 3)],
+        ),
+        trace(
+            "10.6.0.1",
+            6,
+            vec![hop("10.2.0.1", 1), hop("10.2.0.99", 2), gap(3), gap(4)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let r = map.router_of(a("10.3.7.1")).unwrap();
+    assert_eq!(map.routers[r].owner, Some(Asn(3)));
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::OneNet));
+    let links3: Vec<_> = map.links.iter().filter(|l| l.far_as == Asn(3)).collect();
+    assert_eq!(links3.len(), 1);
+}
+
+/// §5.4.4 step 4.2: VP-numbered border followed by two consecutive
+/// same-AS routers.
+#[test]
+fn onenet_consecutive_heuristic_fires() {
+    let w = world();
+    let traces = vec![trace(
+        "10.3.0.1",
+        3,
+        vec![
+            hop("10.2.0.1", 1),
+            hop("10.2.9.2", 2), // the far border, numbered from VP space
+            hop("10.3.7.1", 3),
+            hop("10.3.7.5", 4),
+        ],
+    )];
+    let map = run(&w, traces);
+    let far = map.router_of(a("10.2.9.2")).unwrap();
+    assert_eq!(map.routers[far].owner, Some(Asn(3)));
+    assert_eq!(
+        map.routers[far].heuristic,
+        Some(Heuristic::OneNetConsecutive)
+    );
+}
+
+/// §5.4.3: unrouted interface addresses, single AS after.
+#[test]
+fn unrouted_one_as_fires() {
+    let w = world();
+    // 172.16/12 is not announced by anyone.
+    let traces = vec![trace(
+        "10.3.0.1",
+        3,
+        vec![
+            hop("10.2.0.1", 1),
+            hop("172.16.0.1", 2), // unrouted (and after the last VP hop)
+            hop("10.3.7.1", 3),
+        ],
+    )];
+    let map = run(&w, traces);
+    let r = map.router_of(a("172.16.0.1")).unwrap();
+    assert_eq!(map.routers[r].owner, Some(Asn(3)));
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::UnroutedOneAs));
+}
+
+/// §5.4.1 VP-space estimation: unrouted space *before* a VP hop is the
+/// VP's own unannounced infrastructure, not a neighbor.
+#[test]
+fn unrouted_before_vp_is_vp() {
+    let mut w = world();
+    w.input.rir = vec![bdrmap_types::RirRecord {
+        prefix: p("172.16.0.0/22"),
+        opaque_org: 7,
+    }];
+    let traces = vec![trace(
+        "10.3.0.1",
+        3,
+        vec![
+            hop("172.16.0.1", 1), // unrouted but followed by VP space
+            hop("10.2.0.5", 2),
+            hop("10.2.9.2", 3),
+        ],
+    )];
+    let map = run(&w, traces);
+    let r = map.router_of(a("172.16.0.1")).unwrap();
+    assert_eq!(
+        map.routers[r].owner,
+        Some(Asn(2)),
+        "estimated VP space must make this a VP router: {:?}",
+        map.routers[r]
+    );
+}
+
+/// §5.4.5 step 5.3: adjacent addresses of a known peer.
+#[test]
+fn known_neighbor_relationship_fires() {
+    let w = world();
+    // Path toward AS8 (customer of peer AS5): far border numbered from
+    // VP space, then one AS5 hop (no two-consecutive, no onenet).
+    let traces = vec![
+        trace(
+            "10.8.0.1",
+            8,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.9.6", 2),
+                hop("10.5.1.1", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+        // A second destination through the same border keeps dests > 1
+        // so the firewall heuristic does not preempt.
+        trace(
+            "10.5.0.1",
+            5,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.9.6", 2),
+                hop("10.5.2.1", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+    ];
+    let map = run(&w, traces);
+    let far = map.router_of(a("10.2.9.6")).unwrap();
+    assert_eq!(map.routers[far].owner, Some(Asn(5)));
+    assert_eq!(
+        map.routers[far].heuristic,
+        Some(Heuristic::RelKnownNeighbor)
+    );
+}
+
+/// §5.4.5 step 5.5 / Table 1 "hidden peer": a neighbor with no BGP link
+/// to the VP at all.
+#[test]
+fn hidden_peer_fires() {
+    let w = world();
+    // AS9 has no BGP link to AS2 (it hangs off the tier-1), but a trace
+    // shows a direct interconnection.
+    let traces = vec![
+        trace(
+            "10.9.0.1",
+            9,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.9.9", 2),
+                hop("10.9.1.1", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+        trace(
+            "10.9.128.1",
+            9,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.9.9", 2),
+                hop("10.9.2.1", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+        // Keep dests ambiguous enough to pass through the rel branch.
+        trace(
+            "10.8.0.1",
+            8,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.9.9", 2),
+                hop("10.9.3.1", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+    ];
+    let map = run(&w, traces);
+    let far = map.router_of(a("10.2.9.9")).unwrap();
+    assert_eq!(map.routers[far].owner, Some(Asn(9)));
+    assert_eq!(
+        map.routers[far].heuristic,
+        Some(Heuristic::RelSubsequentSingle),
+        "no relationship with AS9 exists, so this is the hidden-peer rule"
+    );
+}
+
+/// §5.4.6 step 6.1: several adjacent external ASes — majority count.
+#[test]
+fn count_majority_fires() {
+    let w = world();
+    let traces = vec![
+        trace(
+            "10.3.0.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.2.9.13", 2), hop("10.3.1.1", 3)],
+        ),
+        trace(
+            "10.3.128.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.2.9.13", 2), hop("10.3.2.1", 3)],
+        ),
+        trace(
+            "10.4.0.1",
+            4,
+            vec![hop("10.2.0.1", 1), hop("10.2.9.13", 2), hop("10.4.1.1", 3)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let far = map.router_of(a("10.2.9.13")).unwrap();
+    // AS3 has two adjacent addresses, AS4 one.
+    assert_eq!(map.routers[far].owner, Some(Asn(3)));
+    assert_eq!(map.routers[far].heuristic, Some(Heuristic::CountMajority));
+}
+
+/// §5.4.8 step 8.1: silent neighbor placed at the common last VP router.
+#[test]
+fn silent_neighbor_fires() {
+    let w = world();
+    // All traces toward customer AS4 die inside the VP network at the
+    // same last router; other traces prove that router is VP-internal.
+    let traces = vec![
+        trace(
+            "10.4.0.1",
+            4,
+            vec![hop("10.2.0.1", 1), hop("10.2.0.5", 2), gap(3), gap(4)],
+        ),
+        trace(
+            "10.4.128.1",
+            4,
+            vec![hop("10.2.0.1", 1), hop("10.2.0.5", 2), gap(3), gap(4)],
+        ),
+        // VP-internal proof for 10.2.0.5: VP space follows it elsewhere.
+        trace(
+            "10.3.0.1",
+            3,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.0.5", 2),
+                hop("10.2.9.2", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+    ];
+    let map = run(&w, traces);
+    let silent: Vec<_> = map.links.iter().filter(|l| l.far_as == Asn(4)).collect();
+    assert_eq!(silent.len(), 1, "{:?}", map.links);
+    assert_eq!(silent[0].heuristic, Heuristic::SilentNeighbor);
+    assert!(
+        silent[0].far.is_none(),
+        "silent neighbors have no far router"
+    );
+}
+
+/// §5.4.8 step 8.2: neighbor visible only through other-ICMP.
+#[test]
+fn other_icmp_neighbor_fires() {
+    let w = world();
+    let mut tr = trace(
+        "10.4.0.1",
+        4,
+        vec![hop("10.2.0.1", 1), hop("10.2.0.5", 2), gap(3)],
+    );
+    // A destination-unreachable from AS4's own space arrives.
+    tr.hops.push(TraceHop {
+        ttl: 4,
+        addr: Some(a("10.4.200.1")),
+        time_exceeded: false,
+        other_icmp: true,
+        ipid: 0,
+    });
+    let traces = vec![
+        tr,
+        trace(
+            "10.3.0.1",
+            3,
+            vec![
+                hop("10.2.0.1", 1),
+                hop("10.2.0.5", 2),
+                hop("10.2.9.2", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+    ];
+    let map = run(&w, traces);
+    let links: Vec<_> = map.links.iter().filter(|l| l.far_as == Asn(4)).collect();
+    assert_eq!(links.len(), 1);
+    assert_eq!(links[0].heuristic, Heuristic::OtherIcmp);
+}
+
+/// §5.4.7: single-interface near-side routers collapse onto one border.
+#[test]
+fn ptp_collapse_fires() {
+    let w = world();
+    // Two VP "routers" (unresolved aliases x1, x2) both precede the same
+    // far router; each VP address also has VP space after it in some
+    // trace so §5.4.1 claims them.
+    let traces = vec![
+        trace(
+            "10.3.0.1",
+            3,
+            vec![hop("10.2.0.21", 2), hop("10.3.7.1", 3), hop("10.3.7.5", 4)],
+        ),
+        trace(
+            "10.3.64.1",
+            3,
+            vec![hop("10.2.0.25", 2), hop("10.3.7.1", 3), hop("10.3.7.5", 4)],
+        ),
+        // VP-internal proof for both addresses: VP space follows them
+        // (10.2.0.99 is itself proven internal by 10.2.0.98 after it).
+        trace(
+            "10.6.0.1",
+            6,
+            vec![
+                hop("10.2.0.21", 1),
+                hop("10.2.0.99", 2),
+                hop("10.2.0.98", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+        trace(
+            "10.6.0.2",
+            6,
+            vec![
+                hop("10.2.0.25", 1),
+                hop("10.2.0.99", 2),
+                hop("10.2.0.98", 3),
+                gap(4),
+                gap(5),
+            ],
+        ),
+    ];
+    let map = run(&w, traces);
+    // 10.2.0.21 and 10.2.0.25 must not yield two separate links to the
+    // AS3 router.
+    let links3: Vec<_> = map.links.iter().filter(|l| l.far_as == Asn(3)).collect();
+    assert_eq!(
+        links3.len(),
+        1,
+        "collapsed borders must merge links: {links3:?}"
+    );
+}
+
+/// MOAS handling: a prefix announced by two ASes maps to both origins;
+/// onenet matching works through either origin.
+#[test]
+fn moas_addresses_resolve_through_either_origin() {
+    // Rebuild the world with an extra MOAS prefix announced by AS3 and
+    // AS7 together.
+    let mut g = AsGraph::new();
+    let t1 = g.add_as();
+    let vp = g.add_as();
+    let c3 = g.add_as();
+    let t7 = g.add_as();
+    g.add_link(t1, vp, Relationship::Customer);
+    g.add_link(t1, t7, Relationship::Customer);
+    g.add_link(vp, c3, Relationship::Customer);
+    let mut t = OriginTable::new();
+    t.announce(p("10.1.0.0/16"), t1);
+    t.announce(p("10.2.0.0/16"), vp);
+    t.announce(p("10.3.0.0/16"), c3);
+    t.announce(p("10.7.0.0/16"), t7);
+    t.announce_scoped(
+        p("10.34.0.0/16"),
+        vec![Asn(3), Asn(4)],
+        bdrmap_bgp::AdvertisementScope::All,
+    );
+    let oracle = RoutingOracle::new(g, t);
+    let view = CollectorView::collect(&oracle, &[Asn(1)]);
+    let rels = InferredRelationships::infer(&view);
+    let w = World {
+        input: Input {
+            view,
+            rels,
+            ixp_prefixes: vec![],
+            rir: vec![],
+            vp_asns: vec![Asn(2)],
+        },
+    };
+    let traces = vec![
+        // The far router answers from MOAS space; a subsequent hop in
+        // AS3's unambiguous space lets onenet attribute it.
+        trace(
+            "10.34.0.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.34.9.1", 2), hop("10.3.7.1", 3)],
+        ),
+        trace(
+            "10.3.0.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.2.0.99", 2), gap(3), gap(4)],
+        ),
+    ];
+    let map = run(&w, traces);
+    assert!(!map.links.is_empty());
+    let r = map.router_of(a("10.34.9.1")).unwrap();
+    // The collector view may see either origin of the MOAS prefix (the
+    // tier-1 collector prefers its direct customer AS4); the router must
+    // be attributed to one of the genuine origins, not dropped.
+    let owner = map.routers[r].owner.expect("owner inferred");
+    assert!(owner == Asn(3) || owner == Asn(4), "owner {owner}");
+}
+
+/// §5.4.3 step 3.2: unrouted interfaces with several ASes after — the
+/// most frequent provider among them wins.
+#[test]
+fn unrouted_provider_majority_fires() {
+    let w = world();
+    // 172.16.0.1 is unrouted; traces through it continue into AS8's and
+    // AS5's space (AS5 is the provider of AS8 per the view). AS5 should
+    // win as the most frequent provider of the observed set.
+    let traces = vec![
+        trace(
+            "10.8.0.1",
+            8,
+            vec![hop("10.2.0.1", 1), hop("172.16.0.1", 2), hop("10.8.1.1", 3)],
+        ),
+        trace(
+            "10.5.0.1",
+            5,
+            vec![hop("10.2.0.1", 1), hop("172.16.0.1", 2), hop("10.5.1.1", 3)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let r = map.router_of(a("172.16.0.1")).unwrap();
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::UnroutedProvider));
+    assert_eq!(
+        map.routers[r].owner,
+        Some(Asn(5)),
+        "AS5 provides transit to both observed networks"
+    );
+}
+
+/// §5.4.3 nextas fallback: unrouted interfaces with nothing routed
+/// after — reason from the destinations probed.
+#[test]
+fn unrouted_nextas_fires() {
+    let w = world();
+    // Nothing routed ever follows the unrouted hop; destinations probed
+    // through it are AS8 and its provider AS5 → nextas = AS5.
+    let traces = vec![
+        trace(
+            "10.8.0.1",
+            8,
+            vec![hop("10.2.0.1", 1), hop("172.16.0.1", 2), gap(3), gap(4)],
+        ),
+        trace(
+            "10.8.64.1",
+            8,
+            vec![hop("10.2.0.1", 1), hop("172.16.0.1", 2), gap(3), gap(4)],
+        ),
+        trace(
+            "10.5.0.1",
+            5,
+            vec![hop("10.2.0.1", 1), hop("172.16.0.1", 2), gap(3), gap(4)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let r = map.router_of(a("172.16.0.1")).unwrap();
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::UnroutedNextAs));
+    assert_eq!(map.routers[r].owner, Some(Asn(5)));
+}
+
+/// §5.4.6 step 6.2: a router whose own addresses map to an external AS
+/// with no corroborating adjacency falls back to the IP-AS mapping.
+#[test]
+fn ip_as_fallback_fires() {
+    let w = world();
+    // A hop in AS7's space appears with nothing after it, on paths to
+    // two ASes (so the third-party single-destination rule cannot
+    // apply), and AS7 is not the provider of either destination... AS7
+    // IS a provider of AS4 though; use dests {3,4} so dests.len() != 1.
+    let traces = vec![
+        trace(
+            "10.3.0.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.7.1.1", 2), gap(3), gap(4)],
+        ),
+        trace(
+            "10.4.0.1",
+            4,
+            vec![hop("10.2.0.1", 1), hop("10.7.1.1", 2), gap(3), gap(4)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let r = map.router_of(a("10.7.1.1")).unwrap();
+    assert_eq!(map.routers[r].owner, Some(Asn(7)));
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::IpAsFallback));
+}
+
+/// §5.4.5 step 5.2: a router with a provider's address observed only on
+/// paths toward one destination — a third-party address; the router
+/// belongs to the destination network.
+#[test]
+fn third_party_single_destination_fires() {
+    let mut w = world();
+    // The rule needs the AS7→AS4 provider label; the fixture's collector
+    // placement cannot see that link (its paths tie-break via the VP),
+    // so supply the labels directly — §5.4.5 consumes relationship
+    // *inputs*, however obtained.
+    w.input.rels = InferredRelationships::from_labels([
+        (Asn(4), Asn(7), Relationship::Provider),
+        (Asn(4), Asn(2), Relationship::Provider),
+        (Asn(2), Asn(1), Relationship::Provider),
+    ]);
+    // A router answering with AS7 space, seen only toward AS4, is AS4's
+    // border using its provider's address to respond.
+    let traces = vec![trace(
+        "10.4.0.1",
+        4,
+        vec![hop("10.2.0.1", 1), hop("10.7.9.1", 2), gap(3), gap(4)],
+    )];
+    let map = run(&w, traces);
+    let r = map.router_of(a("10.7.9.1")).unwrap();
+    assert_eq!(map.routers[r].owner, Some(Asn(4)), "{:?}", map.routers[r]);
+    assert_eq!(map.routers[r].heuristic, Some(Heuristic::ThirdParty));
+}
+
+/// §5.4.1 step 1.1: a neighbor multihomed to the VP network through
+/// adjacent routers. Both VP-space routers on the path belong to the
+/// neighbor, not the VP network.
+#[test]
+fn multihomed_to_vp_exception_fires() {
+    let w = world();
+    // Path toward AS3: two consecutive VP-space hops, then AS3's own
+    // space; AS3 addresses are also adjacent to the first of them
+    // (another trace enters AS3 directly after it). Everything probed
+    // through these routers is AS3.
+    let traces = vec![
+        trace(
+            "10.3.0.1",
+            3,
+            vec![
+                hop("10.2.0.1", 1),  // VP backbone (proven by trace 3)
+                hop("10.2.9.21", 2), // AS3's first border (VP space)
+                hop("10.2.9.25", 3), // AS3's second border (VP space)
+                hop("10.3.7.1", 4),  // AS3's own space
+            ],
+        ),
+        // A second entry point: AS3 space directly follows 10.2.9.21.
+        trace(
+            "10.3.64.1",
+            3,
+            vec![hop("10.2.0.1", 1), hop("10.2.9.21", 2), hop("10.3.8.1", 3)],
+        ),
+        // VP-internal proof for the backbone hop.
+        trace(
+            "10.6.0.1",
+            6,
+            vec![hop("10.2.0.1", 1), hop("10.2.0.99", 2), gap(3), gap(4)],
+        ),
+    ];
+    let map = run(&w, traces);
+    let r21 = map.router_of(a("10.2.9.21")).unwrap();
+    assert_eq!(
+        map.routers[r21].owner,
+        Some(Asn(3)),
+        "{:?}",
+        map.routers[r21]
+    );
+    assert_eq!(
+        map.routers[r21].heuristic,
+        Some(Heuristic::MultihomedToVp),
+        "step 1.1 should fire, got {:?}",
+        map.routers[r21].heuristic
+    );
+}

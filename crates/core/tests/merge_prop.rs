@@ -1,0 +1,96 @@
+//! Property-based tests for the multi-VP merger.
+
+use bdrmap_core::{merge_maps, BorderMap, Heuristic, InferredLink, InferredRouter};
+use bdrmap_types::{addr, Asn};
+use proptest::prelude::*;
+
+/// A small random border map over a bounded address pool (so maps share
+/// addresses and merging has work to do).
+fn arb_map() -> impl Strategy<Value = BorderMap> {
+    let arb_router = (
+        prop::collection::btree_set(0u32..64, 1..4),
+        1u32..8,
+        prop::sample::select(vec![
+            Heuristic::VpInternal,
+            Heuristic::Firewall,
+            Heuristic::OneNet,
+            Heuristic::IpAsFallback,
+        ]),
+    )
+        .prop_map(|(addrs, owner, h)| InferredRouter {
+            addrs: addrs.into_iter().map(|b| addr(0x0a00_0000 + b)).collect(),
+            other_addrs: vec![],
+            owner: Some(Asn(owner)),
+            heuristic: Some(h),
+            min_hop: 1,
+        });
+    prop::collection::vec(arb_router, 1..6).prop_flat_map(|routers| {
+        let n = routers.len();
+        let links = prop::collection::vec((0..n, prop::option::of(0..n), 1u32..8), 0..4);
+        (Just(routers), links).prop_map(|(routers, raw_links)| {
+            let links = raw_links
+                .into_iter()
+                .filter(|(near, far, _)| far.is_none_or(|f| f != *near))
+                .map(|(near, far, far_as)| InferredLink {
+                    near,
+                    far,
+                    far_as: Asn(far_as),
+                    near_addr: routers[near].addrs.first().copied(),
+                    far_addr: far.and_then(|f| routers[f].addrs.first().copied()),
+                    heuristic: Heuristic::OneNet,
+                })
+                .collect();
+            BorderMap {
+                routers,
+                links,
+                packets: 0,
+                elapsed_ms: 0,
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_routers_have_disjoint_addresses(maps in prop::collection::vec(arb_map(), 1..5)) {
+        let merged = merge_maps(&maps);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &merged.routers {
+            for a in r.addrs.iter().chain(&r.other_addrs) {
+                prop_assert!(seen.insert(*a), "address {a} on two merged routers");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_is_idempotent(maps in prop::collection::vec(arb_map(), 1..4)) {
+        let once = merge_maps(&maps);
+        let doubled: Vec<BorderMap> = maps.iter().chain(maps.iter()).cloned().collect();
+        let twice = merge_maps(&doubled);
+        prop_assert_eq!(once.routers.len(), twice.routers.len());
+        prop_assert_eq!(once.links.len(), twice.links.len());
+        prop_assert_eq!(once.neighbors(), twice.neighbors());
+    }
+
+    #[test]
+    fn merging_more_maps_never_loses_neighbors(maps in prop::collection::vec(arb_map(), 2..5)) {
+        let partial = merge_maps(&maps[..maps.len() - 1]);
+        let full = merge_maps(&maps);
+        for n in partial.neighbors() {
+            prop_assert!(full.neighbors().contains(&n), "lost neighbor {n}");
+        }
+    }
+
+    #[test]
+    fn link_endpoints_are_valid_indices(maps in prop::collection::vec(arb_map(), 1..5)) {
+        let merged = merge_maps(&maps);
+        for l in &merged.links {
+            prop_assert!(l.near < merged.routers.len() || merged.routers.is_empty());
+            if let Some(f) = l.far {
+                prop_assert!(f < merged.routers.len());
+            }
+        }
+    }
+}

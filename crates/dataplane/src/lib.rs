@@ -1,0 +1,42 @@
+//! Deterministic data-plane simulator.
+//!
+//! Given a ground-truth [`bdrmap_topo::Internet`], this crate answers a
+//! single question: *if a probe packet left a vantage point, what
+//! response (if any) would come back?* Everything bdrmap observes flows
+//! through [`DataPlane::probe`].
+//!
+//! Faithfulness to the paper's traceroute idiosyncrasies (§4):
+//!
+//! * hop-by-hop forwarding with valley-free AS-level routing, hot-potato
+//!   egress selection among BGP-multipath-tied next hops, and ECMP with
+//!   Paris-stable per-flow hashing;
+//! * interconnection-aware egress: the next-hop AS's
+//!   [`bdrmap_topo::ExportStrategy`] decides which of several parallel
+//!   interconnections may carry a given prefix (Figures 15/16);
+//! * per-router response policies: firewalls that answer TTL-expired but
+//!   drop transit, silent routers, routers that send only non-TTL-expired
+//!   ICMP, and rate limiting;
+//! * time-exceeded source-address selection: inbound interface, RFC 1812
+//!   egress-toward-prober (third-party addresses), or virtual-router
+//!   egress-toward-destination;
+//! * IP-ID generation models (shared counter / per-interface / random /
+//!   constant) advanced by a background velocity, which is what the
+//!   Ally and MIDAR alias-resolution tests consume;
+//! * Mercator behaviour: UDP probes answered from a canonical address,
+//!   the probed address, or not at all;
+//! * response loss when the responding AS has no route back to the
+//!   prober.
+//!
+//! The simulator is deterministic: identical probe sequences (including
+//! their `time_ms` stamps) produce identical responses.
+
+pub mod packet;
+pub mod plane;
+mod runtime;
+pub mod spt;
+
+#[cfg(test)]
+mod tests;
+
+pub use packet::{Probe, ProbeKind, RespKind, Response, UnreachReason};
+pub use plane::{CongestionProfile, DataPlane};

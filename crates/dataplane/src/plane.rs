@@ -1,0 +1,758 @@
+//! The forwarding and ICMP-generation engine.
+
+use crate::packet::{Probe, ProbeKind, RespKind, Response, UnreachReason};
+use crate::runtime::Runtime;
+use crate::spt::{fnv, InternalGraph, SptCache};
+use bdrmap_topo::{ExportStrategy, IfaceKind, Internet, LinkKind, ResponsePolicy, SrcSelect};
+use bdrmap_types::{Addr, Asn, IfaceId, LinkId, OrgId, RouterId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Hop budget: drop anything still in flight after this many routers.
+const MAX_HOPS: usize = 128;
+
+/// Per-hop processing/serialisation delay (µs).
+const PER_HOP_US: u32 = 50;
+/// Propagation delay per link-metric unit (µs); the metric is ten times
+/// the inter-PoP geographic distance in degrees, so one degree of
+/// great-circle distance costs ~0.5 ms one-way — the right order for
+/// fibre.
+const US_PER_METRIC: u32 = 50;
+
+/// A diurnal congestion profile on one link (the phenomenon the
+/// CAIDA/MIT congestion project probes for, §2 of the paper).
+#[derive(Clone, Copy, Debug)]
+pub struct CongestionProfile {
+    /// Peak queuing delay at the busiest point of the cycle (µs).
+    pub peak_us: u32,
+    /// Cycle length in milliseconds (a simulated "day").
+    pub period_ms: u64,
+}
+
+impl CongestionProfile {
+    /// Queuing delay at an instant: a half-rectified sinusoid — idle
+    /// half the cycle, building to `peak_us` at the busy hour.
+    pub fn delay_at(&self, time_ms: u64) -> u32 {
+        let phase = (time_ms % self.period_ms) as f64 / self.period_ms as f64;
+        let s = (std::f64::consts::TAU * phase).sin();
+        if s <= 0.0 {
+            0
+        } else {
+            (self.peak_us as f64 * s * s) as u32
+        }
+    }
+}
+
+/// One way out of an organisation toward a neighbor AS.
+#[derive(Clone, Copy, Debug)]
+struct EgressLink {
+    /// The border router on our side.
+    near: RouterId,
+    /// Our interface on the link (source of RFC1812 responses).
+    near_iface: IfaceId,
+    /// The first router on the neighbor side.
+    far: RouterId,
+    /// The neighbor-side interface the packet arrives on.
+    far_iface: IfaceId,
+    /// Position in the deterministic ordering of this neighbor's
+    /// sessions, consumed by [`ExportStrategy`].
+    ordinal: u32,
+    /// Longitude of the near PoP (Regional strategy).
+    longitude_milli: i32,
+    /// Underlying link.
+    link: LinkId,
+}
+
+/// Cached egress link sets keyed by (organisation, neighbor AS).
+type EgressCache = RwLock<HashMap<(OrgId, Asn), Arc<Vec<EgressLink>>>>;
+
+/// Result of a single routing decision at a router.
+enum Step {
+    /// Hand the packet to `next`, arriving on `in_iface`; it left through
+    /// `out_iface` on the current router.
+    Forward {
+        next: RouterId,
+        in_iface: IfaceId,
+        out_iface: IfaceId,
+    },
+    /// The destination does not exist beyond this router.
+    Unreachable,
+    /// No route at all; the packet is silently dropped.
+    NoRoute,
+}
+
+/// The data-plane simulator. Cheap to share: all caches are interior.
+///
+/// # Examples
+///
+/// ```
+/// use bdrmap_dataplane::{DataPlane, Probe, ProbeKind, RespKind};
+/// use bdrmap_topo::{generate, TopoConfig};
+///
+/// let dp = DataPlane::new(generate(&TopoConfig::tiny(1)));
+/// let vp = dp.internet().vps[0].addr;
+/// let dst = dp.internet().origins.iter().next().unwrap().prefix.nth(1);
+/// // A TTL-1 probe expires at the first hop.
+/// let resp = dp
+///     .probe(&Probe { src: vp, dst, ttl: 1, flow: 0, kind: ProbeKind::IcmpEcho, time_ms: 0 })
+///     .unwrap();
+/// assert_eq!(resp.kind, RespKind::TimeExceeded);
+/// ```
+pub struct DataPlane {
+    net: Internet,
+    oracle: bdrmap_bgp::RoutingOracle,
+    spt: SptCache,
+    runtime: Runtime,
+    vp_by_addr: HashMap<Addr, RouterId>,
+    /// Egress link sets keyed by (org of current AS, neighbor AS).
+    egress_cache: EgressCache,
+    /// Org membership for quick checks.
+    org_of_as: Vec<OrgId>,
+    /// Members of each organisation (usually one; the VP org may have
+    /// siblings).
+    org_members: HashMap<OrgId, Vec<Asn>>,
+    /// Injected congestion per link.
+    congestion: RwLock<HashMap<LinkId, CongestionProfile>>,
+}
+
+impl DataPlane {
+    /// Build the data plane over a generated Internet.
+    pub fn new(net: Internet) -> DataPlane {
+        let oracle = bdrmap_bgp::RoutingOracle::new(net.graph.clone(), net.origins.clone());
+        let spt = SptCache::new(InternalGraph::build(&net));
+        let vp_by_addr = net.vps.iter().map(|v| (v.addr, v.attach)).collect();
+        let org_of_as: Vec<OrgId> = (0..=net.graph.num_ases() as u32)
+            .map(|a| {
+                if a == 0 {
+                    OrgId(u32::MAX)
+                } else {
+                    net.graph.org(Asn(a))
+                }
+            })
+            .collect();
+        let mut org_members: HashMap<OrgId, Vec<Asn>> = HashMap::new();
+        for a in net.graph.ases() {
+            org_members.entry(net.graph.org(a)).or_default().push(a);
+        }
+        DataPlane {
+            net,
+            oracle,
+            spt,
+            runtime: Runtime::new(),
+            vp_by_addr,
+            egress_cache: RwLock::new(HashMap::new()),
+            org_of_as,
+            org_members,
+            congestion: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Inject a diurnal congestion profile on a link (evaluation-side
+    /// ground truth for the congestion-detection application).
+    pub fn congest(&self, link: LinkId, profile: CongestionProfile) {
+        self.congestion.write().insert(link, profile);
+    }
+
+    /// Remove all injected congestion.
+    pub fn clear_congestion(&self) {
+        self.congestion.write().clear();
+    }
+
+    fn queue_delay(&self, link: LinkId, time_ms: u64) -> u32 {
+        self.congestion
+            .read()
+            .get(&link)
+            .map_or(0, |c| c.delay_at(time_ms))
+    }
+
+    /// The ground truth (for evaluation only — the probing and inference
+    /// layers must not look at it).
+    pub fn internet(&self) -> &Internet {
+        &self.net
+    }
+
+    /// The routing oracle (shared with collector-view assembly).
+    pub fn oracle(&self) -> &bdrmap_bgp::RoutingOracle {
+        &self.oracle
+    }
+
+    fn org(&self, a: Asn) -> OrgId {
+        self.org_of_as[a.0 as usize]
+    }
+
+    fn router_org(&self, r: RouterId) -> OrgId {
+        self.org(self.net.routers[r.index()].owner)
+    }
+
+    /// Ground-truth location of an address: the router it is on, or the
+    /// router its covering subnet/prefix is homed at.
+    fn target_router(&self, dst: Addr) -> Option<RouterId> {
+        if let Some(r) = self.net.router_of_addr(dst) {
+            return Some(r);
+        }
+        self.net.dest_home.lookup(dst).map(|(_, &r)| r)
+    }
+
+    // ------------------------------------------------------------ egress
+
+    /// All ways out of `org` into neighbor AS `n`, ordinal-ordered.
+    fn egress_links(&self, org: OrgId, n: Asn) -> Arc<Vec<EgressLink>> {
+        if let Some(v) = self.egress_cache.read().get(&(org, n)) {
+            return Arc::clone(v);
+        }
+        let mut out = Vec::new();
+        for l in &self.net.links {
+            match l.kind {
+                LinkKind::Interdomain { .. } => {
+                    let i0 = &self.net.ifaces[l.ifaces[0].index()];
+                    let i1 = &self.net.ifaces[l.ifaces[1].index()];
+                    let o0 = self.net.routers[i0.router.index()].owner;
+                    let o1 = self.net.routers[i1.router.index()].owner;
+                    let (near, far) = if self.org(o0) == org && o1 == n {
+                        (i0, i1)
+                    } else if self.org(o1) == org && o0 == n {
+                        (i1, i0)
+                    } else {
+                        continue;
+                    };
+                    let pop = self.net.routers[near.router.index()].pop;
+                    out.push(EgressLink {
+                        near: near.router,
+                        near_iface: near.id,
+                        far: far.router,
+                        far_iface: far.id,
+                        ordinal: 0, // assigned below
+                        longitude_milli: (self.net.pops[pop.index()].longitude * 1000.0) as i32,
+                        link: l.id,
+                    });
+                }
+                LinkKind::IxpLan { .. } => {
+                    // Crossing a shared LAN: any of our ports to any of the
+                    // neighbor's ports (route-server peering).
+                    let ours: Vec<&bdrmap_topo::Iface> = l
+                        .ifaces
+                        .iter()
+                        .map(|i| &self.net.ifaces[i.index()])
+                        .filter(|i| self.router_org(i.router) == org)
+                        .collect();
+                    let theirs: Vec<&bdrmap_topo::Iface> = l
+                        .ifaces
+                        .iter()
+                        .map(|i| &self.net.ifaces[i.index()])
+                        .filter(|i| self.net.routers[i.router.index()].owner == n)
+                        .collect();
+                    for o in &ours {
+                        for t in &theirs {
+                            let pop = self.net.routers[o.router.index()].pop;
+                            out.push(EgressLink {
+                                near: o.router,
+                                near_iface: o.id,
+                                far: t.router,
+                                far_iface: t.id,
+                                ordinal: 0,
+                                longitude_milli: (self.net.pops[pop.index()].longitude * 1000.0)
+                                    as i32,
+                                link: l.id,
+                            });
+                        }
+                    }
+                }
+                LinkKind::Internal => {}
+            }
+        }
+        // Deterministic ordinal assignment: sort by link id.
+        out.sort_by_key(|e| (e.link, e.near_iface));
+        for (i, e) in out.iter_mut().enumerate() {
+            e.ordinal = i as u32;
+        }
+        let arc = Arc::new(out);
+        self.egress_cache.write().insert((org, n), Arc::clone(&arc));
+        arc
+    }
+
+    /// Does the neighbor's export strategy place `prefix` on session
+    /// `ordinal` (out of `total`)?
+    fn strategy_allows(
+        &self,
+        strategy: ExportStrategy,
+        prefix: bdrmap_types::Prefix,
+        e: &EgressLink,
+        total: u32,
+        median_longitude: i32,
+    ) -> bool {
+        if total <= 1 {
+            return true;
+        }
+        let pbits = u32::from(prefix.network());
+        match strategy {
+            ExportStrategy::Everywhere => true,
+            ExportStrategy::Subset { percent } => {
+                // Guarantee at least one session: the anchor session is
+                // always eligible.
+                let anchor = fnv(&[pbits, prefix.len() as u32]) % total as u64;
+                e.ordinal as u64 == anchor
+                    || fnv(&[pbits, prefix.len() as u32, e.ordinal]) % 100 < percent as u64
+            }
+            ExportStrategy::Anchored => {
+                // Consecutive prefixes rotate across sessions, so every
+                // interconnection carries some prefix once the CDN
+                // announces at least `total` prefixes — which is what
+                // lets a single VP discover all of Akamai's links in
+                // Figure 15.
+                (pbits >> 8) % total == e.ordinal
+            }
+            ExportStrategy::Regional => {
+                let west = fnv(&[pbits, prefix.len() as u32]).is_multiple_of(2);
+                if west {
+                    e.longitude_milli <= median_longitude
+                } else {
+                    e.longitude_milli > median_longitude
+                }
+            }
+        }
+    }
+
+    /// Pick the hot-potato egress toward destination `dst` from router
+    /// `cur`, over the union of BGP-multipath-tied next-hop ASes of
+    /// every AS in the router's organisation (iBGP across siblings).
+    fn pick_egress(&self, cur: RouterId, dst: Addr, flow: u16) -> Option<EgressLink> {
+        let owner = self.net.routers[cur.index()].owner;
+        let org = self.org(owner);
+        let origination = self.oracle.origins().lookup(dst)?;
+        let tree = self.oracle.route_tree(origination);
+        // The org's members share routes; collect the union of their
+        // externally-learned candidates. Same-org "next hops" (a sibling
+        // taking transit from its parent AS) are internal, not egress.
+        let members = &self.org_members[&org];
+        let mut candidates: Vec<Asn> = Vec::new();
+        let mut best: Option<bdrmap_bgp::BestRoute> = None;
+        for &m in members {
+            let Some(r) = tree.route(m) else { continue };
+            if best.is_none() {
+                best = Some(r);
+            }
+            if r.class == bdrmap_bgp::RouteClass::Origin {
+                continue;
+            }
+            for n in self.oracle.tied_next_hops(m, origination) {
+                if self.org(n) != org && !candidates.contains(&n) {
+                    candidates.push(n);
+                }
+            }
+        }
+        let best = best?;
+        if best.class == bdrmap_bgp::RouteClass::Origin && candidates.is_empty() {
+            // The org announces the covering prefix but the address
+            // physically lives elsewhere (PA space, neighbor link
+            // subnets): fall back to a direct link toward the AS that
+            // has it.
+            let t = self.target_router(dst)?;
+            candidates = vec![self.net.routers[t.index()].owner];
+        }
+        if candidates.is_empty() {
+            if let Some(nh) = best.next_hop {
+                if self.org(nh) != org {
+                    candidates.push(nh);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut best_choice: Option<(u64, EgressLink)> = None;
+        for n in candidates {
+            let links = self.egress_links(org, n);
+            if links.is_empty() {
+                continue;
+            }
+            let total = links.len() as u32;
+            let median = {
+                let mut lons: Vec<i32> = links.iter().map(|e| e.longitude_milli).collect();
+                lons.sort_unstable();
+                lons[lons.len() / 2]
+            };
+            let strategy = self.net.as_info(n).export;
+            let spt_root_cache: Vec<(u32, &EgressLink)> = links
+                .iter()
+                .filter(|e| self.strategy_allows(strategy, origination.prefix, e, total, median))
+                .map(|e| {
+                    let t = self.spt.tree(e.near);
+                    (t.dist(cur), e)
+                })
+                .collect();
+            for (d, e) in spt_root_cache {
+                if d == u32::MAX {
+                    continue;
+                }
+                // Hot potato first, then a deterministic flow-stable
+                // shuffle among equal distances.
+                let key = ((d as u64) << 32) | (fnv(&[e.link.0, flow as u32, n.0]) & 0xffff_ffff);
+                if best_choice.as_ref().is_none_or(|(k, _)| key < *k) {
+                    best_choice = Some((key, *e));
+                }
+            }
+        }
+        best_choice.map(|(_, e)| e)
+    }
+
+    // ----------------------------------------------------------- routing
+
+    /// One routing decision: where does `cur` send a packet for `dst`?
+    fn route_step(&self, cur: RouterId, dst: Addr, flow: u16) -> Step {
+        let cur_org = self.router_org(cur);
+        // (a) Directly attached subnet?
+        for &ifc_id in &self.net.routers[cur.index()].ifaces {
+            let ifc = &self.net.ifaces[ifc_id.index()];
+            let Some(link_id) = ifc.link else { continue };
+            let link = &self.net.links[link_id.index()];
+            if !link.subnet.contains(dst) {
+                continue;
+            }
+            // Deliver to the attached neighbor owning dst, if any.
+            if let Some(peer) = link
+                .ifaces
+                .iter()
+                .map(|i| &self.net.ifaces[i.index()])
+                .find(|i| i.addr == dst && i.router != cur)
+            {
+                return Step::Forward {
+                    next: peer.router,
+                    in_iface: peer.id,
+                    out_iface: ifc_id,
+                };
+            }
+            if self.net.router_of_addr(dst) == Some(cur) {
+                // Shouldn't happen (local delivery is handled earlier),
+                // but be safe.
+                return Step::Unreachable;
+            }
+            // An unused address on a directly attached subnet: nobody
+            // home. Only conclude this for point-to-point subnets; a
+            // larger covering aggregate can still route elsewhere.
+            if link.subnet.len() >= 24 {
+                return Step::Unreachable;
+            }
+        }
+        // (b) Internal target?
+        if let Some(target) = self.target_router(dst) {
+            if self.router_org(target) == cur_org {
+                if target == cur {
+                    return Step::Unreachable; // homed here, host absent
+                }
+                let t = self.spt.tree(target);
+                if let Some(next) = t.next_hop(cur, flow) {
+                    let (out_iface, in_iface) = match self.internal_ifaces(cur, next) {
+                        Some(x) => x,
+                        None => return Step::NoRoute,
+                    };
+                    return Step::Forward {
+                        next,
+                        in_iface,
+                        out_iface,
+                    };
+                }
+                return Step::NoRoute;
+            }
+        }
+        // (c) Interdomain forwarding.
+        let Some(e) = self.pick_egress(cur, dst, flow) else {
+            return Step::NoRoute;
+        };
+        if e.near == cur {
+            return Step::Forward {
+                next: e.far,
+                in_iface: e.far_iface,
+                out_iface: e.near_iface,
+            };
+        }
+        let t = self.spt.tree(e.near);
+        if let Some(next) = t.next_hop(cur, flow) {
+            if let Some((out_iface, in_iface)) = self.internal_ifaces(cur, next) {
+                return Step::Forward {
+                    next,
+                    in_iface,
+                    out_iface,
+                };
+            }
+        }
+        Step::NoRoute
+    }
+
+    /// The pair of interfaces joining two internally adjacent routers,
+    /// flow-independent and deterministic (first matching internal link).
+    fn internal_ifaces(&self, a: RouterId, b: RouterId) -> Option<(IfaceId, IfaceId)> {
+        for &ifc_id in &self.net.routers[a.index()].ifaces {
+            let ifc = &self.net.ifaces[ifc_id.index()];
+            let Some(link_id) = ifc.link else { continue };
+            let link = &self.net.links[link_id.index()];
+            if link.kind != LinkKind::Internal {
+                continue;
+            }
+            if let Some(other) = link
+                .ifaces
+                .iter()
+                .map(|i| &self.net.ifaces[i.index()])
+                .find(|i| i.router == b)
+            {
+                return Some((ifc_id, other.id));
+            }
+        }
+        None
+    }
+
+    // --------------------------------------------------------- responses
+
+    /// The loopback (first) interface address of a router.
+    fn loopback(&self, r: RouterId) -> Option<Addr> {
+        self.net.routers[r.index()]
+            .ifaces
+            .iter()
+            .map(|i| &self.net.ifaces[i.index()])
+            .find(|i| i.kind == IfaceKind::Loopback)
+            .map(|i| i.addr)
+    }
+
+    /// Any source address for a router (loopback, else first interface).
+    fn any_addr(&self, r: RouterId) -> Option<Addr> {
+        self.loopback(r).or_else(|| {
+            self.net.routers[r.index()]
+                .ifaces
+                .first()
+                .map(|i| self.net.ifaces[i.index()].addr)
+        })
+    }
+
+    /// Can `r`'s network route a response back to the prober?
+    fn can_respond_to(&self, r: RouterId, prober: Addr) -> bool {
+        let owner = self.net.routers[r.index()].owner;
+        if let Some(t) = self.target_router(prober) {
+            if self.router_org(t) == self.router_org(r) {
+                return true;
+            }
+        }
+        self.oracle.best_route(owner, prober).is_some()
+    }
+
+    /// Choose the source address of a time-exceeded response per the
+    /// router's [`SrcSelect`] behaviour.
+    fn te_source(&self, r: RouterId, inbound: Option<IfaceId>, p: &Probe) -> Option<Addr> {
+        let fallback = || {
+            inbound
+                .map(|i| self.net.ifaces[i.index()].addr)
+                .or_else(|| self.any_addr(r))
+        };
+        match self.net.routers[r.index()].src_select {
+            SrcSelect::Inbound => fallback(),
+            SrcSelect::TowardProber => match self.route_step(r, p.src, p.flow) {
+                Step::Forward { out_iface, .. } => Some(self.net.ifaces[out_iface.index()].addr),
+                _ => fallback(),
+            },
+            SrcSelect::TowardDest => match self.route_step(r, p.dst, p.flow) {
+                Step::Forward { out_iface, .. } => Some(self.net.ifaces[out_iface.index()].addr),
+                _ => fallback(),
+            },
+        }
+    }
+
+    /// Build a TTL-expired response at router `r`, or `None` if policy or
+    /// reachability suppresses it.
+    fn ttl_expired(
+        &self,
+        r: RouterId,
+        inbound: Option<IfaceId>,
+        p: &Probe,
+        fwd_us: u32,
+    ) -> Option<Response> {
+        let policy = self.net.routers[r.index()].policy;
+        match policy {
+            ResponsePolicy::Silent | ResponsePolicy::EchoOtherIcmp => return None,
+            ResponsePolicy::RateLimited { period } => {
+                if !self.runtime.rate_limit_allows(r, period) {
+                    return None;
+                }
+            }
+            ResponsePolicy::Normal | ResponsePolicy::Firewall => {}
+        }
+        if !self.can_respond_to(r, p.src) {
+            return None;
+        }
+        let src = self.te_source(r, inbound, p)?;
+        let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+        Some(Response {
+            src,
+            kind: RespKind::TimeExceeded,
+            ipid,
+            rtt_us: 2 * fwd_us + PER_HOP_US,
+        })
+    }
+
+    /// Build the response for a probe delivered to one of `r`'s own
+    /// addresses.
+    fn delivered(&self, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
+        let rtt_us = 2 * fwd_us + PER_HOP_US;
+        let router = &self.net.routers[r.index()];
+        if router.policy == ResponsePolicy::Silent {
+            return None;
+        }
+        if !self.can_respond_to(r, p.src) {
+            return None;
+        }
+        match p.kind {
+            ProbeKind::IcmpEcho => {
+                // Echo replies are sourced from the probed address — which
+                // is why bdrmap refuses to locate interfaces with them
+                // (§4 challenge 2).
+                let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                Some(Response {
+                    src: p.dst,
+                    kind: RespKind::EchoReply,
+                    ipid,
+                    rtt_us,
+                })
+            }
+            ProbeKind::Udp => match router.unreach_src {
+                bdrmap_topo::UnreachSrc::Canonical => {
+                    let src = self.any_addr(r)?;
+                    let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+                    Some(Response {
+                        src,
+                        kind: RespKind::DestUnreach(UnreachReason::Port),
+                        ipid,
+                        rtt_us,
+                    })
+                }
+                bdrmap_topo::UnreachSrc::Probed => {
+                    let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                    Some(Response {
+                        src: p.dst,
+                        kind: RespKind::DestUnreach(UnreachReason::Port),
+                        ipid,
+                        rtt_us,
+                    })
+                }
+                bdrmap_topo::UnreachSrc::None => None,
+            },
+            ProbeKind::TcpAck => {
+                let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                Some(Response {
+                    src: p.dst,
+                    kind: RespKind::TcpRst,
+                    ipid,
+                    rtt_us,
+                })
+            }
+        }
+    }
+
+    /// Response when the packet hit a dead end at `r` (host absent).
+    fn unreachable(
+        &self,
+        r: RouterId,
+        inbound: Option<IfaceId>,
+        p: &Probe,
+        fwd_us: u32,
+    ) -> Option<Response> {
+        let policy = self.net.routers[r.index()].policy;
+        if !policy.sends_ttl_expired() {
+            return None;
+        }
+        if !self.can_respond_to(r, p.src) {
+            return None;
+        }
+        let src = self.te_source(r, inbound, p)?;
+        let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+        let reason = match p.kind {
+            ProbeKind::Udp => UnreachReason::Port,
+            _ => UnreachReason::Host,
+        };
+        Some(Response {
+            src,
+            kind: RespKind::DestUnreach(reason),
+            ipid,
+            rtt_us: 2 * fwd_us + PER_HOP_US,
+        })
+    }
+
+    /// Response when a firewalling edge router discards a transiting
+    /// probe.
+    fn firewalled(&self, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
+        match self.net.routers[r.index()].policy {
+            ResponsePolicy::EchoOtherIcmp => {
+                if !self.can_respond_to(r, p.src) {
+                    return None;
+                }
+                // Responds from its own (announced) address space — the
+                // heuristic-8.2 signal.
+                let src = self.any_addr(r)?;
+                let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+                Some(Response {
+                    src,
+                    kind: RespKind::DestUnreach(UnreachReason::AdminFiltered),
+                    ipid,
+                    rtt_us: 2 * fwd_us + PER_HOP_US,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------- probe
+
+    /// Send one probe and collect the response, if any.
+    ///
+    /// Returns `None` when the probe or its response is lost: dropped by
+    /// a firewall, suppressed by policy or rate limiting, unroutable, or
+    /// the responder has no route back to the prober.
+    pub fn probe(&self, p: &Probe) -> Option<Response> {
+        let mut cur = *self.vp_by_addr.get(&p.src)?;
+        let mut inbound: Option<IfaceId> = None;
+        let mut ttl = p.ttl;
+        let mut fwd_us: u32 = 0;
+        for _ in 0..MAX_HOPS {
+            // Local delivery beats everything.
+            if self.net.router_of_addr(p.dst) == Some(cur) {
+                return self.delivered(cur, p, fwd_us);
+            }
+            // TTL check-and-decrement on arrival.
+            ttl = ttl.saturating_sub(1);
+            if ttl == 0 {
+                return self.ttl_expired(cur, inbound, p, fwd_us);
+            }
+            // Edge firewalls discard transit traffic.
+            let policy = self.net.routers[cur.index()].policy;
+            if policy.firewalls_transit() && inbound.is_some() {
+                // The firewall applies at the edge of its network: only
+                // once the packet tries to go *through* this router.
+                return self.firewalled(cur, p, fwd_us);
+            }
+            match self.route_step(cur, p.dst, p.flow) {
+                Step::Forward {
+                    next,
+                    in_iface,
+                    out_iface,
+                } => {
+                    // Accumulate propagation + any queuing on the link.
+                    if let Some(link) = self.net.ifaces[out_iface.index()].link {
+                        let metric = self.net.links[link.index()].metric;
+                        fwd_us = fwd_us
+                            .saturating_add(metric.saturating_mul(US_PER_METRIC))
+                            .saturating_add(PER_HOP_US)
+                            .saturating_add(self.queue_delay(link, p.time_ms));
+                    }
+                    cur = next;
+                    inbound = Some(in_iface);
+                }
+                Step::Unreachable => return self.unreachable(cur, inbound, p, fwd_us),
+                Step::NoRoute => return None,
+            }
+        }
+        debug_assert!(false, "forwarding loop for {}", p.dst);
+        None
+    }
+
+    /// The attach router of a VP address (for tests and evaluation).
+    pub fn vp_attach(&self, vp_addr: Addr) -> Option<RouterId> {
+        self.vp_by_addr.get(&vp_addr).copied()
+    }
+}

@@ -1,0 +1,243 @@
+//! Intra-organisation shortest-path trees.
+//!
+//! Routers of one organisation (an AS plus its siblings) form an IGP
+//! domain over the internal links. Forwarding toward an internal target —
+//! a destination home router or a hot-potato egress border router — walks
+//! the shortest-path tree rooted at that target. Trees are computed on
+//! demand and cached; equal-cost next hops are kept so the data plane can
+//! hash flows across them (ECMP).
+
+use bdrmap_topo::{Internet, LinkKind};
+use bdrmap_types::RouterId;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Per-router internal adjacency: `(neighbor router, metric)`.
+pub struct InternalGraph {
+    adj: Vec<Vec<(RouterId, u32)>>,
+    /// Organisation of each router's owner, for same-domain checks.
+    org: Vec<u32>,
+}
+
+impl InternalGraph {
+    /// Build the internal adjacency from the ground truth.
+    pub fn build(net: &Internet) -> InternalGraph {
+        let n = net.routers.len();
+        let mut adj = vec![Vec::new(); n];
+        for l in &net.links {
+            if l.kind != LinkKind::Internal {
+                continue;
+            }
+            let r0 = net.ifaces[l.ifaces[0].index()].router;
+            let r1 = net.ifaces[l.ifaces[1].index()].router;
+            adj[r0.index()].push((r1, l.metric));
+            adj[r1.index()].push((r0, l.metric));
+        }
+        let org = net
+            .routers
+            .iter()
+            .map(|r| net.graph.org(r.owner).0)
+            .collect();
+        InternalGraph { adj, org }
+    }
+
+    /// True if two routers are in the same IGP domain.
+    pub fn same_domain(&self, a: RouterId, b: RouterId) -> bool {
+        self.org[a.index()] == self.org[b.index()]
+    }
+}
+
+/// A shortest-path tree rooted at a target router, restricted to the
+/// target's IGP domain.
+pub struct Spt {
+    /// Distance from each router to the root (`u32::MAX` = unreachable or
+    /// foreign domain).
+    dist: Vec<u32>,
+    /// Equal-cost next hops toward the root (empty at the root itself).
+    next: Vec<Vec<RouterId>>,
+}
+
+impl Spt {
+    /// Distance from `r` to the root.
+    pub fn dist(&self, r: RouterId) -> u32 {
+        self.dist[r.index()]
+    }
+
+    /// True if `r` can reach the root internally.
+    pub fn reaches(&self, r: RouterId) -> bool {
+        self.dist[r.index()] != u32::MAX
+    }
+
+    /// The next hop from `r` toward the root, choosing among equal-cost
+    /// options by flow hash (Paris-stable).
+    pub fn next_hop(&self, r: RouterId, flow: u16) -> Option<RouterId> {
+        let opts = &self.next[r.index()];
+        if opts.is_empty() {
+            return None;
+        }
+        let h = fnv(&[r.0, flow as u32]);
+        Some(opts[(h % opts.len() as u64) as usize])
+    }
+}
+
+/// Cache of SPTs keyed by root router.
+pub struct SptCache {
+    graph: InternalGraph,
+    cache: RwLock<HashMap<RouterId, Arc<Spt>>>,
+}
+
+/// Keep at most this many equal-cost next hops per router.
+const MAX_ECMP: usize = 4;
+
+impl SptCache {
+    /// Create a cache over the internal graph.
+    pub fn new(graph: InternalGraph) -> SptCache {
+        SptCache {
+            graph,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The internal graph.
+    pub fn graph(&self) -> &InternalGraph {
+        &self.graph
+    }
+
+    /// The SPT rooted at `root`.
+    pub fn tree(&self, root: RouterId) -> Arc<Spt> {
+        if let Some(t) = self.cache.read().get(&root) {
+            return Arc::clone(t);
+        }
+        let t = Arc::new(self.compute(root));
+        self.cache.write().insert(root, Arc::clone(&t));
+        t
+    }
+
+    fn compute(&self, root: RouterId) -> Spt {
+        let n = self.graph.adj.len();
+        let mut dist = vec![u32::MAX; n];
+        let mut next: Vec<Vec<RouterId>> = vec![Vec::new(); n];
+        let domain = self.graph.org[root.index()];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[root.index()] = 0;
+        heap.push(std::cmp::Reverse((0u32, root)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u.index()] {
+                continue;
+            }
+            for &(v, w) in &self.graph.adj[u.index()] {
+                if self.graph.org[v.index()] != domain {
+                    continue;
+                }
+                let nd = d.saturating_add(w);
+                if nd < dist[v.index()] {
+                    dist[v.index()] = nd;
+                    next[v.index()].clear();
+                    next[v.index()].push(u);
+                    heap.push(std::cmp::Reverse((nd, v)));
+                } else if nd == dist[v.index()]
+                    && !next[v.index()].contains(&u)
+                    && next[v.index()].len() < MAX_ECMP
+                {
+                    next[v.index()].push(u);
+                }
+            }
+        }
+        // Deterministic ECMP order.
+        for opts in &mut next {
+            opts.sort_unstable();
+        }
+        Spt { dist, next }
+    }
+}
+
+/// FNV-1a over a few words — the deterministic hash used for ECMP and
+/// export-strategy decisions throughout the data plane.
+pub fn fnv(words: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::{generate, TopoConfig};
+
+    #[test]
+    fn spt_distances_are_symmetric_enough() {
+        let net = generate(&TopoConfig::tiny(1));
+        let cache = SptCache::new(InternalGraph::build(&net));
+        // Pick two routers of the VP AS.
+        let rs: Vec<RouterId> = net.as_info(net.vp_as).routers.clone();
+        assert!(rs.len() >= 2);
+        let (a, b) = (rs[0], rs[1]);
+        let ta = cache.tree(a);
+        let tb = cache.tree(b);
+        assert_eq!(
+            ta.dist(b),
+            tb.dist(a),
+            "undirected metric must be symmetric"
+        );
+        assert!(ta.reaches(b));
+    }
+
+    #[test]
+    fn walk_reaches_root_without_loops() {
+        let net = generate(&TopoConfig::tiny(2));
+        let cache = SptCache::new(InternalGraph::build(&net));
+        let rs = &net.as_info(net.vp_as).routers;
+        let root = rs[0];
+        let t = cache.tree(root);
+        for &start in rs.iter().skip(1) {
+            let mut cur = start;
+            let mut hops = 0;
+            while cur != root {
+                cur = t.next_hop(cur, 7).expect("reachable");
+                hops += 1;
+                assert!(hops < 1000, "loop detected");
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_domain_is_unreachable() {
+        let net = generate(&TopoConfig::tiny(3));
+        let cache = SptCache::new(InternalGraph::build(&net));
+        let vp_router = net.as_info(net.vp_as).routers[0];
+        // Find a router in a different org.
+        let other = net
+            .routers
+            .iter()
+            .find(|r| !net.graph.same_org(r.owner, net.vp_as))
+            .unwrap();
+        let t = cache.tree(vp_router);
+        assert!(!t.reaches(other.id));
+        assert!(!cache.graph().same_domain(vp_router, other.id));
+    }
+
+    #[test]
+    fn ecmp_next_hops_are_flow_stable() {
+        let net = generate(&TopoConfig::tiny(4));
+        let cache = SptCache::new(InternalGraph::build(&net));
+        let rs = &net.as_info(net.vp_as).routers;
+        let t = cache.tree(rs[0]);
+        for &r in rs.iter().skip(1) {
+            let a = t.next_hop(r, 42);
+            let b = t.next_hop(r, 42);
+            assert_eq!(a, b, "same flow must take the same path");
+        }
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        assert_eq!(fnv(&[1, 2]), fnv(&[1, 2]));
+        assert_ne!(fnv(&[1, 2]), fnv(&[2, 1]));
+    }
+}

@@ -1,0 +1,673 @@
+//! Integration-style tests driving the data plane over generated
+//! Internets, checking the traceroute idiosyncrasies the paper relies on.
+
+use crate::packet::{Probe, ProbeKind, RespKind};
+use crate::plane::DataPlane;
+use bdrmap_topo::{generate, AsKind, ResponsePolicy, TopoConfig};
+use bdrmap_types::Addr;
+
+fn plane(seed: u64) -> DataPlane {
+    DataPlane::new(generate(&TopoConfig::tiny(seed)))
+}
+
+/// Run a full traceroute: probes with increasing TTL until an echo
+/// reply / unreachable, too many silent hops, or the hop limit.
+fn traceroute(dp: &DataPlane, src: Addr, dst: Addr) -> Vec<Option<(Addr, RespKind)>> {
+    let flow = (u32::from(dst) & 0xffff) as u16;
+    let mut hops = Vec::new();
+    let mut gap = 0;
+    for ttl in 1..=32u8 {
+        let p = Probe {
+            src,
+            dst,
+            ttl,
+            flow,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: ttl as u64 * 20,
+        };
+        match dp.probe(&p) {
+            Some(r) => {
+                gap = 0;
+                let done = !matches!(r.kind, RespKind::TimeExceeded);
+                hops.push(Some((r.src, r.kind)));
+                if done {
+                    break;
+                }
+            }
+            None => {
+                gap += 1;
+                hops.push(None);
+                if gap >= 5 {
+                    break;
+                }
+            }
+        }
+    }
+    hops
+}
+
+#[test]
+fn traceroute_reaches_a_routed_destination() {
+    let dp = plane(1);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // Probe toward some stub's announced prefix.
+    let stub = net
+        .graph
+        .ases()
+        .find(|&a| net.as_info(a).kind == AsKind::Stub && !net.origins.prefixes_of(a).is_empty())
+        .unwrap();
+    let p = net.origins.prefixes_of(stub)[0];
+    let dst = p.nth(1);
+    let hops = traceroute(&dp, vp, dst);
+    assert!(!hops.is_empty());
+    let answered = hops.iter().flatten().count();
+    assert!(
+        answered >= 2,
+        "expected several responding hops, got {answered}: {hops:?}"
+    );
+}
+
+#[test]
+fn paris_stability_same_flow_same_path() {
+    let dp = plane(2);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let stub = net
+        .graph
+        .ases()
+        .find(|&a| net.as_info(a).kind == AsKind::Stub && !net.origins.prefixes_of(a).is_empty())
+        .unwrap();
+    let dst = net.origins.prefixes_of(stub)[0].nth(7);
+    let a = traceroute(&dp, vp, dst);
+    let b = traceroute(&dp, vp, dst);
+    // Rate-limited routers may answer one run and not the other, but
+    // wherever both runs got an answer at the same TTL, the address must
+    // be identical: the per-flow path is stable.
+    let mut compared = 0;
+    for (ha, hb) in a.iter().zip(&b) {
+        if let (Some((aa, _)), Some((ab, _))) = (ha, hb) {
+            assert_eq!(aa, ab, "Paris traceroute must be stable per flow");
+            compared += 1;
+        }
+    }
+    assert!(
+        compared >= 2,
+        "need overlapping responsive hops, got {compared}"
+    );
+}
+
+#[test]
+fn first_hops_belong_to_vp_network() {
+    let dp = plane(3);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let stub = net
+        .graph
+        .ases()
+        .find(|&a| net.as_info(a).kind == AsKind::Stub && !net.origins.prefixes_of(a).is_empty())
+        .unwrap();
+    let dst = net.origins.prefixes_of(stub)[0].nth(3);
+    let hops = traceroute(&dp, vp, dst);
+    let first = hops
+        .iter()
+        .flatten()
+        .next()
+        .expect("at least one responding hop");
+    let owner = net
+        .owner_of_addr(first.0)
+        .expect("hop address is an interface");
+    assert!(
+        net.vp_siblings.contains(&owner),
+        "first hop {} owned by {owner}, not the VP network",
+        first.0
+    );
+}
+
+#[test]
+fn ttl_expiry_yields_time_exceeded_and_delivery_yields_echo() {
+    let dp = plane(4);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // Find an interface address of a normally-responding router outside
+    // the VP org but routed.
+    let target = net
+        .ifaces
+        .iter()
+        .find(|i| {
+            let r = &net.routers[i.router.index()];
+            r.policy == ResponsePolicy::Normal
+                && !net.vp_siblings.contains(&r.owner)
+                && net.origins.lookup(i.addr).is_some()
+        })
+        .expect("responsive external interface");
+    let p = Probe {
+        src: vp,
+        dst: target.addr,
+        ttl: 64,
+        flow: 1,
+        kind: ProbeKind::IcmpEcho,
+        time_ms: 0,
+    };
+    let r = dp.probe(&p).expect("echo reply");
+    assert_eq!(r.kind, RespKind::EchoReply);
+    assert_eq!(
+        r.src, target.addr,
+        "echo reply must come from the probed address"
+    );
+
+    let p1 = Probe { ttl: 1, ..p };
+    let r1 = dp.probe(&p1).expect("first hop");
+    assert_eq!(r1.kind, RespKind::TimeExceeded);
+    assert_ne!(r1.src, target.addr);
+}
+
+#[test]
+fn firewalled_stub_hides_internal_hops() {
+    // With an all-firewall customer mix, no probe into a stub's space may
+    // reveal an address from the stub's own announced blocks via
+    // time-exceeded.
+    let mut cfg = TopoConfig::tiny(5);
+    cfg.customer_policy = bdrmap_topo::PolicyMix {
+        firewall: 1.0,
+        silent: 0.0,
+        echo_other: 0.0,
+        rate_limited: 0.0,
+    };
+    cfg.third_party_frac = 0.0;
+    cfg.virtual_router_frac = 0.0;
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    for a in net.graph.ases() {
+        if net.as_info(a).kind != AsKind::Stub {
+            continue;
+        }
+        for pfx in net.origins.prefixes_of(a) {
+            let dst = pfx.nth(9);
+            for h in traceroute(&dp, vp, dst).iter().flatten() {
+                if h.1 == RespKind::TimeExceeded {
+                    let owner = net.owner_of_addr(h.0);
+                    // The stub's edge responds with the provider-assigned
+                    // link address, never its own space: the address we
+                    // see may be *on* the stub's router, but always maps
+                    // to someone else's announced space.
+                    let origin_as = net.origins.lookup(h.0).map(|o| o.origins[0]);
+                    assert_ne!(origin_as, Some(a), "leaked {h:?} owner {owner:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn normal_stub_reveals_internal_hop() {
+    // With an all-normal mix, stubs with internal routers reveal
+    // addresses in their own space.
+    let mut cfg = TopoConfig::tiny(6);
+    cfg.customer_policy = bdrmap_topo::PolicyMix::all_normal();
+    cfg.unrouted_infra_frac = 0.0;
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut found_internal = false;
+    for a in net.graph.ases() {
+        if !matches!(net.as_info(a).kind, AsKind::Stub) {
+            continue;
+        }
+        for pfx in net.origins.prefixes_of(a) {
+            let dst = pfx.nth(11);
+            for h in traceroute(&dp, vp, dst).iter().flatten() {
+                if h.1 == RespKind::TimeExceeded
+                    && net.origins.lookup(h.0).map(|o| o.origins[0]) == Some(a)
+                {
+                    found_internal = true;
+                }
+            }
+        }
+    }
+    assert!(found_internal, "no stub revealed its own address space");
+}
+
+#[test]
+fn responses_are_deterministic() {
+    let dp1 = plane(7);
+    let dp2 = plane(7);
+    let net = dp1.internet();
+    let vp = net.vps[0].addr;
+    let dst = net.origins.iter().map(|o| o.prefix.nth(1)).nth(5).unwrap();
+    for ttl in 1..10 {
+        let p = Probe {
+            src: vp,
+            dst,
+            ttl,
+            flow: 3,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: 50,
+        };
+        let a = dp1.probe(&p);
+        let b = dp2.probe(&p);
+        match (a, b) {
+            (Some(x), Some(y)) => {
+                assert_eq!(x.src, y.src);
+                assert_eq!(x.kind, y.kind);
+                assert_eq!(x.ipid, y.ipid);
+            }
+            (None, None) => {}
+            other => panic!("divergent results: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn shared_counter_router_yields_interleavable_ipids() {
+    let dp = plane(8);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // Find a shared-counter router with two routed addresses.
+    let router = net
+        .routers
+        .iter()
+        .find(|r| {
+            matches!(r.ipid, bdrmap_topo::IpidModel::SharedCounter { .. })
+                && r.policy == ResponsePolicy::Normal
+                && r.ifaces.len() >= 2
+                && r.ifaces.iter().all(|i| {
+                    let a = net.ifaces[i.index()].addr;
+                    net.origins.lookup(a).is_some()
+                })
+                && !net.vp_siblings.contains(&r.owner)
+        })
+        .expect("need a shared-counter router");
+    let a0 = net.ifaces[router.ifaces[0].index()].addr;
+    let a1 = net.ifaces[router.ifaces[1].index()].addr;
+    let mut ids = Vec::new();
+    for (i, &dst) in [a0, a1, a0, a1].iter().enumerate() {
+        let p = Probe {
+            src: vp,
+            dst,
+            ttl: 64,
+            flow: 9,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: 1000 + i as u64,
+        };
+        if let Some(r) = dp.probe(&p) {
+            ids.push(r.ipid);
+        }
+    }
+    assert_eq!(ids.len(), 4, "all probes should be answered");
+    // Monotone (mod wrap) across both addresses: the MIDAR test.
+    for w in ids.windows(2) {
+        let d = w[1].wrapping_sub(w[0]);
+        assert!(
+            d > 0 && d < 5000,
+            "interleaved IPIDs not from one counter: {ids:?}"
+        );
+    }
+}
+
+#[test]
+fn probe_to_unrouted_space_is_lost() {
+    let dp = plane(9);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // An address in deliberately unannounced space of a non-VP AS.
+    let dark = net
+        .graph
+        .ases()
+        .filter(|&a| !net.vp_siblings.contains(&a))
+        .flat_map(|a| net.as_info(a).unannounced.clone())
+        .next();
+    if let Some(p) = dark {
+        let probe = Probe {
+            src: vp,
+            dst: p.nth(p.size() - 2),
+            ttl: 64,
+            flow: 1,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: 0,
+        };
+        // Either silently lost or answered by someone on-path whose
+        // covering aggregate routes it — but never an echo reply from
+        // the dark address itself.
+        if let Some(r) = dp.probe(&probe) {
+            assert_ne!(r.kind, RespKind::EchoReply);
+        }
+    }
+}
+
+#[test]
+fn udp_probe_mercator_behaviour() {
+    let dp = plane(10);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut saw_canonical = false;
+    for r in &net.routers {
+        if r.unreach_src != bdrmap_topo::UnreachSrc::Canonical
+            || r.policy != ResponsePolicy::Normal
+            || net.vp_siblings.contains(&r.owner)
+        {
+            continue;
+        }
+        // Probe a non-loopback interface; expect the canonical (loopback)
+        // address in the reply.
+        let Some(target) = r.ifaces.iter().map(|i| &net.ifaces[i.index()]).find(|i| {
+            i.kind != bdrmap_topo::IfaceKind::Loopback && net.origins.lookup(i.addr).is_some()
+        }) else {
+            continue;
+        };
+        let p = Probe {
+            src: vp,
+            dst: target.addr,
+            ttl: 64,
+            flow: 2,
+            kind: ProbeKind::Udp,
+            time_ms: 10,
+        };
+        if let Some(resp) = dp.probe(&p) {
+            assert!(matches!(resp.kind, RespKind::DestUnreach(_)));
+            if resp.src != target.addr {
+                saw_canonical = true;
+                break;
+            }
+        }
+    }
+    assert!(
+        saw_canonical,
+        "no Mercator-style canonical response observed"
+    );
+}
+
+#[test]
+fn vp_addresses_resolve_to_attach_routers() {
+    let dp = plane(11);
+    let net = dp.internet();
+    for vp in &net.vps {
+        assert_eq!(dp.vp_attach(vp.addr), Some(vp.attach));
+    }
+    assert_eq!(dp.vp_attach("9.9.9.9".parse().unwrap()), None);
+}
+
+#[test]
+fn probe_from_unknown_source_is_rejected() {
+    let dp = plane(12);
+    let p = Probe {
+        src: "203.0.113.99".parse().unwrap(),
+        dst: "10.0.0.1".parse().unwrap(),
+        ttl: 8,
+        flow: 0,
+        kind: ProbeKind::IcmpEcho,
+        time_ms: 0,
+    };
+    assert!(dp.probe(&p).is_none());
+}
+
+#[test]
+fn hot_potato_prefers_near_egress() {
+    // With 19 VPs in the scaled access network, at least two VPs must use
+    // different egress border routers for the same far-away prefix.
+    let cfg = TopoConfig::large_access_scaled(13, 0.05);
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    // A prefix of a major peer (Subset export) or any transit customer.
+    let dst = net
+        .graph
+        .ases()
+        .filter(|&a| {
+            !net.vp_siblings.contains(&a) && net.graph.relationship(net.vp_as, a).is_none()
+        })
+        .flat_map(|a| net.origins.prefixes_of(a))
+        .map(|p| p.nth(1))
+        .next()
+        .expect("external destination");
+    let mut egress_addrs = std::collections::HashSet::new();
+    for vp in &net.vps {
+        // Walk the trace; record the last VP-network address seen.
+        let hops = traceroute(&dp, vp.addr, dst);
+        let mut last_vp_addr = None;
+        for (a, k) in hops.iter().flatten() {
+            if *k == RespKind::TimeExceeded {
+                if let Some(owner) = net.owner_of_addr(*a) {
+                    if net.vp_siblings.contains(&owner) {
+                        last_vp_addr = Some(*a);
+                    }
+                }
+            }
+        }
+        if let Some(a) = last_vp_addr {
+            egress_addrs.insert(net.router_of_addr(a));
+        }
+    }
+    assert!(
+        egress_addrs.len() >= 2,
+        "hot potato should spread egress across VPs: {egress_addrs:?}"
+    );
+}
+
+#[test]
+fn third_party_source_addresses_occur() {
+    // Force everyone to RFC1812 sourcing and check that at least one
+    // time-exceeded hop maps to an AS that is neither the VP network nor
+    // on the forward path toward the destination's origin.
+    let mut cfg = TopoConfig::tiny(14);
+    cfg.third_party_frac = 1.0;
+    cfg.virtual_router_frac = 0.0;
+    cfg.customer_policy = bdrmap_topo::PolicyMix::all_normal();
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut any_mismatch = false;
+    'outer: for o in net.origins.iter() {
+        let dst = o.prefix.nth(1);
+        for (a, k) in traceroute(&dp, vp, dst).iter().flatten() {
+            if *k != RespKind::TimeExceeded {
+                continue;
+            }
+            let Some(owner) = net.owner_of_addr(*a) else {
+                continue;
+            };
+            let Some(mapped) = net.origins.lookup(*a).map(|x| x.origins[0]) else {
+                continue;
+            };
+            if mapped != owner && !net.graph.same_org(mapped, owner) {
+                any_mismatch = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        any_mismatch,
+        "RFC1812 sourcing should produce at least one address mapping to a third party"
+    );
+}
+
+#[test]
+fn virtual_router_sources_toward_destination() {
+    // A TowardDest router answers TTL-expired with the interface that
+    // would forward the probe onward — so probes through it toward
+    // different destinations can reveal different addresses of the same
+    // physical router (the Figure 13 input).
+    let mut cfg = TopoConfig::tiny(61);
+    cfg.virtual_router_frac = 1.0;
+    cfg.third_party_frac = 0.0;
+    cfg.customer_policy = bdrmap_topo::PolicyMix::all_normal();
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // Probe toward every routed prefix; collect per-ground-truth-router
+    // the set of source addresses seen in TTL-expired responses.
+    let mut per_router: std::collections::BTreeMap<_, std::collections::BTreeSet<Addr>> =
+        Default::default();
+    for o in net.origins.iter() {
+        let dst = o.prefix.nth(1);
+        for h in traceroute(&dp, vp, dst).iter().flatten() {
+            if h.1 == RespKind::TimeExceeded {
+                if let Some(r) = net.router_of_addr(h.0) {
+                    per_router.entry(r).or_default().insert(h.0);
+                }
+            }
+        }
+    }
+    let multi = per_router.values().filter(|s| s.len() >= 2).count();
+    assert!(
+        multi >= 1,
+        "with virtual-router sourcing some router must show several addresses: {per_router:?}"
+    );
+}
+
+#[test]
+fn firewall_answers_expiry_but_blocks_transit() {
+    // The paper's R5: a firewalling border answers the TTL-expired probe
+    // that dies on it, yet swallows probes that would transit.
+    let mut cfg = TopoConfig::tiny(62);
+    cfg.customer_policy = bdrmap_topo::PolicyMix {
+        firewall: 1.0,
+        silent: 0.0,
+        echo_other: 0.0,
+        rate_limited: 0.0,
+    };
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut verified = 0;
+    for a in net.graph.ases() {
+        if net.as_info(a).kind != AsKind::Stub {
+            continue;
+        }
+        // The stub's edge router firewalls; probe its own prefix.
+        let Some(pfx) = net.origins.prefixes_of(a).first().copied() else {
+            continue;
+        };
+        let hops = traceroute(&dp, vp, pfx.nth(3));
+        // The last responding hop must be a TTL-expired (the edge), and
+        // everything after must be silence (no DestUnreach from inside).
+        let responding: Vec<_> = hops.iter().flatten().collect();
+        if let Some(last) = responding.last() {
+            assert_eq!(
+                last.1,
+                RespKind::TimeExceeded,
+                "a firewalled stub must end in an expiry, not {last:?}"
+            );
+            verified += 1;
+        }
+    }
+    assert!(verified >= 3, "checked {verified} stubs");
+}
+
+#[test]
+fn echo_other_icmp_policy_emits_admin_filtered() {
+    let mut cfg = TopoConfig::tiny(63);
+    cfg.customer_policy = bdrmap_topo::PolicyMix {
+        firewall: 0.0,
+        silent: 0.0,
+        echo_other: 1.0,
+        rate_limited: 0.0,
+    };
+    let dp = DataPlane::new(generate(&cfg));
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut saw_admin = false;
+    'outer: for a in net.graph.ases() {
+        if net.as_info(a).kind != AsKind::Stub {
+            continue;
+        }
+        for pfx in net.origins.prefixes_of(a) {
+            for h in traceroute(&dp, vp, pfx.nth(5)).iter().flatten() {
+                if h.1 == RespKind::DestUnreach(crate::packet::UnreachReason::AdminFiltered) {
+                    // The source must map to the stub's own space — the
+                    // heuristic 8.2 signal.
+                    assert_eq!(net.owner_of_addr(h.0), Some(a));
+                    saw_admin = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    assert!(saw_admin, "no admin-filtered response observed");
+}
+
+#[test]
+fn congestion_profile_shape() {
+    use crate::plane::CongestionProfile;
+    let c = CongestionProfile {
+        peak_us: 10_000,
+        period_ms: 1000,
+    };
+    // Idle at cycle start and through the second half.
+    assert_eq!(c.delay_at(0), 0);
+    assert_eq!(c.delay_at(600), 0);
+    assert_eq!(c.delay_at(999), 0);
+    // Peaks near the quarter cycle.
+    let peak = c.delay_at(250);
+    assert!((9_000..=10_000).contains(&peak), "peak {peak}");
+    // Periodic.
+    assert_eq!(c.delay_at(250), c.delay_at(1250));
+}
+
+#[test]
+fn rtt_grows_with_hop_distance_and_congestion() {
+    use crate::plane::CongestionProfile;
+    let dp = plane(64);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // A responsive external interface.
+    let target = net
+        .ifaces
+        .iter()
+        .find(|i| {
+            let r = &net.routers[i.router.index()];
+            i.link.is_some()
+                && r.policy == ResponsePolicy::Normal
+                && !net.vp_siblings.contains(&r.owner)
+                && net.origins.lookup(i.addr).is_some()
+        })
+        .unwrap();
+    let ping = |t: u64| {
+        dp.probe(&Probe {
+            src: vp,
+            dst: target.addr,
+            ttl: 64,
+            flow: 5,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: t,
+        })
+    };
+    let quiet = ping(0).expect("reply").rtt_us;
+    assert!(quiet > 0, "RTT must be positive");
+    // Hop 1 must be faster than the full path.
+    let first_hop = dp
+        .probe(&Probe {
+            src: vp,
+            dst: target.addr,
+            ttl: 1,
+            flow: 5,
+            kind: ProbeKind::IcmpEcho,
+            time_ms: 0,
+        })
+        .expect("first hop");
+    assert!(first_hop.rtt_us < quiet, "{} !< {quiet}", first_hop.rtt_us);
+    // Congest a link the probe path demonstrably crosses: the inbound
+    // interface of the last time-exceeded hop identifies it.
+    let hops = traceroute(&dp, vp, target.addr);
+    let last_te = hops
+        .iter()
+        .flatten()
+        .rfind(|h| h.1 == RespKind::TimeExceeded)
+        .expect("trace has hops");
+    let link = net
+        .iface_of_addr(last_te.0)
+        .and_then(|i| i.link)
+        .expect("hop interface has a link");
+    dp.congest(
+        link,
+        CongestionProfile {
+            peak_us: 50_000,
+            period_ms: 1000,
+        },
+    );
+    let busy = ping(250).expect("reply").rtt_us;
+    let idle = ping(0).expect("reply").rtt_us;
+    assert!(busy > quiet + 20_000, "busy {busy} vs quiet {quiet}");
+    assert!(idle < quiet + 5_000, "idle {idle} vs quiet {quiet}");
+    dp.clear_congestion();
+}

@@ -1,0 +1,147 @@
+//! A1/A2: limitation and design-choice ablations.
+//!
+//! * A1 — disable alias resolution: reproduces the §5.5 / Figure 13
+//!   failure mode (unmerged interfaces masquerade as extra neighbor
+//!   routers);
+//! * A2 — probe one address per block instead of five: third-party
+//!   addresses go undetected more often (§5.3); also: disable stop sets
+//!   (probe cost only) and swap the inferred relationships for the
+//!   ground-truth labels (how much does relationship-inference noise
+//!   cost?).
+
+use crate::setup::Scenario;
+use crate::validate::{validate, Validation};
+use bdrmap_bgp::InferredRelationships;
+use bdrmap_core::{run_bdrmap, BdrmapConfig, Input};
+use bdrmap_topo::TopoConfig;
+use bdrmap_types::Asn;
+
+/// A deliberately hostile topology for the ablation suite: three times
+/// the usual rate of RFC1812 third-party sourcing and virtual-router
+/// responses, plus more provider-aggregatable delegation — the regimes
+/// where alias resolution and multi-address probing earn their keep
+/// (§5.3, §5.5).
+pub fn stress_config(seed: u64, scale: f64) -> TopoConfig {
+    let mut cfg = TopoConfig::large_access_scaled(seed, scale);
+    cfg.third_party_frac = 0.35;
+    cfg.virtual_router_frac = 0.15;
+    cfg.pa_space_frac = 0.05;
+    cfg.ipid_shared_frac = 0.4;
+    cfg.ipid_random_frac = 0.3;
+    cfg
+}
+
+/// One ablation outcome.
+#[derive(Clone, Debug)]
+pub struct AblationResult {
+    /// Variant name.
+    pub name: String,
+    /// Ground-truth scores.
+    pub validation: Validation,
+    /// Routers inferred (alias ablation inflates this).
+    pub routers: usize,
+    /// Probe packets spent.
+    pub packets: u64,
+    /// Inferred links per neighbor AS (router-splitting inflates this;
+    /// the Figure 13 signal).
+    pub links_per_neighbor: f64,
+}
+
+/// Run the standard ablation suite from one VP.
+pub fn run_ablations(sc: &Scenario, vp_idx: usize) -> Vec<AblationResult> {
+    let neighbors: Vec<Asn> = sc.input.view.neighbors_of(sc.net().vp_as);
+    let mut out = Vec::new();
+
+    let mut eval = |name: &str, input: &Input, cfg: &BdrmapConfig| {
+        let engine = sc.engine(vp_idx);
+        let map = run_bdrmap(&engine, input, cfg);
+        let neighbors_found = map.neighbors().len().max(1);
+        out.push(AblationResult {
+            name: name.to_string(),
+            validation: validate(sc.net(), &neighbors, &map),
+            routers: map.routers.len(),
+            packets: map.packets,
+            links_per_neighbor: map.links.len() as f64 / neighbors_found as f64,
+        });
+    };
+
+    let base = BdrmapConfig::default();
+    eval("full", &sc.input, &base);
+    eval(
+        "no-alias-resolution",
+        &sc.input,
+        &BdrmapConfig {
+            alias_resolution: false,
+            ..base
+        },
+    );
+    eval(
+        "one-addr-per-block",
+        &sc.input,
+        &BdrmapConfig {
+            addrs_per_block: 1,
+            ..base
+        },
+    );
+    eval(
+        "no-stop-sets",
+        &sc.input,
+        &BdrmapConfig {
+            use_stop_sets: false,
+            ..base
+        },
+    );
+
+    // Perfect relationship labels from ground truth.
+    let perfect = InferredRelationships::from_labels(sc.net().graph.ases().flat_map(|a| {
+        sc.net()
+            .graph
+            .neighbors(a)
+            .iter()
+            .filter(move |&&(b, _)| a < b)
+            .map(move |&(b, rel)| (a, b, rel))
+            .collect::<Vec<_>>()
+    }));
+    let input_perfect = Input {
+        view: sc.input.view.clone(),
+        rels: perfect,
+        ixp_prefixes: sc.input.ixp_prefixes.clone(),
+        rir: sc.input.rir.clone(),
+        vp_asns: sc.input.vp_asns.clone(),
+    };
+    eval("perfect-relationships", &input_perfect, &base);
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn ablations_run_and_order_sensibly() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(99));
+        let results = run_ablations(&sc, 0);
+        assert_eq!(results.len(), 5);
+        let get = |n: &str| results.iter().find(|r| r.name == n).unwrap();
+        let full = get("full");
+        let no_alias = get("no-alias-resolution");
+        let no_stop = get("no-stop-sets");
+        // Alias resolution merges interfaces: disabling it cannot shrink
+        // the router count.
+        assert!(no_alias.routers >= full.routers);
+        // Stop sets only save probes; accuracy should not collapse.
+        assert!(no_stop.packets > full.packets);
+        // Every variant still produces a usable map.
+        for r in &results {
+            assert!(r.validation.links_total > 0, "{} produced no links", r.name);
+            assert!(
+                r.validation.link_accuracy() > 0.5,
+                "{} accuracy {:.2}",
+                r.name,
+                r.validation.link_accuracy()
+            );
+        }
+    }
+}

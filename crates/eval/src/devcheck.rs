@@ -1,0 +1,192 @@
+//! Development-mode sanity checks (§5.1 of the paper).
+//!
+//! The authors built bdrmap for a year *without* ground truth, steering
+//! by two signals: whether DNS names on interdomain interfaces agreed
+//! with the inferences, and whether any border router showed a
+//! suspiciously high out-degree to routers of a single neighbor
+//! ("usually implied an incorrect inference"). Both checks are
+//! reproduced here against the synthesized PTR database — and the same
+//! §5.1 caveats apply: labels can be stale, and many use organisation
+//! nicknames rather than AS numbers, so the check is advisory, not
+//! validation.
+
+use bdrmap_core::BorderMap;
+use bdrmap_topo::dns::domain_of;
+use bdrmap_topo::DnsDb;
+use bdrmap_types::Asn;
+use std::collections::BTreeMap;
+
+/// Outcome of the DNS cross-check.
+#[derive(Clone, Debug, Default)]
+pub struct DnsCheck {
+    /// Links whose far-side interface carried a PTR with an operator
+    /// domain.
+    pub comparable: usize,
+    /// Of those, PTR domains agreeing with the inferred neighbor's name.
+    pub agree: usize,
+    /// Hostnames disagreeing (inference error *or* the §5.1 labeling
+    /// pitfalls), with the inferred neighbor.
+    pub disagree: Vec<(String, Asn)>,
+    /// Links whose far side had no PTR (or no far address — silent
+    /// neighbors cannot be DNS-checked).
+    pub uncovered: usize,
+}
+
+impl DnsCheck {
+    /// Agreement rate over comparable labels.
+    pub fn agreement(&self) -> f64 {
+        if self.comparable == 0 {
+            return 0.0;
+        }
+        self.agree as f64 / self.comparable as f64
+    }
+}
+
+/// Cross-check a border map against interface hostnames: the far-side
+/// address of each link is an interface of the neighbor's border
+/// router, whose PTR is rooted in the *operator's* domain — the signal
+/// the authors eyeballed during development (§5.1). `name_of` supplies
+/// the display name for an inferred neighbor AS (from WHOIS-style
+/// public data; here the generator's AS names).
+pub fn dns_check(db: &DnsDb, map: &BorderMap, name_of: impl Fn(Asn) -> String) -> DnsCheck {
+    let mut out = DnsCheck::default();
+    for l in &map.links {
+        let Some(far) = l.far_addr else {
+            out.uncovered += 1;
+            continue;
+        };
+        let Some(host) = db.lookup(far) else {
+            out.uncovered += 1;
+            continue;
+        };
+        match DnsDb::owner_domain(host) {
+            Some(domain) => {
+                out.comparable += 1;
+                if domain == domain_of(&name_of(l.far_as)) {
+                    out.agree += 1;
+                } else {
+                    out.disagree.push((host.to_string(), l.far_as));
+                }
+            }
+            None => out.uncovered += 1,
+        }
+    }
+    out
+}
+
+/// The degree check: near-side border routers with an implausibly high
+/// number of distinct far routers attributed to one neighbor AS.
+/// Interdomain links are point-to-point, so a near router fronting many
+/// far routers of a single AS usually means unresolved aliases or a
+/// misattributed owner (§5.4.7 / §5.1).
+pub fn degree_anomalies(map: &BorderMap, threshold: usize) -> Vec<DegreeAnomaly> {
+    let mut per: BTreeMap<(usize, bdrmap_types::Asn), usize> = BTreeMap::new();
+    for l in &map.links {
+        *per.entry((l.near, l.far_as)).or_insert(0) += 1;
+    }
+    per.into_iter()
+        .filter(|&(_, c)| c > threshold)
+        .map(|((near, far_as), count)| DegreeAnomaly {
+            near,
+            far_as,
+            count,
+        })
+        .collect()
+}
+
+/// One flagged near-router / neighbor pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DegreeAnomaly {
+    /// Index of the near-side router in the border map.
+    pub near: usize,
+    /// The neighbor with too many apparent parallel links.
+    pub far_as: bdrmap_types::Asn,
+    /// Distinct links counted.
+    pub count: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::Scenario;
+    use bdrmap_core::BdrmapConfig;
+    use bdrmap_topo::{DnsConfig, TopoConfig};
+
+    #[test]
+    fn dns_check_agrees_on_clean_names() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(801));
+        let map = sc.run_vp(0, &BdrmapConfig::default());
+        let db = DnsDb::synthesize(
+            sc.net(),
+            1,
+            &DnsConfig {
+                coverage: 1.0,
+                stale_frac: 0.0,
+                org_name_frac: 0.0,
+            },
+        );
+        let net = sc.net();
+        let check = dns_check(&db, &map, |a| net.as_info(a).name.clone());
+        assert!(check.comparable > 3, "comparable: {check:?}");
+        assert!(
+            check.agreement() > 0.8,
+            "agreement {:.2} ({} disagreements: {:?})",
+            check.agreement(),
+            check.disagree.len(),
+            check.disagree
+        );
+    }
+
+    #[test]
+    fn zero_coverage_means_nothing_comparable() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(803));
+        let map = sc.run_vp(0, &BdrmapConfig::default());
+        let db = DnsDb::synthesize(
+            sc.net(),
+            1,
+            &DnsConfig {
+                coverage: 0.0,
+                stale_frac: 0.0,
+                org_name_frac: 0.0,
+            },
+        );
+        let net = sc.net();
+        let check = dns_check(&db, &map, |a| net.as_info(a).name.clone());
+        assert_eq!(check.comparable, 0);
+        assert!(check.uncovered > 0);
+    }
+
+    #[test]
+    fn degree_check_quiet_on_healthy_map() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(804));
+        let map = sc.run_vp(0, &BdrmapConfig::default());
+        let anomalies = degree_anomalies(&map, 6);
+        assert!(
+            anomalies.len() <= 1,
+            "healthy map should not trip the degree check: {anomalies:?}"
+        );
+    }
+
+    #[test]
+    fn degree_check_fires_on_split_routers() {
+        // Without alias resolution, split far routers inflate per-pair
+        // link counts — the exact signal the authors watched for.
+        let mut cfg = TopoConfig::tiny(805);
+        cfg.virtual_router_frac = 0.7;
+        let sc = Scenario::build("tiny", &cfg);
+        let map_full = sc.run_vp(0, &BdrmapConfig::default());
+        let map_none = sc.run_vp(
+            0,
+            &BdrmapConfig {
+                alias_resolution: false,
+                ..Default::default()
+            },
+        );
+        let a_full: usize = degree_anomalies(&map_full, 2).iter().map(|a| a.count).sum();
+        let a_none: usize = degree_anomalies(&map_none, 2).iter().map(|a| a.count).sum();
+        assert!(
+            a_none >= a_full,
+            "alias ablation should not reduce degree anomalies: {a_none} vs {a_full}"
+        );
+    }
+}

@@ -1,0 +1,498 @@
+//! §6 interconnection insights: Figures 14, 15, and 16.
+//!
+//! All three figures analyse the traces of many VPs inside one large
+//! access network. Traces are collected once per VP and shared across
+//! the figures. Ground truth is used only to *aggregate* (identify
+//! which physical link or router an address is on); discovery itself
+//! comes purely from what the traces observed.
+
+use crate::setup::Scenario;
+use bdrmap_probe::{run_traces, RunOptions, TraceCollection};
+use bdrmap_topo::{AsKind, ExportStrategy, LinkKind};
+use bdrmap_types::{Addr, Asn, LinkId, Prefix, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Collect traces from every VP (shared by the three figures).
+pub fn collect_vp_traces(sc: &Scenario, addrs_per_block: u32) -> Vec<TraceCollection> {
+    let ip2as = sc.input.ip2as_for_probing();
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    (0..sc.num_vps())
+        .map(|i| {
+            let engine = sc.engine(i);
+            run_traces(
+                &engine,
+                &targets,
+                RunOptions {
+                    parallelism: 8,
+                    addrs_per_block,
+                    use_stop_sets: true,
+                },
+                |a| ip2as.is_external(a),
+            )
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Figure 14
+
+/// CDF points: (count, cumulative fraction of prefixes).
+pub type CdfSeries = Vec<(usize, f64)>;
+
+/// Per-prefix path diversity across all VPs.
+#[derive(Clone, Debug, Default)]
+pub struct PrefixDiversity {
+    /// For each routed prefix: distinct egress border routers and
+    /// distinct next-hop ASes observed across all VPs.
+    pub per_prefix: Vec<(Prefix, usize, usize)>,
+}
+
+/// The Figure 14 analysis over all prefixes and over far (non-customer)
+/// prefixes only. The paper's measurement covers the full IPv4 table,
+/// where the hosting network's own customers are a negligible share; in
+/// the simulator they are a sizeable share, so the far-only series is
+/// the one comparable to the paper's headline percentages.
+#[derive(Clone, Debug, Default)]
+pub struct Fig14 {
+    /// Every routed prefix.
+    pub all: PrefixDiversity,
+    /// Prefixes not originated by the hosting network's customers.
+    pub far: PrefixDiversity,
+}
+
+impl PrefixDiversity {
+    /// Fraction of prefixes whose router count satisfies `f`.
+    pub fn frac_routers(&self, f: impl Fn(usize) -> bool) -> f64 {
+        if self.per_prefix.is_empty() {
+            return 0.0;
+        }
+        self.per_prefix.iter().filter(|&&(_, r, _)| f(r)).count() as f64
+            / self.per_prefix.len() as f64
+    }
+
+    /// Fraction of prefixes reached via a single next-hop AS from every
+    /// VP (the paper's 67%).
+    pub fn frac_same_next_hop(&self) -> f64 {
+        if self.per_prefix.is_empty() {
+            return 0.0;
+        }
+        self.per_prefix.iter().filter(|&&(_, _, n)| n <= 1).count() as f64
+            / self.per_prefix.len() as f64
+    }
+
+    /// CDF points (x = count, y = fraction of prefixes with ≤ x) for the
+    /// router series and the next-hop-AS series.
+    pub fn cdfs(&self) -> (CdfSeries, CdfSeries) {
+        let cdf = |take: &dyn Fn(&(Prefix, usize, usize)) -> usize| {
+            let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
+            for e in &self.per_prefix {
+                *counts.entry(take(e)).or_insert(0) += 1;
+            }
+            let total = self.per_prefix.len().max(1) as f64;
+            let mut acc = 0usize;
+            counts
+                .into_iter()
+                .map(|(x, c)| {
+                    acc += c;
+                    (x, acc as f64 / total)
+                })
+                .collect::<Vec<_>>()
+        };
+        (cdf(&|e| e.1), cdf(&|e| e.2))
+    }
+}
+
+/// Figure 14: distribution of border routers and next-hop ASes per
+/// prefix over all VPs.
+pub fn fig14(sc: &Scenario, per_vp: &[TraceCollection]) -> Fig14 {
+    let net = sc.net();
+    // prefix → (routers, next hop ASes)
+    let mut agg: BTreeMap<Prefix, (BTreeSet<RouterId>, BTreeSet<Asn>)> = BTreeMap::new();
+    for coll in per_vp {
+        for tr in &coll.traces {
+            let Some((prefix, _)) = sc.input.view.origins_of(tr.dst) else {
+                continue;
+            };
+            // Last VP-org hop = egress border router; the hop after it
+            // is in the next-hop AS.
+            let hops: Vec<Addr> = tr.te_addrs().collect();
+            let mut egress: Option<RouterId> = None;
+            let mut next_as: Option<Asn> = None;
+            for (i, &a) in hops.iter().enumerate() {
+                let Some(owner) = net.owner_of_addr(a) else {
+                    continue;
+                };
+                if net.vp_siblings.contains(&owner) {
+                    egress = net.router_of_addr(a);
+                    next_as = hops[i + 1..].iter().find_map(|&b| {
+                        net.owner_of_addr(b)
+                            .filter(|o| !net.vp_siblings.contains(o))
+                    });
+                }
+            }
+            if let Some(r) = egress {
+                let e = agg.entry(prefix).or_default();
+                e.0.insert(r);
+                if let Some(nh) = next_as {
+                    e.1.insert(nh);
+                }
+            }
+        }
+    }
+    let per_prefix: Vec<(Prefix, usize, usize)> = agg
+        .into_iter()
+        .map(|(p, (rs, ns))| (p, rs.len(), ns.len()))
+        .collect();
+    // Far prefixes: origin is not a (transitive) customer organisation
+    // of the hosting network — approximated by direct customers, which
+    // is what dominates the simulated population.
+    let is_customer_prefix = |p: &Prefix| {
+        sc.input
+            .view
+            .origins_of_prefix(*p)
+            .and_then(|o| o.first().copied())
+            .map(|origin| {
+                net.vp_siblings.iter().any(|&v| {
+                    net.graph.relationship(v, origin) == Some(bdrmap_types::Relationship::Customer)
+                })
+            })
+            .unwrap_or(false)
+    };
+    let far = per_prefix
+        .iter()
+        .filter(|(p, _, _)| !is_customer_prefix(p))
+        .cloned()
+        .collect();
+    Fig14 {
+        all: PrefixDiversity { per_prefix },
+        far: PrefixDiversity { per_prefix: far },
+    }
+}
+
+// ------------------------------------------------------------- Figure 15
+
+/// One neighbor network's VP marginal-utility curve.
+#[derive(Clone, Debug)]
+pub struct UtilityCurve {
+    /// Display name.
+    pub name: String,
+    /// The neighbor AS.
+    pub asn: Asn,
+    /// Ground-truth interconnection count with the hosting network.
+    pub true_links: usize,
+    /// Cumulative distinct links discovered after k+1 VPs.
+    pub cumulative: Vec<usize>,
+}
+
+/// The neighbor networks Figure 15 tracks: major (Subset-export) peers
+/// and all CDNs, mirroring "two large transit providers and five CDNs".
+pub fn fig15_networks(sc: &Scenario) -> Vec<(String, Asn)> {
+    let net = sc.net();
+    let mut out = Vec::new();
+    for a in net.graph.ases() {
+        let info = net.as_info(a);
+        if net.vp_siblings.contains(&a) {
+            continue;
+        }
+        let peer_of_vp = net
+            .graph
+            .relationship(net.vp_as, a)
+            .is_some_and(|r| r == bdrmap_types::Relationship::Peer);
+        if !peer_of_vp {
+            continue;
+        }
+        let major = matches!(info.export, ExportStrategy::Subset { .. });
+        if info.kind == AsKind::Cdn || major {
+            out.push((info.name.clone(), a));
+        }
+    }
+    out
+}
+
+/// Ground-truth links crossed by a trace collection toward neighbor `n`.
+fn links_seen(sc: &Scenario, coll: &TraceCollection, n: Asn) -> BTreeSet<LinkId> {
+    let net = sc.net();
+    let mut out = BTreeSet::new();
+    for tr in &coll.traces {
+        for a in tr.te_addrs() {
+            let Some(ifc) = net.iface_of_addr(a) else {
+                continue;
+            };
+            let Some(link_id) = ifc.link else { continue };
+            let link = &net.links[link_id.index()];
+            match link.kind {
+                LinkKind::Interdomain { .. } | LinkKind::IxpLan { .. } => {}
+                LinkKind::Internal => continue,
+            }
+            let parties = net.link_parties(link_id);
+            let has_vp = parties.iter().any(|p| net.vp_siblings.contains(p));
+            let has_n = parties.contains(&n);
+            if has_vp && has_n {
+                // For a shared IXP LAN only count it if the address seen
+                // is actually the neighbor's port.
+                if matches!(link.kind, LinkKind::IxpLan { .. }) && net.owner_of_addr(a) != Some(n) {
+                    continue;
+                }
+                out.insert(link_id);
+            }
+        }
+    }
+    out
+}
+
+/// Figure 15: marginal utility of VPs for discovering each neighbor's
+/// interconnections. VPs accumulate in deployment (west→east) order.
+pub fn fig15(sc: &Scenario, per_vp: &[TraceCollection]) -> Vec<UtilityCurve> {
+    let net = sc.net();
+    fig15_networks(sc)
+        .into_iter()
+        .map(|(name, asn)| {
+            let direct: usize = net
+                .vp_siblings
+                .iter()
+                .map(|&v| net.interdomain_links_between(v, asn).len())
+                .sum();
+            // Shared IXP fabrics count as one interconnection each.
+            let via_ixp = net
+                .ixps
+                .iter()
+                .filter(|x| {
+                    x.members.contains(&asn)
+                        && x.members.iter().any(|m| net.vp_siblings.contains(m))
+                })
+                .count();
+            let true_links = direct + via_ixp;
+            let mut seen: BTreeSet<LinkId> = BTreeSet::new();
+            let cumulative = per_vp
+                .iter()
+                .map(|coll| {
+                    seen.extend(links_seen(sc, coll, asn));
+                    seen.len()
+                })
+                .collect();
+            UtilityCurve {
+                name,
+                asn,
+                true_links,
+                cumulative,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- Figure 16
+
+/// One VP's row in Figure 16: its longitude and the longitudes of the
+/// interdomain links it observed, per tracked neighbor.
+#[derive(Clone, Debug)]
+pub struct GeoRow {
+    /// VP index.
+    pub vp: usize,
+    /// VP longitude.
+    pub vp_longitude: f64,
+    /// Neighbor name → longitudes of observed link near-side PoPs.
+    pub links: BTreeMap<String, Vec<f64>>,
+}
+
+/// Figure 16: geographic spread of observed interconnections per VP.
+pub fn fig16(sc: &Scenario, per_vp: &[TraceCollection]) -> Vec<GeoRow> {
+    let net = sc.net();
+    let networks = fig15_networks(sc);
+    per_vp
+        .iter()
+        .enumerate()
+        .map(|(i, coll)| {
+            let vp = &net.vps[i];
+            let pop = net.routers[vp.attach.index()].pop;
+            let vp_longitude = net.pops[pop.index()].longitude;
+            let mut links: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            for (name, asn) in &networks {
+                let mut lons: Vec<f64> = links_seen(sc, coll, *asn)
+                    .into_iter()
+                    .map(|lid| {
+                        let link = &net.links[lid.index()];
+                        // Longitude of the VP-side endpoint.
+                        let near = link
+                            .ifaces
+                            .iter()
+                            .map(|ifc| &net.ifaces[ifc.index()])
+                            .find(|ifc| {
+                                net.vp_siblings
+                                    .contains(&net.routers[ifc.router.index()].owner)
+                            })
+                            .map(|ifc| net.routers[ifc.router.index()].pop)
+                            .unwrap_or(pop);
+                        net.pops[near.index()].longitude
+                    })
+                    .collect();
+                lons.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                links.insert(name.clone(), lons);
+            }
+            GeoRow {
+                vp: i,
+                vp_longitude,
+                links,
+            }
+        })
+        .collect()
+}
+
+/// Figure 16, the paper's way: geolocate the VP-side border interfaces
+/// from the city codes embedded in their reverse DNS instead of from
+/// ground truth. Uncovered or unparseable hostnames drop out, exactly
+/// as they did for the authors.
+pub fn fig16_dns(
+    sc: &Scenario,
+    per_vp: &[TraceCollection],
+    dns: &bdrmap_topo::DnsDb,
+) -> Vec<GeoRow> {
+    let net = sc.net();
+    let networks = fig15_networks(sc);
+    // City-code → longitude from the PoP catalogue.
+    let mut code_lon: BTreeMap<String, f64> = BTreeMap::new();
+    for p in &net.pops {
+        code_lon
+            .entry(bdrmap_topo::dns::city_code(&p.name))
+            .or_insert(p.longitude);
+    }
+    per_vp
+        .iter()
+        .enumerate()
+        .map(|(i, coll)| {
+            let vp = &net.vps[i];
+            let pop = net.routers[vp.attach.index()].pop;
+            let vp_longitude = net.pops[pop.index()].longitude;
+            let mut links: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+            for (name, asn) in &networks {
+                let mut lons: Vec<f64> = links_seen(sc, coll, *asn)
+                    .into_iter()
+                    .filter_map(|lid| {
+                        // The VP-side interface of the link, geolocated
+                        // by its PTR city code.
+                        let link = &net.links[lid.index()];
+                        let near = link
+                            .ifaces
+                            .iter()
+                            .map(|ifc| &net.ifaces[ifc.index()])
+                            .find(|ifc| {
+                                net.vp_siblings
+                                    .contains(&net.routers[ifc.router.index()].owner)
+                            })?;
+                        let host = dns.lookup(near.addr)?;
+                        let code = bdrmap_topo::DnsDb::city_of(host)?;
+                        code_lon.get(code).copied()
+                    })
+                    .collect();
+                lons.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                links.insert(name.clone(), lons);
+            }
+            GeoRow {
+                vp: i,
+                vp_longitude,
+                links,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::TopoConfig;
+
+    fn scenario() -> Scenario {
+        Scenario::build("scaled-access", &TopoConfig::large_access_scaled(91, 0.04))
+    }
+
+    #[test]
+    fn figures_have_consistent_shapes() {
+        let sc = scenario();
+        let per_vp = collect_vp_traces(&sc, 2);
+        assert_eq!(per_vp.len(), 19);
+
+        let f14 = fig14(&sc, &per_vp);
+        assert!(!f14.all.per_prefix.is_empty());
+        assert!(f14.far.per_prefix.len() <= f14.all.per_prefix.len());
+        // Multiple VPs must expose egress diversity for at least some
+        // prefixes.
+        assert!(
+            f14.all.per_prefix.iter().any(|&(_, r, _)| r >= 2),
+            "no prefix with >1 egress router"
+        );
+        let (r_cdf, n_cdf) = f14.all.cdfs();
+        assert!(r_cdf.last().unwrap().1 > 0.999);
+        assert!(n_cdf.last().unwrap().1 > 0.999);
+
+        let f15 = fig15(&sc, &per_vp);
+        assert!(!f15.is_empty(), "no tracked neighbor networks");
+        for c in &f15 {
+            // Cumulative curves are monotone and bounded by truth.
+            assert!(c.cumulative.windows(2).all(|w| w[0] <= w[1]), "{}", c.name);
+            assert!(*c.cumulative.last().unwrap() <= c.true_links.max(1) + 2);
+        }
+
+        let f16 = fig16(&sc, &per_vp);
+        assert_eq!(f16.len(), 19);
+        // VPs are placed west→east.
+        assert!(f16.first().unwrap().vp_longitude <= f16.last().unwrap().vp_longitude);
+    }
+
+    #[test]
+    fn dns_geolocation_matches_ground_truth_where_covered() {
+        let sc = scenario();
+        let per_vp = collect_vp_traces(&sc, 2);
+        let dns = bdrmap_topo::DnsDb::synthesize(
+            sc.net(),
+            7,
+            &bdrmap_topo::DnsConfig {
+                coverage: 1.0,
+                stale_frac: 0.0,
+                org_name_frac: 0.0,
+            },
+        );
+        let truth = fig16(&sc, &per_vp);
+        let viadns = fig16_dns(&sc, &per_vp, &dns);
+        assert_eq!(truth.len(), viadns.len());
+        for (t, d) in truth.iter().zip(&viadns) {
+            for (name, lons) in &t.links {
+                let dl = &d.links[name];
+                // With full PTR coverage the DNS-derived longitudes are
+                // the same multiset (city-code collisions may merge a
+                // couple of nearby cities; allow equal-or-smaller).
+                assert!(dl.len() <= lons.len());
+                for l in dl {
+                    assert!(
+                        lons.iter().any(|x| (x - l).abs() < 1e-6),
+                        "{name}: DNS longitude {l} not in truth {lons:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn anchored_cdn_discovered_by_single_vp() {
+        let sc = scenario();
+        let net = sc.net();
+        // The anchored CDN ("Akamai"): one VP should discover (nearly)
+        // all its links; find it by export strategy.
+        let anchored: Vec<Asn> = fig15_networks(&sc)
+            .into_iter()
+            .filter(|(_, a)| matches!(net.as_info(*a).export, ExportStrategy::Anchored))
+            .map(|(_, a)| a)
+            .collect();
+        if anchored.is_empty() {
+            return; // scaled preset may drop all anchored CDNs
+        }
+        let per_vp = collect_vp_traces(&sc, 2);
+        let f15 = fig15(&sc, &per_vp);
+        for c in f15.iter().filter(|c| anchored.contains(&c.asn)) {
+            let first = c.cumulative[0];
+            let last = *c.cumulative.last().unwrap();
+            assert!(
+                first * 10 >= last * 6,
+                "{}: first VP saw {first}/{last} links — anchored CDNs should be visible from one VP",
+                c.name
+            );
+        }
+    }
+}

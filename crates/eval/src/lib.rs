@@ -1,0 +1,31 @@
+//! Evaluation harness: regenerates every table and figure of the paper
+//! against the simulator's ground truth.
+//!
+//! | Module        | Paper artefact |
+//! |---------------|----------------|
+//! | [`setup`]     | scenario assembly (network + public inputs + VPs) |
+//! | [`validate`]  | §5.6 ground-truth validation (V1) |
+//! | [`table1`]    | Table 1: heuristic usage vs BGP coverage (T1) |
+//! | [`insights`]  | Figures 14, 15, 16 (§6 interconnection insights) |
+//! | [`runtime`]   | §5.3 run-time and stop-set efficiency (R1) |
+//! | [`resources`] | §5.8 resource-limited devices (R2) |
+//! | [`ablation`]  | §5.5 limitation + design-choice ablations (A1/A2) |
+//! | [`report`]    | plain-text table rendering |
+//!
+//! Only this crate is allowed to look at ground truth.
+
+pub mod ablation;
+pub mod artifacts;
+pub mod devcheck;
+pub mod fleet;
+pub mod insights;
+pub mod report;
+pub mod resilience;
+pub mod resources;
+pub mod runtime;
+pub mod setup;
+pub mod table1;
+pub mod validate;
+
+pub use setup::Scenario;
+pub use validate::Validation;

@@ -1,0 +1,98 @@
+//! Plain-text table rendering for experiment reports.
+
+/// A fixed-width text table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with a header row.
+    pub fn new(header: &[&str]) -> TextTable {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (cells stringified by the caller).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = width[i].max(h.len());
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<w$}", c, w = width[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as a percentage with one decimal, or blank for
+/// zero (matching the paper's sparse Table 1 style).
+pub fn pct(x: f64) -> String {
+    if x <= 0.0 {
+        String::new()
+    } else {
+        format!("{:.1}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["name", "value"]);
+        t.row(vec!["alpha".into(), "1".into()]);
+        t.row(vec!["b".into(), "10000".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("alpha"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0), "");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(pct(0.963), "96.3%");
+    }
+}

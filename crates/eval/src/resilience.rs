@@ -1,0 +1,124 @@
+//! Resilience analysis (the paper's §2 motivation).
+//!
+//! "The capability to correctly identify the interdomain links of a
+//! network also enables analysis of network resiliency … we can use
+//! comprehensive traceroutes to estimate which routers, links, and
+//! interconnection facilities carry traffic to a significant fraction
+//! of the Internet, and the potential of an attack or outage to disrupt
+//! connectivity." This module computes exactly that over a VP's traces:
+//! for each border router of the hosting network, the fraction of
+//! routed prefixes whose probe traffic crossed it.
+
+use crate::setup::Scenario;
+use bdrmap_probe::TraceCollection;
+use bdrmap_types::{Prefix, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One border router's criticality.
+#[derive(Clone, Debug)]
+pub struct CriticalRouter {
+    /// Ground-truth router identity (evaluation aggregation key).
+    pub router: RouterId,
+    /// PoP city name.
+    pub city: String,
+    /// Routed prefixes whose traces crossed this router.
+    pub prefixes: usize,
+    /// Fraction of all observed prefixes.
+    pub share: f64,
+}
+
+/// Rank the hosting network's border routers by the fraction of routed
+/// prefixes they carry.
+pub fn critical_routers(sc: &Scenario, coll: &TraceCollection) -> Vec<CriticalRouter> {
+    let net = sc.net();
+    let mut per_router: BTreeMap<RouterId, BTreeSet<Prefix>> = BTreeMap::new();
+    let mut all_prefixes: BTreeSet<Prefix> = BTreeSet::new();
+    for tr in &coll.traces {
+        let Some((prefix, _)) = sc.input.view.origins_of(tr.dst) else {
+            continue;
+        };
+        all_prefixes.insert(prefix);
+        for a in tr.te_addrs() {
+            let Some(r) = net.router_of_addr(a) else {
+                continue;
+            };
+            let router = &net.routers[r.index()];
+            if router.is_border && net.vp_siblings.contains(&router.owner) {
+                per_router.entry(r).or_default().insert(prefix);
+            }
+        }
+    }
+    let total = all_prefixes.len().max(1) as f64;
+    let mut out: Vec<CriticalRouter> = per_router
+        .into_iter()
+        .map(|(r, prefixes)| {
+            let pop = net.routers[r.index()].pop;
+            CriticalRouter {
+                router: r,
+                city: net.pops[pop.index()].name.clone(),
+                prefixes: prefixes.len(),
+                share: prefixes.len() as f64 / total,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.prefixes.cmp(&a.prefixes).then(a.router.cmp(&b.router)));
+    out
+}
+
+/// What fraction of prefixes would lose their *observed* path if the
+/// top-`k` critical routers failed (an upper bound on disruption: real
+/// routing would re-converge, but the observed egress diversity bounds
+/// the blast radius).
+pub fn disruption_share(ranked: &[CriticalRouter], k: usize) -> f64 {
+    // Shares overlap (a prefix can cross several critical routers), so
+    // this is the max single-router share for k=1 and a union-bound cap
+    // otherwise.
+    ranked
+        .iter()
+        .take(k)
+        .map(|r| r.share)
+        .fold(0.0f64, |acc, s| (acc + s).min(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insights::collect_vp_traces;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn border_routers_rank_by_carried_prefixes() {
+        let sc = crate::Scenario::build("tiny", &TopoConfig::tiny(901));
+        let per_vp = collect_vp_traces(&sc, 2);
+        let ranked = critical_routers(&sc, &per_vp[0]);
+        assert!(!ranked.is_empty());
+        // Sorted descending.
+        assert!(ranked.windows(2).all(|w| w[0].prefixes >= w[1].prefixes));
+        // Every entry is a genuine VP-org border router.
+        let net = sc.net();
+        for r in &ranked {
+            let router = &net.routers[r.router.index()];
+            assert!(router.is_border);
+            assert!(net.vp_siblings.contains(&router.owner));
+            assert!(r.share <= 1.0);
+        }
+        // Something carries a meaningful share of the Internet.
+        assert!(
+            ranked[0].share > 0.2,
+            "top border router carries {:.2}",
+            ranked[0].share
+        );
+    }
+
+    #[test]
+    fn disruption_is_monotone_and_capped() {
+        let sc = crate::Scenario::build("tiny", &TopoConfig::tiny(902));
+        let per_vp = collect_vp_traces(&sc, 2);
+        let ranked = critical_routers(&sc, &per_vp[0]);
+        let d1 = disruption_share(&ranked, 1);
+        let d3 = disruption_share(&ranked, 3);
+        let dall = disruption_share(&ranked, ranked.len());
+        assert!(d1 <= d3 && d3 <= dall);
+        assert!(dall <= 1.0);
+    }
+}

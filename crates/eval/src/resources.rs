@@ -1,0 +1,107 @@
+//! R2: resource-limited devices (§5.8).
+//!
+//! The paper measured bdrmap needing ≈150 MB of RAM while the probing
+//! device (scamper on BISmark) used 3.5 MB. We account state the same
+//! way: everything bdrmap must hold centrally (IP-to-AS view, targets,
+//! stop sets, collected traces) versus the device's resident buffers.
+
+use crate::setup::Scenario;
+use bdrmap_core::BdrmapConfig;
+use bdrmap_probe::remote::Controller;
+use bdrmap_probe::Prober;
+use std::sync::Arc;
+
+/// Byte accounting for the two deployment models.
+#[derive(Clone, Debug)]
+pub struct ResourceReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Bytes of state the central bdrmap process must hold.
+    pub central_bytes: u64,
+    /// Bytes resident on the measurement device (offload mode).
+    pub device_bytes: u64,
+    /// Traces collected during the accounting run.
+    pub traces: usize,
+}
+
+impl ResourceReport {
+    /// Central-to-device ratio (the paper's two-orders-of-magnitude
+    /// headline).
+    pub fn ratio(&self) -> f64 {
+        self.central_bytes as f64 / self.device_bytes.max(1) as f64
+    }
+}
+
+/// Estimate the central state size for an input + trace set.
+/// The estimate mirrors what the real implementation keeps resident:
+/// per-prefix origin entries, per-block targets, stop sets, and every
+/// collected trace hop.
+fn central_state_bytes(sc: &Scenario, traces: &[bdrmap_probe::Trace]) -> u64 {
+    let prefixes = sc.input.view.num_prefixes() as u64;
+    let rir = sc.input.rir.len() as u64;
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    let blocks: u64 = targets.iter().map(|t| t.blocks.len() as u64).sum();
+    let hops: u64 = traces.iter().map(|t| t.hops.len() as u64).sum();
+    // Struct sizes: a trie entry ≈ 48 B (node + origins vec), an RIR
+    // record 16 B, a block 12 B, a hop 16 B, a trace header 32 B.
+    prefixes * 48 + rir * 16 + blocks * 12 + hops * 16 + traces.len() as u64 * 32
+}
+
+/// Run a full offloaded measurement and account both sides.
+pub fn resources(sc: &Scenario, vp_idx: usize) -> ResourceReport {
+    let vp = sc.net().vps[vp_idx].addr;
+    let (ctl, device, handle) = Controller::spawn_local(Arc::clone(&sc.dp), vp, 100, 128);
+    let cfg = BdrmapConfig {
+        parallelism: 1,
+        ..Default::default()
+    };
+
+    // Drive the trace phase through the device.
+    let ip2as = sc.input.ip2as_for_probing();
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    let coll = bdrmap_probe::run_traces(
+        &ctl,
+        &targets,
+        bdrmap_probe::RunOptions {
+            parallelism: cfg.parallelism,
+            addrs_per_block: cfg.addrs_per_block,
+            use_stop_sets: true,
+        },
+        |a| ip2as.is_external(a),
+    );
+    let _ = ctl.budget();
+    ctl.shutdown();
+    handle.join().expect("device thread");
+
+    let central = central_state_bytes(sc, &coll.traces);
+    ResourceReport {
+        scenario: sc.name.clone(),
+        central_bytes: central,
+        device_bytes: device.state_bytes(),
+        traces: coll.traces.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn central_state_dwarfs_device_state() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(97));
+        let r = resources(&sc, 0);
+        assert!(r.traces > 10);
+        assert!(
+            r.device_bytes < 16 * 1024,
+            "device used {} B",
+            r.device_bytes
+        );
+        assert!(
+            r.ratio() > 10.0,
+            "central {} B vs device {} B",
+            r.central_bytes,
+            r.device_bytes
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! R1: run-time and probing efficiency (§5.3).
+//!
+//! The paper reports ≈12 h for an R&E network and ≈48 h for a large
+//! access network at 100 pps. Probe counts here convert to simulated
+//! hours the same way; the stop-set ablation quantifies how much
+//! doubletree saves.
+
+use crate::setup::Scenario;
+use bdrmap_probe::{run_traces, RunOptions};
+
+/// Run-time comparison with and without stop sets.
+#[derive(Clone, Debug)]
+pub struct RuntimeReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Packets with stop sets enabled.
+    pub packets_with: u64,
+    /// Simulated hours at the engine's pps with stop sets.
+    pub hours_with: f64,
+    /// Packets with stop sets disabled.
+    pub packets_without: u64,
+    /// Simulated hours without stop sets.
+    pub hours_without: f64,
+}
+
+impl RuntimeReport {
+    /// Probe-count ratio (without / with).
+    pub fn savings_factor(&self) -> f64 {
+        if self.packets_with == 0 {
+            return 0.0;
+        }
+        self.packets_without as f64 / self.packets_with as f64
+    }
+}
+
+/// Measure trace-phase run time for one VP, with and without stop sets.
+pub fn runtime(sc: &Scenario, vp_idx: usize) -> RuntimeReport {
+    let ip2as = sc.input.ip2as_for_probing();
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+
+    let run = |use_stop_sets: bool| {
+        let engine = sc.engine(vp_idx);
+        let coll = run_traces(
+            &engine,
+            &targets,
+            RunOptions {
+                parallelism: 8,
+                addrs_per_block: 5,
+                use_stop_sets,
+            },
+            |a| ip2as.is_external(a),
+        );
+        coll.budget
+    };
+    let with = run(true);
+    let without = run(false);
+    RuntimeReport {
+        scenario: sc.name.clone(),
+        packets_with: with.packets,
+        hours_with: with.hours(),
+        packets_without: without.packets,
+        hours_without: without.hours(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn stop_sets_save_probes() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(95));
+        let r = runtime(&sc, 0);
+        assert!(r.packets_with > 0);
+        assert!(
+            r.packets_without > r.packets_with,
+            "stop sets should reduce probing: {} vs {}",
+            r.packets_with,
+            r.packets_without
+        );
+        assert!(r.savings_factor() > 1.0);
+        assert!(r.hours_with > 0.0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Table 1: evaluation of bdrmap heuristics against BGP observations.
+//!
+//! Rows are the §5.4 heuristics; columns split the hosting network's
+//! neighbors into customers / peers / providers as labeled by the
+//! relationship inference, plus a "trace" column for interdomain links
+//! bdrmap found that are *not* visible in public BGP.
+
+use crate::report::{pct, TextTable};
+use crate::setup::Scenario;
+use bdrmap_core::{BorderMap, Heuristic};
+use bdrmap_types::{Asn, Relationship};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Column indices.
+const CUST: usize = 0;
+const PEER: usize = 1;
+const PROV: usize = 2;
+const TRACE: usize = 3;
+
+/// Table 1 for one scenario.
+#[derive(Clone, Debug)]
+pub struct Table1 {
+    /// Scenario name.
+    pub scenario: String,
+    /// Neighbors observed in the public BGP view, by relationship.
+    pub observed_bgp: [usize; 3],
+    /// Neighbors observed by bdrmap, by column.
+    pub observed_bdrmap: [usize; 4],
+    /// Fraction of BGP-observed neighbors that bdrmap found.
+    pub coverage: f64,
+    /// Heuristic rows: (label, share of each column's neighbors).
+    pub rows: Vec<(String, [f64; 4])>,
+    /// Distinct neighbor routers inferred, by column.
+    pub neighbor_routers: [usize; 4],
+}
+
+/// The paper's row label for a heuristic tag. `in_bgp` distinguishes the
+/// "hidden peer" trace-column variant of step 5.5.
+fn row_label(h: Heuristic, in_bgp: bool) -> &'static str {
+    match h {
+        Heuristic::MultihomedToVp => "1. Multihomed to VP",
+        Heuristic::Firewall | Heuristic::FirewallNextAs => "2. Firewall",
+        Heuristic::UnroutedOneAs | Heuristic::UnroutedProvider | Heuristic::UnroutedNextAs => {
+            "3. Unrouted interface"
+        }
+        Heuristic::OneNet | Heuristic::OneNetConsecutive => "4. IP-AS (onenet)",
+        Heuristic::ThirdParty => "5. Third party",
+        Heuristic::RelKnownNeighbor | Heuristic::RelCustomerOfCustomer => "5. AS relationship",
+        Heuristic::RelSubsequentSingle => {
+            if in_bgp {
+                "5. AS relationship"
+            } else {
+                "5. Hidden peer"
+            }
+        }
+        Heuristic::CountMajority => "6. Count",
+        Heuristic::IpAsFallback => "6. IP-AS",
+        Heuristic::CollapsedPtp => "7. Collapsed",
+        Heuristic::SilentNeighbor => "8. Silent neighbor",
+        Heuristic::OtherIcmp => "8. Other ICMP",
+        Heuristic::VpInternal => "1. VP internal",
+    }
+}
+
+/// Fixed row order matching the paper's table.
+const ROW_ORDER: &[&str] = &[
+    "1. Multihomed to VP",
+    "2. Firewall",
+    "3. Unrouted interface",
+    "4. IP-AS (onenet)",
+    "5. Third party",
+    "5. AS relationship",
+    "5. Hidden peer",
+    "6. Count",
+    "6. IP-AS",
+    "8. Silent neighbor",
+    "8. Other ICMP",
+];
+
+/// Build Table 1 from one VP's border map.
+pub fn table1(sc: &Scenario, map: &BorderMap) -> Table1 {
+    let input = &sc.input;
+    let vp_asns = &input.vp_asns;
+
+    // Which column does a neighbor AS fall into?
+    let column_of = |a: Asn| -> usize {
+        let in_bgp = vp_asns.iter().any(|&v| input.view.has_link(v, a));
+        if !in_bgp {
+            return TRACE;
+        }
+        let rel = vp_asns.iter().find_map(|&v| input.rels.relationship(v, a));
+        match rel {
+            Some(Relationship::Customer) => CUST,
+            Some(Relationship::Provider) => PROV,
+            Some(Relationship::Peer) | None => PEER,
+        }
+    };
+
+    // Observed in BGP: view neighbors by relationship.
+    let mut observed_bgp = [0usize; 3];
+    let mut bgp_neighbors: BTreeSet<Asn> = BTreeSet::new();
+    for &v in vp_asns {
+        bgp_neighbors.extend(input.view.neighbors_of(v));
+    }
+    bgp_neighbors.retain(|a| !vp_asns.contains(a));
+    for &a in &bgp_neighbors {
+        let c = column_of(a);
+        if c < 3 {
+            observed_bgp[c] += 1;
+        }
+    }
+
+    // bdrmap-observed neighbors, attributed to the heuristic of their
+    // first (closest) link.
+    let by_neighbor = map.links_by_neighbor();
+    let mut observed_bdrmap = [0usize; 4];
+    let mut neighbor_routers = [0usize; 4];
+    let mut row_counts: BTreeMap<&'static str, [usize; 4]> = BTreeMap::new();
+    for (&a, links) in &by_neighbor {
+        let col = column_of(a);
+        observed_bdrmap[col] += 1;
+        // Distinct far routers (silent links count one each).
+        let mut fars: BTreeSet<Option<usize>> = BTreeSet::new();
+        for l in links {
+            fars.insert(l.far);
+        }
+        neighbor_routers[col] += fars.len();
+        // Attribute the neighbor to its first link's heuristic.
+        let first = links
+            .iter()
+            .min_by_key(|l| l.far.map(|f| map.routers[f].min_hop).unwrap_or(u8::MAX))
+            .unwrap();
+        let label = row_label(first.heuristic, col != TRACE);
+        row_counts.entry(label).or_insert([0; 4])[col] += 1;
+    }
+
+    let found = bgp_neighbors
+        .iter()
+        .filter(|&&a| by_neighbor.keys().any(|&b| b == a))
+        .count();
+    let coverage = if bgp_neighbors.is_empty() {
+        0.0
+    } else {
+        found as f64 / bgp_neighbors.len() as f64
+    };
+
+    let rows = ROW_ORDER
+        .iter()
+        .filter_map(|&label| {
+            let counts = row_counts.get(label)?;
+            let mut shares = [0.0f64; 4];
+            for c in 0..4 {
+                if observed_bdrmap[c] > 0 {
+                    shares[c] = counts[c] as f64 / observed_bdrmap[c] as f64;
+                }
+            }
+            Some((label.to_string(), shares))
+        })
+        .collect();
+
+    Table1 {
+        scenario: sc.name.clone(),
+        observed_bgp,
+        observed_bdrmap,
+        coverage,
+        rows,
+        neighbor_routers,
+    }
+}
+
+/// Render in the paper's layout.
+pub fn render(t: &Table1) -> String {
+    let mut out = format!("Table 1 — {}\n", t.scenario);
+    let mut tt = TextTable::new(&["", "cust", "peer", "prov", "trace"]);
+    tt.row(vec![
+        "Observed in BGP".into(),
+        t.observed_bgp[0].to_string(),
+        t.observed_bgp[1].to_string(),
+        t.observed_bgp[2].to_string(),
+        String::new(),
+    ]);
+    tt.row(vec![
+        "Observed in bdrmap".into(),
+        t.observed_bdrmap[0].to_string(),
+        t.observed_bdrmap[1].to_string(),
+        t.observed_bdrmap[2].to_string(),
+        t.observed_bdrmap[3].to_string(),
+    ]);
+    tt.row(vec![
+        "Coverage of BGP".into(),
+        pct(t.coverage),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
+    for (label, shares) in &t.rows {
+        tt.row(vec![
+            label.clone(),
+            pct(shares[0]),
+            pct(shares[1]),
+            pct(shares[2]),
+            pct(shares[3]),
+        ]);
+    }
+    tt.row(vec![
+        "Neighbor routers".into(),
+        t.neighbor_routers[0].to_string(),
+        t.neighbor_routers[1].to_string(),
+        t.neighbor_routers[2].to_string(),
+        t.neighbor_routers[3].to_string(),
+    ]);
+    out.push_str(&tt.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_core::BdrmapConfig;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn table1_has_sane_shape() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(81));
+        let map = sc.run_vp(0, &BdrmapConfig::default());
+        let t = table1(&sc, &map);
+        assert!(t.observed_bdrmap.iter().sum::<usize>() > 3);
+        assert!(t.coverage > 0.5, "coverage {:.2}", t.coverage);
+        // Shares per column sum to ≈1 where the column is populated.
+        for c in 0..4 {
+            if t.observed_bdrmap[c] > 0 {
+                let sum: f64 = t.rows.iter().map(|(_, s)| s[c]).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "column {c} sums to {sum}");
+            }
+        }
+        let rendered = render(&t);
+        assert!(rendered.contains("Coverage of BGP"));
+        assert!(rendered.contains("Neighbor routers"));
+    }
+}

@@ -1,0 +1,316 @@
+//! Alias resolution: Ally + MIDAR monotonicity, Mercator, prefixscan.
+
+use crate::midar::{monotonic_bounds_test, IpidSeries, MbtOutcome};
+use bdrmap_dataplane::{Probe, ProbeKind, RespKind, Response};
+use bdrmap_types::{Addr, Prefix};
+
+/// Outcome of an alias test on a pair of addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AliasVerdict {
+    /// Evidence the two addresses share one router.
+    Aliases,
+    /// Evidence they do not (independent counters, distinct Mercator
+    /// sources).
+    NotAliases,
+    /// Not enough signal (unresponsive, constant IPIDs, …).
+    Unknown,
+}
+
+/// Result of a Mercator probe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MercatorResult {
+    /// The probed address.
+    pub probed: Addr,
+    /// The source of the port-unreachable response.
+    pub responded_from: Addr,
+}
+
+/// Alias resolution driver. Generic over a probe-sending closure so the
+/// engine can stamp time and count packets.
+pub struct AliasProber<F: FnMut(Probe) -> Option<Response>> {
+    send: F,
+    src: Addr,
+}
+
+/// Probes per Ally round *per address* (3 interleaved pairs).
+const ALLY_SAMPLES: usize = 3;
+/// Repeat rounds to reject coincidentally-overlapping counters (§5.3
+/// "limit false aliases": five repeats at five-minute intervals).
+pub const ALLY_ROUNDS: usize = 5;
+
+impl<F: FnMut(Probe) -> Option<Response>> AliasProber<F> {
+    /// Create a prober sending from `src` through `send`.
+    pub fn new(src: Addr, send: F) -> Self {
+        AliasProber { send, src }
+    }
+
+    fn probe_for_ipid(&mut self, dst: Addr, kind: ProbeKind) -> Option<Response> {
+        (self.send)(Probe {
+            src: self.src,
+            dst,
+            ttl: 64,
+            flow: 0,
+            kind,
+            time_ms: 0, // stamped by the engine
+        })
+    }
+
+    /// One Ally round over one probe method: interleave a,b,a,b,a,b and
+    /// apply MIDAR's Monotonic Bounds Test over the two per-address
+    /// time series.
+    fn ally_round(&mut self, a: Addr, b: Addr, kind: ProbeKind) -> AliasVerdict {
+        let mut sa = IpidSeries::new();
+        let mut sb = IpidSeries::new();
+        // Engine-stamped times are not visible here; a synthetic
+        // strictly-increasing clock (20 ms/probe, an upper bound on the
+        // engine's alias-burst spacing) keeps bounds conservative.
+        let mut t = 0u64;
+        for _ in 0..ALLY_SAMPLES {
+            for (dst, series) in [(a, &mut sa), (b, &mut sb)] {
+                match self.probe_for_ipid(dst, kind) {
+                    Some(r) => {
+                        t += 20;
+                        series.push(t, r.ipid);
+                    }
+                    None => return AliasVerdict::Unknown,
+                }
+            }
+        }
+        match monotonic_bounds_test(&sa, &sb) {
+            MbtOutcome::SharedCounter => AliasVerdict::Aliases,
+            MbtOutcome::IndependentCounters => AliasVerdict::NotAliases,
+            MbtOutcome::Inconclusive => AliasVerdict::Unknown,
+        }
+    }
+
+    /// The full Ally test: try UDP, TCP, then ICMP probes until one
+    /// method yields responses; repeat [`ALLY_ROUNDS`] times and only
+    /// report aliases if no round rejects the shared-counter hypothesis.
+    pub fn ally(&mut self, a: Addr, b: Addr) -> AliasVerdict {
+        if a == b {
+            return AliasVerdict::Aliases;
+        }
+        let mut verdict = AliasVerdict::Unknown;
+        for kind in [ProbeKind::Udp, ProbeKind::TcpAck, ProbeKind::IcmpEcho] {
+            let mut rounds = Vec::with_capacity(ALLY_ROUNDS);
+            for _ in 0..ALLY_ROUNDS {
+                rounds.push(self.ally_round(a, b, kind));
+            }
+            if rounds.contains(&AliasVerdict::NotAliases) {
+                return AliasVerdict::NotAliases;
+            }
+            if rounds.iter().all(|v| *v == AliasVerdict::Aliases) {
+                return AliasVerdict::Aliases;
+            }
+            if rounds.contains(&AliasVerdict::Aliases) {
+                // Mixed aliases/unknown: keep probing other methods, but
+                // remember the partial evidence.
+                verdict = AliasVerdict::Unknown;
+            }
+        }
+        verdict
+    }
+
+    /// Mercator: UDP-probe `a`; if the port-unreachable response comes
+    /// from a different address, that address is an alias of `a`.
+    pub fn mercator(&mut self, a: Addr) -> Option<MercatorResult> {
+        let r = self.probe_for_ipid(a, ProbeKind::Udp)?;
+        match r.kind {
+            RespKind::DestUnreach(_) => Some(MercatorResult {
+                probed: a,
+                responded_from: r.src,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Prefixscan (§5.3): is `addr` the inbound interface of a
+    /// point-to-point link whose other end is `prev_hop`? Tries the /31
+    /// and /30 subnet mates of `addr` and tests each against `prev_hop`
+    /// with Mercator then Ally. On success, returns the mate that aliased
+    /// with `prev_hop`.
+    pub fn prefixscan(&mut self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        for len in [31u8, 30u8] {
+            let Some(mate) = Prefix::ptp_mate(addr, len) else {
+                continue;
+            };
+            if mate == prev_hop {
+                // The previous hop is literally the subnet mate: the link
+                // is confirmed without further probing.
+                return Some(mate);
+            }
+            // Mercator first (cheap): both respond from one source?
+            if let (Some(m1), Some(m2)) = (self.mercator(mate), self.mercator(prev_hop)) {
+                if m1.responded_from == m2.responded_from {
+                    return Some(mate);
+                }
+            }
+            if self.ally(mate, prev_hop) == AliasVerdict::Aliases {
+                return Some(mate);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_dataplane::DataPlane;
+    use bdrmap_topo::{generate, IpidModel, TopoConfig, UnreachSrc};
+
+    fn plane(seed: u64) -> DataPlane {
+        DataPlane::new(generate(&TopoConfig::tiny(seed)))
+    }
+
+    /// A send closure that stamps increasing times (20 ms apart).
+    fn sender(dp: &DataPlane) -> impl FnMut(Probe) -> Option<Response> + '_ {
+        let mut t = 0u64;
+        move |mut p| {
+            t += 20;
+            p.time_ms = t;
+            dp.probe(&p)
+        }
+    }
+
+    /// Find a router outside the VP org with the wanted IPID model,
+    /// ≥2 routed interfaces, and a Normal policy.
+    fn router_with(
+        net: &bdrmap_topo::Internet,
+        want: impl Fn(&bdrmap_topo::Router) -> bool,
+    ) -> Option<&bdrmap_topo::Router> {
+        net.routers.iter().find(|r| {
+            want(r)
+                && r.policy == bdrmap_topo::ResponsePolicy::Normal
+                && !net.vp_siblings.contains(&r.owner)
+                && r.ifaces.len() >= 2
+                && r.ifaces
+                    .iter()
+                    .all(|i| net.origins.lookup(net.ifaces[i.index()].addr).is_some())
+        })
+    }
+
+    #[test]
+    fn ally_confirms_shared_counter_aliases() {
+        let dp = plane(31);
+        let net = dp.internet();
+        let r = router_with(net, |r| matches!(r.ipid, IpidModel::SharedCounter { .. }))
+            .expect("shared-counter router");
+        let a = net.ifaces[r.ifaces[0].index()].addr;
+        let b = net.ifaces[r.ifaces[1].index()].addr;
+        let mut prober = AliasProber::new(net.vps[0].addr, sender(&dp));
+        assert_eq!(prober.ally(a, b), AliasVerdict::Aliases);
+    }
+
+    #[test]
+    fn ally_rejects_addresses_on_different_routers() {
+        let dp = plane(32);
+        let net = dp.internet();
+        let mut found = Vec::new();
+        for r in &net.routers {
+            if matches!(r.ipid, IpidModel::SharedCounter { .. })
+                && r.policy == bdrmap_topo::ResponsePolicy::Normal
+                && !net.vp_siblings.contains(&r.owner)
+            {
+                if let Some(i) = r
+                    .ifaces
+                    .iter()
+                    .find(|i| net.origins.lookup(net.ifaces[i.index()].addr).is_some())
+                {
+                    found.push(net.ifaces[i.index()].addr);
+                    if found.len() == 2 {
+                        break;
+                    }
+                }
+            }
+        }
+        let [a, b] = found[..] else {
+            panic!("need two routers")
+        };
+        let mut prober = AliasProber::new(net.vps[0].addr, sender(&dp));
+        assert_ne!(prober.ally(a, b), AliasVerdict::Aliases);
+    }
+
+    #[test]
+    fn ally_gives_unknown_for_unresponsive() {
+        let dp = plane(33);
+        let net = dp.internet();
+        // An address that routes nowhere: unannounced space.
+        let dark = net
+            .graph
+            .ases()
+            .filter(|&a| !net.vp_siblings.contains(&a))
+            .flat_map(|a| net.as_info(a).unannounced.clone())
+            .next();
+        if let Some(p) = dark {
+            let a = p.nth(p.size() - 3);
+            let b = p.nth(p.size() - 4);
+            let mut prober = AliasProber::new(net.vps[0].addr, sender(&dp));
+            assert_eq!(prober.ally(a, b), AliasVerdict::Unknown);
+        }
+    }
+
+    #[test]
+    fn mercator_finds_canonical_alias() {
+        let dp = plane(34);
+        let net = dp.internet();
+        let r = router_with(net, |r| r.unreach_src == UnreachSrc::Canonical)
+            .expect("canonical-unreach router");
+        // Probe a non-loopback interface.
+        let target = r
+            .ifaces
+            .iter()
+            .map(|i| &net.ifaces[i.index()])
+            .find(|i| i.kind != bdrmap_topo::IfaceKind::Loopback)
+            .unwrap();
+        let mut prober = AliasProber::new(net.vps[0].addr, sender(&dp));
+        let m = prober.mercator(target.addr).expect("mercator response");
+        assert_ne!(m.responded_from, target.addr);
+        // Ground truth: the responding address is on the same router.
+        assert_eq!(net.router_of_addr(m.responded_from), Some(r.id));
+    }
+
+    #[test]
+    fn prefixscan_confirms_ptp_links() {
+        let dp = plane(35);
+        let net = dp.internet();
+        // Find an interdomain /31 or /30 link with both routers
+        // alias-testable (shared counters or canonical unreach) and
+        // normally responding.
+        let mut prober = AliasProber::new(net.vps[0].addr, sender(&dp));
+        let mut confirmed = 0;
+        let mut tried = 0;
+        for l in net.interdomain_links() {
+            if l.ifaces.len() != 2 || l.subnet.len() < 30 {
+                continue;
+            }
+            let near = &net.ifaces[l.ifaces[0].index()];
+            let far = &net.ifaces[l.ifaces[1].index()];
+            let near_r = &net.routers[near.router.index()];
+            if near_r.policy != bdrmap_topo::ResponsePolicy::Normal {
+                continue;
+            }
+            if !matches!(near_r.ipid, IpidModel::SharedCounter { .. })
+                && near_r.unreach_src != UnreachSrc::Canonical
+            {
+                continue;
+            }
+            if net.origins.lookup(near.addr).is_none() {
+                continue;
+            }
+            tried += 1;
+            // prev_hop = near side address; addr = far side (what a
+            // traceroute toward the far AS would reveal).
+            if prober.prefixscan(near.addr, far.addr) == Some(near.addr)
+                || prober.prefixscan(near.addr, far.addr).is_some()
+            {
+                confirmed += 1;
+            }
+            if tried > 10 {
+                break;
+            }
+        }
+        assert!(tried > 0, "no testable point-to-point links");
+        assert!(confirmed > 0, "prefixscan confirmed nothing out of {tried}");
+    }
+}

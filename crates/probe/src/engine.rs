@@ -1,0 +1,503 @@
+//! The parallel probing engine.
+//!
+//! Mirrors the scamper + bdrmap-driver split of the paper: a pool of
+//! scoped worker threads probes multiple target ASes concurrently (one AS's
+//! blocks are probed sequentially so its stop set is effective), under a
+//! global packets-per-second budget ticked on a shared logical clock.
+//! Simulated wall-clock time is therefore `packets / pps`, which is how
+//! the run-time numbers of §5.3 (≈12 h for an R&E network, ≈48 h for a
+//! large access network at 100 pps) are reproduced.
+
+use crate::alias::{AliasProber, AliasVerdict, MercatorResult};
+use crate::stopset::StopSet;
+use crate::targets::TargetAs;
+use crate::trace::{run_trace, Trace, TraceParams, TraceStop};
+use bdrmap_dataplane::{DataPlane, Probe, Response};
+use bdrmap_types::{Addr, Asn};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Probe budget in packets per second (the paper probes at 100 pps).
+    pub pps: u32,
+    /// Target ASes probed in parallel (worker threads).
+    pub parallelism: usize,
+    /// Traceroute parameters.
+    pub trace: TraceParams,
+    /// Addresses tried per block before giving up on finding an external
+    /// hop (§5.3: up to five, guarding against third-party addresses).
+    pub addrs_per_block: u32,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            pps: 100,
+            parallelism: 8,
+            trace: TraceParams::default(),
+            addrs_per_block: 5,
+        }
+    }
+}
+
+/// Running totals of probe traffic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProbeBudget {
+    /// Packets sent.
+    pub packets: u64,
+    /// Simulated clock at the end (milliseconds).
+    pub elapsed_ms: u64,
+}
+
+impl ProbeBudget {
+    /// Simulated run time in hours.
+    pub fn hours(&self) -> f64 {
+        self.elapsed_ms as f64 / 3_600_000.0
+    }
+}
+
+/// All traces gathered in a run, plus the stop sets that shaped them.
+#[derive(Debug, Default)]
+pub struct TraceCollection {
+    /// Completed traces in deterministic (target AS, block, address)
+    /// order.
+    pub traces: Vec<Trace>,
+    /// Packets and simulated time spent.
+    pub budget: ProbeBudget,
+}
+
+/// Anything that can run the measurement primitives bdrmap needs. The
+/// local [`ProbeEngine`] and the remote-offload controller
+/// ([`crate::remote::Controller`]) both implement it, so the inference
+/// layer is deployment-agnostic (§5.8 of the paper).
+pub trait Prober: Sync {
+    /// One traceroute with a target-AS stop set.
+    fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace;
+    /// Ally alias test.
+    fn ally(&self, a: Addr, b: Addr) -> AliasVerdict;
+    /// Mercator probe.
+    fn mercator(&self, a: Addr) -> Option<MercatorResult>;
+    /// Prefixscan subnet-mate test.
+    fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr>;
+    /// Packets/time spent so far.
+    fn budget(&self) -> ProbeBudget;
+}
+
+/// Options for [`run_traces`].
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Target ASes probed concurrently.
+    pub parallelism: usize,
+    /// Addresses tried per block (§5.3 uses 5).
+    pub addrs_per_block: u32,
+    /// Feed stop sets from observed external addresses (doubletree).
+    /// Disabling this is the R1 run-time ablation.
+    pub use_stop_sets: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            parallelism: 8,
+            addrs_per_block: 5,
+            use_stop_sets: true,
+        }
+    }
+}
+
+/// Probe every target AS through any [`Prober`]: each AS's blocks are
+/// probed sequentially sharing the AS's stop set; `parallelism` ASes run
+/// concurrently.
+///
+/// `classify_external` reports whether an address maps to an external
+/// network per the public BGP view (owned by the caller, not the
+/// engine). After each trace the first external address feeds the stop
+/// set. Up to `addrs_per_block` addresses are tried per block until a
+/// trace shows an external hop other than the probed address (§5.3).
+pub fn run_traces<P: Prober + ?Sized>(
+    prober: &P,
+    targets: &[TargetAs],
+    opts: RunOptions,
+    classify_external: impl Fn(Addr) -> bool + Sync,
+) -> TraceCollection {
+    let RunOptions {
+        parallelism,
+        addrs_per_block,
+        use_stop_sets,
+    } = opts;
+    let stop_sets: HashMap<Asn, Arc<StopSet>> = targets
+        .iter()
+        .map(|t| (t.asn, Arc::new(StopSet::new())))
+        .collect();
+    let results: Mutex<Vec<(usize, Vec<Trace>)>> = Mutex::new(Vec::new());
+    let next_job = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism.max(1) {
+            scope.spawn(|| loop {
+                let j = next_job.fetch_add(1, Ordering::Relaxed) as usize;
+                if j >= targets.len() {
+                    break;
+                }
+                let t = &targets[j];
+                let stop = &stop_sets[&t.asn];
+                let mut traces = Vec::new();
+                for block in &t.blocks {
+                    let tries = (addrs_per_block as u64).min(block.size());
+                    for i in 0..tries {
+                        let dst = block.nth((1 + i).min(block.size() - 1));
+                        let tr = prober.trace(dst, t.asn, stop);
+                        let ext = tr.te_addrs().find(|&a| classify_external(a));
+                        let good = ext.is_some_and(|a| a != dst);
+                        if use_stop_sets {
+                            if let Some(a) = ext {
+                                stop.insert(a);
+                            }
+                        }
+                        let stopped = tr.stop == TraceStop::StopSet;
+                        traces.push(tr);
+                        if good || stopped {
+                            break;
+                        }
+                    }
+                }
+                results.lock().push((j, traces));
+            });
+        }
+    });
+
+    let mut collected = results.into_inner();
+    collected.sort_by_key(|(j, _)| *j);
+    TraceCollection {
+        traces: collected.into_iter().flat_map(|(_, v)| v).collect(),
+        budget: prober.budget(),
+    }
+}
+
+/// The probing engine. Clone-cheap via `Arc` internals.
+///
+/// # Examples
+///
+/// ```
+/// use bdrmap_probe::{EngineConfig, ProbeEngine, StopSet};
+/// use bdrmap_dataplane::DataPlane;
+/// use bdrmap_topo::{generate, TopoConfig};
+/// use bdrmap_types::Asn;
+/// use std::sync::Arc;
+///
+/// let dp = Arc::new(DataPlane::new(generate(&TopoConfig::tiny(1))));
+/// let vp = dp.internet().vps[0].addr;
+/// let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+/// let dst = dp.internet().origins.iter().next().unwrap().prefix.nth(1);
+/// let trace = engine.trace(dst, Asn(1), &StopSet::new());
+/// assert!(!trace.hops.is_empty());
+/// // Probe accounting converts to the paper's run-time numbers.
+/// assert!(engine.budget().packets > 0);
+/// ```
+pub struct ProbeEngine {
+    dp: Arc<DataPlane>,
+    vp: Addr,
+    clock: Arc<AtomicU64>,
+    packets: Arc<AtomicU64>,
+    tick_us: u64,
+    cfg: EngineConfig,
+}
+
+impl ProbeEngine {
+    /// An engine probing from VP address `vp`.
+    pub fn new(dp: Arc<DataPlane>, vp: Addr, cfg: EngineConfig) -> ProbeEngine {
+        assert!(cfg.pps > 0);
+        ProbeEngine {
+            dp,
+            vp,
+            clock: Arc::new(AtomicU64::new(0)),
+            packets: Arc::new(AtomicU64::new(0)),
+            tick_us: 1_000_000 / cfg.pps as u64,
+            cfg,
+        }
+    }
+
+    /// The data plane being probed.
+    pub fn dataplane(&self) -> &DataPlane {
+        &self.dp
+    }
+
+    /// The VP source address.
+    pub fn vp(&self) -> Addr {
+        self.vp
+    }
+
+    /// Current packet/time totals.
+    pub fn budget(&self) -> ProbeBudget {
+        ProbeBudget {
+            packets: self.packets.load(Ordering::Relaxed),
+            elapsed_ms: self.clock.load(Ordering::Relaxed) / 1000,
+        }
+    }
+
+    /// Jump the logical clock forward (TSLP samples span simulated days
+    /// on a trickle of packets).
+    pub fn advance_clock_ms(&self, ms: u64) {
+        self.clock.fetch_add(ms * 1000, Ordering::Relaxed);
+    }
+
+    /// Take one clock tick (one packet's worth of budget), returning the
+    /// send timestamp in ms.
+    fn tick(&self) -> u64 {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        self.clock.fetch_add(self.tick_us, Ordering::Relaxed) / 1000
+    }
+
+    /// Send one probe now.
+    pub fn send(&self, mut p: Probe) -> Option<Response> {
+        p.src = self.vp;
+        p.time_ms = self.tick();
+        self.dp.probe(&p)
+    }
+
+    /// A send closure for the alias prober: probes inside one call are
+    /// spaced exactly 10 ms on a privately reserved clock segment, so the
+    /// monotonicity test's timing assumptions hold regardless of what
+    /// other workers do to the global clock.
+    fn alias_sender(&self) -> impl FnMut(Probe) -> Option<Response> + '_ {
+        let mut burst: u64 = 0;
+        let mut offset: u64 = 0;
+        move |mut p| {
+            if offset == 0 || offset >= 64 {
+                burst = self.clock.fetch_add(64 * self.tick_us, Ordering::Relaxed) / 1000;
+                offset = 0;
+            }
+            self.packets.fetch_add(1, Ordering::Relaxed);
+            p.src = self.vp;
+            p.time_ms = burst + offset * 10;
+            offset += 1;
+            self.dp.probe(&p)
+        }
+    }
+
+    /// Run the Ally alias test on two addresses.
+    pub fn ally(&self, a: Addr, b: Addr) -> AliasVerdict {
+        AliasProber::new(self.vp, self.alias_sender()).ally(a, b)
+    }
+
+    /// Run a Mercator probe.
+    pub fn mercator(&self, a: Addr) -> Option<MercatorResult> {
+        AliasProber::new(self.vp, self.alias_sender()).mercator(a)
+    }
+
+    /// Run prefixscan: the subnet mate of `addr` that aliases with
+    /// `prev_hop`, if the point-to-point hypothesis holds.
+    pub fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        AliasProber::new(self.vp, self.alias_sender()).prefixscan(prev_hop, addr)
+    }
+
+    /// Run one traceroute with a target-AS stop set.
+    pub fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace {
+        run_trace(
+            |mut p| {
+                p.src = self.vp;
+                p.time_ms = self.tick();
+                self.dp.probe(&p)
+            },
+            self.vp,
+            dst,
+            target_as,
+            self.cfg.trace,
+            |a| stop.contains(a),
+        )
+    }
+
+    /// Probe every target AS (see [`run_traces`]).
+    pub fn run_traces(
+        &self,
+        targets: &[TargetAs],
+        classify_external: impl Fn(Addr) -> bool + Sync,
+    ) -> TraceCollection {
+        run_traces(
+            self,
+            targets,
+            RunOptions {
+                parallelism: self.cfg.parallelism,
+                addrs_per_block: self.cfg.addrs_per_block,
+                use_stop_sets: true,
+            },
+            classify_external,
+        )
+    }
+}
+
+impl Prober for ProbeEngine {
+    fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace {
+        ProbeEngine::trace(self, dst, target_as, stop)
+    }
+
+    fn ally(&self, a: Addr, b: Addr) -> AliasVerdict {
+        ProbeEngine::ally(self, a, b)
+    }
+
+    fn mercator(&self, a: Addr) -> Option<MercatorResult> {
+        ProbeEngine::mercator(self, a)
+    }
+
+    fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        ProbeEngine::prefixscan(self, prev_hop, addr)
+    }
+
+    fn budget(&self) -> ProbeBudget {
+        ProbeEngine::budget(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets::target_blocks;
+    use bdrmap_bgp::CollectorView;
+    use bdrmap_topo::{generate, TopoConfig};
+
+    fn setup(seed: u64) -> (Arc<DataPlane>, CollectorView) {
+        let net = generate(&TopoConfig::tiny(seed));
+        let dp = Arc::new(DataPlane::new(net));
+        // Collector peers: the tier-1s (ASNs right after the VP AS block).
+        let peers: Vec<Asn> = dp
+            .internet()
+            .graph
+            .ases()
+            .filter(|&a| dp.internet().as_info(a).kind == bdrmap_topo::AsKind::Tier1)
+            .collect();
+        let view = CollectorView::collect(dp.oracle(), &peers);
+        (dp, view)
+    }
+
+    #[test]
+    fn engine_probes_all_targets() {
+        let (dp, view) = setup(41);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let vp_asns = net.vp_siblings.clone();
+        let targets = target_blocks(&view, &vp_asns);
+        assert!(targets.len() > 5, "need targets, got {}", targets.len());
+        let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let classify = |a: Addr| {
+            view.origins_of(a)
+                .map(|(_, o)| !o.iter().any(|x| vp_asns.contains(x)))
+                .unwrap_or(false)
+        };
+        let coll = engine.run_traces(&targets, classify);
+        assert!(!coll.traces.is_empty());
+        assert!(coll.budget.packets > 100);
+        assert!(coll.budget.elapsed_ms > 0);
+        // Every target AS got at least one trace.
+        for t in &targets {
+            assert!(
+                coll.traces.iter().any(|tr| tr.target_as == t.asn),
+                "no trace toward {}",
+                t.asn
+            );
+        }
+    }
+
+    #[test]
+    fn budget_counts_packets_against_pps() {
+        let (dp, _) = setup(42);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let engine = ProbeEngine::new(
+            Arc::clone(&dp),
+            vp,
+            EngineConfig {
+                pps: 50,
+                ..Default::default()
+            },
+        );
+        let dst = net.origins.iter().next().unwrap().prefix.nth(1);
+        let stop = StopSet::new();
+        let _ = engine.trace(dst, Asn(1), &stop);
+        let b = engine.budget();
+        assert!(b.packets > 0);
+        // 50 pps → each packet advances the clock by 20 ms.
+        assert!(b.elapsed_ms >= b.packets * 20 / 2, "{b:?}");
+    }
+
+    #[test]
+    fn stop_sets_reduce_probe_volume() {
+        let (dp, view) = setup(43);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let vp_asns = net.vp_siblings.clone();
+        let targets = target_blocks(&view, &vp_asns);
+        let classify = |a: Addr| {
+            view.origins_of(a)
+                .map(|(_, o)| !o.iter().any(|x| vp_asns.contains(x)))
+                .unwrap_or(false)
+        };
+        // With stop sets (normal run).
+        let e1 = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let with = e1.run_traces(&targets, classify).budget.packets;
+        // Without: re-run each trace ignoring the shared stop set.
+        let e2 = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let mut without = 0u64;
+        for t in &targets {
+            for block in &t.blocks {
+                let empty = StopSet::new(); // fresh set every time
+                let before = e2.budget().packets;
+                let _ = e2.trace(block.nth(1.min(block.size() - 1)), t.asn, &empty);
+                without += e2.budget().packets - before;
+            }
+        }
+        assert!(with < without * 3, "sanity: with={with} without={without}");
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic_in_trace_content() {
+        // Hop addresses must not depend on worker interleaving (IPIDs
+        // may, since the clock is shared).
+        let (dp, view) = setup(44);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let vp_asns = net.vp_siblings.clone();
+        let targets = target_blocks(&view, &vp_asns);
+        let classify = |a: Addr| {
+            view.origins_of(a)
+                .map(|(_, o)| !o.iter().any(|x| vp_asns.contains(x)))
+                .unwrap_or(false)
+        };
+        let run = |par: usize| {
+            let e = ProbeEngine::new(
+                Arc::clone(&dp),
+                vp,
+                EngineConfig {
+                    parallelism: par,
+                    ..Default::default()
+                },
+            );
+            e.run_traces(&targets, classify)
+                .traces
+                .iter()
+                .map(|t| (t.dst, t.addrs().collect::<Vec<_>>()))
+                .collect::<Vec<_>>()
+        };
+        let a = run(1);
+        let b = run(1);
+        assert_eq!(a, b, "same parallelism must give identical paths");
+    }
+
+    #[test]
+    fn alias_probes_count_toward_budget() {
+        let (dp, _) = setup(45);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let some_iface = net
+            .ifaces
+            .iter()
+            .find(|i| net.origins.lookup(i.addr).is_some())
+            .unwrap();
+        let _ = engine.mercator(some_iface.addr);
+        assert!(engine.budget().packets >= 1);
+    }
+}

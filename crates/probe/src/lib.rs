@@ -1,0 +1,42 @@
+//! scamper-like probing engine.
+//!
+//! This crate is the measurement layer: it drives [`bdrmap_dataplane`]
+//! the way the real bdrmap drives scamper. It sees **only** what a real
+//! prober sees — IP addresses and ICMP responses — never the simulator's
+//! ground truth.
+//!
+//! * [`targets`] — builds the per-AS address-block target list from the
+//!   public BGP view, carving out more-specific announcements (§5.3);
+//! * [`trace`] — Paris traceroute with per-hop retries, a gap limit, and
+//!   doubletree-style stop sets;
+//! * [`alias`] — alias resolution: Ally over UDP/TCP/ICMP with the
+//!   MIDAR monotonicity test and 5× repeats to reject coincidental
+//!   counter overlap, Mercator common-source probing, and the prefixscan
+//!   subnet-mate test;
+//! * [`engine`] — the parallel driver: a scoped worker pool probing
+//!   multiple target ASes concurrently under a global packets-per-second
+//!   budget on a shared logical clock (probe counts convert directly to
+//!   the paper's run-time numbers);
+//! * [`remote`] — the resource-limited-device split of §5.8: a thin
+//!   device-side prober speaking a length-prefixed binary protocol to a
+//!   centrally operated controller that owns all large state.
+
+pub mod alias;
+pub mod engine;
+pub mod midar;
+pub mod remote;
+pub mod stopset;
+pub mod store;
+pub mod targets;
+pub mod trace;
+pub mod tslp;
+
+pub use alias::{AliasVerdict, MercatorResult};
+pub use engine::{
+    run_traces, EngineConfig, ProbeBudget, ProbeEngine, Prober, RunOptions, TraceCollection,
+};
+pub use midar::{monotonic_bounds_test, IpidSample, IpidSeries, MbtOutcome};
+pub use stopset::StopSet;
+pub use targets::{target_blocks, TargetAs};
+pub use trace::{Trace, TraceHop, TraceStop};
+pub use tslp::{tslp, LatencySeries, TslpResult};

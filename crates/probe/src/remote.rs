@@ -1,0 +1,764 @@
+//! Remote offload for resource-limited devices (§5.8 of the paper).
+//!
+//! The densest measurement deployments run on devices with a few MB of
+//! usable RAM, while bdrmap's own state (the IP-to-AS map, stop sets,
+//! collected traces) needs two orders of magnitude more. The paper's
+//! answer: keep a thin prober on the device and run bdrmap centrally,
+//! with the device calling back over the network.
+//!
+//! This module implements that split against the simulator:
+//!
+//! * [`Device`] — holds only an outstanding-command buffer and a packet
+//!   pacer; executes one probe or one traceroute at a time;
+//! * [`Controller`] — owns all the big state, implements
+//!   [`crate::engine::Prober`] so the inference layer cannot tell it from
+//!   a local engine;
+//! * a length-prefixed binary wire protocol (hand-rolled over [`bytes`])
+//!   connecting them, with framing robust to arbitrary chunking.
+
+use crate::alias::{AliasProber, AliasVerdict, MercatorResult};
+use crate::engine::{ProbeBudget, Prober};
+use crate::stopset::StopSet;
+use crate::trace::{Trace, TraceHop, TraceParams, TraceStop};
+use bdrmap_dataplane::{DataPlane, Probe, ProbeKind, RespKind, Response, UnreachReason};
+use bdrmap_types::{Addr, Asn};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+
+// ------------------------------------------------------------- protocol
+
+/// Controller → device commands.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Run a full traceroute; halt early at any of `stop_addrs`.
+    Trace {
+        /// Request id echoed in the reply.
+        id: u32,
+        /// Destination.
+        dst: Addr,
+        /// Parameters.
+        max_ttl: u8,
+        /// Probes per hop.
+        attempts: u8,
+        /// Gap limit.
+        gap_limit: u8,
+        /// Stop-set addresses relevant to this trace (bounded so device
+        /// state stays bounded).
+        stop_addrs: Vec<Addr>,
+    },
+    /// Send one probe.
+    Ping {
+        /// Request id echoed in the reply.
+        id: u32,
+        /// Destination.
+        dst: Addr,
+        /// 0 = ICMP echo, 1 = UDP, 2 = TCP ACK.
+        kind: u8,
+    },
+    /// Shut the device loop down.
+    Shutdown,
+}
+
+/// Device → controller replies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Reply {
+    /// A finished traceroute.
+    TraceDone {
+        /// Echoed request id.
+        id: u32,
+        /// Why it stopped (encoded [`TraceStop`]).
+        stop: u8,
+        /// Hops.
+        hops: Vec<TraceHop>,
+        /// Packets this trace cost.
+        packets: u32,
+    },
+    /// A single probe result.
+    PingDone {
+        /// Echoed request id.
+        id: u32,
+        /// Response, if any: (source, kind code, ipid).
+        response: Option<(Addr, u8, u16)>,
+    },
+}
+
+fn put_addr(buf: &mut BytesMut, a: Addr) {
+    buf.put_u32(u32::from(a));
+}
+
+fn get_addr(buf: &mut Bytes) -> Addr {
+    Addr::from(buf.get_u32())
+}
+
+/// Encode one command as a length-prefixed frame.
+pub fn encode_command(c: &Command) -> Bytes {
+    let mut body = BytesMut::new();
+    match c {
+        Command::Trace {
+            id,
+            dst,
+            max_ttl,
+            attempts,
+            gap_limit,
+            stop_addrs,
+        } => {
+            body.put_u8(1);
+            body.put_u32(*id);
+            put_addr(&mut body, *dst);
+            body.put_u8(*max_ttl);
+            body.put_u8(*attempts);
+            body.put_u8(*gap_limit);
+            body.put_u16(stop_addrs.len() as u16);
+            for a in stop_addrs {
+                put_addr(&mut body, *a);
+            }
+        }
+        Command::Ping { id, dst, kind } => {
+            body.put_u8(2);
+            body.put_u32(*id);
+            put_addr(&mut body, *dst);
+            body.put_u8(*kind);
+        }
+        Command::Shutdown => body.put_u8(3),
+    }
+    frame(body)
+}
+
+/// Encode one reply as a length-prefixed frame.
+pub fn encode_reply(r: &Reply) -> Bytes {
+    let mut body = BytesMut::new();
+    match r {
+        Reply::TraceDone {
+            id,
+            stop,
+            hops,
+            packets,
+        } => {
+            body.put_u8(11);
+            body.put_u32(*id);
+            body.put_u8(*stop);
+            body.put_u32(*packets);
+            body.put_u16(hops.len() as u16);
+            for h in hops {
+                body.put_u8(h.ttl);
+                match h.addr {
+                    Some(a) => {
+                        body.put_u8(
+                            1 | ((h.time_exceeded as u8) << 1) | ((h.other_icmp as u8) << 2),
+                        );
+                        put_addr(&mut body, a);
+                        body.put_u16(h.ipid);
+                    }
+                    None => body.put_u8(0),
+                }
+            }
+        }
+        Reply::PingDone { id, response } => {
+            body.put_u8(12);
+            body.put_u32(*id);
+            match response {
+                Some((src, kind, ipid)) => {
+                    body.put_u8(1);
+                    put_addr(&mut body, *src);
+                    body.put_u8(*kind);
+                    body.put_u16(*ipid);
+                }
+                None => body.put_u8(0),
+            }
+        }
+    }
+    frame(body)
+}
+
+fn frame(body: BytesMut) -> Bytes {
+    let mut out = BytesMut::with_capacity(4 + body.len());
+    out.put_u32(body.len() as u32);
+    out.extend_from_slice(&body);
+    out.freeze()
+}
+
+/// Incremental frame decoder: feed arbitrary chunks, pull whole frames.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Fresh decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pull the next complete frame body, if buffered.
+    pub fn next_frame(&mut self) -> Option<Bytes> {
+        if self.buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if self.buf.len() < 4 + len {
+            return None;
+        }
+        self.buf.advance(4);
+        Some(self.buf.split_to(len).freeze())
+    }
+
+    /// Bytes currently buffered (device memory accounting).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Decode a command frame body.
+pub fn decode_command(mut b: Bytes) -> Option<Command> {
+    match b.get_u8() {
+        1 => {
+            let id = b.get_u32();
+            let dst = get_addr(&mut b);
+            let max_ttl = b.get_u8();
+            let attempts = b.get_u8();
+            let gap_limit = b.get_u8();
+            let n = b.get_u16() as usize;
+            let stop_addrs = (0..n).map(|_| get_addr(&mut b)).collect();
+            Some(Command::Trace {
+                id,
+                dst,
+                max_ttl,
+                attempts,
+                gap_limit,
+                stop_addrs,
+            })
+        }
+        2 => {
+            let id = b.get_u32();
+            let dst = get_addr(&mut b);
+            let kind = b.get_u8();
+            Some(Command::Ping { id, dst, kind })
+        }
+        3 => Some(Command::Shutdown),
+        _ => None,
+    }
+}
+
+/// Decode a reply frame body.
+pub fn decode_reply(mut b: Bytes) -> Option<Reply> {
+    match b.get_u8() {
+        11 => {
+            let id = b.get_u32();
+            let stop = b.get_u8();
+            let packets = b.get_u32();
+            let n = b.get_u16() as usize;
+            let mut hops = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ttl = b.get_u8();
+                let flags = b.get_u8();
+                if flags & 1 != 0 {
+                    let addr = get_addr(&mut b);
+                    let ipid = b.get_u16();
+                    hops.push(TraceHop {
+                        ttl,
+                        addr: Some(addr),
+                        time_exceeded: flags & 2 != 0,
+                        other_icmp: flags & 4 != 0,
+                        ipid,
+                    });
+                } else {
+                    hops.push(TraceHop {
+                        ttl,
+                        addr: None,
+                        time_exceeded: false,
+                        other_icmp: false,
+                        ipid: 0,
+                    });
+                }
+            }
+            Some(Reply::TraceDone {
+                id,
+                stop,
+                hops,
+                packets,
+            })
+        }
+        12 => {
+            let id = b.get_u32();
+            let response = if b.get_u8() == 1 {
+                let src = get_addr(&mut b);
+                let kind = b.get_u8();
+                let ipid = b.get_u16();
+                Some((src, kind, ipid))
+            } else {
+                None
+            };
+            Some(Reply::PingDone { id, response })
+        }
+        _ => None,
+    }
+}
+
+fn kind_to_code(k: RespKind) -> u8 {
+    match k {
+        RespKind::TimeExceeded => 0,
+        RespKind::EchoReply => 1,
+        RespKind::DestUnreach(UnreachReason::Host) => 2,
+        RespKind::DestUnreach(UnreachReason::AdminFiltered) => 3,
+        RespKind::DestUnreach(UnreachReason::Port) => 4,
+        RespKind::TcpRst => 5,
+    }
+}
+
+fn code_to_kind(c: u8) -> RespKind {
+    match c {
+        0 => RespKind::TimeExceeded,
+        1 => RespKind::EchoReply,
+        2 => RespKind::DestUnreach(UnreachReason::Host),
+        3 => RespKind::DestUnreach(UnreachReason::AdminFiltered),
+        4 => RespKind::DestUnreach(UnreachReason::Port),
+        _ => RespKind::TcpRst,
+    }
+}
+
+// --------------------------------------------------------------- device
+
+/// The thin device-side prober.
+pub struct Device {
+    dp: Arc<DataPlane>,
+    vp: Addr,
+    clock: AtomicU64,
+    packets: AtomicU64,
+    tick_us: u64,
+    /// High-water mark of buffered protocol bytes, for the §5.8 memory
+    /// comparison.
+    max_buffered: AtomicU64,
+}
+
+impl Device {
+    /// A device probing from `vp` at `pps` packets per second.
+    pub fn new(dp: Arc<DataPlane>, vp: Addr, pps: u32) -> Device {
+        Device {
+            dp,
+            vp,
+            clock: AtomicU64::new(0),
+            packets: AtomicU64::new(0),
+            tick_us: 1_000_000 / pps.max(1) as u64,
+            max_buffered: AtomicU64::new(0),
+        }
+    }
+
+    fn send_probe(&self, dst: Addr, kind: ProbeKind, ttl: u8, flow: u16) -> Option<Response> {
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        let t = self.clock.fetch_add(self.tick_us, Ordering::Relaxed) / 1000;
+        self.dp.probe(&Probe {
+            src: self.vp,
+            dst,
+            ttl,
+            flow,
+            kind,
+            time_ms: t,
+        })
+    }
+
+    /// Execute one command, producing at most one reply.
+    pub fn execute(&self, cmd: Command) -> Option<Reply> {
+        match cmd {
+            Command::Trace {
+                id,
+                dst,
+                max_ttl,
+                attempts,
+                gap_limit,
+                stop_addrs,
+            } => {
+                let before = self.packets.load(Ordering::Relaxed);
+                let params = TraceParams {
+                    max_ttl,
+                    attempts,
+                    gap_limit,
+                };
+                let tr = crate::trace::run_trace(
+                    |p| self.send_probe(p.dst, p.kind, p.ttl, p.flow),
+                    self.vp,
+                    dst,
+                    Asn::RESERVED, // the controller knows the target AS
+                    params,
+                    |a| stop_addrs.contains(&a),
+                );
+                let packets = (self.packets.load(Ordering::Relaxed) - before) as u32;
+                Some(Reply::TraceDone {
+                    id,
+                    stop: match tr.stop {
+                        TraceStop::Completed => 0,
+                        TraceStop::GapLimit => 1,
+                        TraceStop::StopSet => 2,
+                        TraceStop::MaxTtl => 3,
+                    },
+                    hops: tr.hops,
+                    packets,
+                })
+            }
+            Command::Ping { id, dst, kind } => {
+                let pk = match kind {
+                    1 => ProbeKind::Udp,
+                    2 => ProbeKind::TcpAck,
+                    _ => ProbeKind::IcmpEcho,
+                };
+                let r = self.send_probe(dst, pk, 64, 0);
+                Some(Reply::PingDone {
+                    id,
+                    response: r.map(|r| (r.src, kind_to_code(r.kind), r.ipid)),
+                })
+            }
+            Command::Shutdown => None,
+        }
+    }
+
+    /// Run the device loop over a byte transport until shutdown.
+    /// `chunk_size` exercises framing by splitting outgoing frames.
+    pub fn run(&self, rx: mpsc::Receiver<Bytes>, tx: mpsc::Sender<Bytes>, chunk_size: usize) {
+        let mut dec = FrameDecoder::new();
+        while let Ok(chunk) = rx.recv() {
+            dec.feed(&chunk);
+            self.max_buffered
+                .fetch_max(dec.buffered() as u64, Ordering::Relaxed);
+            while let Some(frame_body) = dec.next_frame() {
+                let Some(cmd) = decode_command(frame_body) else {
+                    continue;
+                };
+                if cmd == Command::Shutdown {
+                    return;
+                }
+                if let Some(reply) = self.execute(cmd) {
+                    let encoded = encode_reply(&reply);
+                    for piece in encoded.chunks(chunk_size.max(1)) {
+                        if tx.send(Bytes::copy_from_slice(piece)).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Approximate resident device state in bytes: the frame buffer
+    /// high-water mark plus fixed fields. The point of §5.8 is that this
+    /// stays tiny no matter how large the measured Internet is.
+    pub fn state_bytes(&self) -> u64 {
+        self.max_buffered.load(Ordering::Relaxed) + 64
+    }
+
+    /// Packets sent so far.
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed)
+    }
+}
+
+// ----------------------------------------------------------- controller
+
+/// Bound on stop addresses shipped per trace command, keeping device
+/// commands (and thus device memory) small.
+const MAX_STOP_ADDRS: usize = 32;
+
+/// The central controller: owns the big state, drives a device, and
+/// implements [`Prober`].
+pub struct Controller {
+    tx: mpsc::Sender<Bytes>,
+    rx: Mutex<ControllerRx>,
+    next_id: AtomicU64,
+    packets: AtomicU64,
+    params: TraceParams,
+}
+
+struct ControllerRx {
+    rx: mpsc::Receiver<Bytes>,
+    dec: FrameDecoder,
+}
+
+impl Controller {
+    /// Wrap a transport to a running device.
+    pub fn new(tx: mpsc::Sender<Bytes>, rx: mpsc::Receiver<Bytes>) -> Controller {
+        Controller {
+            tx,
+            rx: Mutex::new(ControllerRx {
+                rx,
+                dec: FrameDecoder::new(),
+            }),
+            next_id: AtomicU64::new(1),
+            packets: AtomicU64::new(0),
+            params: TraceParams::default(),
+        }
+    }
+
+    /// Spawn a device thread over in-memory channels and return the
+    /// controller plus the device handle (for state accounting).
+    pub fn spawn_local(
+        dp: Arc<DataPlane>,
+        vp: Addr,
+        pps: u32,
+        chunk_size: usize,
+    ) -> (Controller, Arc<Device>, std::thread::JoinHandle<()>) {
+        let (ctl_tx, dev_rx) = mpsc::channel::<Bytes>();
+        let (dev_tx, ctl_rx) = mpsc::channel::<Bytes>();
+        let device = Arc::new(Device::new(dp, vp, pps));
+        let d2 = Arc::clone(&device);
+        let handle = std::thread::spawn(move || d2.run(dev_rx, dev_tx, chunk_size));
+        (Controller::new(ctl_tx, ctl_rx), device, handle)
+    }
+
+    fn call(&self, cmd: &Command) -> Option<Reply> {
+        self.tx.send(encode_command(cmd)).ok()?;
+        let mut rx = self.rx.lock();
+        loop {
+            if let Some(body) = rx.dec.next_frame() {
+                return decode_reply(body);
+            }
+            let chunk = rx.rx.recv().ok()?;
+            rx.dec.feed(&chunk);
+        }
+    }
+
+    /// Tell the device to exit.
+    pub fn shutdown(&self) {
+        let _ = self.tx.send(encode_command(&Command::Shutdown));
+    }
+
+    fn ping(&self, dst: Addr, kind: ProbeKind) -> Option<Response> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u32;
+        self.packets.fetch_add(1, Ordering::Relaxed);
+        let kind_code = match kind {
+            ProbeKind::IcmpEcho => 0,
+            ProbeKind::Udp => 1,
+            ProbeKind::TcpAck => 2,
+        };
+        match self.call(&Command::Ping {
+            id,
+            dst,
+            kind: kind_code,
+        })? {
+            Reply::PingDone { id: rid, response } => {
+                debug_assert_eq!(rid, id);
+                response.map(|(src, k, ipid)| Response {
+                    src,
+                    kind: code_to_kind(k),
+                    ipid,
+                    rtt_us: 0,
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+impl Prober for Controller {
+    fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) as u32;
+        // Ship a bounded sample of the stop set relevant to this target.
+        let stop_addrs: Vec<Addr> = stop.sample(MAX_STOP_ADDRS);
+        let cmd = Command::Trace {
+            id,
+            dst,
+            max_ttl: self.params.max_ttl,
+            attempts: self.params.attempts,
+            gap_limit: self.params.gap_limit,
+            stop_addrs,
+        };
+        match self.call(&cmd) {
+            Some(Reply::TraceDone {
+                hops,
+                stop: code,
+                packets,
+                ..
+            }) => {
+                self.packets.fetch_add(packets as u64, Ordering::Relaxed);
+                Trace {
+                    dst,
+                    target_as,
+                    hops,
+                    stop: match code {
+                        0 => TraceStop::Completed,
+                        1 => TraceStop::GapLimit,
+                        2 => TraceStop::StopSet,
+                        _ => TraceStop::MaxTtl,
+                    },
+                }
+            }
+            _ => Trace {
+                dst,
+                target_as,
+                hops: Vec::new(),
+                stop: TraceStop::GapLimit,
+            },
+        }
+    }
+
+    fn ally(&self, a: Addr, b: Addr) -> AliasVerdict {
+        AliasProber::new(a, |p: Probe| self.ping(p.dst, p.kind)).ally(a, b)
+    }
+
+    fn mercator(&self, a: Addr) -> Option<MercatorResult> {
+        AliasProber::new(a, |p: Probe| self.ping(p.dst, p.kind)).mercator(a)
+    }
+
+    fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        AliasProber::new(addr, |p: Probe| self.ping(p.dst, p.kind)).prefixscan(prev_hop, addr)
+    }
+
+    fn budget(&self) -> ProbeBudget {
+        let packets = self.packets.load(Ordering::Relaxed);
+        ProbeBudget {
+            packets,
+            elapsed_ms: packets * 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::{generate, TopoConfig};
+
+    #[test]
+    fn command_round_trip() {
+        let cmds = vec![
+            Command::Trace {
+                id: 7,
+                dst: "10.1.2.3".parse().unwrap(),
+                max_ttl: 32,
+                attempts: 2,
+                gap_limit: 5,
+                stop_addrs: vec!["192.0.2.1".parse().unwrap(), "192.0.2.9".parse().unwrap()],
+            },
+            Command::Ping {
+                id: 9,
+                dst: "198.51.100.7".parse().unwrap(),
+                kind: 1,
+            },
+            Command::Shutdown,
+        ];
+        for c in cmds {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&encode_command(&c));
+            let body = dec.next_frame().expect("complete frame");
+            assert_eq!(decode_command(body), Some(c));
+        }
+    }
+
+    #[test]
+    fn reply_round_trip() {
+        let r = Reply::TraceDone {
+            id: 3,
+            stop: 1,
+            packets: 12,
+            hops: vec![
+                TraceHop {
+                    ttl: 1,
+                    addr: Some("10.0.0.1".parse().unwrap()),
+                    time_exceeded: true,
+                    other_icmp: false,
+                    ipid: 777,
+                },
+                TraceHop {
+                    ttl: 2,
+                    addr: None,
+                    time_exceeded: false,
+                    other_icmp: false,
+                    ipid: 0,
+                },
+            ],
+        };
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_reply(&r));
+        assert_eq!(decode_reply(dec.next_frame().unwrap()), Some(r));
+    }
+
+    #[test]
+    fn decoder_handles_fragmented_frames() {
+        let r = Reply::PingDone {
+            id: 5,
+            response: Some(("203.0.113.5".parse().unwrap(), 4, 42)),
+        };
+        let encoded = encode_reply(&r);
+        let mut dec = FrameDecoder::new();
+        // Feed a byte at a time.
+        for b in encoded.iter() {
+            assert!(dec.next_frame().is_none());
+            dec.feed(&[*b]);
+        }
+        assert_eq!(decode_reply(dec.next_frame().unwrap()), Some(r));
+        assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames() {
+        let a = Reply::PingDone {
+            id: 1,
+            response: None,
+        };
+        let b = Reply::PingDone {
+            id: 2,
+            response: None,
+        };
+        let mut both = BytesMut::new();
+        both.extend_from_slice(&encode_reply(&a));
+        both.extend_from_slice(&encode_reply(&b));
+        let mut dec = FrameDecoder::new();
+        dec.feed(&both);
+        assert_eq!(decode_reply(dec.next_frame().unwrap()), Some(a));
+        assert_eq!(decode_reply(dec.next_frame().unwrap()), Some(b));
+        assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn remote_trace_matches_local_probing() {
+        let net = generate(&TopoConfig::tiny(51));
+        let dp = Arc::new(bdrmap_dataplane::DataPlane::new(net));
+        let vp = dp.internet().vps[0].addr;
+        let dst = dp.internet().origins.iter().next().unwrap().prefix.nth(1);
+        let (ctl, device, handle) = Controller::spawn_local(Arc::clone(&dp), vp, 100, 7);
+        let stop = StopSet::new();
+        let tr = ctl.trace(dst, Asn(1), &stop);
+        assert!(!tr.hops.is_empty(), "remote trace got no hops");
+        assert!(device.packets() > 0);
+        // Device state stays tiny regardless of topology size.
+        assert!(
+            device.state_bytes() < 4096,
+            "device used {} bytes",
+            device.state_bytes()
+        );
+        ctl.shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn remote_ally_works_end_to_end() {
+        let net = generate(&TopoConfig::tiny(52));
+        let dp = Arc::new(bdrmap_dataplane::DataPlane::new(net));
+        let vp = dp.internet().vps[0].addr;
+        // Shared-counter router with two routed interfaces.
+        let netr = dp.internet();
+        let r = netr
+            .routers
+            .iter()
+            .find(|r| {
+                matches!(r.ipid, bdrmap_topo::IpidModel::SharedCounter { .. })
+                    && r.policy == bdrmap_topo::ResponsePolicy::Normal
+                    && !netr.vp_siblings.contains(&r.owner)
+                    && r.ifaces.len() >= 2
+                    && r.ifaces
+                        .iter()
+                        .all(|i| netr.origins.lookup(netr.ifaces[i.index()].addr).is_some())
+            })
+            .expect("router");
+        let a = netr.ifaces[r.ifaces[0].index()].addr;
+        let b = netr.ifaces[r.ifaces[1].index()].addr;
+        let (ctl, _device, handle) = Controller::spawn_local(Arc::clone(&dp), vp, 100, 16);
+        assert_eq!(ctl.ally(a, b), AliasVerdict::Aliases);
+        ctl.shutdown();
+        handle.join().unwrap();
+    }
+}

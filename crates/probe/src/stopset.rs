@@ -1,0 +1,88 @@
+//! Doubletree-style stop sets (§5.3).
+//!
+//! For each target AS, bdrmap records the first externally-routed address
+//! observed on each trace; later traces toward the same AS stop as soon
+//! as they hit a recorded address, so the interdomain boundary is probed
+//! once rather than once per block.
+
+use bdrmap_types::Addr;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// A concurrent stop set shared by all traces toward one target AS.
+#[derive(Debug, Default)]
+pub struct StopSet {
+    addrs: Mutex<HashSet<Addr>>,
+}
+
+impl StopSet {
+    /// An empty stop set.
+    pub fn new() -> StopSet {
+        StopSet::default()
+    }
+
+    /// Record an address; returns true if it was new.
+    pub fn insert(&self, a: Addr) -> bool {
+        self.addrs.lock().insert(a)
+    }
+
+    /// True if a trace should stop at this address.
+    pub fn contains(&self, a: Addr) -> bool {
+        self.addrs.lock().contains(&a)
+    }
+
+    /// Number of recorded addresses.
+    pub fn len(&self) -> usize {
+        self.addrs.lock().len()
+    }
+
+    /// True if nothing is recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.lock().is_empty()
+    }
+
+    /// Up to `n` recorded addresses in sorted (deterministic) order —
+    /// used by the remote controller to ship a bounded stop list to the
+    /// device.
+    pub fn sample(&self, n: usize) -> Vec<Addr> {
+        let g = self.addrs.lock();
+        let mut v: Vec<Addr> = g.iter().copied().collect();
+        v.sort_unstable();
+        v.truncate(n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let s = StopSet::new();
+        let a: Addr = "192.0.2.1".parse().unwrap();
+        assert!(!s.contains(a));
+        assert!(s.insert(a));
+        assert!(!s.insert(a));
+        assert!(s.contains(a));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_insertions() {
+        let s = std::sync::Arc::new(StopSet::new());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = std::sync::Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    s.insert(bdrmap_types::addr((t << 8) | i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 400);
+    }
+}

@@ -1,0 +1,286 @@
+//! On-disk trace storage (a warts-like container).
+//!
+//! scamper writes probing output to *warts* files that bdrmap later
+//! consumes offline; decoupling collection from inference is what lets
+//! the central system re-run heuristics without re-probing. This module
+//! provides the same capability: a versioned, length-prefixed binary
+//! container for a [`TraceCollection`], written and parsed with
+//! [`bytes`] (no external format crates).
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "BDRW" | u16 version | u64 packets | u64 elapsed_ms |
+//! u32 trace_count | trace*
+//! trace := u32 body_len | u32 dst | u32 target_as | u8 stop |
+//!          u16 hop_count | hop*
+//! hop   := u8 ttl | u8 flags | [u32 addr | u16 ipid]   (if flags&1)
+//! ```
+
+use crate::engine::{ProbeBudget, TraceCollection};
+use crate::trace::{Trace, TraceHop, TraceStop};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// File magic.
+const MAGIC: &[u8; 4] = b"BDRW";
+/// Current format version.
+const VERSION: u16 = 1;
+
+/// Errors while reading a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Not a bdrmap trace store.
+    BadMagic,
+    /// Version newer than this reader.
+    BadVersion(u16),
+    /// Truncated or internally inconsistent.
+    Truncated,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a bdrmap trace store"),
+            StoreError::BadVersion(v) => write!(f, "unsupported store version {v}"),
+            StoreError::Truncated => write!(f, "truncated trace store"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// Serialize a trace collection.
+pub fn encode(coll: &TraceCollection) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u16(VERSION);
+    buf.put_u64(coll.budget.packets);
+    buf.put_u64(coll.budget.elapsed_ms);
+    buf.put_u32(coll.traces.len() as u32);
+    for tr in &coll.traces {
+        let mut body = BytesMut::new();
+        body.put_u32(u32::from(tr.dst));
+        body.put_u32(tr.target_as.0);
+        body.put_u8(match tr.stop {
+            TraceStop::Completed => 0,
+            TraceStop::GapLimit => 1,
+            TraceStop::StopSet => 2,
+            TraceStop::MaxTtl => 3,
+        });
+        body.put_u16(tr.hops.len() as u16);
+        for h in &tr.hops {
+            body.put_u8(h.ttl);
+            match h.addr {
+                Some(a) => {
+                    let flags = 1u8 | ((h.time_exceeded as u8) << 1) | ((h.other_icmp as u8) << 2);
+                    body.put_u8(flags);
+                    body.put_u32(u32::from(a));
+                    body.put_u16(h.ipid);
+                }
+                None => body.put_u8(0),
+            }
+        }
+        buf.put_u32(body.len() as u32);
+        buf.extend_from_slice(&body);
+    }
+    buf.freeze()
+}
+
+/// Parse a trace collection.
+pub fn decode(mut data: Bytes) -> Result<TraceCollection, StoreError> {
+    if data.remaining() < 4 + 2 + 8 + 8 + 4 {
+        return Err(StoreError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = data.get_u16();
+    if version > VERSION {
+        return Err(StoreError::BadVersion(version));
+    }
+    let packets = data.get_u64();
+    let elapsed_ms = data.get_u64();
+    let n = data.get_u32() as usize;
+    let mut traces = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        if data.remaining() < 4 {
+            return Err(StoreError::Truncated);
+        }
+        let body_len = data.get_u32() as usize;
+        if data.remaining() < body_len {
+            return Err(StoreError::Truncated);
+        }
+        let mut body = data.split_to(body_len);
+        if body.remaining() < 4 + 4 + 1 + 2 {
+            return Err(StoreError::Truncated);
+        }
+        let dst = bdrmap_types::addr(body.get_u32());
+        let target_as = bdrmap_types::Asn(body.get_u32());
+        let stop = match body.get_u8() {
+            0 => TraceStop::Completed,
+            1 => TraceStop::GapLimit,
+            2 => TraceStop::StopSet,
+            _ => TraceStop::MaxTtl,
+        };
+        let hop_count = body.get_u16() as usize;
+        let mut hops = Vec::with_capacity(hop_count.min(1 << 12));
+        for _ in 0..hop_count {
+            if body.remaining() < 2 {
+                return Err(StoreError::Truncated);
+            }
+            let ttl = body.get_u8();
+            let flags = body.get_u8();
+            if flags & 1 != 0 {
+                if body.remaining() < 6 {
+                    return Err(StoreError::Truncated);
+                }
+                hops.push(TraceHop {
+                    ttl,
+                    addr: Some(bdrmap_types::addr(body.get_u32())),
+                    time_exceeded: flags & 2 != 0,
+                    other_icmp: flags & 4 != 0,
+                    ipid: body.get_u16(),
+                });
+            } else {
+                hops.push(TraceHop {
+                    ttl,
+                    addr: None,
+                    time_exceeded: false,
+                    other_icmp: false,
+                    ipid: 0,
+                });
+            }
+        }
+        traces.push(Trace {
+            dst,
+            target_as,
+            hops,
+            stop,
+        });
+    }
+    Ok(TraceCollection {
+        traces,
+        budget: ProbeBudget {
+            packets,
+            elapsed_ms,
+        },
+    })
+}
+
+/// Write a collection to a file.
+pub fn save(path: &std::path::Path, coll: &TraceCollection) -> std::io::Result<()> {
+    std::fs::write(path, encode(coll))
+}
+
+/// Read a collection from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<TraceCollection> {
+    let data = std::fs::read(path)?;
+    decode(Bytes::from(data)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_types::{addr, Asn};
+
+    fn sample() -> TraceCollection {
+        let hops = vec![
+            TraceHop {
+                ttl: 1,
+                addr: Some(addr(0x0a000001)),
+                time_exceeded: true,
+                other_icmp: false,
+                ipid: 77,
+            },
+            TraceHop {
+                ttl: 2,
+                addr: None,
+                time_exceeded: false,
+                other_icmp: false,
+                ipid: 0,
+            },
+            TraceHop {
+                ttl: 3,
+                addr: Some(addr(0x0a000009)),
+                time_exceeded: false,
+                other_icmp: true,
+                ipid: 65535,
+            },
+        ];
+        TraceCollection {
+            traces: vec![
+                Trace {
+                    dst: addr(0x0a010101),
+                    target_as: Asn(7),
+                    hops,
+                    stop: TraceStop::Completed,
+                },
+                Trace {
+                    dst: addr(0x0a020202),
+                    target_as: Asn(9),
+                    hops: vec![],
+                    stop: TraceStop::GapLimit,
+                },
+            ],
+            budget: ProbeBudget {
+                packets: 1234,
+                elapsed_ms: 56789,
+            },
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let coll = sample();
+        let decoded = decode(encode(&coll)).unwrap();
+        assert_eq!(decoded.traces.len(), coll.traces.len());
+        assert_eq!(decoded.budget.packets, 1234);
+        assert_eq!(decoded.budget.elapsed_ms, 56789);
+        for (a, b) in coll.traces.iter().zip(&decoded.traces) {
+            assert_eq!(a.dst, b.dst);
+            assert_eq!(a.target_as, b.target_as);
+            assert_eq!(a.stop, b.stop);
+            assert_eq!(a.hops, b.hops);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let got = decode(Bytes::from_static(
+            b"NOPE\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0\0",
+        ));
+        assert!(matches!(got, Err(StoreError::BadMagic)));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let mut data = BytesMut::from(&encode(&sample())[..]);
+        data[4] = 0xff; // bump version high byte
+        assert!(matches!(
+            decode(data.freeze()),
+            Err(StoreError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let full = encode(&sample());
+        for cut in [3, 10, 20, full.len() - 1] {
+            let cut_data = full.slice(..cut);
+            assert!(decode(cut_data).is_err(), "cut at {cut} must not decode");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("bdrmap-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traces.bdrw");
+        save(&path, &sample()).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.traces.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

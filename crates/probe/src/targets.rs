@@ -1,0 +1,122 @@
+//! Target list generation (§5.3 of the paper).
+//!
+//! From the public BGP view, assemble for each external AS the address
+//! blocks it routes: its announced prefixes minus any more-specific
+//! announcements by other ASes. Blocks originated by the VP network (or
+//! its siblings) are excluded — bdrmap maps interdomain connectivity, not
+//! the hosting network's interior.
+
+use bdrmap_bgp::CollectorView;
+use bdrmap_types::{AddressBlock, Asn, Prefix};
+use std::collections::HashMap;
+
+/// The probing work list for one target AS.
+#[derive(Clone, Debug)]
+pub struct TargetAs {
+    /// The AS whose blocks these are (the first observed origin).
+    pub asn: Asn,
+    /// Routed blocks, ascending.
+    pub blocks: Vec<AddressBlock>,
+}
+
+/// Build the per-AS block list from a collector view.
+pub fn target_blocks(view: &CollectorView, vp_asns: &[Asn]) -> Vec<TargetAs> {
+    // Collect all prefixes with their origins.
+    let prefixes: Vec<(Prefix, Asn)> = view
+        .prefixes()
+        .map(|(p, origins)| (p, origins[0]))
+        .collect();
+    let mut per_as: HashMap<Asn, Vec<AddressBlock>> = HashMap::new();
+    for &(p, origin) in &prefixes {
+        if vp_asns.contains(&origin) {
+            continue;
+        }
+        // Carve out every strictly more specific announcement.
+        let holes: Vec<AddressBlock> = prefixes
+            .iter()
+            .filter(|&&(q, _)| q != p && p.covers(q))
+            .map(|&(q, _)| AddressBlock::from_prefix(q))
+            .collect();
+        let remaining = AddressBlock::from_prefix(p).subtract(&holes);
+        per_as.entry(origin).or_default().extend(remaining);
+    }
+    let mut out: Vec<TargetAs> = per_as
+        .into_iter()
+        .map(|(asn, mut blocks)| {
+            blocks.sort_unstable();
+            TargetAs { asn, blocks }
+        })
+        .collect();
+    out.sort_by_key(|t| t.asn);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_bgp::{AsGraph, CollectorView, OriginTable, RoutingOracle};
+    use bdrmap_types::Relationship;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    /// AS1 = collector/tier1, AS2 = VP AS, AS3/AS4 = targets. AS4
+    /// announces a more-specific inside AS3's block.
+    fn view() -> CollectorView {
+        let mut g = AsGraph::new();
+        let a1 = g.add_as();
+        let a2 = g.add_as();
+        let a3 = g.add_as();
+        let a4 = g.add_as();
+        g.add_link(a1, a2, Relationship::Customer);
+        g.add_link(a2, a3, Relationship::Customer);
+        g.add_link(a3, a4, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce(p("10.2.0.0/16"), a2);
+        t.announce(p("10.3.0.0/16"), a3);
+        t.announce(p("10.3.128.0/24"), a4);
+        let oracle = RoutingOracle::new(g, t);
+        CollectorView::collect(&oracle, &[Asn(1)])
+    }
+
+    #[test]
+    fn vp_prefixes_are_excluded() {
+        let targets = target_blocks(&view(), &[Asn(2)]);
+        assert!(targets.iter().all(|t| t.asn != Asn(2)));
+    }
+
+    #[test]
+    fn more_specifics_are_carved_out() {
+        let targets = target_blocks(&view(), &[Asn(2)]);
+        let t3 = targets.iter().find(|t| t.asn == Asn(3)).unwrap();
+        // 10.3.0.0/16 minus 10.3.128.0/24 → two blocks.
+        assert_eq!(t3.blocks.len(), 2);
+        assert_eq!(
+            t3.blocks[0].start(),
+            "10.3.0.0".parse::<bdrmap_types::Addr>().unwrap()
+        );
+        assert_eq!(
+            t3.blocks[0].end(),
+            "10.3.127.255".parse::<bdrmap_types::Addr>().unwrap()
+        );
+        assert_eq!(
+            t3.blocks[1].start(),
+            "10.3.129.0".parse::<bdrmap_types::Addr>().unwrap()
+        );
+        let t4 = targets.iter().find(|t| t.asn == Asn(4)).unwrap();
+        assert_eq!(t4.blocks.len(), 1);
+        assert_eq!(t4.blocks[0].size(), 256);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let a = target_blocks(&view(), &[Asn(2)]);
+        let b = target_blocks(&view(), &[Asn(2)]);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.asn, y.asn);
+            assert_eq!(x.blocks, y.blocks);
+        }
+    }
+}

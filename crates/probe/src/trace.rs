@@ -1,0 +1,252 @@
+//! Paris traceroute.
+
+use bdrmap_dataplane::{Probe, ProbeKind, RespKind};
+use bdrmap_types::{Addr, Asn};
+use serde::{Deserialize, Serialize};
+
+/// One hop of a traceroute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceHop {
+    /// Probe TTL.
+    pub ttl: u8,
+    /// Responding address, if any probe at this TTL was answered.
+    pub addr: Option<Addr>,
+    /// True if the response was an ICMP time-exceeded (the only message
+    /// type whose source bdrmap trusts to be an inbound interface).
+    pub time_exceeded: bool,
+    /// True if the response was an echo reply or destination unreachable
+    /// (used by heuristic 8.2 only).
+    pub other_icmp: bool,
+    /// IPID of the response (alias-resolution side channel).
+    pub ipid: u16,
+}
+
+/// Why a trace ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceStop {
+    /// Destination (or its subnet) answered.
+    Completed,
+    /// Too many consecutive unresponsive hops.
+    GapLimit,
+    /// Hit an address already in the target AS's stop set.
+    StopSet,
+    /// Ran out of TTL budget.
+    MaxTtl,
+}
+
+/// A finished traceroute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Trace {
+    /// The probed address.
+    pub dst: Addr,
+    /// The target AS the address block belongs to (per the BGP view).
+    pub target_as: Asn,
+    /// Responding hops in TTL order (unresponsive TTLs included with
+    /// `addr: None`).
+    pub hops: Vec<TraceHop>,
+    /// Why it ended.
+    pub stop: TraceStop,
+}
+
+impl Trace {
+    /// Responding hop addresses, in path order.
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.hops.iter().filter_map(|h| h.addr)
+    }
+
+    /// Responding time-exceeded hop addresses only, in path order.
+    pub fn te_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.hops
+            .iter()
+            .filter(|h| h.time_exceeded)
+            .filter_map(|h| h.addr)
+    }
+}
+
+/// Traceroute parameters.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct TraceParams {
+    /// Largest TTL probed.
+    pub max_ttl: u8,
+    /// Probes per hop before declaring it unresponsive.
+    pub attempts: u8,
+    /// Consecutive unresponsive hops before giving up.
+    pub gap_limit: u8,
+}
+
+impl Default for TraceParams {
+    fn default() -> Self {
+        TraceParams {
+            max_ttl: 32,
+            attempts: 2,
+            gap_limit: 5,
+        }
+    }
+}
+
+/// The Paris flow identifier for a destination: constant per trace so
+/// load balancers keep the path stable, varied across destinations.
+pub fn flow_of(dst: Addr) -> u16 {
+    let b = u32::from(dst);
+    ((b >> 16) ^ b) as u16
+}
+
+/// Run one traceroute through a probe-sending closure.
+///
+/// `send` is called with each probe and returns the response; the engine
+/// supplies a closure that stamps logical time and counts packets.
+/// `should_stop` lets the caller terminate early at a stop-set address
+/// (the address is still recorded as the final hop).
+pub fn run_trace(
+    mut send: impl FnMut(Probe) -> Option<bdrmap_dataplane::Response>,
+    src: Addr,
+    dst: Addr,
+    target_as: Asn,
+    params: TraceParams,
+    mut should_stop: impl FnMut(Addr) -> bool,
+) -> Trace {
+    let flow = flow_of(dst);
+    let mut hops = Vec::new();
+    let mut gap = 0u8;
+    let mut stop = TraceStop::MaxTtl;
+    for ttl in 1..=params.max_ttl {
+        let mut answered = None;
+        for _try in 0..params.attempts {
+            let resp = send(Probe {
+                src,
+                dst,
+                ttl,
+                flow,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 0, // stamped by the engine
+            });
+            if let Some(r) = resp {
+                answered = Some(r);
+                break;
+            }
+        }
+        match answered {
+            Some(r) => {
+                gap = 0;
+                let te = r.kind == RespKind::TimeExceeded;
+                hops.push(TraceHop {
+                    ttl,
+                    addr: Some(r.src),
+                    time_exceeded: te,
+                    other_icmp: !te,
+                    ipid: r.ipid,
+                });
+                if !te {
+                    stop = TraceStop::Completed;
+                    break;
+                }
+                if should_stop(r.src) {
+                    stop = TraceStop::StopSet;
+                    break;
+                }
+            }
+            None => {
+                hops.push(TraceHop {
+                    ttl,
+                    addr: None,
+                    time_exceeded: false,
+                    other_icmp: false,
+                    ipid: 0,
+                });
+                gap += 1;
+                if gap >= params.gap_limit {
+                    stop = TraceStop::GapLimit;
+                    break;
+                }
+            }
+        }
+    }
+    Trace {
+        dst,
+        target_as,
+        hops,
+        stop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_dataplane::{DataPlane, Response};
+    use bdrmap_topo::{generate, TopoConfig};
+
+    #[test]
+    fn flow_is_deterministic_and_varies() {
+        let a: Addr = "10.1.2.3".parse().unwrap();
+        let b: Addr = "10.1.2.4".parse().unwrap();
+        assert_eq!(flow_of(a), flow_of(a));
+        assert_ne!(flow_of(a), flow_of(b));
+    }
+
+    fn sender(dp: &DataPlane) -> impl FnMut(Probe) -> Option<Response> + '_ {
+        let mut t = 0u64;
+        move |mut p| {
+            t += 10;
+            p.time_ms = t;
+            dp.probe(&p)
+        }
+    }
+
+    #[test]
+    fn trace_ends_with_completed_or_gap() {
+        let dp = DataPlane::new(generate(&TopoConfig::tiny(21)));
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let dst = net.origins.iter().next().unwrap().prefix.nth(1);
+        let tr = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |_| {
+            false
+        });
+        assert!(!tr.hops.is_empty());
+        assert!(matches!(
+            tr.stop,
+            TraceStop::Completed | TraceStop::GapLimit | TraceStop::MaxTtl
+        ));
+        // TTLs are ascending and unique.
+        for w in tr.hops.windows(2) {
+            assert!(w[0].ttl < w[1].ttl);
+        }
+    }
+
+    #[test]
+    fn stop_set_halts_trace() {
+        let dp = DataPlane::new(generate(&TopoConfig::tiny(22)));
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let dst = net.origins.iter().next().unwrap().prefix.nth(1);
+        // First, a full trace; then stop at its first hop.
+        let full = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |_| {
+            false
+        });
+        let first = full.addrs().next().unwrap();
+        let stopped = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |a| {
+            a == first
+        });
+        assert_eq!(stopped.stop, TraceStop::StopSet);
+        assert_eq!(stopped.addrs().last(), Some(first));
+        assert!(stopped.hops.len() <= full.hops.len());
+    }
+
+    #[test]
+    fn te_addrs_excludes_other_icmp() {
+        let h = |te: bool, oi: bool, a: u32| TraceHop {
+            ttl: 1,
+            addr: Some(bdrmap_types::addr(a)),
+            time_exceeded: te,
+            other_icmp: oi,
+            ipid: 0,
+        };
+        let tr = Trace {
+            dst: bdrmap_types::addr(99),
+            target_as: Asn(1),
+            hops: vec![h(true, false, 1), h(false, true, 2)],
+            stop: TraceStop::Completed,
+        };
+        assert_eq!(tr.te_addrs().count(), 1);
+        assert_eq!(tr.addrs().count(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the probing layer: the remote wire protocol
+//! must round-trip any command/reply under any transport chunking.
+
+use bdrmap_probe::remote::{
+    decode_command, decode_reply, encode_command, encode_reply, Command, FrameDecoder, Reply,
+};
+use bdrmap_probe::TraceHop;
+use bdrmap_types::addr;
+use proptest::prelude::*;
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            any::<u32>(),
+            1u8..=64,
+            1u8..=4,
+            1u8..=8,
+            prop::collection::vec(any::<u32>(), 0..20),
+        )
+            .prop_map(
+                |(id, dst, max_ttl, attempts, gap_limit, stops)| Command::Trace {
+                    id,
+                    dst: addr(dst),
+                    max_ttl,
+                    attempts,
+                    gap_limit,
+                    stop_addrs: stops.into_iter().map(addr).collect(),
+                }
+            ),
+        (any::<u32>(), any::<u32>(), 0u8..=2).prop_map(|(id, dst, kind)| Command::Ping {
+            id,
+            dst: addr(dst),
+            kind,
+        }),
+        Just(Command::Shutdown),
+    ]
+}
+
+fn arb_hop() -> impl Strategy<Value = TraceHop> {
+    (
+        1u8..=64,
+        prop::option::of(any::<u32>()),
+        any::<bool>(),
+        any::<u16>(),
+    )
+        .prop_map(|(ttl, a, te, ipid)| match a {
+            Some(bits) => TraceHop {
+                ttl,
+                addr: Some(addr(bits)),
+                time_exceeded: te,
+                other_icmp: !te,
+                ipid,
+            },
+            None => TraceHop {
+                ttl,
+                addr: None,
+                time_exceeded: false,
+                other_icmp: false,
+                ipid: 0,
+            },
+        })
+}
+
+fn arb_reply() -> impl Strategy<Value = Reply> {
+    prop_oneof![
+        (
+            any::<u32>(),
+            0u8..=3,
+            any::<u32>(),
+            prop::collection::vec(arb_hop(), 0..32)
+        )
+            .prop_map(|(id, stop, packets, hops)| Reply::TraceDone {
+                id,
+                stop,
+                hops,
+                packets
+            }),
+        (
+            any::<u32>(),
+            prop::option::of((any::<u32>(), 0u8..=5, any::<u16>())),
+        )
+            .prop_map(|(id, r)| Reply::PingDone {
+                id,
+                response: r.map(|(src, kind, ipid)| (addr(src), kind, ipid)),
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn command_round_trips(c in arb_command()) {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_command(&c));
+        let body = dec.next_frame().expect("complete frame");
+        prop_assert_eq!(decode_command(body), Some(c));
+        prop_assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn reply_round_trips(r in arb_reply()) {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode_reply(&r));
+        let body = dec.next_frame().expect("complete frame");
+        prop_assert_eq!(decode_reply(body), Some(r));
+    }
+
+    #[test]
+    fn decoding_is_chunking_invariant(
+        replies in prop::collection::vec(arb_reply(), 1..6),
+        chunk in 1usize..64,
+    ) {
+        // Concatenate all frames, feed in `chunk`-sized pieces: the
+        // decoder must produce exactly the original sequence.
+        let mut stream = Vec::new();
+        for r in &replies {
+            stream.extend_from_slice(&encode_reply(r));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(body) = dec.next_frame() {
+                got.push(decode_reply(body).expect("valid frame"));
+            }
+        }
+        prop_assert_eq!(got, replies);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn flow_of_is_stable(bits in any::<u32>()) {
+        let a = addr(bits);
+        prop_assert_eq!(bdrmap_probe::trace::flow_of(a), bdrmap_probe::trace::flow_of(a));
+    }
+}

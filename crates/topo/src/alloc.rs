@@ -1,0 +1,164 @@
+//! Address-space allocation.
+//!
+//! A bump allocator that hands out CIDR-aligned blocks from the unicast
+//! IPv4 space, mimicking RIR behaviour: every delegation is recorded with
+//! an opaque per-organisation ID (the public RIR delegation files bdrmap
+//! consumes in §5.2/§5.4.1), and within a delegated block the generator
+//! sub-allocates link subnets and loopbacks.
+
+use crate::model::RirRecord;
+use bdrmap_types::{addr, addr_bits, Addr, Prefix};
+
+/// Allocates aligned blocks from IPv4 space, recording RIR delegations.
+#[derive(Debug)]
+pub struct SpaceAllocator {
+    cursor: u64,
+    records: Vec<RirRecord>,
+}
+
+impl Default for SpaceAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SpaceAllocator {
+    /// Start allocating at 1.0.0.0 (0/8 is reserved).
+    pub fn new() -> SpaceAllocator {
+        SpaceAllocator {
+            cursor: 1 << 24,
+            records: Vec::new(),
+        }
+    }
+
+    /// Allocate an aligned `/len` block and record its delegation to
+    /// `opaque_org`.
+    ///
+    /// # Panics
+    /// Panics if IPv4 space is exhausted.
+    pub fn delegate(&mut self, len: u8, opaque_org: u32) -> Prefix {
+        let p = self.take(len);
+        self.records.push(RirRecord {
+            prefix: p,
+            opaque_org,
+        });
+        p
+    }
+
+    /// Allocate an aligned `/len` block without an RIR record (used for
+    /// sub-allocations inside an already-delegated block's organisation,
+    /// or deliberately unregistered space).
+    pub fn take(&mut self, len: u8) -> Prefix {
+        assert!(len <= 32);
+        let size = 1u64 << (32 - len);
+        // Align the cursor up.
+        let aligned = (self.cursor + size - 1) & !(size - 1);
+        assert!(aligned + size <= 1u64 << 32, "IPv4 space exhausted");
+        self.cursor = aligned + size;
+        Prefix::new(addr(aligned as u32), len)
+    }
+
+    /// The RIR delegation file accumulated so far.
+    pub fn records(&self) -> &[RirRecord] {
+        &self.records
+    }
+
+    /// Consume the allocator, returning the delegation file.
+    pub fn into_records(self) -> Vec<RirRecord> {
+        self.records
+    }
+}
+
+/// Sub-allocator carving small subnets (point-to-point links, loopbacks)
+/// out of one delegated block, in address order.
+#[derive(Debug, Clone)]
+pub struct SubnetCarver {
+    block: Prefix,
+    cursor: u64,
+}
+
+impl SubnetCarver {
+    /// Carve from `block`.
+    pub fn new(block: Prefix) -> SubnetCarver {
+        SubnetCarver {
+            block,
+            cursor: addr_bits(block.network()) as u64,
+        }
+    }
+
+    /// Take the next aligned `/len` subnet, or `None` if the block is
+    /// exhausted.
+    pub fn take(&mut self, len: u8) -> Option<Prefix> {
+        assert!(len <= 32 && len >= self.block.len());
+        let size = 1u64 << (32 - len);
+        let aligned = (self.cursor + size - 1) & !(size - 1);
+        let end = addr_bits(self.block.broadcast()) as u64;
+        if aligned + size - 1 > end {
+            return None;
+        }
+        self.cursor = aligned + size;
+        Some(Prefix::new(addr(aligned as u32), len))
+    }
+
+    /// Take a single address (a /32).
+    pub fn take_addr(&mut self) -> Option<Addr> {
+        self.take(32).map(|p| p.network())
+    }
+
+    /// How many addresses remain.
+    pub fn remaining(&self) -> u64 {
+        let end = addr_bits(self.block.broadcast()) as u64;
+        (end + 1).saturating_sub(self.cursor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegations_are_aligned_and_disjoint() {
+        let mut a = SpaceAllocator::new();
+        let p1 = a.delegate(16, 1);
+        let p2 = a.delegate(20, 2);
+        let p3 = a.delegate(8, 3);
+        for p in [p1, p2, p3] {
+            // Aligned: network address is a multiple of the block size.
+            assert_eq!(addr_bits(p.network()) % p.size(), 0);
+        }
+        assert!(!p1.covers(p2) && !p2.covers(p1));
+        assert!(!p1.covers(p3) && !p3.covers(p1));
+        assert_eq!(a.records().len(), 3);
+    }
+
+    #[test]
+    fn take_leaves_no_record() {
+        let mut a = SpaceAllocator::new();
+        a.take(24);
+        assert!(a.records().is_empty());
+    }
+
+    #[test]
+    fn carver_exhausts_block() {
+        let mut c = SubnetCarver::new("10.0.0.0/29".parse().unwrap());
+        // 8 addresses: 4 /31s.
+        assert!(c.take(31).is_some());
+        assert!(c.take(31).is_some());
+        assert!(c.take(31).is_some());
+        assert!(c.take(31).is_some());
+        assert!(c.take(31).is_none());
+    }
+
+    #[test]
+    fn carver_mixed_sizes_align() {
+        let mut c = SubnetCarver::new("10.0.0.0/24".parse().unwrap());
+        let a = c.take_addr().unwrap();
+        assert_eq!(a, "10.0.0.0".parse::<Addr>().unwrap());
+        let s = c.take(30).unwrap();
+        // /30 must be aligned: next multiple of 4 after 10.0.0.1 is 10.0.0.4.
+        assert_eq!(s, "10.0.0.4/30".parse().unwrap());
+        let t = c.take(31).unwrap();
+        assert_eq!(t, "10.0.0.8/31".parse().unwrap());
+        assert!(c.remaining() > 0);
+    }
+}

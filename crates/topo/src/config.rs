@@ -1,0 +1,349 @@
+//! Generator configuration and scenario presets.
+//!
+//! Each preset corresponds to one of the networks the paper validates
+//! against (§5.6): a research-and-education network, a large U.S. access
+//! network (the §6 interconnection study), a Tier-1, and a small access
+//! network. A `tiny` preset keeps unit tests fast.
+
+use crate::model::AsKind;
+pub use crate::model::ExportStrategy;
+use serde::{Deserialize, Serialize};
+
+/// Mix of probe-response policies assigned to routers.
+///
+/// Fractions are cumulative-sampled; whatever remains is `Normal`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct PolicyMix {
+    /// Fraction of neighbor edge routers that firewall transit but answer
+    /// TTL-expired (drives the paper's dominant "firewall" heuristic row).
+    pub firewall: f64,
+    /// Fraction that are completely silent (heuristic 8.1).
+    pub silent: f64,
+    /// Fraction that send only non-TTL-expired ICMP (heuristic 8.2).
+    pub echo_other: f64,
+    /// Fraction that rate-limit TTL-expired responses.
+    pub rate_limited: f64,
+}
+
+impl PolicyMix {
+    /// Mix typical of customer edges: most enterprises firewall.
+    pub fn customer_edge() -> PolicyMix {
+        PolicyMix {
+            firewall: 0.58,
+            silent: 0.045,
+            echo_other: 0.025,
+            rate_limited: 0.04,
+        }
+    }
+
+    /// Mix typical of backbone/peer routers: almost everything responds.
+    pub fn backbone() -> PolicyMix {
+        PolicyMix {
+            firewall: 0.0,
+            silent: 0.0,
+            echo_other: 0.0,
+            rate_limited: 0.03,
+        }
+    }
+
+    /// Everything responds normally (for focused tests).
+    pub fn all_normal() -> PolicyMix {
+        PolicyMix {
+            firewall: 0.0,
+            silent: 0.0,
+            echo_other: 0.0,
+            rate_limited: 0.0,
+        }
+    }
+}
+
+/// Shape of the rest-of-world AS population.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct AsMix {
+    /// Tier-1 clique size.
+    pub tier1: usize,
+    /// Mid-tier transit providers.
+    pub transit: usize,
+    /// Content networks (each gets an [`ExportStrategy`]).
+    pub cdn: usize,
+    /// Stub ASes not attached to the measured network.
+    pub extra_stubs: usize,
+}
+
+/// Full generator configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TopoConfig {
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Business type of the network hosting the VPs.
+    pub vp_kind: AsKind,
+    /// Number of vantage points to place (paper §6 uses 19).
+    pub num_vps: usize,
+    /// Customer ASes of the VP network.
+    pub vp_customers: usize,
+    /// Peer ASes of the VP network (beyond CDNs, which always peer).
+    pub vp_peers: usize,
+    /// Provider ASes of the VP network (0 for a Tier-1).
+    pub vp_providers: usize,
+    /// PoPs of the VP network (drawn from the US city catalogue).
+    pub vp_pops: usize,
+    /// IXPs the VP network participates in.
+    pub vp_ixps: usize,
+    /// Whether the VP network has a sibling AS (§5.2 "VP ASes").
+    pub vp_sibling: bool,
+    /// Rest-of-world population.
+    pub world: AsMix,
+    /// Interconnections with each *major* peer (the paper's Level3-like
+    /// peer had 45 router-level links).
+    pub major_peer_links: usize,
+    /// How many of the VP network's peers are "major" (many links).
+    pub major_peers: usize,
+    /// Response-policy mix at neighbor customer edges.
+    pub customer_policy: PolicyMix,
+    /// Response-policy mix in backbones.
+    pub backbone_policy: PolicyMix,
+    /// Fraction of routers using RFC1812 egress-interface sourcing
+    /// (third-party addresses, §4 challenge 2).
+    pub third_party_frac: f64,
+    /// Fraction of routers with virtual-router response behaviour
+    /// (§4 challenge 4).
+    pub virtual_router_frac: f64,
+    /// Fraction of VP-network customers that number internal routers from
+    /// provider-aggregatable space (the Figure 12 limitation).
+    pub pa_space_frac: f64,
+    /// Fraction of ASes whose infrastructure space is not announced in
+    /// BGP (§5.4.3).
+    pub unrouted_infra_frac: f64,
+    /// Fraction of stub prefixes announced by two ASes (MOAS, §4 item 7).
+    pub moas_frac: f64,
+    /// Fraction of routers with a shared IPID counter (Ally/MIDAR can
+    /// resolve their aliases).
+    pub ipid_shared_frac: f64,
+    /// Fraction with per-interface counters.
+    pub ipid_per_iface_frac: f64,
+    /// Fraction with random IPIDs (remainder send constant IDs).
+    pub ipid_random_frac: f64,
+    /// Fraction of routers answering UDP probes from a canonical source
+    /// address (Mercator-resolvable).
+    pub mercator_frac: f64,
+    /// Fraction answering UDP from the probed address.
+    pub mercator_probed_frac: f64,
+    /// Average announced prefixes per stub/customer AS.
+    pub prefixes_per_stub: f64,
+    /// Announced prefixes for each CDN (more prefixes → finer-grained
+    /// anchoring, matters for Figures 15/16).
+    pub prefixes_per_cdn: usize,
+    /// Place one additional VP in each of this many *other* networks
+    /// (transits and multi-router customers), enabling the paper's §5.7
+    /// "25 other networks" fleet experiment. These VPs do not belong to
+    /// the measured network; `Internet::vps` lists them after the main
+    /// deployment with their own `host_as`.
+    pub extra_vp_hosts: usize,
+}
+
+impl TopoConfig {
+    /// Tiny Internet for unit tests: a handful of each kind.
+    pub fn tiny(seed: u64) -> TopoConfig {
+        TopoConfig {
+            seed,
+            vp_kind: AsKind::ResearchEdu,
+            num_vps: 2,
+            vp_customers: 6,
+            vp_peers: 2,
+            vp_providers: 1,
+            vp_pops: 3,
+            vp_ixps: 1,
+            vp_sibling: false,
+            world: AsMix {
+                tier1: 2,
+                transit: 3,
+                cdn: 2,
+                extra_stubs: 8,
+            },
+            major_peer_links: 3,
+            major_peers: 1,
+            customer_policy: PolicyMix::customer_edge(),
+            backbone_policy: PolicyMix::backbone(),
+            third_party_frac: 0.15,
+            virtual_router_frac: 0.05,
+            pa_space_frac: 0.0,
+            unrouted_infra_frac: 0.15,
+            moas_frac: 0.02,
+            ipid_shared_frac: 0.55,
+            ipid_per_iface_frac: 0.20,
+            ipid_random_frac: 0.15,
+            mercator_frac: 0.5,
+            mercator_probed_frac: 0.3,
+            prefixes_per_stub: 1.3,
+            prefixes_per_cdn: 8,
+            extra_vp_hosts: 0,
+        }
+    }
+
+    /// The paper's research-and-education network: 17 routers, BGP
+    /// sessions with ~48 ASes and 3 IXPs (§5.6).
+    pub fn re_network(seed: u64) -> TopoConfig {
+        TopoConfig {
+            vp_kind: AsKind::ResearchEdu,
+            num_vps: 1,
+            vp_customers: 30,
+            vp_peers: 2,
+            vp_providers: 1,
+            vp_pops: 4,
+            vp_ixps: 3,
+            vp_sibling: false,
+            world: AsMix {
+                tier1: 4,
+                transit: 10,
+                cdn: 4,
+                extra_stubs: 80,
+            },
+            major_peer_links: 4,
+            major_peers: 1,
+            prefixes_per_stub: 1.4,
+            prefixes_per_cdn: 12,
+            ..TopoConfig::tiny(seed)
+        }
+    }
+
+    /// The paper's large U.S. access network: 652 customers, 26 peers,
+    /// 5 providers; 19 VPs; a major peer with 45 interconnections.
+    pub fn large_access(seed: u64) -> TopoConfig {
+        TopoConfig {
+            vp_kind: AsKind::Access,
+            num_vps: 19,
+            vp_customers: 652,
+            vp_peers: 26,
+            vp_providers: 5,
+            vp_pops: 25,
+            vp_ixps: 3,
+            vp_sibling: true,
+            world: AsMix {
+                tier1: 8,
+                transit: 30,
+                cdn: 5,
+                extra_stubs: 900,
+            },
+            major_peer_links: 45,
+            major_peers: 2,
+            pa_space_frac: 0.02,
+            prefixes_per_stub: 1.5,
+            prefixes_per_cdn: 120,
+            ..TopoConfig::tiny(seed)
+        }
+    }
+
+    /// A scaled-down large access network for integration tests: same
+    /// shape, an order of magnitude fewer ASes.
+    pub fn large_access_scaled(seed: u64, scale: f64) -> TopoConfig {
+        let mut c = TopoConfig::large_access(seed);
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+        c.vp_customers = s(c.vp_customers);
+        c.vp_peers = s(c.vp_peers).max(4);
+        c.vp_providers = s(c.vp_providers).max(2);
+        c.world.transit = s(c.world.transit).max(3);
+        // Keep enough tier-1s that some collectors sit outside the VP
+        // network's peering set — otherwise its provider links are never
+        // observed from above and the relationship labels degrade.
+        c.world.tier1 = s(c.world.tier1).max(4);
+        c.world.extra_stubs = s(c.world.extra_stubs);
+        c.major_peer_links = s(c.major_peer_links).max(3);
+        c.prefixes_per_cdn = s(c.prefixes_per_cdn).max(4);
+        c
+    }
+
+    /// The paper's Tier-1 network: 1644 customers, 70 peers, no
+    /// providers.
+    pub fn tier1(seed: u64) -> TopoConfig {
+        TopoConfig {
+            vp_kind: AsKind::Tier1,
+            num_vps: 4,
+            vp_customers: 1644,
+            vp_peers: 70,
+            vp_providers: 0,
+            vp_pops: 25,
+            vp_ixps: 2,
+            vp_sibling: true,
+            world: AsMix {
+                tier1: 8,
+                transit: 40,
+                cdn: 5,
+                extra_stubs: 400,
+            },
+            major_peer_links: 20,
+            major_peers: 4,
+            prefixes_per_stub: 1.5,
+            prefixes_per_cdn: 30,
+            ..TopoConfig::tiny(seed)
+        }
+    }
+
+    /// A scaled-down Tier-1 for integration tests.
+    pub fn tier1_scaled(seed: u64, scale: f64) -> TopoConfig {
+        let mut c = TopoConfig::tier1(seed);
+        let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+        c.vp_customers = s(c.vp_customers);
+        c.vp_peers = s(c.vp_peers).max(4);
+        c.world.tier1 = s(c.world.tier1).max(4);
+        c.world.transit = s(c.world.transit).max(3);
+        c.world.extra_stubs = s(c.world.extra_stubs);
+        c
+    }
+
+    /// The paper's small access network: 14 routers, most
+    /// interconnections at three interconnection facilities (IXPs).
+    pub fn small_access(seed: u64) -> TopoConfig {
+        TopoConfig {
+            vp_kind: AsKind::SmallAccess,
+            num_vps: 1,
+            vp_customers: 10,
+            vp_peers: 8,
+            vp_providers: 2,
+            vp_pops: 3,
+            vp_ixps: 3,
+            vp_sibling: false,
+            world: AsMix {
+                tier1: 4,
+                transit: 12,
+                cdn: 4,
+                extra_stubs: 120,
+            },
+            major_peer_links: 3,
+            major_peers: 1,
+            prefixes_per_stub: 1.3,
+            prefixes_per_cdn: 15,
+            ..TopoConfig::tiny(seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        for c in [
+            TopoConfig::tiny(1),
+            TopoConfig::re_network(1),
+            TopoConfig::large_access(1),
+            TopoConfig::tier1(1),
+            TopoConfig::small_access(1),
+        ] {
+            assert!(c.num_vps >= 1);
+            assert!(c.vp_pops >= c.num_vps.min(3), "need PoPs for VPs");
+            assert!(c.world.tier1 >= 2, "need a clique");
+            let f = c.customer_policy;
+            assert!(f.firewall + f.silent + f.echo_other + f.rate_limited < 1.0);
+        }
+    }
+
+    #[test]
+    fn scaled_preset_shrinks() {
+        let full = TopoConfig::large_access(1);
+        let small = TopoConfig::large_access_scaled(1, 0.1);
+        assert!(small.vp_customers < full.vp_customers / 5);
+        assert!(small.vp_customers >= 1);
+        assert_eq!(small.vp_kind, AsKind::Access);
+    }
+}

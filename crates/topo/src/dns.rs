@@ -1,0 +1,360 @@
+//! Reverse-DNS synthesis.
+//!
+//! Operators often (but inconsistently) encode router role, city, and
+//! interconnection partner into interface hostnames. The paper leans on
+//! this twice: during development, DNS names were the only sanity check
+//! available (§5.1 — "we found interdomain links labeled incorrectly as
+//! well as links labeled with organization names rather than AS
+//! numbers"); and Figure 16 geolocates border routers from the location
+//! strings embedded in their reverse DNS.
+//!
+//! This module synthesizes a PTR database with exactly those properties:
+//! configurable coverage, city codes derived from PoPs, partner labels
+//! on interdomain interfaces, a fraction of *stale* labels pointing at
+//! the previous partner, and a fraction of labels that use an
+//! organisation nickname instead of an AS number.
+
+use crate::model::{IfaceKind, Internet};
+use bdrmap_types::{Addr, Asn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Knobs for hostname synthesis.
+#[derive(Clone, Copy, Debug)]
+pub struct DnsConfig {
+    /// Fraction of interfaces that have a PTR record at all.
+    pub coverage: f64,
+    /// Fraction of interdomain interface labels that are stale (name a
+    /// different network than the actual partner).
+    pub stale_frac: f64,
+    /// Fraction of partner labels that use an organisation nickname
+    /// instead of `asNNNN`.
+    pub org_name_frac: f64,
+}
+
+impl Default for DnsConfig {
+    fn default() -> Self {
+        DnsConfig {
+            coverage: 0.7,
+            stale_frac: 0.05,
+            org_name_frac: 0.35,
+        }
+    }
+}
+
+/// A synthesized PTR database.
+#[derive(Clone, Debug, Default)]
+pub struct DnsDb {
+    ptr: HashMap<Addr, String>,
+}
+
+/// Three-letter city code from a PoP name ("Kansas City" → "kan").
+pub fn city_code(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .take(3)
+        .collect::<String>()
+        .to_ascii_lowercase()
+}
+
+/// Domain suffix for an AS ("CDN-A", AS17 → "cdn-a.net").
+pub fn domain_of(name: &str) -> String {
+    format!("{}.net", name.to_ascii_lowercase().replace([' ', '_'], "-"))
+}
+
+impl DnsDb {
+    /// Synthesize hostnames for a generated Internet.
+    pub fn synthesize(net: &Internet, seed: u64, cfg: &DnsConfig) -> DnsDb {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD15);
+        let mut ptr = HashMap::new();
+        for ifc in &net.ifaces {
+            if !rng.gen_bool(cfg.coverage) {
+                continue;
+            }
+            let router = &net.routers[ifc.router.index()];
+            let owner = net.as_info(router.owner);
+            let pop = &net.pops[router.pop.index()];
+            let code = city_code(&pop.name);
+            let domain = domain_of(&owner.name);
+            let host = match ifc.kind {
+                IfaceKind::Loopback => {
+                    format!("lo0.r{}.{code}.{domain}", router.id.0)
+                }
+                IfaceKind::Internal => {
+                    format!("ae-{}.r{}.{code}.{domain}", ifc.id.0 % 8, router.id.0)
+                }
+                IfaceKind::IxpLan => {
+                    format!("ixp-port.r{}.{code}.{domain}", router.id.0)
+                }
+                IfaceKind::Interdomain => {
+                    // The address-space supplier usually names the
+                    // partner on its side of the link.
+                    let partner = ifc
+                        .link
+                        .and_then(|l| {
+                            net.links[l.index()]
+                                .ifaces
+                                .iter()
+                                .map(|i| &net.ifaces[i.index()])
+                                .find(|other| other.id != ifc.id)
+                        })
+                        .map(|other| net.routers[other.router.index()].owner);
+                    match partner {
+                        Some(mut p) => {
+                            if rng.gen_bool(cfg.stale_frac) {
+                                // Stale record: points at some other AS
+                                // entirely (a previous tenant of the
+                                // port).
+                                p = Asn(1 + (rng.gen::<u32>() % net.graph.num_ases() as u32));
+                            }
+                            let label = if rng.gen_bool(cfg.org_name_frac) {
+                                net.as_info(p)
+                                    .name
+                                    .to_ascii_lowercase()
+                                    .replace([' ', '_'], "-")
+                            } else {
+                                format!("as{}", p.0)
+                            };
+                            format!(
+                                "{label}.xe-{}.r{}.{code}.{domain}",
+                                ifc.id.0 % 4,
+                                router.id.0
+                            )
+                        }
+                        None => format!("xe-{}.r{}.{code}.{domain}", ifc.id.0 % 4, router.id.0),
+                    }
+                }
+            };
+            ptr.insert(ifc.addr, host);
+        }
+        DnsDb { ptr }
+    }
+
+    /// The PTR record for an address.
+    pub fn lookup(&self, a: Addr) -> Option<&str> {
+        self.ptr.get(&a).map(|s| s.as_str())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.ptr.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.ptr.is_empty()
+    }
+
+    /// Parse the city code out of a hostname (the third-from-last label
+    /// in this scheme: `...r7.sea.tier1-0.net`).
+    pub fn city_of(host: &str) -> Option<&str> {
+        let labels: Vec<&str> = host.split('.').collect();
+        if labels.len() < 4 {
+            return None;
+        }
+        Some(labels[labels.len() - 3])
+    }
+
+    /// Parse an `asNNNN` partner label out of an interdomain hostname,
+    /// if the operator used AS numbers rather than nicknames.
+    pub fn partner_asn(host: &str) -> Option<Asn> {
+        let first = host.split('.').next()?;
+        let digits = first.strip_prefix("as")?;
+        digits.parse::<u32>().ok().map(Asn)
+    }
+
+    /// The operator's domain embedded in a hostname
+    /// (`as1.xe-0.r9.sea.cdn-a.net` → `cdn-a.net`).
+    pub fn owner_domain(host: &str) -> Option<String> {
+        let labels: Vec<&str> = host.split('.').collect();
+        if labels.len() < 2 {
+            return None;
+        }
+        Some(labels[labels.len() - 2..].join("."))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopoConfig;
+    use crate::generate::generate;
+
+    #[test]
+    fn coverage_fraction_respected() {
+        let net = generate(&TopoConfig::tiny(700));
+        let full = DnsDb::synthesize(
+            &net,
+            1,
+            &DnsConfig {
+                coverage: 1.0,
+                ..Default::default()
+            },
+        );
+        let half = DnsDb::synthesize(
+            &net,
+            1,
+            &DnsConfig {
+                coverage: 0.5,
+                ..Default::default()
+            },
+        );
+        let none = DnsDb::synthesize(
+            &net,
+            1,
+            &DnsConfig {
+                coverage: 0.0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(full.len(), net.ifaces.len());
+        assert!(none.is_empty());
+        let ratio = half.len() as f64 / full.len() as f64;
+        assert!((0.35..0.65).contains(&ratio), "coverage ratio {ratio}");
+    }
+
+    #[test]
+    fn city_codes_parse_back() {
+        assert_eq!(city_code("Seattle"), "sea");
+        assert_eq!(city_code("Kansas City"), "kan");
+        assert_eq!(city_code("St. Louis"), "stl");
+        let net = generate(&TopoConfig::tiny(701));
+        let db = DnsDb::synthesize(
+            &net,
+            2,
+            &DnsConfig {
+                coverage: 1.0,
+                ..Default::default()
+            },
+        );
+        let mut checked = 0;
+        for ifc in &net.ifaces {
+            let Some(host) = db.lookup(ifc.addr) else {
+                continue;
+            };
+            let pop = net.routers[ifc.router.index()].pop;
+            let expect = city_code(&net.pops[pop.index()].name);
+            assert_eq!(DnsDb::city_of(host), Some(expect.as_str()), "{host}");
+            checked += 1;
+        }
+        assert!(checked > 50);
+    }
+
+    #[test]
+    fn partner_labels_mostly_correct() {
+        let net = generate(&TopoConfig::tiny(702));
+        let db = DnsDb::synthesize(
+            &net,
+            3,
+            &DnsConfig {
+                coverage: 1.0,
+                stale_frac: 0.0,
+                org_name_frac: 0.0,
+            },
+        );
+        let mut checked = 0;
+        for ifc in &net.ifaces {
+            if ifc.kind != IfaceKind::Interdomain {
+                continue;
+            }
+            let Some(host) = db.lookup(ifc.addr) else {
+                continue;
+            };
+            let Some(claimed) = DnsDb::partner_asn(host) else {
+                continue;
+            };
+            // Ground truth partner: the other end of the link.
+            let link = &net.links[ifc.link.unwrap().index()];
+            let other = link
+                .ifaces
+                .iter()
+                .map(|i| &net.ifaces[i.index()])
+                .find(|o| o.id != ifc.id)
+                .unwrap();
+            let truth = net.routers[other.router.index()].owner;
+            assert_eq!(claimed, truth, "{host}");
+            checked += 1;
+        }
+        assert!(checked > 10, "need interdomain PTRs, got {checked}");
+    }
+
+    #[test]
+    fn stale_labels_occur_when_configured() {
+        let net = generate(&TopoConfig::tiny(703));
+        let db = DnsDb::synthesize(
+            &net,
+            4,
+            &DnsConfig {
+                coverage: 1.0,
+                stale_frac: 0.5,
+                org_name_frac: 0.0,
+            },
+        );
+        let mut wrong = 0;
+        let mut total = 0;
+        for ifc in &net.ifaces {
+            if ifc.kind != IfaceKind::Interdomain {
+                continue;
+            }
+            let Some(host) = db.lookup(ifc.addr) else {
+                continue;
+            };
+            let Some(claimed) = DnsDb::partner_asn(host) else {
+                continue;
+            };
+            let link = &net.links[ifc.link.unwrap().index()];
+            let other = link
+                .ifaces
+                .iter()
+                .map(|i| &net.ifaces[i.index()])
+                .find(|o| o.id != ifc.id)
+                .unwrap();
+            total += 1;
+            if claimed != net.routers[other.router.index()].owner {
+                wrong += 1;
+            }
+        }
+        assert!(total > 10);
+        let frac = wrong as f64 / total as f64;
+        assert!(
+            (0.2..0.8).contains(&frac),
+            "stale fraction {frac} of {total} — the §5.1 pitfall must be reproducible"
+        );
+    }
+
+    #[test]
+    fn org_names_defeat_naive_parsing() {
+        let net = generate(&TopoConfig::tiny(704));
+        let db = DnsDb::synthesize(
+            &net,
+            5,
+            &DnsConfig {
+                coverage: 1.0,
+                stale_frac: 0.0,
+                org_name_frac: 1.0,
+            },
+        );
+        // With nicknames everywhere, the asNNNN parser finds nothing —
+        // exactly the paper's complaint about organisation-name labels.
+        for ifc in &net.ifaces {
+            if ifc.kind != IfaceKind::Interdomain {
+                continue;
+            }
+            if let Some(host) = db.lookup(ifc.addr) {
+                assert_eq!(DnsDb::partner_asn(host), None, "{host}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let net = generate(&TopoConfig::tiny(705));
+        let a = DnsDb::synthesize(&net, 9, &DnsConfig::default());
+        let b = DnsDb::synthesize(&net, 9, &DnsConfig::default());
+        assert_eq!(a.len(), b.len());
+        for ifc in &net.ifaces {
+            assert_eq!(a.lookup(ifc.addr), b.lookup(ifc.addr));
+        }
+    }
+}

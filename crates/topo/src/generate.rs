@@ -1,0 +1,1568 @@
+//! The Internet generator.
+//!
+//! Builds a ground-truth [`Internet`] from a [`TopoConfig`], in phases:
+//!
+//! 1. PoPs from the city catalogue;
+//! 2. ASes: the VP network (plus optional sibling), the Tier-1 clique,
+//!    transit providers, CDNs, the VP network's customers / peers /
+//!    providers, and unrelated stubs — with RIR-recorded address space;
+//! 3. routers and intra-AS topologies (backbone ring over PoPs, access
+//!    aggregation, stub edges) with per-router response quirks;
+//! 4. physical interdomain links for every AS adjacency, numbered from
+//!    /30 or /31 subnets supplied by the provider (or a random side for
+//!    peers), plus IXP peering LANs;
+//! 5. prefix originations (eyeball and infrastructure space, CDN
+//!    per-prefix scoping, MOAS, PA delegations);
+//! 6. destination homing, VP placement, and validation.
+
+use crate::alloc::{SpaceAllocator, SubnetCarver};
+use crate::config::TopoConfig;
+use crate::geo;
+use crate::model::*;
+use bdrmap_bgp::{AsGraph, OriginTable};
+use bdrmap_types::{Asn, IfaceId, LinkId, PopId, Prefix, RouterId, VpId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Generate a ground-truth Internet from a configuration.
+///
+/// # Examples
+///
+/// ```
+/// use bdrmap_topo::{generate, TopoConfig};
+///
+/// let net = generate(&TopoConfig::tiny(42));
+/// assert!(net.graph.num_ases() > 10);
+/// assert!(net.routers.len() > 10);
+/// // Same seed, same Internet.
+/// let again = generate(&TopoConfig::tiny(42));
+/// assert_eq!(net.ifaces.len(), again.ifaces.len());
+/// ```
+///
+/// # Panics
+/// Panics if the configuration is internally inconsistent (e.g. more VPs
+/// than PoPs) or if generated structures fail validation — both indicate
+/// bugs, not recoverable conditions.
+pub fn generate(cfg: &TopoConfig) -> Internet {
+    let mut b = Builder::new(cfg);
+    b.build_pops();
+    b.build_ases();
+    b.build_routers();
+    b.build_interdomain_links();
+    b.build_ixps();
+    b.build_originations();
+    b.build_dest_homing();
+    b.place_vps();
+    let net = b.finish();
+    net.validate().expect("generated Internet must validate");
+    net
+}
+
+/// Working state while generating.
+struct Builder<'c> {
+    cfg: &'c TopoConfig,
+    rng: StdRng,
+    graph: AsGraph,
+    origins: OriginTable,
+    as_info: Vec<AsInfo>,
+    pops: Vec<Pop>,
+    routers: Vec<Router>,
+    ifaces: Vec<Iface>,
+    links: Vec<Link>,
+    ixps: Vec<Ixp>,
+    vps: Vec<Vp>,
+    alloc: SpaceAllocator,
+    /// Per-AS carver over its infrastructure block.
+    infra: Vec<Option<SubnetCarver>>,
+    /// Per-AS eyeball (announced customer) blocks.
+    eyeball: Vec<Vec<Prefix>>,
+    /// Backbone router per (AS, PoP).
+    backbone: HashMap<(Asn, PopId), RouterId>,
+    /// Aggregation router per (AS, PoP) for access-like networks.
+    aggregation: HashMap<(Asn, PopId), RouterId>,
+    /// Border routers of the VP network per PoP (grown on demand).
+    vp_borders: HashMap<PopId, Vec<RouterId>>,
+    /// Link count per AS pair, for interdomain ordinals.
+    pair_ordinal: HashMap<(Asn, Asn), u32>,
+    addr_index: HashMap<bdrmap_types::Addr, IfaceId>,
+    dest_home: bdrmap_types::PrefixTrie<RouterId>,
+    vp_as: Asn,
+    vp_sibling: Option<Asn>,
+    /// Role lists.
+    tier1s: Vec<Asn>,
+    transits: Vec<Asn>,
+    cdns: Vec<Asn>,
+    vp_customer_list: Vec<Asn>,
+    vp_peer_list: Vec<Asn>,
+    vp_provider_list: Vec<Asn>,
+    stubs: Vec<Asn>,
+}
+
+/// Capacity of one VP-network border router (interdomain links per
+/// router) before a new one is created at the same PoP.
+const VP_BORDER_CAPACITY: usize = 6;
+
+impl<'c> Builder<'c> {
+    fn new(cfg: &'c TopoConfig) -> Builder<'c> {
+        Builder {
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            graph: AsGraph::new(),
+            origins: OriginTable::new(),
+            as_info: vec![AsInfo {
+                asn: Asn::RESERVED,
+                kind: AsKind::Stub,
+                name: "reserved".into(),
+                routers: vec![],
+                pops: vec![],
+                delegated: vec![],
+                unannounced: vec![],
+                export: ExportStrategy::Everywhere,
+                pa_parent: None,
+            }],
+            pops: Vec::new(),
+            routers: Vec::new(),
+            ifaces: Vec::new(),
+            links: Vec::new(),
+            ixps: Vec::new(),
+            vps: Vec::new(),
+            alloc: SpaceAllocator::new(),
+            infra: vec![None],
+            eyeball: vec![Vec::new()],
+            backbone: HashMap::new(),
+            aggregation: HashMap::new(),
+            vp_borders: HashMap::new(),
+            pair_ordinal: HashMap::new(),
+            addr_index: HashMap::new(),
+            dest_home: bdrmap_types::PrefixTrie::new(),
+            vp_as: Asn::RESERVED,
+            vp_sibling: None,
+            tier1s: Vec::new(),
+            transits: Vec::new(),
+            cdns: Vec::new(),
+            vp_customer_list: Vec::new(),
+            vp_peer_list: Vec::new(),
+            vp_provider_list: Vec::new(),
+            stubs: Vec::new(),
+        }
+    }
+
+    // ---------------------------------------------------------------- pops
+
+    fn build_pops(&mut self) {
+        let need = geo::US_CITIES.len() + geo::WORLD_CITIES.len();
+        for i in 0..need {
+            let (name, lon, lat) = geo::city(i);
+            self.pops.push(Pop {
+                id: PopId(i as u32),
+                name: name.to_string(),
+                longitude: lon,
+                latitude: lat,
+            });
+        }
+        assert!(
+            self.cfg.vp_pops <= geo::US_CITIES.len(),
+            "vp_pops exceeds the US city catalogue"
+        );
+        assert!(
+            self.cfg.num_vps <= self.cfg.vp_pops,
+            "more VPs than VP-network PoPs"
+        );
+    }
+
+    fn us_pops(&self) -> usize {
+        geo::US_CITIES.len()
+    }
+
+    // ---------------------------------------------------------------- ases
+
+    /// Allocate a new AS with address space sized for its kind.
+    fn new_as(&mut self, kind: AsKind, name: String, sibling_of: Option<Asn>) -> Asn {
+        let asn = match sibling_of {
+            Some(s) => {
+                let org = self.graph.org(s);
+                self.graph.add_as_in_org(org)
+            }
+            None => self.graph.add_as(),
+        };
+        // Address space: an eyeball block plus an infrastructure block.
+        let opaque = asn.0; // opaque org id: stable per AS without naming it
+        let (eyeball_len, infra_len) = match kind {
+            AsKind::Tier1 => (14, 18),
+            AsKind::Transit => (15, 19),
+            AsKind::Access => (13, 17),
+            AsKind::SmallAccess => (18, 20),
+            AsKind::Cdn => (16, 19),
+            AsKind::ResearchEdu => (16, 18),
+            AsKind::Enterprise => (22, 24),
+            AsKind::Stub => (22, 24),
+            AsKind::IxpOperator => (24, 24),
+        };
+        let eyeball = self.alloc.delegate(eyeball_len, opaque);
+        let infra = self.alloc.delegate(infra_len, opaque);
+        // Large networks almost always announce their infrastructure
+        // space; leaving it unrouted is predominantly a small-network
+        // economy (§5.4.3 of the paper).
+        let unrouted_scale = match kind {
+            AsKind::Tier1 => 0.2,
+            AsKind::Transit | AsKind::Cdn | AsKind::Access => 0.4,
+            _ => 1.0,
+        };
+        let unrouted_infra = self
+            .rng
+            .gen_bool((self.cfg.unrouted_infra_frac * unrouted_scale).min(1.0));
+        // Networks that keep infrastructure out of BGP still announce
+        // *some* of it (§5.4.1: "these networks usually announce other
+        // infrastructure addresses that bdrmap observes nearby"), so
+        // only the second half of the block goes dark. Addresses are
+        // carved in order, so early routers get announced space and
+        // later ones the unrouted tail.
+        let (delegated, unannounced) = if unrouted_infra && infra.len() < 32 {
+            let (lit, dark) = infra.split();
+            (vec![eyeball, lit, dark], vec![dark])
+        } else {
+            (vec![eyeball, infra], vec![])
+        };
+        self.as_info.push(AsInfo {
+            asn,
+            kind,
+            name,
+            routers: vec![],
+            pops: vec![],
+            delegated,
+            unannounced,
+            export: ExportStrategy::Everywhere,
+            pa_parent: None,
+        });
+        self.infra.push(Some(SubnetCarver::new(infra)));
+        self.eyeball.push(vec![eyeball]);
+        asn
+    }
+
+    fn info(&self, a: Asn) -> &AsInfo {
+        &self.as_info[a.0 as usize]
+    }
+
+    fn info_mut(&mut self, a: Asn) -> &mut AsInfo {
+        &mut self.as_info[a.0 as usize]
+    }
+
+    /// Pick `n` distinct PoPs for an AS footprint.
+    fn pick_pops(&mut self, n: usize, include_world: bool) -> Vec<PopId> {
+        let limit = if include_world {
+            self.pops.len()
+        } else {
+            self.us_pops()
+        };
+        let mut idx: Vec<usize> = (0..limit).collect();
+        // Fisher–Yates shuffle prefix.
+        for i in 0..n.min(limit) {
+            let j = self.rng.gen_range(i..limit);
+            idx.swap(i, j);
+        }
+        let mut out: Vec<PopId> = idx[..n.min(limit)]
+            .iter()
+            .map(|&i| PopId(i as u32))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn build_ases(&mut self) {
+        let cfg = self.cfg;
+
+        // The VP network and optional sibling.
+        self.vp_as = self.new_as(cfg.vp_kind, "MeasuredNet".into(), None);
+        let vp_pops: Vec<PopId> = (0..cfg.vp_pops).map(|i| PopId(i as u32)).collect();
+        self.info_mut(self.vp_as).pops = vp_pops.clone();
+        // The VP network always announces its infrastructure space except
+        // one extra block we deliberately leave unannounced to exercise
+        // the RIR-delegation logic of heuristic §5.4.1.
+        self.info_mut(self.vp_as).unannounced.clear();
+        let extra_unrouted = self.alloc.delegate(22, self.vp_as.0);
+        self.info_mut(self.vp_as).delegated.push(extra_unrouted);
+        self.info_mut(self.vp_as).unannounced.push(extra_unrouted);
+
+        if cfg.vp_sibling {
+            let sib = self.new_as(cfg.vp_kind, "MeasuredNet-Regional".into(), Some(self.vp_as));
+            // Sibling operates the last ~20% of the VP network's PoPs.
+            let cut = (cfg.vp_pops as f64 * 0.8).ceil() as usize;
+            self.info_mut(sib).pops = vp_pops[cut.min(vp_pops.len() - 1)..].to_vec();
+            self.info_mut(sib).unannounced.clear();
+            // BGP-wise the regional subsidiary takes transit from the
+            // main AS (they interconnect internally, not over an
+            // interdomain link — the generator skips same-org pairs when
+            // materialising physical links).
+            self.graph
+                .add_link(self.vp_as, sib, bdrmap_types::Relationship::Customer);
+            self.vp_sibling = Some(sib);
+        }
+
+        // Tier-1 clique: present everywhere.
+        for i in 0..cfg.world.tier1 {
+            let a = self.new_as(AsKind::Tier1, format!("Tier1-{i}"), None);
+            let all: Vec<PopId> = (0..self.pops.len()).map(|p| PopId(p as u32)).collect();
+            self.info_mut(a).pops = all;
+            self.info_mut(a).unannounced.clear(); // tier-1s announce infra
+            for &b in &self.tier1s.clone() {
+                self.graph.add_link(a, b, bdrmap_types::Relationship::Peer);
+            }
+            self.tier1s.push(a);
+        }
+        // A Tier-1 VP network joins the clique.
+        if cfg.vp_kind == AsKind::Tier1 {
+            for &b in &self.tier1s.clone() {
+                self.graph
+                    .add_link(self.vp_as, b, bdrmap_types::Relationship::Peer);
+                self.vp_peer_list.push(b);
+            }
+        }
+
+        // Transit providers: customers of 1–2 Tier-1s, some peer pairwise.
+        for i in 0..cfg.world.transit {
+            let a = self.new_as(AsKind::Transit, format!("Transit-{i}"), None);
+            let npops = self.rng.gen_range(4..=10.min(self.us_pops()));
+            self.info_mut(a).pops = self.pick_pops(npops, false);
+            let nup = self.rng.gen_range(1..=2usize);
+            let mut ups = self.tier1s.clone();
+            for k in 0..nup.min(ups.len()) {
+                let j = self.rng.gen_range(k..ups.len());
+                ups.swap(k, j);
+                self.graph
+                    .add_link(ups[k], a, bdrmap_types::Relationship::Customer);
+            }
+            for &b in &self.transits.clone() {
+                if self.rng.gen_bool(0.15) {
+                    self.graph.add_link(a, b, bdrmap_types::Relationship::Peer);
+                }
+            }
+            self.transits.push(a);
+        }
+
+        // CDNs: broad footprints, customers of a Tier-1, assigned export
+        // strategies that reproduce the Figure 15/16 spread.
+        let strategies = [
+            ExportStrategy::Anchored,   // "Akamai"
+            ExportStrategy::Regional,   // "Google"
+            ExportStrategy::Everywhere, // "Level3-like CDN"
+            ExportStrategy::Subset { percent: 60 },
+            ExportStrategy::Anchored,
+        ];
+        for i in 0..cfg.world.cdn {
+            let a = self.new_as(
+                AsKind::Cdn,
+                format!("CDN-{}", (b'A' + (i % 26) as u8) as char),
+                None,
+            );
+            let npops = self.rng.gen_range(10..=18.min(self.us_pops()));
+            self.info_mut(a).pops = self.pick_pops(npops, false);
+            self.info_mut(a).export = strategies[i % strategies.len()];
+            let up = self.tier1s[self.rng.gen_range(0..self.tier1s.len())];
+            self.graph
+                .add_link(up, a, bdrmap_types::Relationship::Customer);
+            self.cdns.push(a);
+        }
+
+        // VP network's providers.
+        for i in 0..cfg.vp_providers {
+            let pool = if i < cfg.vp_providers.div_ceil(2) && !self.tier1s.is_empty() {
+                &self.tier1s
+            } else {
+                &self.transits
+            };
+            let mut cand = pool[self.rng.gen_range(0..pool.len())];
+            let mut guard = 0;
+            while self.graph.relationship(self.vp_as, cand).is_some() && guard < 50 {
+                cand = pool[self.rng.gen_range(0..pool.len())];
+                guard += 1;
+            }
+            if self.graph.relationship(self.vp_as, cand).is_none() {
+                self.graph
+                    .add_link(cand, self.vp_as, bdrmap_types::Relationship::Customer);
+                self.vp_provider_list.push(cand);
+            }
+        }
+
+        // VP network's peers: majors first (Tier-1s or big transits the VP
+        // network is not a customer of), then CDNs, then transits.
+        let mut peer_pool: Vec<Asn> = Vec::new();
+        if cfg.vp_kind != AsKind::Tier1 {
+            peer_pool.extend(self.tier1s.iter().copied());
+        }
+        peer_pool.extend(self.transits.iter().copied());
+        peer_pool.retain(|&p| self.graph.relationship(self.vp_as, p).is_none());
+        // Major peers: give them the Subset export strategy so that
+        // discovering all their interconnections needs many VPs.
+        let mut peers_added = 0usize;
+        for &p in peer_pool.iter().take(cfg.major_peers) {
+            self.graph
+                .add_link(self.vp_as, p, bdrmap_types::Relationship::Peer);
+            self.info_mut(p).export = ExportStrategy::Subset { percent: 40 };
+            self.vp_peer_list.push(p);
+            peers_added += 1;
+        }
+        // All CDNs peer with the VP network.
+        for &c in &self.cdns.clone() {
+            if self.graph.relationship(self.vp_as, c).is_none() {
+                self.graph
+                    .add_link(self.vp_as, c, bdrmap_types::Relationship::Peer);
+                self.vp_peer_list.push(c);
+                peers_added += 1;
+            }
+        }
+        // Remaining peers: mid-tier transits first (an access network
+        // peers with many transits but only a couple of tier-1s; the
+        // rest of the clique stays strictly upstream, which also keeps
+        // some collectors outside the peering set).
+        let tail: Vec<Asn> = self
+            .transits
+            .iter()
+            .chain(self.tier1s.iter())
+            .copied()
+            .filter(|&p| self.graph.relationship(self.vp_as, p).is_none())
+            .collect();
+        let mut i = 0;
+        while peers_added < cfg.vp_peers && i < tail.len() {
+            let p = tail[i];
+            if self.graph.relationship(self.vp_as, p).is_none() {
+                self.graph
+                    .add_link(self.vp_as, p, bdrmap_types::Relationship::Peer);
+                self.vp_peer_list.push(p);
+                peers_added += 1;
+            }
+            i += 1;
+        }
+
+        // VP network's customers: mostly stubs and enterprises, a few
+        // small access networks with customers of their own.
+        for i in 0..cfg.vp_customers {
+            let roll: f64 = self.rng.gen();
+            let kind = if roll < 0.80 {
+                AsKind::Stub
+            } else if roll < 0.93 {
+                AsKind::Enterprise
+            } else {
+                AsKind::SmallAccess
+            };
+            let a = self.new_as(kind, format!("Cust-{i}"), None);
+            // Customers live at one of the VP network's PoPs.
+            let pi = self.rng.gen_range(0..cfg.vp_pops);
+            let pop = self.info(self.vp_as).pops[pi];
+            self.info_mut(a).pops = vec![pop];
+            self.graph
+                .add_link(self.vp_as, a, bdrmap_types::Relationship::Customer);
+            self.vp_customer_list.push(a);
+            // A quarter of customers multihome to a transit as well.
+            if !self.transits.is_empty() && self.rng.gen_bool(0.25) {
+                let t = self.transits[self.rng.gen_range(0..self.transits.len())];
+                if self.graph.relationship(t, a).is_none() {
+                    self.graph
+                        .add_link(t, a, bdrmap_types::Relationship::Customer);
+                }
+            }
+            // Small access customers bring 1–3 stubs of their own
+            // (gives bdrmap multi-AS destination cones behind one router).
+            if kind == AsKind::SmallAccess {
+                for j in 0..self.rng.gen_range(1..=3usize) {
+                    let s = self.new_as(AsKind::Stub, format!("Cust-{i}-sub{j}"), None);
+                    self.info_mut(s).pops = vec![pop];
+                    self.graph
+                        .add_link(a, s, bdrmap_types::Relationship::Customer);
+                    self.stubs.push(s);
+                }
+            }
+        }
+
+        // Unrelated stubs filling out the Internet.
+        for i in 0..cfg.world.extra_stubs {
+            let a = self.new_as(AsKind::Stub, format!("Stub-{i}"), None);
+            let pop = self.pick_pops(1, false)[0];
+            self.info_mut(a).pops = vec![pop];
+            let upstreams = if self.rng.gen_bool(0.3) && !self.tier1s.is_empty() {
+                &self.tier1s
+            } else {
+                &self.transits
+            };
+            let u = upstreams[self.rng.gen_range(0..upstreams.len())];
+            self.graph
+                .add_link(u, a, bdrmap_types::Relationship::Customer);
+            if self.rng.gen_bool(0.4) {
+                let u2 = self.transits[self.rng.gen_range(0..self.transits.len())];
+                if self.graph.relationship(u2, a).is_none() {
+                    self.graph
+                        .add_link(u2, a, bdrmap_types::Relationship::Customer);
+                }
+            }
+            self.stubs.push(a);
+        }
+    }
+
+    // ------------------------------------------------------------- routers
+
+    fn sample_policy(&mut self, edge_of_leaf: bool) -> ResponsePolicy {
+        let mix = if edge_of_leaf {
+            self.cfg.customer_policy
+        } else {
+            self.cfg.backbone_policy
+        };
+        let r: f64 = self.rng.gen();
+        if r < mix.firewall {
+            ResponsePolicy::Firewall
+        } else if r < mix.firewall + mix.silent {
+            ResponsePolicy::Silent
+        } else if r < mix.firewall + mix.silent + mix.echo_other {
+            ResponsePolicy::EchoOtherIcmp
+        } else if r < mix.firewall + mix.silent + mix.echo_other + mix.rate_limited {
+            ResponsePolicy::RateLimited {
+                period: self.rng.gen_range(2..=4),
+            }
+        } else {
+            ResponsePolicy::Normal
+        }
+    }
+
+    fn sample_src_select(&mut self) -> SrcSelect {
+        let r: f64 = self.rng.gen();
+        if r < self.cfg.third_party_frac {
+            SrcSelect::TowardProber
+        } else if r < self.cfg.third_party_frac + self.cfg.virtual_router_frac {
+            SrcSelect::TowardDest
+        } else {
+            SrcSelect::Inbound
+        }
+    }
+
+    fn sample_ipid(&mut self) -> IpidModel {
+        let r: f64 = self.rng.gen();
+        let velocity = self.rng.gen_range(1..=30u16);
+        if r < self.cfg.ipid_shared_frac {
+            IpidModel::SharedCounter {
+                init: self.rng.gen(),
+                velocity_per_ms: velocity,
+            }
+        } else if r < self.cfg.ipid_shared_frac + self.cfg.ipid_per_iface_frac {
+            IpidModel::PerInterface {
+                velocity_per_ms: velocity,
+            }
+        } else if r < self.cfg.ipid_shared_frac
+            + self.cfg.ipid_per_iface_frac
+            + self.cfg.ipid_random_frac
+        {
+            IpidModel::Random
+        } else {
+            IpidModel::Constant
+        }
+    }
+
+    fn sample_unreach(&mut self) -> UnreachSrc {
+        let r: f64 = self.rng.gen();
+        if r < self.cfg.mercator_frac {
+            UnreachSrc::Canonical
+        } else if r < self.cfg.mercator_frac + self.cfg.mercator_probed_frac {
+            UnreachSrc::Probed
+        } else {
+            UnreachSrc::None
+        }
+    }
+
+    /// Create a router for `owner` at `pop`. `leaf_edge` selects the
+    /// aggressive (customer-edge) policy mix.
+    fn add_router(&mut self, owner: Asn, pop: PopId, leaf_edge: bool) -> RouterId {
+        let id = RouterId(self.routers.len() as u32);
+        let policy = self.sample_policy(leaf_edge);
+        let src_select = self.sample_src_select();
+        let ipid = self.sample_ipid();
+        let unreach = self.sample_unreach();
+        self.routers.push(Router {
+            id,
+            owner,
+            pop,
+            ifaces: vec![],
+            policy,
+            src_select,
+            ipid,
+            unreach_src: unreach,
+            is_border: false,
+        });
+        self.info_mut(owner).routers.push(id);
+        // Loopback address from infrastructure space.
+        if let Some(addr) = self.infra[owner.0 as usize]
+            .as_mut()
+            .and_then(|c| c.take_addr())
+        {
+            self.add_iface(id, addr, IfaceKind::Loopback, None);
+        }
+        id
+    }
+
+    fn add_iface(
+        &mut self,
+        router: RouterId,
+        addr: bdrmap_types::Addr,
+        kind: IfaceKind,
+        link: Option<LinkId>,
+    ) -> IfaceId {
+        let id = IfaceId(self.ifaces.len() as u32);
+        self.ifaces.push(Iface {
+            id,
+            router,
+            addr,
+            kind,
+            link,
+        });
+        self.routers[router.index()].ifaces.push(id);
+        let prev = self.addr_index.insert(addr, id);
+        assert!(prev.is_none(), "address {addr} assigned twice");
+        id
+    }
+
+    fn metric_between(&self, a: PopId, b: PopId) -> u32 {
+        let pa = &self.pops[a.index()];
+        let pb = &self.pops[b.index()];
+        let dx = pa.longitude - pb.longitude;
+        let dy = pa.latitude - pb.latitude;
+        ((dx * dx + dy * dy).sqrt() * 10.0) as u32 + 1
+    }
+
+    /// Join two routers with an internal /31 from `space_of`'s
+    /// infrastructure block.
+    fn connect_internal(&mut self, a: RouterId, b: RouterId, space_of: Asn) {
+        let subnet = self.infra[space_of.0 as usize]
+            .as_mut()
+            .and_then(|c| c.take(31))
+            .unwrap_or_else(|| self.alloc.take(31)); // overflow: unregistered space
+        let id = LinkId(self.links.len() as u32);
+        let metric = self.metric_between(self.routers[a.index()].pop, self.routers[b.index()].pop);
+        let i1 = self.add_iface(a, subnet.nth(0), IfaceKind::Internal, Some(id));
+        let i2 = self.add_iface(b, subnet.nth(1), IfaceKind::Internal, Some(id));
+        self.links.push(Link {
+            id,
+            kind: LinkKind::Internal,
+            subnet,
+            ifaces: vec![i1, i2],
+            metric,
+        });
+    }
+
+    /// Backbone router for (AS, PoP), creating it on first use.
+    fn backbone_router(&mut self, a: Asn, pop: PopId) -> RouterId {
+        if let Some(&r) = self.backbone.get(&(a, pop)) {
+            return r;
+        }
+        let r = self.add_router(a, pop, false);
+        self.backbone.insert((a, pop), r);
+        r
+    }
+
+    /// Build the intra-AS topology for every AS.
+    fn build_routers(&mut self) {
+        for asn in self.graph.ases().collect::<Vec<_>>() {
+            let info = self.info(asn).clone();
+            match info.kind {
+                AsKind::Tier1 | AsKind::Transit | AsKind::Cdn => {
+                    self.build_backbone(asn, &info.pops);
+                }
+                AsKind::Access | AsKind::ResearchEdu | AsKind::SmallAccess => {
+                    self.build_backbone(asn, &info.pops);
+                    // Aggregation routers hang off the backbone.
+                    for &pop in &info.pops {
+                        let bb = self.backbone_router(asn, pop);
+                        let agg = self.add_router(asn, pop, false);
+                        self.connect_internal(bb, agg, asn);
+                        self.aggregation.insert((asn, pop), agg);
+                    }
+                }
+                AsKind::Stub | AsKind::Enterprise => {
+                    let pop = info.pops[0];
+                    let edge = self.add_router(asn, pop, true);
+                    self.backbone.insert((asn, pop), edge);
+                    // 0–2 internal routers behind the edge: these are what
+                    // let bdrmap see one or two consecutive hops inside
+                    // the neighbor (heuristics §5.4.4 / §5.4.5).
+                    let internal = {
+                        let r: f64 = self.rng.gen();
+                        if r < 0.4 {
+                            0
+                        } else if r < 0.8 {
+                            1
+                        } else {
+                            2
+                        }
+                    };
+                    let mut prev = edge;
+                    for _ in 0..internal {
+                        let r = self.add_router(asn, pop, false);
+                        self.connect_internal(prev, r, asn);
+                        prev = r;
+                    }
+                    self.aggregation.insert((asn, pop), prev);
+                }
+                AsKind::IxpOperator => { /* IXPs get no routers of their own */ }
+            }
+        }
+        // VP-network sibling routers join the main backbone: connect each
+        // sibling PoP backbone to the nearest main-AS backbone PoP.
+        if let Some(sib) = self.vp_sibling {
+            let sib_pops = self.info(sib).pops.clone();
+            let main_pops = self.info(self.vp_as).pops.clone();
+            for &sp in &sib_pops {
+                let nearest = main_pops
+                    .iter()
+                    .copied()
+                    .filter(|p| !sib_pops.contains(p))
+                    .min_by_key(|&p| self.metric_between(sp, p))
+                    .unwrap_or(main_pops[0]);
+                let a = self.backbone_router(sib, sp);
+                let b = self.backbone_router(self.vp_as, nearest);
+                self.connect_internal(a, b, self.vp_as);
+            }
+        }
+    }
+
+    /// Ring over PoPs in longitude order plus a few chords.
+    fn build_backbone(&mut self, asn: Asn, pops: &[PopId]) {
+        if pops.is_empty() {
+            return;
+        }
+        let mut ordered: Vec<PopId> = pops.to_vec();
+        ordered.sort_by(|a, b| {
+            self.pops[a.index()]
+                .longitude
+                .partial_cmp(&self.pops[b.index()].longitude)
+                .unwrap()
+                .then(a.cmp(b))
+        });
+        let routers: Vec<RouterId> = ordered
+            .iter()
+            .map(|&p| self.backbone_router(asn, p))
+            .collect();
+        if routers.len() == 1 {
+            return;
+        }
+        for w in routers.windows(2) {
+            self.connect_internal(w[0], w[1], asn);
+        }
+        if routers.len() > 2 {
+            // Close the ring.
+            self.connect_internal(routers[routers.len() - 1], routers[0], asn);
+            // Chords for path diversity (ECMP / Figure 13 scenarios).
+            let chords = routers.len() / 4;
+            for _ in 0..chords {
+                let i = self.rng.gen_range(0..routers.len());
+                let j = self.rng.gen_range(0..routers.len());
+                if i != j && i.abs_diff(j) > 1 {
+                    self.connect_internal(routers[i], routers[j], asn);
+                }
+            }
+        }
+    }
+
+    // --------------------------------------------------- interdomain links
+
+    /// A border router of the VP network at `pop`, creating more as they
+    /// fill up.
+    fn vp_border_router(&mut self, pop: PopId) -> RouterId {
+        // Sibling PoPs get sibling-owned border routers.
+        let owner = match self.vp_sibling {
+            Some(sib) if self.info(sib).pops.contains(&pop) => sib,
+            _ => self.vp_as,
+        };
+        let existing = self.vp_borders.entry(pop).or_default().clone();
+        for r in existing {
+            let links = self.routers[r.index()]
+                .ifaces
+                .iter()
+                .filter(|i| self.ifaces[i.index()].kind == IfaceKind::Interdomain)
+                .count();
+            if links < VP_BORDER_CAPACITY && self.routers[r.index()].owner == owner {
+                return r;
+            }
+        }
+        let r = self.add_router(owner, pop, false);
+        let bb = self.backbone_router(owner, pop);
+        self.connect_internal(bb, r, owner);
+        self.vp_borders.get_mut(&pop).unwrap().push(r);
+        r
+    }
+
+    /// Number an interdomain link between routers of `near` and `far`,
+    /// with the subnet supplied by `space_from`.
+    fn connect_interdomain(
+        &mut self,
+        near_router: RouterId,
+        far_router: RouterId,
+        space_from: Asn,
+    ) -> LinkId {
+        let near = self.routers[near_router.index()].owner;
+        let far = self.routers[far_router.index()].owner;
+        let len = if self.rng.gen_bool(0.5) { 31 } else { 30 };
+        let subnet = self.infra[space_from.0 as usize]
+            .as_mut()
+            .and_then(|c| c.take(len))
+            .unwrap_or_else(|| self.alloc.take(len));
+        let key = if near < far { (near, far) } else { (far, near) };
+        let ordinal = *self
+            .pair_ordinal
+            .entry(key)
+            .and_modify(|o| *o += 1)
+            .or_insert(0);
+        let id = LinkId(self.links.len() as u32);
+        let metric = self.metric_between(
+            self.routers[near_router.index()].pop,
+            self.routers[far_router.index()].pop,
+        );
+        // /31: both addresses usable; /30: skip network/broadcast.
+        let (a1, a2) = if len == 31 {
+            (subnet.nth(0), subnet.nth(1))
+        } else {
+            (subnet.nth(1), subnet.nth(2))
+        };
+        // The address-space supplier takes the lower address by custom.
+        let (near_addr, far_addr) = if space_from == near {
+            (a1, a2)
+        } else {
+            (a2, a1)
+        };
+        let i1 = self.add_iface(near_router, near_addr, IfaceKind::Interdomain, Some(id));
+        let i2 = self.add_iface(far_router, far_addr, IfaceKind::Interdomain, Some(id));
+        self.routers[near_router.index()].is_border = true;
+        self.routers[far_router.index()].is_border = true;
+        self.links.push(Link {
+            id,
+            kind: LinkKind::Interdomain {
+                space_from,
+                ordinal,
+            },
+            subnet,
+            ifaces: vec![i1, i2],
+            metric,
+        });
+        id
+    }
+
+    /// The router an AS uses to touch down at a PoP (or its nearest PoP).
+    fn attachment_router(&mut self, a: Asn, pop: PopId) -> RouterId {
+        if let Some(&r) = self.backbone.get(&(a, pop)) {
+            return r;
+        }
+        // Nearest of its PoPs.
+        let pops = self.info(a).pops.clone();
+        let nearest = pops
+            .iter()
+            .copied()
+            .min_by_key(|&p| self.metric_between(p, pop))
+            .expect("AS has at least one PoP");
+        self.backbone_router(a, nearest)
+    }
+
+    /// How many parallel interconnects an AS pair gets.
+    fn interconnect_count(&mut self, a: Asn, b: Asn) -> usize {
+        let (ia, ib) = (self.info(a), self.info(b));
+        let vp_involved = a == self.vp_as || b == self.vp_as;
+        let big = |k: AsKind| {
+            matches!(
+                k,
+                AsKind::Tier1 | AsKind::Transit | AsKind::Access | AsKind::Cdn
+            )
+        };
+        if vp_involved {
+            let other = if a == self.vp_as { b } else { a };
+            let oi = self.info(other);
+            let rel = self.graph.relationship(self.vp_as, other);
+            match (oi.kind, rel) {
+                // Major peers and CDNs spread over shared PoPs.
+                (AsKind::Cdn, _) => {
+                    let shared = self.shared_pops(self.vp_as, other).len();
+                    shared.clamp(1, self.cfg.major_peer_links)
+                }
+                (AsKind::Tier1 | AsKind::Transit, Some(bdrmap_types::Relationship::Peer)) => {
+                    if matches!(oi.export, ExportStrategy::Subset { .. }) {
+                        self.cfg.major_peer_links
+                    } else {
+                        // Settlement-free peers of a large network meet
+                        // at several cities (drives the Figure 14
+                        // egress-diversity mode).
+                        self.rng.gen_range(3..=8)
+                    }
+                }
+                // Providers connect at several places.
+                (_, Some(bdrmap_types::Relationship::Provider)) => self.rng.gen_range(3..=6),
+                _ => {
+                    // Customers: usually one link; occasionally two
+                    // (multihomed-to-VP, the §5.4.1 step-1.1 case).
+                    if self.rng.gen_bool(0.05) {
+                        2
+                    } else {
+                        1
+                    }
+                }
+            }
+        } else if big(ia.kind) && big(ib.kind) {
+            self.rng.gen_range(2..=4)
+        } else {
+            1
+        }
+    }
+
+    fn shared_pops(&self, a: Asn, b: Asn) -> Vec<PopId> {
+        let pa = &self.info(a).pops;
+        let pb = &self.info(b).pops;
+        pa.iter().copied().filter(|p| pb.contains(p)).collect()
+    }
+
+    fn build_interdomain_links(&mut self) {
+        // Materialize physical links for every AS adjacency. Iterate in
+        // ASN order for determinism.
+        let ases: Vec<Asn> = self.graph.ases().collect();
+        for &a in &ases {
+            let neighbors: Vec<(Asn, bdrmap_types::Relationship)> =
+                self.graph.neighbors(a).to_vec();
+            for (b, rel) in neighbors {
+                if b < a {
+                    continue; // each pair once
+                }
+                // Sibling ASes of the VP network are internally connected.
+                if self.graph.same_org(a, b) {
+                    continue;
+                }
+                let count = self.interconnect_count(a, b);
+                // Which side supplies address space: the provider on c2p
+                // links, a coin flip on peer links (§4 challenge 1).
+                let space_from = match rel {
+                    bdrmap_types::Relationship::Customer => a,
+                    bdrmap_types::Relationship::Provider => b,
+                    bdrmap_types::Relationship::Peer => {
+                        if self.rng.gen_bool(0.5) {
+                            a
+                        } else {
+                            b
+                        }
+                    }
+                };
+                // Spread interconnects over shared PoPs (or the smaller
+                // side's PoPs), sampled evenly across the country so the
+                // Figure 16 geography is realistic.
+                let mut sites = self.shared_pops(a, b);
+                if sites.is_empty() {
+                    sites = if self.info(a).pops.len() <= self.info(b).pops.len() {
+                        self.info(a).pops.clone()
+                    } else {
+                        self.info(b).pops.clone()
+                    };
+                }
+                sites.sort_by(|x, y| {
+                    self.pops[x.index()]
+                        .longitude
+                        .partial_cmp(&self.pops[y.index()].longitude)
+                        .unwrap()
+                });
+                for i in 0..count {
+                    let pop = if count >= sites.len() {
+                        sites[i % sites.len()]
+                    } else {
+                        sites[(i * sites.len()) / count]
+                    };
+                    let vp_as = self.vp_as;
+                    let vp_sibling = self.vp_sibling;
+                    let vp_org_member = move |x: Asn| x == vp_as || Some(x) == vp_sibling;
+                    let ra = if vp_org_member(a) {
+                        self.vp_border_router(pop)
+                    } else {
+                        self.attachment_router(a, pop)
+                    };
+                    let rb = if vp_org_member(b) {
+                        self.vp_border_router(pop)
+                    } else {
+                        self.attachment_router(b, pop)
+                    };
+                    self.connect_interdomain(ra, rb, space_from);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- ixps
+
+    fn build_ixps(&mut self) {
+        let vp_pops = self.info(self.vp_as).pops.clone();
+        for x in 0..self.cfg.vp_ixps {
+            let op = self.new_as(AsKind::IxpOperator, format!("IXP-{x}"), None);
+            let lan = self.alloc.delegate(24, op.0);
+            let pop = vp_pops[x % vp_pops.len()];
+            self.info_mut(op).pops = vec![pop];
+            let mut carver = SubnetCarver::new(lan);
+            carver.take_addr(); // skip the network address
+                                // Members: the VP network plus ASes present near this PoP.
+            let mut members = vec![self.vp_as];
+            let cand: Vec<Asn> = self
+                .graph
+                .ases()
+                .filter(|&a| {
+                    a != self.vp_as
+                        && Some(a) != self.vp_sibling
+                        // Tier-1s famously do not join open peering
+                        // fabrics — they would be peering away their
+                        // transit product.
+                        && !matches!(
+                            self.info(a).kind,
+                            AsKind::IxpOperator
+                                | AsKind::Stub
+                                | AsKind::Enterprise
+                                | AsKind::Tier1
+                        )
+                })
+                .collect();
+            for a in cand {
+                if self.rng.gen_bool(0.35) {
+                    members.push(a);
+                }
+            }
+            // Also a few stubs join IXPs.
+            let stubs = self.stubs.clone();
+            for s in stubs {
+                if self.rng.gen_bool(0.03) {
+                    members.push(s);
+                }
+            }
+            members.dedup();
+            // Guarantee a viable exchange: at least three members.
+            for cand in self.transits.clone().into_iter().chain(self.tier1s.clone()) {
+                if members.len() >= 3 {
+                    break;
+                }
+                if !members.contains(&cand) {
+                    members.push(cand);
+                }
+            }
+
+            let id = LinkId(self.links.len() as u32);
+            let mut ports = Vec::new();
+            let mut actual_members = Vec::new();
+            for &m in &members {
+                let Some(addr) = carver.take_addr() else {
+                    break;
+                };
+                let r = if m == self.vp_as {
+                    self.vp_border_router(pop)
+                } else {
+                    self.attachment_router(m, pop)
+                };
+                let ifc = self.add_iface(r, addr, IfaceKind::IxpLan, Some(id));
+                self.routers[r.index()].is_border = true;
+                ports.push(ifc);
+                actual_members.push(m);
+            }
+            self.links.push(Link {
+                id,
+                kind: LinkKind::IxpLan { ixp: x },
+                subnet: lan,
+                ifaces: ports,
+                metric: 1,
+            });
+
+            // Route-server peerings: the VP network peers with every
+            // member; members peer with each other sparsely.
+            for i in 0..actual_members.len() {
+                for j in (i + 1)..actual_members.len() {
+                    let (a, b) = (actual_members[i], actual_members[j]);
+                    if self.graph.relationship(a, b).is_some() {
+                        continue;
+                    }
+                    let involves_vp = a == self.vp_as || b == self.vp_as;
+                    if involves_vp || self.rng.gen_bool(0.25) {
+                        self.graph.add_link(a, b, bdrmap_types::Relationship::Peer);
+                    }
+                }
+            }
+            let lan_announced = self.rng.gen_bool(0.5);
+            self.ixps.push(Ixp {
+                name: format!("IXP-{x}"),
+                operator: op,
+                lan,
+                pop,
+                members: actual_members,
+                lan_announced,
+            });
+        }
+    }
+
+    // --------------------------------------------------------- origination
+
+    fn build_originations(&mut self) {
+        let ases: Vec<Asn> = self.graph.ases().collect();
+        for &a in &ases {
+            let info = self.info(a).clone();
+            if info.kind == AsKind::IxpOperator {
+                continue; // LAN announcement handled below
+            }
+            let eyeball = self.eyeball[a.0 as usize].clone();
+            // Announce eyeball space, split by kind.
+            for block in eyeball {
+                match info.kind {
+                    AsKind::Stub | AsKind::Enterprise => {
+                        // 1–2 prefixes out of the /22.
+                        let extra = self
+                            .rng
+                            .gen_bool((self.cfg.prefixes_per_stub - 1.0).clamp(0.0, 1.0));
+                        let (l, r) = block.split();
+                        if extra {
+                            self.announce_maybe_moas(l, a);
+                            self.announce_maybe_moas(r, a);
+                        } else {
+                            self.announce_maybe_moas(block, a);
+                        }
+                    }
+                    AsKind::Cdn => {
+                        // Many /24s, leaving the rest of the block dark.
+                        let n = self.cfg.prefixes_per_cdn.min((block.size() / 256) as usize);
+                        for i in 0..n {
+                            let p = Prefix::new(block.nth((i as u32) * 256), 24);
+                            self.origins.announce(p, a);
+                        }
+                    }
+                    _ => {
+                        // A handful of large prefixes.
+                        let n = match info.kind {
+                            AsKind::Tier1 => 4,
+                            AsKind::Access => 4,
+                            _ => 2,
+                        };
+                        let mut parts = vec![block];
+                        while parts.len() < n {
+                            let p = parts.remove(0);
+                            if p.len() >= 24 {
+                                parts.push(p);
+                                break;
+                            }
+                            let (l, r) = p.split();
+                            parts.push(l);
+                            parts.push(r);
+                        }
+                        for p in parts {
+                            self.origins.announce(p, a);
+                        }
+                    }
+                }
+            }
+            // Announce infrastructure space unless deliberately unrouted.
+            for block in info.delegated.iter().skip(1) {
+                if !info.unannounced.contains(block) {
+                    self.origins.announce(*block, a);
+                }
+            }
+        }
+        // IXP LANs: announced by the operator for half the IXPs
+        // (§4 challenge 6: inconsistent announcement practice).
+        for ixp in &self.ixps.clone() {
+            if ixp.lan_announced {
+                self.origins.announce(ixp.lan, ixp.operator);
+            }
+        }
+        // PA-space customers (the Figure 12 limitation): renumber some VP
+        // customers' internals from a VP-network sub-block.
+        let mut pa_customers: Vec<Asn> = Vec::new();
+        let cust = self.vp_customer_list.clone();
+        for a in cust {
+            if self.rng.gen_bool(self.cfg.pa_space_frac) {
+                pa_customers.push(a);
+            }
+        }
+        for a in pa_customers {
+            self.info_mut(a).pa_parent = Some(self.vp_as);
+            // Renumber the customer's internal link interfaces (not its
+            // announced eyeball space) from VP-network eyeball space, so
+            // they map to the VP network's aggregate in BGP.
+            let vp_block = self.eyeball[self.vp_as.0 as usize][0];
+            let routers = self.info(a).routers.clone();
+            for r in routers {
+                let ifcs = self.routers[r.index()].ifaces.clone();
+                for i in ifcs {
+                    let ifc = self.ifaces[i.index()].clone();
+                    if ifc.kind == IfaceKind::Internal {
+                        // Move to a fresh address inside the VP block.
+                        let mut carver = SubnetCarver::new(vp_block);
+                        // Skip forward deterministically based on iface id
+                        // to avoid collisions: each iface gets its own /32
+                        // offset region.
+                        let mut fresh = None;
+                        for _ in 0..=(i.0 % 4096) {
+                            fresh = carver.take_addr();
+                        }
+                        if let Some(addr) = fresh {
+                            if !self.addr_index.contains_key(&addr) {
+                                self.addr_index.remove(&ifc.addr);
+                                self.ifaces[i.index()].addr = addr;
+                                self.addr_index.insert(addr, i);
+                                // Keep the link subnet consistent: widen
+                                // it to the VP block (the link is now
+                                // numbered from PA space).
+                                if let Some(l) = ifc.link {
+                                    self.links[l.index()].subnet = vp_block;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn announce_maybe_moas(&mut self, p: Prefix, a: Asn) {
+        if self.rng.gen_bool(self.cfg.moas_frac) {
+            // Second origin: the AS's first provider (common MOAS cause).
+            if let Some(prov) = self.graph.providers(a).next() {
+                self.origins
+                    .announce_scoped(p, vec![a, prov], bdrmap_bgp::AdvertisementScope::All);
+                return;
+            }
+        }
+        self.origins.announce(p, a);
+    }
+
+    // ------------------------------------------------------------- homing
+
+    fn build_dest_homing(&mut self) {
+        // Link subnets home at their first endpoint's router.
+        for l in &self.links {
+            if let Some(&i0) = l.ifaces.first() {
+                self.dest_home
+                    .insert(l.subnet, self.ifaces[i0.index()].router);
+            }
+        }
+        // Announced prefixes home at routers of the origin AS. For
+        // multi-PoP networks, split the prefix across PoPs.
+        let origs: Vec<(Prefix, Asn)> = self
+            .origins
+            .iter()
+            .map(|o| (o.prefix, o.origins[0]))
+            .collect();
+        for (p, a) in origs {
+            let info = self.info(a);
+            if info.routers.is_empty() {
+                // IXP operator LAN: home at the first member port.
+                if let Some(ixp) = self.ixps.iter().find(|x| x.lan == p) {
+                    let link = self
+                        .links
+                        .iter()
+                        .find(|l| matches!(l.kind, LinkKind::IxpLan { .. }) && l.subnet == p);
+                    if let Some(l) = link {
+                        if let Some(&i0) = l.ifaces.first() {
+                            self.dest_home.insert(p, self.ifaces[i0.index()].router);
+                        }
+                    }
+                    let _ = ixp;
+                }
+                continue;
+            }
+            // Prefer aggregation routers for eyeball space.
+            let homes: Vec<RouterId> = {
+                let aggs: Vec<RouterId> = info
+                    .pops
+                    .iter()
+                    .filter_map(|&pop| self.aggregation.get(&(a, pop)).copied())
+                    .collect();
+                if aggs.is_empty() {
+                    info.routers.clone()
+                } else {
+                    aggs
+                }
+            };
+            if homes.len() == 1 || p.len() >= 22 {
+                let h = homes[(p.network().octets()[2] as usize) % homes.len()];
+                self.dest_home.insert(p, h);
+            } else {
+                // Split across up to 4 sub-prefixes homed at different
+                // PoPs, giving per-destination egress diversity.
+                let splits = 4.min(homes.len());
+                let mut parts = vec![p];
+                while parts.len() < splits {
+                    let q = parts.remove(0);
+                    if q.len() >= 24 {
+                        parts.push(q);
+                        break;
+                    }
+                    let (l, r) = q.split();
+                    parts.push(l);
+                    parts.push(r);
+                }
+                for (i, q) in parts.into_iter().enumerate() {
+                    self.dest_home.insert(q, homes[i % homes.len()]);
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------- vps
+
+    fn place_vps(&mut self) {
+        // Spread VPs over distinct PoPs, west to east, attached to
+        // aggregation routers.
+        let mut pops = self.info(self.vp_as).pops.clone();
+        pops.sort_by(|a, b| {
+            self.pops[a.index()]
+                .longitude
+                .partial_cmp(&self.pops[b.index()].longitude)
+                .unwrap()
+        });
+        // Evenly sample num_vps of the PoPs.
+        let n = self.cfg.num_vps;
+        let step = pops.len() as f64 / n as f64;
+        let vp_block = self.eyeball[self.vp_as.0 as usize][0];
+        let mut carver = SubnetCarver::new(vp_block);
+        // Reserve a chunk far from PA renumbering: skip ahead.
+        for _ in 0..8192 {
+            carver.take_addr();
+        }
+        for k in 0..n {
+            let pop = pops[((k as f64 + 0.5) * step) as usize % pops.len()];
+            let attach = self
+                .aggregation
+                .get(&(self.vp_as, pop))
+                .copied()
+                .or_else(|| self.backbone.get(&(self.vp_as, pop)).copied())
+                .expect("VP PoP must have a router");
+            let mut addr = carver.take_addr().expect("VP address");
+            while self.addr_index.contains_key(&addr) {
+                addr = carver.take_addr().expect("VP address");
+            }
+            self.vps.push(Vp {
+                id: VpId(k as u32),
+                addr,
+                attach,
+                host_as: self.vp_as,
+            });
+        }
+        // Fleet VPs: one in each of `extra_vp_hosts` other networks
+        // (the §5.7 "25 other networks" deployment). Hosts are chosen
+        // deterministically from transits first, then multi-router
+        // customers; each VP gets an address from its host's eyeball
+        // space.
+        let mut hosts: Vec<Asn> = self
+            .transits
+            .iter()
+            .chain(self.vp_customer_list.iter())
+            .copied()
+            .filter(|&a| !self.info(a).routers.is_empty())
+            .collect();
+        hosts.dedup();
+        hosts.truncate(self.cfg.extra_vp_hosts);
+        for (i, host) in hosts.into_iter().enumerate() {
+            let attach = *self.info(host).routers.last().expect("host has routers");
+            let block = self.eyeball[host.0 as usize][0];
+            let mut hc = SubnetCarver::new(block);
+            // Skip ahead so fleet VP addresses never collide with
+            // announced-prefix interface numbering.
+            for _ in 0..1024 {
+                hc.take_addr();
+            }
+            let mut addr = hc.take_addr().expect("fleet VP address");
+            while self.addr_index.contains_key(&addr) {
+                addr = hc.take_addr().expect("fleet VP address");
+            }
+            self.vps.push(Vp {
+                id: VpId((n + i) as u32),
+                addr,
+                attach,
+                host_as: host,
+            });
+        }
+    }
+
+    fn finish(self) -> Internet {
+        let mut vp_siblings = vec![self.vp_as];
+        if let Some(s) = self.vp_sibling {
+            vp_siblings.push(s);
+        }
+        Internet {
+            graph: self.graph,
+            origins: self.origins,
+            as_info: self.as_info,
+            pops: self.pops,
+            routers: self.routers,
+            ifaces: self.ifaces,
+            links: self.links,
+            ixps: self.ixps,
+            vps: self.vps,
+            rir: self.alloc.into_records(),
+            addr_index: self.addr_index,
+            dest_home: self.dest_home,
+            vp_as: self.vp_as,
+            vp_siblings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopoConfig;
+
+    fn tiny() -> Internet {
+        generate(&TopoConfig::tiny(42))
+    }
+
+    #[test]
+    fn generates_and_validates() {
+        let net = tiny();
+        assert!(net.graph.num_ases() > 10);
+        assert!(net.routers.len() > 10);
+        assert!(net.origins.len() > 10);
+        assert_eq!(net.vps.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&TopoConfig::tiny(7));
+        let b = generate(&TopoConfig::tiny(7));
+        assert_eq!(a.routers.len(), b.routers.len());
+        assert_eq!(a.links.len(), b.links.len());
+        assert_eq!(a.ifaces.len(), b.ifaces.len());
+        let c = generate(&TopoConfig::tiny(8));
+        // Different seed should (overwhelmingly) differ somewhere.
+        assert!(
+            a.routers.len() != c.routers.len()
+                || a.links.len() != c.links.len()
+                || a.ifaces
+                    .iter()
+                    .zip(&c.ifaces)
+                    .any(|(x, y)| x.addr != y.addr)
+        );
+    }
+
+    #[test]
+    fn every_as_adjacency_has_a_physical_link() {
+        let net = tiny();
+        for a in net.graph.ases() {
+            for &(b, _) in net.graph.neighbors(a) {
+                if a < b && !net.graph.same_org(a, b) {
+                    // IXP-derived peerings may ride the shared LAN; count
+                    // LAN co-membership as connectivity.
+                    let direct = !net.interdomain_links_between(a, b).is_empty();
+                    let via_ixp = net
+                        .ixps
+                        .iter()
+                        .any(|x| x.members.contains(&a) && x.members.contains(&b));
+                    assert!(direct || via_ixp, "no physical path for {a}-{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn c2p_links_numbered_from_provider_space() {
+        let net = tiny();
+        let mut checked = 0;
+        for l in net.interdomain_links() {
+            let LinkKind::Interdomain { space_from, .. } = l.kind else {
+                continue;
+            };
+            let parties = net.link_parties(l.id);
+            if parties.len() != 2 {
+                continue;
+            }
+            let rel = net.graph.relationship(parties[0], parties[1]);
+            if rel == Some(bdrmap_types::Relationship::Customer) {
+                // parties[1] is customer of parties[0]: space from provider.
+                assert_eq!(space_from, parties[0], "{}: c2p space supplier", l.id);
+                checked += 1;
+            } else if rel == Some(bdrmap_types::Relationship::Provider) {
+                assert_eq!(space_from, parties[1], "{}: c2p space supplier", l.id);
+                checked += 1;
+            }
+        }
+        assert!(checked > 5, "need c2p links to check");
+    }
+
+    #[test]
+    fn vp_network_has_border_routers_and_vps_attach_inside() {
+        let net = tiny();
+        let borders: Vec<_> = net
+            .routers
+            .iter()
+            .filter(|r| net.vp_siblings.contains(&r.owner) && r.is_border)
+            .collect();
+        assert!(!borders.is_empty());
+        for vp in &net.vps {
+            assert_eq!(net.routers[vp.attach.index()].owner, net.vp_as);
+            assert!(
+                !net.addr_index.contains_key(&vp.addr),
+                "VP addr must not collide"
+            );
+        }
+    }
+
+    #[test]
+    fn ixps_have_lans_and_members() {
+        let net = tiny();
+        assert_eq!(net.ixps.len(), 1);
+        let ixp = &net.ixps[0];
+        assert!(ixp.members.contains(&net.vp_as));
+        assert!(ixp.members.len() >= 2);
+        // Every member has a port on the LAN.
+        let lan_link = net
+            .links
+            .iter()
+            .find(|l| matches!(l.kind, LinkKind::IxpLan { .. }))
+            .expect("LAN link");
+        assert_eq!(lan_link.ifaces.len(), ixp.members.len());
+        for i in &lan_link.ifaces {
+            assert!(ixp.lan.contains(net.ifaces[i.index()].addr));
+        }
+    }
+
+    #[test]
+    fn vp_as_relationship_counts_match_config() {
+        let cfg = TopoConfig::tiny(3);
+        let net = generate(&cfg);
+        let custs = net.graph.customers(net.vp_as).count();
+        // Configured customers (IXP peering adds peers, not customers).
+        assert!(custs >= cfg.vp_customers, "customers: {custs}");
+        let provs = net.graph.providers(net.vp_as).count();
+        assert_eq!(provs, cfg.vp_providers);
+        let peers = net.graph.peers(net.vp_as).count();
+        assert!(peers >= cfg.vp_peers.min(2));
+    }
+
+    #[test]
+    fn origin_table_covers_stub_eyeballs() {
+        let net = tiny();
+        let mut stub_count = 0;
+        for a in net.graph.ases() {
+            if net.as_info(a).kind == AsKind::Stub {
+                assert!(
+                    !net.origins.prefixes_of(a).is_empty(),
+                    "{a} announces nothing"
+                );
+                stub_count += 1;
+            }
+        }
+        assert!(stub_count > 3);
+    }
+
+    #[test]
+    fn unrouted_infra_is_absent_from_origins() {
+        let net = generate(&TopoConfig::tiny(11));
+        for a in net.graph.ases() {
+            for p in &net.as_info(a).unannounced {
+                assert!(net.origins.get(*p).is_none(), "{p} should be unrouted");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_preset_scales() {
+        let net = generate(&TopoConfig::large_access_scaled(5, 0.05));
+        assert!(net.graph.num_ases() > 50);
+        assert_eq!(net.vps.len(), 19);
+        assert!(net.validate().is_ok());
+        // The major peer exists: some peer of the VP AS has many links.
+        let max_links = net
+            .graph
+            .peers(net.vp_as)
+            .map(|p| net.interdomain_links_between(net.vp_as, p).len())
+            .max()
+            .unwrap_or(0);
+        assert!(max_links >= 3, "major peer links: {max_links}");
+    }
+}

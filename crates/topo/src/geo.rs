@@ -1,0 +1,91 @@
+//! Geography: the PoP city catalogue.
+//!
+//! Figure 16 of the paper plots interdomain links by the *longitude* of
+//! the VP-side border router, so the generator places PoPs in real cities
+//! with real coordinates. The catalogue is a fixed list; scenarios draw a
+//! prefix of it (US cities first, sorted roughly west→east, then a few
+//! international sites for Tier-1 footprints).
+
+/// (name, longitude, latitude).
+pub const US_CITIES: &[(&str, f64, f64)] = &[
+    ("Seattle", -122.33, 47.61),
+    ("Portland", -122.68, 45.52),
+    ("San Jose", -121.89, 37.34),
+    ("Los Angeles", -118.24, 34.05),
+    ("Las Vegas", -115.14, 36.17),
+    ("Phoenix", -112.07, 33.45),
+    ("Salt Lake City", -111.89, 40.76),
+    ("Denver", -104.99, 39.74),
+    ("Albuquerque", -106.65, 35.08),
+    ("Dallas", -96.80, 32.78),
+    ("Houston", -95.37, 29.76),
+    ("Kansas City", -94.58, 39.10),
+    ("Minneapolis", -93.27, 44.98),
+    ("Chicago", -87.63, 41.88),
+    ("St. Louis", -90.20, 38.63),
+    ("Nashville", -86.78, 36.16),
+    ("Atlanta", -84.39, 33.75),
+    ("Miami", -80.19, 25.76),
+    ("Charlotte", -80.84, 35.23),
+    ("Ashburn", -77.49, 39.04),
+    ("Philadelphia", -75.17, 39.95),
+    ("New York", -74.01, 40.71),
+    ("Boston", -71.06, 42.36),
+    ("Pittsburgh", -79.99, 40.44),
+    ("Detroit", -83.05, 42.33),
+];
+
+/// International sites used by Tier-1 and CDN footprints.
+pub const WORLD_CITIES: &[(&str, f64, f64)] = &[
+    ("London", -0.13, 51.51),
+    ("Amsterdam", 4.90, 52.37),
+    ("Frankfurt", 8.68, 50.11),
+    ("Paris", 2.35, 48.86),
+    ("Tokyo", 139.69, 35.69),
+    ("Singapore", 103.85, 1.29),
+    ("Sydney", 151.21, -33.87),
+    ("São Paulo", -46.63, -23.55),
+    ("Toronto", -79.38, 43.65),
+    ("Hong Kong", 114.17, 22.32),
+];
+
+/// Number of cities available in total.
+pub fn catalogue_len() -> usize {
+    US_CITIES.len() + WORLD_CITIES.len()
+}
+
+/// Fetch city `i` from the combined catalogue (US cities first).
+pub fn city(i: usize) -> (&'static str, f64, f64) {
+    if i < US_CITIES.len() {
+        US_CITIES[i]
+    } else {
+        WORLD_CITIES[(i - US_CITIES.len()) % WORLD_CITIES.len()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_has_enough_cities() {
+        assert!(catalogue_len() >= 30);
+    }
+
+    #[test]
+    fn us_cities_span_the_country() {
+        let min = US_CITIES.iter().map(|c| c.1).fold(f64::INFINITY, f64::min);
+        let max = US_CITIES
+            .iter()
+            .map(|c| c.1)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -120.0, "need a west-coast city");
+        assert!(max > -75.0, "need an east-coast city");
+    }
+
+    #[test]
+    fn city_indexing_wraps_into_world_list() {
+        assert_eq!(city(0).0, "Seattle");
+        assert_eq!(city(US_CITIES.len()).0, "London");
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the generator: every randomly configured
+//! Internet must satisfy the structural invariants the rest of the
+//! system depends on.
+
+use bdrmap_topo::{generate, AsKind, IfaceKind, LinkKind, PolicyMix, TopoConfig};
+use bdrmap_types::Relationship;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = TopoConfig> {
+    (
+        any::<u64>(),
+        2usize..=10, // customers
+        1usize..=4,  // peers
+        0usize..=2,  // providers
+        2usize..=5,  // pops
+        1usize..=2,  // ixps
+        any::<bool>(),
+        0.0f64..=0.4, // unrouted infra
+        0.0f64..=0.3, // third party
+    )
+        .prop_map(
+            |(seed, cust, peers, provs, pops, ixps, sibling, unrouted, third)| {
+                let mut c = TopoConfig::tiny(seed);
+                c.vp_customers = cust;
+                c.vp_peers = peers;
+                c.vp_providers = provs;
+                c.vp_pops = pops;
+                c.vp_ixps = ixps;
+                c.vp_sibling = sibling;
+                c.num_vps = pops.min(2);
+                c.unrouted_infra_frac = unrouted;
+                c.third_party_frac = third;
+                c
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_internet_validates(cfg in arb_config()) {
+        let net = generate(&cfg);
+        prop_assert!(net.validate().is_ok());
+    }
+
+    #[test]
+    fn provider_customer_relation_is_acyclic(cfg in arb_config()) {
+        let net = generate(&cfg);
+        prop_assert!(net.graph.provider_customer_acyclic());
+    }
+
+    #[test]
+    fn every_interdomain_link_is_a_ptp_subnet(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for l in net.interdomain_links() {
+            prop_assert_eq!(l.ifaces.len(), 2);
+            prop_assert!(l.subnet.len() >= 30, "{}: /{}", l.id, l.subnet.len());
+            // Endpoints in different organisations.
+            let owners: Vec<_> = l
+                .ifaces
+                .iter()
+                .map(|i| net.routers[net.ifaces[i.index()].router.index()].owner)
+                .collect();
+            prop_assert!(!net.graph.same_org(owners[0], owners[1]));
+        }
+    }
+
+    #[test]
+    fn customer_links_numbered_from_provider(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for l in net.links.iter() {
+            let LinkKind::Interdomain { space_from, .. } = l.kind else { continue };
+            let owners: Vec<_> = l
+                .ifaces
+                .iter()
+                .map(|i| net.routers[net.ifaces[i.index()].router.index()].owner)
+                .collect();
+            if let Some(rel) = net.graph.relationship(owners[0], owners[1]) {
+                match rel {
+                    Relationship::Customer => prop_assert_eq!(space_from, owners[0]),
+                    Relationship::Provider => prop_assert_eq!(space_from, owners[1]),
+                    Relationship::Peer => {
+                        prop_assert!(space_from == owners[0] || space_from == owners[1])
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loopbacks_have_no_link(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for ifc in &net.ifaces {
+            if ifc.kind == IfaceKind::Loopback {
+                prop_assert!(ifc.link.is_none());
+            } else {
+                prop_assert!(ifc.link.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn vp_org_routers_never_firewall(cfg in arb_config()) {
+        // The hosting network must forward probes: its routers draw from
+        // the backbone policy mix, which never firewalls.
+        let net = generate(&cfg);
+        for r in &net.routers {
+            if net.vp_siblings.contains(&r.owner) {
+                prop_assert!(!r.policy.firewalls_transit(), "{} firewalls", r.id);
+            }
+        }
+    }
+
+    #[test]
+    fn stub_eyeballs_have_homes(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for o in net.origins.iter() {
+            // Every announced prefix resolves to a home router.
+            let probe = o.prefix.nth(1.min(o.prefix.size() - 1));
+            prop_assert!(
+                net.dest_home.lookup(probe).is_some(),
+                "{} has no destination home",
+                o.prefix
+            );
+        }
+    }
+
+    #[test]
+    fn all_normal_policy_flows_through(seed in any::<u64>()) {
+        let mut cfg = TopoConfig::tiny(seed);
+        cfg.customer_policy = PolicyMix::all_normal();
+        let net = generate(&cfg);
+        let firewalled = net
+            .routers
+            .iter()
+            .filter(|r| r.policy.firewalls_transit())
+            .count();
+        prop_assert_eq!(firewalled, 0);
+    }
+
+    #[test]
+    fn sibling_shares_org_and_is_customer(seed in any::<u64>()) {
+        let mut cfg = TopoConfig::tiny(seed);
+        cfg.vp_sibling = true;
+        let net = generate(&cfg);
+        prop_assert_eq!(net.vp_siblings.len(), 2);
+        let (a, b) = (net.vp_siblings[0], net.vp_siblings[1]);
+        prop_assert!(net.graph.same_org(a, b));
+        prop_assert_eq!(net.graph.relationship(a, b), Some(Relationship::Customer));
+        // No physical interdomain link between the siblings.
+        prop_assert!(net.interdomain_links_between(a, b).is_empty());
+        // But internal connectivity exists (some internal link joins
+        // routers of different owners within the org).
+        let joined = net.links.iter().any(|l| {
+            l.kind == LinkKind::Internal && {
+                let o0 = net.routers[net.ifaces[l.ifaces[0].index()].router.index()].owner;
+                let o1 = net.routers[net.ifaces[l.ifaces[1].index()].router.index()].owner;
+                o0 != o1
+            }
+        });
+        prop_assert!(joined, "sibling not internally connected");
+    }
+
+    #[test]
+    fn ixp_members_have_lan_ports(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for ixp in &net.ixps {
+            for &m in &ixp.members {
+                // The port may sit on a router of a sibling AS of the
+                // member (a conglomerate's exchange presence held by its
+                // regional subsidiary).
+                let has_port = net.ifaces.iter().any(|i| {
+                    i.kind == IfaceKind::IxpLan
+                        && ixp.lan.contains(i.addr)
+                        && net
+                            .graph
+                            .same_org(net.routers[i.router.index()].owner, m)
+                });
+                prop_assert!(has_port, "{m} has no port at {}", ixp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_are_internally_consistent(cfg in arb_config()) {
+        let net = generate(&cfg);
+        for a in net.graph.ases() {
+            let info = net.as_info(a);
+            match info.kind {
+                AsKind::Tier1 => {
+                    prop_assert_eq!(net.graph.providers(a).count(), 0, "{} has a provider", a)
+                }
+                AsKind::Stub | AsKind::Enterprise => {
+                    prop_assert_eq!(
+                        net.graph.customers(a).count(),
+                        0,
+                        "{} has customers",
+                        a
+                    )
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Autonomous system numbers, organisations, and business relationships.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An autonomous system number.
+///
+/// The simulator allocates ASNs densely from 1, so `Asn` doubles as a
+/// compact index into per-AS vectors. ASN 0 is reserved and never assigned;
+/// [`Asn::RESERVED`] is used as a sentinel for "no AS".
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Asn(pub u32);
+
+impl Asn {
+    /// Sentinel for "no AS" (ASN 0 is reserved by IANA).
+    pub const RESERVED: Asn = Asn(0);
+
+    /// True if this is a real, assigned ASN.
+    #[inline]
+    pub fn is_assigned(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl fmt::Debug for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An organisation identifier.
+///
+/// Multiple ASes under common administrative control (*siblings*, §4
+/// challenge 5 of the paper) share one `OrgId`. bdrmap treats a match
+/// against any sibling of the expected AS as a correct ownership inference,
+/// mirroring the paper's validation methodology.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "org{}", self.0)
+    }
+}
+
+impl fmt::Debug for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "org{}", self.0)
+    }
+}
+
+/// Business relationship between two ASes, from the perspective of the
+/// first ("near") AS.
+///
+/// The simulator and the relationship-inference pass both use the
+/// conventional Gao–Rexford model: links are either customer-to-provider
+/// or settlement-free peer-to-peer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Relationship {
+    /// The far AS is a customer of the near AS.
+    Customer,
+    /// The two ASes are settlement-free peers.
+    Peer,
+    /// The far AS is a provider of the near AS.
+    Provider,
+}
+
+impl Relationship {
+    /// The same link viewed from the other side.
+    #[inline]
+    pub fn flip(self) -> Relationship {
+        match self {
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Provider => Relationship::Customer,
+        }
+    }
+
+    /// Route preference under Gao–Rexford economics: routes learned from
+    /// customers are preferred over peers, which are preferred over
+    /// providers (lower is better).
+    #[inline]
+    pub fn preference(self) -> u8 {
+        match self {
+            Relationship::Customer => 0,
+            Relationship::Peer => 1,
+            Relationship::Provider => 2,
+        }
+    }
+
+    /// Whether a route learned over this kind of link may be exported to a
+    /// neighbor of kind `to`. Under valley-free export, routes learned from
+    /// peers or providers are only exported to customers.
+    #[inline]
+    pub fn exportable_to(self, to: Relationship) -> bool {
+        match self {
+            // Customer routes go to everyone.
+            Relationship::Customer => true,
+            // Peer and provider routes go only to customers.
+            Relationship::Peer | Relationship::Provider => to == Relationship::Customer,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_is_involution() {
+        for r in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert_eq!(r.flip().flip(), r);
+        }
+    }
+
+    #[test]
+    fn customer_routes_export_everywhere() {
+        for to in [
+            Relationship::Customer,
+            Relationship::Peer,
+            Relationship::Provider,
+        ] {
+            assert!(Relationship::Customer.exportable_to(to));
+        }
+    }
+
+    #[test]
+    fn peer_and_provider_routes_export_only_to_customers() {
+        for from in [Relationship::Peer, Relationship::Provider] {
+            assert!(from.exportable_to(Relationship::Customer));
+            assert!(!from.exportable_to(Relationship::Peer));
+            assert!(!from.exportable_to(Relationship::Provider));
+        }
+    }
+
+    #[test]
+    fn preference_orders_customer_first() {
+        assert!(Relationship::Customer.preference() < Relationship::Peer.preference());
+        assert!(Relationship::Peer.preference() < Relationship::Provider.preference());
+    }
+
+    #[test]
+    fn asn_display() {
+        assert_eq!(Asn(64512).to_string(), "AS64512");
+        assert!(!Asn::RESERVED.is_assigned());
+        assert!(Asn(1).is_assigned());
+    }
+}

@@ -1,0 +1,77 @@
+//! Opaque identifiers for simulator entities.
+//!
+//! These are dense indices allocated by the topology generator. They exist
+//! only inside the simulator and the evaluation harness; the probing and
+//! inference crates never see them — they see IP addresses, exactly like
+//! the real tool.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The dense index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical router in the simulated Internet.
+    RouterId, "R"
+);
+id_type!(
+    /// An interface (one IP address) on a router.
+    IfaceId, "if"
+);
+id_type!(
+    /// A point of presence: a geographic location housing routers.
+    PopId, "pop"
+);
+id_type!(
+    /// A link between two interfaces (internal, interdomain, or IXP LAN).
+    LinkId, "L"
+);
+id_type!(
+    /// A vantage point: a measurement host attached to an access router.
+    VpId, "vp"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(RouterId(7).to_string(), "R7");
+        assert_eq!(IfaceId(0).to_string(), "if0");
+        assert_eq!(PopId(3).to_string(), "pop3");
+        assert_eq!(LinkId(12).to_string(), "L12");
+        assert_eq!(VpId(1).to_string(), "vp1");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(RouterId(42).index(), 42);
+    }
+}

@@ -1,0 +1,38 @@
+//! Core types shared across the bdrmap workspace.
+//!
+//! This crate deliberately contains no policy or algorithm code: it defines
+//! the vocabulary — autonomous system numbers, IPv4 prefixes, address
+//! blocks, longest-prefix-match tables, and opaque identifiers for routers,
+//! interfaces, and points of presence — that every other crate speaks.
+//!
+//! Everything here is `Copy` or cheaply clonable, deterministic, and
+//! `serde`-serialisable so experiment artefacts can be persisted.
+
+pub mod asn;
+pub mod block;
+pub mod ids;
+pub mod prefix;
+pub mod rir;
+pub mod trie;
+
+pub use asn::{Asn, OrgId, Relationship};
+pub use block::AddressBlock;
+pub use ids::{IfaceId, LinkId, PopId, RouterId, VpId};
+pub use prefix::Prefix;
+pub use rir::RirRecord;
+pub use trie::{PrefixSet, PrefixTrie};
+
+/// Convenience alias: the workspace is IPv4-only, like the paper's study.
+pub type Addr = std::net::Ipv4Addr;
+
+/// Construct an [`Addr`] from a host-order `u32`.
+#[inline]
+pub fn addr(bits: u32) -> Addr {
+    Addr::from(bits)
+}
+
+/// Host-order `u32` view of an [`Addr`].
+#[inline]
+pub fn addr_bits(a: Addr) -> u32 {
+    u32::from(a)
+}

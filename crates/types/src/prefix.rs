@@ -1,0 +1,304 @@
+//! IPv4 prefixes.
+
+use crate::{addr, addr_bits, Addr};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An IPv4 prefix: a network address and a mask length.
+///
+/// The network address is always stored in canonical form (host bits
+/// zeroed), so two `Prefix` values compare equal iff they denote the same
+/// set of addresses.
+///
+/// # Examples
+///
+/// ```
+/// use bdrmap_types::Prefix;
+///
+/// let p: Prefix = "192.0.2.64/26".parse().unwrap();
+/// assert!(p.contains("192.0.2.100".parse().unwrap()));
+/// assert_eq!(p.size(), 64);
+///
+/// // The prefixscan building block: /31 and /30 subnet mates.
+/// let mate = Prefix::ptp_mate("192.0.2.4".parse().unwrap(), 31).unwrap();
+/// assert_eq!(mate, "192.0.2.5".parse::<std::net::Ipv4Addr>().unwrap());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Prefix {
+    /// The default route, `0.0.0.0/0`.
+    pub const DEFAULT: Prefix = Prefix { bits: 0, len: 0 };
+
+    /// Build a prefix from a network address and length, zeroing host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(network: Addr, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix {
+            bits: addr_bits(network) & Self::mask_for(len),
+            len,
+        }
+    }
+
+    /// Build a host prefix (`/32`) for a single address.
+    #[inline]
+    pub fn host(a: Addr) -> Prefix {
+        Prefix {
+            bits: addr_bits(a),
+            len: 32,
+        }
+    }
+
+    /// The network mask for a given length as a host-order `u32`.
+    #[inline]
+    fn mask_for(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// The first address covered by this prefix.
+    #[inline]
+    pub fn network(self) -> Addr {
+        addr(self.bits)
+    }
+
+    /// The last address covered by this prefix.
+    #[inline]
+    pub fn broadcast(self) -> Addr {
+        addr(self.bits | !Self::mask_for(self.len))
+    }
+
+    /// Mask length.
+    // `len` here is CIDR terminology, not a container size; a prefix is
+    // never "empty".
+    #[allow(clippy::len_without_is_empty)]
+    #[inline]
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// Number of addresses covered (saturating at `u32::MAX` for `/0`).
+    #[inline]
+    pub fn size(self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - self.len)
+        }
+    }
+
+    /// True if `a` falls inside this prefix.
+    #[inline]
+    pub fn contains(self, a: Addr) -> bool {
+        (addr_bits(a) & Self::mask_for(self.len)) == self.bits
+    }
+
+    /// True if `other` is fully covered by (is a subnet of, or equal to)
+    /// this prefix.
+    #[inline]
+    pub fn covers(self, other: Prefix) -> bool {
+        other.len >= self.len && (other.bits & Self::mask_for(self.len)) == self.bits
+    }
+
+    /// The `i`-th address inside the prefix.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.size()`.
+    #[inline]
+    pub fn nth(self, i: u32) -> Addr {
+        assert!(
+            self.len == 0 || i < self.size(),
+            "address index out of range"
+        );
+        addr(self.bits.wrapping_add(i))
+    }
+
+    /// Split into the two child prefixes one bit longer.
+    ///
+    /// # Panics
+    /// Panics on a `/32`.
+    pub fn split(self) -> (Prefix, Prefix) {
+        assert!(self.len < 32, "cannot split a /32");
+        let left = Prefix {
+            bits: self.bits,
+            len: self.len + 1,
+        };
+        let right = Prefix {
+            bits: self.bits | (1u32 << (31 - self.len)),
+            len: self.len + 1,
+        };
+        (left, right)
+    }
+
+    /// For an address on a point-to-point subnet, the other usable address
+    /// of its /30 or /31 *subnet mate* — the heart of the paper's
+    /// `prefixscan` technique (§5.3). `len` must be 30 or 31.
+    ///
+    /// For a /31 the mate is the other address of the pair; for a /30 the
+    /// mate is the other *usable* address (network and broadcast addresses
+    /// are skipped). Returns `None` when `a` is the network or broadcast
+    /// address of its /30.
+    pub fn ptp_mate(a: Addr, len: u8) -> Option<Addr> {
+        assert!(
+            len == 30 || len == 31,
+            "point-to-point subnets are /30 or /31"
+        );
+        let bits = addr_bits(a);
+        if len == 31 {
+            return Some(addr(bits ^ 1));
+        }
+        match bits & 3 {
+            1 => Some(addr(bits + 1)),
+            2 => Some(addr(bits - 1)),
+            _ => None, // network or broadcast address of the /30
+        }
+    }
+
+    /// Iterate over the addresses of the prefix, in order.
+    pub fn addrs(self) -> impl Iterator<Item = Addr> {
+        let base = self.bits;
+        let n = self.size() as u64;
+        (0..n).map(move |i| addr(base.wrapping_add(i as u32)))
+    }
+}
+
+impl fmt::Display for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Error parsing a prefix from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePrefixError(pub String);
+
+impl fmt::Display for ParsePrefixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid prefix: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParsePrefixError {}
+
+impl FromStr for Prefix {
+    type Err = ParsePrefixError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (net, len) = s
+            .split_once('/')
+            .ok_or_else(|| ParsePrefixError(s.into()))?;
+        let net: Addr = net.parse().map_err(|_| ParsePrefixError(s.into()))?;
+        let len: u8 = len.parse().map_err(|_| ParsePrefixError(s.into()))?;
+        if len > 32 {
+            return Err(ParsePrefixError(s.into()));
+        }
+        Ok(Prefix::new(net, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonical_form_zeroes_host_bits() {
+        let a = Prefix::new("10.1.2.3".parse().unwrap(), 24);
+        assert_eq!(a.to_string(), "10.1.2.0/24");
+        assert_eq!(a, p("10.1.2.0/24"));
+    }
+
+    #[test]
+    fn contains_and_covers() {
+        let net = p("128.66.0.0/16");
+        assert!(net.contains("128.66.255.1".parse().unwrap()));
+        assert!(!net.contains("128.67.0.0".parse().unwrap()));
+        assert!(net.covers(p("128.66.2.0/24")));
+        assert!(net.covers(net));
+        assert!(!p("128.66.2.0/24").covers(net));
+    }
+
+    #[test]
+    fn default_route_contains_everything() {
+        assert!(Prefix::DEFAULT.contains("255.255.255.255".parse().unwrap()));
+        assert!(Prefix::DEFAULT.contains("0.0.0.0".parse().unwrap()));
+        assert!(Prefix::DEFAULT.covers(p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn split_produces_disjoint_children() {
+        let (l, r) = p("10.0.0.0/8").split();
+        assert_eq!(l, p("10.0.0.0/9"));
+        assert_eq!(r, p("10.128.0.0/9"));
+        assert!(!l.covers(r) && !r.covers(l));
+    }
+
+    #[test]
+    fn nth_and_size() {
+        let n = p("192.0.2.0/30");
+        assert_eq!(n.size(), 4);
+        assert_eq!(n.nth(0), "192.0.2.0".parse::<Addr>().unwrap());
+        assert_eq!(n.nth(3), "192.0.2.3".parse::<Addr>().unwrap());
+        assert_eq!(n.broadcast(), "192.0.2.3".parse::<Addr>().unwrap());
+    }
+
+    #[test]
+    #[should_panic]
+    fn nth_out_of_range_panics() {
+        p("192.0.2.0/30").nth(4);
+    }
+
+    #[test]
+    fn ptp_mate_slash31() {
+        let a: Addr = "192.0.2.4".parse().unwrap();
+        let b: Addr = "192.0.2.5".parse().unwrap();
+        assert_eq!(Prefix::ptp_mate(a, 31), Some(b));
+        assert_eq!(Prefix::ptp_mate(b, 31), Some(a));
+    }
+
+    #[test]
+    fn ptp_mate_slash30() {
+        let a: Addr = "192.0.2.1".parse().unwrap();
+        let b: Addr = "192.0.2.2".parse().unwrap();
+        assert_eq!(Prefix::ptp_mate(a, 30), Some(b));
+        assert_eq!(Prefix::ptp_mate(b, 30), Some(a));
+        assert_eq!(Prefix::ptp_mate("192.0.2.0".parse().unwrap(), 30), None);
+        assert_eq!(Prefix::ptp_mate("192.0.2.3".parse().unwrap(), 30), None);
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["0.0.0.0/0", "10.0.0.0/8", "192.0.2.64/26", "203.0.113.7/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+        assert!("foo/8".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn addrs_iterates_in_order() {
+        let got: Vec<Addr> = p("198.51.100.248/30").addrs().collect();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], "198.51.100.248".parse::<Addr>().unwrap());
+        assert_eq!(got[3], "198.51.100.251".parse::<Addr>().unwrap());
+    }
+}

@@ -1,0 +1,30 @@
+//! RIR delegation records.
+
+use crate::Prefix;
+use serde::{Deserialize, Serialize};
+
+/// One RIR delegation record: a block and the opaque organisation ID it
+/// was delegated to. The public RIR files cannot be tied directly to an
+/// AS (§5.2 of the paper), which is why the ID is opaque.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RirRecord {
+    /// The delegated block.
+    pub prefix: Prefix,
+    /// Opaque per-organisation ID.
+    pub opaque_org: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trips_through_copy() {
+        let r = RirRecord {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            opaque_org: 9,
+        };
+        let s = r;
+        assert_eq!(r, s);
+    }
+}

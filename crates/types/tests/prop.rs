@@ -1,0 +1,166 @@
+//! Property-based tests for the core types: the prefix algebra, the
+//! longest-prefix-match trie against a naive oracle, and the block
+//! arithmetic used for target-list generation.
+
+use bdrmap_types::{addr, AddressBlock, Prefix, PrefixTrie};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(addr(bits), len))
+}
+
+proptest! {
+    #[test]
+    fn prefix_display_parse_round_trip(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_contains_network_and_broadcast(p in arb_prefix()) {
+        prop_assert!(p.contains(p.network()));
+        prop_assert!(p.contains(p.broadcast()));
+    }
+
+    #[test]
+    fn split_children_partition_parent(p in arb_prefix()) {
+        prop_assume!(p.len() < 32);
+        let (l, r) = p.split();
+        prop_assert!(p.covers(l) && p.covers(r));
+        prop_assert!(!l.covers(r) && !r.covers(l));
+        let expected = if p.len() == 0 { 1u64 << 32 } else { p.size() as u64 };
+        prop_assert_eq!(l.size() as u64 + r.size() as u64, expected);
+        // Network of left child equals parent's network.
+        prop_assert_eq!(l.network(), p.network());
+    }
+
+    #[test]
+    fn covers_is_consistent_with_contains(p in arb_prefix(), q in arb_prefix()) {
+        if p.covers(q) {
+            prop_assert!(p.contains(q.network()));
+            prop_assert!(p.contains(q.broadcast()));
+        }
+    }
+
+    #[test]
+    fn ptp_mate_is_involutive(bits in any::<u32>(), len in prop::sample::select(vec![30u8, 31u8])) {
+        let a = addr(bits);
+        if let Some(mate) = Prefix::ptp_mate(a, len) {
+            prop_assert_eq!(Prefix::ptp_mate(mate, len), Some(a));
+            // Mate shares the same subnet.
+            prop_assert_eq!(Prefix::new(a, len), Prefix::new(mate, len));
+        }
+    }
+
+    #[test]
+    fn trie_lookup_matches_naive_oracle(
+        entries in prop::collection::vec((arb_prefix(), any::<u32>()), 1..40),
+        probes in prop::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let mut trie = PrefixTrie::new();
+        // Last insert wins, as in the trie.
+        let mut map: Vec<(Prefix, u32)> = Vec::new();
+        for (p, v) in &entries {
+            trie.insert(*p, *v);
+            map.retain(|(q, _)| q != p);
+            map.push((*p, *v));
+        }
+        for bits in probes {
+            let a = addr(bits);
+            let expect = map
+                .iter()
+                .filter(|(p, _)| p.contains(a))
+                .max_by_key(|(p, _)| p.len())
+                .map(|&(p, v)| (p.len(), v));
+            let got = trie.lookup(a).map(|(p, &v)| (p.len(), v));
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn trie_remove_restores_shorter_match(
+        outer in arb_prefix(),
+        probe_bits in any::<u32>(),
+    ) {
+        prop_assume!(outer.len() < 32);
+        let inner = Prefix::new(outer.network(), outer.len() + 1);
+        let mut trie = PrefixTrie::new();
+        trie.insert(outer, 1u8);
+        trie.insert(inner, 2u8);
+        let a = addr(probe_bits);
+        if inner.contains(a) {
+            prop_assert_eq!(trie.lookup(a).map(|(_, &v)| v), Some(2));
+            trie.remove(inner);
+            prop_assert_eq!(trie.lookup(a).map(|(_, &v)| v), Some(1));
+        }
+    }
+
+    #[test]
+    fn block_subtract_partitions(
+        base in arb_prefix(),
+        holes in prop::collection::vec(arb_prefix(), 0..8),
+    ) {
+        prop_assume!(base.len() >= 8); // keep sizes sane
+        let block = AddressBlock::from_prefix(base);
+        let hole_blocks: Vec<AddressBlock> =
+            holes.iter().map(|h| AddressBlock::from_prefix(*h)).collect();
+        let rest = block.subtract(&hole_blocks);
+        // Pieces are within the base, ascending, disjoint.
+        let mut prev_end: Option<u32> = None;
+        let mut total: u64 = 0;
+        for piece in &rest {
+            prop_assert!(block.contains(piece.start()));
+            prop_assert!(block.contains(piece.end()));
+            if let Some(pe) = prev_end {
+                prop_assert!(u32::from(piece.start()) > pe);
+            }
+            prev_end = Some(u32::from(piece.end()));
+            total += piece.size();
+            // No piece intersects a hole.
+            for h in &hole_blocks {
+                prop_assert!(
+                    u32::from(piece.end()) < u32::from(h.start())
+                        || u32::from(piece.start()) > u32::from(h.end())
+                );
+            }
+        }
+        // Conservation: remaining + covered-by-holes = base size.
+        let mut covered: u64 = 0;
+        let (bs, be) = (u32::from(block.start()) as u64, u32::from(block.end()) as u64);
+        let mut marks: Vec<(u64, u64)> = hole_blocks
+            .iter()
+            .filter_map(|h| {
+                let s = (u32::from(h.start()) as u64).max(bs);
+                let e = (u32::from(h.end()) as u64).min(be);
+                (s <= e).then_some((s, e))
+            })
+            .collect();
+        marks.sort_unstable();
+        let mut cursor = bs;
+        for (s, e) in marks {
+            let s = s.max(cursor);
+            if e >= s {
+                covered += e - s + 1;
+                cursor = e + 1;
+            }
+        }
+        prop_assert_eq!(total + covered, block.size());
+    }
+
+    #[test]
+    fn block_to_prefixes_is_exact(base in arb_prefix(), cut in any::<u32>()) {
+        prop_assume!(base.len() >= 12 && base.len() < 32);
+        // A ragged sub-block of the prefix.
+        let start = base.nth(cut % (base.size() / 2));
+        let block = AddressBlock::new(start, base.broadcast());
+        let ps = block.to_prefixes();
+        let total: u64 = ps.iter().map(|p| p.size() as u64).sum();
+        prop_assert_eq!(total, block.size());
+        prop_assert_eq!(ps.first().map(|p| p.network()), Some(block.start()));
+        prop_assert_eq!(ps.last().map(|p| p.broadcast()), Some(block.end()));
+        for w in ps.windows(2) {
+            prop_assert!(u32::from(w[0].broadcast()) < u32::from(w[1].network()));
+        }
+    }
+}

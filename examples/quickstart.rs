@@ -1,0 +1,56 @@
+//! Quickstart: generate a small Internet, run bdrmap from one vantage
+//! point, and print the inferred border map with its ground-truth score.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bdrmap::eval::validate::validate;
+use bdrmap::prelude::*;
+
+fn main() {
+    // 1. A small synthetic Internet: an R&E-style hosting network with
+    //    customers, peers, a provider, an IXP, and a populated core.
+    let scenario = Scenario::build("quickstart", &TopoConfig::tiny(2016));
+    let net = scenario.net();
+    println!(
+        "generated: {} ASes, {} routers, {} links, {} routed prefixes",
+        net.graph.num_ases(),
+        net.routers.len(),
+        net.links.len(),
+        net.origins.len()
+    );
+
+    // 2. Run the full pipeline: targets → traces → alias resolution →
+    //    router graph → ownership heuristics → border links.
+    let map = scenario.run_vp(0, &BdrmapConfig::default());
+    println!(
+        "\nbdrmap: {} packets, {:.2} simulated hours at 100 pps",
+        map.packets,
+        map.elapsed_ms as f64 / 3.6e6
+    );
+
+    // 3. The border map.
+    println!("\ninferred interdomain links ({}):", map.links.len());
+    for (neighbor, links) in map.links_by_neighbor() {
+        let tags: Vec<String> = links.iter().map(|l| format!("{:?}", l.heuristic)).collect();
+        println!(
+            "  {neighbor}: {} link(s) via {}",
+            links.len(),
+            tags.join(", ")
+        );
+    }
+
+    // 4. Score against ground truth — possible only because the
+    //    generator is the operator.
+    let neighbors = scenario.input.view.neighbors_of(net.vp_as);
+    let v = validate(net, &neighbors, &map);
+    println!(
+        "\nvalidation: {}/{} links correct ({:.1}%), BGP coverage {:.1}%, owner accuracy {:.1}%",
+        v.links_correct,
+        v.links_total,
+        v.link_accuracy() * 100.0,
+        v.bgp_coverage() * 100.0,
+        v.owner_accuracy() * 100.0
+    );
+}

@@ -1,0 +1,74 @@
+//! Regenerate Table 1 and the §5.6 validation for the paper's networks.
+//!
+//! By default the three scenarios run at a reduced scale so the example
+//! finishes in well under a minute; pass `--full` for paper-scale
+//! networks (652-customer access network, 1644-customer Tier-1 — takes
+//! several minutes).
+//!
+//! ```sh
+//! cargo run --release --example table1 [-- --full]
+//! ```
+
+use bdrmap::eval::table1::{render, table1};
+use bdrmap::eval::validate::{validate, validate_ixp};
+use bdrmap::prelude::*;
+use bdrmap_topo::{DnsConfig, DnsDb, TopoConfig};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let scenarios: Vec<(&str, TopoConfig)> = if full {
+        vec![
+            ("R&E network", TopoConfig::re_network(1)),
+            ("Large access network", TopoConfig::large_access(2)),
+            ("Tier-1 network", TopoConfig::tier1(3)),
+            ("Small access network", TopoConfig::small_access(4)),
+        ]
+    } else {
+        vec![
+            ("R&E network", TopoConfig::re_network(1)),
+            (
+                "Large access network (scaled)",
+                TopoConfig::large_access_scaled(2, 0.12),
+            ),
+            ("Tier-1 network (scaled)", TopoConfig::tier1_scaled(3, 0.08)),
+            ("Small access network", TopoConfig::small_access(4)),
+        ]
+    };
+
+    for (name, cfg) in scenarios {
+        let sc = Scenario::build(name, &cfg);
+        let map = sc.run_vp(0, &BdrmapConfig::default());
+        let t = table1(&sc, &map);
+        println!("{}", render(&t));
+
+        let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+        let v = validate(sc.net(), &neighbors, &map);
+        println!(
+            "§5.6 validation: {}/{} links correct ({:.1}%), owner accuracy {:.1}%, BGP coverage {:.1}% (paper: 96.3–98.9% correct, 92.2–96.8% coverage)",
+            v.links_correct,
+            v.links_total,
+            v.link_accuracy() * 100.0,
+            v.owner_accuracy() * 100.0,
+            v.bgp_coverage() * 100.0
+        );
+        // The paper's two other validation styles: the public IXP
+        // registry (PeeringDB/PCH) and the advisory DNS cross-check.
+        let ixp_v = validate_ixp(sc.net(), &map);
+        if ixp_v.ixp_links > 0 {
+            println!(
+                "IXP registry: {}/{} route-server links confirmed ({:.1}%)",
+                ixp_v.member_confirmed,
+                ixp_v.ixp_links,
+                ixp_v.confirmation_rate() * 100.0
+            );
+        }
+        let dns = DnsDb::synthesize(sc.net(), 1, &DnsConfig::default());
+        let net = sc.net();
+        let check =
+            bdrmap::eval::devcheck::dns_check(&dns, &map, |a| net.as_info(a).name.clone());
+        println!(
+            "DNS (advisory, §5.1): {}/{} comparable labels agree\n",
+            check.agree, check.comparable
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! # bdrmap — inference of borders between IP networks
+//!
+//! A complete Rust reproduction of *bdrmap: Inference of Borders Between
+//! IP Networks* (Luckie, Clark, Dhamdhere, Huffaker, claffy — IMC 2016),
+//! including every substrate the measurement system needs:
+//!
+//! * [`types`] — addresses, prefixes, longest-prefix-match tables;
+//! * [`bgp`] — valley-free route propagation, public collector views,
+//!   AS-relationship inference;
+//! * [`topo`] — a synthetic Internet generator with ground truth:
+//!   organisations, geography, router topologies, interdomain link
+//!   numbering, IXPs, RIR delegations, response-policy quirks;
+//! * [`dataplane`] — deterministic forwarding and ICMP simulation
+//!   (third-party addresses, firewalls, silent routers, IPID models);
+//! * [`probe`] — the scamper-like engine: Paris traceroute, stop sets,
+//!   Ally / Mercator / MIDAR / prefixscan alias resolution, and the
+//!   remote-offload protocol for resource-limited devices;
+//! * [`core`] — the published algorithm itself (§5.4 heuristics);
+//! * [`eval`] — ground-truth scoring and regeneration of every table
+//!   and figure in the paper's evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use bdrmap::prelude::*;
+//!
+//! // Generate a small Internet with ground truth.
+//! let scenario = Scenario::build("demo", &TopoConfig::tiny(42));
+//! // Run the full bdrmap pipeline from the first vantage point.
+//! let map = scenario.run_vp(0, &BdrmapConfig::default());
+//! assert!(!map.links.is_empty());
+//! // Score against ground truth (evaluation only).
+//! let neighbors = scenario.input.view.neighbors_of(scenario.net().vp_as);
+//! let v = bdrmap::eval::validate::validate(scenario.net(), &neighbors, &map);
+//! assert!(v.link_accuracy() > 0.8);
+//! ```
+
+pub use bdrmap_bgp as bgp;
+pub use bdrmap_core as core;
+pub use bdrmap_dataplane as dataplane;
+pub use bdrmap_eval as eval;
+pub use bdrmap_probe as probe;
+pub use bdrmap_topo as topo;
+pub use bdrmap_types as types;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use bdrmap_bgp::{AsGraph, CollectorView, InferredRelationships, RoutingOracle};
+    pub use bdrmap_core::{run_bdrmap, BdrmapConfig, BorderMap, Heuristic, Input};
+    pub use bdrmap_dataplane::DataPlane;
+    pub use bdrmap_eval::Scenario;
+    pub use bdrmap_probe::{EngineConfig, ProbeEngine, Prober};
+    pub use bdrmap_topo::{generate, AsKind, Internet, TopoConfig};
+    pub use bdrmap_types::{Addr, Asn, Prefix, Relationship};
+}
