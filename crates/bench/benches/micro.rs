@@ -66,6 +66,43 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // ---------------------------------------------- fault-path overhead
+    // The inert-plan path must stay within noise (<5%) of the plain
+    // probe above: an installed-but-zero fault plan short-circuits on an
+    // atomic flag before any draw is made.
+    dp.set_faults(bdrmap_dataplane::FaultPlan::with_loss(7, 0.0));
+    c.bench_function("dataplane/probe-ttl8-faults-inert", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dsts.len();
+            black_box(dp.probe(&Probe {
+                src: vp,
+                dst: dsts[i],
+                ttl: 8,
+                flow: 7,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 0,
+            }))
+        })
+    });
+    // Active 5% loss for reference: this pays the per-link PRNG draws.
+    dp.set_faults(bdrmap_dataplane::FaultPlan::with_loss(7, 0.05));
+    c.bench_function("dataplane/probe-ttl8-faults-5pct", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % dsts.len();
+            black_box(dp.probe(&Probe {
+                src: vp,
+                dst: dsts[i],
+                ttl: 8,
+                flow: 7,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 0,
+            }))
+        })
+    });
+    dp.clear_faults();
+
     // ------------------------------------------------------- traceroute
     let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
     let stop = StopSet::new();

@@ -15,8 +15,28 @@ mod commands;
 
 use args::Args;
 
-const VALUE_KEYS: &[&str] = &["preset", "seed", "scale", "vp", "vps", "out", "in", "hosts"];
-const FLAGS: &[&str] = &["full", "no-alias", "one-addr", "no-stop-sets", "help"];
+const VALUE_KEYS: &[&str] = &[
+    "preset",
+    "seed",
+    "scale",
+    "vp",
+    "vps",
+    "out",
+    "in",
+    "hosts",
+    "fault-seed",
+    "loss",
+    "flap",
+    "checkpoint-every",
+];
+const FLAGS: &[&str] = &[
+    "full",
+    "no-alias",
+    "one-addr",
+    "no-stop-sets",
+    "resume",
+    "help",
+];
 
 fn usage() -> &'static str {
     "bdrmap — inference of borders between IP networks (IMC 2016 reproduction)
@@ -37,6 +57,7 @@ COMMANDS:
     fleet       run bdrmap from VPs hosted in many other networks (§5.7)
     devcheck    §5.1 development-mode sanity checks over synthesized DNS
     congestion  discover borders, inject diurnal congestion, detect with TSLP
+    degradation sweep injected loss/flap rates, report precision/recall
 
 OPTIONS:
     --preset <tiny|re|large-access|tier1|small-access>   topology preset
@@ -50,6 +71,13 @@ OPTIONS:
     --no-stop-sets       disable doubletree stop sets
     --out <path>         where `probe` writes the trace store
     --in <path>          trace store `infer` reads
+
+FAULT INJECTION (run / probe / degradation):
+    --fault-seed <u64>   fault PRNG seed (default 1); same seed replays identically
+    --loss <f64>         probe/response loss rate in [0,1] (degradation: sweep max)
+    --flap <f64>         fraction of links flapping (degradation: sweep max)
+    --checkpoint-every <n>  `probe`: checkpoint to <out>.ckpt every n target ASes
+    --resume             `probe`: resume from <out>.ckpt if present
 "
 }
 
@@ -82,6 +110,7 @@ fn main() {
         "fleet" => commands::fleet(&args),
         "devcheck" => commands::devcheck(&args),
         "congestion" => commands::congestion(&args),
+        "degradation" => commands::degradation(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());
             std::process::exit(2);

@@ -86,6 +86,7 @@ pub fn run_bdrmap<P: Prober + ?Sized>(prober: &P, input: &Input, cfg: &BdrmapCon
             parallelism: cfg.parallelism,
             addrs_per_block: cfg.addrs_per_block,
             use_stop_sets: cfg.use_stop_sets,
+            quarantine: None,
         },
         |a| ip2as_probe.is_external(a),
     );

@@ -28,15 +28,21 @@
 //!   prober.
 //!
 //! The simulator is deterministic: identical probe sequences (including
-//! their `time_ms` stamps) produce identical responses.
+//! their `time_ms` stamps) produce identical responses. Fault injection
+//! ([`FaultPlan`]) keeps that property — every fault draw is a pure
+//! function of the plan's seed and the probe's identity and timestamp,
+//! and an inert plan is bit-for-bit identical to no plan at all.
 
+pub mod faults;
 pub mod packet;
 pub mod plane;
-mod runtime;
+pub mod runtime;
 pub mod spt;
 
 #[cfg(test)]
 mod tests;
 
+pub use faults::{FaultPlan, FlapPlan, ReroutePlan, StormPlan};
 pub use packet::{Probe, ProbeKind, RespKind, Response, UnreachReason};
 pub use plane::{CongestionProfile, DataPlane};
+pub use runtime::RuntimeSnapshot;

@@ -57,7 +57,7 @@ pub enum RespKind {
 }
 
 /// A response received at the vantage point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Response {
     /// Source address of the response — the only router identity
     /// bdrmap ever sees.

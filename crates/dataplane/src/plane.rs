@@ -1,5 +1,6 @@
 //! The forwarding and ICMP-generation engine.
 
+use crate::faults::FaultPlan;
 use crate::packet::{Probe, ProbeKind, RespKind, Response, UnreachReason};
 use crate::runtime::Runtime;
 use crate::spt::{fnv, InternalGraph, SptCache};
@@ -7,6 +8,7 @@ use bdrmap_topo::{ExportStrategy, IfaceKind, Internet, LinkKind, ResponsePolicy,
 use bdrmap_types::{Addr, Asn, IfaceId, LinkId, OrgId, RouterId};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Hop budget: drop anything still in flight after this many routers.
@@ -114,6 +116,11 @@ pub struct DataPlane {
     org_members: HashMap<OrgId, Vec<Asn>>,
     /// Injected congestion per link.
     congestion: RwLock<HashMap<LinkId, CongestionProfile>>,
+    /// Injected fault plan (loss, storms, flaps, reroutes).
+    faults: RwLock<Arc<FaultPlan>>,
+    /// Fast-path flag: false whenever the plan is a no-op, so unfaulted
+    /// probes never take the `faults` lock.
+    faults_active: AtomicBool,
 }
 
 impl DataPlane {
@@ -145,7 +152,47 @@ impl DataPlane {
             org_of_as,
             org_members,
             congestion: RwLock::new(HashMap::new()),
+            faults: RwLock::new(Arc::new(FaultPlan::none())),
+            faults_active: AtomicBool::new(false),
         }
+    }
+
+    /// Install a fault plan. A no-op plan (all rates zero) disables the
+    /// fault layer entirely, restoring bit-for-bit unfaulted behaviour.
+    pub fn set_faults(&self, plan: FaultPlan) {
+        self.faults_active.store(!plan.is_noop(), Ordering::Release);
+        *self.faults.write() = Arc::new(plan);
+    }
+
+    /// Remove any injected faults.
+    pub fn clear_faults(&self) {
+        self.set_faults(FaultPlan::none());
+    }
+
+    /// The currently installed fault plan (inert by default).
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        Arc::clone(&self.faults.read())
+    }
+
+    /// The plan, but only when it can actually change an outcome.
+    fn active_faults(&self) -> Option<Arc<FaultPlan>> {
+        if !self.faults_active.load(Ordering::Acquire) {
+            return None;
+        }
+        Some(Arc::clone(&self.faults.read()))
+    }
+
+    /// Snapshot the mutable router state (IPID counters, rate-limit
+    /// tallies) so a checkpointed probing run can be resumed without
+    /// diverging from an uninterrupted one.
+    pub fn runtime_snapshot(&self) -> crate::runtime::RuntimeSnapshot {
+        self.runtime.snapshot()
+    }
+
+    /// Restore router state captured by
+    /// [`runtime_snapshot`](Self::runtime_snapshot).
+    pub fn restore_runtime(&self, snap: &crate::runtime::RuntimeSnapshot) {
+        self.runtime.restore(snap);
     }
 
     /// Inject a diurnal congestion profile on a link (evaluation-side
@@ -702,13 +749,33 @@ impl DataPlane {
     /// Send one probe and collect the response, if any.
     ///
     /// Returns `None` when the probe or its response is lost: dropped by
-    /// a firewall, suppressed by policy or rate limiting, unroutable, or
-    /// the responder has no route back to the prober.
+    /// a firewall, suppressed by policy or rate limiting, unroutable,
+    /// the responder has no route back to the prober — or, when a
+    /// [`FaultPlan`] is installed, lost to injected faults.
     pub fn probe(&self, p: &Probe) -> Option<Response> {
+        let faults = self.active_faults();
+        let faults = faults.as_deref();
+        let resp = self.probe_inner(p, faults)?;
+        // Return-path loss hits every response kind uniformly.
+        if faults.is_some_and(|f| f.drops_response(p)) {
+            return None;
+        }
+        Some(resp)
+    }
+
+    /// Forward a probe hop by hop and build the response at its end.
+    fn probe_inner(&self, p: &Probe, faults: Option<&FaultPlan>) -> Option<Response> {
         let mut cur = *self.vp_by_addr.get(&p.src)?;
         let mut inbound: Option<IfaceId> = None;
         let mut ttl = p.ttl;
         let mut fwd_us: u32 = 0;
+        // Reroute epochs re-salt the per-flow hash mid-run, shifting
+        // ECMP and hot-potato tie-breaks the way IGP events do. The
+        // salt is zero in epoch 0 and whenever reroutes are disabled.
+        let flow = match faults {
+            Some(f) => p.flow ^ f.flow_salt(p.time_ms),
+            None => p.flow,
+        };
         for _ in 0..MAX_HOPS {
             // Local delivery beats everything.
             if self.net.router_of_addr(p.dst) == Some(cur) {
@@ -717,6 +784,11 @@ impl DataPlane {
             // TTL check-and-decrement on arrival.
             ttl = ttl.saturating_sub(1);
             if ttl == 0 {
+                // A storming router's control plane generates no error
+                // ICMP during its burst window.
+                if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
+                    return None;
+                }
                 return self.ttl_expired(cur, inbound, p, fwd_us);
             }
             // Edge firewalls discard transit traffic.
@@ -724,9 +796,12 @@ impl DataPlane {
             if policy.firewalls_transit() && inbound.is_some() {
                 // The firewall applies at the edge of its network: only
                 // once the packet tries to go *through* this router.
+                if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
+                    return None;
+                }
                 return self.firewalled(cur, p, fwd_us);
             }
-            match self.route_step(cur, p.dst, p.flow) {
+            match self.route_step(cur, p.dst, flow) {
                 Step::Forward {
                     next,
                     in_iface,
@@ -734,6 +809,11 @@ impl DataPlane {
                 } => {
                     // Accumulate propagation + any queuing on the link.
                     if let Some(link) = self.net.ifaces[out_iface.index()].link {
+                        // Forward-path faults: flap down-windows and
+                        // stochastic per-link loss.
+                        if faults.is_some_and(|f| f.drops_probe(link, p)) {
+                            return None;
+                        }
                         let metric = self.net.links[link.index()].metric;
                         fwd_us = fwd_us
                             .saturating_add(metric.saturating_mul(US_PER_METRIC))
@@ -743,7 +823,12 @@ impl DataPlane {
                     cur = next;
                     inbound = Some(in_iface);
                 }
-                Step::Unreachable => return self.unreachable(cur, inbound, p, fwd_us),
+                Step::Unreachable => {
+                    if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
+                        return None;
+                    }
+                    return self.unreachable(cur, inbound, p, fwd_us);
+                }
                 Step::NoRoute => return None,
             }
         }

@@ -587,6 +587,210 @@ fn echo_other_icmp_policy_emits_admin_filtered() {
 }
 
 #[test]
+fn noop_fault_plan_is_byte_identical_to_no_plan() {
+    use crate::faults::FaultPlan;
+    let clean = plane(70);
+    let faulted = plane(70);
+    // A plan with every rate at zero must be bit-for-bit inert, even
+    // with a nonzero seed installed.
+    faulted.set_faults(FaultPlan::with_loss(999, 0.0));
+    let net = clean.internet();
+    let vp = net.vps[0].addr;
+    let dsts: Vec<Addr> = net.origins.iter().map(|o| o.prefix.nth(1)).collect();
+    for (i, &dst) in dsts.iter().enumerate() {
+        for ttl in 1..=12u8 {
+            let p = Probe {
+                src: vp,
+                dst,
+                ttl,
+                flow: i as u16,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: i as u64 * 31 + ttl as u64,
+            };
+            let a = clean.probe(&p);
+            let b = faulted.probe(&p);
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.src, y.src);
+                    assert_eq!(x.kind, y.kind);
+                    assert_eq!(x.ipid, y.ipid);
+                    assert_eq!(x.rtt_us, y.rtt_us);
+                }
+                (None, None) => {}
+                other => panic!("zero-fault divergence at {dst} ttl {ttl}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_replay_identically() {
+    use crate::faults::FaultPlan;
+    let a = plane(71);
+    let b = plane(71);
+    a.set_faults(FaultPlan::with_loss(5, 0.25));
+    b.set_faults(FaultPlan::with_loss(5, 0.25));
+    let net = a.internet();
+    let vp = net.vps[0].addr;
+    let dsts: Vec<Addr> = net.origins.iter().map(|o| o.prefix.nth(1)).collect();
+    let mut lost = 0;
+    let mut answered = 0;
+    for (i, &dst) in dsts.iter().enumerate() {
+        for ttl in 1..=12u8 {
+            let p = Probe {
+                src: vp,
+                dst,
+                ttl,
+                flow: i as u16,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: i as u64 * 31 + ttl as u64,
+            };
+            let ra = a.probe(&p);
+            let rb = b.probe(&p);
+            match (ra, rb) {
+                (Some(x), Some(y)) => {
+                    answered += 1;
+                    assert_eq!(x.src, y.src);
+                    assert_eq!(x.kind, y.kind);
+                    assert_eq!(x.ipid, y.ipid);
+                }
+                (None, None) => lost += 1,
+                other => panic!("same-seed fault divergence at {dst} ttl {ttl}: {other:?}"),
+            }
+        }
+    }
+    assert!(answered > 0, "everything lost at 25% loss");
+    assert!(lost > 0, "nothing lost at 25% loss over {answered} probes");
+}
+
+#[test]
+fn loss_reduces_response_rate() {
+    use crate::faults::FaultPlan;
+    let clean = plane(72);
+    let lossy = plane(72);
+    lossy.set_faults(FaultPlan::with_loss(3, 0.3));
+    let net = clean.internet();
+    let vp = net.vps[0].addr;
+    let count = |dp: &DataPlane| {
+        let mut n = 0;
+        for (i, o) in net.origins.iter().enumerate() {
+            for ttl in 1..=10u8 {
+                let p = Probe {
+                    src: vp,
+                    dst: o.prefix.nth(1),
+                    ttl,
+                    flow: i as u16,
+                    kind: ProbeKind::IcmpEcho,
+                    time_ms: i as u64 * 17 + ttl as u64,
+                };
+                if dp.probe(&p).is_some() {
+                    n += 1;
+                }
+            }
+        }
+        n
+    };
+    let full = count(&clean);
+    let degraded = count(&lossy);
+    assert!(
+        degraded < full * 9 / 10,
+        "30% loss should cost >10% of responses: {degraded}/{full}"
+    );
+    // Clearing faults restores the clean response set size.
+    lossy.clear_faults();
+}
+
+#[test]
+fn flap_down_window_blacks_out_forwarding() {
+    use crate::faults::{FaultPlan, FlapPlan};
+    let dp = plane(73);
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    // Collect probes that demonstrably cross a link on the clean plane:
+    // answered at ttl >= 2 from a router other than the VP attach.
+    let attach = dp.vp_attach(vp).unwrap();
+    let mut crossing = Vec::new();
+    for (i, o) in net.origins.iter().enumerate() {
+        for ttl in 2..=6u8 {
+            let p = Probe {
+                src: vp,
+                dst: o.prefix.nth(1),
+                ttl,
+                flow: i as u16,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 100,
+            };
+            if let Some(r) = dp.probe(&p) {
+                if net.router_of_addr(r.src) != Some(attach) {
+                    crossing.push(p);
+                }
+            }
+        }
+    }
+    assert!(crossing.len() >= 5, "need link-crossing probes to test");
+    // Every link permanently down: all of them must now be lost.
+    dp.set_faults(FaultPlan {
+        seed: 1,
+        flap: Some(FlapPlan {
+            link_frac: 1.0,
+            period_ms: 1000,
+            down_ms: 1000,
+        }),
+        ..FaultPlan::none()
+    });
+    for p in &crossing {
+        assert!(
+            dp.probe(p).is_none(),
+            "probe to {} ttl {} crossed a permanently-down link",
+            p.dst,
+            p.ttl
+        );
+    }
+}
+
+#[test]
+fn storms_silence_member_routers_during_bursts() {
+    use crate::faults::{FaultPlan, StormPlan};
+    let dp = plane(74);
+    // All routers storm, 100% duty cycle: no error ICMP at all, but
+    // echo replies (delivered probes) still come back.
+    dp.set_faults(FaultPlan {
+        seed: 2,
+        storm: Some(StormPlan {
+            router_frac: 1.0,
+            period_ms: 1000,
+            burst_ms: 1000,
+        }),
+        ..FaultPlan::none()
+    });
+    let net = dp.internet();
+    let vp = net.vps[0].addr;
+    let mut echo = 0;
+    for (i, o) in net.origins.iter().enumerate() {
+        for ttl in 1..=10u8 {
+            let p = Probe {
+                src: vp,
+                dst: o.prefix.nth(1),
+                ttl,
+                flow: i as u16,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 50,
+            };
+            if let Some(r) = dp.probe(&p) {
+                assert_ne!(
+                    r.kind,
+                    RespKind::TimeExceeded,
+                    "storming router emitted error ICMP"
+                );
+                assert!(!matches!(r.kind, RespKind::DestUnreach(_)));
+                echo += 1;
+            }
+        }
+    }
+    assert!(echo > 0, "delivered probes should still be answered");
+}
+
+#[test]
 fn congestion_profile_shape() {
     use crate::plane::CongestionProfile;
     let c = CongestionProfile {

@@ -1,0 +1,194 @@
+//! Graceful-degradation sweep: inference quality vs fault intensity.
+//!
+//! The paper's probing ran on the live Internet, where loss, ICMP rate
+//! limiting, and flapping links are facts of life; the simulator's
+//! fault substrate ([`bdrmap_dataplane::FaultPlan`]) lets us dial those
+//! in deliberately and watch how the border inference degrades. Each
+//! sweep point installs a fault plan, runs the full pipeline with the
+//! *self-healing* engine configuration (retries with backoff,
+//! quarantine of dead blocks), scores the map against ground truth, and
+//! reports precision (fraction of inferred links correct) and recall
+//! (fraction of BGP-visible neighbors found) against the fault
+//! intensity.
+//!
+//! Fault draws are keyed on probe send times, so faulted runs are only
+//! replayable when probes are issued in a fixed order: every sweep
+//! point runs with `parallelism = 1`.
+
+use crate::setup::Scenario;
+use crate::validate::{validate, Validation};
+use bdrmap_core::{run_bdrmap, BdrmapConfig};
+use bdrmap_dataplane::{FaultPlan, FlapPlan};
+use bdrmap_probe::{EngineConfig, ProbeEngine, QuarantinePolicy, TraceParams};
+use std::sync::Arc;
+
+/// One sweep point: fault intensity in, inference quality out.
+#[derive(Clone, Debug)]
+pub struct DegradationPoint {
+    /// Probe/response loss rate injected.
+    pub loss: f64,
+    /// Fraction of links flapping (0 = no flaps).
+    pub flap: f64,
+    /// Ground-truth scores of the resulting border map.
+    pub validation: Validation,
+    /// Packets the run cost (retries make faulted runs dearer).
+    pub packets: u64,
+    /// Simulated run time in ms (backoff waits make faulted runs longer).
+    pub elapsed_ms: u64,
+}
+
+impl DegradationPoint {
+    /// Fraction of inferred links that are correct.
+    pub fn precision(&self) -> f64 {
+        self.validation.link_accuracy()
+    }
+
+    /// Fraction of BGP-visible true neighbors that were found.
+    pub fn recall(&self) -> f64 {
+        self.validation.bgp_coverage()
+    }
+}
+
+/// The self-healing engine configuration used under faults: three
+/// attempts per hop with a 300 ms backoff (past the default 250 ms loss
+/// bucket, so a retry sees a fresh loss draw), quarantine of blocks
+/// that go persistently dark, and sequential probing so fault draws —
+/// which are keyed on send times — replay identically across runs.
+pub fn hardened_config() -> EngineConfig {
+    EngineConfig {
+        parallelism: 1,
+        trace: TraceParams {
+            attempts: 3,
+            retry_backoff_ms: 300,
+            ..Default::default()
+        },
+        quarantine: Some(QuarantinePolicy::default()),
+        ..Default::default()
+    }
+}
+
+/// The fault plan a sweep point (or the CLI's `--loss`/`--flap` flags)
+/// installs: symmetric probe/response loss plus, optionally, flapping
+/// on a fraction of links.
+pub fn fault_plan(seed: u64, loss: f64, flap: f64) -> FaultPlan {
+    let mut plan = FaultPlan::with_loss(seed, loss);
+    if flap > 0.0 {
+        plan.flap = Some(FlapPlan {
+            link_frac: flap,
+            ..Default::default()
+        });
+    }
+    plan
+}
+
+/// Run one sweep point from VP `vp_idx`. The fault plan is cleared
+/// before returning, whatever happens to the inference.
+pub fn degradation_point(
+    sc: &Scenario,
+    vp_idx: usize,
+    fault_seed: u64,
+    loss: f64,
+    flap: f64,
+) -> DegradationPoint {
+    sc.dp.set_faults(fault_plan(fault_seed, loss, flap));
+    let vp = sc.net().vps[vp_idx].addr;
+    let engine = ProbeEngine::new(Arc::clone(&sc.dp), vp, hardened_config());
+    let cfg = BdrmapConfig {
+        parallelism: 1,
+        ..Default::default()
+    };
+    let map = run_bdrmap(&engine, &sc.input, &cfg);
+    sc.dp.clear_faults();
+    let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
+    DegradationPoint {
+        loss,
+        flap,
+        validation: validate(sc.net(), &neighbors, &map),
+        packets: map.packets,
+        elapsed_ms: map.elapsed_ms,
+    }
+}
+
+/// Sweep the loss axis (flaps off) and then the flap axis (loss off),
+/// starting from the fault-free baseline.
+pub fn sweep(
+    sc: &Scenario,
+    vp_idx: usize,
+    fault_seed: u64,
+    losses: &[f64],
+    flaps: &[f64],
+) -> Vec<DegradationPoint> {
+    let mut out = vec![degradation_point(sc, vp_idx, fault_seed, 0.0, 0.0)];
+    for &l in losses.iter().filter(|&&l| l > 0.0) {
+        out.push(degradation_point(sc, vp_idx, fault_seed, l, 0.0));
+    }
+    for &f in flaps.iter().filter(|&&f| f > 0.0) {
+        out.push(degradation_point(sc, vp_idx, fault_seed, 0.0, f));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_topo::TopoConfig;
+
+    #[test]
+    fn baseline_point_matches_fault_free_quality() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(951));
+        let p = degradation_point(&sc, 0, 1, 0.0, 0.0);
+        assert!(
+            p.validation.links_total > 5,
+            "links: {}",
+            p.validation.links_total
+        );
+        assert!(p.precision() > 0.8, "precision {:.2}", p.precision());
+        assert!(p.recall() > 0.6, "recall {:.2}", p.recall());
+        // The zero-fault point must leave the plan uninstalled.
+        assert!(sc.dp.fault_plan().is_noop());
+    }
+
+    #[test]
+    fn heavy_loss_costs_packets_or_recall() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(952));
+        let base = degradation_point(&sc, 0, 3, 0.0, 0.0);
+        let lossy = degradation_point(&sc, 0, 3, 0.3, 0.0);
+        // Retries under loss cost more packets per answered hop, or
+        // loss eats responses outright; either way the run can't be
+        // both cheaper and more complete.
+        assert!(
+            lossy.packets > base.packets || lossy.recall() <= base.recall(),
+            "lossy {:?} vs base {:?}",
+            (lossy.packets, lossy.recall()),
+            (base.packets, base.recall())
+        );
+        // Quality stays bounded and sane.
+        assert!(lossy.precision() <= 1.0 && lossy.recall() <= 1.0);
+    }
+
+    #[test]
+    fn sweep_starts_with_the_baseline_and_covers_both_axes() {
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(953));
+        let pts = sweep(&sc, 0, 7, &[0.1], &[0.5]);
+        assert_eq!(pts.len(), 3);
+        assert_eq!((pts[0].loss, pts[0].flap), (0.0, 0.0));
+        assert_eq!((pts[1].loss, pts[1].flap), (0.1, 0.0));
+        assert_eq!((pts[2].loss, pts[2].flap), (0.0, 0.5));
+    }
+
+    #[test]
+    fn identical_fault_seeds_replay_identically() {
+        let sc1 = Scenario::build("tiny", &TopoConfig::tiny(954));
+        let sc2 = Scenario::build("tiny", &TopoConfig::tiny(954));
+        let a = degradation_point(&sc1, 0, 9, 0.05, 0.0);
+        let b = degradation_point(&sc2, 0, 9, 0.05, 0.0);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.elapsed_ms, b.elapsed_ms);
+        assert_eq!(a.validation.links_total, b.validation.links_total);
+        assert_eq!(a.validation.links_correct, b.validation.links_correct);
+        assert_eq!(
+            a.validation.bgp_neighbors_found,
+            b.validation.bgp_neighbors_found
+        );
+    }
+}

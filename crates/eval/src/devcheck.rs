@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn dns_check_agrees_on_clean_names() {
-        let sc = Scenario::build("tiny", &TopoConfig::tiny(801));
+        let sc = Scenario::build("tiny", &TopoConfig::tiny(806));
         let map = sc.run_vp(0, &BdrmapConfig::default());
         let db = DnsDb::synthesize(
             sc.net(),

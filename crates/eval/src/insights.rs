@@ -26,6 +26,7 @@ pub fn collect_vp_traces(sc: &Scenario, addrs_per_block: u32) -> Vec<TraceCollec
                     parallelism: 8,
                     addrs_per_block,
                     use_stop_sets: true,
+                    quarantine: None,
                 },
                 |a| ip2as.is_external(a),
             )

@@ -10,12 +10,14 @@
 //! | [`runtime`]   | §5.3 run-time and stop-set efficiency (R1) |
 //! | [`resources`] | §5.8 resource-limited devices (R2) |
 //! | [`ablation`]  | §5.5 limitation + design-choice ablations (A1/A2) |
+//! | [`degradation`] | precision/recall under injected loss and flaps |
 //! | [`report`]    | plain-text table rendering |
 //!
 //! Only this crate is allowed to look at ground truth.
 
 pub mod ablation;
 pub mod artifacts;
+pub mod degradation;
 pub mod devcheck;
 pub mod fleet;
 pub mod insights;

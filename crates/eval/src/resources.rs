@@ -66,6 +66,7 @@ pub fn resources(sc: &Scenario, vp_idx: usize) -> ResourceReport {
             parallelism: cfg.parallelism,
             addrs_per_block: cfg.addrs_per_block,
             use_stop_sets: true,
+            quarantine: None,
         },
         |a| ip2as.is_external(a),
     );

@@ -47,6 +47,7 @@ pub fn runtime(sc: &Scenario, vp_idx: usize) -> RuntimeReport {
                 parallelism: 8,
                 addrs_per_block: 5,
                 use_stop_sets,
+                quarantine: None,
             },
             |a| ip2as.is_external(a),
         );

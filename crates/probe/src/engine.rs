@@ -9,6 +9,7 @@
 //! large access network at 100 pps) are reproduced.
 
 use crate::alias::{AliasProber, AliasVerdict, MercatorResult};
+use crate::health::{Quarantine, QuarantinePolicy};
 use crate::stopset::StopSet;
 use crate::targets::TargetAs;
 use crate::trace::{run_trace, Trace, TraceParams, TraceStop};
@@ -31,6 +32,10 @@ pub struct EngineConfig {
     /// Addresses tried per block before giving up on finding an external
     /// hop (§5.3: up to five, guarding against third-party addresses).
     pub addrs_per_block: u32,
+    /// Quarantine persistently unresponsive blocks instead of burning
+    /// the full per-block address allowance on them. `None` (default)
+    /// keeps the pre-fault behaviour.
+    pub quarantine: Option<QuarantinePolicy>,
 }
 
 impl Default for EngineConfig {
@@ -40,6 +45,7 @@ impl Default for EngineConfig {
             parallelism: 8,
             trace: TraceParams::default(),
             addrs_per_block: 5,
+            quarantine: None,
         }
     }
 }
@@ -97,6 +103,9 @@ pub struct RunOptions {
     /// Feed stop sets from observed external addresses (doubletree).
     /// Disabling this is the R1 run-time ablation.
     pub use_stop_sets: bool,
+    /// Quarantine policy for persistently unresponsive blocks; `None`
+    /// disables quarantining (the pre-fault behaviour).
+    pub quarantine: Option<QuarantinePolicy>,
 }
 
 impl Default for RunOptions {
@@ -105,6 +114,7 @@ impl Default for RunOptions {
             parallelism: 8,
             addrs_per_block: 5,
             use_stop_sets: true,
+            quarantine: None,
         }
     }
 }
@@ -128,11 +138,13 @@ pub fn run_traces<P: Prober + ?Sized>(
         parallelism,
         addrs_per_block,
         use_stop_sets,
+        quarantine,
     } = opts;
     let stop_sets: HashMap<Asn, Arc<StopSet>> = targets
         .iter()
         .map(|t| (t.asn, Arc::new(StopSet::new())))
         .collect();
+    let ledger = quarantine.map(Quarantine::new);
     let results: Mutex<Vec<(usize, Vec<Trace>)>> = Mutex::new(Vec::new());
     let next_job = AtomicU64::new(0);
 
@@ -149,8 +161,23 @@ pub fn run_traces<P: Prober + ?Sized>(
                 for block in &t.blocks {
                     let tries = (addrs_per_block as u64).min(block.size());
                     for i in 0..tries {
+                        // A block that has gone persistently dark loses
+                        // the rest of its address allowance until its
+                        // quarantine cool-off lifts.
+                        if let Some(q) = &ledger {
+                            if !q.allows(block.start(), prober.budget().elapsed_ms) {
+                                break;
+                            }
+                        }
                         let dst = block.nth((1 + i).min(block.size() - 1));
                         let tr = prober.trace(dst, t.asn, stop);
+                        if let Some(q) = &ledger {
+                            q.record(
+                                block.start(),
+                                tr.addrs().next().is_some(),
+                                prober.budget().elapsed_ms,
+                            );
+                        }
                         let ext = tr.te_addrs().find(|&a| classify_external(a));
                         let good = ext.is_some_and(|a| a != dst);
                         if use_stop_sets {
@@ -245,6 +272,23 @@ impl ProbeEngine {
         self.clock.fetch_add(ms * 1000, Ordering::Relaxed);
     }
 
+    /// Raw counters — (packets sent, logical clock in µs) — for
+    /// checkpointing. The µs clock is exact where
+    /// [`budget`](Self::budget) rounds to ms.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.packets.load(Ordering::Relaxed),
+            self.clock.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Restore counters from a checkpoint, so a resumed run continues
+    /// on the exact logical clock the interrupted run had reached.
+    pub fn restore_counters(&self, packets: u64, clock_us: u64) {
+        self.packets.store(packets, Ordering::Relaxed);
+        self.clock.store(clock_us, Ordering::Relaxed);
+    }
+
     /// Take one clock tick (one packet's worth of budget), returning the
     /// send timestamp in ms.
     fn tick(&self) -> u64 {
@@ -303,6 +347,7 @@ impl ProbeEngine {
                 p.time_ms = self.tick();
                 self.dp.probe(&p)
             },
+            |ms| self.advance_clock_ms(ms),
             self.vp,
             dst,
             target_as,
@@ -324,6 +369,7 @@ impl ProbeEngine {
                 parallelism: self.cfg.parallelism,
                 addrs_per_block: self.cfg.addrs_per_block,
                 use_stop_sets: true,
+                quarantine: self.cfg.quarantine,
             },
             classify_external,
         )
@@ -456,7 +502,7 @@ mod tests {
     fn parallel_run_is_deterministic_in_trace_content() {
         // Hop addresses must not depend on worker interleaving (IPIDs
         // may, since the clock is shared).
-        let (dp, view) = setup(44);
+        let (dp, view) = setup(46);
         let net = dp.internet();
         let vp = net.vps[0].addr;
         let vp_asns = net.vp_siblings.clone();

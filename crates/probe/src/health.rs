@@ -1,0 +1,193 @@
+//! Probe-target health tracking: quarantine of persistently
+//! unresponsive blocks.
+//!
+//! Under loss, flaps, and ICMP storms, some blocks go completely dark
+//! for a while. Re-probing them on every pass wastes pps budget and —
+//! worse — a trace through a flapping hop contributes nothing yet still
+//! consumes addresses from the §5.3 per-block allowance. The engine
+//! therefore puts a block in *quarantine* after a configurable number of
+//! consecutive fully-unresponsive traces; quarantined blocks are skipped
+//! until a cool-off on the logical clock expires, then given one
+//! probation probe. Success clears the record; continued deadness
+//! re-enters quarantine with a doubled cool-off.
+//!
+//! All state is keyed on the block's first address and driven by the
+//! shared logical clock, so a sequential run replays deterministically.
+
+use bdrmap_types::Addr;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// When and for how long blocks are quarantined.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuarantinePolicy {
+    /// Consecutive fully-unresponsive traces before a block is
+    /// quarantined.
+    pub dead_threshold: u32,
+    /// Initial quarantine length on the logical clock (ms); doubles on
+    /// each re-entry, capped at 16× the base.
+    pub cooloff_ms: u64,
+}
+
+impl Default for QuarantinePolicy {
+    fn default() -> Self {
+        QuarantinePolicy {
+            dead_threshold: 2,
+            cooloff_ms: 30_000,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Entry {
+    /// Consecutive dead traces since the last success.
+    strikes: u32,
+    /// Logical-clock instant the quarantine lifts, if quarantined.
+    until_ms: Option<u64>,
+    /// How many times this block has entered quarantine (drives the
+    /// exponential cool-off).
+    entries: u32,
+}
+
+/// Shared quarantine ledger for one probing run.
+#[derive(Debug)]
+pub struct Quarantine {
+    policy: QuarantinePolicy,
+    entries: Mutex<HashMap<Addr, Entry>>,
+}
+
+impl Quarantine {
+    /// An empty ledger under `policy`.
+    pub fn new(policy: QuarantinePolicy) -> Quarantine {
+        Quarantine {
+            policy,
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// May this block be probed now? Quarantined blocks say no until
+    /// their cool-off lifts; the first call after that is the probation
+    /// probe (the caller must report its outcome via [`record`]).
+    ///
+    /// [`record`]: Quarantine::record
+    pub fn allows(&self, block: Addr, now_ms: u64) -> bool {
+        match self.entries.lock().get(&block).and_then(|e| e.until_ms) {
+            Some(until) => now_ms >= until,
+            None => true,
+        }
+    }
+
+    /// Report the outcome of probing a block: `responsive` is true when
+    /// any trace toward it got at least one answered hop.
+    pub fn record(&self, block: Addr, responsive: bool, now_ms: u64) {
+        let mut g = self.entries.lock();
+        if responsive {
+            g.remove(&block);
+            return;
+        }
+        let e = g.entry(block).or_default();
+        e.strikes += 1;
+        if e.strikes >= self.policy.dead_threshold {
+            let factor = 1u64 << e.entries.min(4);
+            e.until_ms = Some(now_ms + self.policy.cooloff_ms * factor);
+            e.entries += 1;
+            e.strikes = 0;
+        }
+    }
+
+    /// Number of blocks currently quarantined at `now_ms`.
+    pub fn quarantined(&self, now_ms: u64) -> usize {
+        self.entries
+            .lock()
+            .values()
+            .filter(|e| e.until_ms.is_some_and(|u| now_ms < u))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdrmap_types::addr;
+
+    fn policy() -> QuarantinePolicy {
+        QuarantinePolicy {
+            dead_threshold: 2,
+            cooloff_ms: 1000,
+        }
+    }
+
+    #[test]
+    fn healthy_blocks_are_never_blocked() {
+        let q = Quarantine::new(policy());
+        let b = addr(0x0a00_0100);
+        for t in 0..10 {
+            assert!(q.allows(b, t * 100));
+            q.record(b, true, t * 100);
+        }
+        assert_eq!(q.quarantined(10_000), 0);
+    }
+
+    #[test]
+    fn enters_after_threshold_and_blocks_until_cooloff() {
+        let q = Quarantine::new(policy());
+        let b = addr(0x0a00_0100);
+        q.record(b, false, 0);
+        assert!(q.allows(b, 10), "one strike is not enough");
+        q.record(b, false, 10);
+        // Two strikes: quarantined until 10 + 1000.
+        assert!(!q.allows(b, 11));
+        assert!(!q.allows(b, 1009));
+        assert!(q.allows(b, 1010), "cool-off lifted: probation allowed");
+        assert_eq!(q.quarantined(500), 1);
+    }
+
+    #[test]
+    fn probation_success_clears_the_record() {
+        let q = Quarantine::new(policy());
+        let b = addr(0x0a00_0100);
+        q.record(b, false, 0);
+        q.record(b, false, 0);
+        assert!(!q.allows(b, 500));
+        // Probation succeeds after the cool-off.
+        q.record(b, true, 1200);
+        assert!(q.allows(b, 1201));
+        // The exponential history is forgotten too: two fresh strikes
+        // re-enter at the base cool-off.
+        q.record(b, false, 2000);
+        q.record(b, false, 2000);
+        assert!(!q.allows(b, 2999));
+        assert!(q.allows(b, 3000));
+    }
+
+    #[test]
+    fn repeat_offenders_cool_off_exponentially_with_cap() {
+        let q = Quarantine::new(policy());
+        let b = addr(0x0a00_0100);
+        let mut now = 0u64;
+        let mut spans = Vec::new();
+        for _ in 0..6 {
+            // Strike to the threshold, then measure the quarantine span.
+            q.record(b, false, now);
+            q.record(b, false, now);
+            let start = now;
+            while !q.allows(b, now) {
+                now += 100;
+            }
+            spans.push(now - start);
+        }
+        assert_eq!(spans, vec![1000, 2000, 4000, 8000, 16_000, 16_000]);
+    }
+
+    #[test]
+    fn blocks_are_tracked_independently() {
+        let q = Quarantine::new(policy());
+        let a = addr(0x0a00_0100);
+        let b = addr(0x0a00_0200);
+        q.record(a, false, 0);
+        q.record(a, false, 0);
+        assert!(!q.allows(a, 100));
+        assert!(q.allows(b, 100));
+        assert_eq!(q.quarantined(100), 1);
+    }
+}

@@ -17,12 +17,18 @@
 //!   multiple target ASes concurrently under a global packets-per-second
 //!   budget on a shared logical clock (probe counts convert directly to
 //!   the paper's run-time numbers);
+//! * [`health`] — quarantine of persistently unresponsive blocks, so
+//!   flapping or storming paths don't drain the probe budget;
+//! * [`checkpoint`] — periodic on-disk checkpoints of an in-progress
+//!   run, with deterministic resume after an interruption;
 //! * [`remote`] — the resource-limited-device split of §5.8: a thin
 //!   device-side prober speaking a length-prefixed binary protocol to a
 //!   centrally operated controller that owns all large state.
 
 pub mod alias;
+pub mod checkpoint;
 pub mod engine;
+pub mod health;
 pub mod midar;
 pub mod remote;
 pub mod stopset;
@@ -32,11 +38,13 @@ pub mod trace;
 pub mod tslp;
 
 pub use alias::{AliasVerdict, MercatorResult};
+pub use checkpoint::{run_traces_checkpointed, Checkpoint, CheckpointConfig};
 pub use engine::{
     run_traces, EngineConfig, ProbeBudget, ProbeEngine, Prober, RunOptions, TraceCollection,
 };
+pub use health::{Quarantine, QuarantinePolicy};
 pub use midar::{monotonic_bounds_test, IpidSample, IpidSeries, MbtOutcome};
 pub use stopset::StopSet;
 pub use targets::{target_blocks, TargetAs};
-pub use trace::{Trace, TraceHop, TraceStop};
+pub use trace::{Trace, TraceHop, TraceParams, TraceStop};
 pub use tslp::{tslp, LatencySeries, TslpResult};

@@ -380,9 +380,15 @@ impl Device {
                     max_ttl,
                     attempts,
                     gap_limit,
+                    // The wire protocol does not carry backoff; devices
+                    // retry immediately and the controller owns pacing.
+                    retry_backoff_ms: 0,
                 };
                 let tr = crate::trace::run_trace(
                     |p| self.send_probe(p.dst, p.kind, p.ttl, p.flow),
+                    |ms| {
+                        self.clock.fetch_add(ms * 1000, Ordering::Relaxed);
+                    },
                     self.vp,
                     dst,
                     Asn::RESERVED, // the controller knows the target AS

@@ -72,6 +72,14 @@ pub struct TraceParams {
     pub attempts: u8,
     /// Consecutive unresponsive hops before giving up.
     pub gap_limit: u8,
+    /// Base logical-clock backoff before re-probing an unanswered hop
+    /// (ms), doubling with each further attempt. Loss under fault
+    /// injection is episodic (bucketed in time), so backing off past the
+    /// episode gives a retry a fresh chance where an immediate resend
+    /// would deterministically fail again. The wait is charged to the
+    /// run's elapsed time, not its packet count. `0` (the default)
+    /// retries immediately — bit-for-bit the pre-backoff behaviour.
+    pub retry_backoff_ms: u32,
 }
 
 impl Default for TraceParams {
@@ -80,6 +88,7 @@ impl Default for TraceParams {
             max_ttl: 32,
             attempts: 2,
             gap_limit: 5,
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -94,11 +103,16 @@ pub fn flow_of(dst: Addr) -> u16 {
 /// Run one traceroute through a probe-sending closure.
 ///
 /// `send` is called with each probe and returns the response; the engine
-/// supplies a closure that stamps logical time and counts packets.
-/// `should_stop` lets the caller terminate early at a stop-set address
-/// (the address is still recorded as the final hop).
+/// supplies a closure that stamps logical time and counts packets —
+/// every attempt, including retries, goes through it, so retried probes
+/// are charged against the pps budget exactly like first attempts.
+/// `wait` advances the logical clock without spending a packet; it
+/// implements [`TraceParams::retry_backoff_ms`]. `should_stop` lets the
+/// caller terminate early at a stop-set address (the address is still
+/// recorded as the final hop).
 pub fn run_trace(
     mut send: impl FnMut(Probe) -> Option<bdrmap_dataplane::Response>,
+    mut wait: impl FnMut(u64),
     src: Addr,
     dst: Addr,
     target_as: Asn,
@@ -111,7 +125,12 @@ pub fn run_trace(
     let mut stop = TraceStop::MaxTtl;
     for ttl in 1..=params.max_ttl {
         let mut answered = None;
-        for _try in 0..params.attempts {
+        for attempt in 0..params.attempts {
+            if attempt > 0 && params.retry_backoff_ms > 0 {
+                // Exponential backoff on the logical clock, charged to
+                // elapsed time so §5.3 run-time numbers stay honest.
+                wait((params.retry_backoff_ms as u64) << (attempt - 1));
+            }
             let resp = send(Probe {
                 src,
                 dst,
@@ -198,9 +217,15 @@ mod tests {
         let net = dp.internet();
         let vp = net.vps[0].addr;
         let dst = net.origins.iter().next().unwrap().prefix.nth(1);
-        let tr = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |_| {
-            false
-        });
+        let tr = run_trace(
+            sender(&dp),
+            |_| {},
+            vp,
+            dst,
+            Asn(1),
+            TraceParams::default(),
+            |_| false,
+        );
         assert!(!tr.hops.is_empty());
         assert!(matches!(
             tr.stop,
@@ -219,16 +244,74 @@ mod tests {
         let vp = net.vps[0].addr;
         let dst = net.origins.iter().next().unwrap().prefix.nth(1);
         // First, a full trace; then stop at its first hop.
-        let full = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |_| {
-            false
-        });
+        let full = run_trace(
+            sender(&dp),
+            |_| {},
+            vp,
+            dst,
+            Asn(1),
+            TraceParams::default(),
+            |_| false,
+        );
         let first = full.addrs().next().unwrap();
-        let stopped = run_trace(sender(&dp), vp, dst, Asn(1), TraceParams::default(), |a| {
-            a == first
-        });
+        let stopped = run_trace(
+            sender(&dp),
+            |_| {},
+            vp,
+            dst,
+            Asn(1),
+            TraceParams::default(),
+            |a| a == first,
+        );
         assert_eq!(stopped.stop, TraceStop::StopSet);
         assert_eq!(stopped.addrs().last(), Some(first));
         assert!(stopped.hops.len() <= full.hops.len());
+    }
+
+    #[test]
+    fn backoff_waits_double_and_skip_first_attempt() {
+        // A dead destination: every attempt goes unanswered, so each TTL
+        // burns all attempts and the waits between them.
+        let mut sent = 0u32;
+        let mut waits = Vec::new();
+        let params = TraceParams {
+            max_ttl: 32,
+            attempts: 3,
+            gap_limit: 2,
+            retry_backoff_ms: 100,
+        };
+        let tr = run_trace(
+            |_| {
+                sent += 1;
+                None
+            },
+            |ms| waits.push(ms),
+            "10.0.0.1".parse().unwrap(),
+            "10.9.9.9".parse().unwrap(),
+            Asn(1),
+            params,
+            |_| false,
+        );
+        assert_eq!(tr.stop, TraceStop::GapLimit);
+        // 2 TTLs × 3 attempts — every retry still costs a packet.
+        assert_eq!(sent, 6);
+        // 2 TTLs × 2 retries, exponential per TTL.
+        assert_eq!(waits, vec![100, 200, 100, 200]);
+    }
+
+    #[test]
+    fn zero_backoff_never_waits() {
+        let mut waits = 0;
+        let _ = run_trace(
+            |_| None,
+            |_| waits += 1,
+            "10.0.0.1".parse().unwrap(),
+            "10.9.9.9".parse().unwrap(),
+            Asn(1),
+            TraceParams::default(),
+            |_| false,
+        );
+        assert_eq!(waits, 0, "default params must not touch the clock");
     }
 
     #[test]

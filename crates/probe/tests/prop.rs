@@ -1,5 +1,15 @@
 //! Property-based tests for the probing layer: the remote wire protocol
-//! must round-trip any command/reply under any transport chunking.
+//! must round-trip any command/reply under any transport chunking, and
+//! fault injection must be deterministic — identical fault seeds yield
+//! identical trace collections, and a zero-fault plan is byte-identical
+//! to no plan at all, at both the dataplane and the probe layer.
+
+use bdrmap_bgp::CollectorView;
+use bdrmap_dataplane::{DataPlane, FaultPlan, Probe, ProbeKind};
+use bdrmap_probe::{store, EngineConfig, ProbeEngine, RunOptions};
+use bdrmap_topo::{generate, TopoConfig};
+use bdrmap_types::Asn;
+use std::sync::Arc;
 
 use bdrmap_probe::remote::{
     decode_command, decode_reply, encode_command, encode_reply, Command, FrameDecoder, Reply,
@@ -132,5 +142,98 @@ proptest! {
     fn flow_of_is_stable(bits in any::<u32>()) {
         let a = addr(bits);
         prop_assert_eq!(bdrmap_probe::trace::flow_of(a), bdrmap_probe::trace::flow_of(a));
+    }
+}
+
+/// One full sequential probing run over a tiny topology, optionally
+/// under a fault plan, serialized to the canonical store encoding (so a
+/// byte comparison covers hops, stop reasons, packets, and clock).
+fn run_with(topo_seed: u64, plan: Option<FaultPlan>) -> bytes::Bytes {
+    let dp = Arc::new(DataPlane::new(generate(&TopoConfig::tiny(topo_seed))));
+    if let Some(p) = plan {
+        dp.set_faults(p);
+    }
+    let peers: Vec<Asn> = dp
+        .internet()
+        .graph
+        .ases()
+        .filter(|&a| dp.internet().as_info(a).kind == bdrmap_topo::AsKind::Tier1)
+        .collect();
+    let view = CollectorView::collect(dp.oracle(), &peers);
+    let vp = dp.internet().vps[0].addr;
+    let vp_asns = dp.internet().vp_siblings.clone();
+    let targets = bdrmap_probe::target_blocks(&view, &vp_asns);
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let coll = bdrmap_probe::run_traces(
+        &engine,
+        &targets,
+        RunOptions {
+            parallelism: 1,
+            ..Default::default()
+        },
+        |a| {
+            view.origins_of(a)
+                .map(|(_, o)| !o.iter().any(|x| vp_asns.contains(x)))
+                .unwrap_or(false)
+        },
+    );
+    store::encode(&coll)
+}
+
+proptest! {
+    // Each case is two full probing runs; keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn identical_fault_seeds_yield_identical_collections(
+        fault_seed in any::<u64>(),
+        loss in 0.0f64..0.4,
+    ) {
+        let plan = FaultPlan::with_loss(fault_seed, loss);
+        prop_assert_eq!(
+            run_with(33, Some(plan.clone())),
+            run_with(33, Some(plan)),
+            "same fault seed must replay the whole collection"
+        );
+    }
+
+    #[test]
+    fn zero_fault_run_is_byte_identical_to_no_plan(fault_seed in any::<u64>()) {
+        prop_assert_eq!(
+            run_with(34, Some(FaultPlan::with_loss(fault_seed, 0.0))),
+            run_with(34, None),
+            "an inert plan must not perturb the baseline"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn dataplane_zero_fault_probes_match_exactly(
+        topo_seed in 1u64..20,
+        ttl in 1u8..12,
+        flow in any::<u16>(),
+        fault_seed in any::<u64>(),
+    ) {
+        // The dataplane layer of the same property: every individual
+        // response (including RTT and IPID) is unchanged by an inert
+        // plan, for the same deterministic probe sequence.
+        let bare = DataPlane::new(generate(&TopoConfig::tiny(topo_seed)));
+        let inert = DataPlane::new(generate(&TopoConfig::tiny(topo_seed)));
+        inert.set_faults(FaultPlan::with_loss(fault_seed, 0.0));
+        let vp = bare.internet().vps[0].addr;
+        for (i, origin) in bare.internet().origins.iter().take(12).enumerate() {
+            let p = Probe {
+                src: vp,
+                dst: origin.prefix.nth(1),
+                ttl,
+                flow,
+                kind: ProbeKind::IcmpEcho,
+                time_ms: 10 * i as u64,
+            };
+            prop_assert_eq!(bare.probe(&p), inert.probe(&p));
+        }
     }
 }

@@ -1,0 +1,144 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Runs each benchmark routine against a small wall-clock budget and
+//! prints the mean time per iteration — a smoke harness, not a
+//! statistics engine. CLI arguments (`--test`, filters) are accepted
+//! and ignored, so `cargo bench -- --test` works unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-iteration wall-clock budget for one `Bencher::iter` call.
+const ITER_BUDGET: Duration = Duration::from_millis(50);
+
+/// Measures one benchmark routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly until the time budget is spent and
+    /// record the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= ITER_BUDGET || iters >= 100_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean_ns = if b.iters == 0 {
+        0
+    } else {
+        b.elapsed.as_nanos() / b.iters as u128
+    };
+    println!("bench {name}: {mean_ns} ns/iter ({} iters)", b.iters);
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _c: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the smoke harness is time-bounded
+    /// rather than sample-counted.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Register and immediately run one benchmark in the group.
+    pub fn bench_function<N, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        N: Into<String>,
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), &mut f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group; ignores CLI arguments.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut ran = 0u64;
+        Criterion::default().bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_accepts_string_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10);
+        g.bench_function(format!("case/{}", 1), |b| b.iter(|| 2 + 2));
+        g.bench_function("plain", |b| b.iter(|| 2 + 2));
+        g.finish();
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags its public data types `Serialize`/`Deserialize`
+//! but performs all persistence through hand-rolled binary containers
+//! (see `bdrmap-probe::store`), so the traits carry no methods here and
+//! the derives expand to nothing. This keeps the dependency closure
+//! fully vendored and the build reproducible offline.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

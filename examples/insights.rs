@@ -61,9 +61,15 @@ fn main() {
     // ground-truth one.
     let dns = DnsDb::synthesize(sc.net(), 7, &DnsConfig::default());
     let via_dns = fig16_dns(&sc, &per_vp, &dns);
-    let dns_points: usize = via_dns.iter().map(|r| r.links.values().map(Vec::len).sum::<usize>()).sum();
+    let dns_points: usize = via_dns
+        .iter()
+        .map(|r| r.links.values().map(Vec::len).sum::<usize>())
+        .sum();
     let f16 = fig16(&sc, &per_vp);
-    let truth_points: usize = f16.iter().map(|r| r.links.values().map(Vec::len).sum::<usize>()).sum();
+    let truth_points: usize = f16
+        .iter()
+        .map(|r| r.links.values().map(Vec::len).sum::<usize>())
+        .sum();
     println!(
         "\nFigure 16 — DNS geolocation recovers {dns_points}/{truth_points} link observations \
          (the rest lack usable PTR records, as in the paper)"

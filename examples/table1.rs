@@ -64,8 +64,7 @@ fn main() {
         }
         let dns = DnsDb::synthesize(sc.net(), 1, &DnsConfig::default());
         let net = sc.net();
-        let check =
-            bdrmap::eval::devcheck::dns_check(&dns, &map, |a| net.as_info(a).name.clone());
+        let check = bdrmap::eval::devcheck::dns_check(&dns, &map, |a| net.as_info(a).name.clone());
         println!(
             "DNS (advisory, §5.1): {}/{} comparable labels agree\n",
             check.agree, check.comparable
