@@ -4,7 +4,9 @@ use crate::args::{ArgError, Args};
 use bdrmap_core::{merge_maps, BdrmapConfig};
 use bdrmap_eval::report::TextTable;
 use bdrmap_eval::Scenario;
+use bdrmap_serve::{Client, LoadgenConfig, Request, Response, ServeConfig, Server};
 use bdrmap_topo::TopoConfig;
+use bdrmap_types::{Asn, Prefix};
 
 /// Resolve `--preset/--seed/--scale` into a generator config.
 pub fn preset(args: &Args) -> Result<TopoConfig, ArgError> {
@@ -41,6 +43,19 @@ fn bdrmap_config(args: &Args) -> BdrmapConfig {
         use_stop_sets: !args.flag("no-stop-sets"),
         ..Default::default()
     }
+}
+
+/// Resolve `--vp` against the scenario, rejecting out-of-range indices
+/// with an error instead of an index panic deep in the pipeline.
+fn vp_index(args: &Args, sc: &Scenario) -> Result<usize, ArgError> {
+    let vp: usize = args.get_parse("vp", 0)?;
+    if vp >= sc.num_vps() {
+        return Err(ArgError(format!(
+            "--vp {vp} out of range (have {})",
+            sc.num_vps()
+        )));
+    }
+    Ok(vp)
 }
 
 /// Resolve `--fault-seed/--loss/--flap` into a fault plan, or `None`
@@ -100,13 +115,7 @@ pub fn generate(args: &Args) -> Result<(), ArgError> {
 pub fn run(args: &Args) -> Result<(), ArgError> {
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let vp: usize = args.get_parse("vp", 0)?;
-    if vp >= sc.num_vps() {
-        return Err(ArgError(format!(
-            "--vp {vp} out of range (have {})",
-            sc.num_vps()
-        )));
-    }
+    let vp = vp_index(args, &sc)?;
     let map = match fault_args(args)? {
         Some(plan) => {
             // Faulted runs go through the self-healing engine and probe
@@ -155,6 +164,13 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
         v.bgp_coverage() * 100.0,
         v.owner_accuracy() * 100.0
     );
+    if let Some(out) = args.get("map-out") {
+        bdrmap_core::snapshot::save(std::path::Path::new(out), &map)
+            .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        println!(
+            "wrote border-map snapshot to {out} (serve it with `bdrmap serve --snapshot {out}`)"
+        );
+    }
     Ok(())
 }
 
@@ -332,7 +348,7 @@ pub fn probe(args: &Args) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("probe needs --out <path>".into()))?;
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let vp: usize = args.get_parse("vp", 0)?;
+    let vp = vp_index(args, &sc)?;
     let faults = fault_args(args)?;
     let engine = match &faults {
         Some(plan) => {
@@ -405,13 +421,7 @@ pub fn probe(args: &Args) -> Result<(), ArgError> {
 pub fn degradation(args: &Args) -> Result<(), ArgError> {
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let vp: usize = args.get_parse("vp", 0)?;
-    if vp >= sc.num_vps() {
-        return Err(ArgError(format!(
-            "--vp {vp} out of range (have {})",
-            sc.num_vps()
-        )));
-    }
+    let vp = vp_index(args, &sc)?;
     let fault_seed: u64 = args.get_parse("fault-seed", 1)?;
     let max_loss: f64 = args.get_parse("loss", 0.2)?;
     let max_flap: f64 = args.get_parse("flap", 0.25)?;
@@ -461,7 +471,7 @@ pub fn infer(args: &Args) -> Result<(), ArgError> {
         .ok_or_else(|| ArgError("infer needs --in <path>".into()))?;
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let vp: usize = args.get_parse("vp", 0)?;
+    let vp = vp_index(args, &sc)?;
     let coll = bdrmap_probe::store::load(std::path::Path::new(input_path))
         .map_err(|e| ArgError(format!("reading {input_path}: {e}")))?;
     println!("loaded {} traces from {input_path}", coll.traces.len());
@@ -604,6 +614,271 @@ pub fn devcheck(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// The coarse ownership layer bdrmapd builds under every snapshot: the
+/// collector view's single-origin prefixes (MOAS prefixes are skipped —
+/// no unambiguous owner).
+fn single_origin_prefixes(view: &bdrmap_bgp::CollectorView) -> Vec<(Prefix, Asn)> {
+    view.prefixes()
+        .filter_map(|(p, origins)| match origins {
+            [asn] => Some((p, *asn)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Resolve what `serve`/`loadgen` should serve: a saved snapshot file
+/// (`--snapshot`), or a fresh inference over a generated scenario.
+fn serve_map(args: &Args) -> Result<(bdrmap_core::BorderMap, Vec<(Prefix, Asn)>), ArgError> {
+    if let Some(path) = args.get("snapshot") {
+        let map = bdrmap_core::snapshot::load(std::path::Path::new(path))
+            .map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        // A bare snapshot carries no BGP view, so no prefix layer.
+        Ok((map, Vec::new()))
+    } else {
+        let cfg = preset(args)?;
+        let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+        let vp = vp_index(args, &sc)?;
+        let map = sc.run_vp(vp, &bdrmap_config(args));
+        Ok((map, single_origin_prefixes(&sc.input.view)))
+    }
+}
+
+fn serve_config(args: &Args, listen: String) -> Result<ServeConfig, ArgError> {
+    Ok(ServeConfig {
+        listen,
+        workers: args.get_parse("workers", 4)?,
+        queue: args.get_parse("queue", 128)?,
+        prefix_owners: Vec::new(),
+    })
+}
+
+/// `bdrmap serve`: bdrmapd. Load (or infer) a border map and answer
+/// queries until killed.
+pub fn serve(args: &Args) -> Result<(), ArgError> {
+    let listen = args.get("listen").unwrap_or("127.0.0.1:47700").to_string();
+    let (map, prefix_owners) = serve_map(args)?;
+    let cfg = ServeConfig {
+        prefix_owners,
+        ..serve_config(args, listen)?
+    };
+    let workers = cfg.workers;
+    let queue = cfg.queue;
+    let server =
+        Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
+    println!(
+        "bdrmapd serving {} routers / {} links on {} ({} workers, accept queue {})",
+        map.routers.len(),
+        map.links.len(),
+        server.local_addr(),
+        workers,
+        queue
+    );
+    println!(
+        "query it:  bdrmap query --connect {} --stats",
+        server.local_addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn print_link(l: &bdrmap_serve::LinkInfo) {
+    let owner = l
+        .near_owner
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| "?".to_string());
+    let near = l
+        .near_addr
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    let far = l
+        .far_addr
+        .map(|a| a.to_string())
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "link #{}: border router #{} (owner {owner}) {near} -> {far} to {} [{:?}]",
+        l.link, l.near_router, l.far_as, l.heuristic
+    );
+}
+
+/// `bdrmap query`: one-shot client for a running bdrmapd.
+pub fn query(args: &Args) -> Result<(), ArgError> {
+    let connect = args
+        .get("connect")
+        .ok_or_else(|| ArgError("query needs --connect <host:port>".into()))?;
+    let addr: std::net::SocketAddr = connect
+        .parse()
+        .map_err(|_| ArgError(format!("invalid --connect address: {connect}")))?;
+    let req = if let Some(a) = args.get("addr") {
+        Request::Owner(
+            a.parse()
+                .map_err(|_| ArgError(format!("invalid --addr: {a}")))?,
+        )
+    } else if let Some(a) = args.get("border") {
+        Request::Border(
+            a.parse()
+                .map_err(|_| ArgError(format!("invalid --border: {a}")))?,
+        )
+    } else if let Some(n) = args.get("neighbor") {
+        Request::Neighbor(Asn(n
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --neighbor: {n}")))?))
+    } else if let Some(path) = args.get("reload") {
+        Request::Reload(path.to_string())
+    } else if args.flag("stats") {
+        Request::Stats
+    } else {
+        return Err(ArgError(
+            "query needs one of --addr/--border/--neighbor/--reload/--stats".into(),
+        ));
+    };
+    let mut client =
+        Client::connect(&addr).map_err(|e| ArgError(format!("connecting to {addr}: {e}")))?;
+    let resp = client
+        .call(&req)
+        .map_err(|e| ArgError(format!("querying {addr}: {e}")))?;
+    match resp {
+        Response::Owner(Some(o)) => {
+            let router = o
+                .router
+                .map(|r| format!("border router #{r}"))
+                .unwrap_or_else(|| "no observed router".to_string());
+            println!("owner {} via {} ({router})", o.asn, o.prefix);
+        }
+        Response::Owner(None) => println!("no covering prefix"),
+        Response::Border(Some(l)) => print_link(&l),
+        Response::Border(None) => println!("address is on no inferred interdomain link"),
+        Response::Neighbor(links) => {
+            println!("{} inferred links:", links.len());
+            for l in &links {
+                print_link(l);
+            }
+        }
+        Response::Stats(s) => {
+            println!(
+                "generation {} | {} routers, {} links, {} prefixes | {} queries, {} shed | last reload: build {} us, swap {} us",
+                s.generation,
+                s.routers,
+                s.links,
+                s.prefixes,
+                s.queries,
+                s.sheds,
+                s.last_build_us,
+                s.last_swap_us
+            );
+        }
+        Response::Reloaded {
+            generation,
+            build_us,
+            swap_us,
+            routers,
+            links,
+        } => {
+            println!(
+                "reloaded: generation {generation}, {routers} routers / {links} links (build {build_us} us, swap {swap_us} us)"
+            );
+        }
+        Response::Overload => return Err(ArgError("server overloaded; retry".into())),
+        Response::Error(msg) => return Err(ArgError(format!("server error: {msg}"))),
+    }
+    Ok(())
+}
+
+/// `bdrmap loadgen`: closed-loop load against bdrmapd. With
+/// `--connect`, hammers an external daemon (needs `--snapshot` for the
+/// query mix); without it, infers a map, serves it in-process, and
+/// fires a mid-run hot swap — the CI smoke path.
+pub fn loadgen(args: &Args) -> Result<(), ArgError> {
+    let secs: f64 = args.get_parse("secs", 2.0)?;
+    if secs <= 0.0 || !secs.is_finite() {
+        return Err(ArgError(format!("--secs must be positive, got {secs}")));
+    }
+    let base = LoadgenConfig {
+        conns: args.get_parse("conns", 4)?,
+        duration: std::time::Duration::from_secs_f64(secs),
+        reload_with: None,
+    };
+    let report = if let Some(connect) = args.get("connect") {
+        let addr: std::net::SocketAddr = connect
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --connect address: {connect}")))?;
+        let snap = args.get("snapshot").ok_or_else(|| {
+            ArgError("loadgen --connect needs --snapshot <path> to derive the query mix".into())
+        })?;
+        let map = bdrmap_core::snapshot::load(std::path::Path::new(snap))
+            .map_err(|e| ArgError(format!("reading {snap}: {e}")))?;
+        let cfg = LoadgenConfig {
+            reload_with: args.get("reload").map(std::path::PathBuf::from),
+            ..base
+        };
+        bdrmap_serve::loadgen::run(addr, &bdrmap_serve::queries_for_map(&map), &cfg)
+            .map_err(|e| ArgError(format!("load generation failed: {e}")))?
+    } else {
+        let (map, prefix_owners) = serve_map(args)?;
+        let cfg = ServeConfig {
+            prefix_owners,
+            ..serve_config(args, "127.0.0.1:0".to_string())?
+        };
+        let server =
+            Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
+        // Mid-run hot swap of the same map: exercises the reload path
+        // and measures build/swap latency without changing answers.
+        let snap_path =
+            std::env::temp_dir().join(format!("bdrmap-loadgen-{}.bdrm", std::process::id()));
+        bdrmap_core::snapshot::save(&snap_path, &map)
+            .map_err(|e| ArgError(format!("writing {}: {e}", snap_path.display())))?;
+        let cfg = LoadgenConfig {
+            reload_with: Some(snap_path.clone()),
+            ..base
+        };
+        let result = bdrmap_serve::loadgen::run(
+            server.local_addr(),
+            &bdrmap_serve::queries_for_map(&map),
+            &cfg,
+        );
+        std::fs::remove_file(&snap_path).ok();
+        server.shutdown();
+        result.map_err(|e| ArgError(format!("load generation failed: {e}")))?
+    };
+    println!(
+        "{} conns for {:.2}s: {} ok ({} not-found), {} shed, {} errors | {:.0} qps | p50 {} us, p99 {} us, p99.9 {} us",
+        report.conns,
+        report.duration_s,
+        report.queries_ok,
+        report.queries_not_found,
+        report.queries_shed,
+        report.queries_error,
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us
+    );
+    if let Some(r) = &report.reload {
+        println!(
+            "hot swap under load: round trip {} us (build {} us, swap {} us), generation {}",
+            r.round_trip_us, r.build_us, r.swap_us, r.generation
+        );
+    }
+    if let Some(json) = args.get("json") {
+        report
+            .write_json(std::path::Path::new(json))
+            .map_err(|e| ArgError(format!("writing {json}: {e}")))?;
+        println!("wrote {json}");
+    }
+    if report.queries_ok == 0 {
+        return Err(ArgError(
+            "load generator completed zero successful queries".into(),
+        ));
+    }
+    if report.queries_error > 0 {
+        return Err(ArgError(format!(
+            "{} queries were lost in flight",
+            report.queries_error
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -719,6 +994,56 @@ mod tests {
         assert_eq!(first, second, "resumed store must be byte-identical");
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(dir.join("c.bdrw.ckpt")).ok();
+    }
+
+    #[test]
+    fn probe_and_infer_reject_bad_vp() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-vp-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.bdrw");
+        let p = p.to_str().unwrap();
+        assert!(probe(&args(&format!(
+            "probe --preset tiny --seed 9 --vp 99 --out {p}"
+        )))
+        .is_err());
+        assert!(infer(&args(&format!(
+            "infer --preset tiny --seed 9 --vp 99 --in {p}"
+        )))
+        .is_err());
+    }
+
+    #[test]
+    fn query_and_loadgen_reject_bad_args() {
+        assert!(query(&args("query")).is_err());
+        assert!(query(&args("query --connect not-an-addr --stats")).is_err());
+        assert!(query(&args("query --connect 127.0.0.1:1")).is_err());
+        assert!(loadgen(&args("loadgen --connect 127.0.0.1:1 --secs 0.1")).is_err());
+        assert!(loadgen(&args("loadgen --preset tiny --secs 0")).is_err());
+    }
+
+    #[test]
+    fn run_map_out_then_loadgen_smoke() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-serve-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("m.bdrm");
+        let snap_s = snap.to_str().unwrap();
+        let json = dir.join("BENCH_serve.json");
+        let json_s = json.to_str().unwrap();
+        run(&args(&format!(
+            "run --preset tiny --seed 9 --map-out {snap_s}"
+        )))
+        .unwrap();
+        // Inline loadgen serves the saved snapshot, hammers it briefly,
+        // hot-swaps mid-run, and writes the benchmark artifact.
+        loadgen(&args(&format!(
+            "loadgen --snapshot {snap_s} --secs 0.4 --conns 2 --workers 2 --json {json_s}"
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"bench\": \"serve\""));
+        assert!(report.contains("\"queries_ok\""));
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&json).ok();
     }
 
     #[test]

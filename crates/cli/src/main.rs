@@ -28,6 +28,19 @@ const VALUE_KEYS: &[&str] = &[
     "loss",
     "flap",
     "checkpoint-every",
+    "map-out",
+    "snapshot",
+    "listen",
+    "connect",
+    "workers",
+    "queue",
+    "addr",
+    "border",
+    "neighbor",
+    "reload",
+    "conns",
+    "secs",
+    "json",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -35,6 +48,7 @@ const FLAGS: &[&str] = &[
     "one-addr",
     "no-stop-sets",
     "resume",
+    "stats",
     "help",
 ];
 
@@ -58,6 +72,9 @@ COMMANDS:
     devcheck    §5.1 development-mode sanity checks over synthesized DNS
     congestion  discover borders, inject diurnal congestion, detect with TSLP
     degradation sweep injected loss/flap rates, report precision/recall
+    serve       run bdrmapd: answer border-map queries over TCP
+    query       one-shot client for a running bdrmapd
+    loadgen     closed-loop load against bdrmapd, reporting QPS + latency
 
 OPTIONS:
     --preset <tiny|re|large-access|tier1|small-access>   topology preset
@@ -78,6 +95,22 @@ FAULT INJECTION (run / probe / degradation):
     --flap <f64>         fraction of links flapping (degradation: sweep max)
     --checkpoint-every <n>  `probe`: checkpoint to <out>.ckpt every n target ASes
     --resume             `probe`: resume from <out>.ckpt if present
+
+SERVING (serve / query / loadgen):
+    --map-out <path>     `run`: also save the border map as a snapshot file
+    --snapshot <path>    serve/loadgen: use a saved snapshot instead of inferring
+    --listen <addr>      `serve`: bind address (default 127.0.0.1:47700)
+    --workers <n>        worker threads (default 4)
+    --queue <n>          accept-queue depth before shedding (default 128)
+    --connect <addr>     query/loadgen: a running bdrmapd to talk to
+    --addr <ip>          `query`: who owns this address?
+    --border <ip>        `query`: which border link carries this interface?
+    --neighbor <asn>     `query`: all links to this neighbor AS
+    --stats              `query`: server statistics
+    --reload <path>      query/loadgen: hot-swap in this snapshot file
+    --conns <n>          `loadgen`: closed-loop connections (default 4)
+    --secs <f>           `loadgen`: run time in seconds (default 2)
+    --json <path>        `loadgen`: write BENCH_serve.json-style report
 "
 }
 
@@ -111,6 +144,9 @@ fn main() {
         "devcheck" => commands::devcheck(&args),
         "congestion" => commands::congestion(&args),
         "degradation" => commands::degradation(&args),
+        "serve" => commands::serve(&args),
+        "query" => commands::query(&args),
+        "loadgen" => commands::loadgen(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());
             std::process::exit(2);

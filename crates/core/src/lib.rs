@@ -35,11 +35,14 @@ pub mod heuristics;
 pub mod input;
 pub mod merge;
 pub mod output;
+pub mod query;
+pub mod snapshot;
 
 pub use beyond::{far_links, FarLink};
 pub use input::{Input, Ip2As, Mapping};
 pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+pub use query::{BorderAnswer, LinkRec, OwnerAnswer, QueryIndex, RouterRec};
 
 use bdrmap_probe::{run_traces, Prober, RunOptions, TraceCollection};
 

@@ -62,6 +62,41 @@ pub enum Heuristic {
     FirewallNextAs,
 }
 
+impl Heuristic {
+    /// Every variant, in stable wire order. `ALL[h.code()] == h`.
+    pub const ALL: [Heuristic; 18] = [
+        Heuristic::MultihomedToVp,
+        Heuristic::VpInternal,
+        Heuristic::Firewall,
+        Heuristic::UnroutedOneAs,
+        Heuristic::UnroutedProvider,
+        Heuristic::UnroutedNextAs,
+        Heuristic::OneNet,
+        Heuristic::OneNetConsecutive,
+        Heuristic::ThirdParty,
+        Heuristic::RelKnownNeighbor,
+        Heuristic::RelCustomerOfCustomer,
+        Heuristic::RelSubsequentSingle,
+        Heuristic::CountMajority,
+        Heuristic::IpAsFallback,
+        Heuristic::CollapsedPtp,
+        Heuristic::SilentNeighbor,
+        Heuristic::OtherIcmp,
+        Heuristic::FirewallNextAs,
+    ];
+
+    /// Stable single-byte code used by the snapshot and query wire
+    /// formats (the declaration-order discriminant).
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`code`](Self::code); `None` for unknown bytes.
+    pub fn from_code(code: u8) -> Option<Heuristic> {
+        Self::ALL.get(code as usize).copied()
+    }
+}
+
 /// An inferred router: a set of aliased interfaces with an owner.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct InferredRouter {
@@ -207,6 +242,16 @@ mod tests {
         let h = map().heuristic_histogram();
         assert_eq!(h[&Heuristic::OneNet], 1);
         assert_eq!(h[&Heuristic::SilentNeighbor], 1);
+    }
+
+    #[test]
+    fn heuristic_codes_round_trip() {
+        for (i, h) in Heuristic::ALL.iter().enumerate() {
+            assert_eq!(h.code() as usize, i, "{h:?} out of wire order");
+            assert_eq!(Heuristic::from_code(h.code()), Some(*h));
+        }
+        assert_eq!(Heuristic::from_code(Heuristic::ALL.len() as u8), None);
+        assert_eq!(Heuristic::from_code(255), None);
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! On-disk border-map snapshots.
+//!
+//! A finished inference ([`BorderMap`]) is the artifact the serving
+//! subsystem loads and hot-swaps; this module gives it a versioned,
+//! length-checked binary encoding (the same style as the `BDRW` trace
+//! store) plus atomic save/load, so a probe+infer cycle can publish a
+//! snapshot file that bdrmapd picks up with a `reload` command.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "BDRM" | u16 version | u64 packets | u64 elapsed_ms |
+//! u32 router_count | router* | u32 link_count | link*
+//! router := u16 n_addrs | u32* | u16 n_other | u32* |
+//!           u8 has_owner [u32 asn] | u8 heuristic (255 = none) | u8 min_hop
+//! link   := u32 near | u8 has_far [u32 far] | u32 far_as |
+//!           u8 has_near_addr [u32] | u8 has_far_addr [u32] | u8 heuristic
+//! ```
+
+use crate::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+use bdrmap_types::wire::{WireError, WireReader, WireWriter};
+use bdrmap_types::{addr, addr_bits, Addr, Asn};
+use std::path::Path;
+
+/// File magic.
+const MAGIC: &[u8; 4] = b"BDRM";
+/// Current format version.
+const VERSION: u16 = 1;
+/// Heuristic byte meaning "no heuristic recorded".
+const NO_HEURISTIC: u8 = 255;
+
+/// Errors while reading a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Not a border-map snapshot.
+    BadMagic,
+    /// Version newer than this reader.
+    BadVersion(u16),
+    /// Truncated or internally inconsistent.
+    Malformed,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a border-map snapshot"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Malformed => write!(f, "truncated or malformed snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<WireError> for SnapshotError {
+    fn from(_: WireError) -> SnapshotError {
+        SnapshotError::Malformed
+    }
+}
+
+fn put_opt_addr(w: &mut WireWriter, a: Option<Addr>) {
+    match a {
+        Some(a) => {
+            w.put_u8(1);
+            w.put_u32(addr_bits(a));
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, WireError> {
+    Ok(if r.get_u8()? != 0 {
+        Some(addr(r.get_u32()?))
+    } else {
+        None
+    })
+}
+
+/// Serialize a border map to the canonical byte encoding.
+pub fn encode(map: &BorderMap) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_slice(MAGIC);
+    w.put_u16(VERSION);
+    w.put_u64(map.packets);
+    w.put_u64(map.elapsed_ms);
+    w.put_u32(map.routers.len() as u32);
+    for router in &map.routers {
+        w.put_u16(router.addrs.len() as u16);
+        for &a in &router.addrs {
+            w.put_u32(addr_bits(a));
+        }
+        w.put_u16(router.other_addrs.len() as u16);
+        for &a in &router.other_addrs {
+            w.put_u32(addr_bits(a));
+        }
+        match router.owner {
+            Some(asn) => {
+                w.put_u8(1);
+                w.put_u32(asn.0);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u8(
+            router
+                .heuristic
+                .map(Heuristic::code)
+                .unwrap_or(NO_HEURISTIC),
+        );
+        w.put_u8(router.min_hop);
+    }
+    w.put_u32(map.links.len() as u32);
+    for link in &map.links {
+        w.put_u32(link.near as u32);
+        match link.far {
+            Some(far) => {
+                w.put_u8(1);
+                w.put_u32(far as u32);
+            }
+            None => w.put_u8(0),
+        }
+        w.put_u32(link.far_as.0);
+        put_opt_addr(&mut w, link.near_addr);
+        put_opt_addr(&mut w, link.far_addr);
+        w.put_u8(link.heuristic.code());
+    }
+    w.into_vec()
+}
+
+/// Parse the canonical byte encoding, validating every cross-reference.
+pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
+    let mut r = WireReader::new(data);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.get_u8().map_err(|_| SnapshotError::BadMagic)?;
+    }
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.get_u16()?;
+    if version > VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    let packets = r.get_u64()?;
+    let elapsed_ms = r.get_u64()?;
+    let n_routers = r.get_u32()? as usize;
+    if n_routers > data.len() {
+        return Err(SnapshotError::Malformed);
+    }
+    let mut routers = Vec::with_capacity(n_routers);
+    for _ in 0..n_routers {
+        let n = r.get_u16()? as usize;
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            addrs.push(addr(r.get_u32()?));
+        }
+        let n = r.get_u16()? as usize;
+        let mut other_addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            other_addrs.push(addr(r.get_u32()?));
+        }
+        let owner = if r.get_u8()? != 0 {
+            Some(Asn(r.get_u32()?))
+        } else {
+            None
+        };
+        let heuristic = match r.get_u8()? {
+            NO_HEURISTIC => None,
+            code => Some(Heuristic::from_code(code).ok_or(SnapshotError::Malformed)?),
+        };
+        routers.push(InferredRouter {
+            addrs,
+            other_addrs,
+            owner,
+            heuristic,
+            min_hop: r.get_u8()?,
+        });
+    }
+    let n_links = r.get_u32()? as usize;
+    if n_links > data.len() {
+        return Err(SnapshotError::Malformed);
+    }
+    let mut links = Vec::with_capacity(n_links);
+    for _ in 0..n_links {
+        let near = r.get_u32()? as usize;
+        let far = if r.get_u8()? != 0 {
+            Some(r.get_u32()? as usize)
+        } else {
+            None
+        };
+        if near >= routers.len() || far.is_some_and(|f| f >= routers.len()) {
+            return Err(SnapshotError::Malformed);
+        }
+        links.push(InferredLink {
+            near,
+            far,
+            far_as: Asn(r.get_u32()?),
+            near_addr: get_opt_addr(&mut r)?,
+            far_addr: get_opt_addr(&mut r)?,
+            heuristic: Heuristic::from_code(r.get_u8()?).ok_or(SnapshotError::Malformed)?,
+        });
+    }
+    r.finish()?;
+    Ok(BorderMap {
+        routers,
+        links,
+        packets,
+        elapsed_ms,
+    })
+}
+
+/// Write a snapshot to `path`, replacing atomically.
+pub fn save(path: &Path, map: &BorderMap) -> std::io::Result<()> {
+    bdrmap_types::fsutil::write_atomic(path, &encode(map))
+}
+
+/// Read a snapshot from `path`.
+pub fn load(path: &Path) -> std::io::Result<BorderMap> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> BorderMap {
+        BorderMap {
+            routers: vec![
+                InferredRouter {
+                    addrs: vec![a("10.0.0.1"), a("10.0.0.5")],
+                    other_addrs: vec![a("192.0.2.1")],
+                    owner: Some(Asn(64500)),
+                    heuristic: Some(Heuristic::VpInternal),
+                    min_hop: 1,
+                },
+                InferredRouter {
+                    addrs: vec![a("10.0.0.2")],
+                    other_addrs: vec![],
+                    owner: None,
+                    heuristic: None,
+                    min_hop: 3,
+                },
+            ],
+            links: vec![
+                InferredLink {
+                    near: 0,
+                    far: Some(1),
+                    far_as: Asn(64501),
+                    near_addr: Some(a("10.0.0.1")),
+                    far_addr: Some(a("10.0.0.2")),
+                    heuristic: Heuristic::OneNet,
+                },
+                InferredLink {
+                    near: 0,
+                    far: None,
+                    far_as: Asn(64502),
+                    near_addr: None,
+                    far_addr: None,
+                    heuristic: Heuristic::SilentNeighbor,
+                },
+            ],
+            packets: 1234,
+            elapsed_ms: 5678,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let map = sample();
+        let back = decode(&encode(&map)).unwrap();
+        assert_eq!(back.packets, map.packets);
+        assert_eq!(back.elapsed_ms, map.elapsed_ms);
+        assert_eq!(back.routers.len(), 2);
+        assert_eq!(back.routers[0].addrs, map.routers[0].addrs);
+        assert_eq!(back.routers[0].other_addrs, map.routers[0].other_addrs);
+        assert_eq!(back.routers[0].owner, Some(Asn(64500)));
+        assert_eq!(back.routers[1].owner, None);
+        assert_eq!(back.routers[1].heuristic, None);
+        assert_eq!(back.links.len(), 2);
+        assert_eq!(back.links[0].far, Some(1));
+        assert_eq!(back.links[0].near_addr, map.links[0].near_addr);
+        assert_eq!(back.links[1].far, None);
+        assert_eq!(back.links[1].heuristic, Heuristic::SilentNeighbor);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let full = encode(&sample());
+        assert!(matches!(decode(b"NOPE"), Err(SnapshotError::BadMagic)));
+        for cut in [0, 3, 7, 20, full.len() - 1] {
+            assert!(
+                decode(&full[..cut]).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = full.clone();
+        padded.push(0);
+        assert!(matches!(decode(&padded), Err(SnapshotError::Malformed)));
+        // A link pointing at a nonexistent router is rejected.
+        let mut bad = sample();
+        bad.links[0].near = 99;
+        assert!(matches!(
+            decode(&encode(&bad)),
+            Err(SnapshotError::Malformed)
+        ));
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let dir = std::env::temp_dir().join("bdrmap-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("map.bdrm");
+        let map = sample();
+        save(&path, &map).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(encode(&back), encode(&map));
+        std::fs::remove_file(&path).ok();
+    }
+}

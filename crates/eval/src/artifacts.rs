@@ -78,6 +78,13 @@ pub fn table1_csv(t: &crate::table1::Table1) -> String {
     out
 }
 
+/// Write a rendered artifact atomically (write-then-rename): a crashed
+/// or interrupted run never leaves a truncated CSV/JSON behind for the
+/// plotting pipeline to trip over.
+pub fn write_artifact(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
+    bdrmap_types::fsutil::write_atomic(path, contents.as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +121,18 @@ mod tests {
         let csvt = table1_csv(&t);
         assert!(csvt.contains("observed_bdrmap"));
         assert!(csvt.contains("coverage"));
+    }
+
+    #[test]
+    fn artifacts_are_written_atomically() {
+        let dir = std::env::temp_dir().join("bdrmap-artifacts-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.csv");
+        write_artifact(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        // Overwrite goes through the same rename path.
+        write_artifact(&path, "a,b\n3,4\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n3,4\n");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -166,12 +166,11 @@ impl Checkpoint {
         })
     }
 
-    /// Write to `path`, replacing atomically (write-then-rename) so a
-    /// crash mid-write never leaves a corrupt checkpoint behind.
+    /// Write to `path`, replacing atomically (write-then-rename, via
+    /// [`bdrmap_types::fsutil`]) so a crash mid-write never leaves a
+    /// corrupt checkpoint behind.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.encode())?;
-        std::fs::rename(&tmp, path)
+        bdrmap_types::fsutil::write_atomic(path, &self.encode())
     }
 
     /// Read from `path`.

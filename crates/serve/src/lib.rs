@@ -1,0 +1,26 @@
+//! bdrmapd: a query-serving subsystem over finished bdrmap inferences.
+//!
+//! The inference pipeline ends with a [`BorderMap`](bdrmap_core::BorderMap);
+//! this crate makes that artifact *queryable as a service*:
+//!
+//! - [`server`] — a daemon that loads a border map into an immutable,
+//!   arena-backed [`QueryIndex`](bdrmap_core::QueryIndex) and answers
+//!   owner-of-address, border-router-of-link, and links-of-neighbor-AS
+//!   queries over a length-prefixed binary TCP protocol, with a fixed
+//!   worker pool, a bounded accept queue, and overload shedding.
+//!   Snapshots are hot-swappable via a lock-free atomic pointer swap
+//!   ([`SwapCell`](bdrmap_types::SwapCell)): a `reload` builds the next
+//!   index off-thread and publishes it without dropping in-flight
+//!   queries.
+//! - [`proto`] — the wire protocol (framing in
+//!   [`bdrmap_types::wire`], request/response codecs here).
+//! - [`loadgen`] — a closed-loop load generator reporting QPS and
+//!   p50/p99/p999 latency, optionally measuring a mid-run hot swap.
+
+pub mod loadgen;
+pub mod proto;
+pub mod server;
+
+pub use loadgen::{queries_for_map, LoadReport, LoadgenConfig, ReloadStats};
+pub use proto::{LinkInfo, Request, Response, Stats};
+pub use server::{Client, ServeConfig, Server};

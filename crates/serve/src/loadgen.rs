@@ -1,0 +1,346 @@
+//! Closed-loop load generator for bdrmapd.
+//!
+//! Each connection is a thread that sends one request, waits for the
+//! response, records the round-trip latency, and immediately sends the
+//! next — classic closed-loop load, so offered QPS is bounded by server
+//! latency rather than a target rate. The query mix round-robins over a
+//! set derived from the border map being served (every router address,
+//! every link interface, every neighbor AS), touching all three read
+//! paths.
+//!
+//! Optionally, half-way through the run a control connection fires a
+//! `Reload`, measuring snapshot build, publish (swap), and end-to-end
+//! round-trip times while the query threads keep hammering — the
+//! experiment behind the "zero lost queries across a hot swap" claim.
+
+use crate::proto::{Request, Response};
+use crate::server::Client;
+use bdrmap_core::BorderMap;
+use std::io;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Load-generator tunables.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Concurrent closed-loop connections.
+    pub conns: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// Snapshot file to `Reload` half-way through the run (measures
+    /// hot-swap behaviour under load).
+    pub reload_with: Option<PathBuf>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            conns: 4,
+            duration: Duration::from_secs(2),
+            reload_with: None,
+        }
+    }
+}
+
+/// What the mid-run reload reported.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReloadStats {
+    /// Client-observed request round trip, microseconds.
+    pub round_trip_us: u64,
+    /// Server-side index build time, microseconds.
+    pub build_us: u64,
+    /// Server-side publish (pointer swap + retire) time, microseconds.
+    pub swap_us: u64,
+    /// Generation after the swap.
+    pub generation: u64,
+}
+
+/// Aggregated results of one load-generator run.
+#[derive(Clone, Debug, Default)]
+pub struct LoadReport {
+    /// Connections used.
+    pub conns: usize,
+    /// Wall-clock run time in seconds.
+    pub duration_s: f64,
+    /// Queries answered `Ok`/`NotFound` with a well-formed payload.
+    pub queries_ok: u64,
+    /// Subset of `queries_ok` whose answer was "not found".
+    pub queries_not_found: u64,
+    /// Connections shed by the server's overload path.
+    pub queries_shed: u64,
+    /// Protocol or transport failures (a lost in-flight query).
+    pub queries_error: u64,
+    /// Successful queries per second.
+    pub qps: f64,
+    /// Latency percentiles over successful queries, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Mid-run reload measurements, when one was requested.
+    pub reload: Option<ReloadStats>,
+}
+
+impl LoadReport {
+    /// Stable JSON schema for `BENCH_serve.json`; keys are fixed so CI
+    /// and trend tooling can grep/diff across revisions.
+    pub fn to_json(&self) -> String {
+        let reload = match &self.reload {
+            Some(r) => format!(
+                "{{\"round_trip_us\": {}, \"build_us\": {}, \"swap_us\": {}, \"generation\": {}}}",
+                r.round_trip_us, r.build_us, r.swap_us, r.generation
+            ),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\n  \"bench\": \"serve\",\n  \"schema\": 1,\n  \"conns\": {},\n  \"duration_s\": {:.3},\n  \"queries_ok\": {},\n  \"queries_not_found\": {},\n  \"queries_shed\": {},\n  \"queries_error\": {},\n  \"qps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"reload\": {}\n}}\n",
+            self.conns,
+            self.duration_s,
+            self.queries_ok,
+            self.queries_not_found,
+            self.queries_shed,
+            self.queries_error,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            reload
+        )
+    }
+
+    /// Write the JSON report atomically.
+    pub fn write_json(&self, path: &std::path::Path) -> io::Result<()> {
+        bdrmap_types::fsutil::write_atomic(path, self.to_json().as_bytes())
+    }
+}
+
+/// Derive a mixed query set from a border map: one `Owner` per router
+/// interface, one `Border` per link interface, one `Neighbor` per
+/// distinct far AS. Round-robining over it exercises all three read
+/// paths in proportion to the map's own shape.
+pub fn queries_for_map(map: &BorderMap) -> Vec<Request> {
+    let mut queries = Vec::new();
+    for router in &map.routers {
+        for &a in router.addrs.iter().chain(&router.other_addrs) {
+            queries.push(Request::Owner(a));
+        }
+    }
+    let mut neighbors = Vec::new();
+    for link in &map.links {
+        for a in [link.near_addr, link.far_addr].into_iter().flatten() {
+            queries.push(Request::Border(a));
+        }
+        neighbors.push(link.far_as);
+    }
+    neighbors.sort_unstable();
+    neighbors.dedup();
+    queries.extend(neighbors.into_iter().map(Request::Neighbor));
+    queries
+}
+
+/// Nearest-rank percentile over an ascending-sorted latency vector.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64) * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+struct Tally {
+    ok: AtomicU64,
+    not_found: AtomicU64,
+    shed: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// One closed-loop connection: query until the deadline, reconnecting
+/// (and counting a shed) whenever the server's overload path drops us.
+fn drive(
+    addr: SocketAddr,
+    queries: &[Request],
+    offset: usize,
+    deadline: Instant,
+    tally: &Tally,
+) -> Vec<u64> {
+    let mut latencies = Vec::new();
+    let mut i = offset;
+    'reconnect: while Instant::now() < deadline {
+        let mut client = match Client::connect(&addr) {
+            Ok(c) => c,
+            Err(_) => {
+                tally.errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        while Instant::now() < deadline {
+            let req = &queries[i % queries.len()];
+            i += 1;
+            let start = Instant::now();
+            match client.call(req) {
+                Ok(Response::Overload) => {
+                    tally.shed.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'reconnect;
+                }
+                Ok(Response::Error(_)) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(resp) if resp.answers(req) => {
+                    latencies.push(start.elapsed().as_micros() as u64);
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                    if matches!(resp, Response::Owner(None) | Response::Border(None)) {
+                        tally.not_found.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                Ok(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    tally.errors.fetch_add(1, Ordering::Relaxed);
+                    continue 'reconnect;
+                }
+            }
+        }
+        break;
+    }
+    latencies
+}
+
+/// Run the load generator against a live server.
+pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Result<LoadReport> {
+    if queries.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "empty query set: the border map has no routers or links",
+        ));
+    }
+    let tally = Arc::new(Tally {
+        ok: AtomicU64::new(0),
+        not_found: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        errors: AtomicU64::new(0),
+    });
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let mut handles = Vec::new();
+    for c in 0..cfg.conns.max(1) {
+        let queries = queries.to_vec();
+        let tally = Arc::clone(&tally);
+        handles.push(std::thread::spawn(move || {
+            drive(addr, &queries, c * 7919, deadline, &tally)
+        }));
+    }
+    let reload = match &cfg.reload_with {
+        Some(path) => {
+            // Fire the hot swap once the pool has warmed up.
+            std::thread::sleep(cfg.duration / 2);
+            let mut client = Client::connect(&addr)?;
+            let req = Request::Reload(path.display().to_string());
+            let rt_start = Instant::now();
+            match client.call(&req)? {
+                Response::Reloaded {
+                    generation,
+                    build_us,
+                    swap_us,
+                    ..
+                } => Some(ReloadStats {
+                    round_trip_us: rt_start.elapsed().as_micros() as u64,
+                    build_us,
+                    swap_us,
+                    generation,
+                }),
+                Response::Error(msg) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, msg))
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected reload response: {other:?}"),
+                    ))
+                }
+            }
+        }
+        None => None,
+    };
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().unwrap_or_default());
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    let ok = tally.ok.load(Ordering::Relaxed);
+    Ok(LoadReport {
+        conns: cfg.conns.max(1),
+        duration_s: elapsed,
+        queries_ok: ok,
+        queries_not_found: tally.not_found.load(Ordering::Relaxed),
+        queries_shed: tally.shed.load(Ordering::Relaxed),
+        queries_error: tally.errors.load(Ordering::Relaxed),
+        qps: if elapsed > 0.0 {
+            ok as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        reload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 50);
+        assert_eq!(percentile(&v, 0.99), 99);
+        assert_eq!(percentile(&v, 0.999), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.999), 7);
+    }
+
+    #[test]
+    fn report_json_is_stable() {
+        let report = LoadReport {
+            conns: 4,
+            duration_s: 2.0,
+            queries_ok: 1000,
+            queries_not_found: 10,
+            queries_shed: 1,
+            queries_error: 0,
+            qps: 500.0,
+            p50_us: 12,
+            p99_us: 90,
+            p999_us: 400,
+            reload: Some(ReloadStats {
+                round_trip_us: 1500,
+                build_us: 1200,
+                swap_us: 20,
+                generation: 2,
+            }),
+        };
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"serve\"",
+            "\"schema\": 1",
+            "\"queries_ok\": 1000",
+            "\"queries_shed\": 1",
+            "\"qps\": 500.0",
+            "\"p999_us\": 400",
+            "\"swap_us\": 20",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let none = LoadReport::default().to_json();
+        assert!(none.contains("\"reload\": null"));
+    }
+}

@@ -1,0 +1,481 @@
+//! The bdrmapd wire protocol.
+//!
+//! Length-prefixed frames (see [`bdrmap_types::wire`]) carrying one
+//! request or response each. Requests open with an opcode byte;
+//! responses echo the opcode after a status byte, so both sides can be
+//! decoded without out-of-band context.
+//!
+//! ```text
+//! frame    := u32 len | payload
+//! request  := u8 op | body
+//! response := u8 status | u8 op | body
+//! ```
+//!
+//! Query opcodes cover the three read paths (owner-of-address,
+//! border-router-of-link, links-of-neighbor-AS); `Stats` and `Reload`
+//! are the control plane.
+
+use bdrmap_core::query::BorderAnswer;
+use bdrmap_core::{Heuristic, OwnerAnswer};
+use bdrmap_types::wire::{WireError, WireReader, WireWriter};
+use bdrmap_types::{addr, addr_bits, Addr, Asn, Prefix};
+
+/// Request opcodes.
+const OP_OWNER: u8 = 1;
+const OP_BORDER: u8 = 2;
+const OP_NEIGHBOR: u8 = 3;
+const OP_STATS: u8 = 4;
+const OP_RELOAD: u8 = 5;
+
+/// Response status bytes.
+const ST_OK: u8 = 0;
+const ST_NOT_FOUND: u8 = 1;
+const ST_OVERLOAD: u8 = 2;
+const ST_ERROR: u8 = 3;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Who owns this address? (longest-prefix match)
+    Owner(Addr),
+    /// Which border link/router carries this interface address?
+    Border(Addr),
+    /// All inferred links to this neighbor AS.
+    Neighbor(Asn),
+    /// Server and snapshot statistics.
+    Stats,
+    /// Load the snapshot file at this (server-local) path, build the
+    /// next index off the hot path, and atomically swap it in.
+    Reload(String),
+}
+
+impl Request {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Request::Owner(a) => {
+                w.put_u8(OP_OWNER);
+                w.put_u32(addr_bits(*a));
+            }
+            Request::Border(a) => {
+                w.put_u8(OP_BORDER);
+                w.put_u32(addr_bits(*a));
+            }
+            Request::Neighbor(asn) => {
+                w.put_u8(OP_NEIGHBOR);
+                w.put_u32(asn.0);
+            }
+            Request::Stats => w.put_u8(OP_STATS),
+            Request::Reload(path) => {
+                w.put_u8(OP_RELOAD);
+                w.put_str(path);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.get_u8()? {
+            OP_OWNER => Request::Owner(addr(r.get_u32()?)),
+            OP_BORDER => Request::Border(addr(r.get_u32()?)),
+            OP_NEIGHBOR => Request::Neighbor(Asn(r.get_u32()?)),
+            OP_STATS => Request::Stats,
+            OP_RELOAD => Request::Reload(r.get_str()?.to_string()),
+            _ => return Err(WireError),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+
+    fn op(&self) -> u8 {
+        match self {
+            Request::Owner(_) => OP_OWNER,
+            Request::Border(_) => OP_BORDER,
+            Request::Neighbor(_) => OP_NEIGHBOR,
+            Request::Stats => OP_STATS,
+            Request::Reload(_) => OP_RELOAD,
+        }
+    }
+}
+
+/// One link row in a `Neighbor` answer (the wire view of
+/// [`BorderAnswer`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkInfo {
+    /// Link id within the serving snapshot.
+    pub link: u32,
+    /// Near-side border router id.
+    pub near_router: u32,
+    /// The border router's inferred owner.
+    pub near_owner: Option<Asn>,
+    /// The neighbor on the far side.
+    pub far_as: Asn,
+    /// Near-side interface address.
+    pub near_addr: Option<Addr>,
+    /// Far-side interface address.
+    pub far_addr: Option<Addr>,
+    /// The heuristic that attributed the link.
+    pub heuristic: Heuristic,
+}
+
+impl From<BorderAnswer> for LinkInfo {
+    fn from(b: BorderAnswer) -> LinkInfo {
+        LinkInfo {
+            link: b.link,
+            near_router: b.near_router,
+            near_owner: b.near_owner,
+            far_as: b.far_as,
+            near_addr: b.near_addr,
+            far_addr: b.far_addr,
+            heuristic: b.heuristic,
+        }
+    }
+}
+
+/// Server statistics, echoed to clients.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Snapshot generation (increments on every successful reload).
+    pub generation: u64,
+    /// Routers in the serving snapshot.
+    pub routers: u32,
+    /// Links in the serving snapshot.
+    pub links: u32,
+    /// Trie entries in the serving snapshot.
+    pub prefixes: u32,
+    /// Queries answered since the server started.
+    pub queries: u64,
+    /// Connections shed at the accept queue since start.
+    pub sheds: u64,
+    /// Microseconds the last reload spent building the new index.
+    pub last_build_us: u64,
+    /// Microseconds the last reload spent publishing (pointer swap +
+    /// retiring the old snapshot).
+    pub last_swap_us: u64,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Owner answer; `None` when no stored prefix covers the address.
+    Owner(Option<OwnerAnswer>),
+    /// Border answer; `None` when the address is on no inferred link.
+    Border(Option<LinkInfo>),
+    /// All links to the queried neighbor (possibly empty).
+    Neighbor(Vec<LinkInfo>),
+    /// Statistics snapshot.
+    Stats(Stats),
+    /// Reload completed; the new snapshot is live.
+    Reloaded {
+        /// New snapshot generation.
+        generation: u64,
+        /// Microseconds spent building the index.
+        build_us: u64,
+        /// Microseconds spent publishing the swap.
+        swap_us: u64,
+        /// Routers in the new snapshot.
+        routers: u32,
+        /// Links in the new snapshot.
+        links: u32,
+    },
+    /// The accept queue was full; retry later.
+    Overload,
+    /// The request failed; human-readable reason.
+    Error(String),
+}
+
+fn put_opt_addr(w: &mut WireWriter, a: Option<Addr>) {
+    match a {
+        Some(a) => {
+            w.put_u8(1);
+            w.put_u32(addr_bits(a));
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, WireError> {
+    Ok(if r.get_u8()? != 0 {
+        Some(addr(r.get_u32()?))
+    } else {
+        None
+    })
+}
+
+fn put_opt_asn(w: &mut WireWriter, a: Option<Asn>) {
+    match a {
+        Some(a) => {
+            w.put_u8(1);
+            w.put_u32(a.0);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn get_opt_asn(r: &mut WireReader) -> Result<Option<Asn>, WireError> {
+    Ok(if r.get_u8()? != 0 {
+        Some(Asn(r.get_u32()?))
+    } else {
+        None
+    })
+}
+
+fn put_link(w: &mut WireWriter, l: &LinkInfo) {
+    w.put_u32(l.link);
+    w.put_u32(l.near_router);
+    put_opt_asn(w, l.near_owner);
+    w.put_u32(l.far_as.0);
+    put_opt_addr(w, l.near_addr);
+    put_opt_addr(w, l.far_addr);
+    w.put_u8(l.heuristic.code());
+}
+
+fn get_link(r: &mut WireReader) -> Result<LinkInfo, WireError> {
+    Ok(LinkInfo {
+        link: r.get_u32()?,
+        near_router: r.get_u32()?,
+        near_owner: get_opt_asn(r)?,
+        far_as: Asn(r.get_u32()?),
+        near_addr: get_opt_addr(r)?,
+        far_addr: get_opt_addr(r)?,
+        heuristic: Heuristic::from_code(r.get_u8()?).ok_or(WireError)?,
+    })
+}
+
+impl Response {
+    /// Encode to a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Response::Owner(ans) => {
+                w.put_u8(if ans.is_some() { ST_OK } else { ST_NOT_FOUND });
+                w.put_u8(OP_OWNER);
+                if let Some(ans) = ans {
+                    w.put_u32(ans.asn.0);
+                    w.put_u32(addr_bits(ans.prefix.network()));
+                    w.put_u8(ans.prefix.len());
+                    match ans.router {
+                        Some(rt) => {
+                            w.put_u8(1);
+                            w.put_u32(rt);
+                        }
+                        None => w.put_u8(0),
+                    }
+                }
+            }
+            Response::Border(ans) => {
+                w.put_u8(if ans.is_some() { ST_OK } else { ST_NOT_FOUND });
+                w.put_u8(OP_BORDER);
+                if let Some(l) = ans {
+                    put_link(&mut w, l);
+                }
+            }
+            Response::Neighbor(links) => {
+                w.put_u8(ST_OK);
+                w.put_u8(OP_NEIGHBOR);
+                w.put_u32(links.len() as u32);
+                for l in links {
+                    put_link(&mut w, l);
+                }
+            }
+            Response::Stats(s) => {
+                w.put_u8(ST_OK);
+                w.put_u8(OP_STATS);
+                w.put_u64(s.generation);
+                w.put_u32(s.routers);
+                w.put_u32(s.links);
+                w.put_u32(s.prefixes);
+                w.put_u64(s.queries);
+                w.put_u64(s.sheds);
+                w.put_u64(s.last_build_us);
+                w.put_u64(s.last_swap_us);
+            }
+            Response::Reloaded {
+                generation,
+                build_us,
+                swap_us,
+                routers,
+                links,
+            } => {
+                w.put_u8(ST_OK);
+                w.put_u8(OP_RELOAD);
+                w.put_u64(*generation);
+                w.put_u64(*build_us);
+                w.put_u64(*swap_us);
+                w.put_u32(*routers);
+                w.put_u32(*links);
+            }
+            Response::Overload => {
+                w.put_u8(ST_OVERLOAD);
+                w.put_u8(0);
+            }
+            Response::Error(msg) => {
+                w.put_u8(ST_ERROR);
+                w.put_u8(0);
+                w.put_str(msg);
+            }
+        }
+        w.into_vec()
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let status = r.get_u8()?;
+        let op = r.get_u8()?;
+        let resp = match (status, op) {
+            (ST_OVERLOAD, _) => Response::Overload,
+            (ST_ERROR, _) => Response::Error(r.get_str()?.to_string()),
+            (ST_NOT_FOUND, OP_OWNER) => Response::Owner(None),
+            (ST_NOT_FOUND, OP_BORDER) => Response::Border(None),
+            (ST_OK, OP_OWNER) => {
+                let asn = Asn(r.get_u32()?);
+                let net = addr(r.get_u32()?);
+                let len = r.get_u8()?;
+                if len > 32 {
+                    return Err(WireError);
+                }
+                let router = if r.get_u8()? != 0 {
+                    Some(r.get_u32()?)
+                } else {
+                    None
+                };
+                Response::Owner(Some(OwnerAnswer {
+                    asn,
+                    prefix: Prefix::new(net, len),
+                    router,
+                }))
+            }
+            (ST_OK, OP_BORDER) => Response::Border(Some(get_link(&mut r)?)),
+            (ST_OK, OP_NEIGHBOR) => {
+                let n = r.get_u32()? as usize;
+                if n > payload.len() {
+                    return Err(WireError);
+                }
+                let mut links = Vec::with_capacity(n);
+                for _ in 0..n {
+                    links.push(get_link(&mut r)?);
+                }
+                Response::Neighbor(links)
+            }
+            (ST_OK, OP_STATS) => Response::Stats(Stats {
+                generation: r.get_u64()?,
+                routers: r.get_u32()?,
+                links: r.get_u32()?,
+                prefixes: r.get_u32()?,
+                queries: r.get_u64()?,
+                sheds: r.get_u64()?,
+                last_build_us: r.get_u64()?,
+                last_swap_us: r.get_u64()?,
+            }),
+            (ST_OK, OP_RELOAD) => Response::Reloaded {
+                generation: r.get_u64()?,
+                build_us: r.get_u64()?,
+                swap_us: r.get_u64()?,
+                routers: r.get_u32()?,
+                links: r.get_u32()?,
+            },
+            _ => return Err(WireError),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+
+    /// True when this response answers `req` (op bytes agree).
+    pub fn answers(&self, req: &Request) -> bool {
+        match self {
+            Response::Owner(_) => req.op() == OP_OWNER,
+            Response::Border(_) => req.op() == OP_BORDER,
+            Response::Neighbor(_) => req.op() == OP_NEIGHBOR,
+            Response::Stats(_) => req.op() == OP_STATS,
+            Response::Reloaded { .. } => req.op() == OP_RELOAD,
+            Response::Overload | Response::Error(_) => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(s: &str) -> Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Owner(a("192.0.2.1")),
+            Request::Border(a("10.9.8.7")),
+            Request::Neighbor(Asn(64500)),
+            Request::Stats,
+            Request::Reload("/tmp/map.bdrm".into()),
+        ];
+        for req in reqs {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        assert!(Request::decode(&[99]).is_err());
+        assert!(Request::decode(&[]).is_err());
+        // Trailing bytes are rejected.
+        let mut buf = Request::Stats.encode();
+        buf.push(0);
+        assert!(Request::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let link = LinkInfo {
+            link: 3,
+            near_router: 7,
+            near_owner: Some(Asn(1)),
+            far_as: Asn(2),
+            near_addr: Some(a("10.0.0.1")),
+            far_addr: None,
+            heuristic: Heuristic::OneNet,
+        };
+        let resps = [
+            Response::Owner(Some(OwnerAnswer {
+                asn: Asn(5),
+                prefix: "10.0.0.0/8".parse().unwrap(),
+                router: Some(2),
+            })),
+            Response::Owner(None),
+            Response::Border(Some(link)),
+            Response::Border(None),
+            Response::Neighbor(vec![link, link]),
+            Response::Neighbor(vec![]),
+            Response::Stats(Stats {
+                generation: 2,
+                routers: 10,
+                links: 4,
+                prefixes: 40,
+                queries: 999,
+                sheds: 1,
+                last_build_us: 1200,
+                last_swap_us: 15,
+            }),
+            Response::Reloaded {
+                generation: 3,
+                build_us: 800,
+                swap_us: 9,
+                routers: 11,
+                links: 5,
+            },
+            Response::Overload,
+            Response::Error("bad path".into()),
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn answers_matches_ops() {
+        assert!(Response::Owner(None).answers(&Request::Owner(a("1.2.3.4"))));
+        assert!(!Response::Owner(None).answers(&Request::Stats));
+        assert!(Response::Overload.answers(&Request::Stats));
+    }
+}

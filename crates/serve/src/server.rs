@@ -1,0 +1,324 @@
+//! bdrmapd: the query-serving daemon.
+//!
+//! A [`Server`] owns a TCP listener, a bounded accept queue, and a
+//! fixed pool of worker threads. Each worker serves one connection at a
+//! time, answering length-prefixed [`proto`](crate::proto) frames from
+//! an immutable [`QueryIndex`] snapshot. When the accept queue is full
+//! the acceptor *sheds*: the connection gets a single `Overload` frame
+//! and is closed, so saturation degrades into fast rejections instead
+//! of unbounded queueing.
+//!
+//! Snapshots are hot-swappable. A `Reload` control frame makes the
+//! handling worker build the next index from a snapshot file — off the
+//! other workers' hot path — and publish it with an atomic pointer swap
+//! ([`SwapCell`]): readers that already loaded the old `Arc` finish
+//! their in-flight queries on it, and every later query sees the new
+//! snapshot. No reader ever takes a lock.
+
+use crate::proto::{Request, Response, Stats};
+use bdrmap_core::{snapshot, BorderMap, QueryIndex};
+use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
+use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How long a worker blocks on a quiet connection before checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Server tunables.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 for an ephemeral port.
+    pub listen: String,
+    /// Fixed worker-thread pool size.
+    pub workers: usize,
+    /// Bounded accept-queue depth; connections beyond it are shed.
+    pub queue: usize,
+    /// Coarse prefix-ownership layer built under every snapshot,
+    /// including reloaded ones (typically the collector view's
+    /// single-origin prefixes).
+    pub prefix_owners: Vec<(Prefix, Asn)>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue: 128,
+            prefix_owners: Vec::new(),
+        }
+    }
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    cell: Arc<SwapCell<QueryIndex>>,
+    queries: AtomicU64,
+    sheds: AtomicU64,
+    last_build_us: AtomicU64,
+    last_swap_us: AtomicU64,
+    stop: AtomicBool,
+    prefix_owners: Vec<(Prefix, Asn)>,
+}
+
+impl Shared {
+    fn stats(&self, idx: &QueryIndex) -> Stats {
+        Stats {
+            generation: self.cell.generation(),
+            routers: idx.num_routers(),
+            links: idx.num_links(),
+            prefixes: idx.num_prefixes(),
+            queries: self.queries.load(Ordering::Relaxed),
+            sheds: self.sheds.load(Ordering::Relaxed),
+            last_build_us: self.last_build_us.load(Ordering::Relaxed),
+            last_swap_us: self.last_swap_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running bdrmapd instance. Dropping the handle without calling
+/// [`shutdown`](Server::shutdown) leaves the threads serving until the
+/// process exits (daemon mode).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build the initial index from `map` and start serving.
+    pub fn start(map: &BorderMap, cfg: ServeConfig) -> io::Result<Server> {
+        let index = QueryIndex::build_with_prefixes(map, cfg.prefix_owners.iter().copied());
+        let shared = Arc::new(Shared {
+            cell: Arc::new(SwapCell::new(Arc::new(index))),
+            queries: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
+            last_build_us: AtomicU64::new(0),
+            last_swap_us: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            prefix_owners: cfg.prefix_owners.clone(),
+        });
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let local_addr = listener.local_addr()?;
+        let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for _ in 0..cfg.workers.max(1) {
+            let reader = SwapCell::reader(&shared.cell);
+            let shared = Arc::clone(&shared);
+            let rx = Arc::clone(&rx);
+            workers.push(std::thread::spawn(move || worker_loop(shared, reader, rx)));
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(shared, listener, tx))
+        };
+        Ok(Server {
+            local_addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Current snapshot generation.
+    pub fn generation(&self) -> u64 {
+        self.shared.cell.generation()
+    }
+
+    /// Statistics as a control client would see them.
+    pub fn stats(&self) -> Stats {
+        let idx = self.shared.cell.load_locked();
+        self.shared.stats(&idx)
+    }
+
+    /// Stop accepting, drain the workers, and join every thread.
+    /// In-flight connections are closed after their current frame.
+    pub fn shutdown(mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor out of its blocking accept.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    tx: std::sync::mpsc::SyncSender<TcpStream>,
+) {
+    for stream in listener.incoming() {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                // Overload shedding: one frame, then close.
+                shared.sheds.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(&mut stream, &Response::Overload.encode());
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+        // The sender half dies with this loop; workers drain and exit.
+    }
+}
+
+fn worker_loop(
+    shared: Arc<Shared>,
+    reader: SwapReader<QueryIndex>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+) {
+    loop {
+        // Take the next queued connection; the lock is only held for
+        // the dequeue itself.
+        let conn = {
+            let rx = rx.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv_timeout(READ_POLL)
+        };
+        match conn {
+            Ok(stream) => serve_conn(&shared, &reader, stream),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Serve one connection until the peer closes it or shutdown begins.
+fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    loop {
+        let payload = match read_frame(&mut stream, MAX_FRAME) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        };
+        let response = match Request::decode(&payload) {
+            Ok(req) => handle(shared, reader, req),
+            Err(_) => Response::Error("malformed request".to_string()),
+        };
+        if write_frame(&mut stream, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+    match req {
+        Request::Owner(a) => {
+            let idx = reader.load();
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            Response::Owner(idx.owner_of(a))
+        }
+        Request::Border(a) => {
+            let idx = reader.load();
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            Response::Border(idx.border_of(a).map(Into::into))
+        }
+        Request::Neighbor(asn) => {
+            let idx = reader.load();
+            shared.queries.fetch_add(1, Ordering::Relaxed);
+            let links = idx
+                .links_of_neighbor(asn)
+                .iter()
+                .filter_map(|&id| idx.link_answer(id))
+                .map(Into::into)
+                .collect();
+            Response::Neighbor(links)
+        }
+        Request::Stats => {
+            let idx = reader.load();
+            shared.stats(&idx).into()
+        }
+        Request::Reload(path) => reload(shared, &path),
+    }
+}
+
+impl From<Stats> for Response {
+    fn from(s: Stats) -> Response {
+        Response::Stats(s)
+    }
+}
+
+/// Build the next index from `path` and publish it. Runs on the worker
+/// that received the control frame, so the other workers keep serving
+/// the old snapshot until the swap lands.
+fn reload(shared: &Shared, path: &str) -> Response {
+    let map = match snapshot::load(std::path::Path::new(path)) {
+        Ok(map) => map,
+        Err(e) => return Response::Error(format!("reload {path}: {e}")),
+    };
+    let build_start = Instant::now();
+    let next = QueryIndex::build_with_prefixes(&map, shared.prefix_owners.iter().copied());
+    let routers = next.num_routers();
+    let links = next.num_links();
+    let build_us = build_start.elapsed().as_micros() as u64;
+    let swap_start = Instant::now();
+    shared.cell.store(Arc::new(next));
+    let swap_us = swap_start.elapsed().as_micros() as u64;
+    shared.last_build_us.store(build_us, Ordering::Relaxed);
+    shared.last_swap_us.store(swap_us, Ordering::Relaxed);
+    Response::Reloaded {
+        generation: shared.cell.generation(),
+        build_us,
+        swap_us,
+        routers,
+        links,
+    }
+}
+
+/// A blocking protocol client: one connection, synchronous
+/// request/response.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a bdrmapd instance.
+    pub fn connect(addr: &SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        let payload = read_frame(&mut self.stream, MAX_FRAME)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        Response::decode(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}

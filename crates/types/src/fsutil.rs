@@ -1,0 +1,68 @@
+//! Filesystem helpers shared across the workspace.
+//!
+//! The one pattern every artifact writer needs: atomic replacement.
+//! Checkpoints, border-map snapshots, bench JSON, and CSV artifacts are
+//! all files another process (or a resumed run) may read at any moment,
+//! so they must never be observable half-written.
+
+use std::ffi::OsString;
+use std::io;
+use std::path::Path;
+
+/// Write `data` to `path` atomically: the bytes land in a sibling
+/// temporary file first and are renamed into place, so a crash mid-write
+/// leaves either the old file or the new one, never a torn mix.
+pub fn write_atomic(path: &Path, data: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    std::fs::write(&tmp, data)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// The temporary sibling used by [`write_atomic`]: the same path with
+/// `.tmp` appended, which stays in the same directory (and therefore on
+/// the same filesystem, keeping the rename atomic).
+fn tmp_sibling(path: &Path) -> OsString {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    tmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join("bdrmap-fsutil-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces() {
+        let path = tmp_dir().join("a.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn leaves_no_temporary_behind() {
+        let path = tmp_dir().join("b.bin");
+        write_atomic(&path, b"data").unwrap();
+        assert!(!Path::new(&tmp_sibling(&path)).exists());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dotted_names_do_not_collide() {
+        // `with_extension`-style tmp naming would map x.a and x.b to the
+        // same temporary; appending must keep them distinct.
+        assert_ne!(
+            tmp_sibling(Path::new("/d/x.a")),
+            tmp_sibling(Path::new("/d/x.b"))
+        );
+    }
+}

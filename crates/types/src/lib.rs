@@ -10,16 +10,20 @@
 
 pub mod asn;
 pub mod block;
+pub mod fsutil;
 pub mod ids;
 pub mod prefix;
 pub mod rir;
+pub mod swap;
 pub mod trie;
+pub mod wire;
 
 pub use asn::{Asn, OrgId, Relationship};
 pub use block::AddressBlock;
 pub use ids::{IfaceId, LinkId, PopId, RouterId, VpId};
 pub use prefix::Prefix;
 pub use rir::RirRecord;
+pub use swap::{SwapCell, SwapReader};
 pub use trie::{PrefixSet, PrefixTrie};
 
 /// Convenience alias: the workspace is IPv4-only, like the paper's study.

@@ -1,0 +1,252 @@
+//! Hot-swappable shared snapshots with lock-free readers.
+//!
+//! [`SwapCell`] holds an `Arc<T>` behind an atomic pointer so a writer
+//! can publish a replacement while readers keep serving from whichever
+//! snapshot they grabbed — the read path a query daemon needs to reload
+//! its index without dropping in-flight requests.
+//!
+//! Readers register once (producing a [`SwapReader`]) and then [`load`]
+//! with three atomic operations and no locks; reclamation is epoch
+//! based: the writer swaps the pointer, bumps the epoch, and waits for
+//! every registered reader to either be idle or pinned at a later epoch
+//! before dropping the displaced snapshot. The reader's pinned window is
+//! a handful of instructions and never blocks, so the writer's wait is
+//! bounded and the hot path stays wait-free in practice.
+//!
+//! [`load`]: SwapReader::load
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// A slot shared by one reader and the writer: 0 when the reader is
+/// idle, otherwise the epoch the reader pinned at.
+type Slot = Arc<AtomicU64>;
+
+/// An atomically replaceable `Arc<T>`.
+///
+/// # Examples
+///
+/// ```
+/// use bdrmap_types::SwapCell;
+/// use std::sync::Arc;
+///
+/// let cell = Arc::new(SwapCell::new(Arc::new(1u32)));
+/// let reader = SwapCell::reader(&cell);
+/// assert_eq!(*reader.load(), 1);
+/// cell.store(Arc::new(2));
+/// assert_eq!(*reader.load(), 2);
+/// ```
+pub struct SwapCell<T> {
+    /// The current snapshot, as a raw pointer owning one strong count.
+    ptr: AtomicPtr<T>,
+    /// Publication epoch; starts at 1 and increments on every store, so
+    /// 0 is free to mean "idle" in reader slots.
+    epoch: AtomicU64,
+    /// One slot per registered reader.
+    slots: Mutex<Vec<Slot>>,
+    /// Serializes writers (and the slow-path load).
+    writer: Mutex<()>,
+}
+
+impl<T> SwapCell<T> {
+    /// A cell holding `value`.
+    pub fn new(value: Arc<T>) -> SwapCell<T> {
+        SwapCell {
+            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            epoch: AtomicU64::new(1),
+            slots: Mutex::new(Vec::new()),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Register a lock-free reader. Each worker thread should hold its
+    /// own; the handle keeps the cell alive.
+    pub fn reader(cell: &Arc<SwapCell<T>>) -> SwapReader<T> {
+        let slot: Slot = Arc::new(AtomicU64::new(0));
+        cell.slots
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Arc::clone(&slot));
+        SwapReader {
+            cell: Arc::clone(cell),
+            slot,
+        }
+    }
+
+    /// Publish `new`, retiring the current snapshot once every
+    /// registered reader has moved past it. Readers that already cloned
+    /// the old `Arc` keep it alive for as long as they need.
+    pub fn store(&self, new: Arc<T>) {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let old = self.ptr.swap(Arc::into_raw(new) as *mut T, SeqCst);
+        let retired_epoch = self.epoch.fetch_add(1, SeqCst);
+        let slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        for slot in slots.iter() {
+            // Wait out readers pinned at or before the retired epoch;
+            // they may be mid-clone of the old pointer. Their pinned
+            // window never blocks, so this spin is bounded.
+            loop {
+                let pinned = slot.load(SeqCst);
+                if pinned == 0 || pinned > retired_epoch {
+                    break;
+                }
+                std::hint::spin_loop();
+                std::thread::yield_now();
+            }
+        }
+        // Now no reader can still be dereferencing the old pointer.
+        unsafe { drop(Arc::from_raw(old)) };
+    }
+
+    /// Current snapshot via the writer lock — for control paths and
+    /// threads that have not registered a [`SwapReader`].
+    pub fn load_locked(&self) -> Arc<T> {
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let ptr = self.ptr.load(SeqCst);
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            Arc::from_raw(ptr)
+        }
+    }
+
+    /// Number of publications so far (1 for a freshly built cell).
+    pub fn generation(&self) -> u64 {
+        self.epoch.load(SeqCst)
+    }
+}
+
+impl<T> Drop for SwapCell<T> {
+    fn drop(&mut self) {
+        unsafe { drop(Arc::from_raw(self.ptr.load(SeqCst))) };
+    }
+}
+
+// The cell only hands out `Arc<T>`, so the usual Arc bounds apply.
+unsafe impl<T: Send + Sync> Send for SwapCell<T> {}
+unsafe impl<T: Send + Sync> Sync for SwapCell<T> {}
+
+/// A registered reader of a [`SwapCell`].
+pub struct SwapReader<T> {
+    cell: Arc<SwapCell<T>>,
+    slot: Slot,
+}
+
+impl<T> SwapReader<T> {
+    /// Clone the current snapshot without taking any lock.
+    pub fn load(&self) -> Arc<T> {
+        loop {
+            let seen = self.cell.epoch.load(SeqCst);
+            self.slot.store(seen, SeqCst);
+            // If a writer published between our epoch read and the pin,
+            // it may have missed our pin when scanning slots; retry so
+            // we never dereference a pointer it might have retired.
+            if self.cell.epoch.load(SeqCst) != seen {
+                self.slot.store(0, SeqCst);
+                continue;
+            }
+            let ptr = self.cell.ptr.load(SeqCst);
+            let arc = unsafe {
+                Arc::increment_strong_count(ptr);
+                Arc::from_raw(ptr)
+            };
+            self.slot.store(0, SeqCst);
+            return arc;
+        }
+    }
+
+    /// The cell this reader is registered with.
+    pub fn cell(&self) -> &Arc<SwapCell<T>> {
+        &self.cell
+    }
+}
+
+impl<T> Drop for SwapReader<T> {
+    fn drop(&mut self) {
+        let mut slots = self.cell.slots.lock().unwrap_or_else(|e| e.into_inner());
+        slots.retain(|s| !Arc::ptr_eq(s, &self.slot));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    #[test]
+    fn load_sees_latest_store() {
+        let cell = Arc::new(SwapCell::new(Arc::new(10u64)));
+        let r = SwapCell::reader(&cell);
+        assert_eq!(*r.load(), 10);
+        assert_eq!(cell.generation(), 1);
+        cell.store(Arc::new(11));
+        assert_eq!(*r.load(), 11);
+        assert_eq!(*cell.load_locked(), 11);
+        assert_eq!(cell.generation(), 2);
+    }
+
+    #[test]
+    fn retired_snapshots_are_dropped() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cell = Arc::new(SwapCell::new(Arc::new(Counted(Arc::clone(&drops)))));
+        let r = SwapCell::reader(&cell);
+        let held = r.load();
+        cell.store(Arc::new(Counted(Arc::clone(&drops))));
+        // The reader's clone keeps the first snapshot alive.
+        assert_eq!(drops.load(Ordering::SeqCst), 0);
+        drop(held);
+        assert_eq!(drops.load(Ordering::SeqCst), 1);
+        drop(r);
+        drop(cell);
+        assert_eq!(drops.load(Ordering::SeqCst), 2);
+    }
+
+    /// Hammer the cell from several readers while a writer swaps
+    /// continuously; every load must observe a coherent snapshot.
+    #[test]
+    fn concurrent_swaps_never_tear() {
+        // Invariant carried by each snapshot: b == a + 1.
+        let cell = Arc::new(SwapCell::new(Arc::new((0u64, 1u64))));
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Arc::new(AtomicUsize::new(0));
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let r = SwapCell::reader(&cell);
+            let stop = Arc::clone(&stop);
+            let started = Arc::clone(&started);
+            readers.push(std::thread::spawn(move || {
+                let mut loads = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    let snap = r.load();
+                    assert_eq!(snap.1, snap.0 + 1, "torn snapshot");
+                    loads += 1;
+                    if loads == 1 {
+                        started.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                loads
+            }));
+        }
+        // Don't start (or stop) swapping until every reader has loaded
+        // at least once, so the test races reads against writes rather
+        // than against thread spawn latency on a loaded machine.
+        while started.load(Ordering::SeqCst) < 4 {
+            std::thread::yield_now();
+        }
+        for i in 1..500u64 {
+            cell.store(Arc::new((i, i + 1)));
+        }
+        stop.store(true, Ordering::SeqCst);
+        for h in readers {
+            assert!(h.join().unwrap() > 0, "reader made no progress");
+        }
+        let r = SwapCell::reader(&cell);
+        assert_eq!(*r.load(), (499, 500));
+        assert_eq!(cell.generation(), 500);
+    }
+}

@@ -356,6 +356,84 @@ mod tests {
     }
 
     #[test]
+    fn lpm_default_route_under_nested_chain() {
+        // /0 below a /8–/16–/24–/32 chain: every address gets its
+        // deepest cover, and addresses outside the chain fall through
+        // to the default route rather than to a partial match.
+        let mut t = PrefixTrie::new();
+        t.insert(p("0.0.0.0/0"), "dfl");
+        t.insert(p("10.0.0.0/8"), "a8");
+        t.insert(p("10.20.0.0/16"), "a16");
+        t.insert(p("10.20.30.0/24"), "a24");
+        t.insert(Prefix::host(a("10.20.30.40")), "a32");
+        assert_eq!(
+            t.lookup(a("10.20.30.40")),
+            Some((p("10.20.30.40/32"), &"a32"))
+        );
+        assert_eq!(
+            t.lookup(a("10.20.30.41")),
+            Some((p("10.20.30.0/24"), &"a24"))
+        );
+        assert_eq!(t.lookup(a("10.20.31.1")), Some((p("10.20.0.0/16"), &"a16")));
+        assert_eq!(t.lookup(a("10.21.0.1")), Some((p("10.0.0.0/8"), &"a8")));
+        assert_eq!(t.lookup(a("11.0.0.1")), Some((p("0.0.0.0/0"), &"dfl")));
+        assert_eq!(
+            t.lookup(a("255.255.255.255")),
+            Some((p("0.0.0.0/0"), &"dfl"))
+        );
+    }
+
+    #[test]
+    fn lpm_no_covering_entry_despite_populated_siblings() {
+        // Without a default route, an address whose path shares trie
+        // nodes with stored prefixes but is covered by none must miss.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/9"), 1);
+        t.insert(p("10.128.0.0/10"), 2);
+        t.insert(Prefix::host(a("10.192.0.1")), 3);
+        // 10.192.0.2 walks through the 10.128.0.0/9 subtree's bits but
+        // only /10 covers 10.128–10.191; 10.192+ has no entry.
+        assert_eq!(t.lookup(a("10.192.0.2")), None);
+        assert_eq!(t.lookup(a("11.0.0.1")), None);
+        assert_eq!(t.lookup(a("9.255.255.255")), None);
+        // The /32 island still matches exactly.
+        assert_eq!(t.lookup(a("10.192.0.1")), Some((p("10.192.0.1/32"), &3)));
+    }
+
+    #[test]
+    fn lpm_overlapping_nested_prefixes_report_stored_network() {
+        // The reported prefix is the canonical stored network (host
+        // bits masked), not the queried address.
+        let mut t = PrefixTrie::new();
+        t.insert(p("10.0.0.0/8"), "outer");
+        t.insert(p("10.64.0.0/10"), "inner");
+        let (got, v) = t.lookup(a("10.64.3.4")).unwrap();
+        assert_eq!((got, *v), (p("10.64.0.0/10"), "inner"));
+        assert_eq!(got.network(), a("10.64.0.0"));
+        let (got, v) = t.lookup(a("10.128.3.4")).unwrap();
+        assert_eq!((got, *v), (p("10.0.0.0/8"), "outer"));
+    }
+
+    #[test]
+    fn lpm_host_entries_and_their_neighbors() {
+        // /32 entries shadow every shorter cover for exactly one
+        // address; adjacent addresses fall back to the covering prefix.
+        let mut t = PrefixTrie::new();
+        t.insert(p("192.0.2.0/24"), 0u32);
+        t.insert(Prefix::host(a("192.0.2.1")), 1);
+        t.insert(Prefix::host(a("192.0.2.255")), 2);
+        assert_eq!(t.lookup(a("192.0.2.1")).map(|x| *x.1), Some(1));
+        assert_eq!(t.lookup(a("192.0.2.2")).map(|x| *x.1), Some(0));
+        assert_eq!(t.lookup(a("192.0.2.255")).map(|x| *x.1), Some(2));
+        assert_eq!(t.lookup(a("192.0.3.1")), None);
+        // matches() reports the full nesting for the /32.
+        let m = t.matches(a("192.0.2.255"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, p("192.0.2.0/24"));
+        assert_eq!(m[1].0, p("192.0.2.255/32"));
+    }
+
+    #[test]
     fn prefix_set_basics() {
         let mut s = PrefixSet::new();
         assert!(s.insert(p("198.51.100.0/24")));

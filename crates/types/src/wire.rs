@@ -1,0 +1,286 @@
+//! Length-prefixed binary wire helpers.
+//!
+//! The workspace's on-disk stores (`BDRW`, `BDRC`) hand-roll big-endian
+//! encoding over the vendored `bytes` crate; this module is the shared,
+//! dependency-free equivalent for the serving path: a growable writer, a
+//! bounds-checked reader, and frame I/O (`u32` length + payload) over
+//! any `Read`/`Write` — the framing bdrmapd speaks on TCP and the
+//! snapshot codec uses on disk.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a frame's payload, protecting both sides from a
+/// corrupted or hostile length prefix.
+pub const MAX_FRAME: usize = 1 << 22;
+
+/// A decode failure: the buffer ended before the value did, or a length
+/// field pointed past the end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError;
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "truncated or malformed wire data")
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Big-endian binary writer over a growable buffer.
+#[derive(Debug, Default, Clone)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// An empty writer.
+    pub fn new() -> WireWriter {
+        WireWriter::default()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a big-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Append raw bytes with no length prefix.
+    pub fn put_slice(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a `u16` length followed by the bytes.
+    pub fn put_bytes16(&mut self, v: &[u8]) {
+        debug_assert!(v.len() <= u16::MAX as usize);
+        self.put_u16(v.len() as u16);
+        self.put_slice(v);
+    }
+
+    /// Append a UTF-8 string as [`put_bytes16`](Self::put_bytes16).
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes16(v.as_bytes());
+    }
+
+    /// The encoded bytes.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Bounds-checked big-endian reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> WireReader<'a> {
+        WireReader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.buf.len() < n {
+            return Err(WireError);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Next byte.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Next big-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Next big-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Next big-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Next `u16`-length-prefixed byte run.
+    pub fn get_bytes16(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_u16()? as usize;
+        self.take(n)
+    }
+
+    /// Next `u16`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        std::str::from_utf8(self.get_bytes16()?).map_err(|_| WireError)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fail unless every byte was consumed — rejects trailing garbage.
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError)
+        }
+    }
+}
+
+/// Write one frame: a big-endian `u32` payload length, then the payload.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame. Returns `Ok(None)` on clean end-of-stream (the peer
+/// closed between frames); a close mid-frame is an error.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(header) as usize;
+    if len > max_len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds limit {max_len}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(1 << 40);
+        w.put_str("hi");
+        let buf = w.into_vec();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), 1 << 40);
+        assert_eq!(r.get_str().unwrap(), "hi");
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = WireWriter::new();
+        w.put_u32(1);
+        w.put_str("hello");
+        let buf = w.into_vec();
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            let ok = r.get_u32().and_then(|_| r.get_str().map(|_| ()));
+            assert_eq!(ok, Err(WireError), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let buf = [1u8, 2, 3];
+        let mut r = WireReader::new(&buf);
+        r.get_u8().unwrap();
+        assert_eq!(r.finish(), Err(WireError));
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_stream() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"alpha").unwrap();
+        write_frame(&mut stream, b"").unwrap();
+        write_frame(&mut stream, b"beta").unwrap();
+        let mut cursor = io::Cursor::new(stream);
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap().as_deref(),
+            Some(&b"alpha"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, MAX_FRAME).unwrap().as_deref(),
+            Some(&b"beta"[..])
+        );
+        assert_eq!(read_frame(&mut cursor, MAX_FRAME).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &[0u8; 64]).unwrap();
+        let mut cursor = io::Cursor::new(stream);
+        assert!(read_frame(&mut cursor, 16).is_err());
+    }
+
+    #[test]
+    fn mid_frame_close_is_an_error() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"abcdef").unwrap();
+        stream.truncate(stream.len() - 2);
+        let mut cursor = io::Cursor::new(stream);
+        assert!(read_frame(&mut cursor, MAX_FRAME).is_err());
+    }
+}
