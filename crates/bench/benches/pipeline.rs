@@ -1,0 +1,119 @@
+//! Pipeline-stage benchmarks: the staged alias engine against the naive
+//! one, parallel alias resolution against serial, and the heuristics
+//! walk with and without the memoizing IP-to-AS cache. These are the
+//! micro counterparts of `bdrmap bench-pipeline`.
+
+use bdrmap_bgp::{CollectorView, InferredRelationships};
+use bdrmap_core::{aliases, AliasConfig, Input, Ip2AsCache};
+use bdrmap_dataplane::DataPlane;
+use bdrmap_probe::{run_traces, EngineConfig, ProbeEngine, RunOptions};
+use bdrmap_topo::{generate, AsKind, Internet, TopoConfig};
+use bdrmap_types::Asn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn build_input(net: &Internet, dp: &DataPlane) -> Input {
+    let mut peers: Vec<Asn> = net
+        .graph
+        .ases()
+        .filter(|&a| net.as_info(a).kind == AsKind::Tier1)
+        .collect();
+    peers.extend(
+        net.graph
+            .ases()
+            .filter(|&a| net.as_info(a).kind == AsKind::Stub)
+            .take(6),
+    );
+    let view = CollectorView::collect(dp.oracle(), &peers);
+    let rels = InferredRelationships::infer(&view);
+    Input {
+        view,
+        rels,
+        ixp_prefixes: net.ixps.iter().map(|x| x.lan).collect(),
+        rir: net.rir.clone(),
+        vp_asns: net.vp_siblings.clone(),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    // A mid-size world: the R&E preset has enough path diversity to
+    // give the alias stages real candidate sets.
+    let net = generate(&TopoConfig::re_network(7));
+    let dp = Arc::new(DataPlane::new(net));
+    let input = build_input(dp.internet(), &dp);
+    let vp = dp.internet().vps[0].addr;
+    let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+    let targets = bdrmap_probe::target_blocks(&input.view, &input.vp_asns);
+    let probe_ip2as = input.ip2as_for_probing();
+    let coll = run_traces(&engine, &targets, RunOptions::default(), |a| {
+        probe_ip2as.is_external(a)
+    });
+    let ip2as = input.ip2as_with_estimation(&coll.traces);
+
+    // ---------------------------------------------- alias: staged/naive
+    c.bench_function("aliases/resolve-naive", |b| {
+        b.iter(|| {
+            black_box(aliases::resolve(
+                &engine,
+                &coll.traces,
+                &ip2as,
+                &AliasConfig {
+                    staged: false,
+                    ..AliasConfig::default()
+                },
+            ))
+        })
+    });
+    c.bench_function("aliases/resolve-staged", |b| {
+        b.iter(|| {
+            black_box(aliases::resolve(
+                &engine,
+                &coll.traces,
+                &ip2as,
+                &AliasConfig::default(),
+            ))
+        })
+    });
+    c.bench_function("aliases/resolve-staged-par4", |b| {
+        b.iter(|| {
+            black_box(aliases::resolve(
+                &engine,
+                &coll.traces,
+                &ip2as,
+                &AliasConfig {
+                    parallelism: 4,
+                    ..AliasConfig::default()
+                },
+            ))
+        })
+    });
+
+    // ------------------------------------------ infer: cached/uncached
+    let alias_data = aliases::resolve(&engine, &coll.traces, &ip2as, &AliasConfig::default());
+    let graph = bdrmap_core::graph::ObservedGraph::build(&coll.traces, &alias_data, &ip2as);
+    c.bench_function("heuristics/infer-uncached", |b| {
+        b.iter(|| {
+            black_box(bdrmap_core::heuristics::infer(
+                &graph,
+                &input,
+                &ip2as,
+                coll.clone(),
+            ))
+        })
+    });
+    c.bench_function("heuristics/infer-cached", |b| {
+        b.iter(|| {
+            let cache = Ip2AsCache::new(&ip2as);
+            black_box(bdrmap_core::heuristics::infer(
+                &graph,
+                &input,
+                &cache,
+                coll.clone(),
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -36,13 +36,28 @@ pub fn preset(args: &Args) -> Result<TopoConfig, ArgError> {
     Ok(cfg)
 }
 
-fn bdrmap_config(args: &Args) -> BdrmapConfig {
-    BdrmapConfig {
+/// Resolve `--alias-parallelism`: defaults to the machine's available
+/// cores. Alias output is byte-identical at any value (each pair test
+/// is an isolated task), so this only trades wall time for threads.
+fn alias_parallelism(args: &Args) -> Result<usize, ArgError> {
+    let default = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let n: usize = args.get_parse("alias-parallelism", default)?;
+    if n == 0 {
+        return Err(ArgError(
+            "--alias-parallelism must be at least 1 (0 workers cannot make progress)".into(),
+        ));
+    }
+    Ok(n)
+}
+
+fn bdrmap_config(args: &Args) -> Result<BdrmapConfig, ArgError> {
+    Ok(BdrmapConfig {
         alias_resolution: !args.flag("no-alias"),
         addrs_per_block: if args.flag("one-addr") { 1 } else { 5 },
         use_stop_sets: !args.flag("no-stop-sets"),
+        alias_parallelism: alias_parallelism(args)?,
         ..Default::default()
-    }
+    })
 }
 
 /// Resolve `--vp` against the scenario, rejecting out-of-range indices
@@ -128,13 +143,14 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             );
             let cfg = BdrmapConfig {
                 parallelism: 1,
-                ..bdrmap_config(args)
+                alias_parallelism: 1,
+                ..bdrmap_config(args)?
             };
             let m = bdrmap_core::run_bdrmap(&engine, &sc.input, &cfg);
             sc.dp.clear_faults();
             m
         }
-        None => sc.run_vp(vp, &bdrmap_config(args)),
+        None => sc.run_vp(vp, &bdrmap_config(args)?),
     };
     println!(
         "vp{} probed {} packets ({:.2} simulated h at 100 pps)\n",
@@ -180,7 +196,7 @@ pub fn merge(args: &Args) -> Result<(), ArgError> {
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
     let nvps: usize = args.get_parse("vps", sc.num_vps())?;
     let nvps = nvps.min(sc.num_vps());
-    let bcfg = bdrmap_config(args);
+    let bcfg = bdrmap_config(args)?;
     let maps: Vec<_> = (0..nvps).map(|i| sc.run_vp(i, &bcfg)).collect();
     let merged = merge_maps(&maps);
     println!(
@@ -232,7 +248,7 @@ pub fn table1(args: &Args) -> Result<(), ArgError> {
     ];
     for (name, cfg) in scenarios {
         let sc = Scenario::build(name, &cfg);
-        let map = sc.run_vp(0, &bdrmap_config(args));
+        let map = sc.run_vp(0, &bdrmap_config(args)?);
         println!(
             "{}",
             bdrmap_eval::table1::render(&bdrmap_eval::table1::table1(&sc, &map))
@@ -363,7 +379,7 @@ pub fn probe(args: &Args) -> Result<(), ArgError> {
     };
     let ip2as = sc.input.ip2as_for_probing();
     let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
-    let bcfg = bdrmap_config(args);
+    let bcfg = bdrmap_config(args)?;
     let opts = bdrmap_probe::RunOptions {
         // Faulted runs probe sequentially so identical flags replay
         // identically (fault draws are keyed on probe send times).
@@ -476,7 +492,7 @@ pub fn infer(args: &Args) -> Result<(), ArgError> {
         .map_err(|e| ArgError(format!("reading {input_path}: {e}")))?;
     println!("loaded {} traces from {input_path}", coll.traces.len());
     let engine = sc.engine(vp);
-    let map = bdrmap_core::run_bdrmap_on_traces(&engine, &sc.input, &bdrmap_config(args), coll);
+    let map = bdrmap_core::run_bdrmap_on_traces(&engine, &sc.input, &bdrmap_config(args)?, coll);
     let neighbors = sc.input.view.neighbors_of(sc.net().vp_as);
     let v = bdrmap_eval::validate::validate(sc.net(), &neighbors, &map);
     println!(
@@ -494,7 +510,7 @@ pub fn fleet(args: &Args) -> Result<(), ArgError> {
     let mut cfg = preset(args)?;
     cfg.extra_vp_hosts = args.get_parse("hosts", 5)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let results = bdrmap_eval::fleet::run_fleet(&sc, &bdrmap_config(args));
+    let results = bdrmap_eval::fleet::run_fleet(&sc, &bdrmap_config(args)?);
     let mut t = TextTable::new(&["host", "kind", "links", "accuracy", "coverage"]);
     for r in &results {
         t.row(vec![
@@ -527,7 +543,7 @@ pub fn congestion(args: &Args) -> Result<(), ArgError> {
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("re"), &cfg);
     let net = sc.net();
-    let map = sc.run_vp(0, &bdrmap_config(args));
+    let map = sc.run_vp(0, &bdrmap_config(args)?);
     // Congest three links found on the map.
     let mut congested = Vec::new();
     for l in &map.links {
@@ -585,7 +601,7 @@ pub fn devcheck(args: &Args) -> Result<(), ArgError> {
     use bdrmap_topo::{DnsConfig, DnsDb};
     let cfg = preset(args)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
-    let map = sc.run_vp(0, &bdrmap_config(args));
+    let map = sc.run_vp(0, &bdrmap_config(args)?);
     let db = DnsDb::synthesize(sc.net(), cfg.seed, &DnsConfig::default());
     let net = sc.net();
     let check = bdrmap_eval::devcheck::dns_check(&db, &map, |a| net.as_info(a).name.clone());
@@ -638,7 +654,7 @@ fn serve_map(args: &Args) -> Result<(bdrmap_core::BorderMap, Vec<(Prefix, Asn)>)
         let cfg = preset(args)?;
         let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
         let vp = vp_index(args, &sc)?;
-        let map = sc.run_vp(vp, &bdrmap_config(args));
+        let map = sc.run_vp(vp, &bdrmap_config(args)?);
         Ok((map, single_origin_prefixes(&sc.input.view)))
     }
 }
@@ -879,6 +895,117 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `bdrmap bench-pipeline`: run the full pipeline once, timing each
+/// stage, and write `BENCH_pipeline.json`. The alias stage runs twice —
+/// serially and at `--alias-parallelism` — both to report the speedup
+/// and to check the byte-identity guarantee on every invocation.
+pub fn bench_pipeline(args: &Args) -> Result<(), ArgError> {
+    let out = args.get("json").unwrap_or("BENCH_pipeline.json");
+    let preset_name = args.get("preset").unwrap_or("tiny");
+    let cfg = preset(args)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let bcfg = bdrmap_config(args)?;
+    let par = bcfg.alias_parallelism;
+
+    let t = std::time::Instant::now();
+    let sc = Scenario::build(preset_name, &cfg);
+    let generate_ms = t.elapsed().as_secs_f64() * 1e3;
+    let vp = vp_index(args, &sc)?;
+
+    // Probe once; both alias runs below reuse the same traces.
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    let ip2as_probe = sc.input.ip2as_for_probing();
+    let t = std::time::Instant::now();
+    let coll = bdrmap_probe::run_traces(
+        &sc.engine(vp),
+        &targets,
+        bdrmap_probe::RunOptions {
+            parallelism: bcfg.parallelism,
+            addrs_per_block: bcfg.addrs_per_block,
+            use_stop_sets: bcfg.use_stop_sets,
+            quarantine: None,
+        },
+        |a| ip2as_probe.is_external(a),
+    );
+    let probe_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Serial baseline, then the measured parallel run. Fresh engines
+    // keep the probe budgets comparable (alias traffic only).
+    let serial_cfg = BdrmapConfig {
+        alias_parallelism: 1,
+        ..bcfg
+    };
+    let serial = bdrmap_core::run_stages(&sc.engine(vp), &sc.input, &serial_cfg, coll.clone());
+    let run = bdrmap_core::run_stages(&sc.engine(vp), &sc.input, &bcfg, coll.clone());
+    if serial.alias_bytes != run.alias_bytes {
+        return Err(ArgError(format!(
+            "alias output diverged between parallelism 1 and {par} — determinism bug"
+        )));
+    }
+
+    let st = &run.stages;
+    let alias = &st.alias;
+    let shards = alias
+        .shards
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"shard\": {}, \"tests\": {}, \"packets\": {}}}",
+                s.shard, s.tests, s.packets
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"pipeline\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"alias_parallelism\": {par},\n  \"stages\": {{\n    \"generate_ms\": {generate_ms:.3},\n    \"probe_ms\": {probe_ms:.3},\n    \"ip2as_ms\": {ip2as:.3},\n    \"alias_serial_ms\": {alias_serial:.3},\n    \"alias_ms\": {alias_ms:.3},\n    \"graph_ms\": {graph:.3},\n    \"infer_ms\": {infer:.3}\n  }},\n  \"probe\": {{\"traces\": {traces}, \"packets\": {probe_packets}}},\n  \"alias\": {{\n    \"mercator_tests\": {mercator},\n    \"prefixscan_candidates\": {pf_cand},\n    \"prefixscan_deduped\": {pf_dedup},\n    \"prefixscan_executed\": {pf_exec},\n    \"ally_candidates\": {ally_cand},\n    \"ally_staged_out\": {ally_staged},\n    \"ally_deduped\": {ally_dedup},\n    \"ally_executed\": {ally_exec},\n    \"packets\": {alias_packets},\n    \"shards\": [{shards}]\n  }},\n  \"ip2as_cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},\n  \"alias_output_identical\": true\n}}\n",
+        ip2as = st.ip2as_ms,
+        alias_serial = serial.stages.alias_ms,
+        alias_ms = st.alias_ms,
+        graph = st.graph_ms,
+        infer = st.infer_ms,
+        traces = coll.traces.len(),
+        probe_packets = coll.budget.packets,
+        mercator = alias.mercator_tests,
+        pf_cand = alias.prefixscan_candidates,
+        pf_dedup = alias.prefixscan_deduped,
+        pf_exec = alias.prefixscan_executed,
+        ally_cand = alias.ally_candidates,
+        ally_staged = alias.ally_staged_out,
+        ally_dedup = alias.ally_deduped,
+        ally_exec = alias.ally_executed,
+        alias_packets = alias.packets,
+        hits = st.cache.hits,
+        misses = st.cache.misses,
+        hit_rate = st.cache.hit_rate(),
+    );
+    bdrmap_types::fsutil::write_atomic(std::path::Path::new(out), json.as_bytes())
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!(
+        "pipeline: generate {generate_ms:.1} ms, probe {probe_ms:.1} ms ({} traces), \
+         alias {:.1} ms at parallelism {par} (serial {:.1} ms, {:.2}x), \
+         graph {:.1} ms, infer {:.1} ms",
+        coll.traces.len(),
+        st.alias_ms,
+        serial.stages.alias_ms,
+        serial.stages.alias_ms / st.alias_ms.max(1e-9),
+        st.graph_ms,
+        st.infer_ms,
+    );
+    println!(
+        "alias tests: {} mercator, {} prefixscan ({} deduped), {} ally ({} staged out, {} deduped); \
+         ip2as cache hit rate {:.1}%; output identical to serial run",
+        alias.mercator_tests,
+        alias.prefixscan_executed,
+        alias.prefixscan_deduped,
+        alias.ally_executed,
+        alias.ally_staged_out,
+        alias.ally_deduped,
+        st.cache.hit_rate() * 100.0,
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -898,11 +1025,11 @@ mod tests {
 
     #[test]
     fn bdrmap_config_flags() {
-        let c = bdrmap_config(&args("run --no-alias --one-addr"));
+        let c = bdrmap_config(&args("run --no-alias --one-addr")).unwrap();
         assert!(!c.alias_resolution);
         assert_eq!(c.addrs_per_block, 1);
         assert!(c.use_stop_sets);
-        let d = bdrmap_config(&args("run --no-stop-sets"));
+        let d = bdrmap_config(&args("run --no-stop-sets")).unwrap();
         assert!(!d.use_stop_sets);
         assert!(d.alias_resolution);
     }
@@ -1064,5 +1191,22 @@ mod tests {
                 AsKind::SmallAccess
             ]
         );
+    }
+    #[test]
+    fn alias_parallelism_rejects_zero_and_defaults_to_cores() {
+        let e = alias_parallelism(&args("x --alias-parallelism 0")).unwrap_err();
+        assert!(e.0.contains("alias-parallelism"));
+        assert_eq!(
+            alias_parallelism(&args("x --alias-parallelism 6")).unwrap(),
+            6
+        );
+        assert!(alias_parallelism(&args("x")).unwrap() >= 1);
+    }
+
+    #[test]
+    fn bdrmap_config_carries_alias_parallelism() {
+        let cfg = bdrmap_config(&args("x --alias-parallelism 4")).unwrap();
+        assert_eq!(cfg.alias_parallelism, 4);
+        assert!(bdrmap_config(&args("x --alias-parallelism 0")).is_err());
     }
 }

@@ -41,6 +41,7 @@ const VALUE_KEYS: &[&str] = &[
     "conns",
     "secs",
     "json",
+    "alias-parallelism",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -75,6 +76,7 @@ COMMANDS:
     serve       run bdrmapd: answer border-map queries over TCP
     query       one-shot client for a running bdrmapd
     loadgen     closed-loop load against bdrmapd, reporting QPS + latency
+    bench-pipeline  time every pipeline stage, write BENCH_pipeline.json
 
 OPTIONS:
     --preset <tiny|re|large-access|tier1|small-access>   topology preset
@@ -88,6 +90,8 @@ OPTIONS:
     --no-stop-sets       disable doubletree stop sets
     --out <path>         where `probe` writes the trace store
     --in <path>          trace store `infer` reads
+    --alias-parallelism <n>  alias-resolution worker threads (default: all
+                         cores; output is byte-identical at any value)
 
 FAULT INJECTION (run / probe / degradation):
     --fault-seed <u64>   fault PRNG seed (default 1); same seed replays identically
@@ -110,7 +114,8 @@ SERVING (serve / query / loadgen):
     --reload <path>      query/loadgen: hot-swap in this snapshot file
     --conns <n>          `loadgen`: closed-loop connections (default 4)
     --secs <f>           `loadgen`: run time in seconds (default 2)
-    --json <path>        `loadgen`: write BENCH_serve.json-style report
+    --json <path>        loadgen/bench-pipeline: report path (bench-pipeline
+                         default: BENCH_pipeline.json)
 "
 }
 
@@ -147,6 +152,7 @@ fn main() {
         "serve" => commands::serve(&args),
         "query" => commands::query(&args),
         "loadgen" => commands::loadgen(&args),
+        "bench-pipeline" => commands::bench_pipeline(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());
             std::process::exit(2);

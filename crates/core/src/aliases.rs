@@ -4,11 +4,76 @@
 //! probes them with Mercator, Ally, and prefixscan. Negative Ally
 //! results are kept as vetoes: a pair the measurements said was *not*
 //! aliases must never be merged, even transitively.
+//!
+//! The engine is staged the way MIDAR scales alias resolution: all
+//! candidates are generated up front and deduplicated through canonical
+//! pair keys, the cheap tests (Mercator: one probe per address;
+//! prefixscan: a handful per segment) run first, and the expensive
+//! Ally/MBT IPID time-series tests run last over only the pairs the
+//! cheap stages left unresolved. Each stage fans its tests across
+//! scoped worker threads as independent tasks (see
+//! [`Prober::ally_task`]); tasks are numbered canonically and their
+//! results applied in task order, so the output is byte-identical to
+//! the serial run at any parallelism.
 
-use crate::input::{Ip2As, Mapping};
-use bdrmap_probe::{AliasVerdict, Prober, Trace};
-use bdrmap_types::Addr;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use crate::input::{IpMapper, Mapping};
+use bdrmap_probe::{AliasVerdict, Prober, ProberShard, ShardBudget, Trace};
+use bdrmap_types::wire::WireWriter;
+use bdrmap_types::{addr_bits, Addr};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::Mutex;
+
+/// Tunables for [`resolve`].
+#[derive(Clone, Copy, Debug)]
+pub struct AliasConfig {
+    /// Cap on Ally tests per shared-predecessor candidate set.
+    pub max_ally_per_set: usize,
+    /// Worker threads the pair tests are sharded across. `1` runs
+    /// everything inline on the caller's thread (the fault-replay
+    /// path); any value produces byte-identical output.
+    pub parallelism: usize,
+    /// Stage the tests (dedup + cheap-first). `false` reproduces the
+    /// naive engine — every candidate probed as discovered — kept as
+    /// the benchmark baseline.
+    pub staged: bool,
+}
+
+impl Default for AliasConfig {
+    fn default() -> Self {
+        AliasConfig {
+            max_ally_per_set: 8,
+            parallelism: 1,
+            staged: true,
+        }
+    }
+}
+
+/// Work accounting for one [`resolve`] run.
+#[derive(Clone, Debug, Default)]
+pub struct AliasStats {
+    /// Mercator tests executed (one per distinct TE address).
+    pub mercator_tests: u64,
+    /// Distinct directed trace segments considered for prefixscan.
+    pub prefixscan_candidates: u64,
+    /// Segments dropped by canonical-pair dedup.
+    pub prefixscan_deduped: u64,
+    /// Prefixscan tests executed.
+    pub prefixscan_executed: u64,
+    /// Ally candidate pairs that passed the compatibility filter.
+    pub ally_candidates: u64,
+    /// Candidates skipped because a cheaper stage already confirmed
+    /// the pair as aliases.
+    pub ally_staged_out: u64,
+    /// Candidates skipped because the pair was already tested in an
+    /// earlier stage (canonical-pair dedup).
+    pub ally_deduped: u64,
+    /// Ally tests executed.
+    pub ally_executed: u64,
+    /// Packets all alias tests sent.
+    pub packets: u64,
+    /// Per-worker traffic partition.
+    pub shards: Vec<ShardBudget>,
+}
 
 /// Confirmed alias pairs and vetoes.
 #[derive(Debug, Default)]
@@ -22,6 +87,8 @@ pub struct AliasData {
     pub ptp_confirmed: Vec<(Addr, Addr)>,
     /// Alias probes spent.
     pub pairs_tested: usize,
+    /// How the run went (stage sizes, dedup wins, shard budgets).
+    pub stats: AliasStats,
 }
 
 impl AliasData {
@@ -38,46 +105,127 @@ impl AliasData {
     pub fn vetoed(&self, a: Addr, b: Addr) -> bool {
         self.not_aliases.contains(&Self::key(a, b))
     }
+
+    /// Deterministic byte encoding of the measurement outcome —
+    /// aliases, vetoes, point-to-point confirmations, pair-test count.
+    /// Run-shape diagnostics ([`AliasData::stats`]) are excluded: shard
+    /// budgets legitimately differ across parallelism levels while the
+    /// outcome must not. Two runs are equivalent iff these bytes match.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        let put_pairs = |w: &mut WireWriter, pairs: &[(Addr, Addr)]| {
+            w.put_u32(pairs.len() as u32);
+            for &(a, b) in pairs {
+                w.put_u32(addr_bits(a));
+                w.put_u32(addr_bits(b));
+            }
+        };
+        put_pairs(&mut w, &self.aliases);
+        let mut vetoes: Vec<(Addr, Addr)> = self.not_aliases.iter().copied().collect();
+        vetoes.sort_unstable();
+        put_pairs(&mut w, &vetoes);
+        put_pairs(&mut w, &self.ptp_confirmed);
+        w.put_u64(self.pairs_tested as u64);
+        w.into_vec()
+    }
+}
+
+/// Fold a finished worker tally into the per-shard accumulator.
+fn absorb_shard(shards: &mut Vec<ShardBudget>, b: ShardBudget) {
+    while shards.len() <= b.shard {
+        shards.push(ShardBudget {
+            shard: shards.len(),
+            ..ShardBudget::default()
+        });
+    }
+    shards[b.shard].absorb(&b);
+}
+
+/// Run one stage's tasks sharded across scoped workers.
+///
+/// Task `i` gets the canonical id `task_base + i` and lands on worker
+/// `i % workers`; each worker drives its own [`ProberShard`] and
+/// collects `(index, result)` pairs, which are merged back in index
+/// order. Because every task is self-contained (its responses depend
+/// only on its id and addresses, not on scheduling — see
+/// [`Prober::ally_task`]), the merged result vector is identical at
+/// any worker count, including the inline `workers == 1` path.
+fn run_tasks<P, J, R>(
+    prober: &P,
+    parallelism: usize,
+    task_base: u64,
+    jobs: &[J],
+    run: impl Fn(&mut ProberShard<'_, P>, u64, &J) -> R + Sync,
+    shards: &mut Vec<ShardBudget>,
+) -> Vec<R>
+where
+    P: Prober + ?Sized,
+    J: Sync,
+    R: Send,
+{
+    let workers = parallelism.max(1).min(jobs.len().max(1));
+    if workers <= 1 {
+        let mut shard = ProberShard::new(prober, 0);
+        let out = jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| run(&mut shard, task_base + i as u64, j))
+            .collect();
+        absorb_shard(shards, shard.budget());
+        return out;
+    }
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
+    let budgets: Mutex<Vec<ShardBudget>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let results = &results;
+            let budgets = &budgets;
+            let run = &run;
+            scope.spawn(move || {
+                let mut shard = ProberShard::new(prober, w);
+                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut i = w;
+                while i < jobs.len() {
+                    local.push((i, run(&mut shard, task_base + i as u64, &jobs[i])));
+                    i += workers;
+                }
+                results.lock().unwrap().extend(local);
+                budgets.lock().unwrap().push(shard.budget());
+            });
+        }
+    });
+    for b in budgets.into_inner().unwrap() {
+        absorb_shard(shards, b);
+    }
+    let mut collected = results.into_inner().unwrap();
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
 }
 
 /// Run the alias-resolution phase over collected traces.
-pub fn resolve<P: Prober + ?Sized>(
+pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     prober: &P,
     traces: &[Trace],
-    ip2as: &Ip2As,
-    max_ally_per_set: usize,
+    ip2as: &M,
+    cfg: &AliasConfig,
 ) -> AliasData {
     let mut data = AliasData::default();
+    let mut stats = AliasStats::default();
+    let mut shards: Vec<ShardBudget> = Vec::new();
+    let par = cfg.parallelism.max(1);
+    let mut task_base: u64 = 0;
 
-    // --- Mercator on every distinct time-exceeded address. ------------
+    // --- Candidate generation (sequential, canonical order). ----------
+    // Mercator: every distinct time-exceeded address.
     let mut te_addrs: BTreeSet<Addr> = BTreeSet::new();
     for tr in traces {
         te_addrs.extend(tr.te_addrs());
     }
-    let mut mercator_src: HashMap<Addr, Addr> = HashMap::new();
-    for &a in &te_addrs {
-        if let Some(m) = prober.mercator(a) {
-            if m.responded_from != a {
-                data.aliases.push((a, m.responded_from));
-            }
-            mercator_src.insert(a, m.responded_from);
-        }
-    }
-    // Two probed addresses answering from one source are aliases.
-    let mut by_src: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
-    for (&probed, &src) in &mercator_src {
-        by_src.entry(src).or_default().push(probed);
-    }
-    for group in by_src.values() {
-        for w in group.windows(2) {
-            data.aliases.push((w[0], w[1]));
-        }
-    }
+    let merc_jobs: Vec<Addr> = te_addrs.into_iter().collect();
 
-    // --- Prefixscan on adjacent trace segments. -----------------------
-    // For each (prev, cur) adjacency where cur might be a far-side
-    // interface (cur external or VP-mapped), test whether cur's subnet
-    // mate aliases with prev.
+    // Prefixscan: each (prev, cur) adjacency where cur might be a
+    // far-side interface. The same pair discovered from multiple traces
+    // or in both directions is normalised through `key` and tested once.
     let mut segments: BTreeSet<(Addr, Addr)> = BTreeSet::new();
     for tr in traces {
         let hops: Vec<Addr> = tr.te_addrs().collect();
@@ -87,17 +235,73 @@ pub fn resolve<P: Prober + ?Sized>(
             }
         }
     }
+    let mut seen: HashSet<(Addr, Addr)> = HashSet::new();
+    stats.prefixscan_candidates = segments.len() as u64;
+    let mut pf_jobs: Vec<(Addr, Addr)> = Vec::new();
     for &(prev, cur) in &segments {
+        if cfg.staged && !seen.insert(AliasData::key(prev, cur)) {
+            stats.prefixscan_deduped += 1;
+            continue;
+        }
+        pf_jobs.push((prev, cur));
+    }
+
+    // --- Stage 1: Mercator (cheapest — one probe per address). --------
+    stats.mercator_tests = merc_jobs.len() as u64;
+    let merc_results = run_tasks(
+        prober,
+        par,
+        task_base,
+        &merc_jobs,
+        |sh, t, &a| sh.mercator(t, a),
+        &mut shards,
+    );
+    task_base += merc_jobs.len() as u64;
+    let mut by_src: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
+    for (&a, m) in merc_jobs.iter().zip(&merc_results) {
+        let Some(m) = m else { continue };
+        if m.responded_from != a {
+            data.aliases.push((a, m.responded_from));
+        }
+        by_src.entry(m.responded_from).or_default().push(a);
+    }
+    // Two probed addresses answering from one source are aliases.
+    for group in by_src.values() {
+        for w in group.windows(2) {
+            data.aliases.push((w[0], w[1]));
+        }
+    }
+    // Pairs the cheap stages have already confirmed, so the expensive
+    // Ally stage can skip them.
+    let mut confirmed: HashSet<(Addr, Addr)> = data
+        .aliases
+        .iter()
+        .map(|&(a, b)| AliasData::key(a, b))
+        .collect();
+
+    // --- Stage 2: prefixscan on deduplicated trace segments. ----------
+    stats.prefixscan_executed = pf_jobs.len() as u64;
+    let pf_results = run_tasks(
+        prober,
+        par,
+        task_base,
+        &pf_jobs,
+        |sh, t, &(prev, cur)| sh.prefixscan(t, prev, cur),
+        &mut shards,
+    );
+    task_base += pf_jobs.len() as u64;
+    for (&(prev, cur), mate) in pf_jobs.iter().zip(&pf_results) {
         data.pairs_tested += 1;
-        if let Some(mate) = prober.prefixscan(prev, cur) {
+        if let Some(mate) = *mate {
             data.ptp_confirmed.push((prev, cur));
             if mate != prev {
                 data.aliases.push((mate, prev));
+                confirmed.insert(AliasData::key(mate, prev));
             }
         }
     }
 
-    // --- Ally on candidate sets sharing a predecessor. -----------------
+    // --- Stage 3: Ally on candidate sets sharing a predecessor. -------
     // Addresses that follow the same previous hop toward the same target
     // AS are candidates for being interfaces of one router (load-balanced
     // paths, virtual routers — the Figure 13 scenario).
@@ -121,11 +325,12 @@ pub fn resolve<P: Prober + ?Sized>(
             .extend(set.iter().copied());
     }
     let mut tested: HashSet<(Addr, Addr)> = HashSet::new();
+    let mut ally_jobs: Vec<(Addr, Addr)> = Vec::new();
     for set in by_pred.values() {
         // Only same-mapping candidates: two successors in different
         // networks are not plausibly one router.
         let members: Vec<Addr> = set.iter().copied().collect();
-        let mut budget = max_ally_per_set;
+        let mut budget = cfg.max_ally_per_set;
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {
                 if budget == 0 {
@@ -139,27 +344,56 @@ pub fn resolve<P: Prober + ?Sized>(
                 if !compatible_mapping(ip2as, a, b) {
                     continue;
                 }
+                stats.ally_candidates += 1;
+                if cfg.staged {
+                    if confirmed.contains(&key) {
+                        // A cheaper test already resolved this pair.
+                        stats.ally_staged_out += 1;
+                        tested.insert(key);
+                        continue;
+                    }
+                    if !seen.insert(key) {
+                        stats.ally_deduped += 1;
+                        tested.insert(key);
+                        continue;
+                    }
+                }
                 tested.insert(key);
                 budget -= 1;
-                data.pairs_tested += 1;
-                match prober.ally(a, b) {
-                    AliasVerdict::Aliases => data.aliases.push((a, b)),
-                    AliasVerdict::NotAliases => {
-                        data.not_aliases.insert(key);
-                    }
-                    AliasVerdict::Unknown => {}
-                }
+                ally_jobs.push((a, b));
             }
         }
     }
+    stats.ally_executed = ally_jobs.len() as u64;
+    let ally_results = run_tasks(
+        prober,
+        par,
+        task_base,
+        &ally_jobs,
+        |sh, t, &(a, b)| sh.ally(t, a, b),
+        &mut shards,
+    );
+    for (&(a, b), v) in ally_jobs.iter().zip(&ally_results) {
+        data.pairs_tested += 1;
+        match v {
+            AliasVerdict::Aliases => data.aliases.push((a, b)),
+            AliasVerdict::NotAliases => {
+                data.not_aliases.insert(AliasData::key(a, b));
+            }
+            AliasVerdict::Unknown => {}
+        }
+    }
 
+    stats.packets = shards.iter().map(|s| s.packets).sum();
+    stats.shards = shards;
+    data.stats = stats;
     data
 }
 
 /// Two addresses are plausible aliases only when their IP-AS mappings do
 /// not contradict: identical external origin, either VP-mapped, one side
 /// unrouted, or an IXP address (which lives on a member router).
-fn compatible_mapping(ip2as: &Ip2As, a: Addr, b: Addr) -> bool {
+fn compatible_mapping<M: IpMapper>(ip2as: &M, a: Addr, b: Addr) -> bool {
     match (ip2as.lookup(a), ip2as.lookup(b)) {
         (Mapping::External(x), Mapping::External(y)) => x.iter().any(|o| y.contains(o)),
         (Mapping::Unrouted, _) | (_, Mapping::Unrouted) => true,
@@ -174,6 +408,11 @@ fn compatible_mapping(ip2as: &Ip2As, a: Addr, b: Addr) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::input::{Input, Ip2As};
+    use bdrmap_bgp::{AsGraph, CollectorView, InferredRelationships, OriginTable, RoutingOracle};
+    use bdrmap_probe::{MercatorResult, ProbeBudget, StopSet, TraceHop, TraceStop};
+    use bdrmap_types::{Asn, Prefix, Relationship};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     fn a(s: &str) -> Addr {
         s.parse().unwrap()
@@ -194,5 +433,244 @@ mod tests {
             .insert(AliasData::key(a("10.0.0.1"), a("10.0.0.2")));
         assert!(d.vetoed(a("10.0.0.2"), a("10.0.0.1")));
         assert!(!d.vetoed(a("10.0.0.1"), a("10.0.0.3")));
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_stats_and_sort_vetoes() {
+        let mut d1 = AliasData::default();
+        d1.aliases.push((a("10.0.0.1"), a("10.0.0.2")));
+        d1.not_aliases.insert((a("10.0.0.3"), a("10.0.0.4")));
+        d1.not_aliases.insert((a("10.0.0.1"), a("10.0.0.9")));
+        d1.pairs_tested = 3;
+        let mut d2 = AliasData {
+            stats: AliasStats {
+                ally_executed: 99,
+                shards: vec![ShardBudget {
+                    shard: 0,
+                    tests: 9,
+                    packets: 900,
+                }],
+                ..AliasStats::default()
+            },
+            ..AliasData::default()
+        };
+        d2.aliases.push((a("10.0.0.1"), a("10.0.0.2")));
+        d2.not_aliases.insert((a("10.0.0.1"), a("10.0.0.9")));
+        d2.not_aliases.insert((a("10.0.0.3"), a("10.0.0.4")));
+        d2.pairs_tested = 3;
+        assert_eq!(d1.canonical_bytes(), d2.canonical_bytes());
+        d2.pairs_tested = 4;
+        assert_ne!(d1.canonical_bytes(), d2.canonical_bytes());
+    }
+
+    /// An IP-to-AS view where everything is unrouted (compatible with
+    /// anything) except the announced VP prefix.
+    fn unrouted_ip2as() -> Ip2As {
+        let mut g = AsGraph::new();
+        let t1 = g.add_as();
+        let vp = g.add_as();
+        g.add_link(t1, vp, Relationship::Customer);
+        let mut t = OriginTable::new();
+        t.announce("10.2.0.0/16".parse::<Prefix>().unwrap(), vp);
+        let oracle = RoutingOracle::new(g, t);
+        let view = CollectorView::collect(&oracle, &[t1]);
+        let rels = InferredRelationships::infer(&view);
+        Input {
+            view,
+            rels,
+            ixp_prefixes: vec![],
+            rir: vec![],
+            vp_asns: vec![vp],
+        }
+        .ip2as_for_probing()
+    }
+
+    fn hop(addr: &str, ttl: u8) -> TraceHop {
+        TraceHop {
+            ttl,
+            addr: Some(a(addr)),
+            time_exceeded: true,
+            other_icmp: false,
+            ipid: 0,
+        }
+    }
+
+    fn trace(dst: &str, target: u32, hops: Vec<TraceHop>) -> Trace {
+        Trace {
+            dst: a(dst),
+            target_as: Asn(target),
+            hops,
+            stop: TraceStop::GapLimit,
+        }
+    }
+
+    /// A prober that never confirms anything but counts what each
+    /// primitive was asked to do — except that Mercator reports the
+    /// scripted pair as answering from one shared source.
+    #[derive(Default)]
+    struct CountingProber {
+        mercator: AtomicU64,
+        prefixscan: AtomicU64,
+        ally: AtomicU64,
+        shared_src: Option<(Addr, Addr, Addr)>,
+    }
+
+    impl Prober for CountingProber {
+        fn trace(&self, dst: Addr, target_as: Asn, _stop: &StopSet) -> Trace {
+            Trace {
+                dst,
+                target_as,
+                hops: Vec::new(),
+                stop: TraceStop::GapLimit,
+            }
+        }
+
+        fn ally(&self, _a: Addr, _b: Addr) -> AliasVerdict {
+            self.ally.fetch_add(1, Ordering::Relaxed);
+            AliasVerdict::Unknown
+        }
+
+        fn mercator(&self, probed: Addr) -> Option<MercatorResult> {
+            self.mercator.fetch_add(1, Ordering::Relaxed);
+            let (x, y, src) = self.shared_src?;
+            (probed == x || probed == y).then_some(MercatorResult {
+                probed,
+                responded_from: src,
+            })
+        }
+
+        fn prefixscan(&self, _prev_hop: Addr, _addr: Addr) -> Option<Addr> {
+            self.prefixscan.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+
+        fn budget(&self) -> ProbeBudget {
+            ProbeBudget::default()
+        }
+    }
+
+    /// Both directions of one adjacency appear in the traces; staging
+    /// normalises them through `key` and tests the pair once.
+    #[test]
+    fn staged_dedup_tests_reversed_segments_once() {
+        let traces = vec![
+            trace(
+                "10.9.0.1",
+                9,
+                vec![hop("172.16.0.1", 1), hop("172.16.0.2", 2)],
+            ),
+            trace(
+                "10.9.0.2",
+                9,
+                vec![hop("172.16.0.2", 1), hop("172.16.0.1", 2)],
+            ),
+        ];
+        let ip2as = unrouted_ip2as();
+
+        let naive = CountingProber::default();
+        let d = resolve(
+            &naive,
+            &traces,
+            &ip2as,
+            &AliasConfig {
+                staged: false,
+                ..AliasConfig::default()
+            },
+        );
+        assert_eq!(naive.prefixscan.load(Ordering::Relaxed), 2);
+        let naive_pairs = d.pairs_tested;
+
+        let staged = CountingProber::default();
+        let d = resolve(&staged, &traces, &ip2as, &AliasConfig::default());
+        assert_eq!(staged.prefixscan.load(Ordering::Relaxed), 1);
+        assert_eq!(d.stats.prefixscan_deduped, 1);
+        assert!(
+            d.pairs_tested < naive_pairs,
+            "dedup must reduce executed pair tests: {} vs {naive_pairs}",
+            d.pairs_tested
+        );
+    }
+
+    /// A pair Mercator already confirmed is staged out of the Ally set.
+    #[test]
+    fn ally_skips_pairs_confirmed_by_cheap_stages() {
+        // Two successors of one predecessor → an Ally candidate pair.
+        let traces = vec![
+            trace(
+                "10.9.0.1",
+                9,
+                vec![hop("172.16.0.1", 1), hop("172.16.0.2", 2)],
+            ),
+            trace(
+                "10.9.0.2",
+                9,
+                vec![hop("172.16.0.1", 1), hop("172.16.0.6", 2)],
+            ),
+        ];
+        let ip2as = unrouted_ip2as();
+        let shared = (a("172.16.0.2"), a("172.16.0.6"), a("172.16.0.9"));
+
+        let naive = CountingProber {
+            shared_src: Some(shared),
+            ..CountingProber::default()
+        };
+        let _ = resolve(
+            &naive,
+            &traces,
+            &ip2as,
+            &AliasConfig {
+                staged: false,
+                ..AliasConfig::default()
+            },
+        );
+        assert_eq!(naive.ally.load(Ordering::Relaxed), 1);
+
+        let staged = CountingProber {
+            shared_src: Some(shared),
+            ..CountingProber::default()
+        };
+        let d = resolve(&staged, &traces, &ip2as, &AliasConfig::default());
+        assert_eq!(staged.ally.load(Ordering::Relaxed), 0);
+        assert_eq!(d.stats.ally_staged_out, 1);
+        assert_eq!(d.stats.ally_executed, 0);
+        // The pair is still in the alias set, via Mercator.
+        assert!(d.aliases.contains(&(a("172.16.0.2"), a("172.16.0.6"))));
+    }
+
+    /// The shard accumulator partitions tests deterministically.
+    #[test]
+    fn shard_budgets_cover_all_tests() {
+        let traces = vec![
+            trace(
+                "10.9.0.1",
+                9,
+                vec![hop("172.16.0.1", 1), hop("172.16.0.2", 2)],
+            ),
+            trace(
+                "10.9.0.2",
+                9,
+                vec![hop("172.16.0.1", 1), hop("172.16.0.6", 2)],
+            ),
+            trace(
+                "10.9.0.3",
+                9,
+                vec![hop("172.16.0.5", 1), hop("172.16.0.6", 2)],
+            ),
+        ];
+        let ip2as = unrouted_ip2as();
+        let p = CountingProber::default();
+        let d = resolve(
+            &p,
+            &traces,
+            &ip2as,
+            &AliasConfig {
+                parallelism: 4,
+                ..AliasConfig::default()
+            },
+        );
+        let tests: u64 = d.stats.shards.iter().map(|s| s.tests).sum();
+        let executed = d.stats.mercator_tests + d.stats.prefixscan_executed + d.stats.ally_executed;
+        assert_eq!(tests, executed);
+        assert!(d.stats.shards.len() > 1, "parallel run uses several shards");
     }
 }

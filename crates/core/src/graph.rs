@@ -7,7 +7,7 @@
 //! Adjacency comes from consecutive responding time-exceeded hops.
 
 use crate::aliases::AliasData;
-use crate::input::Ip2As;
+use crate::input::IpMapper;
 use bdrmap_probe::Trace;
 use bdrmap_types::{Addr, Asn};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -107,7 +107,7 @@ impl Uf {
 
 impl ObservedGraph {
     /// Build the graph from traces and alias measurements.
-    pub fn build(traces: &[Trace], alias: &AliasData, _ip2as: &Ip2As) -> ObservedGraph {
+    pub fn build<M: IpMapper>(traces: &[Trace], alias: &AliasData, _ip2as: &M) -> ObservedGraph {
         // Index all time-exceeded addresses.
         let mut addr_ids: BTreeMap<Addr, usize> = BTreeMap::new();
         for tr in traces {
@@ -209,7 +209,7 @@ impl ObservedGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::input::Input;
+    use crate::input::{Input, Ip2As};
     use bdrmap_bgp::{AsGraph, CollectorView, InferredRelationships, OriginTable, RoutingOracle};
     use bdrmap_probe::{TraceHop, TraceStop};
     use bdrmap_types::{Prefix, Relationship};

@@ -8,7 +8,7 @@
 //! evaluation can regenerate Table 1 as a group-by.
 
 use crate::graph::ObservedGraph;
-use crate::input::{Input, Ip2As, Mapping};
+use crate::input::{Input, IpMapper, Mapping};
 use crate::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
 use bdrmap_probe::TraceCollection;
 use bdrmap_types::{Addr, Asn};
@@ -34,7 +34,7 @@ enum RClass {
     Ixp,
 }
 
-fn classify(ip2as: &Ip2As, addrs: &BTreeSet<Addr>) -> RClass {
+fn classify<M: IpMapper>(ip2as: &M, addrs: &BTreeSet<Addr>) -> RClass {
     let mut ext_counts: BTreeMap<Asn, usize> = BTreeMap::new();
     let mut vp = 0usize;
     let mut unrouted = 0usize;
@@ -85,7 +85,7 @@ fn nextas(input: &Input, dests: &BTreeSet<Asn>) -> Option<Asn> {
 }
 
 /// External ASes mapped by a set of addresses.
-fn ext_ases(ip2as: &Ip2As, addrs: impl IntoIterator<Item = Addr>) -> BTreeSet<Asn> {
+fn ext_ases<M: IpMapper>(ip2as: &M, addrs: impl IntoIterator<Item = Addr>) -> BTreeSet<Asn> {
     let mut out = BTreeSet::new();
     for a in addrs {
         out.extend(ip2as.lookup(a).externals().iter().copied());
@@ -99,10 +99,10 @@ fn bgp_neighbor(input: &Input, n: Asn) -> bool {
 }
 
 /// Run the full inference and emit the border map.
-pub fn infer(
+pub fn infer<M: IpMapper>(
     graph: &ObservedGraph,
     input: &Input,
-    ip2as: &Ip2As,
+    ip2as: &M,
     collection: TraceCollection,
 ) -> BorderMap {
     let n = graph.routers.len();
@@ -398,10 +398,10 @@ pub fn infer(
 
 /// §5.4.2 and §5.4.4(4.2)–§5.4.6: a far-side candidate numbered from the
 /// hosting network's space.
-fn infer_vp_numbered(
+fn infer_vp_numbered<M: IpMapper>(
     graph: &ObservedGraph,
     input: &Input,
-    ip2as: &Ip2As,
+    ip2as: &M,
     st: &mut OwnerState,
     r: usize,
 ) {
@@ -531,10 +531,10 @@ fn infer_vp_numbered(
 }
 
 /// §5.4.3: routers with unrouted (or IXP) interface addresses.
-fn infer_unrouted(
+fn infer_unrouted<M: IpMapper>(
     graph: &ObservedGraph,
     input: &Input,
-    ip2as: &Ip2As,
+    ip2as: &M,
     st: &mut OwnerState,
     r: usize,
 ) {
@@ -593,10 +593,10 @@ fn infer_unrouted(
 
 /// §5.4.4 step 4.1, §5.4.5 step 5.2, §5.4.6 step 6.2: routers whose own
 /// addresses map to an external AS.
-fn infer_external(
+fn infer_external<M: IpMapper>(
     graph: &ObservedGraph,
     input: &Input,
-    ip2as: &Ip2As,
+    ip2as: &M,
     st: &mut OwnerState,
     r: usize,
     a: Asn,

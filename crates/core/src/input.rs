@@ -4,6 +4,8 @@ use bdrmap_bgp::{CollectorView, InferredRelationships};
 use bdrmap_probe::Trace;
 use bdrmap_types::RirRecord;
 use bdrmap_types::{Addr, Asn, Prefix, PrefixSet, PrefixTrie};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 /// Everything bdrmap is seeded with: all public, none of it ground
 /// truth.
@@ -99,6 +101,118 @@ impl Ip2As {
     /// The hosting network's sibling set.
     pub fn vp_asns(&self) -> &[Asn] {
         &self.vp_asns
+    }
+}
+
+/// Anything that maps addresses to networks. [`Ip2As`] resolves every
+/// lookup through its prefix trie; [`Ip2AsCache`] wraps it with a
+/// per-run memo so the heuristics walk, graph build, and alias
+/// candidate filtering resolve each observed address once.
+pub trait IpMapper {
+    /// Map one address.
+    fn lookup(&self, a: Addr) -> Mapping;
+
+    /// True if the address maps to an external network.
+    fn is_external(&self, a: Addr) -> bool {
+        matches!(self.lookup(a), Mapping::External(_))
+    }
+
+    /// True if the address maps to the hosting network.
+    fn is_vp(&self, a: Addr) -> bool {
+        matches!(self.lookup(a), Mapping::Vp)
+    }
+
+    /// The hosting network's primary ASN.
+    fn vp_asn(&self) -> Asn;
+
+    /// The hosting network's sibling set.
+    fn vp_asns(&self) -> &[Asn];
+}
+
+impl IpMapper for Ip2As {
+    fn lookup(&self, a: Addr) -> Mapping {
+        Ip2As::lookup(self, a)
+    }
+
+    fn vp_asn(&self) -> Asn {
+        Ip2As::vp_asn(self)
+    }
+
+    fn vp_asns(&self) -> &[Asn] {
+        Ip2As::vp_asns(self)
+    }
+}
+
+/// Hit/miss counters of an [`Ip2AsCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that walked the trie.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups answered from the memo.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A memoizing view over an [`Ip2As`]: each distinct address is
+/// trie-resolved at most once per cache lifetime. Single-threaded by
+/// design (interior mutability via `RefCell`) — the inference stages
+/// that consume it all run on one thread.
+pub struct Ip2AsCache<'a> {
+    inner: &'a Ip2As,
+    memo: RefCell<HashMap<Addr, Mapping>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl<'a> Ip2AsCache<'a> {
+    /// A fresh cache over `inner`.
+    pub fn new(inner: &'a Ip2As) -> Self {
+        Ip2AsCache {
+            inner,
+            memo: RefCell::new(HashMap::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// Hit/miss counters so far.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+        }
+    }
+}
+
+impl IpMapper for Ip2AsCache<'_> {
+    fn lookup(&self, a: Addr) -> Mapping {
+        if let Some(m) = self.memo.borrow().get(&a) {
+            self.hits.set(self.hits.get() + 1);
+            return m.clone();
+        }
+        let m = self.inner.lookup(a);
+        self.misses.set(self.misses.get() + 1);
+        self.memo.borrow_mut().insert(a, m.clone());
+        m
+    }
+
+    fn vp_asn(&self) -> Asn {
+        self.inner.vp_asn()
+    }
+
+    fn vp_asns(&self) -> &[Asn] {
+        self.inner.vp_asns()
     }
 }
 
@@ -253,6 +367,26 @@ mod tests {
             Mapping::Unrouted,
             "space beyond the last VP hop belongs to neighbors, not the VP"
         );
+    }
+
+    #[test]
+    fn cache_memoizes_and_agrees_with_inner() {
+        let ip2as = input().ip2as_for_probing();
+        let cache = Ip2AsCache::new(&ip2as);
+        for addr in ["10.2.1.1", "10.3.1.1", "198.32.0.9", "172.16.9.1"] {
+            let addr = a(addr);
+            // First lookup misses, the rest hit, all agree with the trie.
+            for _ in 0..3 {
+                assert_eq!(IpMapper::lookup(&cache, addr), ip2as.lookup(addr));
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 4);
+        assert_eq!(stats.hits, 8);
+        assert!((stats.hit_rate() - 8.0 / 12.0).abs() < 1e-9);
+        assert_eq!(cache.vp_asn(), ip2as.vp_asn());
+        assert!(cache.is_vp(a("10.2.1.1")));
+        assert!(cache.is_external(a("10.3.1.1")));
     }
 
     #[test]

@@ -35,13 +35,16 @@ pub mod heuristics;
 pub mod input;
 pub mod merge;
 pub mod output;
+pub mod pipeline;
 pub mod query;
 pub mod snapshot;
 
+pub use aliases::{AliasConfig, AliasStats};
 pub use beyond::{far_links, FarLink};
-pub use input::{Input, Ip2As, Mapping};
+pub use input::{CacheStats, Input, Ip2As, Ip2AsCache, IpMapper, Mapping};
 pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+pub use pipeline::{run_stages, PipelineRun, StageReport};
 pub use query::{BorderAnswer, LinkRec, OwnerAnswer, QueryIndex, RouterRec};
 
 use bdrmap_probe::{run_traces, Prober, RunOptions, TraceCollection};
@@ -62,6 +65,9 @@ pub struct BdrmapConfig {
     pub alias_resolution: bool,
     /// Cap on Ally tests per shared-predecessor candidate set.
     pub max_ally_per_set: usize,
+    /// Worker threads for the alias-resolution phase. Output is
+    /// byte-identical at any value; fault replay forces `1`.
+    pub alias_parallelism: usize,
 }
 
 impl Default for BdrmapConfig {
@@ -72,6 +78,7 @@ impl Default for BdrmapConfig {
             use_stop_sets: true,
             alias_resolution: true,
             max_ally_per_set: 8,
+            alias_parallelism: 1,
         }
     }
 }
@@ -102,20 +109,9 @@ pub fn run_bdrmap_on_traces<P: Prober + ?Sized>(
     prober: &P,
     input: &Input,
     cfg: &BdrmapConfig,
-    mut collection: TraceCollection,
+    collection: TraceCollection,
 ) -> BorderMap {
-    // 3. Final IP-to-AS view, including VP-space estimation from the
-    //    traces and RIR delegations (§5.4.1).
-    let ip2as = input.ip2as_with_estimation(&collection.traces);
-    // 4. Alias resolution and router graph.
-    let alias_data = if cfg.alias_resolution {
-        aliases::resolve(prober, &collection.traces, &ip2as, cfg.max_ally_per_set)
-    } else {
-        aliases::AliasData::default()
-    };
-    let graph = graph::ObservedGraph::build(&collection.traces, &alias_data, &ip2as);
-    // Include alias-resolution traffic in the reported budget.
-    collection.budget = prober.budget();
-    // 5–6. Heuristics and border extraction.
-    heuristics::infer(&graph, input, &ip2as, collection)
+    // 3–6. IP-to-AS view, alias resolution, router graph, heuristics —
+    // see `pipeline::run_stages` for the instrumented driver.
+    pipeline::run_stages(prober, input, cfg, collection).map
 }

@@ -1,0 +1,112 @@
+//! Staged pipeline driver with per-stage instrumentation.
+//!
+//! [`run_stages`] is [`crate::run_bdrmap_on_traces`] with the clock
+//! running: it times each inference stage (IP-to-AS view construction,
+//! alias resolution, router-graph build, heuristics walk), threads one
+//! memoizing [`Ip2AsCache`] through every stage so each observed
+//! address is trie-resolved once per run, and surfaces the alias
+//! engine's work accounting. `bdrmap bench-pipeline` turns the result
+//! into `BENCH_pipeline.json`.
+
+use crate::aliases::{self, AliasConfig, AliasData, AliasStats};
+use crate::graph::ObservedGraph;
+use crate::heuristics;
+use crate::input::{CacheStats, Input, Ip2AsCache};
+use crate::output::BorderMap;
+use crate::BdrmapConfig;
+use bdrmap_probe::{Prober, TraceCollection};
+use std::time::Instant;
+
+/// Wall-clock and work accounting for the inference stages of one run.
+#[derive(Clone, Debug, Default)]
+pub struct StageReport {
+    /// Final IP-to-AS view construction (VP-space estimation), ms.
+    pub ip2as_ms: f64,
+    /// Alias resolution, ms.
+    pub alias_ms: f64,
+    /// Router-graph construction, ms.
+    pub graph_ms: f64,
+    /// Heuristics walk + border extraction, ms.
+    pub infer_ms: f64,
+    /// Alias-stage work breakdown (pair-test counts, dedup wins,
+    /// per-shard traffic).
+    pub alias: AliasStats,
+    /// Memoized IP-to-AS lookup effectiveness across alias resolution,
+    /// graph build, and the heuristics walk.
+    pub cache: CacheStats,
+}
+
+/// A finished inference plus its stage instrumentation.
+pub struct PipelineRun {
+    /// The inferred border map.
+    pub map: BorderMap,
+    /// Per-stage timings and work counts.
+    pub stages: StageReport,
+    /// Canonical bytes of the alias outcome, for parallelism-invariance
+    /// checks (see [`AliasData::canonical_bytes`]).
+    pub alias_bytes: Vec<u8>,
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Run inference over an existing trace collection, timing each stage.
+pub fn run_stages<P: Prober + ?Sized>(
+    prober: &P,
+    input: &Input,
+    cfg: &BdrmapConfig,
+    mut collection: TraceCollection,
+) -> PipelineRun {
+    // Final IP-to-AS view, including VP-space estimation from the
+    // traces and RIR delegations (§5.4.1).
+    let t = Instant::now();
+    let ip2as = input.ip2as_with_estimation(&collection.traces);
+    let ip2as_ms = ms_since(t);
+    let cache = Ip2AsCache::new(&ip2as);
+
+    // Alias resolution (ablation A1 disables it).
+    let t = Instant::now();
+    let alias_data = if cfg.alias_resolution {
+        aliases::resolve(
+            prober,
+            &collection.traces,
+            &cache,
+            &AliasConfig {
+                max_ally_per_set: cfg.max_ally_per_set,
+                parallelism: cfg.alias_parallelism,
+                staged: true,
+            },
+        )
+    } else {
+        AliasData::default()
+    };
+    let alias_ms = ms_since(t);
+    let alias_bytes = alias_data.canonical_bytes();
+
+    // Router graph: union-find over confirmed aliases.
+    let t = Instant::now();
+    let graph = ObservedGraph::build(&collection.traces, &alias_data, &cache);
+    let graph_ms = ms_since(t);
+
+    // Include alias-resolution traffic in the reported budget.
+    collection.budget = prober.budget();
+
+    // Heuristics §5.4.1–§5.4.8 and border extraction.
+    let t = Instant::now();
+    let map = heuristics::infer(&graph, input, &cache, collection);
+    let infer_ms = ms_since(t);
+
+    PipelineRun {
+        map,
+        stages: StageReport {
+            ip2as_ms,
+            alias_ms,
+            graph_ms,
+            infer_ms,
+            alias: alias_data.stats.clone(),
+            cache: cache.stats(),
+        },
+        alias_bytes,
+    }
+}

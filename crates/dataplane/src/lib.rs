@@ -45,4 +45,4 @@ mod tests;
 pub use faults::{FaultPlan, FlapPlan, ReroutePlan, StormPlan};
 pub use packet::{Probe, ProbeKind, RespKind, Response, UnreachReason};
 pub use plane::{CongestionProfile, DataPlane};
-pub use runtime::RuntimeSnapshot;
+pub use runtime::{Runtime, RuntimeSnapshot};

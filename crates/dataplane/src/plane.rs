@@ -606,6 +606,7 @@ impl DataPlane {
     /// reachability suppresses it.
     fn ttl_expired(
         &self,
+        rt: &Runtime,
         r: RouterId,
         inbound: Option<IfaceId>,
         p: &Probe,
@@ -615,7 +616,7 @@ impl DataPlane {
         match policy {
             ResponsePolicy::Silent | ResponsePolicy::EchoOtherIcmp => return None,
             ResponsePolicy::RateLimited { period } => {
-                if !self.runtime.rate_limit_allows(r, period) {
+                if !rt.rate_limit_allows(r, period) {
                     return None;
                 }
             }
@@ -625,7 +626,7 @@ impl DataPlane {
             return None;
         }
         let src = self.te_source(r, inbound, p)?;
-        let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+        let ipid = rt.ipid(&self.net, r, src, p.time_ms);
         Some(Response {
             src,
             kind: RespKind::TimeExceeded,
@@ -636,7 +637,7 @@ impl DataPlane {
 
     /// Build the response for a probe delivered to one of `r`'s own
     /// addresses.
-    fn delivered(&self, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
+    fn delivered(&self, rt: &Runtime, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
         let rtt_us = 2 * fwd_us + PER_HOP_US;
         let router = &self.net.routers[r.index()];
         if router.policy == ResponsePolicy::Silent {
@@ -650,7 +651,7 @@ impl DataPlane {
                 // Echo replies are sourced from the probed address — which
                 // is why bdrmap refuses to locate interfaces with them
                 // (§4 challenge 2).
-                let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                let ipid = rt.ipid(&self.net, r, p.dst, p.time_ms);
                 Some(Response {
                     src: p.dst,
                     kind: RespKind::EchoReply,
@@ -661,7 +662,7 @@ impl DataPlane {
             ProbeKind::Udp => match router.unreach_src {
                 bdrmap_topo::UnreachSrc::Canonical => {
                     let src = self.any_addr(r)?;
-                    let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+                    let ipid = rt.ipid(&self.net, r, src, p.time_ms);
                     Some(Response {
                         src,
                         kind: RespKind::DestUnreach(UnreachReason::Port),
@@ -670,7 +671,7 @@ impl DataPlane {
                     })
                 }
                 bdrmap_topo::UnreachSrc::Probed => {
-                    let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                    let ipid = rt.ipid(&self.net, r, p.dst, p.time_ms);
                     Some(Response {
                         src: p.dst,
                         kind: RespKind::DestUnreach(UnreachReason::Port),
@@ -681,7 +682,7 @@ impl DataPlane {
                 bdrmap_topo::UnreachSrc::None => None,
             },
             ProbeKind::TcpAck => {
-                let ipid = self.runtime.ipid(&self.net, r, p.dst, p.time_ms);
+                let ipid = rt.ipid(&self.net, r, p.dst, p.time_ms);
                 Some(Response {
                     src: p.dst,
                     kind: RespKind::TcpRst,
@@ -695,6 +696,7 @@ impl DataPlane {
     /// Response when the packet hit a dead end at `r` (host absent).
     fn unreachable(
         &self,
+        rt: &Runtime,
         r: RouterId,
         inbound: Option<IfaceId>,
         p: &Probe,
@@ -708,7 +710,7 @@ impl DataPlane {
             return None;
         }
         let src = self.te_source(r, inbound, p)?;
-        let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+        let ipid = rt.ipid(&self.net, r, src, p.time_ms);
         let reason = match p.kind {
             ProbeKind::Udp => UnreachReason::Port,
             _ => UnreachReason::Host,
@@ -723,7 +725,7 @@ impl DataPlane {
 
     /// Response when a firewalling edge router discards a transiting
     /// probe.
-    fn firewalled(&self, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
+    fn firewalled(&self, rt: &Runtime, r: RouterId, p: &Probe, fwd_us: u32) -> Option<Response> {
         match self.net.routers[r.index()].policy {
             ResponsePolicy::EchoOtherIcmp => {
                 if !self.can_respond_to(r, p.src) {
@@ -732,7 +734,7 @@ impl DataPlane {
                 // Responds from its own (announced) address space — the
                 // heuristic-8.2 signal.
                 let src = self.any_addr(r)?;
-                let ipid = self.runtime.ipid(&self.net, r, src, p.time_ms);
+                let ipid = rt.ipid(&self.net, r, src, p.time_ms);
                 Some(Response {
                     src,
                     kind: RespKind::DestUnreach(UnreachReason::AdminFiltered),
@@ -753,9 +755,22 @@ impl DataPlane {
     /// the responder has no route back to the prober — or, when a
     /// [`FaultPlan`] is installed, lost to injected faults.
     pub fn probe(&self, p: &Probe) -> Option<Response> {
+        self.probe_with(p, &self.runtime)
+    }
+
+    /// Send one probe against an explicit [`Runtime`] instead of the
+    /// plane's shared one.
+    ///
+    /// The topology, routing, congestion, and fault state are all still
+    /// the plane's; only the mutable counter state (IPID counters, rate
+    /// limiting) comes from `rt`. A caller that gives each measurement
+    /// its own fresh `Runtime` gets responses that are a pure function
+    /// of the probe stream it sends — the isolation the parallel alias
+    /// engine relies on for byte-identical results at any parallelism.
+    pub fn probe_with(&self, p: &Probe, rt: &Runtime) -> Option<Response> {
         let faults = self.active_faults();
         let faults = faults.as_deref();
-        let resp = self.probe_inner(p, faults)?;
+        let resp = self.probe_inner(rt, p, faults)?;
         // Return-path loss hits every response kind uniformly.
         if faults.is_some_and(|f| f.drops_response(p)) {
             return None;
@@ -764,7 +779,7 @@ impl DataPlane {
     }
 
     /// Forward a probe hop by hop and build the response at its end.
-    fn probe_inner(&self, p: &Probe, faults: Option<&FaultPlan>) -> Option<Response> {
+    fn probe_inner(&self, rt: &Runtime, p: &Probe, faults: Option<&FaultPlan>) -> Option<Response> {
         let mut cur = *self.vp_by_addr.get(&p.src)?;
         let mut inbound: Option<IfaceId> = None;
         let mut ttl = p.ttl;
@@ -779,7 +794,7 @@ impl DataPlane {
         for _ in 0..MAX_HOPS {
             // Local delivery beats everything.
             if self.net.router_of_addr(p.dst) == Some(cur) {
-                return self.delivered(cur, p, fwd_us);
+                return self.delivered(rt, cur, p, fwd_us);
             }
             // TTL check-and-decrement on arrival.
             ttl = ttl.saturating_sub(1);
@@ -789,7 +804,7 @@ impl DataPlane {
                 if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
                     return None;
                 }
-                return self.ttl_expired(cur, inbound, p, fwd_us);
+                return self.ttl_expired(rt, cur, inbound, p, fwd_us);
             }
             // Edge firewalls discard transit traffic.
             let policy = self.net.routers[cur.index()].policy;
@@ -799,7 +814,7 @@ impl DataPlane {
                 if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
                     return None;
                 }
-                return self.firewalled(cur, p, fwd_us);
+                return self.firewalled(rt, cur, p, fwd_us);
             }
             match self.route_step(cur, p.dst, flow) {
                 Step::Forward {
@@ -827,7 +842,7 @@ impl DataPlane {
                     if faults.is_some_and(|f| f.storm_suppresses(cur, p.time_ms)) {
                         return None;
                     }
-                    return self.unreachable(cur, inbound, p, fwd_us);
+                    return self.unreachable(rt, cur, inbound, p, fwd_us);
                 }
                 Step::NoRoute => return None,
             }

@@ -13,12 +13,34 @@ use crate::health::{Quarantine, QuarantinePolicy};
 use crate::stopset::StopSet;
 use crate::targets::TargetAs;
 use crate::trace::{run_trace, Trace, TraceParams, TraceStop};
-use bdrmap_dataplane::{DataPlane, Probe, Response};
+use bdrmap_dataplane::{DataPlane, Probe, Response, Runtime};
 use bdrmap_types::{Addr, Asn};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Virtual-time window reserved for one alias task (ms). Generous: the
+/// widest task (prefixscan, two subnet mates each Mercator'd and
+/// Ally'd) sends well under 400 probes at 10 ms spacing.
+const ALIAS_TASK_WINDOW_MS: u64 = 1 << 16;
+/// Base of the alias virtual timeline (ms) — far past anything the
+/// packet-driven logical clock reaches, so task timestamps never
+/// collide with trace-phase send times.
+const ALIAS_EPOCH_MS: u64 = 1 << 40;
+
+/// The send timestamp of probe `n` within alias task `task`.
+///
+/// Every alias task owns a private, deterministic time window derived
+/// from its task id alone. Combined with per-task counter state
+/// ([`Runtime`]), this makes each test's responses a pure function of
+/// (topology, task id, addresses) — independent of worker count and
+/// scheduling — which is what lets the sharded alias engine promise
+/// byte-identical output at any parallelism.
+fn alias_task_time(task: u64, n: u64) -> u64 {
+    ALIAS_EPOCH_MS + task * ALIAS_TASK_WINDOW_MS + n * 10
+}
 
 /// Engine configuration.
 #[derive(Clone, Copy, Debug)]
@@ -67,7 +89,7 @@ impl ProbeBudget {
 }
 
 /// All traces gathered in a run, plus the stop sets that shaped them.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct TraceCollection {
     /// Completed traces in deterministic (target AS, block, address)
     /// order.
@@ -91,6 +113,105 @@ pub trait Prober: Sync {
     fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr>;
     /// Packets/time spent so far.
     fn budget(&self) -> ProbeBudget;
+
+    /// Ally as a self-contained task: the verdict plus the packets the
+    /// test spent. Implementations whose result depends only on `task`
+    /// and the addresses (not on concurrent activity) may be fanned
+    /// across workers; the defaults delegate to the sequential
+    /// primitives, whose packet accounting via budget diffs is exact
+    /// only when calls do not overlap.
+    fn ally_task(&self, task: u64, a: Addr, b: Addr) -> (AliasVerdict, u64) {
+        let _ = task;
+        let before = self.budget().packets;
+        let v = self.ally(a, b);
+        (v, self.budget().packets.saturating_sub(before))
+    }
+
+    /// Mercator as a self-contained task (see [`Prober::ally_task`]).
+    fn mercator_task(&self, task: u64, a: Addr) -> (Option<MercatorResult>, u64) {
+        let _ = task;
+        let before = self.budget().packets;
+        let m = self.mercator(a);
+        (m, self.budget().packets.saturating_sub(before))
+    }
+
+    /// Prefixscan as a self-contained task (see [`Prober::ally_task`]).
+    fn prefixscan_task(&self, task: u64, prev_hop: Addr, addr: Addr) -> (Option<Addr>, u64) {
+        let _ = task;
+        let before = self.budget().packets;
+        let m = self.prefixscan(prev_hop, addr);
+        (m, self.budget().packets.saturating_sub(before))
+    }
+}
+
+/// Per-worker tally of alias-task traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardBudget {
+    /// Worker (shard) index.
+    pub shard: usize,
+    /// Alias tests this shard executed.
+    pub tests: u64,
+    /// Packets those tests sent.
+    pub packets: u64,
+}
+
+impl ShardBudget {
+    /// Fold another tally into this one (stage-by-stage accumulation).
+    pub fn absorb(&mut self, other: &ShardBudget) {
+        self.tests += other.tests;
+        self.packets += other.packets;
+    }
+}
+
+/// A per-worker handle over a shared [`Prober`] for the sharded alias
+/// engine: forwards each test as a self-contained task and keeps a
+/// partitioned budget, so a parallel alias run can report which worker
+/// spent what without contending on the prober's global counters.
+pub struct ProberShard<'a, P: Prober + ?Sized> {
+    prober: &'a P,
+    tally: ShardBudget,
+}
+
+impl<'a, P: Prober + ?Sized> ProberShard<'a, P> {
+    /// A shard handle for worker `shard`.
+    pub fn new(prober: &'a P, shard: usize) -> Self {
+        ProberShard {
+            prober,
+            tally: ShardBudget {
+                shard,
+                ..ShardBudget::default()
+            },
+        }
+    }
+
+    /// Run one Ally task through this shard.
+    pub fn ally(&mut self, task: u64, a: Addr, b: Addr) -> AliasVerdict {
+        let (v, packets) = self.prober.ally_task(task, a, b);
+        self.tally.tests += 1;
+        self.tally.packets += packets;
+        v
+    }
+
+    /// Run one Mercator task through this shard.
+    pub fn mercator(&mut self, task: u64, a: Addr) -> Option<MercatorResult> {
+        let (m, packets) = self.prober.mercator_task(task, a);
+        self.tally.tests += 1;
+        self.tally.packets += packets;
+        m
+    }
+
+    /// Run one prefixscan task through this shard.
+    pub fn prefixscan(&mut self, task: u64, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        let (m, packets) = self.prober.prefixscan_task(task, prev_hop, addr);
+        self.tally.tests += 1;
+        self.tally.packets += packets;
+        m
+    }
+
+    /// The traffic this shard has accounted for.
+    pub fn budget(&self) -> ShardBudget {
+        self.tally
+    }
 }
 
 /// Options for [`run_traces`].
@@ -230,6 +351,9 @@ pub struct ProbeEngine {
     vp: Addr,
     clock: Arc<AtomicU64>,
     packets: Arc<AtomicU64>,
+    /// Task ids for ad-hoc (non-sharded) alias calls, allocated in call
+    /// order so a sequential caller stays deterministic.
+    alias_seq: Arc<AtomicU64>,
     tick_us: u64,
     cfg: EngineConfig,
 }
@@ -243,6 +367,7 @@ impl ProbeEngine {
             vp,
             clock: Arc::new(AtomicU64::new(0)),
             packets: Arc::new(AtomicU64::new(0)),
+            alias_seq: Arc::new(AtomicU64::new(0)),
             tick_us: 1_000_000 / cfg.pps as u64,
             cfg,
         }
@@ -303,40 +428,79 @@ impl ProbeEngine {
         self.dp.probe(&p)
     }
 
-    /// A send closure for the alias prober: probes inside one call are
-    /// spaced exactly 10 ms on a privately reserved clock segment, so the
-    /// monotonicity test's timing assumptions hold regardless of what
-    /// other workers do to the global clock.
-    fn alias_sender(&self) -> impl FnMut(Probe) -> Option<Response> + '_ {
-        let mut burst: u64 = 0;
-        let mut offset: u64 = 0;
+    /// A send closure for one alias task: probes are spaced exactly
+    /// 10 ms on the task's private virtual timeline (so the
+    /// monotonicity test's timing assumptions hold) and hit the data
+    /// plane through an isolated counter state, making the task's
+    /// responses independent of any concurrent traffic.
+    fn alias_task_sender<'a>(
+        &'a self,
+        task: u64,
+        rt: &'a Runtime,
+        sent: &'a Cell<u64>,
+    ) -> impl FnMut(Probe) -> Option<Response> + 'a {
         move |mut p| {
-            if offset == 0 || offset >= 64 {
-                burst = self.clock.fetch_add(64 * self.tick_us, Ordering::Relaxed) / 1000;
-                offset = 0;
-            }
-            self.packets.fetch_add(1, Ordering::Relaxed);
+            let n = sent.get();
+            sent.set(n + 1);
             p.src = self.vp;
-            p.time_ms = burst + offset * 10;
-            offset += 1;
-            self.dp.probe(&p)
+            p.time_ms = alias_task_time(task, n);
+            self.dp.probe_with(&p, rt)
         }
+    }
+
+    /// Charge `n` alias-task packets against the global budget. Both
+    /// totals are plain sums, so the final budget does not depend on
+    /// the order concurrent tasks finish in.
+    fn charge(&self, n: u64) {
+        self.packets.fetch_add(n, Ordering::Relaxed);
+        self.clock.fetch_add(n * self.tick_us, Ordering::Relaxed);
+    }
+
+    /// Run Ally as isolated task `task` (see [`Prober::ally_task`]).
+    pub fn ally_task(&self, task: u64, a: Addr, b: Addr) -> (AliasVerdict, u64) {
+        let rt = Runtime::new();
+        let sent = Cell::new(0u64);
+        let v = AliasProber::new(self.vp, self.alias_task_sender(task, &rt, &sent)).ally(a, b);
+        self.charge(sent.get());
+        (v, sent.get())
+    }
+
+    /// Run Mercator as isolated task `task`.
+    pub fn mercator_task(&self, task: u64, a: Addr) -> (Option<MercatorResult>, u64) {
+        let rt = Runtime::new();
+        let sent = Cell::new(0u64);
+        let m = AliasProber::new(self.vp, self.alias_task_sender(task, &rt, &sent)).mercator(a);
+        self.charge(sent.get());
+        (m, sent.get())
+    }
+
+    /// Run prefixscan as isolated task `task`.
+    pub fn prefixscan_task(&self, task: u64, prev_hop: Addr, addr: Addr) -> (Option<Addr>, u64) {
+        let rt = Runtime::new();
+        let sent = Cell::new(0u64);
+        let m = AliasProber::new(self.vp, self.alias_task_sender(task, &rt, &sent))
+            .prefixscan(prev_hop, addr);
+        self.charge(sent.get());
+        (m, sent.get())
     }
 
     /// Run the Ally alias test on two addresses.
     pub fn ally(&self, a: Addr, b: Addr) -> AliasVerdict {
-        AliasProber::new(self.vp, self.alias_sender()).ally(a, b)
+        let task = self.alias_seq.fetch_add(1, Ordering::Relaxed);
+        self.ally_task(task, a, b).0
     }
 
     /// Run a Mercator probe.
     pub fn mercator(&self, a: Addr) -> Option<MercatorResult> {
-        AliasProber::new(self.vp, self.alias_sender()).mercator(a)
+        let task = self.alias_seq.fetch_add(1, Ordering::Relaxed);
+        self.mercator_task(task, a).0
     }
 
     /// Run prefixscan: the subnet mate of `addr` that aliases with
     /// `prev_hop`, if the point-to-point hypothesis holds.
     pub fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
-        AliasProber::new(self.vp, self.alias_sender()).prefixscan(prev_hop, addr)
+        let task = self.alias_seq.fetch_add(1, Ordering::Relaxed);
+        self.prefixscan_task(task, prev_hop, addr).0
     }
 
     /// Run one traceroute with a target-AS stop set.
@@ -395,6 +559,18 @@ impl Prober for ProbeEngine {
 
     fn budget(&self) -> ProbeBudget {
         ProbeEngine::budget(self)
+    }
+
+    fn ally_task(&self, task: u64, a: Addr, b: Addr) -> (AliasVerdict, u64) {
+        ProbeEngine::ally_task(self, task, a, b)
+    }
+
+    fn mercator_task(&self, task: u64, a: Addr) -> (Option<MercatorResult>, u64) {
+        ProbeEngine::mercator_task(self, task, a)
+    }
+
+    fn prefixscan_task(&self, task: u64, prev_hop: Addr, addr: Addr) -> (Option<Addr>, u64) {
+        ProbeEngine::prefixscan_task(self, task, prev_hop, addr)
     }
 }
 
@@ -545,5 +721,59 @@ mod tests {
             .unwrap();
         let _ = engine.mercator(some_iface.addr);
         assert!(engine.budget().packets >= 1);
+    }
+
+    #[test]
+    fn alias_tasks_are_pure_functions_of_task_id() {
+        // The same task id must yield the same verdict and packet count
+        // no matter what other traffic has touched the engine or the
+        // shared counter state in between — the property the parallel
+        // alias engine's byte-identity guarantee rests on.
+        let (dp, _) = setup(47);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let routed: Vec<Addr> = net
+            .ifaces
+            .iter()
+            .map(|i| i.addr)
+            .filter(|&a| net.origins.lookup(a).is_some())
+            .take(6)
+            .collect();
+        assert!(routed.len() >= 4, "need routed interfaces");
+        let first = engine.ally_task(3, routed[0], routed[1]);
+        // Unrelated traffic: traces and other alias tasks mutate the
+        // shared runtime and advance the clock.
+        let _ = engine.trace(routed[2], Asn(1), &StopSet::new());
+        let _ = engine.ally_task(9, routed[2], routed[3]);
+        let again = engine.ally_task(3, routed[0], routed[1]);
+        assert_eq!(first, again, "task 3 must not see surrounding traffic");
+        // Distinct engines agree too.
+        let other = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        assert_eq!(first, other.ally_task(3, routed[0], routed[1]));
+    }
+
+    #[test]
+    fn prober_shard_partitions_the_budget() {
+        let (dp, _) = setup(48);
+        let net = dp.internet();
+        let vp = net.vps[0].addr;
+        let engine = ProbeEngine::new(Arc::clone(&dp), vp, EngineConfig::default());
+        let routed: Vec<Addr> = net
+            .ifaces
+            .iter()
+            .map(|i| i.addr)
+            .filter(|&a| net.origins.lookup(a).is_some())
+            .take(3)
+            .collect();
+        let mut shard = ProberShard::new(&engine, 2);
+        let _ = shard.mercator(0, routed[0]);
+        let _ = shard.ally(1, routed[1], routed[2]);
+        let b = shard.budget();
+        assert_eq!(b.shard, 2);
+        assert_eq!(b.tests, 2);
+        assert!(b.packets >= 1);
+        // The shard tally and the engine's global budget agree.
+        assert_eq!(b.packets, engine.budget().packets);
     }
 }

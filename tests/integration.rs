@@ -146,7 +146,12 @@ fn far_links_extracted_with_reasonable_accuracy() {
         |a| ip2as_probe.is_external(a),
     );
     let ip2as = input.ip2as_with_estimation(&coll.traces);
-    let alias = bdrmap::core::aliases::resolve(&engine, &coll.traces, &ip2as, 8);
+    let alias = bdrmap::core::aliases::resolve(
+        &engine,
+        &coll.traces,
+        &ip2as,
+        &bdrmap::core::AliasConfig::default(),
+    );
     let graph = bdrmap::core::graph::ObservedGraph::build(&coll.traces, &alias, &ip2as);
     let map = bdrmap::core::heuristics::infer(&graph, input, &ip2as, coll);
     let _ = engine.budget();
