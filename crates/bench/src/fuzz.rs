@@ -1,0 +1,453 @@
+//! Seeded structure-aware fuzzing of the BDRM snapshot codec and the
+//! bdrmapd wire protocol.
+//!
+//! No external fuzzing engine: a splitmix64 generator (the same
+//! pattern as the dataplane fault layer) drives every draw, so a run
+//! is reproduced exactly by its seed — a CI failure is one `--fuzz-seed`
+//! away from a local repro.
+//!
+//! The fuzzer starts from *valid* artifacts (encoded border maps in
+//! both the v1 and v2 formats, encoded requests and responses) and
+//! applies structure-aware mutations: bit flips, byte overwrites,
+//! truncations, extensions, internal splices, and 32-bit boundary
+//! overwrites aimed at length/count fields. Two properties must hold
+//! for every mutant:
+//!
+//! 1. **No panic.** Decoding arbitrary bytes returns `Ok` or a typed
+//!    error; it never unwinds. (Checked under `catch_unwind`.)
+//! 2. **Canonical acceptance.** If a mutant *is* accepted, re-encoding
+//!    the decoded value must be a byte-level fixed point: `encode` of
+//!    the decode must itself decode, and re-encode to identical bytes.
+//!    Accepted-but-not-canonical inputs are how silent corruption
+//!    propagates through a snapshot store.
+//!
+//! Raw frame reading ([`read_frame`]) gets its own hostile stream
+//! cases (lying length prefixes, truncated bodies) with the same
+//! no-panic requirement.
+
+use bdrmap_core::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+use bdrmap_core::snapshot;
+use bdrmap_serve::{Request, Response};
+use bdrmap_types::wire::read_frame;
+use bdrmap_types::{addr, Asn};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One splitmix64 step.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Aggregated outcome of one fuzzing run. CI asserts the two failure
+/// counters are zero.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FuzzReport {
+    /// Total mutants exercised.
+    pub iterations: u64,
+    /// Mutants aimed at the snapshot codec.
+    pub snapshot_cases: u64,
+    /// Mutants aimed at the request/response codecs.
+    pub wire_cases: u64,
+    /// Hostile raw-frame streams fed to `read_frame`.
+    pub frame_cases: u64,
+    /// Mutants the decoder accepted.
+    pub accepted: u64,
+    /// Mutants the decoder rejected with a typed error.
+    pub rejected: u64,
+    /// Decodes that panicked — must be zero.
+    pub panics: u64,
+    /// Accepted mutants whose re-encode was not a byte-level fixed
+    /// point — must be zero.
+    pub canonical_violations: u64,
+}
+
+impl FuzzReport {
+    /// True when every property held.
+    pub fn clean(&self) -> bool {
+        self.panics == 0 && self.canonical_violations == 0
+    }
+
+    /// Stable JSON for CI logs.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"bench\": \"fuzz\",\n  \"schema\": 1,\n  \"iterations\": {},\n  \"snapshot_cases\": {},\n  \"wire_cases\": {},\n  \"frame_cases\": {},\n  \"accepted\": {},\n  \"rejected\": {},\n  \"panics\": {},\n  \"canonical_violations\": {}\n}}\n",
+            self.iterations,
+            self.snapshot_cases,
+            self.wire_cases,
+            self.frame_cases,
+            self.accepted,
+            self.rejected,
+            self.panics,
+            self.canonical_violations
+        )
+    }
+}
+
+/// Hand-built border maps exercising every structural variant the
+/// codec has: empty, option-dense, multi-router, multi-link.
+fn snapshot_corpus() -> Vec<BorderMap> {
+    let r = |addrs: &[u32], owner: Option<u32>, h: Option<Heuristic>| InferredRouter {
+        addrs: addrs.iter().map(|&a| addr(a)).collect(),
+        other_addrs: vec![],
+        owner: owner.map(Asn),
+        heuristic: h,
+        min_hop: 3,
+    };
+    let empty = BorderMap::default();
+    let small = BorderMap {
+        routers: vec![
+            r(&[0x0A00_0001], Some(64500), Some(Heuristic::VpInternal)),
+            r(
+                &[0x0A00_0002, 0x0A00_0003],
+                Some(64501),
+                Some(Heuristic::OneNet),
+            ),
+        ],
+        links: vec![InferredLink {
+            near: 0,
+            far: Some(1),
+            far_as: Asn(64501),
+            near_addr: Some(addr(0x0A00_0001)),
+            far_addr: Some(addr(0x0A00_0002)),
+            heuristic: Heuristic::OneNet,
+        }],
+        packets: 1234,
+        elapsed_ms: 60_000,
+    };
+    let dense = BorderMap {
+        routers: vec![
+            InferredRouter {
+                addrs: vec![addr(0xC000_0201)],
+                other_addrs: vec![addr(0xC000_0202), addr(0xC000_0203)],
+                owner: None,
+                heuristic: None,
+                min_hop: 0,
+            },
+            r(&[0xC000_0204], Some(64502), Some(Heuristic::SilentNeighbor)),
+            r(&[], None, None),
+        ],
+        links: vec![
+            InferredLink {
+                near: 0,
+                far: None,
+                far_as: Asn(64502),
+                near_addr: None,
+                far_addr: None,
+                heuristic: Heuristic::SilentNeighbor,
+            },
+            InferredLink {
+                near: 1,
+                far: Some(2),
+                far_as: Asn(64503),
+                near_addr: Some(addr(0xC000_0204)),
+                far_addr: None,
+                heuristic: Heuristic::ThirdParty,
+            },
+        ],
+        packets: u64::MAX,
+        elapsed_ms: 0,
+    };
+    vec![empty, small, dense]
+}
+
+/// Valid protocol payloads covering every request and response shape.
+fn wire_corpus() -> Vec<Vec<u8>> {
+    use bdrmap_core::OwnerAnswer;
+    use bdrmap_serve::{HealthInfo, LinkInfo, Stats};
+    let link = LinkInfo {
+        link: 9,
+        near_router: 2,
+        near_owner: Some(Asn(64500)),
+        far_as: Asn(64501),
+        near_addr: Some(addr(0x0A00_0001)),
+        far_addr: None,
+        heuristic: Heuristic::OneNet,
+    };
+    let mut corpus: Vec<Vec<u8>> = vec![
+        Request::Owner(addr(0xC000_0201)).encode(),
+        Request::Border(addr(0x0A00_0001)).encode(),
+        Request::Neighbor(Asn(64501)).encode(),
+        Request::Stats.encode(),
+        Request::Reload("/snap/gen-000001.bdrm".into()).encode(),
+        Request::Reload(String::new()).encode(),
+        Request::Health.encode(),
+    ];
+    corpus.extend([
+        Response::Owner(Some(OwnerAnswer {
+            asn: Asn(64500),
+            prefix: "10.0.0.0/8".parse().unwrap(),
+            router: Some(2),
+        }))
+        .encode(),
+        Response::Owner(None).encode(),
+        Response::Border(Some(link)).encode(),
+        Response::Border(None).encode(),
+        Response::Neighbor(vec![link, link]).encode(),
+        Response::Neighbor(vec![]).encode(),
+        Response::Stats(Stats {
+            generation: 3,
+            routers: 4,
+            links: 2,
+            prefixes: 9,
+            queries: 100,
+            sheds: 1,
+            last_build_us: 500,
+            last_swap_us: 5,
+            evicted_slow: 1,
+            evicted_flood: 0,
+            setup_errors: 0,
+            reload_failures: 2,
+            drained: 1,
+            breaker_state: 1,
+        })
+        .encode(),
+        Response::Reloaded {
+            generation: 2,
+            build_us: 900,
+            swap_us: 12,
+            routers: 4,
+            links: 2,
+        }
+        .encode(),
+        Response::Health(HealthInfo {
+            generation: 5,
+            swap_epoch: 6,
+            breaker_state: 2,
+            uptime_ms: 100_000,
+            reload_failures: 1,
+        })
+        .encode(),
+        Response::Overload.encode(),
+        Response::Error("reload failed after 3 attempt(s)".into()).encode(),
+    ]);
+    corpus
+}
+
+/// Apply one structure-aware mutation. Draw order is fixed, so the
+/// whole mutant stream replays from the seed.
+fn mutate(base: &[u8], rng: &mut u64) -> Vec<u8> {
+    let mut bytes = base.to_vec();
+    let kind = splitmix64(rng) % 6;
+    match kind {
+        0 => {
+            // Single bit flip.
+            if !bytes.is_empty() {
+                let i = (splitmix64(rng) as usize) % bytes.len();
+                bytes[i] ^= 1 << (splitmix64(rng) % 8);
+            }
+        }
+        1 => {
+            // Byte overwrite.
+            if !bytes.is_empty() {
+                let i = (splitmix64(rng) as usize) % bytes.len();
+                bytes[i] = splitmix64(rng) as u8;
+            }
+        }
+        2 => {
+            // Truncate to a strict prefix.
+            let keep = (splitmix64(rng) as usize) % bytes.len().max(1);
+            bytes.truncate(keep);
+        }
+        3 => {
+            // Extend with garbage.
+            let extra = 1 + (splitmix64(rng) as usize) % 16;
+            for _ in 0..extra {
+                bytes.push(splitmix64(rng) as u8);
+            }
+        }
+        4 => {
+            // Splice: copy one internal chunk over another.
+            if bytes.len() >= 8 {
+                let len = 1 + (splitmix64(rng) as usize) % (bytes.len() / 2);
+                let src = (splitmix64(rng) as usize) % (bytes.len() - len + 1);
+                let dst = (splitmix64(rng) as usize) % (bytes.len() - len + 1);
+                let chunk = bytes[src..src + len].to_vec();
+                bytes[dst..dst + len].copy_from_slice(&chunk);
+            }
+        }
+        _ => {
+            // Boundary-value u32 overwrite: aims at length/count/CRC
+            // fields, which all live on arbitrary offsets.
+            if bytes.len() >= 4 {
+                let i = (splitmix64(rng) as usize) % (bytes.len() - 3);
+                let v: u32 = match splitmix64(rng) % 5 {
+                    0 => 0,
+                    1 => 1,
+                    2 => u32::MAX,
+                    3 => bytes.len() as u32,
+                    _ => 1 << 30,
+                };
+                bytes[i..i + 4].copy_from_slice(&v.to_be_bytes());
+            }
+        }
+    }
+    bytes
+}
+
+enum Outcome {
+    Accepted,
+    Rejected,
+    Panicked,
+    NotCanonical,
+}
+
+/// Decode a snapshot mutant and enforce both fuzz properties.
+fn check_snapshot(bytes: &[u8]) -> Outcome {
+    let decoded = catch_unwind(AssertUnwindSafe(|| snapshot::decode(bytes)));
+    match decoded {
+        Err(_) => Outcome::Panicked,
+        Ok(Err(_)) => Outcome::Rejected,
+        Ok(Ok(map)) => {
+            // Canonical: encode of the accepted value is a fixed point.
+            let e1 = snapshot::encode(&map);
+            match snapshot::decode(&e1) {
+                Ok(map2) if snapshot::encode(&map2) == e1 => Outcome::Accepted,
+                _ => Outcome::NotCanonical,
+            }
+        }
+    }
+}
+
+/// Decode a protocol mutant as both a request and a response (a fuzzer
+/// does not know which side the bytes were meant for — neither does a
+/// hostile peer) and enforce both properties on whichever accepts.
+fn check_wire(bytes: &[u8]) -> Outcome {
+    let decoded = catch_unwind(AssertUnwindSafe(|| {
+        (Request::decode(bytes), Response::decode(bytes))
+    }));
+    let (req, resp) = match decoded {
+        Err(_) => return Outcome::Panicked,
+        Ok(pair) => pair,
+    };
+    let mut accepted = false;
+    if let Ok(req) = req {
+        accepted = true;
+        let e1 = req.encode();
+        if Request::decode(&e1).ok().map(|r| r.encode()) != Some(e1) {
+            return Outcome::NotCanonical;
+        }
+    }
+    if let Ok(resp) = resp {
+        accepted = true;
+        let e1 = resp.encode();
+        if Response::decode(&e1).ok().map(|r| r.encode()) != Some(e1) {
+            return Outcome::NotCanonical;
+        }
+    }
+    if accepted {
+        Outcome::Accepted
+    } else {
+        Outcome::Rejected
+    }
+}
+
+/// Feed a hostile byte stream to the frame reader; only the no-panic
+/// property applies (there is no value to re-encode).
+fn check_frame(bytes: &[u8]) -> Outcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let mut cursor = std::io::Cursor::new(bytes);
+        // Small cap so lying length prefixes are exercised cheaply.
+        read_frame(&mut cursor, 1 << 16)
+    }));
+    match result {
+        Err(_) => Outcome::Panicked,
+        Ok(Ok(_)) => Outcome::Accepted,
+        Ok(Err(_)) => Outcome::Rejected,
+    }
+}
+
+/// Run `iters` seeded mutants across all three targets.
+pub fn run(seed: u64, iters: u64) -> FuzzReport {
+    let mut rng = seed ^ 0xbd2_3a93;
+    let snaps: Vec<Vec<u8>> = snapshot_corpus()
+        .iter()
+        .flat_map(|m| [snapshot::encode(m), snapshot::encode_v1(m)])
+        .collect();
+    let wires = wire_corpus();
+    let mut report = FuzzReport::default();
+    for _ in 0..iters {
+        report.iterations += 1;
+        let outcome = match splitmix64(&mut rng) % 5 {
+            // Snapshot codec gets the biggest share: it guards
+            // persistence, where corruption is stickiest.
+            0 | 1 => {
+                report.snapshot_cases += 1;
+                let base = &snaps[(splitmix64(&mut rng) as usize) % snaps.len()];
+                check_snapshot(&mutate(base, &mut rng))
+            }
+            2 | 3 => {
+                report.wire_cases += 1;
+                let base = &wires[(splitmix64(&mut rng) as usize) % wires.len()];
+                check_wire(&mutate(base, &mut rng))
+            }
+            _ => {
+                report.frame_cases += 1;
+                // Frames: mutate a framed wire payload so length
+                // prefixes and bodies both get mangled.
+                let base = &wires[(splitmix64(&mut rng) as usize) % wires.len()];
+                let mut framed = (base.len() as u32).to_be_bytes().to_vec();
+                framed.extend_from_slice(base);
+                check_frame(&mutate(&framed, &mut rng))
+            }
+        };
+        match outcome {
+            Outcome::Accepted => report.accepted += 1,
+            Outcome::Rejected => report.rejected += 1,
+            Outcome::Panicked => report.panics += 1,
+            Outcome::NotCanonical => report.canonical_violations += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_valid_before_mutation() {
+        for map in snapshot_corpus() {
+            let enc = snapshot::encode(&map);
+            assert!(snapshot::decode(&enc).is_ok());
+            let v1 = snapshot::encode_v1(&map);
+            assert!(snapshot::decode(&v1).is_ok());
+        }
+        for bytes in wire_corpus() {
+            assert!(Request::decode(&bytes).is_ok() || Response::decode(&bytes).is_ok());
+        }
+    }
+
+    #[test]
+    fn short_run_is_clean_and_deterministic() {
+        let a = run(7, 2000);
+        let b = run(7, 2000);
+        assert_eq!(a.panics, 0, "decode panicked: {a:?}");
+        assert_eq!(a.canonical_violations, 0, "non-canonical accept: {a:?}");
+        assert!(a.clean());
+        assert_eq!(a.accepted, b.accepted);
+        assert_eq!(a.rejected, b.rejected);
+        assert_eq!(a.snapshot_cases, b.snapshot_cases);
+        assert!(a.rejected > 0, "mutations should mostly be rejected");
+        assert!(
+            a.snapshot_cases > 0 && a.wire_cases > 0 && a.frame_cases > 0,
+            "all targets exercised: {a:?}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(1, 500);
+        let b = run(2, 500);
+        assert!(a.clean() && b.clean());
+        // Identical splits would be suspicious; counts should differ
+        // somewhere.
+        assert!(
+            a.snapshot_cases != b.snapshot_cases
+                || a.accepted != b.accepted
+                || a.rejected != b.rejected
+        );
+    }
+}

@@ -4,6 +4,8 @@
 //! (see DESIGN.md's experiment index) and prints the reproduced rows /
 //! series once before timing the computation with Criterion.
 
+pub mod fuzz;
+
 use bdrmap_eval::Scenario;
 use bdrmap_topo::TopoConfig;
 

@@ -187,6 +187,16 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             "wrote border-map snapshot to {out} (serve it with `bdrmap serve --snapshot {out}`)"
         );
     }
+    if let Some(dir) = args.get("snap-dir") {
+        let store = bdrmap_core::SnapStore::open(dir)
+            .map_err(|e| ArgError(format!("opening snapshot store {dir}: {e}")))?;
+        let generation = store
+            .publish(&map)
+            .map_err(|e| ArgError(format!("publishing into {dir}: {e}")))?;
+        println!(
+            "published generation {generation} into {dir} (serve it with `bdrmap serve --snap-dir {dir}`)"
+        );
+    }
     Ok(())
 }
 
@@ -665,36 +675,64 @@ fn serve_config(args: &Args, listen: String) -> Result<ServeConfig, ArgError> {
         workers: args.get_parse("workers", 4)?,
         queue: args.get_parse("queue", 128)?,
         prefix_owners: Vec::new(),
+        ..ServeConfig::default()
     })
 }
 
 /// `bdrmap serve`: bdrmapd. Load (or infer) a border map and answer
-/// queries until killed.
+/// queries until killed. With `--snap-dir`, boot from the store's
+/// newest verified-good generation, rolling back past corrupt files.
 pub fn serve(args: &Args) -> Result<(), ArgError> {
     let listen = args.get("listen").unwrap_or("127.0.0.1:47700").to_string();
-    let (map, prefix_owners) = serve_map(args)?;
-    let cfg = ServeConfig {
-        prefix_owners,
-        ..serve_config(args, listen)?
+    let server = if let Some(dir) = args.get("snap-dir") {
+        let cfg = serve_config(args, listen)?;
+        let workers = cfg.workers;
+        let queue = cfg.queue;
+        let server = Server::start_from_store(dir, cfg)
+            .map_err(|e| ArgError(format!("starting bdrmapd from store {dir}: {e}")))?;
+        println!(
+            "bdrmapd serving store {dir} generation {} on {} ({} workers, accept queue {})",
+            server.store_generation(),
+            server.local_addr(),
+            workers,
+            queue
+        );
+        server
+    } else {
+        let (map, prefix_owners) = serve_map(args)?;
+        let cfg = ServeConfig {
+            prefix_owners,
+            ..serve_config(args, listen)?
+        };
+        let workers = cfg.workers;
+        let queue = cfg.queue;
+        let server =
+            Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
+        println!(
+            "bdrmapd serving {} routers / {} links on {} ({} workers, accept queue {})",
+            map.routers.len(),
+            map.links.len(),
+            server.local_addr(),
+            workers,
+            queue
+        );
+        server
     };
-    let workers = cfg.workers;
-    let queue = cfg.queue;
-    let server =
-        Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
-    println!(
-        "bdrmapd serving {} routers / {} links on {} ({} workers, accept queue {})",
-        map.routers.len(),
-        map.links.len(),
-        server.local_addr(),
-        workers,
-        queue
-    );
     println!(
         "query it:  bdrmap query --connect {} --stats",
         server.local_addr()
     );
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn breaker_name(code: u8) -> &'static str {
+    match code {
+        0 => "closed",
+        1 => "open",
+        2 => "half-open",
+        _ => "unknown",
     }
 }
 
@@ -741,11 +779,17 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
             .map_err(|_| ArgError(format!("invalid --neighbor: {n}")))?))
     } else if let Some(path) = args.get("reload") {
         Request::Reload(path.to_string())
+    } else if args.flag("reload-store") {
+        // Empty path = "reload from the server's snapshot store".
+        Request::Reload(String::new())
     } else if args.flag("stats") {
         Request::Stats
+    } else if args.flag("health") {
+        Request::Health
     } else {
         return Err(ArgError(
-            "query needs one of --addr/--border/--neighbor/--reload/--stats".into(),
+            "query needs one of --addr/--border/--neighbor/--reload/--reload-store/--stats/--health"
+                .into(),
         ));
     };
     let mut client =
@@ -782,6 +826,25 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
                 s.last_build_us,
                 s.last_swap_us
             );
+            println!(
+                "robustness: {} slow evicted, {} flood evicted, {} setup errors, {} reload failures, {} drained | breaker {}",
+                s.evicted_slow,
+                s.evicted_flood,
+                s.setup_errors,
+                s.reload_failures,
+                s.drained,
+                breaker_name(s.breaker_state)
+            );
+        }
+        Response::Health(h) => {
+            println!(
+                "generation {} | swap epoch {} | breaker {} | {} reload failures | up {:.1}s",
+                h.generation,
+                h.swap_epoch,
+                breaker_name(h.breaker_state),
+                h.reload_failures,
+                h.uptime_ms as f64 / 1e3
+            );
         }
         Response::Reloaded {
             generation,
@@ -809,10 +872,19 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
     if secs <= 0.0 || !secs.is_finite() {
         return Err(ArgError(format!("--secs must be positive, got {secs}")));
     }
+    let corrupt_rate: f64 = args.get_parse("corrupt-rate", 0.0)?;
+    if !(0.0..=1.0).contains(&corrupt_rate) {
+        return Err(ArgError(format!(
+            "--corrupt-rate must be in [0,1], got {corrupt_rate}"
+        )));
+    }
     let base = LoadgenConfig {
         conns: args.get_parse("conns", 4)?,
         duration: std::time::Duration::from_secs_f64(secs),
         reload_with: None,
+        corrupt_rate,
+        stall_conns: args.get_parse("stall-conns", 0)?,
+        ..LoadgenConfig::default()
     };
     let report = if let Some(connect) = args.get("connect") {
         let addr: std::net::SocketAddr = connect
@@ -831,10 +903,15 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
             .map_err(|e| ArgError(format!("load generation failed: {e}")))?
     } else {
         let (map, prefix_owners) = serve_map(args)?;
-        let cfg = ServeConfig {
+        let mut cfg = ServeConfig {
             prefix_owners,
             ..serve_config(args, "127.0.0.1:0".to_string())?
         };
+        if base.stall_conns > 0 {
+            // Stalled connections must be evictable within the run, so
+            // the in-process server's deadline scales with --secs.
+            cfg.request_deadline = (base.duration / 2).max(std::time::Duration::from_millis(100));
+        }
         let server =
             Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
         // Mid-run hot swap of the same map: exercises the reload path
@@ -875,6 +952,18 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
             r.round_trip_us, r.build_us, r.swap_us, r.generation
         );
     }
+    if report.corrupt_sent > 0 {
+        println!(
+            "hostile frames: {} sent, {} answered well-formed",
+            report.corrupt_sent, report.corrupt_survived
+        );
+    }
+    if report.stalled > 0 {
+        println!(
+            "slow-loris: {} stalled connections, {} evicted by deadline",
+            report.stalled, report.stalled_evicted
+        );
+    }
     if let Some(json) = args.get("json") {
         report
             .write_json(std::path::Path::new(json))
@@ -890,6 +979,55 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
         return Err(ArgError(format!(
             "{} queries were lost in flight",
             report.queries_error
+        )));
+    }
+    if report.corrupt_survived < report.corrupt_sent {
+        return Err(ArgError(format!(
+            "{} corrupt frames did not get a well-formed response",
+            report.corrupt_sent - report.corrupt_survived
+        )));
+    }
+    if report.stalled_evicted < report.stalled {
+        return Err(ArgError(format!(
+            "{} stalled connections were not evicted by the deadline",
+            report.stalled - report.stalled_evicted
+        )));
+    }
+    Ok(())
+}
+
+/// `bdrmap fuzz`: seeded structure-aware fuzzing of the BDRM snapshot
+/// codec, the wire protocol, and the frame reader. Fails (exit 1) on
+/// any panic or any accepted-but-non-canonical input.
+pub fn fuzz(args: &Args) -> Result<(), ArgError> {
+    let iters: u64 = args.get_parse("iters", 10_000)?;
+    let seed: u64 = args.get_parse("fuzz-seed", 42)?;
+    if iters == 0 {
+        return Err(ArgError("--iters must be at least 1".into()));
+    }
+    let report = bdrmap_bench::fuzz::run(seed, iters);
+    println!(
+        "fuzz seed {seed}: {} mutants ({} snapshot, {} wire, {} frame) | {} accepted, {} rejected",
+        report.iterations,
+        report.snapshot_cases,
+        report.wire_cases,
+        report.frame_cases,
+        report.accepted,
+        report.rejected
+    );
+    println!(
+        "panics: {} | canonical violations: {}",
+        report.panics, report.canonical_violations
+    );
+    if let Some(json) = args.get("json") {
+        bdrmap_types::fsutil::write_atomic(std::path::Path::new(json), report.to_json().as_bytes())
+            .map_err(|e| ArgError(format!("writing {json}: {e}")))?;
+        println!("wrote {json}");
+    }
+    if !report.clean() {
+        return Err(ArgError(format!(
+            "fuzzing found failures: {} panics, {} canonical violations (repro with --fuzz-seed {seed} --iters {iters})",
+            report.panics, report.canonical_violations
         )));
     }
     Ok(())

@@ -42,6 +42,11 @@ const VALUE_KEYS: &[&str] = &[
     "secs",
     "json",
     "alias-parallelism",
+    "snap-dir",
+    "corrupt-rate",
+    "stall-conns",
+    "iters",
+    "fuzz-seed",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -50,6 +55,8 @@ const FLAGS: &[&str] = &[
     "no-stop-sets",
     "resume",
     "stats",
+    "health",
+    "reload-store",
     "help",
 ];
 
@@ -76,6 +83,7 @@ COMMANDS:
     serve       run bdrmapd: answer border-map queries over TCP
     query       one-shot client for a running bdrmapd
     loadgen     closed-loop load against bdrmapd, reporting QPS + latency
+    fuzz        seeded hostile-input fuzzing of the snapshot + wire codecs
     bench-pipeline  time every pipeline stage, write BENCH_pipeline.json
 
 OPTIONS:
@@ -102,6 +110,10 @@ FAULT INJECTION (run / probe / degradation):
 
 SERVING (serve / query / loadgen):
     --map-out <path>     `run`: also save the border map as a snapshot file
+    --snap-dir <dir>     `run`: publish the map into a crash-safe snapshot
+                         store; `serve`: boot from the store's newest
+                         verified-good generation (rolls back past corrupt
+                         files, quarantining them)
     --snapshot <path>    serve/loadgen: use a saved snapshot instead of inferring
     --listen <addr>      `serve`: bind address (default 127.0.0.1:47700)
     --workers <n>        worker threads (default 4)
@@ -111,11 +123,19 @@ SERVING (serve / query / loadgen):
     --border <ip>        `query`: which border link carries this interface?
     --neighbor <asn>     `query`: all links to this neighbor AS
     --stats              `query`: server statistics
+    --health             `query`: generation, swap epoch, breaker state, uptime
     --reload <path>      query/loadgen: hot-swap in this snapshot file
+    --reload-store       `query`: hot-swap from the server's snapshot store
     --conns <n>          `loadgen`: closed-loop connections (default 4)
     --secs <f>           `loadgen`: run time in seconds (default 2)
+    --corrupt-rate <f>   `loadgen`: fraction of requests sent corrupted [0,1]
+    --stall-conns <n>    `loadgen`: extra slow-loris connections (default 0)
     --json <path>        loadgen/bench-pipeline: report path (bench-pipeline
                          default: BENCH_pipeline.json)
+
+FUZZING (fuzz):
+    --iters <n>          seeded mutations to run (default 10000)
+    --fuzz-seed <u64>    fuzzer seed (default 42); same seed, same mutants
 "
 }
 
@@ -152,6 +172,7 @@ fn main() {
         "serve" => commands::serve(&args),
         "query" => commands::query(&args),
         "loadgen" => commands::loadgen(&args),
+        "fuzz" => commands::fuzz(&args),
         "bench-pipeline" => commands::bench_pipeline(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());

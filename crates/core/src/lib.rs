@@ -38,6 +38,7 @@ pub mod output;
 pub mod pipeline;
 pub mod query;
 pub mod snapshot;
+pub mod snapstore;
 
 pub use aliases::{AliasConfig, AliasStats};
 pub use beyond::{far_links, FarLink};
@@ -46,6 +47,7 @@ pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};
 pub use pipeline::{run_stages, PipelineRun, StageReport};
 pub use query::{BorderAnswer, LinkRec, OwnerAnswer, QueryIndex, RouterRec};
+pub use snapstore::{LoadOutcome, Quarantined, SnapStore, StoreError};
 
 use bdrmap_probe::{run_traces, Prober, RunOptions, TraceCollection};
 

@@ -6,26 +6,38 @@
 //! store) plus atomic save/load, so a probe+infer cycle can publish a
 //! snapshot file that bdrmapd picks up with a `reload` command.
 //!
-//! Layout:
+//! Version 2 adds end-to-end integrity: every section carries a CRC32C
+//! of its body and the file closes with a footer checksum over all
+//! preceding bytes, so a bit-flipped or truncated file is rejected with
+//! a typed error instead of decoding into garbage. Version 1 files
+//! (no checksums) remain readable.
+//!
+//! Layout (v2):
 //!
 //! ```text
-//! magic "BDRM" | u16 version | u64 packets | u64 elapsed_ms |
-//! u32 router_count | router* | u32 link_count | link*
-//! router := u16 n_addrs | u32* | u16 n_other | u32* |
-//!           u8 has_owner [u32 asn] | u8 heuristic (255 = none) | u8 min_hop
-//! link   := u32 near | u8 has_far [u32 far] | u32 far_as |
-//!           u8 has_near_addr [u32] | u8 has_far_addr [u32] | u8 heuristic
+//! magic "BDRM" | u16 version
+//! meta    := u64 packets | u64 elapsed_ms            | u32 crc32c(body)
+//! routers := u32 router_count | router*              | u32 crc32c(body)
+//! links   := u32 link_count | link*                  | u32 crc32c(body)
+//! footer  := u32 crc32c(every preceding byte)
+//! router  := u16 n_addrs | u32* | u16 n_other | u32* |
+//!            u8 has_owner [u32 asn] | u8 heuristic (255 = none) | u8 min_hop
+//! link    := u32 near | u8 has_far [u32 far] | u32 far_as |
+//!            u8 has_near_addr [u32] | u8 has_far_addr [u32] | u8 heuristic
 //! ```
 
 use crate::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
+use bdrmap_types::integrity::crc32c;
 use bdrmap_types::wire::{WireError, WireReader, WireWriter};
 use bdrmap_types::{addr, addr_bits, Addr, Asn};
 use std::path::Path;
 
 /// File magic.
 const MAGIC: &[u8; 4] = b"BDRM";
-/// Current format version.
-const VERSION: u16 = 1;
+/// Current format version (v2: per-section CRC32C + footer checksum).
+const VERSION: u16 = 2;
+/// Oldest version this reader still accepts.
+const MIN_VERSION: u16 = 1;
 /// Heuristic byte meaning "no heuristic recorded".
 const NO_HEURISTIC: u8 = 255;
 
@@ -38,6 +50,10 @@ pub enum SnapshotError {
     BadVersion(u16),
     /// Truncated or internally inconsistent.
     Malformed,
+    /// A section body failed its CRC32C — bit rot or a torn write.
+    SectionCrc(&'static str),
+    /// The whole-file footer checksum failed.
+    FooterCrc,
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -46,6 +62,8 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::BadMagic => write!(f, "not a border-map snapshot"),
             SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
             SnapshotError::Malformed => write!(f, "truncated or malformed snapshot"),
+            SnapshotError::SectionCrc(s) => write!(f, "snapshot {s} section failed its checksum"),
+            SnapshotError::FooterCrc => write!(f, "snapshot footer checksum mismatch"),
         }
     }
 }
@@ -76,13 +94,12 @@ fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, WireError> {
     })
 }
 
-/// Serialize a border map to the canonical byte encoding.
-pub fn encode(map: &BorderMap) -> Vec<u8> {
-    let mut w = WireWriter::new();
-    w.put_slice(MAGIC);
-    w.put_u16(VERSION);
+fn encode_meta(w: &mut WireWriter, map: &BorderMap) {
     w.put_u64(map.packets);
     w.put_u64(map.elapsed_ms);
+}
+
+fn encode_routers(w: &mut WireWriter, map: &BorderMap) {
     w.put_u32(map.routers.len() as u32);
     for router in &map.routers {
         w.put_u16(router.addrs.len() as u16);
@@ -108,6 +125,9 @@ pub fn encode(map: &BorderMap) -> Vec<u8> {
         );
         w.put_u8(router.min_hop);
     }
+}
+
+fn encode_links(w: &mut WireWriter, map: &BorderMap) {
     w.put_u32(map.links.len() as u32);
     for link in &map.links {
         w.put_u32(link.near as u32);
@@ -119,31 +139,50 @@ pub fn encode(map: &BorderMap) -> Vec<u8> {
             None => w.put_u8(0),
         }
         w.put_u32(link.far_as.0);
-        put_opt_addr(&mut w, link.near_addr);
-        put_opt_addr(&mut w, link.far_addr);
+        put_opt_addr(&mut *w, link.near_addr);
+        put_opt_addr(&mut *w, link.far_addr);
         w.put_u8(link.heuristic.code());
     }
+}
+
+/// Serialize a border map to the canonical v2 byte encoding, computing
+/// each section's CRC32C and the footer checksum as it goes.
+pub fn encode(map: &BorderMap) -> Vec<u8> {
+    let mut out = WireWriter::new();
+    out.put_slice(MAGIC);
+    out.put_u16(VERSION);
+    for fill in [encode_meta, encode_routers, encode_links] {
+        let mut section = WireWriter::new();
+        fill(&mut section, map);
+        let body = section.into_vec();
+        out.put_slice(&body);
+        out.put_u32(crc32c(&body));
+    }
+    let mut bytes = out.into_vec();
+    let footer = crc32c(&bytes);
+    bytes.extend_from_slice(&footer.to_be_bytes());
+    bytes
+}
+
+/// Serialize to the legacy v1 encoding (no checksums). Kept so the v1
+/// read path and the fuzzer's version-compatibility corpus stay
+/// exercised; new snapshots are always written as v2.
+pub fn encode_v1(map: &BorderMap) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.put_slice(MAGIC);
+    w.put_u16(1);
+    encode_meta(&mut w, map);
+    encode_routers(&mut w, map);
+    encode_links(&mut w, map);
     w.into_vec()
 }
 
-/// Parse the canonical byte encoding, validating every cross-reference.
-pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
-    let mut r = WireReader::new(data);
-    let mut magic = [0u8; 4];
-    for b in &mut magic {
-        *b = r.get_u8().map_err(|_| SnapshotError::BadMagic)?;
-    }
-    if &magic != MAGIC {
-        return Err(SnapshotError::BadMagic);
-    }
-    let version = r.get_u16()?;
-    if version > VERSION {
-        return Err(SnapshotError::BadVersion(version));
-    }
-    let packets = r.get_u64()?;
-    let elapsed_ms = r.get_u64()?;
+fn decode_routers(
+    r: &mut WireReader,
+    total_len: usize,
+) -> Result<Vec<InferredRouter>, SnapshotError> {
     let n_routers = r.get_u32()? as usize;
-    if n_routers > data.len() {
+    if n_routers > total_len {
         return Err(SnapshotError::Malformed);
     }
     let mut routers = Vec::with_capacity(n_routers);
@@ -175,8 +214,16 @@ pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
             min_hop: r.get_u8()?,
         });
     }
+    Ok(routers)
+}
+
+fn decode_links(
+    r: &mut WireReader,
+    total_len: usize,
+    n_routers: usize,
+) -> Result<Vec<InferredLink>, SnapshotError> {
     let n_links = r.get_u32()? as usize;
-    if n_links > data.len() {
+    if n_links > total_len {
         return Err(SnapshotError::Malformed);
     }
     let mut links = Vec::with_capacity(n_links);
@@ -187,18 +234,100 @@ pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
         } else {
             None
         };
-        if near >= routers.len() || far.is_some_and(|f| f >= routers.len()) {
+        if near >= n_routers || far.is_some_and(|f| f >= n_routers) {
             return Err(SnapshotError::Malformed);
         }
         links.push(InferredLink {
             near,
             far,
             far_as: Asn(r.get_u32()?),
-            near_addr: get_opt_addr(&mut r)?,
-            far_addr: get_opt_addr(&mut r)?,
+            near_addr: get_opt_addr(r)?,
+            far_addr: get_opt_addr(r)?,
             heuristic: Heuristic::from_code(r.get_u8()?).ok_or(SnapshotError::Malformed)?,
         });
     }
+    Ok(links)
+}
+
+/// Parse the canonical byte encoding, validating every checksum (v2)
+/// and cross-reference. Rejects trailing bytes after the last section.
+pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
+    let mut r = WireReader::new(data);
+    let mut magic = [0u8; 4];
+    for b in &mut magic {
+        *b = r.get_u8().map_err(|_| SnapshotError::BadMagic)?;
+    }
+    if &magic != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let version = r.get_u16()?;
+    if version > VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    if version < MIN_VERSION {
+        return Err(SnapshotError::BadVersion(version));
+    }
+    match version {
+        1 => decode_v1_body(data, r),
+        _ => decode_v2_body(data, r),
+    }
+}
+
+/// v1: sections follow each other with no checksums.
+fn decode_v1_body(data: &[u8], mut r: WireReader) -> Result<BorderMap, SnapshotError> {
+    let packets = r.get_u64()?;
+    let elapsed_ms = r.get_u64()?;
+    let routers = decode_routers(&mut r, data.len())?;
+    let links = decode_links(&mut r, data.len(), routers.len())?;
+    r.finish()?;
+    Ok(BorderMap {
+        routers,
+        links,
+        packets,
+        elapsed_ms,
+    })
+}
+
+/// v2: each section body is followed by its CRC32C; the file closes
+/// with a footer checksum over every preceding byte.
+fn decode_v2_body(data: &[u8], mut r: WireReader) -> Result<BorderMap, SnapshotError> {
+    // Verify the footer first: it covers everything, so a file that
+    // passes it can only fail section CRCs through a codec bug.
+    if data.len() < 4 {
+        return Err(SnapshotError::Malformed);
+    }
+    let body_end = data.len() - 4;
+    let stored_footer = u32::from_be_bytes(data[body_end..].try_into().unwrap());
+    if crc32c(&data[..body_end]) != stored_footer {
+        return Err(SnapshotError::FooterCrc);
+    }
+
+    let pos = |r: &WireReader| data.len() - r.remaining();
+    let check = |r: &mut WireReader, start: usize, name: &'static str| {
+        let end = pos(r);
+        let stored = r.get_u32().map_err(SnapshotError::from)?;
+        if crc32c(&data[start..end]) != stored {
+            return Err(SnapshotError::SectionCrc(name));
+        }
+        Ok(())
+    };
+
+    let start = pos(&r);
+    let packets = r.get_u64()?;
+    let elapsed_ms = r.get_u64()?;
+    check(&mut r, start, "meta")?;
+
+    let start = pos(&r);
+    let routers = decode_routers(&mut r, data.len())?;
+    check(&mut r, start, "routers")?;
+
+    let start = pos(&r);
+    let links = decode_links(&mut r, data.len(), routers.len())?;
+    check(&mut r, start, "links")?;
+
+    // Footer (already verified above), then nothing: trailing bytes
+    // after the last section are rejected.
+    r.get_u32()?;
     r.finish()?;
     Ok(BorderMap {
         routers,
@@ -227,7 +356,7 @@ mod tests {
         s.parse().unwrap()
     }
 
-    fn sample() -> BorderMap {
+    pub(crate) fn sample() -> BorderMap {
         BorderMap {
             routers: vec![
                 InferredRouter {
@@ -288,25 +417,96 @@ mod tests {
     }
 
     #[test]
+    fn v1_files_remain_readable() {
+        let map = sample();
+        let v1 = encode_v1(&map);
+        let back = decode(&v1).unwrap();
+        // Same content, and re-encoding lands on the canonical v2 bytes.
+        assert_eq!(encode(&back), encode(&map));
+        // v1 rejects trailing garbage too.
+        let mut padded = v1.clone();
+        padded.push(0);
+        assert!(matches!(decode(&padded), Err(SnapshotError::Malformed)));
+        // And truncation at every byte offset.
+        for cut in 0..v1.len() {
+            assert!(decode(&v1[..cut]).is_err(), "v1 cut at {cut} decoded");
+        }
+    }
+
+    #[test]
     fn decode_rejects_corruption() {
         let full = encode(&sample());
         assert!(matches!(decode(b"NOPE"), Err(SnapshotError::BadMagic)));
-        for cut in [0, 3, 7, 20, full.len() - 1] {
-            assert!(
-                decode(&full[..cut]).is_err(),
-                "cut at {cut} must not decode"
-            );
-        }
-        // Trailing garbage is rejected too.
+        // Trailing garbage is rejected (footer CRC no longer aligns).
         let mut padded = full.clone();
         padded.push(0);
-        assert!(matches!(decode(&padded), Err(SnapshotError::Malformed)));
-        // A link pointing at a nonexistent router is rejected.
+        assert!(decode(&padded).is_err());
+        // A link pointing at a nonexistent router is rejected even when
+        // the checksums are recomputed to match.
         let mut bad = sample();
         bad.links[0].near = 99;
         assert!(matches!(
             decode(&encode(&bad)),
             Err(SnapshotError::Malformed)
+        ));
+        // An unknown future version is rejected.
+        let mut future = full.clone();
+        future[4] = 0;
+        future[5] = 99;
+        assert!(matches!(
+            decode(&future),
+            Err(SnapshotError::BadVersion(99))
+        ));
+    }
+
+    /// Truncation at *every* byte offset must yield an error, never a
+    /// panic or a silently short map.
+    #[test]
+    fn truncated_at_every_byte_offset_is_rejected() {
+        let full = encode(&sample());
+        for cut in 0..full.len() {
+            assert!(decode(&full[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    /// Every single-bit flip anywhere in the file is caught by a
+    /// checksum (or an earlier structural check).
+    #[test]
+    fn any_bit_flip_is_rejected() {
+        let full = encode(&sample());
+        for byte in 0..full.len() {
+            for bit in 0..8 {
+                let mut flipped = full.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    decode(&flipped).is_err(),
+                    "flip at {byte}:{bit} decoded successfully"
+                );
+            }
+        }
+    }
+
+    /// Flips in a section body are reported as checksum failures, not
+    /// generic malformation, when the structure still parses.
+    #[test]
+    fn crc_failures_are_typed() {
+        let map = sample();
+        let full = encode(&map);
+        // Flip one bit inside the meta section body (packets field,
+        // right after magic + version).
+        let mut flipped = full.clone();
+        flipped[7] ^= 1;
+        assert!(matches!(
+            decode(&flipped),
+            Err(SnapshotError::FooterCrc | SnapshotError::SectionCrc(_))
+        ));
+        // Repair the footer so only the section CRC can catch it.
+        let body_end = flipped.len() - 4;
+        let refreshed = crc32c(&flipped[..body_end]).to_be_bytes();
+        flipped[body_end..].copy_from_slice(&refreshed);
+        assert!(matches!(
+            decode(&flipped),
+            Err(SnapshotError::SectionCrc("meta"))
         ));
     }
 

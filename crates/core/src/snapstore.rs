@@ -1,0 +1,396 @@
+//! Crash-safe snapshot store: generations, a manifest, and rollback.
+//!
+//! A serving deployment republishes border-map snapshots continuously;
+//! any of those writes can be torn by a crash, and any byte on disk can
+//! rot. [`SnapStore`] manages a directory of generation-numbered
+//! snapshot files (`gen-000042.bdrm`) plus a tiny `MANIFEST` pointing
+//! at the last *verified-good* generation. Both the snapshot and the
+//! manifest are written atomically (write-to-sibling + rename), and a
+//! snapshot is only referenced by the manifest after it has been read
+//! back and fully re-verified — checksums included.
+//!
+//! The load path is where the crash safety pays off:
+//! [`load_verified`](SnapStore::load_verified) starts from the manifest
+//! generation and walks *backwards* on failure. A snapshot that fails
+//! to decode (bad magic, failed CRC, truncation) is quarantined into
+//! `corrupt/` — preserving the evidence without leaving a landmine on
+//! the load path — and the previous generation is tried, so a single
+//! bad publish degrades service to the last good map instead of taking
+//! the daemon down.
+
+use crate::output::BorderMap;
+use crate::snapshot;
+use bdrmap_types::fsutil::write_atomic;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Manifest file name inside the store directory.
+const MANIFEST: &str = "MANIFEST";
+/// Quarantine subdirectory for snapshots that failed verification.
+const CORRUPT_DIR: &str = "corrupt";
+
+/// Why the store could not produce a border map.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The store directory holds no snapshot generations at all.
+    Empty,
+    /// Every generation present failed verification (all quarantined).
+    AllCorrupt {
+        /// How many generations were tried and quarantined.
+        tried: usize,
+    },
+    /// Filesystem trouble outside a snapshot's own content.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Empty => write!(f, "snapshot store holds no generations"),
+            StoreError::AllCorrupt { tried } => {
+                write!(f, "all {tried} snapshot generations failed verification")
+            }
+            StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// One quarantined generation: which one, and why it failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The generation number that failed verification.
+    pub generation: u64,
+    /// Human-readable failure reason (decode error or read error).
+    pub reason: String,
+}
+
+/// The result of a verified load: the map, where it came from, and what
+/// had to be thrown out along the way.
+#[derive(Debug)]
+pub struct LoadOutcome {
+    /// The verified-good border map.
+    pub map: BorderMap,
+    /// The generation it was loaded from.
+    pub generation: u64,
+    /// Generations quarantined during this load, newest first. Empty on
+    /// the happy path; non-empty means the store rolled back.
+    pub quarantined: Vec<Quarantined>,
+}
+
+impl LoadOutcome {
+    /// True when the load had to fall back past a bad generation.
+    pub fn rolled_back(&self) -> bool {
+        !self.quarantined.is_empty()
+    }
+}
+
+/// A directory of generation-numbered border-map snapshots.
+#[derive(Debug, Clone)]
+pub struct SnapStore {
+    dir: PathBuf,
+}
+
+impl SnapStore {
+    /// Open (creating if needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join(CORRUPT_DIR))?;
+        Ok(SnapStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of generation `gen`'s snapshot file.
+    pub fn path_of(&self, gen: u64) -> PathBuf {
+        self.dir.join(format!("gen-{gen:06}.bdrm"))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST)
+    }
+
+    /// Generation the manifest points at, if the manifest exists and
+    /// parses. A torn or garbled manifest reads as `None`: the load
+    /// path then falls back to the newest generation on disk.
+    pub fn manifest_generation(&self) -> Option<u64> {
+        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != "bdrm-store v1" {
+            return None;
+        }
+        let gen_line = lines.next()?;
+        gen_line.strip_prefix("generation ")?.trim().parse().ok()
+    }
+
+    fn write_manifest(&self, gen: u64) -> io::Result<()> {
+        let body = format!("bdrm-store v1\ngeneration {gen}\n");
+        write_atomic(&self.manifest_path(), body.as_bytes())
+    }
+
+    /// All generation numbers present on disk, ascending.
+    pub fn generations(&self) -> io::Result<Vec<u64>> {
+        let mut gens = Vec::new();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(g) = name
+                .strip_prefix("gen-")
+                .and_then(|s| s.strip_suffix(".bdrm"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                gens.push(g);
+            }
+        }
+        gens.sort_unstable();
+        Ok(gens)
+    }
+
+    /// Publish `map` as the next generation: write it atomically, read
+    /// it back and verify every checksum, and only then advance the
+    /// manifest. Returns the new generation number.
+    pub fn publish(&self, map: &BorderMap) -> io::Result<u64> {
+        let latest = self.generations()?.last().copied().unwrap_or(0);
+        let gen = latest
+            .max(self.manifest_generation().unwrap_or(0))
+            .checked_add(1)
+            .expect("snapshot generation counter overflowed u64");
+        let path = self.path_of(gen);
+        write_atomic(&path, &snapshot::encode(map))?;
+        // Read-back verification: never point the manifest at bytes
+        // that were not proven decodable from disk.
+        snapshot::load(&path)?;
+        self.write_manifest(gen)?;
+        Ok(gen)
+    }
+
+    /// Move a failed snapshot into `corrupt/`, preserving its name (a
+    /// numeric suffix is added if a previous quarantine collides).
+    fn quarantine(&self, gen: u64) -> io::Result<PathBuf> {
+        let src = self.path_of(gen);
+        let base = self.dir.join(CORRUPT_DIR);
+        let name = format!("gen-{gen:06}.bdrm");
+        let mut dst = base.join(&name);
+        let mut n = 1;
+        while dst.exists() {
+            dst = base.join(format!("{name}.{n}"));
+            n += 1;
+        }
+        std::fs::rename(&src, &dst)?;
+        Ok(dst)
+    }
+
+    /// Load the newest verified-good snapshot, quarantining and rolling
+    /// past any generation that fails to decode. On success the
+    /// manifest is re-pointed at the generation actually served, so the
+    /// next load does not re-tread the bad path.
+    pub fn load_verified(&self) -> Result<LoadOutcome, StoreError> {
+        let mut gens = self.generations()?;
+        if gens.is_empty() {
+            return Err(StoreError::Empty);
+        }
+        // Prefer the manifest's generation when it is still on disk;
+        // anything newer is an unreferenced (possibly half-published)
+        // file, but it is still the freshest candidate, so try it first
+        // and let verification decide.
+        let mut quarantined = Vec::new();
+        while let Some(gen) = gens.pop() {
+            match snapshot::load(&self.path_of(gen)) {
+                Ok(map) => {
+                    if self.manifest_generation() != Some(gen) {
+                        self.write_manifest(gen)?;
+                    }
+                    return Ok(LoadOutcome {
+                        map,
+                        generation: gen,
+                        quarantined,
+                    });
+                }
+                Err(e) => {
+                    eprintln!(
+                        "snapstore: generation {gen} failed verification ({e}); \
+                         quarantining and rolling back"
+                    );
+                    self.quarantine(gen)?;
+                    quarantined.push(Quarantined {
+                        generation: gen,
+                        reason: e.to_string(),
+                    });
+                }
+            }
+        }
+        Err(StoreError::AllCorrupt {
+            tried: quarantined.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::{Heuristic, InferredLink, InferredRouter};
+    use bdrmap_types::Asn;
+
+    fn sample(packets: u64) -> BorderMap {
+        BorderMap {
+            routers: vec![InferredRouter {
+                addrs: vec!["10.0.0.1".parse().unwrap()],
+                other_addrs: vec![],
+                owner: Some(Asn(64500)),
+                heuristic: Some(Heuristic::VpInternal),
+                min_hop: 1,
+            }],
+            links: vec![InferredLink {
+                near: 0,
+                far: None,
+                far_as: Asn(64501),
+                near_addr: Some("10.0.0.1".parse().unwrap()),
+                far_addr: None,
+                heuristic: Heuristic::OneNet,
+            }],
+            packets,
+            elapsed_ms: 7,
+        }
+    }
+
+    fn fresh_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bdrmap-snapstore-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn publish_load_round_trip_advances_generations() {
+        let dir = fresh_dir("roundtrip");
+        let store = SnapStore::open(&dir).unwrap();
+        assert!(matches!(store.load_verified(), Err(StoreError::Empty)));
+        assert_eq!(store.publish(&sample(1)).unwrap(), 1);
+        assert_eq!(store.publish(&sample(2)).unwrap(), 2);
+        assert_eq!(store.manifest_generation(), Some(2));
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.map.packets, 2);
+        assert!(!out.rolled_back());
+        assert_eq!(store.generations().unwrap(), vec![1, 2]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_newest_rolls_back_and_quarantines() {
+        let dir = fresh_dir("bitflip");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        let path = store.path_of(2);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.map.packets, 1);
+        assert!(out.rolled_back());
+        assert_eq!(out.quarantined.len(), 1);
+        assert_eq!(out.quarantined[0].generation, 2);
+        // The bad file moved to corrupt/, and the manifest self-healed.
+        assert!(!path.exists());
+        assert!(dir.join(CORRUPT_DIR).join("gen-000002.bdrm").exists());
+        assert_eq!(store.manifest_generation(), Some(1));
+        // A later load does not re-tread the quarantined generation.
+        assert!(!store.load_verified().unwrap().rolled_back());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_newest_rolls_back() {
+        let dir = fresh_dir("truncate");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        let path = store.path_of(2);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, 1);
+        assert!(out.rolled_back());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn all_corrupt_is_a_typed_error() {
+        let dir = fresh_dir("allcorrupt");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        for gen in [1, 2] {
+            std::fs::write(store.path_of(gen), b"BDRMgarbage").unwrap();
+        }
+        match store.load_verified() {
+            Err(StoreError::AllCorrupt { tried }) => assert_eq!(tried, 2),
+            other => panic!("expected AllCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_manifest_falls_back_to_directory_scan() {
+        let dir = fresh_dir("tornmanifest");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        // A torn manifest write: half a header, no generation line.
+        std::fs::write(dir.join(MANIFEST), b"bdrm-st").unwrap();
+        assert_eq!(store.manifest_generation(), None);
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, 2);
+        // The manifest was repaired.
+        assert_eq!(store.manifest_generation(), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_pointing_at_missing_file_falls_back() {
+        let dir = fresh_dir("missingfile");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        let gen2 = store.publish(&sample(2)).unwrap();
+        std::fs::remove_file(store.path_of(gen2)).unwrap();
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, 1);
+        assert!(!out.rolled_back(), "a missing file is not a quarantine");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_quarantines_do_not_collide() {
+        let dir = fresh_dir("requarantine");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        for round in 0..2 {
+            // A half-published gen 2 appears and is corrupt.
+            std::fs::write(store.path_of(2), b"BDRMnope").unwrap();
+            let out = store.load_verified().unwrap();
+            assert_eq!(out.generation, 1, "round {round}");
+            assert!(out.rolled_back());
+        }
+        let corrupt: Vec<_> = std::fs::read_dir(dir.join(CORRUPT_DIR))
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(corrupt.len(), 2, "both quarantines kept: {corrupt:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

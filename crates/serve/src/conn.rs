@@ -1,0 +1,387 @@
+//! Robust per-connection frame extraction.
+//!
+//! [`Conn`] wraps a [`TcpStream`] with a receive buffer and enforces the
+//! server's connection-robustness policy at the framing layer, before
+//! any protocol decode runs:
+//!
+//! - **Setup errors surface.** Failing to arm socket timeouts would
+//!   leave a worker blockable forever by one peer, so `Conn::new`
+//!   propagates those failures instead of ignoring them.
+//! - **Request deadline (slow-loris defence).** Once the first byte of
+//!   a frame arrives, the rest must follow within
+//!   [`ConnLimits::request_deadline`]. A peer that drips one byte per
+//!   poll interval never trips a read timeout, so the deadline is
+//!   checked on every wakeup — timeout *and* successful read alike.
+//! - **Max inflight frames.** A peer that pipelines an unbounded burst
+//!   of frames in one write could monopolise its worker; more than
+//!   [`ConnLimits::max_inflight`] complete frames buffered at once is
+//!   an eviction.
+//! - **Oversize frames** are rejected by length prefix alone — the
+//!   payload is never buffered.
+//!
+//! Idle connections (no partial frame buffered) are *not* evicted; the
+//! caller sees [`ConnEvent::Idle`] ticks and decides (e.g. checks the
+//! shutdown flag).
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Per-connection policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnLimits {
+    /// Blocking-read poll interval (also the shutdown-check cadence).
+    pub poll: Duration,
+    /// A started frame must complete within this long.
+    pub request_deadline: Duration,
+    /// Socket write timeout for responses.
+    pub write_deadline: Duration,
+    /// Max complete frames buffered from one connection at once.
+    pub max_inflight: usize,
+    /// Max frame payload length in bytes.
+    pub max_frame: usize,
+}
+
+impl Default for ConnLimits {
+    fn default() -> Self {
+        ConnLimits {
+            poll: Duration::from_millis(200),
+            request_deadline: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(5),
+            max_inflight: 64,
+            max_frame: bdrmap_types::wire::MAX_FRAME,
+        }
+    }
+}
+
+/// Why a connection was terminated by policy rather than by the peer.
+#[derive(Debug)]
+pub enum ConnError {
+    /// Socket configuration (nodelay/timeouts) failed during setup.
+    Setup(io::Error),
+    /// A started frame outlived the request deadline.
+    SlowLoris,
+    /// More than `max_inflight` complete frames buffered at once.
+    Flood,
+    /// A frame length prefix exceeded `max_frame`.
+    Oversize(usize),
+    /// The peer closed mid-frame.
+    MidFrameEof,
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Setup(e) => write!(f, "connection setup: {e}"),
+            ConnError::SlowLoris => write!(f, "request deadline exceeded"),
+            ConnError::Flood => write!(f, "too many inflight frames"),
+            ConnError::Oversize(n) => write!(f, "frame length {n} exceeds cap"),
+            ConnError::MidFrameEof => write!(f, "peer closed mid-frame"),
+            ConnError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+/// One wakeup's worth of progress on a connection.
+#[derive(Debug)]
+pub enum ConnEvent {
+    /// Complete frame payloads, in arrival order (≥ 1, ≤ `max_inflight`).
+    Frames(Vec<Vec<u8>>),
+    /// Poll interval elapsed with no partial frame pending; a good
+    /// moment for the caller to check its shutdown flag.
+    Idle,
+    /// The peer closed cleanly at a frame boundary.
+    Closed,
+}
+
+/// A framed connection with deadlines.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// When the oldest incomplete frame started arriving.
+    partial_since: Option<Instant>,
+    limits: ConnLimits,
+}
+
+impl Conn {
+    /// Wrap and configure a stream. Socket-option failures are real
+    /// errors: a connection we cannot put timeouts on could pin a
+    /// worker forever.
+    pub fn new(stream: TcpStream, limits: ConnLimits) -> Result<Conn, ConnError> {
+        stream.set_nodelay(true).map_err(ConnError::Setup)?;
+        stream
+            .set_read_timeout(Some(limits.poll))
+            .map_err(ConnError::Setup)?;
+        stream
+            .set_write_timeout(Some(limits.write_deadline))
+            .map_err(ConnError::Setup)?;
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+            partial_since: None,
+            limits,
+        })
+    }
+
+    /// The underlying stream, for writing responses.
+    pub fn stream(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// Pull every complete frame out of the buffer. Errors on oversize
+    /// length prefixes and on inflight floods.
+    fn extract(&mut self) -> Result<Vec<Vec<u8>>, ConnError> {
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &self.buf[pos..];
+            if rest.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            if len > self.limits.max_frame {
+                return Err(ConnError::Oversize(len));
+            }
+            if rest.len() < 4 + len {
+                break;
+            }
+            frames.push(rest[4..4 + len].to_vec());
+            if frames.len() > self.limits.max_inflight {
+                return Err(ConnError::Flood);
+            }
+            pos += 4 + len;
+        }
+        self.buf.drain(..pos);
+        if self.buf.is_empty() {
+            self.partial_since = None;
+        }
+        Ok(frames)
+    }
+
+    /// Block (up to the poll interval) for the next event.
+    pub fn next_event(&mut self) -> Result<ConnEvent, ConnError> {
+        loop {
+            let frames = self.extract()?;
+            if !frames.is_empty() {
+                return Ok(ConnEvent::Frames(frames));
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return if self.buf.is_empty() {
+                        Ok(ConnEvent::Closed)
+                    } else {
+                        Err(ConnError::MidFrameEof)
+                    };
+                }
+                Ok(n) => {
+                    if self.buf.is_empty() {
+                        self.partial_since = Some(Instant::now());
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    // Check the deadline after successful reads too: a
+                    // drip-feeding peer keeps the socket "live" and
+                    // would otherwise never hit the timeout branch.
+                    if let Some(t0) = self.partial_since {
+                        if t0.elapsed() >= self.limits.request_deadline {
+                            return Err(ConnError::SlowLoris);
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    match self.partial_since {
+                        Some(t0) if t0.elapsed() >= self.limits.request_deadline => {
+                            return Err(ConnError::SlowLoris);
+                        }
+                        Some(_) => {} // keep waiting for the rest of the frame
+                        None => return Ok(ConnEvent::Idle),
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::TcpListener;
+
+    fn pair(limits: ConnLimits) -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, Conn::new(server, limits).unwrap())
+    }
+
+    fn frame(payload: &[u8]) -> Vec<u8> {
+        let mut v = (payload.len() as u32).to_be_bytes().to_vec();
+        v.extend_from_slice(payload);
+        v
+    }
+
+    fn fast() -> ConnLimits {
+        ConnLimits {
+            poll: Duration::from_millis(20),
+            request_deadline: Duration::from_millis(120),
+            ..ConnLimits::default()
+        }
+    }
+
+    #[test]
+    fn whole_frames_arrive() {
+        let (mut client, mut conn) = pair(fast());
+        client.write_all(&frame(b"hello")).unwrap();
+        client.write_all(&frame(b"world")).unwrap();
+        match conn.next_event().unwrap() {
+            ConnEvent::Frames(frames) => {
+                assert_eq!(frames.len(), 2);
+                assert_eq!(frames[0], b"hello");
+                assert_eq!(frames[1], b"world");
+            }
+            other => panic!("expected frames, got {other:?}"),
+        }
+        drop(client);
+        assert!(matches!(conn.next_event().unwrap(), ConnEvent::Closed));
+    }
+
+    #[test]
+    fn split_frame_reassembles() {
+        let (mut client, mut conn) = pair(fast());
+        let f = frame(b"split-me");
+        client.write_all(&f[..3]).unwrap();
+        client.flush().unwrap();
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            client.write_all(&f[3..]).unwrap();
+            client
+        });
+        match conn.next_event().unwrap() {
+            ConnEvent::Frames(frames) => assert_eq!(frames[0], b"split-me"),
+            other => panic!("expected frames, got {other:?}"),
+        }
+        drop(writer.join().unwrap());
+    }
+
+    #[test]
+    fn idle_ticks_without_eviction() {
+        let (client, mut conn) = pair(fast());
+        // No bytes at all: idle, not an error, even past the deadline.
+        for _ in 0..3 {
+            assert!(matches!(conn.next_event().unwrap(), ConnEvent::Idle));
+        }
+        drop(client);
+    }
+
+    #[test]
+    fn slow_loris_is_evicted() {
+        let (mut client, mut conn) = pair(fast());
+        // Two bytes of a header, then silence: the deadline applies.
+        client.write_all(&[0, 0]).unwrap();
+        client.flush().unwrap();
+        let start = Instant::now();
+        match conn.next_event() {
+            Err(ConnError::SlowLoris) => {}
+            Ok(ConnEvent::Idle) => panic!("partial frame misread as idle"),
+            Ok(other) => panic!("unexpected event {other:?}"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+        assert!(start.elapsed() >= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn drip_feed_is_evicted() {
+        let (mut client, mut conn) = pair(fast());
+        // Keep the socket warm with one byte per poll — never idle,
+        // never complete. Must still die by the deadline.
+        let writer = std::thread::spawn(move || {
+            let mut header = vec![0u8, 0, 1, 0];
+            header.resize(64, 0xAB);
+            for b in header {
+                if client.write_all(&[b]).is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(15));
+            }
+        });
+        let start = Instant::now();
+        let err = loop {
+            match conn.next_event() {
+                Err(e) => break e,
+                Ok(ConnEvent::Frames(_)) => panic!("frame should never complete"),
+                Ok(_) => {}
+            }
+        };
+        assert!(matches!(err, ConnError::SlowLoris), "got {err:?}");
+        assert!(start.elapsed() < Duration::from_secs(2));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn flood_is_evicted() {
+        let limits = ConnLimits {
+            max_inflight: 4,
+            ..fast()
+        };
+        let (mut client, mut conn) = pair(limits);
+        let mut burst = Vec::new();
+        for _ in 0..32 {
+            burst.extend_from_slice(&frame(b"x"));
+        }
+        client.write_all(&burst).unwrap();
+        client.flush().unwrap();
+        // One wakeup may deliver a partial buffer below the cap; keep
+        // reading until the policy triggers.
+        let err = loop {
+            match conn.next_event() {
+                Err(e) => break e,
+                Ok(ConnEvent::Frames(f)) if f.len() <= 4 => continue,
+                Ok(other) => panic!("unexpected event {other:?}"),
+            }
+        };
+        assert!(matches!(err, ConnError::Flood), "got {err:?}");
+    }
+
+    #[test]
+    fn oversize_prefix_rejected_without_buffering() {
+        let limits = ConnLimits {
+            max_frame: 1024,
+            ..fast()
+        };
+        let (mut client, mut conn) = pair(limits);
+        client.write_all(&(u32::MAX).to_be_bytes()).unwrap();
+        client.flush().unwrap();
+        let err = match conn.next_event() {
+            Err(e) => e,
+            Ok(other) => panic!("unexpected event {other:?}"),
+        };
+        assert!(
+            matches!(err, ConnError::Oversize(n) if n == u32::MAX as usize),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn mid_frame_eof_is_distinguished() {
+        let (mut client, mut conn) = pair(fast());
+        client.write_all(&frame(b"abc")[..5]).unwrap();
+        client.flush().unwrap();
+        drop(client);
+        let err = match conn.next_event() {
+            Err(e) => e,
+            Ok(other) => panic!("unexpected event {other:?}"),
+        };
+        assert!(matches!(err, ConnError::MidFrameEof), "got {err:?}");
+    }
+}

@@ -11,16 +11,30 @@
 //!   Snapshots are hot-swappable via a lock-free atomic pointer swap
 //!   ([`SwapCell`](bdrmap_types::SwapCell)): a `reload` builds the next
 //!   index off-thread and publishes it without dropping in-flight
-//!   queries.
+//!   queries. Servers can boot from a crash-safe
+//!   [`SnapStore`](bdrmap_core::SnapStore) directory, rolling back past
+//!   corrupt snapshot generations.
 //! - [`proto`] — the wire protocol (framing in
-//!   [`bdrmap_types::wire`], request/response codecs here).
+//!   [`bdrmap_types::wire`], request/response codecs here). Every
+//!   decode failure is a typed [`ProtoError`]; hostile bytes never
+//!   panic a worker.
+//! - [`conn`] — per-connection robustness policy: request/write
+//!   deadlines, max-inflight-frames caps, slow-loris eviction.
+//! - [`reload`] — the reload circuit breaker that pins the last-good
+//!   snapshot after repeated reload failures.
 //! - [`loadgen`] — a closed-loop load generator reporting QPS and
-//!   p50/p99/p999 latency, optionally measuring a mid-run hot swap.
+//!   p50/p99/p999 latency, optionally measuring a mid-run hot swap,
+//!   injecting corrupt frames, and stalling connections to exercise
+//!   the eviction paths.
 
+pub mod conn;
 pub mod loadgen;
 pub mod proto;
+pub mod reload;
 pub mod server;
 
+pub use conn::{Conn, ConnError, ConnEvent, ConnLimits};
 pub use loadgen::{queries_for_map, LoadReport, LoadgenConfig, ReloadStats};
-pub use proto::{LinkInfo, Request, Response, Stats};
+pub use proto::{HealthInfo, LinkInfo, ProtoError, Request, Response, Stats};
+pub use reload::{Breaker, BreakerState};
 pub use server::{Client, ServeConfig, Server};

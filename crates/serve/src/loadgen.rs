@@ -12,16 +12,40 @@
 //! `Reload`, measuring snapshot build, publish (swap), and end-to-end
 //! round-trip times while the query threads keep hammering — the
 //! experiment behind the "zero lost queries across a hot swap" claim.
+//!
+//! Two adversarial modes exercise the server's robustness layers under
+//! real load:
+//!
+//! - `corrupt_rate` makes each connection occasionally replace a valid
+//!   request payload with a seeded deterministic mutation (bit flip,
+//!   truncation, garbage opcode). The server must answer every one with
+//!   a well-formed `Error` frame — never a hang, close, or panic — and
+//!   the report counts how many survived that way.
+//! - `stall_conns` opens connections that send two bytes of a frame
+//!   header and then go silent: textbook slow loris. The report counts
+//!   how many the server evicted, and the healthy connections' p99 in
+//!   the same run shows the stalls didn't steal their workers.
 
 use crate::proto::{Request, Response};
 use crate::server::Client;
 use bdrmap_core::BorderMap;
-use std::io;
-use std::net::SocketAddr;
+use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// One splitmix64 step — the mixer behind every corruption draw, so a
+/// run with the same seed replays the same hostile bytes.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Load-generator tunables.
 #[derive(Clone, Debug)]
@@ -33,6 +57,14 @@ pub struct LoadgenConfig {
     /// Snapshot file to `Reload` half-way through the run (measures
     /// hot-swap behaviour under load).
     pub reload_with: Option<PathBuf>,
+    /// Probability (0..=1) that a request is replaced by a corrupted
+    /// frame payload.
+    pub corrupt_rate: f64,
+    /// Seed for the corruption RNG; same seed, same hostile bytes.
+    pub corrupt_seed: u64,
+    /// Extra connections that stall mid-frame-header (slow loris) and
+    /// wait to be evicted.
+    pub stall_conns: usize,
 }
 
 impl Default for LoadgenConfig {
@@ -41,6 +73,9 @@ impl Default for LoadgenConfig {
             conns: 4,
             duration: Duration::from_secs(2),
             reload_with: None,
+            corrupt_rate: 0.0,
+            corrupt_seed: 0xb0d4_c0de,
+            stall_conns: 0,
         }
     }
 }
@@ -81,13 +116,24 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// 99.9th percentile latency, microseconds.
     pub p999_us: u64,
+    /// Corrupted frames deliberately sent.
+    pub corrupt_sent: u64,
+    /// Corrupted frames the server answered with a well-formed frame
+    /// (an `Error` for malformed payloads, a normal answer when the
+    /// mutation happened to stay valid) — the only acceptable outcome.
+    pub corrupt_survived: u64,
+    /// Slow-loris connections opened.
+    pub stalled: u64,
+    /// Slow-loris connections the server evicted before the run ended.
+    pub stalled_evicted: u64,
     /// Mid-run reload measurements, when one was requested.
     pub reload: Option<ReloadStats>,
 }
 
 impl LoadReport {
     /// Stable JSON schema for `BENCH_serve.json`; keys are fixed so CI
-    /// and trend tooling can grep/diff across revisions.
+    /// and trend tooling can grep/diff across revisions. Schema 2 adds
+    /// the hostile-input counters; every schema-1 key is unchanged.
     pub fn to_json(&self) -> String {
         let reload = match &self.reload {
             Some(r) => format!(
@@ -97,7 +143,7 @@ impl LoadReport {
             None => "null".to_string(),
         };
         format!(
-            "{{\n  \"bench\": \"serve\",\n  \"schema\": 1,\n  \"conns\": {},\n  \"duration_s\": {:.3},\n  \"queries_ok\": {},\n  \"queries_not_found\": {},\n  \"queries_shed\": {},\n  \"queries_error\": {},\n  \"qps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"reload\": {}\n}}\n",
+            "{{\n  \"bench\": \"serve\",\n  \"schema\": 2,\n  \"conns\": {},\n  \"duration_s\": {:.3},\n  \"queries_ok\": {},\n  \"queries_not_found\": {},\n  \"queries_shed\": {},\n  \"queries_error\": {},\n  \"qps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"corrupt_sent\": {},\n  \"corrupt_survived\": {},\n  \"stalled\": {},\n  \"stalled_evicted\": {},\n  \"reload\": {}\n}}\n",
             self.conns,
             self.duration_s,
             self.queries_ok,
@@ -108,6 +154,10 @@ impl LoadReport {
             self.p50_us,
             self.p99_us,
             self.p999_us,
+            self.corrupt_sent,
+            self.corrupt_survived,
+            self.stalled,
+            self.stalled_evicted,
             reload
         )
     }
@@ -156,16 +206,56 @@ struct Tally {
     not_found: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
+    corrupt_sent: AtomicU64,
+    corrupt_survived: AtomicU64,
+    stalled: AtomicU64,
+    stalled_evicted: AtomicU64,
+}
+
+/// Deterministically mangle a valid request payload. The frame header
+/// stays well-formed so the bytes reach the protocol decoder, which is
+/// the layer under test.
+fn corrupt_payload(payload: &[u8], rng: &mut u64) -> Vec<u8> {
+    let mut bytes = payload.to_vec();
+    match splitmix64(rng) % 3 {
+        0 => {
+            // Flip one bit somewhere.
+            let i = (splitmix64(rng) as usize) % bytes.len().max(1);
+            let bit = (splitmix64(rng) % 8) as u8;
+            if bytes.is_empty() {
+                bytes.push(1 << bit);
+            } else {
+                bytes[i] ^= 1 << bit;
+            }
+        }
+        1 => {
+            // Truncate to a strict prefix (possibly empty).
+            let keep = (splitmix64(rng) as usize) % bytes.len().max(1);
+            bytes.truncate(keep);
+        }
+        _ => {
+            // Garbage opcode, valid-looking tail.
+            if bytes.is_empty() {
+                bytes.push(0);
+            }
+            bytes[0] = 200u8.wrapping_add((splitmix64(rng) % 55) as u8);
+        }
+    }
+    bytes
 }
 
 /// One closed-loop connection: query until the deadline, reconnecting
 /// (and counting a shed) whenever the server's overload path drops us.
+/// With a nonzero corrupt rate, some requests are replaced by hostile
+/// frames that must come back as well-formed `Error` responses.
 fn drive(
     addr: SocketAddr,
     queries: &[Request],
     offset: usize,
     deadline: Instant,
     tally: &Tally,
+    corrupt_rate: f64,
+    mut rng: u64,
 ) -> Vec<u64> {
     let mut latencies = Vec::new();
     let mut i = offset;
@@ -181,6 +271,29 @@ fn drive(
         while Instant::now() < deadline {
             let req = &queries[i % queries.len()];
             i += 1;
+            if corrupt_rate > 0.0 && (splitmix64(&mut rng) as f64 / u64::MAX as f64) < corrupt_rate
+            {
+                // Hostile path: mangled payload under a valid frame.
+                let mangled = corrupt_payload(&req.encode(), &mut rng);
+                tally.corrupt_sent.fetch_add(1, Ordering::Relaxed);
+                let outcome = write_frame(client.stream_mut(), &mangled)
+                    .and_then(|()| read_frame(client.stream_mut(), MAX_FRAME));
+                match outcome {
+                    Ok(Some(payload)) => {
+                        // Some mutations still decode as valid requests
+                        // (a flipped address bit, say); survival means
+                        // a well-formed response of *any* kind came
+                        // back and the connection is still usable.
+                        if Response::decode(&payload).is_ok() {
+                            tally.corrupt_survived.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // A close or transport error is a lost connection,
+                    // not a survival; reconnect and keep going.
+                    Ok(None) | Err(_) => continue 'reconnect,
+                }
+                continue;
+            }
             let start = Instant::now();
             match client.call(req) {
                 Ok(Response::Overload) => {
@@ -212,6 +325,44 @@ fn drive(
     latencies
 }
 
+/// One slow-loris connection: two bytes of a frame header, then
+/// silence. Returns once the server closes the socket (an eviction) or
+/// the grace deadline passes (not evicted — a robustness failure the
+/// report surfaces).
+fn stall(addr: SocketAddr, grace_deadline: Instant, tally: &Tally) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    tally.stalled.fetch_add(1, Ordering::Relaxed);
+    if stream.write_all(&[0, 0]).is_err() {
+        // Closed before we even stalled: still an eviction.
+        tally.stalled_evicted.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut byte = [0u8; 16];
+    while Instant::now() < grace_deadline {
+        match stream.read(&mut byte) {
+            // Server closed us (clean EOF) or reset us: evicted.
+            Ok(0) => {
+                tally.stalled_evicted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Ok(_) => {
+                // An Error frame before the close also counts; keep
+                // reading until the close lands.
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                tally.stalled_evicted.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
 /// Run the load generator against a live server.
 pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Result<LoadReport> {
     if queries.is_empty() {
@@ -225,6 +376,10 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
         not_found: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         errors: AtomicU64::new(0),
+        corrupt_sent: AtomicU64::new(0),
+        corrupt_survived: AtomicU64::new(0),
+        stalled: AtomicU64::new(0),
+        stalled_evicted: AtomicU64::new(0),
     });
     let start = Instant::now();
     let deadline = start + cfg.duration;
@@ -232,8 +387,20 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
     for c in 0..cfg.conns.max(1) {
         let queries = queries.to_vec();
         let tally = Arc::clone(&tally);
+        let rate = cfg.corrupt_rate.clamp(0.0, 1.0);
+        let seed = cfg.corrupt_seed ^ (c as u64).wrapping_mul(0x9e37_79b9);
         handles.push(std::thread::spawn(move || {
-            drive(addr, &queries, c * 7919, deadline, &tally)
+            drive(addr, &queries, c * 7919, deadline, &tally, rate, seed)
+        }));
+    }
+    // Stall threads get a grace window past the main deadline so an
+    // eviction landing near the end is still observed.
+    let mut stall_handles = Vec::new();
+    let grace_deadline = deadline + Duration::from_secs(2);
+    for _ in 0..cfg.stall_conns {
+        let tally = Arc::clone(&tally);
+        stall_handles.push(std::thread::spawn(move || {
+            stall(addr, grace_deadline, &tally)
         }));
     }
     let reload = match &cfg.reload_with {
@@ -272,6 +439,9 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
     for h in handles {
         latencies.extend(h.join().unwrap_or_default());
     }
+    for h in stall_handles {
+        let _ = h.join();
+    }
     let elapsed = start.elapsed().as_secs_f64();
     latencies.sort_unstable();
     let ok = tally.ok.load(Ordering::Relaxed);
@@ -290,6 +460,10 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
         p50_us: percentile(&latencies, 0.50),
         p99_us: percentile(&latencies, 0.99),
         p999_us: percentile(&latencies, 0.999),
+        corrupt_sent: tally.corrupt_sent.load(Ordering::Relaxed),
+        corrupt_survived: tally.corrupt_survived.load(Ordering::Relaxed),
+        stalled: tally.stalled.load(Ordering::Relaxed),
+        stalled_evicted: tally.stalled_evicted.load(Ordering::Relaxed),
         reload,
     })
 }
@@ -321,6 +495,10 @@ mod tests {
             p50_us: 12,
             p99_us: 90,
             p999_us: 400,
+            corrupt_sent: 50,
+            corrupt_survived: 50,
+            stalled: 2,
+            stalled_evicted: 2,
             reload: Some(ReloadStats {
                 round_trip_us: 1500,
                 build_us: 1200,
@@ -331,16 +509,37 @@ mod tests {
         let json = report.to_json();
         for key in [
             "\"bench\": \"serve\"",
-            "\"schema\": 1",
+            "\"schema\": 2",
             "\"queries_ok\": 1000",
             "\"queries_shed\": 1",
             "\"qps\": 500.0",
             "\"p999_us\": 400",
+            "\"corrupt_sent\": 50",
+            "\"corrupt_survived\": 50",
+            "\"stalled\": 2",
+            "\"stalled_evicted\": 2",
             "\"swap_us\": 20",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
         let none = LoadReport::default().to_json();
         assert!(none.contains("\"reload\": null"));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_differs() {
+        let payload = Request::Stats.encode();
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let x = corrupt_payload(&payload, &mut a);
+        let y = corrupt_payload(&payload, &mut b);
+        assert_eq!(x, y, "same seed, same mutation");
+        assert_ne!(x, payload, "mutation must change the bytes");
+        // Different seeds eventually produce different mutations.
+        let mut c = 43u64;
+        let z = corrupt_payload(&payload, &mut c);
+        let mut c2 = 44u64;
+        let z2 = corrupt_payload(&payload, &mut c2);
+        assert!(z != x || z2 != x);
     }
 }

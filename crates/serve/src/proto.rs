@@ -12,8 +12,12 @@
 //! ```
 //!
 //! Query opcodes cover the three read paths (owner-of-address,
-//! border-router-of-link, links-of-neighbor-AS); `Stats` and `Reload`
-//! are the control plane.
+//! border-router-of-link, links-of-neighbor-AS); `Stats`, `Reload`,
+//! and `Health` are the control plane.
+//!
+//! Every decode failure is a typed [`ProtoError`] — a malformed or
+//! hostile frame can never panic the worker that parses it, and the
+//! error names exactly which invariant the bytes violated.
 
 use bdrmap_core::query::BorderAnswer;
 use bdrmap_core::{Heuristic, OwnerAnswer};
@@ -26,12 +30,55 @@ const OP_BORDER: u8 = 2;
 const OP_NEIGHBOR: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_RELOAD: u8 = 5;
+const OP_HEALTH: u8 = 6;
 
 /// Response status bytes.
 const ST_OK: u8 = 0;
 const ST_NOT_FOUND: u8 = 1;
 const ST_OVERLOAD: u8 = 2;
 const ST_ERROR: u8 = 3;
+
+/// A typed protocol decode failure. Every way a frame can be malformed
+/// maps to a variant here, so the server can answer with a precise
+/// error instead of panicking or guessing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The payload ended before the message did (or a length field
+    /// pointed past the end).
+    Truncated,
+    /// Bytes remained after a complete message — the frame length and
+    /// the message disagree.
+    TrailingBytes,
+    /// The request opcode byte is not one this protocol defines.
+    UnknownOpcode(u8),
+    /// The response status byte is not one this protocol defines.
+    UnknownStatus(u8),
+    /// A heuristic code byte that [`Heuristic::from_code`] rejects.
+    BadHeuristic(u8),
+    /// A prefix length greater than 32.
+    BadPrefixLen(u8),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame payload"),
+            ProtoError::TrailingBytes => write!(f, "trailing bytes after message"),
+            ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            ProtoError::UnknownStatus(st) => write!(f, "unknown status byte {st}"),
+            ProtoError::BadHeuristic(code) => write!(f, "invalid heuristic code {code}"),
+            ProtoError::BadPrefixLen(len) => write!(f, "invalid prefix length {len}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<WireError> for ProtoError {
+    fn from(_: WireError) -> ProtoError {
+        ProtoError::Truncated
+    }
+}
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -45,8 +92,13 @@ pub enum Request {
     /// Server and snapshot statistics.
     Stats,
     /// Load the snapshot file at this (server-local) path, build the
-    /// next index off the hot path, and atomically swap it in.
+    /// next index off the hot path, and atomically swap it in. An empty
+    /// path means "reload from the server's snapshot store" (verified
+    /// newest generation, rolling back past corrupt ones).
     Reload(String),
+    /// Liveness/readiness probe: generation, swap epoch, breaker state,
+    /// uptime.
+    Health,
 }
 
 impl Request {
@@ -71,12 +123,13 @@ impl Request {
                 w.put_u8(OP_RELOAD);
                 w.put_str(path);
             }
+            Request::Health => w.put_u8(OP_HEALTH),
         }
         w.into_vec()
     }
 
     /// Decode a frame payload.
-    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
         let mut r = WireReader::new(payload);
         let req = match r.get_u8()? {
             OP_OWNER => Request::Owner(addr(r.get_u32()?)),
@@ -84,9 +137,10 @@ impl Request {
             OP_NEIGHBOR => Request::Neighbor(Asn(r.get_u32()?)),
             OP_STATS => Request::Stats,
             OP_RELOAD => Request::Reload(r.get_str()?.to_string()),
-            _ => return Err(WireError),
+            OP_HEALTH => Request::Health,
+            op => return Err(ProtoError::UnknownOpcode(op)),
         };
-        r.finish()?;
+        r.finish().map_err(|_| ProtoError::TrailingBytes)?;
         Ok(req)
     }
 
@@ -97,6 +151,7 @@ impl Request {
             Request::Neighbor(_) => OP_NEIGHBOR,
             Request::Stats => OP_STATS,
             Request::Reload(_) => OP_RELOAD,
+            Request::Health => OP_HEALTH,
         }
     }
 }
@@ -155,6 +210,37 @@ pub struct Stats {
     /// Microseconds the last reload spent publishing (pointer swap +
     /// retiring the old snapshot).
     pub last_swap_us: u64,
+    /// Connections evicted because a started frame outlived the
+    /// per-request deadline (slow-loris defence).
+    pub evicted_slow: u64,
+    /// Connections evicted for exceeding the max-inflight-frames cap.
+    pub evicted_flood: u64,
+    /// Connections dropped because socket setup (timeouts, nodelay)
+    /// failed.
+    pub setup_errors: u64,
+    /// Reloads that exhausted their retry budget.
+    pub reload_failures: u64,
+    /// Connections closed by graceful drain during shutdown.
+    pub drained: u64,
+    /// Reload circuit breaker: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: u8,
+}
+
+/// What the `Health` probe reports: enough for a load balancer or CI
+/// harness to decide readiness without parsing full statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthInfo {
+    /// Snapshot-store generation currently served (0 when the server
+    /// was started from an in-memory map rather than a store).
+    pub generation: u64,
+    /// Hot-swap publication epoch (increments on every swap).
+    pub swap_epoch: u64,
+    /// Reload circuit breaker: 0 closed, 1 open, 2 half-open.
+    pub breaker_state: u8,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Reloads that exhausted their retry budget since start.
+    pub reload_failures: u64,
 }
 
 /// A server response.
@@ -181,6 +267,8 @@ pub enum Response {
         /// Links in the new snapshot.
         links: u32,
     },
+    /// Health probe answer.
+    Health(HealthInfo),
     /// The accept queue was full; retry later.
     Overload,
     /// The request failed; human-readable reason.
@@ -197,7 +285,7 @@ fn put_opt_addr(w: &mut WireWriter, a: Option<Addr>) {
     }
 }
 
-fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, WireError> {
+fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, ProtoError> {
     Ok(if r.get_u8()? != 0 {
         Some(addr(r.get_u32()?))
     } else {
@@ -215,7 +303,7 @@ fn put_opt_asn(w: &mut WireWriter, a: Option<Asn>) {
     }
 }
 
-fn get_opt_asn(r: &mut WireReader) -> Result<Option<Asn>, WireError> {
+fn get_opt_asn(r: &mut WireReader) -> Result<Option<Asn>, ProtoError> {
     Ok(if r.get_u8()? != 0 {
         Some(Asn(r.get_u32()?))
     } else {
@@ -233,7 +321,7 @@ fn put_link(w: &mut WireWriter, l: &LinkInfo) {
     w.put_u8(l.heuristic.code());
 }
 
-fn get_link(r: &mut WireReader) -> Result<LinkInfo, WireError> {
+fn get_link(r: &mut WireReader) -> Result<LinkInfo, ProtoError> {
     Ok(LinkInfo {
         link: r.get_u32()?,
         near_router: r.get_u32()?,
@@ -241,7 +329,10 @@ fn get_link(r: &mut WireReader) -> Result<LinkInfo, WireError> {
         far_as: Asn(r.get_u32()?),
         near_addr: get_opt_addr(r)?,
         far_addr: get_opt_addr(r)?,
-        heuristic: Heuristic::from_code(r.get_u8()?).ok_or(WireError)?,
+        heuristic: {
+            let code = r.get_u8()?;
+            Heuristic::from_code(code).ok_or(ProtoError::BadHeuristic(code))?
+        },
     })
 }
 
@@ -292,6 +383,12 @@ impl Response {
                 w.put_u64(s.sheds);
                 w.put_u64(s.last_build_us);
                 w.put_u64(s.last_swap_us);
+                w.put_u64(s.evicted_slow);
+                w.put_u64(s.evicted_flood);
+                w.put_u64(s.setup_errors);
+                w.put_u64(s.reload_failures);
+                w.put_u64(s.drained);
+                w.put_u8(s.breaker_state);
             }
             Response::Reloaded {
                 generation,
@@ -308,6 +405,15 @@ impl Response {
                 w.put_u32(*routers);
                 w.put_u32(*links);
             }
+            Response::Health(h) => {
+                w.put_u8(ST_OK);
+                w.put_u8(OP_HEALTH);
+                w.put_u64(h.generation);
+                w.put_u64(h.swap_epoch);
+                w.put_u8(h.breaker_state);
+                w.put_u64(h.uptime_ms);
+                w.put_u64(h.reload_failures);
+            }
             Response::Overload => {
                 w.put_u8(ST_OVERLOAD);
                 w.put_u8(0);
@@ -322,7 +428,7 @@ impl Response {
     }
 
     /// Decode a frame payload.
-    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
         let mut r = WireReader::new(payload);
         let status = r.get_u8()?;
         let op = r.get_u8()?;
@@ -336,7 +442,7 @@ impl Response {
                 let net = addr(r.get_u32()?);
                 let len = r.get_u8()?;
                 if len > 32 {
-                    return Err(WireError);
+                    return Err(ProtoError::BadPrefixLen(len));
                 }
                 let router = if r.get_u8()? != 0 {
                     Some(r.get_u32()?)
@@ -353,7 +459,7 @@ impl Response {
             (ST_OK, OP_NEIGHBOR) => {
                 let n = r.get_u32()? as usize;
                 if n > payload.len() {
-                    return Err(WireError);
+                    return Err(ProtoError::Truncated);
                 }
                 let mut links = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -370,6 +476,12 @@ impl Response {
                 sheds: r.get_u64()?,
                 last_build_us: r.get_u64()?,
                 last_swap_us: r.get_u64()?,
+                evicted_slow: r.get_u64()?,
+                evicted_flood: r.get_u64()?,
+                setup_errors: r.get_u64()?,
+                reload_failures: r.get_u64()?,
+                drained: r.get_u64()?,
+                breaker_state: r.get_u8()?,
             }),
             (ST_OK, OP_RELOAD) => Response::Reloaded {
                 generation: r.get_u64()?,
@@ -378,9 +490,17 @@ impl Response {
                 routers: r.get_u32()?,
                 links: r.get_u32()?,
             },
-            _ => return Err(WireError),
+            (ST_OK, OP_HEALTH) => Response::Health(HealthInfo {
+                generation: r.get_u64()?,
+                swap_epoch: r.get_u64()?,
+                breaker_state: r.get_u8()?,
+                uptime_ms: r.get_u64()?,
+                reload_failures: r.get_u64()?,
+            }),
+            (ST_OK | ST_NOT_FOUND, op) => return Err(ProtoError::UnknownOpcode(op)),
+            (st, _) => return Err(ProtoError::UnknownStatus(st)),
         };
-        r.finish()?;
+        r.finish().map_err(|_| ProtoError::TrailingBytes)?;
         Ok(resp)
     }
 
@@ -392,6 +512,7 @@ impl Response {
             Response::Neighbor(_) => req.op() == OP_NEIGHBOR,
             Response::Stats(_) => req.op() == OP_STATS,
             Response::Reloaded { .. } => req.op() == OP_RELOAD,
+            Response::Health(_) => req.op() == OP_HEALTH,
             Response::Overload | Response::Error(_) => true,
         }
     }
@@ -413,16 +534,18 @@ mod tests {
             Request::Neighbor(Asn(64500)),
             Request::Stats,
             Request::Reload("/tmp/map.bdrm".into()),
+            Request::Reload(String::new()),
+            Request::Health,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
-        assert!(Request::decode(&[99]).is_err());
-        assert!(Request::decode(&[]).is_err());
-        // Trailing bytes are rejected.
+        assert_eq!(Request::decode(&[99]), Err(ProtoError::UnknownOpcode(99)));
+        assert_eq!(Request::decode(&[]), Err(ProtoError::Truncated));
+        // Trailing bytes are rejected with the precise variant.
         let mut buf = Request::Stats.encode();
         buf.push(0);
-        assert!(Request::decode(&buf).is_err());
+        assert_eq!(Request::decode(&buf), Err(ProtoError::TrailingBytes));
     }
 
     #[test]
@@ -456,6 +579,12 @@ mod tests {
                 sheds: 1,
                 last_build_us: 1200,
                 last_swap_us: 15,
+                evicted_slow: 2,
+                evicted_flood: 1,
+                setup_errors: 0,
+                reload_failures: 3,
+                drained: 4,
+                breaker_state: 1,
             }),
             Response::Reloaded {
                 generation: 3,
@@ -464,6 +593,13 @@ mod tests {
                 routers: 11,
                 links: 5,
             },
+            Response::Health(HealthInfo {
+                generation: 7,
+                swap_epoch: 3,
+                breaker_state: 2,
+                uptime_ms: 123456,
+                reload_failures: 1,
+            }),
             Response::Overload,
             Response::Error("bad path".into()),
         ];
@@ -473,9 +609,53 @@ mod tests {
     }
 
     #[test]
+    fn decode_errors_are_typed() {
+        // Unknown status byte.
+        assert_eq!(Response::decode(&[9, 0]), Err(ProtoError::UnknownStatus(9)));
+        // OK status with an unknown opcode.
+        assert_eq!(
+            Response::decode(&[0, 77]),
+            Err(ProtoError::UnknownOpcode(77))
+        );
+        // Prefix length over 32.
+        let mut w = WireWriter::new();
+        w.put_u8(0);
+        w.put_u8(1);
+        w.put_u32(64500);
+        w.put_u32(0x0A000000);
+        w.put_u8(33);
+        w.put_u8(0);
+        assert_eq!(
+            Response::decode(&w.into_vec()),
+            Err(ProtoError::BadPrefixLen(33))
+        );
+        // A link whose heuristic code is garbage.
+        let link = LinkInfo {
+            link: 1,
+            near_router: 1,
+            near_owner: None,
+            far_as: Asn(2),
+            near_addr: None,
+            far_addr: None,
+            heuristic: Heuristic::OneNet,
+        };
+        let mut bytes = Response::Border(Some(link)).encode();
+        let last = bytes.len() - 1;
+        bytes[last] = 250;
+        assert_eq!(Response::decode(&bytes), Err(ProtoError::BadHeuristic(250)));
+        // Truncation anywhere never panics; it errors.
+        let full = Response::Border(Some(link)).encode();
+        for cut in 0..full.len() {
+            assert!(Response::decode(&full[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
     fn answers_matches_ops() {
         assert!(Response::Owner(None).answers(&Request::Owner(a("1.2.3.4"))));
         assert!(!Response::Owner(None).answers(&Request::Stats));
         assert!(Response::Overload.answers(&Request::Stats));
+        assert!(Response::Health(HealthInfo::default()).answers(&Request::Health));
+        assert!(!Response::Health(HealthInfo::default()).answers(&Request::Stats));
     }
 }

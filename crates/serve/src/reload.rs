@@ -1,0 +1,213 @@
+//! Reload circuit breaker.
+//!
+//! Reloads are the one mutating operation bdrmapd accepts, and a bad
+//! snapshot (corrupt file, undecodable store, panicking index build)
+//! must not be able to take the daemon down or grind it with futile
+//! rebuild attempts. The breaker wraps reload admission:
+//!
+//! ```text
+//!            failure < threshold
+//!          ┌───────────────────┐
+//!          ▼                   │
+//!      ┌────────┐  Nth fail ┌──┴───┐
+//!      │ Closed │──────────▶│ Open │◀──┐
+//!      └────────┘           └──┬───┘   │ fail
+//!          ▲                   │cooldown
+//!          │ success        ┌──▼───────┐
+//!          └────────────────┤ HalfOpen │
+//!                           └──────────┘
+//! ```
+//!
+//! While `Open`, reload requests are refused immediately and the
+//! last-good index stays pinned. After the cooldown one probe attempt
+//! is admitted (`HalfOpen`); its outcome closes or re-opens the
+//! breaker. Time is passed in by the caller so the machine is
+//! deterministic under test.
+
+use std::time::{Duration, Instant};
+
+/// Breaker position, reported over the wire as a `u8` code.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Reloads flow normally.
+    Closed,
+    /// Reloads are refused; the last-good snapshot is pinned.
+    Open,
+    /// One probe reload is admitted after the cooldown.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Wire code: 0 closed, 1 open, 2 half-open.
+    pub fn code(self) -> u8 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        }
+    }
+}
+
+/// The state machine. Callers gate each attempt on
+/// [`allow_attempt`](Breaker::allow_attempt) and report outcomes via
+/// [`on_success`](Breaker::on_success) / [`on_failure`](Breaker::on_failure).
+#[derive(Debug)]
+pub struct Breaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive: u32,
+    state: BreakerState,
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// admits a probe after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+
+    /// Current position.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Wire code of the current position.
+    pub fn state_code(&self) -> u8 {
+        self.state.code()
+    }
+
+    /// May a reload run right now? Transitions `Open → HalfOpen` once
+    /// the cooldown has elapsed.
+    pub fn allow_attempt(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                let elapsed_ok = self
+                    .opened_at
+                    .map(|t| now.duration_since(t) >= self.cooldown)
+                    .unwrap_or(true);
+                if elapsed_ok {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// A reload completed and swapped in: close and reset.
+    pub fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive = 0;
+        self.opened_at = None;
+    }
+
+    /// A reload failed (after its own retries). In `HalfOpen` the probe
+    /// failed, so re-open immediately; in `Closed` count toward the
+    /// threshold.
+    pub fn on_failure(&mut self, now: Instant) {
+        self.consecutive = self.consecutive.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+            }
+            BreakerState::Closed => {
+                if self.consecutive >= self.threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = Some(now);
+                }
+            }
+            BreakerState::Open => {
+                self.opened_at = Some(now);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t0() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let mut b = Breaker::new(3, Duration::from_secs(60));
+        let now = t0();
+        for _ in 0..2 {
+            assert!(b.allow_attempt(now));
+            b.on_failure(now);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.allow_attempt(now));
+        b.on_failure(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_attempt(now));
+    }
+
+    #[test]
+    fn success_resets_the_count() {
+        let mut b = Breaker::new(3, Duration::from_secs(60));
+        let now = t0();
+        b.on_failure(now);
+        b.on_failure(now);
+        b.on_success();
+        b.on_failure(now);
+        b.on_failure(now);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe() {
+        let mut b = Breaker::new(1, Duration::from_millis(50));
+        let now = t0();
+        b.on_failure(now);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_attempt(now + Duration::from_millis(10)));
+        // After the cooldown: exactly one probe admitted, half-open.
+        assert!(b.allow_attempt(now + Duration::from_millis(60)));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = Breaker::new(1, Duration::from_millis(50));
+        let now = t0();
+        b.on_failure(now);
+        assert!(b.allow_attempt(now + Duration::from_millis(60)));
+        b.on_failure(now + Duration::from_millis(61));
+        assert_eq!(b.state(), BreakerState::Open);
+        // The cooldown restarts from the new failure.
+        assert!(!b.allow_attempt(now + Duration::from_millis(80)));
+        assert!(b.allow_attempt(now + Duration::from_millis(120)));
+    }
+
+    #[test]
+    fn half_open_success_closes() {
+        let mut b = Breaker::new(1, Duration::from_millis(50));
+        let now = t0();
+        b.on_failure(now);
+        assert!(b.allow_attempt(now + Duration::from_millis(60)));
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.state_code(), 0);
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(BreakerState::Closed.code(), 0);
+        assert_eq!(BreakerState::Open.code(), 1);
+        assert_eq!(BreakerState::HalfOpen.code(), 2);
+    }
+}

@@ -9,18 +9,37 @@
 //! of unbounded queueing.
 //!
 //! Snapshots are hot-swappable. A `Reload` control frame makes the
-//! handling worker build the next index from a snapshot file — off the
-//! other workers' hot path — and publish it with an atomic pointer swap
-//! ([`SwapCell`]): readers that already loaded the old `Arc` finish
-//! their in-flight queries on it, and every later query sees the new
-//! snapshot. No reader ever takes a lock.
+//! handling worker build the next index — off the other workers' hot
+//! path — and publish it with an atomic pointer swap ([`SwapCell`]):
+//! readers that already loaded the old `Arc` finish their in-flight
+//! queries on it, and every later query sees the new snapshot. No
+//! reader ever takes a lock.
+//!
+//! Robustness layers (see [`conn`](crate::conn) and
+//! [`reload`](crate::reload)):
+//!
+//! - connections get request/write deadlines, a max-inflight-frames
+//!   cap, and slow-loris eviction; socket-setup failures are counted
+//!   and the connection refused rather than served without timeouts;
+//! - reloads retry with backoff, never panic the worker (index builds
+//!   run under `catch_unwind`), and sit behind a circuit breaker that
+//!   pins the last-good snapshot after repeated failures;
+//! - a server may be started from a [`SnapStore`] directory, in which
+//!   case startup and store-reloads verify checksums and roll back
+//!   past corrupt generations automatically;
+//! - shutdown drains: workers finish the frames already buffered on
+//!   their connection, then close.
 
-use crate::proto::{Request, Response, Stats};
-use bdrmap_core::{snapshot, BorderMap, QueryIndex};
+use crate::conn::{Conn, ConnError, ConnEvent, ConnLimits};
+use crate::proto::{HealthInfo, Request, Response, Stats};
+use crate::reload::Breaker;
+use bdrmap_core::{snapshot, BorderMap, QueryIndex, SnapStore};
 use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
 use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -44,6 +63,21 @@ pub struct ServeConfig {
     /// including reloaded ones (typically the collector view's
     /// single-origin prefixes).
     pub prefix_owners: Vec<(Prefix, Asn)>,
+    /// A started request frame must complete within this long
+    /// (slow-loris eviction deadline).
+    pub request_deadline: Duration,
+    /// Socket write timeout for responses.
+    pub write_deadline: Duration,
+    /// Max complete frames buffered from one connection at once.
+    pub max_inflight: usize,
+    /// Attempts per reload request before it counts as a failure.
+    pub reload_attempts: u32,
+    /// Sleep between reload attempts (scales linearly per retry).
+    pub reload_backoff: Duration,
+    /// Consecutive reload failures that open the circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long the breaker stays open before admitting a probe.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +87,25 @@ impl Default for ServeConfig {
             workers: 4,
             queue: 128,
             prefix_owners: Vec::new(),
+            request_deadline: Duration::from_secs(5),
+            write_deadline: Duration::from_secs(5),
+            max_inflight: 64,
+            reload_attempts: 3,
+            reload_backoff: Duration::from_millis(50),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_secs(1),
+        }
+    }
+}
+
+impl ServeConfig {
+    fn limits(&self) -> ConnLimits {
+        ConnLimits {
+            poll: READ_POLL,
+            request_deadline: self.request_deadline,
+            write_deadline: self.write_deadline,
+            max_inflight: self.max_inflight.max(1),
+            max_frame: MAX_FRAME,
         }
     }
 }
@@ -66,6 +119,19 @@ struct Shared {
     last_swap_us: AtomicU64,
     stop: AtomicBool,
     prefix_owners: Vec<(Prefix, Asn)>,
+    limits: ConnLimits,
+    breaker: Mutex<Breaker>,
+    store: Option<SnapStore>,
+    /// Snapshot-store generation currently served (0 without a store).
+    store_generation: AtomicU64,
+    started: Instant,
+    reload_attempts: u32,
+    reload_backoff: Duration,
+    evicted_slow: AtomicU64,
+    evicted_flood: AtomicU64,
+    setup_errors: AtomicU64,
+    reload_failures: AtomicU64,
+    drained: AtomicU64,
 }
 
 impl Shared {
@@ -79,6 +145,29 @@ impl Shared {
             sheds: self.sheds.load(Ordering::Relaxed),
             last_build_us: self.last_build_us.load(Ordering::Relaxed),
             last_swap_us: self.last_swap_us.load(Ordering::Relaxed),
+            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
+            evicted_flood: self.evicted_flood.load(Ordering::Relaxed),
+            setup_errors: self.setup_errors.load(Ordering::Relaxed),
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            breaker_state: self.breaker_code(),
+        }
+    }
+
+    fn breaker_code(&self) -> u8 {
+        self.breaker
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .state_code()
+    }
+
+    fn health(&self) -> HealthInfo {
+        HealthInfo {
+            generation: self.store_generation.load(Ordering::Relaxed),
+            swap_epoch: self.cell.generation(),
+            breaker_state: self.breaker_code(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            reload_failures: self.reload_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -96,6 +185,33 @@ pub struct Server {
 impl Server {
     /// Build the initial index from `map` and start serving.
     pub fn start(map: &BorderMap, cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_inner(map, cfg, None, 0)
+    }
+
+    /// Load the newest verified-good generation from the snapshot store
+    /// at `dir` (rolling back past corrupt files) and start serving it.
+    /// `Reload` requests with an empty path re-read the store.
+    pub fn start_from_store(dir: impl Into<PathBuf>, cfg: ServeConfig) -> io::Result<Server> {
+        let store = SnapStore::open(dir)?;
+        let outcome = store
+            .load_verified()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if outcome.rolled_back() {
+            eprintln!(
+                "bdrmapd: quarantined {} corrupt snapshot(s); serving generation {}",
+                outcome.quarantined.len(),
+                outcome.generation
+            );
+        }
+        Server::start_inner(&outcome.map, cfg, Some(store), outcome.generation)
+    }
+
+    fn start_inner(
+        map: &BorderMap,
+        cfg: ServeConfig,
+        store: Option<SnapStore>,
+        store_generation: u64,
+    ) -> io::Result<Server> {
         let index = QueryIndex::build_with_prefixes(map, cfg.prefix_owners.iter().copied());
         let shared = Arc::new(Shared {
             cell: Arc::new(SwapCell::new(Arc::new(index))),
@@ -105,6 +221,18 @@ impl Server {
             last_swap_us: AtomicU64::new(0),
             stop: AtomicBool::new(false),
             prefix_owners: cfg.prefix_owners.clone(),
+            limits: cfg.limits(),
+            breaker: Mutex::new(Breaker::new(cfg.breaker_threshold, cfg.breaker_cooldown)),
+            store,
+            store_generation: AtomicU64::new(store_generation),
+            started: Instant::now(),
+            reload_attempts: cfg.reload_attempts.max(1),
+            reload_backoff: cfg.reload_backoff,
+            evicted_slow: AtomicU64::new(0),
+            evicted_flood: AtomicU64::new(0),
+            setup_errors: AtomicU64::new(0),
+            reload_failures: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
         });
         let listener = TcpListener::bind(&cfg.listen)?;
         let local_addr = listener.local_addr()?;
@@ -134,9 +262,14 @@ impl Server {
         self.local_addr
     }
 
-    /// Current snapshot generation.
+    /// Current snapshot swap generation.
     pub fn generation(&self) -> u64 {
         self.shared.cell.generation()
+    }
+
+    /// Snapshot-store generation currently served (0 without a store).
+    pub fn store_generation(&self) -> u64 {
+        self.shared.store_generation.load(Ordering::Relaxed)
     }
 
     /// Statistics as a control client would see them.
@@ -145,8 +278,14 @@ impl Server {
         self.shared.stats(&idx)
     }
 
+    /// Health as a control client would see it.
+    pub fn health(&self) -> HealthInfo {
+        self.shared.health()
+    }
+
     /// Stop accepting, drain the workers, and join every thread.
-    /// In-flight connections are closed after their current frame.
+    /// In-flight connections finish the frames they have buffered,
+    /// then close.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor out of its blocking accept.
@@ -207,32 +346,64 @@ fn worker_loop(
     }
 }
 
-/// Serve one connection until the peer closes it or shutdown begins.
-fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(READ_POLL));
-    loop {
-        let payload = match read_frame(&mut stream, MAX_FRAME) {
-            Ok(Some(payload)) => payload,
-            Ok(None) => return,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                if shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                continue;
-            }
-            Err(_) => return,
-        };
-        let response = match Request::decode(&payload) {
-            Ok(req) => handle(shared, reader, req),
-            Err(_) => Response::Error("malformed request".to_string()),
-        };
-        if write_frame(&mut stream, &response.encode()).is_err() {
+/// Serve one connection until the peer closes it, a robustness policy
+/// evicts it, or shutdown drains it.
+fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStream) {
+    let mut conn = match Conn::new(stream, shared.limits) {
+        Ok(conn) => conn,
+        Err(_) => {
+            // A socket we cannot arm timeouts on could pin this worker
+            // forever; refuse it and account for the refusal.
+            shared.setup_errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
+    };
+    loop {
+        match conn.next_event() {
+            Ok(ConnEvent::Frames(frames)) => {
+                for payload in frames {
+                    let response = match Request::decode(&payload) {
+                        Ok(req) => handle(shared, reader, req),
+                        Err(e) => Response::Error(format!("malformed request: {e}")),
+                    };
+                    if write_frame(conn.stream(), &response.encode()).is_err() {
+                        return;
+                    }
+                }
+                // Graceful drain: requests already buffered were
+                // answered above; stop before reading more.
+                if shared.stop.load(Ordering::SeqCst) {
+                    shared.drained.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok(ConnEvent::Idle) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    shared.drained.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            Ok(ConnEvent::Closed) => return,
+            Err(ConnError::SlowLoris) => {
+                shared.evicted_slow.fetch_add(1, Ordering::Relaxed);
+                evict(&mut conn, "request deadline exceeded");
+                return;
+            }
+            Err(ConnError::Flood) | Err(ConnError::Oversize(_)) => {
+                shared.evicted_flood.fetch_add(1, Ordering::Relaxed);
+                evict(&mut conn, "frame limits exceeded");
+                return;
+            }
+            Err(ConnError::MidFrameEof) | Err(ConnError::Io(_)) | Err(ConnError::Setup(_)) => {
+                return;
+            }
+        }
     }
+}
+
+/// Best-effort goodbye frame before closing an evicted connection.
+fn evict(conn: &mut Conn, reason: &str) {
+    let _ = write_frame(conn.stream(), &Response::Error(reason.to_string()).encode());
 }
 
 fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
@@ -263,6 +434,7 @@ fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Res
             shared.stats(&idx).into()
         }
         Request::Reload(path) => reload(shared, &path),
+        Request::Health => Response::Health(shared.health()),
     }
 }
 
@@ -272,16 +444,85 @@ impl From<Stats> for Response {
     }
 }
 
-/// Build the next index from `path` and publish it. Runs on the worker
-/// that received the control frame, so the other workers keep serving
-/// the old snapshot until the swap lands.
+/// Where a reload's snapshot comes from.
+enum ReloadSource<'a> {
+    /// A server-local `.bdrm` file.
+    File(&'a str),
+    /// The server's snapshot store (newest verified generation).
+    Store,
+}
+
+/// Build the next index and publish it, behind the circuit breaker and
+/// a bounded retry loop. Runs on the worker that received the control
+/// frame, so the other workers keep serving the old snapshot until the
+/// swap lands.
 fn reload(shared: &Shared, path: &str) -> Response {
-    let map = match snapshot::load(std::path::Path::new(path)) {
-        Ok(map) => map,
-        Err(e) => return Response::Error(format!("reload {path}: {e}")),
+    let source = if path.is_empty() {
+        if shared.store.is_none() {
+            return Response::Error("reload: no snapshot store configured".to_string());
+        }
+        ReloadSource::Store
+    } else {
+        ReloadSource::File(path)
+    };
+    {
+        let mut breaker = shared.breaker.lock().unwrap_or_else(|e| e.into_inner());
+        if !breaker.allow_attempt(Instant::now()) {
+            return Response::Error(
+                "reload refused: circuit breaker open; serving pinned snapshot".to_string(),
+            );
+        }
+    }
+    let attempts = shared.reload_attempts;
+    let mut last_err = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(shared.reload_backoff * attempt);
+        }
+        match reload_once(shared, &source) {
+            Ok(resp) => {
+                shared
+                    .breaker
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .on_success();
+                return resp;
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    shared.reload_failures.fetch_add(1, Ordering::Relaxed);
+    shared
+        .breaker
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .on_failure(Instant::now());
+    Response::Error(format!(
+        "reload failed after {attempts} attempt(s): {last_err}"
+    ))
+}
+
+fn reload_once(shared: &Shared, source: &ReloadSource<'_>) -> Result<Response, String> {
+    let (map, store_gen) = match source {
+        ReloadSource::File(path) => {
+            let map = snapshot::load(std::path::Path::new(path))
+                .map_err(|e| format!("load {path}: {e}"))?;
+            (map, None)
+        }
+        ReloadSource::Store => {
+            let store = shared.store.as_ref().expect("source checked by caller");
+            let outcome = store.load_verified().map_err(|e| format!("store: {e}"))?;
+            (outcome.map, Some(outcome.generation))
+        }
     };
     let build_start = Instant::now();
-    let next = QueryIndex::build_with_prefixes(&map, shared.prefix_owners.iter().copied());
+    // A panicking index build must not kill the worker thread or leak a
+    // half-built snapshot; the old index stays live and the reload
+    // counts as a failed attempt.
+    let next = catch_unwind(AssertUnwindSafe(|| {
+        QueryIndex::build_with_prefixes(&map, shared.prefix_owners.iter().copied())
+    }))
+    .map_err(|_| "index build panicked".to_string())?;
     let routers = next.num_routers();
     let links = next.num_links();
     let build_us = build_start.elapsed().as_micros() as u64;
@@ -290,13 +531,16 @@ fn reload(shared: &Shared, path: &str) -> Response {
     let swap_us = swap_start.elapsed().as_micros() as u64;
     shared.last_build_us.store(build_us, Ordering::Relaxed);
     shared.last_swap_us.store(swap_us, Ordering::Relaxed);
-    Response::Reloaded {
+    if let Some(g) = store_gen {
+        shared.store_generation.store(g, Ordering::Relaxed);
+    }
+    Ok(Response::Reloaded {
         generation: shared.cell.generation(),
         build_us,
         swap_us,
         routers,
         links,
-    }
+    })
 }
 
 /// A blocking protocol client: one connection, synchronous
@@ -311,6 +555,11 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream })
+    }
+
+    /// Raw stream access for tests and hostile-input injection.
+    pub(crate) fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
     }
 
     /// Send one request and wait for its response.

@@ -139,6 +139,7 @@ fn hot_swap_under_load_loses_no_queries() {
             conns: 4,
             duration: Duration::from_millis(1200),
             reload_with: Some(snap_b.clone()),
+            ..LoadgenConfig::default()
         },
     )
     .unwrap();

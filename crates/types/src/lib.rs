@@ -12,6 +12,7 @@ pub mod asn;
 pub mod block;
 pub mod fsutil;
 pub mod ids;
+pub mod integrity;
 pub mod prefix;
 pub mod rir;
 pub mod swap;

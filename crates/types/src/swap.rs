@@ -206,6 +206,50 @@ mod tests {
         assert_eq!(drops.load(Ordering::SeqCst), 2);
     }
 
+    /// The reload pattern a serving daemon uses: build the replacement
+    /// value inside `catch_unwind`, store only on success. A build that
+    /// panics mid-way must leave the old epoch readable and must not
+    /// poison later swaps.
+    #[test]
+    fn panicking_build_leaves_cell_usable() {
+        let cell = Arc::new(SwapCell::new(Arc::new(10u64)));
+        let r = SwapCell::reader(&cell);
+
+        // The "reload": a builder that panics before producing a value.
+        let build = || -> Arc<u64> { panic!("index build exploded") };
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let next = build();
+            cell.store(next);
+        }));
+        assert!(attempt.is_err(), "build must have panicked");
+
+        // Old snapshot still served, epoch unchanged.
+        assert_eq!(*r.load(), 10);
+        assert_eq!(*cell.load_locked(), 10);
+        assert_eq!(cell.generation(), 1);
+
+        // A later good reload swaps normally — nothing was poisoned.
+        cell.store(Arc::new(11));
+        assert_eq!(*r.load(), 11);
+        assert_eq!(cell.generation(), 2);
+
+        // Same property when the panic happens on another thread (the
+        // worker-thread shape bdrmapd actually runs).
+        fn exploding_build(n: u64) -> Arc<u64> {
+            assert!(n < 12, "cross-thread build exploded");
+            Arc::new(n)
+        }
+        let cell2 = Arc::clone(&cell);
+        let handle = std::thread::spawn(move || {
+            cell2.store(exploding_build(12));
+        });
+        assert!(handle.join().is_err());
+        assert_eq!(*r.load(), 11);
+        cell.store(Arc::new(12));
+        assert_eq!(*r.load(), 12);
+        assert_eq!(cell.generation(), 3);
+    }
+
     /// Hammer the cell from several readers while a writer swaps
     /// continuously; every load must observe a coherent snapshot.
     #[test]
