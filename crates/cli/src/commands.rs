@@ -197,6 +197,19 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             "published generation {generation} into {dir} (serve it with `bdrmap serve --snap-dir {dir}`)"
         );
     }
+    if let Some(out) = args.get("metrics-out") {
+        // Everything recorded during this run — probe engine, alias
+        // resolution, pipeline stages, heuristics attribution — in one
+        // Prometheus-style exposition. Count-valued families are pure
+        // functions of (preset, seed, fault flags); only `_us`
+        // wall-clock families vary between identically-seeded runs.
+        bdrmap_types::fsutil::write_atomic(
+            std::path::Path::new(out),
+            bdrmap_obs::global().render().as_bytes(),
+        )
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        println!("wrote metric exposition to {out}");
+    }
     Ok(())
 }
 
@@ -786,9 +799,11 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
         Request::Stats
     } else if args.flag("health") {
         Request::Health
+    } else if args.flag("metrics") {
+        Request::Metrics
     } else {
         return Err(ArgError(
-            "query needs one of --addr/--border/--neighbor/--reload/--reload-store/--stats/--health"
+            "query needs one of --addr/--border/--neighbor/--reload/--reload-store/--stats/--health/--metrics"
                 .into(),
         ));
     };
@@ -856,6 +871,11 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
             println!(
                 "reloaded: generation {generation}, {routers} routers / {links} links (build {build_us} us, swap {swap_us} us)"
             );
+        }
+        Response::Metrics(text) => {
+            // Raw exposition on stdout, scrape-ready: `bdrmap query
+            // --metrics | promtool check metrics` style tooling works.
+            print!("{text}");
         }
         Response::Overload => return Err(ArgError("server overloaded; retry".into())),
         Response::Error(msg) => return Err(ArgError(format!("server error: {msg}"))),
@@ -945,6 +965,13 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
         report.p50_us,
         report.p99_us,
         report.p999_us
+    );
+    // Per-opcode split on its own line, in a fixed grep-able shape: the
+    // CI metrics-smoke job diffs these numbers against the server's
+    // `bdrmapd_requests_total{op=...}` counters.
+    println!(
+        "per-op ok: owner={} border={} neighbor={}",
+        report.ok_owner, report.ok_border, report.ok_neighbor
     );
     if let Some(r) = &report.reload {
         println!(

@@ -47,6 +47,7 @@ const VALUE_KEYS: &[&str] = &[
     "stall-conns",
     "iters",
     "fuzz-seed",
+    "metrics-out",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -57,6 +58,7 @@ const FLAGS: &[&str] = &[
     "stats",
     "health",
     "reload-store",
+    "metrics",
     "help",
 ];
 
@@ -124,6 +126,7 @@ SERVING (serve / query / loadgen):
     --neighbor <asn>     `query`: all links to this neighbor AS
     --stats              `query`: server statistics
     --health             `query`: generation, swap epoch, breaker state, uptime
+    --metrics            `query`: Prometheus-style metrics exposition
     --reload <path>      query/loadgen: hot-swap in this snapshot file
     --reload-store       `query`: hot-swap from the server's snapshot store
     --conns <n>          `loadgen`: closed-loop connections (default 4)
@@ -132,6 +135,8 @@ SERVING (serve / query / loadgen):
     --stall-conns <n>    `loadgen`: extra slow-loris connections (default 0)
     --json <path>        loadgen/bench-pipeline: report path (bench-pipeline
                          default: BENCH_pipeline.json)
+    --metrics-out <path> `run`: write the pipeline/probe metric exposition
+                         to this file after the run
 
 FUZZING (fuzz):
     --iters <n>          seeded mutations to run (default 10000)

@@ -1,0 +1,109 @@
+//! Acceptance: metrics are deterministic under fault seeds.
+//!
+//! Two `bdrmap run --fault-seed N --metrics-out <path>` invocations
+//! with identical flags must write identical values for every
+//! virtual-time metric family. The registry is process-global, so each
+//! run gets its own subprocess of the real binary — exactly the shape
+//! a user or CI job sees.
+//!
+//! Wall-clock families (suffix `_us`) are the one documented exemption
+//! (DESIGN.md §10): build/stage durations depend on the host, not the
+//! seed. Everything else — packets probed, alias tests, heuristic rule
+//! attributions, cache hits, quarantine events — is a pure function of
+//! (topology, seed, config) and must not drift by a single count.
+
+use std::process::Command;
+
+fn run_with_metrics(tag: &str, fault_seed: &str) -> String {
+    let out = std::env::temp_dir().join(format!(
+        "bdrmap-metrics-det-{}-{tag}.prom",
+        std::process::id()
+    ));
+    let status = Command::new(env!("CARGO_BIN_EXE_bdrmap"))
+        .args([
+            "run",
+            "--preset",
+            "tiny",
+            "--seed",
+            "7",
+            "--fault-seed",
+            fault_seed,
+            "--loss",
+            "0.05",
+            "--metrics-out",
+        ])
+        .arg(&out)
+        .output()
+        .expect("bdrmap binary runs");
+    assert!(
+        status.status.success(),
+        "bdrmap run failed:\n{}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let text = std::fs::read_to_string(&out).expect("metrics file written");
+    std::fs::remove_file(&out).ok();
+    text
+}
+
+/// Keep only deterministic lines: drop `# `-comments tied to dropped
+/// families and every sample from a wall-clock (`_us`) family.
+fn virtual_time_lines(text: &str) -> Vec<String> {
+    text.lines()
+        .filter(|l| {
+            let name = l
+                .strip_prefix("# TYPE ")
+                .map(|rest| rest.split(' ').next().unwrap_or(""))
+                .unwrap_or_else(|| l.split(['{', ' ']).next().unwrap_or(""));
+            // Histogram samples append `_bucket`/`_sum`/`_count` to the
+            // family name; strip them before the wall-clock check.
+            let family = name
+                .strip_suffix("_bucket")
+                .or_else(|| name.strip_suffix("_sum"))
+                .or_else(|| name.strip_suffix("_count"))
+                .unwrap_or(name);
+            !family.ends_with("_us")
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+#[test]
+fn same_fault_seed_same_virtual_time_metrics() {
+    let a = run_with_metrics("a", "9");
+    let b = run_with_metrics("b", "9");
+    let va = virtual_time_lines(&a);
+    let vb = virtual_time_lines(&b);
+    assert!(
+        va.iter()
+            .any(|l| l.starts_with("bdrmap_probe_packets_total")),
+        "exposition missing probe counters:\n{a}"
+    );
+    assert!(
+        va.iter()
+            .any(|l| l.starts_with("bdrmap_heuristic_routers_total")),
+        "exposition missing heuristic attribution:\n{a}"
+    );
+    assert_eq!(
+        va, vb,
+        "identically-seeded runs disagreed on virtual-time metrics"
+    );
+    // And the exemption is real: the same two runs *did* measure
+    // wall-clock somewhere (stage histograms exist in both).
+    assert!(a.contains("bdrmap_pipeline_stage_us"));
+    assert!(b.contains("bdrmap_pipeline_stage_us"));
+}
+
+#[test]
+fn different_fault_seed_changes_probe_metrics() {
+    let a = run_with_metrics("c", "9");
+    let b = run_with_metrics("d", "10");
+    let va = virtual_time_lines(&a);
+    let vb = virtual_time_lines(&b);
+    // Different fault seeds reorder losses, so retry/packet counts
+    // should differ — if they never do, the fault plumbing is dead and
+    // the determinism test above is vacuous.
+    assert_ne!(
+        va, vb,
+        "fault seed had no effect on any virtual-time metric"
+    );
+}

@@ -95,6 +95,32 @@ impl Heuristic {
     pub fn from_code(code: u8) -> Option<Heuristic> {
         Self::ALL.get(code as usize).copied()
     }
+
+    /// The §5.4 rule code this heuristic implements, as used in the
+    /// paper's Table 1 and as the `rule` label of the
+    /// `bdrmap_heuristic_*_total` metric families.
+    pub fn rule(self) -> &'static str {
+        match self {
+            Heuristic::MultihomedToVp => "1.1",
+            Heuristic::VpInternal => "1.2",
+            Heuristic::Firewall => "2.1",
+            Heuristic::FirewallNextAs => "2.2",
+            Heuristic::UnroutedOneAs => "3.1",
+            Heuristic::UnroutedProvider => "3.2",
+            Heuristic::UnroutedNextAs => "3.3",
+            Heuristic::OneNet => "4.1",
+            Heuristic::OneNetConsecutive => "4.2",
+            Heuristic::ThirdParty => "5.1",
+            Heuristic::RelKnownNeighbor => "5.3",
+            Heuristic::RelCustomerOfCustomer => "5.4",
+            Heuristic::RelSubsequentSingle => "5.5",
+            Heuristic::CountMajority => "6.1",
+            Heuristic::IpAsFallback => "6.2",
+            Heuristic::CollapsedPtp => "7",
+            Heuristic::SilentNeighbor => "8.1",
+            Heuristic::OtherIcmp => "8.2",
+        }
+    }
 }
 
 /// An inferred router: a set of aliased interfaces with an owner.

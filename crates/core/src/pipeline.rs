@@ -14,6 +14,7 @@ use crate::heuristics;
 use crate::input::{CacheStats, Input, Ip2AsCache};
 use crate::output::BorderMap;
 use crate::BdrmapConfig;
+use bdrmap_obs::Registry;
 use bdrmap_probe::{Prober, TraceCollection};
 use std::time::Instant;
 
@@ -49,6 +50,56 @@ pub struct PipelineRun {
 
 fn ms_since(t: Instant) -> f64 {
     t.elapsed().as_secs_f64() * 1e3
+}
+
+/// Record one stage's wall-clock duration (µs) into the registry's
+/// `bdrmap_pipeline_stage_us{stage=...}` histogram. Wall-clock
+/// families carry the `_us` suffix and are exempt from the fault-seed
+/// determinism guarantee (DESIGN.md §10).
+fn record_stage(reg: &Registry, stage: &str, ms: f64) {
+    reg.histogram("bdrmap_pipeline_stage_us", &[("stage", stage)])
+        .record((ms * 1e3) as u64);
+}
+
+/// Publish the run's work accounting — alias-stage tests, dedup wins,
+/// per-shard traffic, cache effectiveness, per-rule heuristic
+/// attribution — as counters. All of these are virtual-time
+/// quantities: pure functions of (topology, seed, config).
+fn record_work(reg: &Registry, map: &BorderMap, alias: &AliasStats, cache: &CacheStats) {
+    let tests = |stage: &str| reg.counter("bdrmap_alias_tests_total", &[("stage", stage)]);
+    tests("mercator").add(alias.mercator_tests);
+    tests("prefixscan").add(alias.prefixscan_executed);
+    tests("ally").add(alias.ally_executed);
+    let cand = |stage: &str| reg.counter("bdrmap_alias_candidates_total", &[("stage", stage)]);
+    cand("prefixscan").add(alias.prefixscan_candidates);
+    cand("ally").add(alias.ally_candidates);
+    let dedup = |stage: &str| reg.counter("bdrmap_alias_dedup_total", &[("stage", stage)]);
+    dedup("prefixscan").add(alias.prefixscan_deduped);
+    dedup("ally").add(alias.ally_deduped);
+    reg.counter("bdrmap_alias_staged_out_total", &[])
+        .add(alias.ally_staged_out);
+    for s in &alias.shards {
+        let shard = s.shard.to_string();
+        reg.counter("bdrmap_alias_shard_tests_total", &[("shard", &shard)])
+            .add(s.tests);
+        reg.counter("bdrmap_alias_shard_packets_total", &[("shard", &shard)])
+            .add(s.packets);
+    }
+
+    reg.counter("bdrmap_ip2as_cache_hits_total", &[])
+        .add(cache.hits);
+    reg.counter("bdrmap_ip2as_cache_misses_total", &[])
+        .add(cache.misses);
+
+    for r in &map.routers {
+        let rule = r.heuristic.map_or("untagged", |h| h.rule());
+        reg.counter("bdrmap_heuristic_routers_total", &[("rule", rule)])
+            .inc();
+    }
+    for (h, n) in map.heuristic_histogram() {
+        reg.counter("bdrmap_heuristic_links_total", &[("rule", h.rule())])
+            .add(n as u64);
+    }
 }
 
 /// Run inference over an existing trace collection, timing each stage.
@@ -97,6 +148,16 @@ pub fn run_stages<P: Prober + ?Sized>(
     let map = heuristics::infer(&graph, input, &cache, collection);
     let infer_ms = ms_since(t);
 
+    // Mirror the stage report into the process-wide registry; the
+    // report itself keeps its public shape for existing consumers.
+    let reg = bdrmap_obs::global();
+    record_stage(reg, "ip2as", ip2as_ms);
+    record_stage(reg, "alias", alias_ms);
+    record_stage(reg, "graph", graph_ms);
+    record_stage(reg, "infer", infer_ms);
+    let cache_stats = cache.stats();
+    record_work(reg, &map, &alias_data.stats, &cache_stats);
+
     PipelineRun {
         map,
         stages: StageReport {
@@ -105,7 +166,7 @@ pub fn run_stages<P: Prober + ?Sized>(
             graph_ms,
             infer_ms,
             alias: alias_data.stats.clone(),
-            cache: cache.stats(),
+            cache: cache_stats,
         },
         alias_bytes,
     }

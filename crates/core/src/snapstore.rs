@@ -172,6 +172,9 @@ impl SnapStore {
         // that were not proven decodable from disk.
         snapshot::load(&path)?;
         self.write_manifest(gen)?;
+        bdrmap_obs::global()
+            .counter("bdrmap_snapstore_publishes_total", &[])
+            .inc();
         Ok(gen)
     }
 
@@ -211,6 +214,11 @@ impl SnapStore {
                     if self.manifest_generation() != Some(gen) {
                         self.write_manifest(gen)?;
                     }
+                    if !quarantined.is_empty() {
+                        bdrmap_obs::global()
+                            .counter("bdrmap_snapstore_rollbacks_total", &[])
+                            .inc();
+                    }
                     return Ok(LoadOutcome {
                         map,
                         generation: gen,
@@ -223,6 +231,9 @@ impl SnapStore {
                          quarantining and rolling back"
                     );
                     self.quarantine(gen)?;
+                    bdrmap_obs::global()
+                        .counter("bdrmap_snapstore_quarantines_total", &[])
+                        .inc();
                     quarantined.push(Quarantined {
                         generation: gen,
                         reason: e.to_string(),

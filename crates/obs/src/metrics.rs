@@ -1,0 +1,289 @@
+//! The three instrument kinds: counter, gauge, log2-bucket histogram.
+//!
+//! Handles are cheap `Arc` clones over shared atomic storage; callers
+//! resolve them once from a [`Registry`](crate::Registry) and increment
+//! lock-free thereafter. All updates use relaxed ordering — metrics
+//! never synchronize other memory, they only have to be eventually
+//! visible and never lost, which `fetch_add` guarantees regardless of
+//! ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+/// Number of histogram buckets: one for zero plus one per bit length.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not (yet) attached to a registry, starting at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A settable level reading.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A gauge not (yet) attached to a registry, starting at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Add `n` to the level.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Relaxed);
+    }
+
+    /// Subtract `n` from the level (saturating at zero).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // fetch_update never fails with Relaxed/Relaxed + Some(..).
+        let _ = self
+            .0
+            .fetch_update(Relaxed, Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Shared storage of one histogram.
+#[derive(Debug)]
+struct HistogramCore {
+    /// Per-bucket sample counts; bucket `i` holds samples of bit
+    /// length `i` (bucket 0 holds only the value 0).
+    buckets: [AtomicU64; BUCKETS],
+    /// Sum of all recorded samples (wrapping on overflow).
+    sum: AtomicU64,
+    /// Number of recorded samples.
+    count: AtomicU64,
+}
+
+/// A fixed-boundary log2-bucket histogram over `u64` samples.
+///
+/// Bucket `i` covers `[2^(i-1), 2^i)` for `i ≥ 1`; bucket 0 covers the
+/// single value 0. Boundaries never move, so two histograms of the
+/// same family merge by bucket-wise addition and the whole structure
+/// is a pure function of the recorded multiset — deterministic under a
+/// fixed fault seed when the samples are virtual-time quantities.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A histogram not (yet) attached to a registry, empty.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Bucket index for `v`: its bit length.
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Inclusive upper bound of the bucket `v` falls in — the value a
+    /// quantile query reports for any sample in that bucket.
+    pub fn bucket_bound(v: u64) -> u64 {
+        Histogram::bound_of(Histogram::bucket_of(v))
+    }
+
+    /// Inclusive upper bound of bucket `i`.
+    fn bound_of(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            64 => u64::MAX,
+            _ => (1u64 << i) - 1,
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.0.buckets[Histogram::bucket_of(v)].fetch_add(1, Relaxed);
+        self.0.sum.fetch_add(v, Relaxed);
+        self.0.count.fetch_add(1, Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Relaxed)
+    }
+
+    /// Count in bucket `i` (0 ≤ i < [`BUCKETS`]).
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.0.buckets[i].load(Relaxed)
+    }
+
+    /// Fold another histogram's samples into this one. Fixed bucket
+    /// boundaries make this exact: the merged histogram equals the
+    /// histogram of the union multiset.
+    pub fn merge_from(&self, other: &Histogram) {
+        for i in 0..BUCKETS {
+            let n = other.0.buckets[i].load(Relaxed);
+            if n > 0 {
+                self.0.buckets[i].fetch_add(n, Relaxed);
+            }
+        }
+        self.0.sum.fetch_add(other.sum(), Relaxed);
+        self.0.count.fetch_add(other.count(), Relaxed);
+    }
+
+    /// Nearest-rank quantile, reported as the upper bound of the
+    /// bucket holding the selected sample.
+    ///
+    /// Semantics mirror `serve::loadgen::percentile` exactly: an empty
+    /// histogram reports 0, the rank is `ceil(count × q)` clamped to
+    /// `[1, count]`, so `q = 0.0` selects the smallest sample's bucket
+    /// and `q = 1.0` the largest's. Because bucket mapping is
+    /// monotonic, `quantile(q) == bucket_bound(percentile(sorted, q))`
+    /// for any sample set — the shared tests in `serve::loadgen` pin
+    /// that equivalence.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((count as f64) * q).ceil() as u64;
+        let rank = rank.clamp(1, count);
+        let mut seen = 0u64;
+        for i in 0..BUCKETS {
+            seen += self.0.buckets[i].load(Relaxed);
+            if seen >= rank {
+                return Histogram::bound_of(i);
+            }
+        }
+        // Unreachable when count() matches the bucket totals; be
+        // conservative if a racing writer bumped count first.
+        Histogram::bound_of(BUCKETS - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let clone = c.clone();
+        clone.inc();
+        assert_eq!(c.get(), 6, "clones share storage");
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "gauge saturates at zero");
+    }
+
+    #[test]
+    fn bucket_mapping_is_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(1023), 10);
+        assert_eq!(Histogram::bucket_of(1024), 11);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_bound(0), 0);
+        assert_eq!(Histogram::bucket_bound(1), 1);
+        assert_eq!(Histogram::bucket_bound(5), 7);
+        assert_eq!(Histogram::bucket_bound(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_records_and_merges_exactly() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 5000] {
+            a.record(v);
+        }
+        for v in [7u64, 8, 9] {
+            b.record(v);
+        }
+        a.merge_from(&b);
+        assert_eq!(a.count(), 9);
+        assert_eq!(a.sum(), 1 + 2 + 3 + 100 + 5000 + 7 + 8 + 9);
+
+        // Merged histogram equals the histogram of the union multiset.
+        let union = Histogram::new();
+        for v in [0u64, 1, 2, 3, 100, 5000, 7, 8, 9] {
+            union.record(v);
+        }
+        for i in 0..BUCKETS {
+            assert_eq!(a.bucket_count(i), union.bucket_count(i), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantile_nearest_rank_on_bucket_bounds() {
+        let h = Histogram::new();
+        // One sample per distinct bucket: 0, 1, 2, 4, 8.
+        for v in [0u64, 1, 2, 4, 8] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0, "q=0 selects the minimum");
+        assert_eq!(h.quantile(0.2), 0);
+        assert_eq!(h.quantile(0.4), 1);
+        assert_eq!(h.quantile(0.6), 3, "2's bucket is [2,4) -> bound 3");
+        assert_eq!(h.quantile(0.8), 7);
+        assert_eq!(h.quantile(1.0), 15, "q=1 selects the maximum's bucket");
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+}

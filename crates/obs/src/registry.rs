@@ -1,0 +1,252 @@
+//! The metric registry and Prometheus-style text exposition.
+//!
+//! Registration takes a short mutex; the returned handles are lock-free
+//! thereafter. Looking a metric up twice with the same name and labels
+//! returns a handle over the *same* storage, so independent call sites
+//! accumulate into one series. Family names and label keys are
+//! `&'static str` by construction; label values may be computed (shard
+//! indices, rule codes) and are stored as owned strings.
+
+use crate::metrics::{Counter, Gauge, Histogram, BUCKETS};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What a family measures; fixed at first registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One labelled series within a family.
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Sorted label set, the series key within a family.
+type Labels = Vec<(&'static str, String)>;
+
+#[derive(Debug)]
+struct Family {
+    kind: MetricKind,
+    series: BTreeMap<Labels, Metric>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    families: BTreeMap<&'static str, Family>,
+}
+
+/// A set of metric families, rendered together as exposition text.
+///
+/// Cloning is cheap and shares the underlying families; every
+/// subsystem can hold its own clone of the registry it reports to.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn series(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        kind: MetricKind,
+    ) -> Metric {
+        let mut key: Labels = labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+        key.sort_unstable();
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let fam = g.families.entry(name).or_insert_with(|| Family {
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            fam.kind == kind,
+            "metric family {name:?} registered as {:?}, requested as {kind:?}",
+            fam.kind
+        );
+        fam.series
+            .entry(key)
+            .or_insert_with(|| match kind {
+                MetricKind::Counter => Metric::Counter(Counter::new()),
+                MetricKind::Gauge => Metric::Gauge(Gauge::new()),
+                MetricKind::Histogram => Metric::Histogram(Histogram::new()),
+            })
+            .clone()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        match self.series(name, labels, MetricKind::Counter) {
+            Metric::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        match self.series(name, labels, MetricKind::Gauge) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        match self.series(name, labels, MetricKind::Histogram) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Render every family as Prometheus-style text exposition.
+    ///
+    /// Output is fully deterministic for a given set of metric values:
+    /// families sort by name, series by their sorted label sets, and
+    /// histograms emit only non-empty buckets (cumulative counts) plus
+    /// the `+Inf` bucket, `_sum`, and `_count`. The golden test in
+    /// `tests/registry.rs` pins this format.
+    pub fn render(&self) -> String {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut out = String::new();
+        for (name, fam) in &g.families {
+            let _ = writeln!(out, "# TYPE {name} {}", fam.kind.as_str());
+            for (labels, metric) in &fam.series {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, None), c.get());
+                    }
+                    Metric::Gauge(ga) => {
+                        let _ = writeln!(out, "{name}{} {}", fmt_labels(labels, None), ga.get());
+                    }
+                    Metric::Histogram(h) => {
+                        let mut cum = 0u64;
+                        for i in 0..BUCKETS {
+                            let n = h.bucket_count(i);
+                            if n == 0 {
+                                continue;
+                            }
+                            cum += n;
+                            let le = bound_str(i);
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {cum}",
+                                fmt_labels(labels, Some(&le))
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {cum}",
+                            fmt_labels(labels, Some("+Inf"))
+                        );
+                        let _ = writeln!(out, "{name}_sum{} {}", fmt_labels(labels, None), h.sum());
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            fmt_labels(labels, None),
+                            h.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Inclusive upper bound of bucket `i`, as the `le` label value.
+fn bound_str(i: usize) -> String {
+    match i {
+        0 => "0".to_string(),
+        64 => u64::MAX.to_string(),
+        _ => ((1u64 << i) - 1).to_string(),
+    }
+}
+
+/// `{k1="v1",k2="v2"}` with `le` appended last, or `""` when empty.
+fn fmt_labels(labels: &[(&'static str, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut s = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{k}=\"{}\"", escape(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            s.push(',');
+        }
+        let _ = write!(s, "le=\"{le}\"");
+    }
+    s.push('}');
+    s
+}
+
+/// Escape a label value per the exposition format.
+fn escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_storage() {
+        let reg = Registry::new();
+        let a = reg.counter("x_total", &[("op", "owner")]);
+        let b = reg.counter("x_total", &[("op", "owner")]);
+        a.add(2);
+        b.inc();
+        assert_eq!(a.get(), 3);
+        let other = reg.counter("x_total", &[("op", "border")]);
+        assert_eq!(other.get(), 0, "distinct labels are distinct series");
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let reg = Registry::new();
+        let a = reg.counter("y_total", &[("a", "1"), ("b", "2")]);
+        let b = reg.counter("y_total", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("z_total", &[]);
+        let _ = reg.gauge("z_total", &[]);
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_newlines() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

@@ -1,0 +1,104 @@
+//! Registry-level guarantees: exact totals under contention and a
+//! golden exposition format.
+
+use bdrmap_obs::{Histogram, Registry, ScopedTimer};
+use std::thread;
+
+/// N threads hammering one counter and one histogram through
+/// independently resolved handles must produce exact final totals —
+/// no lost updates, no double counting.
+#[test]
+fn contended_counter_and_histogram_totals_are_exact() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let reg = Registry::new();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let reg = reg.clone();
+            thread::spawn(move || {
+                // Each thread resolves its own handles, exercising the
+                // registration path concurrently too.
+                let c = reg.counter("contended_total", &[("op", "mixed")]);
+                let h = reg.histogram("contended_us", &[]);
+                for i in 0..PER_THREAD {
+                    c.inc();
+                    h.record(t * PER_THREAD + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let c = reg.counter("contended_total", &[("op", "mixed")]);
+    let h = reg.histogram("contended_us", &[]);
+    let n = THREADS * PER_THREAD;
+    assert_eq!(c.get(), n);
+    assert_eq!(h.count(), n);
+    // Sum of 0..n-1 — every sample recorded exactly once.
+    assert_eq!(h.sum(), n * (n - 1) / 2);
+    // Bucket totals must also add up to the count.
+    let bucket_total: u64 = (0..bdrmap_obs::BUCKETS).map(|i| h.bucket_count(i)).sum();
+    assert_eq!(bucket_total, n);
+}
+
+/// The exposition text format is a schema: scrapers grep it, CI greps
+/// it, and DESIGN.md documents it. Pin it exactly.
+#[test]
+fn golden_exposition_format() {
+    let reg = Registry::new();
+    reg.counter("bdrmap_demo_total", &[]).add(7);
+    reg.counter("bdrmapd_requests_total", &[("op", "owner")])
+        .add(3);
+    reg.counter("bdrmapd_requests_total", &[("op", "border")])
+        .inc();
+    reg.gauge("bdrmap_demo_level", &[]).set(42);
+    let h = reg.histogram("bdrmap_demo_us", &[("stage", "infer")]);
+    h.record(0);
+    h.record(1);
+    h.record(5); // bucket [4,8) -> le="7"
+    h.record(5);
+    h.record(300); // bucket [256,512) -> le="511"
+
+    let expected = "\
+# TYPE bdrmap_demo_level gauge
+bdrmap_demo_level 42
+# TYPE bdrmap_demo_total counter
+bdrmap_demo_total 7
+# TYPE bdrmap_demo_us histogram
+bdrmap_demo_us_bucket{stage=\"infer\",le=\"0\"} 1
+bdrmap_demo_us_bucket{stage=\"infer\",le=\"1\"} 2
+bdrmap_demo_us_bucket{stage=\"infer\",le=\"7\"} 4
+bdrmap_demo_us_bucket{stage=\"infer\",le=\"511\"} 5
+bdrmap_demo_us_bucket{stage=\"infer\",le=\"+Inf\"} 5
+bdrmap_demo_us_sum{stage=\"infer\"} 311
+bdrmap_demo_us_count{stage=\"infer\"} 5
+# TYPE bdrmapd_requests_total counter
+bdrmapd_requests_total{op=\"border\"} 1
+bdrmapd_requests_total{op=\"owner\"} 3
+";
+    assert_eq!(reg.render(), expected);
+}
+
+/// Rendering twice without updates is byte-identical, and an empty
+/// registry renders to the empty string.
+#[test]
+fn render_is_stable() {
+    let reg = Registry::new();
+    assert_eq!(reg.render(), "");
+    reg.counter("a_total", &[]).inc();
+    assert_eq!(reg.render(), reg.render());
+}
+
+/// The scoped timer records exactly one sample per span into the
+/// target histogram.
+#[test]
+fn scoped_timer_records_once() {
+    let h = Histogram::new();
+    for _ in 0..3 {
+        let _t = ScopedTimer::new(&h);
+    }
+    assert_eq!(h.count(), 3);
+}

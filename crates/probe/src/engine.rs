@@ -14,6 +14,7 @@ use crate::stopset::StopSet;
 use crate::targets::TargetAs;
 use crate::trace::{run_trace, Trace, TraceParams, TraceStop};
 use bdrmap_dataplane::{DataPlane, Probe, Response, Runtime};
+use bdrmap_obs::{Counter, Gauge};
 use bdrmap_types::{Addr, Asn};
 use parking_lot::Mutex;
 use std::cell::Cell;
@@ -268,6 +269,13 @@ pub fn run_traces<P: Prober + ?Sized>(
     let ledger = quarantine.map(Quarantine::new);
     let results: Mutex<Vec<(usize, Vec<Trace>)>> = Mutex::new(Vec::new());
     let next_job = AtomicU64::new(0);
+    // Retry/quarantine accounting; both counts are decided by trace
+    // content and the logical clock, so they replay under a fixed seed.
+    let m_retry = bdrmap_obs::global().counter("bdrmap_probe_block_retries_total", &[]);
+    let m_qskip = bdrmap_obs::global().counter(
+        "bdrmap_probe_quarantine_skips_total",
+        &[("cause", "dark_block")],
+    );
 
     std::thread::scope(|scope| {
         for _ in 0..parallelism.max(1) {
@@ -287,8 +295,12 @@ pub fn run_traces<P: Prober + ?Sized>(
                         // quarantine cool-off lifts.
                         if let Some(q) = &ledger {
                             if !q.allows(block.start(), prober.budget().elapsed_ms) {
+                                m_qskip.inc();
                                 break;
                             }
+                        }
+                        if i > 0 {
+                            m_retry.inc();
                         }
                         let dst = block.nth((1 + i).min(block.size() - 1));
                         let tr = prober.trace(dst, t.asn, stop);
@@ -326,6 +338,53 @@ pub fn run_traces<P: Prober + ?Sized>(
     }
 }
 
+/// Handles into the global metrics registry, resolved once per engine
+/// so the per-packet hot path pays exactly one relaxed `fetch_add`.
+/// Every family here measures virtual-time quantities (packet counts,
+/// logical-clock readings), so their final values are pure functions
+/// of (topology, seed, config) and replay identically under a fixed
+/// `--fault-seed`.
+struct EngineMetrics {
+    /// `bdrmap_probe_packets_total` — every packet, traces and alias.
+    packets: Counter,
+    /// `bdrmap_alias_packets_total` — the alias-task share of the above.
+    alias_packets: Counter,
+    /// `bdrmap_probe_traces_total{stop=...}` — one per finished trace,
+    /// labelled by its stop reason.
+    traces: [Counter; 4],
+    /// `bdrmap_probe_virtual_clock_ms` — the logical clock, refreshed
+    /// on every budget read.
+    clock_ms: Gauge,
+}
+
+impl EngineMetrics {
+    fn new() -> EngineMetrics {
+        let reg = bdrmap_obs::global();
+        let stop = |s: &str| reg.counter("bdrmap_probe_traces_total", &[("stop", s)]);
+        EngineMetrics {
+            packets: reg.counter("bdrmap_probe_packets_total", &[]),
+            alias_packets: reg.counter("bdrmap_alias_packets_total", &[]),
+            traces: [
+                stop("completed"),
+                stop("gap_limit"),
+                stop("stop_set"),
+                stop("max_ttl"),
+            ],
+            clock_ms: reg.gauge("bdrmap_probe_virtual_clock_ms", &[]),
+        }
+    }
+
+    fn trace_done(&self, stop: TraceStop) {
+        let i = match stop {
+            TraceStop::Completed => 0,
+            TraceStop::GapLimit => 1,
+            TraceStop::StopSet => 2,
+            TraceStop::MaxTtl => 3,
+        };
+        self.traces[i].inc();
+    }
+}
+
 /// The probing engine. Clone-cheap via `Arc` internals.
 ///
 /// # Examples
@@ -356,6 +415,7 @@ pub struct ProbeEngine {
     alias_seq: Arc<AtomicU64>,
     tick_us: u64,
     cfg: EngineConfig,
+    metrics: EngineMetrics,
 }
 
 impl ProbeEngine {
@@ -370,6 +430,7 @@ impl ProbeEngine {
             alias_seq: Arc::new(AtomicU64::new(0)),
             tick_us: 1_000_000 / cfg.pps as u64,
             cfg,
+            metrics: EngineMetrics::new(),
         }
     }
 
@@ -385,10 +446,12 @@ impl ProbeEngine {
 
     /// Current packet/time totals.
     pub fn budget(&self) -> ProbeBudget {
-        ProbeBudget {
+        let b = ProbeBudget {
             packets: self.packets.load(Ordering::Relaxed),
             elapsed_ms: self.clock.load(Ordering::Relaxed) / 1000,
-        }
+        };
+        self.metrics.clock_ms.set(b.elapsed_ms);
+        b
     }
 
     /// Jump the logical clock forward (TSLP samples span simulated days
@@ -417,6 +480,7 @@ impl ProbeEngine {
     /// Take one clock tick (one packet's worth of budget), returning the
     /// send timestamp in ms.
     fn tick(&self) -> u64 {
+        self.metrics.packets.inc();
         self.packets.fetch_add(1, Ordering::Relaxed);
         self.clock.fetch_add(self.tick_us, Ordering::Relaxed) / 1000
     }
@@ -452,6 +516,8 @@ impl ProbeEngine {
     /// totals are plain sums, so the final budget does not depend on
     /// the order concurrent tasks finish in.
     fn charge(&self, n: u64) {
+        self.metrics.packets.add(n);
+        self.metrics.alias_packets.add(n);
         self.packets.fetch_add(n, Ordering::Relaxed);
         self.clock.fetch_add(n * self.tick_us, Ordering::Relaxed);
     }
@@ -505,7 +571,7 @@ impl ProbeEngine {
 
     /// Run one traceroute with a target-AS stop set.
     pub fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace {
-        run_trace(
+        let tr = run_trace(
             |mut p| {
                 p.src = self.vp;
                 p.time_ms = self.tick();
@@ -517,7 +583,9 @@ impl ProbeEngine {
             target_as,
             self.cfg.trace,
             |a| stop.contains(a),
-        )
+        );
+        self.metrics.trace_done(tr.stop);
+        tr
     }
 
     /// Probe every target AS (see [`run_traces`]).

@@ -54,14 +54,27 @@ struct Entry {
 pub struct Quarantine {
     policy: QuarantinePolicy,
     entries: Mutex<HashMap<Addr, Entry>>,
+    /// `bdrmap_probe_quarantine_entered_total{cause="dark_block"}` —
+    /// blocks entering quarantine (re-entries count again).
+    m_entered: bdrmap_obs::Counter,
+    /// `bdrmap_probe_quarantine_cleared_total` — records wiped by a
+    /// responsive probe (probation successes and pre-threshold
+    /// recoveries).
+    m_cleared: bdrmap_obs::Counter,
 }
 
 impl Quarantine {
     /// An empty ledger under `policy`.
     pub fn new(policy: QuarantinePolicy) -> Quarantine {
+        let reg = bdrmap_obs::global();
         Quarantine {
             policy,
             entries: Mutex::new(HashMap::new()),
+            m_entered: reg.counter(
+                "bdrmap_probe_quarantine_entered_total",
+                &[("cause", "dark_block")],
+            ),
+            m_cleared: reg.counter("bdrmap_probe_quarantine_cleared_total", &[]),
         }
     }
 
@@ -82,7 +95,9 @@ impl Quarantine {
     pub fn record(&self, block: Addr, responsive: bool, now_ms: u64) {
         let mut g = self.entries.lock();
         if responsive {
-            g.remove(&block);
+            if g.remove(&block).is_some() {
+                self.m_cleared.inc();
+            }
             return;
         }
         let e = g.entry(block).or_default();
@@ -92,6 +107,7 @@ impl Quarantine {
             e.until_ms = Some(now_ms + self.policy.cooloff_ms * factor);
             e.entries += 1;
             e.strikes = 0;
+            self.m_entered.inc();
         }
     }
 

@@ -102,6 +102,17 @@ pub struct LoadReport {
     pub duration_s: f64,
     /// Queries answered `Ok`/`NotFound` with a well-formed payload.
     pub queries_ok: u64,
+    /// Subset of `queries_ok` that were `Owner` lookups. The per-opcode
+    /// split lets CI cross-check the server's own
+    /// `bdrmapd_requests_total{op=...}` counters against what this
+    /// closed-loop client actually got answered: on a clean run
+    /// (`queries_shed == 0 && queries_error == 0`, no corruption) the
+    /// two tallies must match exactly.
+    pub ok_owner: u64,
+    /// Subset of `queries_ok` that were `Border` lookups.
+    pub ok_border: u64,
+    /// Subset of `queries_ok` that were `Neighbor` lookups.
+    pub ok_neighbor: u64,
     /// Subset of `queries_ok` whose answer was "not found".
     pub queries_not_found: u64,
     /// Connections shed by the server's overload path.
@@ -134,6 +145,9 @@ impl LoadReport {
     /// Stable JSON schema for `BENCH_serve.json`; keys are fixed so CI
     /// and trend tooling can grep/diff across revisions. Schema 2 adds
     /// the hostile-input counters; every schema-1 key is unchanged.
+    /// The per-opcode `ok_*` split is deliberately *not* serialized:
+    /// it exists for the metrics cross-check on stdout, and the bench
+    /// schema stays byte-identical.
     pub fn to_json(&self) -> String {
         let reload = match &self.reload {
             Some(r) => format!(
@@ -203,6 +217,9 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 struct Tally {
     ok: AtomicU64,
+    ok_owner: AtomicU64,
+    ok_border: AtomicU64,
+    ok_neighbor: AtomicU64,
     not_found: AtomicU64,
     shed: AtomicU64,
     errors: AtomicU64,
@@ -307,6 +324,15 @@ fn drive(
                 Ok(resp) if resp.answers(req) => {
                     latencies.push(start.elapsed().as_micros() as u64);
                     tally.ok.fetch_add(1, Ordering::Relaxed);
+                    let per_op = match req {
+                        Request::Owner(_) => Some(&tally.ok_owner),
+                        Request::Border(_) => Some(&tally.ok_border),
+                        Request::Neighbor(_) => Some(&tally.ok_neighbor),
+                        _ => None,
+                    };
+                    if let Some(c) = per_op {
+                        c.fetch_add(1, Ordering::Relaxed);
+                    }
                     if matches!(resp, Response::Owner(None) | Response::Border(None)) {
                         tally.not_found.fetch_add(1, Ordering::Relaxed);
                     }
@@ -373,6 +399,9 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
     }
     let tally = Arc::new(Tally {
         ok: AtomicU64::new(0),
+        ok_owner: AtomicU64::new(0),
+        ok_border: AtomicU64::new(0),
+        ok_neighbor: AtomicU64::new(0),
         not_found: AtomicU64::new(0),
         shed: AtomicU64::new(0),
         errors: AtomicU64::new(0),
@@ -449,6 +478,9 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
         conns: cfg.conns.max(1),
         duration_s: elapsed,
         queries_ok: ok,
+        ok_owner: tally.ok_owner.load(Ordering::Relaxed),
+        ok_border: tally.ok_border.load(Ordering::Relaxed),
+        ok_neighbor: tally.ok_neighbor.load(Ordering::Relaxed),
         queries_not_found: tally.not_found.load(Ordering::Relaxed),
         queries_shed: tally.shed.load(Ordering::Relaxed),
         queries_error: tally.errors.load(Ordering::Relaxed),
@@ -482,12 +514,82 @@ mod tests {
         assert_eq!(percentile(&[7], 0.999), 7);
     }
 
+    /// Pins the nearest-rank edge-case semantics: rank is
+    /// `ceil(len * q)` clamped to `1..=len`, so `q = 0.0` is the
+    /// minimum, `q = 1.0` the maximum, and any quantile of fewer
+    /// samples than its resolution (p999 of < 1000) lands on the
+    /// maximum rather than interpolating past the data.
+    #[test]
+    fn percentile_edge_cases() {
+        // Empty input: defined as 0 for every q.
+        assert_eq!(percentile(&[], 0.0), 0);
+        assert_eq!(percentile(&[], 1.0), 0);
+        assert_eq!(percentile(&[], 0.999), 0);
+        // A single sample answers every quantile.
+        assert_eq!(percentile(&[42], 0.0), 42);
+        assert_eq!(percentile(&[42], 0.5), 42);
+        assert_eq!(percentile(&[42], 1.0), 42);
+        // q = 0.0 gives rank 0, clamped up to rank 1: the minimum.
+        assert_eq!(percentile(&[3, 8, 20], 0.0), 3);
+        // q = 1.0 gives rank = len exactly: the maximum.
+        assert_eq!(percentile(&[3, 8, 20], 1.0), 20);
+        // p999 with fewer than 1000 samples: ceil rounds the rank up
+        // to len, so the answer is the maximum, never out of bounds.
+        let hundred: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&hundred, 0.999), 100);
+        assert_eq!(percentile(&[5, 6], 0.999), 6);
+        // Duplicate maxima: the tied value is returned for every rank
+        // that lands in the run of duplicates.
+        let dup = [1, 2, 9, 9, 9];
+        assert_eq!(percentile(&dup, 1.0), 9);
+        assert_eq!(percentile(&dup, 0.999), 9);
+        assert_eq!(percentile(&dup, 0.5), 9); // rank ceil(2.5) = 3
+        assert_eq!(percentile(&dup, 0.4), 2); // rank 2
+    }
+
+    /// The same nearest-rank semantics must hold for the observability
+    /// histogram. `Histogram::quantile` uses the identical rank rule,
+    /// and its bucket mapping is monotonic, so for every input the
+    /// histogram answer is exactly the upper bucket bound of the exact
+    /// nearest-rank answer:
+    /// `hist.quantile(q) == Histogram::bucket_bound(percentile(v, q))`.
+    #[test]
+    fn histogram_quantile_matches_percentile_semantics() {
+        use bdrmap_obs::Histogram;
+        let cases: &[&[u64]] = &[
+            &[],
+            &[42],
+            &[3, 8, 20],
+            &[5, 6],
+            &[1, 2, 9, 9, 9],
+            &[0, 0, 0, 1],
+            &[1, 1_000, 1_000_000, u64::MAX],
+        ];
+        let hundred: Vec<u64> = (1..=100).collect();
+        for samples in cases.iter().copied().chain([hundred.as_slice()]) {
+            let hist = Histogram::new();
+            for &s in samples {
+                hist.record(s);
+            }
+            for q in [0.0, 0.4, 0.5, 0.99, 0.999, 1.0] {
+                assert_eq!(
+                    hist.quantile(q),
+                    Histogram::bucket_bound(percentile(samples, q)),
+                    "samples {samples:?} q {q}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn report_json_is_stable() {
         let report = LoadReport {
             conns: 4,
             duration_s: 2.0,
             queries_ok: 1000,
+            ok_owner: 500,
+            ok_border: 300,
+            ok_neighbor: 200,
             queries_not_found: 10,
             queries_shed: 1,
             queries_error: 0,
@@ -522,6 +624,9 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+        // The per-opcode split is stdout-only; the bench schema must
+        // not grow keys.
+        assert!(!json.contains("ok_owner"), "per-op counts leaked into JSON");
         let none = LoadReport::default().to_json();
         assert!(none.contains("\"reload\": null"));
     }

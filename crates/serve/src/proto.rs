@@ -31,6 +31,7 @@ const OP_NEIGHBOR: u8 = 3;
 const OP_STATS: u8 = 4;
 const OP_RELOAD: u8 = 5;
 const OP_HEALTH: u8 = 6;
+const OP_METRICS: u8 = 7;
 
 /// Response status bytes.
 const ST_OK: u8 = 0;
@@ -99,6 +100,9 @@ pub enum Request {
     /// Liveness/readiness probe: generation, swap epoch, breaker state,
     /// uptime.
     Health,
+    /// The server's metric registry, rendered as Prometheus-style text
+    /// exposition (see `bdrmap-obs`).
+    Metrics,
 }
 
 impl Request {
@@ -124,6 +128,7 @@ impl Request {
                 w.put_str(path);
             }
             Request::Health => w.put_u8(OP_HEALTH),
+            Request::Metrics => w.put_u8(OP_METRICS),
         }
         w.into_vec()
     }
@@ -138,6 +143,7 @@ impl Request {
             OP_STATS => Request::Stats,
             OP_RELOAD => Request::Reload(r.get_str()?.to_string()),
             OP_HEALTH => Request::Health,
+            OP_METRICS => Request::Metrics,
             op => return Err(ProtoError::UnknownOpcode(op)),
         };
         r.finish().map_err(|_| ProtoError::TrailingBytes)?;
@@ -152,6 +158,7 @@ impl Request {
             Request::Stats => OP_STATS,
             Request::Reload(_) => OP_RELOAD,
             Request::Health => OP_HEALTH,
+            Request::Metrics => OP_METRICS,
         }
     }
 }
@@ -269,6 +276,8 @@ pub enum Response {
     },
     /// Health probe answer.
     Health(HealthInfo),
+    /// Metric exposition text (Prometheus-style).
+    Metrics(String),
     /// The accept queue was full; retry later.
     Overload,
     /// The request failed; human-readable reason.
@@ -414,6 +423,11 @@ impl Response {
                 w.put_u64(h.uptime_ms);
                 w.put_u64(h.reload_failures);
             }
+            Response::Metrics(text) => {
+                w.put_u8(ST_OK);
+                w.put_u8(OP_METRICS);
+                w.put_str(text);
+            }
             Response::Overload => {
                 w.put_u8(ST_OVERLOAD);
                 w.put_u8(0);
@@ -497,6 +511,7 @@ impl Response {
                 uptime_ms: r.get_u64()?,
                 reload_failures: r.get_u64()?,
             }),
+            (ST_OK, OP_METRICS) => Response::Metrics(r.get_str()?.to_string()),
             (ST_OK | ST_NOT_FOUND, op) => return Err(ProtoError::UnknownOpcode(op)),
             (st, _) => return Err(ProtoError::UnknownStatus(st)),
         };
@@ -513,6 +528,7 @@ impl Response {
             Response::Stats(_) => req.op() == OP_STATS,
             Response::Reloaded { .. } => req.op() == OP_RELOAD,
             Response::Health(_) => req.op() == OP_HEALTH,
+            Response::Metrics(_) => req.op() == OP_METRICS,
             Response::Overload | Response::Error(_) => true,
         }
     }
@@ -536,6 +552,7 @@ mod tests {
             Request::Reload("/tmp/map.bdrm".into()),
             Request::Reload(String::new()),
             Request::Health,
+            Request::Metrics,
         ];
         for req in reqs {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
@@ -600,6 +617,8 @@ mod tests {
                 uptime_ms: 123456,
                 reload_failures: 1,
             }),
+            Response::Metrics("# TYPE x counter\nx 1\n".into()),
+            Response::Metrics(String::new()),
             Response::Overload,
             Response::Error("bad path".into()),
         ];
@@ -657,5 +676,7 @@ mod tests {
         assert!(Response::Overload.answers(&Request::Stats));
         assert!(Response::Health(HealthInfo::default()).answers(&Request::Health));
         assert!(!Response::Health(HealthInfo::default()).answers(&Request::Stats));
+        assert!(Response::Metrics(String::new()).answers(&Request::Metrics));
+        assert!(!Response::Metrics(String::new()).answers(&Request::Stats));
     }
 }

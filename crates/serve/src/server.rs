@@ -34,13 +34,14 @@ use crate::conn::{Conn, ConnError, ConnEvent, ConnLimits};
 use crate::proto::{HealthInfo, Request, Response, Stats};
 use crate::reload::Breaker;
 use bdrmap_core::{snapshot, BorderMap, QueryIndex, SnapStore};
+use bdrmap_obs::{Counter, Histogram, Registry};
 use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
 use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -110,46 +111,137 @@ impl ServeConfig {
     }
 }
 
+/// Wire-opcode labels for the `op` metric label, in dispatch order.
+const OPS: [&str; 7] = [
+    "owner", "border", "neighbor", "stats", "reload", "health", "metrics",
+];
+
+/// Index into [`OPS`] (and the per-opcode metric arrays) for a request.
+fn op_index(req: &Request) -> usize {
+    match req {
+        Request::Owner(_) => 0,
+        Request::Border(_) => 1,
+        Request::Neighbor(_) => 2,
+        Request::Stats => 3,
+        Request::Reload(_) => 4,
+        Request::Health => 5,
+        Request::Metrics => 6,
+    }
+}
+
+/// The daemon's metric handles, resolved once from a server-private
+/// [`Registry`] (private so two servers in one process never mix their
+/// numbers). The ad-hoc `AtomicU64`s that used to live on `Shared`
+/// migrated here; `Stats` wire responses read the same storage, so the
+/// two reporters cannot disagree.
+struct ServerMetrics {
+    registry: Registry,
+    /// `bdrmapd_requests_total{op=...}` — every well-formed request,
+    /// control frames included.
+    requests: [Counter; 7],
+    /// `bdrmapd_request_us{op=...}` — wall-clock handling latency.
+    latency: [Histogram; 7],
+    /// `bdrmapd_malformed_requests_total` — frames that failed decode.
+    malformed: Counter,
+    /// `bdrmapd_sheds_total` — connections shed at the accept queue.
+    sheds: Counter,
+    /// `bdrmapd_evictions_total{cause=...}`.
+    evicted_slow: Counter,
+    evicted_flood: Counter,
+    /// `bdrmapd_setup_errors_total` — sockets refused at setup.
+    setup_errors: Counter,
+    /// `bdrmapd_reloads_total` — successful snapshot swaps.
+    reloads: Counter,
+    /// `bdrmapd_reload_failures_total` — reloads out of retries.
+    reload_failures: Counter,
+    /// `bdrmapd_drained_total` — connections closed by graceful drain.
+    drained: Counter,
+}
+
+impl ServerMetrics {
+    fn new() -> ServerMetrics {
+        let registry = Registry::new();
+        let req = |i: usize| registry.counter("bdrmapd_requests_total", &[("op", OPS[i])]);
+        let lat = |i: usize| registry.histogram("bdrmapd_request_us", &[("op", OPS[i])]);
+        ServerMetrics {
+            requests: std::array::from_fn(req),
+            latency: std::array::from_fn(lat),
+            malformed: registry.counter("bdrmapd_malformed_requests_total", &[]),
+            sheds: registry.counter("bdrmapd_sheds_total", &[]),
+            evicted_slow: registry.counter("bdrmapd_evictions_total", &[("cause", "slow_loris")]),
+            evicted_flood: registry.counter("bdrmapd_evictions_total", &[("cause", "flood")]),
+            setup_errors: registry.counter("bdrmapd_setup_errors_total", &[]),
+            reloads: registry.counter("bdrmapd_reloads_total", &[]),
+            reload_failures: registry.counter("bdrmapd_reload_failures_total", &[]),
+            drained: registry.counter("bdrmapd_drained_total", &[]),
+            registry,
+        }
+    }
+
+    /// Data-plane queries only — `Stats`/`Health`/`Reload`/`Metrics`
+    /// polling must not distort reported load.
+    fn queries(&self) -> u64 {
+        self.requests[0].get() + self.requests[1].get() + self.requests[2].get()
+    }
+}
+
+/// Post-reload accounting, published as ONE atomically-swapped unit.
+///
+/// The old code stored `last_build_us`, `last_swap_us`, and
+/// `store_generation` in independent atomics, so a `Stats` scrape
+/// racing a reload could pair the new snapshot's timings with the old
+/// generation. Readers now grab the whole triple in one
+/// [`SwapCell::load_locked`], so every observed combination was
+/// actually published together.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct ReloadInfo {
+    /// Swap epoch as of this publication.
+    generation: u64,
+    /// Snapshot-store generation served (0 without a store; carried
+    /// over unchanged by file reloads).
+    store_generation: u64,
+    /// Microseconds the reload spent building the index.
+    build_us: u64,
+    /// Microseconds the reload spent publishing the swap.
+    swap_us: u64,
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 struct Shared {
     cell: Arc<SwapCell<QueryIndex>>,
-    queries: AtomicU64,
-    sheds: AtomicU64,
-    last_build_us: AtomicU64,
-    last_swap_us: AtomicU64,
+    /// Reload accounting; see [`ReloadInfo`].
+    reload_info: SwapCell<ReloadInfo>,
+    /// Orders concurrent reload publications so a slower reload cannot
+    /// overwrite a newer triple with a stale one.
+    reload_publish: Mutex<()>,
     stop: AtomicBool,
     prefix_owners: Vec<(Prefix, Asn)>,
     limits: ConnLimits,
     breaker: Mutex<Breaker>,
     store: Option<SnapStore>,
-    /// Snapshot-store generation currently served (0 without a store).
-    store_generation: AtomicU64,
     started: Instant,
     reload_attempts: u32,
     reload_backoff: Duration,
-    evicted_slow: AtomicU64,
-    evicted_flood: AtomicU64,
-    setup_errors: AtomicU64,
-    reload_failures: AtomicU64,
-    drained: AtomicU64,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
     fn stats(&self, idx: &QueryIndex) -> Stats {
+        let info = self.reload_info.load_locked();
         Stats {
-            generation: self.cell.generation(),
+            generation: info.generation,
             routers: idx.num_routers(),
             links: idx.num_links(),
             prefixes: idx.num_prefixes(),
-            queries: self.queries.load(Ordering::Relaxed),
-            sheds: self.sheds.load(Ordering::Relaxed),
-            last_build_us: self.last_build_us.load(Ordering::Relaxed),
-            last_swap_us: self.last_swap_us.load(Ordering::Relaxed),
-            evicted_slow: self.evicted_slow.load(Ordering::Relaxed),
-            evicted_flood: self.evicted_flood.load(Ordering::Relaxed),
-            setup_errors: self.setup_errors.load(Ordering::Relaxed),
-            reload_failures: self.reload_failures.load(Ordering::Relaxed),
-            drained: self.drained.load(Ordering::Relaxed),
+            queries: self.metrics.queries(),
+            sheds: self.metrics.sheds.get(),
+            last_build_us: info.build_us,
+            last_swap_us: info.swap_us,
+            evicted_slow: self.metrics.evicted_slow.get(),
+            evicted_flood: self.metrics.evicted_flood.get(),
+            setup_errors: self.metrics.setup_errors.get(),
+            reload_failures: self.metrics.reload_failures.get(),
+            drained: self.metrics.drained.get(),
             breaker_state: self.breaker_code(),
         }
     }
@@ -162,12 +254,26 @@ impl Shared {
     }
 
     fn health(&self) -> HealthInfo {
+        let info = self.reload_info.load_locked();
         HealthInfo {
-            generation: self.store_generation.load(Ordering::Relaxed),
+            generation: info.store_generation,
             swap_epoch: self.cell.generation(),
             breaker_state: self.breaker_code(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
-            reload_failures: self.reload_failures.load(Ordering::Relaxed),
+            reload_failures: self.metrics.reload_failures.get(),
+        }
+    }
+
+    /// Publish a finished reload's triple, dropping it if a newer
+    /// reload already published (generations are swap epochs, so
+    /// "newer" is well-defined even across concurrent reloads).
+    fn publish_reload(&self, info: ReloadInfo) {
+        let _g = self
+            .reload_publish
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if self.reload_info.load_locked().generation < info.generation {
+            self.reload_info.store(Arc::new(info));
         }
     }
 }
@@ -213,26 +319,26 @@ impl Server {
         store_generation: u64,
     ) -> io::Result<Server> {
         let index = QueryIndex::build_with_prefixes(map, cfg.prefix_owners.iter().copied());
+        let cell = Arc::new(SwapCell::new(Arc::new(index)));
+        let reload_info = SwapCell::new(Arc::new(ReloadInfo {
+            generation: cell.generation(),
+            store_generation,
+            build_us: 0,
+            swap_us: 0,
+        }));
         let shared = Arc::new(Shared {
-            cell: Arc::new(SwapCell::new(Arc::new(index))),
-            queries: AtomicU64::new(0),
-            sheds: AtomicU64::new(0),
-            last_build_us: AtomicU64::new(0),
-            last_swap_us: AtomicU64::new(0),
+            cell,
+            reload_info,
+            reload_publish: Mutex::new(()),
             stop: AtomicBool::new(false),
             prefix_owners: cfg.prefix_owners.clone(),
             limits: cfg.limits(),
             breaker: Mutex::new(Breaker::new(cfg.breaker_threshold, cfg.breaker_cooldown)),
             store,
-            store_generation: AtomicU64::new(store_generation),
             started: Instant::now(),
             reload_attempts: cfg.reload_attempts.max(1),
             reload_backoff: cfg.reload_backoff,
-            evicted_slow: AtomicU64::new(0),
-            evicted_flood: AtomicU64::new(0),
-            setup_errors: AtomicU64::new(0),
-            reload_failures: AtomicU64::new(0),
-            drained: AtomicU64::new(0),
+            metrics: ServerMetrics::new(),
         });
         let listener = TcpListener::bind(&cfg.listen)?;
         let local_addr = listener.local_addr()?;
@@ -269,7 +375,13 @@ impl Server {
 
     /// Snapshot-store generation currently served (0 without a store).
     pub fn store_generation(&self) -> u64 {
-        self.shared.store_generation.load(Ordering::Relaxed)
+        self.shared.reload_info.load_locked().store_generation
+    }
+
+    /// The server's metric registry rendered as exposition text, as a
+    /// `Metrics` wire request would return it.
+    pub fn metrics(&self) -> String {
+        self.shared.metrics.registry.render()
     }
 
     /// Statistics as a control client would see them.
@@ -313,7 +425,7 @@ fn accept_loop(
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
                 // Overload shedding: one frame, then close.
-                shared.sheds.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.sheds.inc();
                 let _ = write_frame(&mut stream, &Response::Overload.encode());
             }
             Err(TrySendError::Disconnected(_)) => break,
@@ -354,7 +466,7 @@ fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStrea
         Err(_) => {
             // A socket we cannot arm timeouts on could pin this worker
             // forever; refuse it and account for the refusal.
-            shared.setup_errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.setup_errors.inc();
             return;
         }
     };
@@ -364,7 +476,10 @@ fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStrea
                 for payload in frames {
                     let response = match Request::decode(&payload) {
                         Ok(req) => handle(shared, reader, req),
-                        Err(e) => Response::Error(format!("malformed request: {e}")),
+                        Err(e) => {
+                            shared.metrics.malformed.inc();
+                            Response::Error(format!("malformed request: {e}"))
+                        }
                     };
                     if write_frame(conn.stream(), &response.encode()).is_err() {
                         return;
@@ -373,24 +488,24 @@ fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStrea
                 // Graceful drain: requests already buffered were
                 // answered above; stop before reading more.
                 if shared.stop.load(Ordering::SeqCst) {
-                    shared.drained.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.drained.inc();
                     return;
                 }
             }
             Ok(ConnEvent::Idle) => {
                 if shared.stop.load(Ordering::SeqCst) {
-                    shared.drained.fetch_add(1, Ordering::Relaxed);
+                    shared.metrics.drained.inc();
                     return;
                 }
             }
             Ok(ConnEvent::Closed) => return,
             Err(ConnError::SlowLoris) => {
-                shared.evicted_slow.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.evicted_slow.inc();
                 evict(&mut conn, "request deadline exceeded");
                 return;
             }
             Err(ConnError::Flood) | Err(ConnError::Oversize(_)) => {
-                shared.evicted_flood.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.evicted_flood.inc();
                 evict(&mut conn, "frame limits exceeded");
                 return;
             }
@@ -406,21 +521,32 @@ fn evict(conn: &mut Conn, reason: &str) {
     let _ = write_frame(conn.stream(), &Response::Error(reason.to_string()).encode());
 }
 
+/// Count, time, and dispatch one well-formed request. Every opcode —
+/// data plane and control plane alike — gets its own request counter
+/// and latency histogram; only `Owner`/`Border`/`Neighbor` contribute
+/// to the `queries` figure in `Stats`, so a client polling `Stats` or
+/// `Health` neither distorts nor vanishes from reported load.
 fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+    let op = op_index(&req);
+    shared.metrics.requests[op].inc();
+    let start = Instant::now();
+    let resp = dispatch(shared, reader, req);
+    shared.metrics.latency[op].record(start.elapsed().as_micros() as u64);
+    resp
+}
+
+fn dispatch(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
     match req {
         Request::Owner(a) => {
             let idx = reader.load();
-            shared.queries.fetch_add(1, Ordering::Relaxed);
             Response::Owner(idx.owner_of(a))
         }
         Request::Border(a) => {
             let idx = reader.load();
-            shared.queries.fetch_add(1, Ordering::Relaxed);
             Response::Border(idx.border_of(a).map(Into::into))
         }
         Request::Neighbor(asn) => {
             let idx = reader.load();
-            shared.queries.fetch_add(1, Ordering::Relaxed);
             let links = idx
                 .links_of_neighbor(asn)
                 .iter()
@@ -435,6 +561,7 @@ fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Res
         }
         Request::Reload(path) => reload(shared, &path),
         Request::Health => Response::Health(shared.health()),
+        Request::Metrics => Response::Metrics(shared.metrics.registry.render()),
     }
 }
 
@@ -491,7 +618,7 @@ fn reload(shared: &Shared, path: &str) -> Response {
             Err(e) => last_err = e,
         }
     }
-    shared.reload_failures.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.reload_failures.inc();
     shared
         .breaker
         .lock()
@@ -529,13 +656,20 @@ fn reload_once(shared: &Shared, source: &ReloadSource<'_>) -> Result<Response, S
     let swap_start = Instant::now();
     shared.cell.store(Arc::new(next));
     let swap_us = swap_start.elapsed().as_micros() as u64;
-    shared.last_build_us.store(build_us, Ordering::Relaxed);
-    shared.last_swap_us.store(swap_us, Ordering::Relaxed);
-    if let Some(g) = store_gen {
-        shared.store_generation.store(g, Ordering::Relaxed);
-    }
+    let generation = shared.cell.generation();
+    // Publish (generation, build_us, swap_us) — and the store
+    // generation — as one swapped unit; see [`ReloadInfo`].
+    let store_generation =
+        store_gen.unwrap_or_else(|| shared.reload_info.load_locked().store_generation);
+    shared.publish_reload(ReloadInfo {
+        generation,
+        store_generation,
+        build_us,
+        swap_us,
+    });
+    shared.metrics.reloads.inc();
     Ok(Response::Reloaded {
-        generation: shared.cell.generation(),
+        generation,
         build_us,
         swap_us,
         routers,

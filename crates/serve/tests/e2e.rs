@@ -227,3 +227,177 @@ fn saturated_accept_queue_sheds_overload() {
     drop(extras);
     server.shutdown();
 }
+
+/// Pull one counter value out of a Prometheus-style exposition.
+fn scrape(text: &str, name: &str, labels: &str) -> u64 {
+    let series = if labels.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{labels}}}")
+    };
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix(&format!("{series} ")) {
+            return v.trim().parse().unwrap_or_else(|_| {
+                panic!("unparseable sample for {series}: {line}");
+            });
+        }
+    }
+    panic!("series {series} not found in exposition:\n{text}");
+}
+
+/// Regression (observability sweep): polling `Stats` must neither
+/// inflate the query counter (the old bug class: control frames
+/// counted as queries) nor vanish from accounting — every control
+/// frame shows up under its own opcode in `bdrmapd_requests_total`.
+#[test]
+fn stats_polling_neither_distorts_nor_vanishes() {
+    let map = infer(61, 0);
+    let server = start(&map, 2, 16);
+    let mut client = Client::connect(&server.local_addr()).unwrap();
+
+    let addr = map.routers[0]
+        .addrs
+        .first()
+        .copied()
+        .unwrap_or_else(|| "203.0.113.1".parse().unwrap());
+    let far_as = map
+        .links
+        .first()
+        .map(|l| l.far_as)
+        .unwrap_or(bdrmap_types::Asn(64500));
+    for _ in 0..5 {
+        client.call(&Request::Owner(addr)).unwrap();
+    }
+    for _ in 0..3 {
+        client.call(&Request::Border(addr)).unwrap();
+    }
+    for _ in 0..2 {
+        client.call(&Request::Neighbor(far_as)).unwrap();
+    }
+
+    // Poll Stats heavily; the query counter must not move.
+    let mut last = None;
+    for _ in 0..7 {
+        match client.call(&Request::Stats).unwrap() {
+            Response::Stats(s) => last = Some(s),
+            other => panic!("stats answered with {other:?}"),
+        }
+    }
+    assert_eq!(
+        last.unwrap().queries,
+        10,
+        "Stats polling distorted the query counter"
+    );
+
+    // ...and one Health frame for good measure.
+    match client.call(&Request::Health).unwrap() {
+        Response::Health(_) => {}
+        other => panic!("health answered with {other:?}"),
+    }
+
+    // The control frames are accounted under their own opcodes.
+    let text = match client.call(&Request::Metrics).unwrap() {
+        Response::Metrics(t) => t,
+        other => panic!("metrics answered with {other:?}"),
+    };
+    assert_eq!(scrape(&text, "bdrmapd_requests_total", "op=\"owner\""), 5);
+    assert_eq!(scrape(&text, "bdrmapd_requests_total", "op=\"border\""), 3);
+    assert_eq!(
+        scrape(&text, "bdrmapd_requests_total", "op=\"neighbor\""),
+        2
+    );
+    assert_eq!(scrape(&text, "bdrmapd_requests_total", "op=\"stats\""), 7);
+    assert_eq!(scrape(&text, "bdrmapd_requests_total", "op=\"health\""), 1);
+    // The Metrics request itself was counted before rendering.
+    assert_eq!(scrape(&text, "bdrmapd_requests_total", "op=\"metrics\""), 1);
+    // Exposition agrees with the wire Stats view of query volume.
+    assert!(text.contains("# TYPE bdrmapd_request_us histogram"));
+
+    drop(client);
+    server.shutdown();
+}
+
+/// Regression (torn reload triple): `(generation, build_us, swap_us)`
+/// is published as one atomically-swapped unit, so a `Stats` reader
+/// racing concurrent reloads can never observe a mix of two reloads'
+/// fields. Every observed triple must be exactly the initial one or
+/// one returned by some `Reloaded` response.
+#[test]
+fn concurrent_reloads_never_tear_the_stats_triple() {
+    let map = infer(61, 0);
+    let map_b = infer(61, 1);
+    let dir = std::env::temp_dir().join("bdrmap-serve-e2e-tear");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap = dir.join("map-b.bdrm");
+    snapshot::save(&snap, &map_b).unwrap();
+
+    let server = start(&map, 4, 64);
+    let addr = server.local_addr();
+    let path = snap.display().to_string();
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+    // Two threads hammer Reload; collect every triple the server
+    // acknowledged.
+    let reloaders: Vec<_> = (0..2)
+        .map(|_| {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                let mut acked = Vec::new();
+                for _ in 0..12 {
+                    match client.call(&Request::Reload(path.clone())).unwrap() {
+                        Response::Reloaded {
+                            generation,
+                            build_us,
+                            swap_us,
+                            ..
+                        } => acked.push((generation, build_us, swap_us)),
+                        Response::Error(e) => panic!("reload failed: {e}"),
+                        other => panic!("reload answered with {other:?}"),
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // One thread polls Stats the whole time.
+    let poller = {
+        let stop = std::sync::Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).unwrap();
+            let mut seen = Vec::new();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                match client.call(&Request::Stats).unwrap() {
+                    Response::Stats(s) => {
+                        seen.push((s.generation, s.last_build_us, s.last_swap_us))
+                    }
+                    other => panic!("stats answered with {other:?}"),
+                }
+            }
+            seen
+        })
+    };
+
+    let mut acked: Vec<(u64, u64, u64)> = Vec::new();
+    for h in reloaders {
+        acked.extend(h.join().unwrap());
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let seen = poller.join().unwrap();
+
+    assert!(!seen.is_empty(), "poller observed nothing");
+    for triple in &seen {
+        let legitimate = *triple == (1, 0, 0) || acked.contains(triple);
+        assert!(
+            legitimate,
+            "torn stats triple {triple:?}: not the boot state and not \
+             acknowledged by any reload (acked: {acked:?})"
+        );
+    }
+    // Sanity: the 24 reloads really advanced the generation.
+    assert_eq!(server.generation(), 25);
+
+    server.shutdown();
+    std::fs::remove_file(&snap).ok();
+}
