@@ -433,7 +433,11 @@ pub fn probe(args: &Args) -> Result<(), ArgError> {
         } else {
             None
         };
-        let ccfg = bdrmap_probe::CheckpointConfig { every, path: ckpt };
+        let ccfg = bdrmap_probe::CheckpointConfig {
+            every,
+            path: ckpt,
+            vfs: bdrmap_types::Vfs::real(),
+        };
         bdrmap_probe::run_traces_checkpointed(
             &engine,
             &targets,
@@ -1171,6 +1175,572 @@ pub fn bench_pipeline(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// Per-kind fault counts of a [`bdrmap_types::ChaosVfs`] as the inner
+/// fields of a JSON object, in the fixed [`bdrmap_types::FaultKind`]
+/// order.
+fn fs_fault_json(vfs: &bdrmap_types::ChaosVfs) -> String {
+    bdrmap_types::FaultKind::ALL
+        .iter()
+        .map(|&k| format!("\"{}\": {}", k.as_str(), vfs.injected(k)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Every data-plane request `map` can answer, in deterministic order.
+fn sweep_requests(map: &bdrmap_core::BorderMap) -> Vec<Request> {
+    let mut reqs = Vec::new();
+    for router in &map.routers {
+        for &a in router.addrs.iter().chain(&router.other_addrs) {
+            reqs.push(Request::Owner(a));
+        }
+    }
+    for link in &map.links {
+        for a in [link.near_addr, link.far_addr].into_iter().flatten() {
+            reqs.push(Request::Border(a));
+        }
+    }
+    let mut neighbors: Vec<_> = map.links.iter().map(|l| l.far_as).collect();
+    neighbors.sort_unstable();
+    neighbors.dedup();
+    reqs.extend(neighbors.into_iter().map(Request::Neighbor));
+    reqs
+}
+
+/// One request against a chaos-ridden bdrmapd, with retries: injected
+/// resets, crashed components, and overload sheds cost another attempt
+/// on a fresh connection — never a wrong answer. Erring out after
+/// `attempts` is itself an invariant violation (a query was lost).
+fn call_retry(
+    addr: &std::net::SocketAddr,
+    req: &Request,
+    attempts: usize,
+) -> Result<Response, ArgError> {
+    for _ in 0..attempts {
+        let Ok(mut client) = Client::connect(addr) else {
+            std::thread::sleep(std::time::Duration::from_millis(25));
+            continue;
+        };
+        match client.call(req) {
+            Ok(Response::Overload) | Err(_) => {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Ok(resp) => return Ok(resp),
+        }
+    }
+    Err(ArgError(format!(
+        "chaos: request never answered after {attempts} attempts: {req:?}"
+    )))
+}
+
+/// `bdrmap chaos`: the end-to-end chaos harness. Runs
+/// probe → infer → publish → serve → loadgen under a seeded fault
+/// timeline — filesystem faults (ENOSPC, short writes, fsync failures,
+/// silent torn renames) on every durable write, socket faults (frame
+/// splits, mid-write resets, accept delays, stalls) plus scripted
+/// acceptor/worker crashes on the serving path — and asserts the
+/// system invariants:
+///
+/// 1. no acknowledged answer is ever wrong, and no query is lost;
+/// 2. published generations advance monotonically;
+/// 3. every failed publish leaves the store serving a verified-good
+///    snapshot (rolling back past anything torn);
+/// 4. once the faults stop, the system converges: the served snapshot
+///    is byte-identical to the fault-free baseline.
+///
+/// The report (stdout summary + `--json` artifact) is a pure function
+/// of `--seed`/`--fault-seed`: CI runs the same seed twice and diffs.
+pub fn chaos(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_core::{snapshot, QueryIndex, SnapStore};
+    use bdrmap_serve::{answer, ChaosNetConfig, NetFaultBudget};
+    use bdrmap_types::{ChaosFsConfig, ChaosVfs, FaultKind, FsFaultBudget, Vfs};
+    use std::time::Duration;
+
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let fault_seed: u64 = args.get_parse("fault-seed", 1)?;
+    let rounds: u64 = args.get_parse("rounds", 8)?;
+    if rounds == 0 {
+        return Err(ArgError("--rounds must be at least 1".into()));
+    }
+    let secs: f64 = args.get_parse("secs", 0.25)?;
+    if secs <= 0.0 || !secs.is_finite() {
+        return Err(ArgError(format!("--secs must be positive, got {secs}")));
+    }
+    let every: u32 = args.get_parse("checkpoint-every", 2)?;
+    if every == 0 {
+        return Err(ArgError("--checkpoint-every must be at least 1".into()));
+    }
+    let preset_name = args.get("preset").unwrap_or("tiny").to_string();
+    let cfg = preset(args)?;
+    let bcfg = bdrmap_config(args)?;
+    let dir = match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("bdrmap-chaos-{seed}-{fault_seed}")),
+    };
+    // A clean slate keeps the whole run a pure function of the seeds.
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ArgError(format!("creating {}: {e}", dir.display())))?;
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- Phase A: fault-free baseline -----------------------------
+    // The sequential checkpointed probe path is the determinism
+    // contract the chaos run is held to, so the baseline uses it too
+    // (checkpointing off, real filesystem).
+    let sc0 = Scenario::build(&preset_name, &cfg);
+    let vp = vp_index(args, &sc0)?;
+    println!("phase A: fault-free baseline (preset {preset_name}, seed {seed}, vp {vp})");
+    let ropts = || bdrmap_probe::RunOptions {
+        parallelism: 1,
+        addrs_per_block: bcfg.addrs_per_block,
+        use_stop_sets: bcfg.use_stop_sets,
+        quarantine: None,
+    };
+    let targets0 = bdrmap_probe::target_blocks(&sc0.input.view, &sc0.input.vp_asns);
+    let ip2as0 = sc0.input.ip2as_for_probing();
+    let ck0 = bdrmap_probe::CheckpointConfig {
+        every: 0,
+        path: dir.join("baseline.bdrc"),
+        vfs: Vfs::real(),
+    };
+    let coll0 = bdrmap_probe::run_traces_checkpointed(
+        &sc0.engine(vp),
+        &targets0,
+        ropts(),
+        |a| ip2as0.is_external(a),
+        &ck0,
+        None,
+    )
+    .map_err(|e| ArgError(format!("baseline probe failed: {e}")))?;
+    let baseline_fp = bdrmap_probe::store::encode(&coll0);
+    let baseline_traces = coll0.traces.len();
+    // Inference on a pristine scenario, exactly as `bdrmap infer` does.
+    let sci = Scenario::build(&preset_name, &cfg);
+    let map = bdrmap_core::run_bdrmap_on_traces(&sci.engine(vp), &sci.input, &bcfg, coll0);
+    let baseline_bytes = snapshot::encode(&map);
+    println!(
+        "  {baseline_traces} traces; {} routers / {} links; snapshot {} bytes",
+        map.routers.len(),
+        map.links.len(),
+        baseline_bytes.len()
+    );
+
+    // ---- Phase B: probe + checkpoint under filesystem chaos -------
+    println!("phase B: probing under injected filesystem faults");
+    let probe_budget = FsFaultBudget {
+        enospc: 2,
+        short_write: 2,
+        fsync_fail: 1,
+        torn_rename: 1,
+        // Reads must stay honest here: a silently flipped bit in a
+        // checkpoint that still decodes would poison the resume. The
+        // read-back-verified snapstore path owns bit-rot coverage.
+        bit_rot: 0,
+        rename_fail: 0,
+    };
+    let fs_probe = ChaosVfs::new(ChaosFsConfig {
+        seed: fault_seed ^ 0x5052_4f42, // "PROB"
+        fault_rate: 1.0,
+        budget: probe_budget,
+    });
+    let attempt_cap = probe_budget.total() + 2;
+    let ckpt_path = dir.join("probe.bdrc");
+    let mut probe_attempts = 0u64;
+    let coll = loop {
+        probe_attempts += 1;
+        if probe_attempts > attempt_cap {
+            return Err(ArgError(format!(
+                "probe never converged in {attempt_cap} attempts — a retry failed to drain the fault budget"
+            )));
+        }
+        // A fresh scenario per attempt: the data plane mutates under
+        // probing, and a real re-run starts from a clean process too.
+        let sc = Scenario::build(&preset_name, &cfg);
+        let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+        let ip2as = sc.input.ip2as_for_probing();
+        // A torn or missing checkpoint fails decode and costs a
+        // from-scratch attempt; a good one resumes mid-run.
+        let resume = bdrmap_probe::Checkpoint::load_with(&ckpt_path, &fs_probe.vfs()).ok();
+        let from = resume.as_ref().map_or("scratch".to_string(), |c| {
+            format!("target {}", c.next_target)
+        });
+        let ck = bdrmap_probe::CheckpointConfig {
+            every,
+            path: ckpt_path.clone(),
+            vfs: fs_probe.vfs(),
+        };
+        match bdrmap_probe::run_traces_checkpointed(
+            &sc.engine(vp),
+            &targets,
+            ropts(),
+            |a| ip2as.is_external(a),
+            &ck,
+            resume,
+        ) {
+            Ok(c) => break c,
+            Err(e) => println!("  attempt {probe_attempts} (from {from}) aborted: {e}"),
+        }
+    };
+    let fp_identical = bdrmap_probe::store::encode(&coll) == baseline_fp;
+    if !fp_identical {
+        violations.push("probe: chaos-run traces diverged from the fault-free fingerprint".into());
+    }
+    // The trace store write is verified by read-back, so even a silent
+    // torn rename costs only a retry.
+    let trace_path = dir.join("chaos.bdrw");
+    let mut store_write_retries = 0u64;
+    loop {
+        let written = bdrmap_probe::store::save_with(&trace_path, &coll, &fs_probe.vfs())
+            .and_then(|()| bdrmap_probe::store::load_with(&trace_path, &fs_probe.vfs()));
+        match written {
+            Ok(back) if bdrmap_probe::store::encode(&back) == baseline_fp => break,
+            Ok(_) => println!("  trace store read back corrupt; rewriting"),
+            Err(e) => println!("  trace store write failed ({e}); rewriting"),
+        }
+        store_write_retries += 1;
+        if store_write_retries > attempt_cap {
+            return Err(ArgError("trace store write never converged".into()));
+        }
+    }
+    // The deterministic fault log doubles as the artifact-writer
+    // exercise: emit it through the same faulty seam, verified.
+    let log_csv = {
+        let mut s = String::from("op,fault,file\n");
+        for line in fs_probe.log() {
+            let mut parts = line.splitn(3, ' ');
+            let (op, kind, file) = (
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+                parts.next().unwrap_or(""),
+            );
+            s.push_str(&format!("{op},{kind},{file}\n"));
+        }
+        s
+    };
+    let log_path = dir.join("fs-fault-log.csv");
+    let mut artifact_retries = 0u64;
+    loop {
+        let ok = bdrmap_eval::artifacts::write_artifact_with(&log_path, &log_csv, &fs_probe.vfs())
+            .is_ok()
+            && std::fs::read_to_string(&log_path).is_ok_and(|s| s == log_csv);
+        if ok {
+            break;
+        }
+        artifact_retries += 1;
+        if artifact_retries > attempt_cap {
+            return Err(ArgError("artifact write never converged".into()));
+        }
+    }
+    let probe_faults = fs_fault_json(&fs_probe);
+    println!(
+        "  converged after {probe_attempts} attempts ({} faults injected); fingerprint identical: {fp_identical}",
+        fs_probe.injected_total()
+    );
+
+    // ---- Phase C: publish rounds under filesystem chaos -----------
+    println!("phase C: {rounds} publish rounds against the snapshot store");
+    let snapdir = dir.join("snapstore");
+    let registry = bdrmap_obs::Registry::new();
+    let store_clean = SnapStore::open_with(&snapdir, Vfs::real(), registry.clone())
+        .map_err(|e| ArgError(format!("opening snapshot store: {e}")))?;
+    let fs_pub = ChaosVfs::new(ChaosFsConfig {
+        seed: fault_seed ^ 0x5055_424c, // "PUBL"
+        // Every publish with remaining budget faults, so the schedule
+        // is exact: one budget unit per failed round, clean after.
+        fault_rate: 1.0,
+        budget: FsFaultBudget {
+            enospc: 1,
+            short_write: 1,
+            fsync_fail: 1,
+            torn_rename: 2,
+            bit_rot: 0,
+            rename_fail: 0,
+        },
+    });
+    let store_chaos = SnapStore::open_with(&snapdir, fs_pub.vfs(), registry.clone())
+        .map_err(|e| ArgError(format!("opening snapshot store: {e}")))?;
+    let mut last_gen = store_clean
+        .publish(&map)
+        .map_err(|e| ArgError(format!("base publish failed: {e}")))?;
+    let (mut publishes_ok, mut publishes_failed, mut rollbacks) = (1u64, 0u64, 0u64);
+    let mut monotone = true;
+    for round in 1..=rounds {
+        match store_chaos.publish(&map) {
+            Ok(g) => {
+                if g <= last_gen {
+                    monotone = false;
+                    violations.push(format!(
+                        "publish round {round}: generation {g} did not advance past {last_gen}"
+                    ));
+                }
+                last_gen = g;
+                publishes_ok += 1;
+            }
+            Err(e) => {
+                publishes_failed += 1;
+                println!("  round {round}: publish failed ({e}); verifying recovery");
+                match store_clean.load_verified() {
+                    Ok(out) => {
+                        if out.rolled_back() {
+                            rollbacks += 1;
+                        }
+                        if snapshot::encode(&out.map) != baseline_bytes {
+                            violations.push(format!(
+                                "publish round {round}: store served a non-baseline map after the failure"
+                            ));
+                        }
+                        if out.generation < last_gen {
+                            monotone = false;
+                            violations.push(format!(
+                                "publish round {round}: recovery regressed to generation {} below {last_gen}",
+                                out.generation
+                            ));
+                        }
+                        last_gen = out.generation;
+                    }
+                    Err(e) => violations.push(format!(
+                        "publish round {round}: store unrecoverable after failed publish: {e}"
+                    )),
+                }
+            }
+        }
+    }
+    // Every torn rename plants a corrupt generation file, and nothing
+    // else does — observed rollbacks must match exactly.
+    let torn = fs_pub.injected(FaultKind::TornRename);
+    if rollbacks != torn {
+        violations.push(format!(
+            "publish: {torn} torn renames injected but {rollbacks} rollbacks observed"
+        ));
+    }
+    fs_pub.quiesce();
+    let final_gen = store_chaos
+        .publish(&map)
+        .map_err(|e| ArgError(format!("quiesced publish failed: {e}")))?;
+    if final_gen <= last_gen {
+        monotone = false;
+        violations.push(format!(
+            "publish: quiesced generation {final_gen} did not advance past {last_gen}"
+        ));
+    }
+    last_gen = final_gen;
+    publishes_ok += 1;
+    let final_identical =
+        std::fs::read(store_clean.path_of(final_gen)).is_ok_and(|b| b == baseline_bytes);
+    if !final_identical {
+        violations
+            .push("publish: quiesced final snapshot is not byte-identical to the baseline".into());
+    }
+    let gen_gauge = registry.gauge("bdrmap_snapstore_generation", &[]).get();
+    if gen_gauge != last_gen {
+        violations.push(format!(
+            "publish: generation gauge reads {gen_gauge}, store is at {last_gen}"
+        ));
+    }
+    let pub_faults = fs_fault_json(&fs_pub);
+    println!(
+        "  {publishes_ok} published, {publishes_failed} failed, {rollbacks} rollbacks; store at generation {last_gen}"
+    );
+
+    // ---- Phase D: serve under socket chaos + scripted crashes -----
+    println!("phase D: bdrmapd under socket chaos, scripted crashes, and a corrupt reload");
+    let net_cfg = ChaosNetConfig {
+        seed: fault_seed ^ 0x4e45_5457, // "NETW"
+        fault_rate: 0.35,
+        budget: NetFaultBudget {
+            split: 4,
+            reset: 3,
+            accept_delay: 2,
+            stall: 2,
+        },
+        delay: Duration::from_millis(5),
+        accept_panic_after: Some(2),
+        worker_panic_after: Some(5),
+    };
+    let scfg = ServeConfig {
+        restart_backoff: Duration::from_millis(10),
+        restart_backoff_cap: Duration::from_millis(80),
+        chaos: Some(net_cfg),
+        ..serve_config(args, "127.0.0.1:0".to_string())?
+    };
+    let server = Server::start_from_store(&snapdir, scfg)
+        .map_err(|e| ArgError(format!("starting bdrmapd from {}: {e}", snapdir.display())))?;
+    if server.store_generation() != last_gen {
+        violations.push(format!(
+            "serve: booted from generation {} instead of {last_gen}",
+            server.store_generation()
+        ));
+    }
+    let addr = server.local_addr();
+    let expected = QueryIndex::build(&map);
+    let reqs = sweep_requests(&map);
+    let mut mismatches = 0u64;
+    for req in &reqs {
+        let served = call_retry(&addr, req, 60)?;
+        if answer(&expected, req).as_ref() != Some(&served) {
+            mismatches += 1;
+        }
+    }
+    if mismatches > 0 {
+        violations.push(format!(
+            "serve: {mismatches}/{} acknowledged answers were wrong under socket chaos",
+            reqs.len()
+        ));
+    }
+    // The supervisor notices a death on its next heartbeat, which may
+    // land after the sweep's last answer — poll briefly, don't race it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.watchdog_restarts() != (1, 1) && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let restarts = server.watchdog_restarts();
+    if restarts != (1, 1) {
+        violations.push(format!(
+            "serve: watchdog restarts {restarts:?}, expected (1, 1) — a scripted crash went unhealed"
+        ));
+    }
+    // Plant a corrupt newer generation and hot-reload from the store:
+    // bdrmapd must quarantine it and keep serving the last good one.
+    std::fs::write(
+        store_clean.path_of(last_gen + 1),
+        b"chaos: not a BDRM snapshot",
+    )
+    .map_err(|e| ArgError(format!("planting corrupt generation: {e}")))?;
+    let reloaded = call_retry(&addr, &Request::Reload(String::new()), 60)?;
+    if !matches!(reloaded, Response::Reloaded { .. }) {
+        violations.push(format!(
+            "serve: reload over a corrupt newest generation failed: {reloaded:?}"
+        ));
+    }
+    if server.store_generation() != last_gen {
+        violations.push(format!(
+            "serve: reload moved to generation {} instead of holding {last_gen}",
+            server.store_generation()
+        ));
+    }
+    let quarantined = std::fs::read_dir(snapdir.join("corrupt"))
+        .map(|d| d.count() as u64)
+        .unwrap_or(0);
+    if quarantined != torn + 1 {
+        violations.push(format!(
+            "serve: {quarantined} files quarantined, expected {} (torn renames + planted garbage)",
+            torn + 1
+        ));
+    }
+    let metrics_text = server.metrics();
+    for needle in [
+        "bdrmapd_watchdog_restarts_total{component=\"acceptor\"} 1",
+        "bdrmapd_watchdog_restarts_total{component=\"worker\"} 1",
+        "bdrmap_snapstore_rollbacks_total 1",
+    ] {
+        if !metrics_text.contains(needle) {
+            violations.push(format!("serve: metrics exposition missing `{needle}`"));
+        }
+    }
+    println!(
+        "  {} requests verified, {mismatches} mismatches; watchdog restarts {restarts:?}; {quarantined} quarantined",
+        reqs.len()
+    );
+
+    // ---- Phase E: quiesce and converge ----------------------------
+    println!("phase E: quiesce, verified clean sweep, loadgen");
+    server.quiesce_chaos();
+    let mut clean_first_try = true;
+    match Client::connect(&addr) {
+        Ok(mut client) => {
+            for req in &reqs {
+                match client.call(req) {
+                    Ok(resp) if answer(&expected, req).as_ref() == Some(&resp) => {}
+                    other => {
+                        clean_first_try = false;
+                        violations.push(format!(
+                            "quiesce: {req:?} did not answer cleanly first try: {other:?}"
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            clean_first_try = false;
+            violations.push(format!(
+                "quiesce: could not connect to the quiesced server: {e}"
+            ));
+        }
+    }
+    let lcfg = LoadgenConfig {
+        conns: 2,
+        duration: Duration::from_secs_f64(secs),
+        reload_with: None,
+        corrupt_rate: 0.0,
+        stall_conns: 0,
+        ..LoadgenConfig::default()
+    };
+    let lreport = bdrmap_serve::loadgen::run(addr, &bdrmap_serve::queries_for_map(&map), &lcfg)
+        .map_err(|e| ArgError(format!("loadgen failed: {e}")))?;
+    let loadgen_lossless = lreport.queries_error == 0 && lreport.queries_ok > 0;
+    if !loadgen_lossless {
+        violations.push(format!(
+            "loadgen: {} queries lost in flight ({} completed)",
+            lreport.queries_error, lreport.queries_ok
+        ));
+    }
+    println!(
+        "  loadgen: {} ok, {} shed, {} errors at {:.0} qps",
+        lreport.queries_ok, lreport.queries_shed, lreport.queries_error, lreport.qps
+    );
+    let net = server.net_fault_counts().unwrap_or_default();
+    server.shutdown();
+    // The store, read fresh off disk, still serves the baseline.
+    let converged = match store_clean.load_verified() {
+        Ok(out) => {
+            out.generation == last_gen
+                && snapshot::encode(&out.map) == baseline_bytes
+                && !out.rolled_back()
+        }
+        Err(_) => false,
+    };
+    if !converged {
+        violations.push("quiesce: final on-disk store does not serve the baseline".into());
+    }
+
+    // ---- Report ---------------------------------------------------
+    // Deliberately free of wall-clock, qps, and retry-timing fields:
+    // two runs with the same seeds must produce byte-identical JSON.
+    let violist = violations
+        .iter()
+        .map(|v| format!("\"{}\"", v.escape_default()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"report\": \"chaos\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"fault_seed\": {fault_seed},\n  \"probe\": {{\"attempts\": {probe_attempts}, \"store_write_retries\": {store_write_retries}, \"artifact_retries\": {artifact_retries}, \"fingerprint_identical\": {fp_identical}, \"fs_faults\": {{{probe_faults}}}}},\n  \"publish\": {{\"rounds\": {rounds}, \"ok\": {publishes_ok}, \"failed\": {publishes_failed}, \"rollbacks\": {rollbacks}, \"generations_monotone\": {monotone}, \"final_generation\": {last_gen}, \"final_snapshot_identical\": {final_identical}, \"fs_faults\": {{{pub_faults}}}}},\n  \"serve\": {{\"requests\": {nreqs}, \"mismatches\": {mismatches}, \"watchdog_restarts\": {{\"acceptor\": {r0}, \"worker\": {r1}}}, \"quarantined_files\": {quarantined}, \"net_faults\": {{\"split\": {split}, \"reset\": {reset}, \"accept_delay\": {accept_delay}, \"stall\": {stall}}}}},\n  \"quiesce\": {{\"clean_sweep_first_try\": {clean_first_try}, \"loadgen_lossless\": {loadgen_lossless}, \"store_converged\": {converged}}},\n  \"violations\": [{violist}]\n}}\n",
+        nreqs = reqs.len(),
+        r0 = restarts.0,
+        r1 = restarts.1,
+        split = net.split,
+        reset = net.reset,
+        accept_delay = net.accept_delay,
+        stall = net.stall,
+    );
+    print!("{json}");
+    if let Some(out) = args.get("json") {
+        bdrmap_eval::artifacts::write_artifact(std::path::Path::new(out), &json)
+            .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+    if !violations.is_empty() {
+        return Err(ArgError(format!(
+            "chaos invariants violated:\n  {}",
+            violations.join("\n  ")
+        )));
+    }
+    println!(
+        "chaos: all invariants held ({} filesystem faults, {} socket faults, 2 scripted crashes healed)",
+        fs_probe.injected_total() + fs_pub.injected_total(),
+        net.split + net.reset + net.accept_delay + net.stall
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1336,6 +1906,35 @@ mod tests {
         assert!(report.contains("\"queries_ok\""));
         std::fs::remove_file(&snap).ok();
         std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn chaos_command_end_to_end() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-chaos-test");
+        let json = std::env::temp_dir().join("bdrmap-cli-chaos-test.json");
+        let dir_s = dir.to_str().unwrap();
+        let json_s = json.to_str().unwrap();
+        chaos(&args(&format!(
+            "chaos --preset tiny --seed 9 --fault-seed 3 --rounds 6 --secs 0.2 --dir {dir_s} --json {json_s}"
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"report\": \"chaos\""), "{report}");
+        assert!(report.contains("\"violations\": []"), "{report}");
+        assert!(
+            report.contains("\"fingerprint_identical\": true"),
+            "{report}"
+        );
+        assert!(report.contains("\"store_converged\": true"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn chaos_rejects_bad_args() {
+        assert!(chaos(&args("chaos --rounds 0")).is_err());
+        assert!(chaos(&args("chaos --secs 0")).is_err());
+        assert!(chaos(&args("chaos --checkpoint-every 0")).is_err());
     }
 
     #[test]

@@ -48,6 +48,8 @@ const VALUE_KEYS: &[&str] = &[
     "iters",
     "fuzz-seed",
     "metrics-out",
+    "rounds",
+    "dir",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -86,6 +88,8 @@ COMMANDS:
     query       one-shot client for a running bdrmapd
     loadgen     closed-loop load against bdrmapd, reporting QPS + latency
     fuzz        seeded hostile-input fuzzing of the snapshot + wire codecs
+    chaos       end-to-end seeded fault injection: probe, publish, and serve
+                under filesystem + socket chaos, asserting system invariants
     bench-pipeline  time every pipeline stage, write BENCH_pipeline.json
 
 OPTIONS:
@@ -141,6 +145,15 @@ SERVING (serve / query / loadgen):
 FUZZING (fuzz):
     --iters <n>          seeded mutations to run (default 10000)
     --fuzz-seed <u64>    fuzzer seed (default 42); same seed, same mutants
+
+CHAOS (chaos):
+    --fault-seed <u64>   fault-schedule seed (default 1); the printed report
+                         and --json artifact are byte-identical per seed
+    --rounds <n>         snapshot publish rounds under fs faults (default 8)
+    --secs <f>           quiesced loadgen duration (default 0.25)
+    --checkpoint-every <n>  probe checkpoint cadence in target ASes (default 2)
+    --dir <path>         working directory (default: a per-seed temp dir)
+    --json <path>        also write the deterministic report there
 "
 }
 
@@ -178,6 +191,7 @@ fn main() {
         "query" => commands::query(&args),
         "loadgen" => commands::loadgen(&args),
         "fuzz" => commands::fuzz(&args),
+        "chaos" => commands::chaos(&args),
         "bench-pipeline" => commands::bench_pipeline(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());

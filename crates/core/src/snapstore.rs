@@ -5,9 +5,9 @@
 //! rot. [`SnapStore`] manages a directory of generation-numbered
 //! snapshot files (`gen-000042.bdrm`) plus a tiny `MANIFEST` pointing
 //! at the last *verified-good* generation. Both the snapshot and the
-//! manifest are written atomically (write-to-sibling + rename), and a
-//! snapshot is only referenced by the manifest after it has been read
-//! back and fully re-verified — checksums included.
+//! manifest are written atomically (write-to-sibling + fsync + rename),
+//! and a snapshot is only referenced by the manifest after it has been
+//! read back and fully re-verified — checksums included.
 //!
 //! The load path is where the crash safety pays off:
 //! [`load_verified`](SnapStore::load_verified) starts from the manifest
@@ -16,11 +16,20 @@
 //! `corrupt/` — preserving the evidence without leaving a landmine on
 //! the load path — and the previous generation is tried, so a single
 //! bad publish degrades service to the last good map instead of taking
-//! the daemon down.
+//! the daemon down. If the quarantine move *itself* fails (a disk this
+//! unhealthy can fail a rename too), the rollback continues anyway: a
+//! bad file we could not move is still a file we refuse to serve.
+//!
+//! Every durable operation goes through a [`Vfs`] seam, so the chaos
+//! harness can inject `ENOSPC`, torn renames, and read-side bit-rot
+//! under the store and prove these recovery paths actually fire.
+//! Health gauges (current generation, on-disk bytes, quarantine count)
+//! land in the [`Registry`] the store was opened with.
 
 use crate::output::BorderMap;
 use crate::snapshot;
-use bdrmap_types::fsutil::write_atomic;
+use bdrmap_obs::Registry;
+use bdrmap_types::Vfs;
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -39,8 +48,23 @@ pub enum StoreError {
         /// How many generations were tried and quarantined.
         tried: usize,
     },
-    /// Filesystem trouble outside a snapshot's own content.
-    Io(io::Error),
+    /// Filesystem trouble outside a snapshot's own content, with the
+    /// path that failed — chaos-run logs are useless without it.
+    Io {
+        /// The file or directory the operation failed on.
+        path: PathBuf,
+        /// The underlying error.
+        source: io::Error,
+    },
+}
+
+impl StoreError {
+    fn io_at(path: impl Into<PathBuf>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            path: path.into(),
+            source,
+        }
+    }
 }
 
 impl std::fmt::Display for StoreError {
@@ -50,18 +74,18 @@ impl std::fmt::Display for StoreError {
             StoreError::AllCorrupt { tried } => {
                 write!(f, "all {tried} snapshot generations failed verification")
             }
-            StoreError::Io(e) => write!(f, "snapshot store I/O error: {e}"),
+            StoreError::Io { path, source } => {
+                write!(
+                    f,
+                    "snapshot store I/O error at {}: {source}",
+                    path.display()
+                )
+            }
         }
     }
 }
 
 impl std::error::Error for StoreError {}
-
-impl From<io::Error> for StoreError {
-    fn from(e: io::Error) -> StoreError {
-        StoreError::Io(e)
-    }
-}
 
 /// One quarantined generation: which one, and why it failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,19 +120,41 @@ impl LoadOutcome {
 #[derive(Debug, Clone)]
 pub struct SnapStore {
     dir: PathBuf,
+    vfs: Vfs,
+    registry: Registry,
 }
 
 impl SnapStore {
-    /// Open (creating if needed) the store at `dir`.
+    /// Open (creating if needed) the store at `dir`, on the real
+    /// filesystem, reporting to the process-wide registry.
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<SnapStore> {
+        SnapStore::open_with(dir, Vfs::real(), bdrmap_obs::global().clone())
+    }
+
+    /// Open with an explicit filesystem seam and metric registry — the
+    /// chaos harness injects faults through the former; bdrmapd wires
+    /// its private registry through the latter so `query --metrics`
+    /// exposes the store's gauges.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        vfs: Vfs,
+        registry: Registry,
+    ) -> io::Result<SnapStore> {
         let dir = dir.into();
-        std::fs::create_dir_all(dir.join(CORRUPT_DIR))?;
-        Ok(SnapStore { dir })
+        vfs.create_dir_all(&dir.join(CORRUPT_DIR))?;
+        let store = SnapStore { dir, vfs, registry };
+        store.refresh_gauges();
+        Ok(store)
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The registry this store reports to.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
     }
 
     /// Path of generation `gen`'s snapshot file.
@@ -124,7 +170,8 @@ impl SnapStore {
     /// parses. A torn or garbled manifest reads as `None`: the load
     /// path then falls back to the newest generation on disk.
     pub fn manifest_generation(&self) -> Option<u64> {
-        let text = std::fs::read_to_string(self.manifest_path()).ok()?;
+        let bytes = self.vfs.read(&self.manifest_path()).ok()?;
+        let text = String::from_utf8(bytes).ok()?;
         let mut lines = text.lines();
         if lines.next()? != "bdrm-store v1" {
             return None;
@@ -133,9 +180,11 @@ impl SnapStore {
         gen_line.strip_prefix("generation ")?.trim().parse().ok()
     }
 
-    fn write_manifest(&self, gen: u64) -> io::Result<()> {
+    fn write_manifest(&self, gen: u64) -> Result<(), StoreError> {
         let body = format!("bdrm-store v1\ngeneration {gen}\n");
-        write_atomic(&self.manifest_path(), body.as_bytes())
+        self.vfs
+            .write_atomic(&self.manifest_path(), body.as_bytes())
+            .map_err(|e| StoreError::io_at(self.manifest_path(), e))
     }
 
     /// All generation numbers present on disk, ascending.
@@ -157,9 +206,37 @@ impl SnapStore {
         Ok(gens)
     }
 
+    /// Refresh the store-health gauges: the generation currently
+    /// referenced, total snapshot bytes on disk, and how many files sit
+    /// in quarantine.
+    fn refresh_gauges(&self) {
+        if let Some(gen) = self.manifest_generation() {
+            self.registry
+                .gauge("bdrmap_snapstore_generation", &[])
+                .set(gen);
+        }
+        if let Ok(gens) = self.generations() {
+            let bytes: u64 = gens
+                .iter()
+                .filter_map(|&g| std::fs::metadata(self.path_of(g)).ok())
+                .map(|m| m.len())
+                .sum();
+            self.registry
+                .gauge("bdrmap_snapstore_disk_bytes", &[])
+                .set(bytes);
+        }
+        let quarantined = std::fs::read_dir(self.dir.join(CORRUPT_DIR))
+            .map(|d| d.count() as u64)
+            .unwrap_or(0);
+        self.registry
+            .gauge("bdrmap_snapstore_quarantined_files", &[])
+            .set(quarantined);
+    }
+
     /// Publish `map` as the next generation: write it atomically, read
     /// it back and verify every checksum, and only then advance the
-    /// manifest. Returns the new generation number.
+    /// manifest. Returns the new generation number. Errors carry the
+    /// offending path.
     pub fn publish(&self, map: &BorderMap) -> io::Result<u64> {
         let latest = self.generations()?.last().copied().unwrap_or(0);
         let gen = latest
@@ -167,14 +244,34 @@ impl SnapStore {
             .checked_add(1)
             .expect("snapshot generation counter overflowed u64");
         let path = self.path_of(gen);
-        write_atomic(&path, &snapshot::encode(map))?;
+        let at = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
+        self.vfs
+            .write_atomic(&path, &snapshot::encode(map))
+            .map_err(at)?;
         // Read-back verification: never point the manifest at bytes
-        // that were not proven decodable from disk.
-        snapshot::load(&path)?;
-        self.write_manifest(gen)?;
-        bdrmap_obs::global()
+        // that were not proven decodable from disk. The read goes
+        // through the seam too, so injected torn renames and bit-rot
+        // are caught *here*, before the manifest moves.
+        let bytes = self.vfs.read(&path).map_err(at)?;
+        snapshot::decode(&bytes).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: read-back verification failed: {e}", path.display()),
+            )
+        })?;
+        self.write_manifest(gen).map_err(|e| match e {
+            StoreError::Io { path, source } => {
+                io::Error::new(source.kind(), format!("{}: {source}", path.display()))
+            }
+            other => io::Error::other(other.to_string()),
+        })?;
+        self.registry
             .counter("bdrmap_snapstore_publishes_total", &[])
             .inc();
+        self.registry
+            .gauge("bdrmap_snapstore_generation", &[])
+            .set(gen);
+        self.refresh_gauges();
         Ok(gen)
     }
 
@@ -190,7 +287,7 @@ impl SnapStore {
             dst = base.join(format!("{name}.{n}"));
             n += 1;
         }
-        std::fs::rename(&src, &dst)?;
+        self.vfs.rename(&src, &dst)?;
         Ok(dst)
     }
 
@@ -199,7 +296,9 @@ impl SnapStore {
     /// manifest is re-pointed at the generation actually served, so the
     /// next load does not re-tread the bad path.
     pub fn load_verified(&self) -> Result<LoadOutcome, StoreError> {
-        let mut gens = self.generations()?;
+        let mut gens = self
+            .generations()
+            .map_err(|e| StoreError::io_at(&self.dir, e))?;
         if gens.is_empty() {
             return Err(StoreError::Empty);
         }
@@ -209,38 +308,69 @@ impl SnapStore {
         // and let verification decide.
         let mut quarantined = Vec::new();
         while let Some(gen) = gens.pop() {
-            match snapshot::load(&self.path_of(gen)) {
+            let path = self.path_of(gen);
+            let verified = self
+                .vfs
+                .read(&path)
+                .map_err(|e| format!("read {}: {e}", path.display()))
+                .and_then(|bytes| {
+                    snapshot::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+                });
+            match verified {
                 Ok(map) => {
                     if self.manifest_generation() != Some(gen) {
                         self.write_manifest(gen)?;
                     }
                     if !quarantined.is_empty() {
-                        bdrmap_obs::global()
+                        self.registry
                             .counter("bdrmap_snapstore_rollbacks_total", &[])
                             .inc();
                     }
+                    self.registry
+                        .gauge("bdrmap_snapstore_generation", &[])
+                        .set(gen);
+                    self.refresh_gauges();
                     return Ok(LoadOutcome {
                         map,
                         generation: gen,
                         quarantined,
                     });
                 }
-                Err(e) => {
+                Err(reason) => {
                     eprintln!(
-                        "snapstore: generation {gen} failed verification ({e}); \
+                        "snapstore: generation {gen} failed verification ({reason}); \
                          quarantining and rolling back"
                     );
-                    self.quarantine(gen)?;
-                    bdrmap_obs::global()
-                        .counter("bdrmap_snapstore_quarantines_total", &[])
-                        .inc();
+                    // The double-fault path: on a disk sick enough to
+                    // corrupt snapshots, the quarantine rename can fail
+                    // too. That must not abort the rollback — a bad
+                    // file we could not move is still a file we refuse
+                    // to serve (it will be re-tried, and re-refused, on
+                    // the next load).
+                    match self.quarantine(gen) {
+                        Ok(_) => {
+                            self.registry
+                                .counter("bdrmap_snapstore_quarantines_total", &[])
+                                .inc();
+                        }
+                        Err(qe) => {
+                            self.registry
+                                .counter("bdrmap_snapstore_quarantine_failures_total", &[])
+                                .inc();
+                            eprintln!(
+                                "snapstore: quarantine of generation {gen} failed ({qe}); \
+                                 rolling back anyway"
+                            );
+                        }
+                    }
                     quarantined.push(Quarantined {
                         generation: gen,
-                        reason: e.to_string(),
+                        reason,
                     });
                 }
             }
         }
+        self.refresh_gauges();
         Err(StoreError::AllCorrupt {
             tried: quarantined.len(),
         })
@@ -251,6 +381,7 @@ impl SnapStore {
 mod tests {
     use super::*;
     use crate::output::{Heuristic, InferredLink, InferredRouter};
+    use bdrmap_types::vfs::{ChaosFsConfig, ChaosVfs, FsFaultBudget};
     use bdrmap_types::Asn;
 
     fn sample(packets: u64) -> BorderMap {
@@ -369,6 +500,160 @@ mod tests {
         assert_eq!(out.generation, 2);
         // The manifest was repaired.
         assert_eq!(store.manifest_generation(), Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_manifest_at_every_byte_offset_recovers() {
+        let dir = fresh_dir("tornmanifest-sweep");
+        let store = SnapStore::open(&dir).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        let full = std::fs::read(dir.join(MANIFEST)).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(dir.join(MANIFEST), &full[..cut]).unwrap();
+            // Whatever prefix survived — empty file, half a header, a
+            // parseable-but-stale generation line — the load must serve
+            // the newest good generation and repair the manifest.
+            let out = store.load_verified().unwrap();
+            assert_eq!(out.generation, 2, "cut at {cut}");
+            assert!(!out.rolled_back(), "cut at {cut}: nothing to quarantine");
+            assert_eq!(store.manifest_generation(), Some(2), "cut at {cut}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quarantine_rename_failure_does_not_abort_rollback() {
+        let dir = fresh_dir("doublefault");
+        // A vfs whose *renames* always fail (and nothing else): publish
+        // works, but quarantine's move cannot.
+        let chaos = ChaosVfs::new(ChaosFsConfig {
+            seed: 77,
+            fault_rate: 1.0,
+            budget: FsFaultBudget {
+                rename_fail: 8,
+                ..Default::default()
+            },
+        });
+        let registry = Registry::new();
+        let store = SnapStore::open_with(&dir, chaos.vfs(), registry.clone()).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        std::fs::write(store.path_of(2), b"BDRMgarbage").unwrap();
+
+        let out = store.load_verified().unwrap();
+        assert_eq!(
+            out.generation, 1,
+            "rollback must proceed past the double fault"
+        );
+        assert!(out.rolled_back());
+        assert_eq!(out.quarantined[0].generation, 2);
+        // The move failed: the corrupt file is still in place, counted
+        // as a quarantine *failure*, and corrupt/ stayed empty.
+        assert!(store.path_of(2).exists());
+        assert_eq!(
+            registry
+                .counter("bdrmap_snapstore_quarantine_failures_total", &[])
+                .get(),
+            1
+        );
+        assert_eq!(std::fs::read_dir(dir.join(CORRUPT_DIR)).unwrap().count(), 0);
+        // Manifest still healed to the generation actually served.
+        assert_eq!(store.manifest_generation(), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_publish_failures_roll_back_to_last_good() {
+        let dir = fresh_dir("chaospublish");
+        let registry = Registry::new();
+        // Clean handle for the baseline publish, chaos handle for the
+        // assault; both share the directory and registry.
+        let clean = SnapStore::open_with(&dir, Vfs::real(), registry.clone()).unwrap();
+        let g0 = clean.publish(&sample(1)).unwrap();
+        let chaos = ChaosVfs::new(ChaosFsConfig {
+            seed: 4242,
+            fault_rate: 1.0,
+            budget: FsFaultBudget {
+                enospc: 1,
+                short_write: 1,
+                fsync_fail: 1,
+                torn_rename: 2,
+                ..Default::default()
+            },
+        });
+        let store = SnapStore::open_with(&dir, chaos.vfs(), registry.clone()).unwrap();
+        let mut last_good = g0;
+        let mut last_published = g0;
+        for round in 0..8 {
+            let torn_before = chaos.injected(bdrmap_types::FaultKind::TornRename);
+            match store.publish(&sample(100 + round)) {
+                Ok(g) => {
+                    assert!(g > last_published, "round {round}: generations monotone");
+                    last_published = g;
+                    last_good = g;
+                }
+                Err(_) => {
+                    let out = store.load_verified().unwrap();
+                    assert_eq!(
+                        out.generation, last_good,
+                        "round {round}: must serve last good generation"
+                    );
+                    if chaos.injected(bdrmap_types::FaultKind::TornRename) > torn_before {
+                        // A torn rename left a corrupt file behind;
+                        // the load must have quarantined it.
+                        assert!(out.rolled_back(), "round {round}");
+                    }
+                }
+            }
+        }
+        assert_eq!(chaos.injected_total(), 5, "whole budget spent at rate 1.0");
+        // Quiesced, the store converges: publish succeeds and serves.
+        chaos.quiesce();
+        let g = store.publish(&sample(999)).unwrap();
+        let out = store.load_verified().unwrap();
+        assert_eq!(out.generation, g);
+        assert_eq!(out.map.packets, 999);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gauges_track_generation_bytes_and_quarantines() {
+        let dir = fresh_dir("gauges");
+        let registry = Registry::new();
+        let store = SnapStore::open_with(&dir, Vfs::real(), registry.clone()).unwrap();
+        store.publish(&sample(1)).unwrap();
+        store.publish(&sample(2)).unwrap();
+        let on_disk: u64 = [1, 2]
+            .iter()
+            .map(|&g| std::fs::metadata(store.path_of(g)).unwrap().len())
+            .sum();
+        assert_eq!(registry.gauge("bdrmap_snapstore_generation", &[]).get(), 2);
+        assert_eq!(
+            registry.gauge("bdrmap_snapstore_disk_bytes", &[]).get(),
+            on_disk
+        );
+        assert_eq!(
+            registry
+                .gauge("bdrmap_snapstore_quarantined_files", &[])
+                .get(),
+            0
+        );
+        // Corrupt the newest; the rollback moves it to corrupt/ and the
+        // gauges follow.
+        std::fs::write(store.path_of(2), b"BDRMgarbage").unwrap();
+        store.load_verified().unwrap();
+        assert_eq!(registry.gauge("bdrmap_snapstore_generation", &[]).get(), 1);
+        assert_eq!(
+            registry
+                .gauge("bdrmap_snapstore_quarantined_files", &[])
+                .get(),
+            1
+        );
+        assert!(registry.gauge("bdrmap_snapstore_disk_bytes", &[]).get() < on_disk);
+        let text = registry.render();
+        assert!(text.contains("bdrmap_snapstore_generation 1"), "{text}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

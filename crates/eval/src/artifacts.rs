@@ -82,7 +82,19 @@ pub fn table1_csv(t: &crate::table1::Table1) -> String {
 /// or interrupted run never leaves a truncated CSV/JSON behind for the
 /// plotting pipeline to trip over.
 pub fn write_artifact(path: &std::path::Path, contents: &str) -> std::io::Result<()> {
-    bdrmap_types::fsutil::write_atomic(path, contents.as_bytes())
+    write_artifact_with(path, contents, &bdrmap_types::Vfs::real())
+}
+
+/// [`write_artifact`] through an explicit filesystem seam, so the chaos
+/// harness can inject write faults under artifact emission. Errors
+/// carry the offending path.
+pub fn write_artifact_with(
+    path: &std::path::Path,
+    contents: &str,
+    vfs: &bdrmap_types::Vfs,
+) -> std::io::Result<()> {
+    vfs.write_atomic(path, contents.as_bytes())
+        .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
 }
 
 #[cfg(test)]

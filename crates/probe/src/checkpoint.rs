@@ -46,6 +46,9 @@ pub struct CheckpointConfig {
     pub every: u32,
     /// Checkpoint file path (atomically replaced on each write).
     pub path: PathBuf,
+    /// Filesystem seam the checkpoints go through; the chaos harness
+    /// injects write faults here. Defaults to the real filesystem.
+    pub vfs: bdrmap_types::Vfs,
 }
 
 /// The complete resumable state of an interrupted probing run.
@@ -170,14 +173,40 @@ impl Checkpoint {
     /// [`bdrmap_types::fsutil`]) so a crash mid-write never leaves a
     /// corrupt checkpoint behind.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        bdrmap_types::fsutil::write_atomic(path, &self.encode())
+        self.save_with(path, &bdrmap_types::Vfs::real())
     }
 
     /// Read from `path`.
     pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
-        let data = std::fs::read(path)?;
-        Checkpoint::decode(Bytes::from(data))
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Checkpoint::load_with(path, &bdrmap_types::Vfs::real())
+    }
+
+    /// [`save`](Checkpoint::save) through an explicit filesystem seam.
+    /// Errors carry the offending path.
+    pub fn save_with(
+        &self,
+        path: &std::path::Path,
+        vfs: &bdrmap_types::Vfs,
+    ) -> std::io::Result<()> {
+        vfs.write_atomic(path, &self.encode())
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+    }
+
+    /// [`load`](Checkpoint::load) through an explicit filesystem seam.
+    /// Errors carry the offending path.
+    pub fn load_with(
+        path: &std::path::Path,
+        vfs: &bdrmap_types::Vfs,
+    ) -> std::io::Result<Checkpoint> {
+        let data = vfs
+            .read(path)
+            .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+        Checkpoint::decode(Bytes::from(data)).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
     }
 }
 
@@ -223,7 +252,7 @@ pub fn run_traces_checkpointed(
                 clock_us,
                 runtime: engine.dataplane().runtime_snapshot(),
             }
-            .save(&cfg.path)?;
+            .save_with(&cfg.path, &cfg.vfs)?;
         }
     }
     Ok(TraceCollection {
@@ -337,6 +366,7 @@ mod tests {
         let cfg = CheckpointConfig {
             every: 2,
             path: tmp_path("agree.bdrc"),
+            vfs: bdrmap_types::Vfs::real(),
         };
         let chk = run_traces_checkpointed(&e2, &targets, opts, classify, &cfg, None).unwrap();
         assert_eq!(fingerprint(&plain), fingerprint(&chk));
@@ -363,6 +393,7 @@ mod tests {
         let cfg = CheckpointConfig {
             every: k as u32,
             path: path.clone(),
+            vfs: bdrmap_types::Vfs::real(),
         };
 
         // Uninterrupted baseline.

@@ -169,15 +169,40 @@ pub fn decode(mut data: Bytes) -> Result<TraceCollection, StoreError> {
     })
 }
 
-/// Write a collection to a file.
+/// Write a collection to a file, atomically and durably.
 pub fn save(path: &std::path::Path, coll: &TraceCollection) -> std::io::Result<()> {
-    std::fs::write(path, encode(coll))
+    save_with(path, coll, &bdrmap_types::Vfs::real())
 }
 
 /// Read a collection from a file.
 pub fn load(path: &std::path::Path) -> std::io::Result<TraceCollection> {
-    let data = std::fs::read(path)?;
-    decode(Bytes::from(data)).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    load_with(path, &bdrmap_types::Vfs::real())
+}
+
+/// [`save`] through an explicit filesystem seam. Errors carry the path.
+pub fn save_with(
+    path: &std::path::Path,
+    coll: &TraceCollection,
+    vfs: &bdrmap_types::Vfs,
+) -> std::io::Result<()> {
+    vfs.write_atomic(path, &encode(coll))
+        .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
+/// [`load`] through an explicit filesystem seam. Errors carry the path.
+pub fn load_with(
+    path: &std::path::Path,
+    vfs: &bdrmap_types::Vfs,
+) -> std::io::Result<TraceCollection> {
+    let data = vfs
+        .read(path)
+        .map_err(|e| std::io::Error::new(e.kind(), format!("{}: {e}", path.display())))?;
+    decode(Bytes::from(data)).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: {e}", path.display()),
+        )
+    })
 }
 
 #[cfg(test)]

@@ -23,9 +23,280 @@
 //! caller sees [`ConnEvent::Idle`] ticks and decides (e.g. checks the
 //! shutdown flag).
 
-use std::io::{self, Read};
-use std::net::TcpStream;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+
+/// The splitmix64 step, the workspace's standard deterministic PRNG.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// How many injections of each server-side network fault a chaos run
+/// may perform. Mirrors [`bdrmap_types::FsFaultBudget`] on the socket
+/// side.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultBudget {
+    /// Response frames written in two chunks with a pause between.
+    pub split: u32,
+    /// Responses cut off mid-write by a TCP reset.
+    pub reset: u32,
+    /// Accepted connections delayed before being handed to a worker.
+    pub accept_delay: u32,
+    /// Received frames whose handling stalls before dispatch.
+    pub stall: u32,
+}
+
+impl NetFaultBudget {
+    fn as_array(self) -> [u32; 4] {
+        [self.split, self.reset, self.accept_delay, self.stall]
+    }
+
+    /// Total injections across all kinds.
+    pub fn total(self) -> u64 {
+        self.as_array().iter().map(|&n| u64::from(n)).sum()
+    }
+}
+
+/// Seeded configuration for server-side socket chaos.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaosNetConfig {
+    /// Seed for the fault schedule; same seed, same event sequence →
+    /// same injections.
+    pub seed: u64,
+    /// Probability that an eligible event draws a fault.
+    pub fault_rate: f64,
+    /// Per-kind injection caps.
+    pub budget: NetFaultBudget,
+    /// How long an injected accept delay or stall lasts.
+    pub delay: Duration,
+    /// Panic the acceptor thread when it has accepted exactly this
+    /// many connections (a scripted, count-based crash — deterministic
+    /// where a random draw would not be). Fires at most once.
+    pub accept_panic_after: Option<u64>,
+    /// Panic a worker thread when the server has received exactly this
+    /// many request frames. Fires at most once.
+    pub worker_panic_after: Option<u64>,
+}
+
+impl Default for ChaosNetConfig {
+    fn default() -> Self {
+        ChaosNetConfig {
+            seed: 0,
+            fault_rate: 0.0,
+            budget: NetFaultBudget::default(),
+            delay: Duration::from_millis(40),
+            accept_panic_after: None,
+            worker_panic_after: None,
+        }
+    }
+}
+
+/// Injected-fault counts, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultCounts {
+    /// Split response writes performed.
+    pub split: u64,
+    /// Mid-write resets performed.
+    pub reset: u64,
+    /// Accept delays performed.
+    pub accept_delay: u64,
+    /// Pre-dispatch stalls performed.
+    pub stall: u64,
+}
+
+/// What the acceptor should do with the connection it just accepted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AcceptAction {
+    /// Sleep this long before queueing the connection.
+    pub delay: Option<Duration>,
+    /// Panic the acceptor thread (scripted crash for the watchdog).
+    pub panic: bool,
+}
+
+/// What a worker should do with the frame it just received.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FrameAction {
+    /// Sleep this long before dispatching (a stuck read, from the
+    /// client's point of view).
+    pub stall: Option<Duration>,
+    /// Panic the worker thread (scripted crash for the watchdog).
+    pub panic: bool,
+}
+
+/// How to write one response frame.
+#[derive(Clone, Copy, Debug)]
+pub enum WritePlan {
+    /// One clean write.
+    Intact,
+    /// Two writes split at this byte offset, with a pause between.
+    Split(usize),
+    /// Write this many bytes, then hard-close the socket.
+    ResetAfter(usize),
+}
+
+#[derive(Debug)]
+struct NetState {
+    fault_rate: f64,
+    delay: Duration,
+    accept_panic_after: Option<u64>,
+    worker_panic_after: Option<u64>,
+    /// Independent rng streams per event family. Fault draws must be
+    /// charged against *deterministic* events (a response write, a
+    /// received frame, an accept) — never against read polls, whose
+    /// count depends on timing — and separate streams keep one
+    /// family's draw count from perturbing another's schedule.
+    write_rng: u64,
+    frame_rng: u64,
+    accept_rng: u64,
+    remaining: [u32; 4],
+    injected: [u64; 4],
+    accepts: u64,
+    frames: u64,
+    acceptor_panicked: bool,
+    worker_panicked: bool,
+    quiesced: bool,
+}
+
+/// Seeded server-side socket chaos: frame splitting, mid-write resets,
+/// accept delays, pre-dispatch stalls, and scripted thread crashes.
+/// Clones share state, so the acceptor, every worker, and the test
+/// harness all observe one schedule and one budget.
+#[derive(Clone, Debug)]
+pub struct ChaosNet {
+    state: Arc<Mutex<NetState>>,
+}
+
+const SPLIT: usize = 0;
+const RESET: usize = 1;
+const ACCEPT_DELAY: usize = 2;
+const STALL: usize = 3;
+
+impl ChaosNet {
+    /// Build from a seeded config.
+    pub fn new(cfg: ChaosNetConfig) -> ChaosNet {
+        ChaosNet {
+            state: Arc::new(Mutex::new(NetState {
+                fault_rate: cfg.fault_rate,
+                delay: cfg.delay,
+                accept_panic_after: cfg.accept_panic_after,
+                worker_panic_after: cfg.worker_panic_after,
+                write_rng: cfg.seed ^ 0x57_52_49_54_45,
+                frame_rng: cfg.seed ^ 0x46_52_41_4d_45,
+                accept_rng: cfg.seed ^ 0x41_43_43_45_50,
+                remaining: cfg.budget.as_array(),
+                injected: [0; 4],
+                accepts: 0,
+                frames: 0,
+                acceptor_panicked: false,
+                worker_panicked: false,
+                quiesced: false,
+            })),
+        }
+    }
+
+    /// Stop injecting: every later event passes through clean, and no
+    /// scripted panic fires. The quiescent-convergence invariant rests
+    /// on this.
+    pub fn quiesce(&self) {
+        self.lock().quiesced = true;
+    }
+
+    /// Injected-fault counts so far.
+    pub fn counts(&self) -> NetFaultCounts {
+        let st = self.lock();
+        NetFaultCounts {
+            split: st.injected[SPLIT],
+            reset: st.injected[RESET],
+            accept_delay: st.injected[ACCEPT_DELAY],
+            stall: st.injected[STALL],
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, NetState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Charge one fault draw of `kind` against its rng stream and
+    /// budget. `rng` is selected by the caller so each event family
+    /// has an independent schedule.
+    fn draw(st: &mut NetState, kind: usize, pick_rng: fn(&mut NetState) -> &mut u64) -> bool {
+        if st.quiesced || st.remaining[kind] == 0 {
+            return false;
+        }
+        let bits = splitmix64(pick_rng(st));
+        let p = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        if p >= st.fault_rate {
+            return false;
+        }
+        st.remaining[kind] -= 1;
+        st.injected[kind] += 1;
+        true
+    }
+
+    /// Called by the acceptor once per accepted connection.
+    pub fn on_accept(&self) -> AcceptAction {
+        let mut st = self.lock();
+        st.accepts += 1;
+        if !st.quiesced && !st.acceptor_panicked && st.accept_panic_after == Some(st.accepts) {
+            st.acceptor_panicked = true;
+            return AcceptAction {
+                delay: None,
+                panic: true,
+            };
+        }
+        let delay = ChaosNet::draw(&mut st, ACCEPT_DELAY, |s| &mut s.accept_rng).then(|| st.delay);
+        AcceptAction {
+            delay,
+            panic: false,
+        }
+    }
+
+    /// Called by a worker once per received request frame, before
+    /// dispatch.
+    pub fn on_frame(&self) -> FrameAction {
+        let mut st = self.lock();
+        st.frames += 1;
+        if !st.quiesced && !st.worker_panicked && st.worker_panic_after == Some(st.frames) {
+            st.worker_panicked = true;
+            return FrameAction {
+                stall: None,
+                panic: true,
+            };
+        }
+        let stall = ChaosNet::draw(&mut st, STALL, |s| &mut s.frame_rng).then(|| st.delay);
+        FrameAction {
+            stall,
+            panic: false,
+        }
+    }
+
+    /// Called once per response frame about to be written; `frame_len`
+    /// is the full encoded length including the length prefix.
+    pub fn write_plan(&self, frame_len: usize) -> WritePlan {
+        let mut st = self.lock();
+        // Reset takes precedence: it is the harsher fault, and giving
+        // each kind its own draw keeps the schedules independent.
+        if ChaosNet::draw(&mut st, RESET, |s| &mut s.write_rng) {
+            let cut = if frame_len > 1 {
+                1 + (splitmix64(&mut st.write_rng) as usize) % (frame_len - 1)
+            } else {
+                0
+            };
+            return WritePlan::ResetAfter(cut);
+        }
+        if ChaosNet::draw(&mut st, SPLIT, |s| &mut s.write_rng) && frame_len > 1 {
+            let cut = 1 + (splitmix64(&mut st.write_rng) as usize) % (frame_len - 1);
+            return WritePlan::Split(cut);
+        }
+        WritePlan::Intact
+    }
+}
 
 /// Per-connection policy knobs.
 #[derive(Clone, Copy, Debug)]
@@ -105,13 +376,19 @@ pub struct Conn {
     /// When the oldest incomplete frame started arriving.
     partial_since: Option<Instant>,
     limits: ConnLimits,
+    /// Server-side chaos schedule; `None` outside chaos runs.
+    chaos: Option<ChaosNet>,
 }
 
 impl Conn {
     /// Wrap and configure a stream. Socket-option failures are real
     /// errors: a connection we cannot put timeouts on could pin a
     /// worker forever.
-    pub fn new(stream: TcpStream, limits: ConnLimits) -> Result<Conn, ConnError> {
+    pub fn new(
+        stream: TcpStream,
+        limits: ConnLimits,
+        chaos: Option<ChaosNet>,
+    ) -> Result<Conn, ConnError> {
         stream.set_nodelay(true).map_err(ConnError::Setup)?;
         stream
             .set_read_timeout(Some(limits.poll))
@@ -124,12 +401,48 @@ impl Conn {
             buf: Vec::new(),
             partial_since: None,
             limits,
+            chaos,
         })
     }
 
     /// The underlying stream, for writing responses.
     pub fn stream(&mut self) -> &mut TcpStream {
         &mut self.stream
+    }
+
+    /// Write one length-prefixed response frame, executing whatever
+    /// plan the chaos schedule dictates: a clean write, a split write
+    /// with a pause between the halves, or a mid-write reset (partial
+    /// bytes, then a hard close — the error surfaces so the worker
+    /// drops the connection).
+    pub fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        let plan = match &self.chaos {
+            Some(c) => c.write_plan(frame.len()),
+            None => WritePlan::Intact,
+        };
+        match plan {
+            WritePlan::Intact => self.stream.write_all(&frame),
+            WritePlan::Split(cut) => {
+                self.stream.write_all(&frame[..cut])?;
+                self.stream.flush()?;
+                // A pause long enough that the halves land in separate
+                // segments; the client's framing must reassemble them.
+                std::thread::sleep(Duration::from_millis(2));
+                self.stream.write_all(&frame[cut..])
+            }
+            WritePlan::ResetAfter(cut) => {
+                let _ = self.stream.write_all(&frame[..cut]);
+                let _ = self.stream.flush();
+                let _ = self.stream.shutdown(Shutdown::Both);
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: injected mid-write reset",
+                ))
+            }
+        }
     }
 
     /// Pull every complete frame out of the buffer. Errors on oversize
@@ -222,7 +535,7 @@ mod tests {
         let addr = listener.local_addr().unwrap();
         let client = TcpStream::connect(addr).unwrap();
         let (server, _) = listener.accept().unwrap();
-        (client, Conn::new(server, limits).unwrap())
+        (client, Conn::new(server, limits, None).unwrap())
     }
 
     fn frame(payload: &[u8]) -> Vec<u8> {
@@ -370,6 +683,155 @@ mod tests {
             matches!(err, ConnError::Oversize(n) if n == u32::MAX as usize),
             "got {err:?}"
         );
+    }
+
+    fn read_frame(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+        let mut hdr = [0u8; 4];
+        stream.read_exact(&mut hdr)?;
+        let len = u32::from_be_bytes(hdr) as usize;
+        let mut payload = vec![0u8; len];
+        stream.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+
+    fn chaos_pair(limits: ConnLimits, chaos: ChaosNet) -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, Conn::new(server, limits, Some(chaos)).unwrap())
+    }
+
+    #[test]
+    fn same_seed_same_net_schedule() {
+        let cfg = ChaosNetConfig {
+            seed: 99,
+            fault_rate: 0.5,
+            budget: NetFaultBudget {
+                split: 3,
+                reset: 2,
+                accept_delay: 2,
+                stall: 3,
+            },
+            delay: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let drive = |net: &ChaosNet| {
+            let mut plans = Vec::new();
+            for i in 0..24 {
+                if i % 3 == 0 {
+                    let _ = net.on_accept();
+                }
+                let _ = net.on_frame();
+                plans.push(format!("{:?}", net.write_plan(64)));
+            }
+            (plans, net.counts())
+        };
+        let (p1, c1) = drive(&ChaosNet::new(cfg));
+        let (p2, c2) = drive(&ChaosNet::new(cfg));
+        assert_eq!(p1, p2, "same seed, same event order, same plans");
+        assert_eq!(c1, c2);
+        assert!(c1.split + c1.reset + c1.accept_delay + c1.stall > 0);
+    }
+
+    #[test]
+    fn net_budget_exhausts_then_clean() {
+        let net = ChaosNet::new(ChaosNetConfig {
+            seed: 7,
+            fault_rate: 1.0,
+            budget: NetFaultBudget {
+                reset: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let mut resets = 0;
+        for _ in 0..10 {
+            if matches!(net.write_plan(64), WritePlan::ResetAfter(_)) {
+                resets += 1;
+            }
+        }
+        assert_eq!(resets, 2, "budget caps injections");
+        assert_eq!(net.counts().reset, 2);
+        assert!(matches!(net.write_plan(64), WritePlan::Intact));
+    }
+
+    #[test]
+    fn split_send_still_delivers_a_whole_frame() {
+        let net = ChaosNet::new(ChaosNetConfig {
+            seed: 3,
+            fault_rate: 1.0,
+            budget: NetFaultBudget {
+                split: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let (mut client, mut conn) = chaos_pair(fast(), net.clone());
+        conn.send(b"split-response").unwrap();
+        assert_eq!(read_frame(&mut client).unwrap(), b"split-response");
+        assert_eq!(net.counts().split, 1);
+    }
+
+    #[test]
+    fn reset_send_errors_and_kills_the_socket() {
+        let net = ChaosNet::new(ChaosNetConfig {
+            seed: 5,
+            fault_rate: 1.0,
+            budget: NetFaultBudget {
+                reset: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let (mut client, mut conn) = chaos_pair(fast(), net.clone());
+        let err = conn.send(b"doomed-response").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        // The client sees a truncated stream, never a valid frame.
+        assert!(read_frame(&mut client).is_err());
+        assert_eq!(net.counts().reset, 1);
+    }
+
+    #[test]
+    fn scripted_panics_fire_exactly_once() {
+        let net = ChaosNet::new(ChaosNetConfig {
+            accept_panic_after: Some(2),
+            worker_panic_after: Some(3),
+            ..Default::default()
+        });
+        let accepts: Vec<bool> = (0..5).map(|_| net.on_accept().panic).collect();
+        assert_eq!(accepts, [false, true, false, false, false]);
+        let frames: Vec<bool> = (0..5).map(|_| net.on_frame().panic).collect();
+        assert_eq!(frames, [false, false, true, false, false]);
+    }
+
+    #[test]
+    fn quiesced_net_injects_nothing() {
+        let net = ChaosNet::new(ChaosNetConfig {
+            seed: 11,
+            fault_rate: 1.0,
+            budget: NetFaultBudget {
+                split: 100,
+                reset: 100,
+                accept_delay: 100,
+                stall: 100,
+            },
+            accept_panic_after: Some(1),
+            worker_panic_after: Some(1),
+            ..Default::default()
+        });
+        net.quiesce();
+        for _ in 0..8 {
+            let a = net.on_accept();
+            assert!(!a.panic && a.delay.is_none());
+            let f = net.on_frame();
+            assert!(!f.panic && f.stall.is_none());
+            assert!(matches!(net.write_plan(64), WritePlan::Intact));
+        }
+        assert_eq!(net.counts(), NetFaultCounts::default());
     }
 
     #[test]

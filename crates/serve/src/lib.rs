@@ -33,8 +33,11 @@ pub mod proto;
 pub mod reload;
 pub mod server;
 
-pub use conn::{Conn, ConnError, ConnEvent, ConnLimits};
+pub use conn::{
+    ChaosNet, ChaosNetConfig, Conn, ConnError, ConnEvent, ConnLimits, NetFaultBudget,
+    NetFaultCounts,
+};
 pub use loadgen::{queries_for_map, LoadReport, LoadgenConfig, ReloadStats};
 pub use proto::{HealthInfo, LinkInfo, ProtoError, Request, Response, Stats};
 pub use reload::{Breaker, BreakerState};
-pub use server::{Client, ServeConfig, Server};
+pub use server::{answer, Client, ServeConfig, Server};

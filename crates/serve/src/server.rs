@@ -30,19 +30,21 @@
 //! - shutdown drains: workers finish the frames already buffered on
 //!   their connection, then close.
 
-use crate::conn::{Conn, ConnError, ConnEvent, ConnLimits};
+use crate::conn::{
+    ChaosNet, ChaosNetConfig, Conn, ConnError, ConnEvent, ConnLimits, NetFaultCounts,
+};
 use crate::proto::{HealthInfo, Request, Response, Stats};
 use crate::reload::Breaker;
 use bdrmap_core::{snapshot, BorderMap, QueryIndex, SnapStore};
 use bdrmap_obs::{Counter, Histogram, Registry};
 use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
-use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader};
+use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader, Vfs};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -50,6 +52,9 @@ use std::time::{Duration, Instant};
 /// How long a worker blocks on a quiet connection before checking the
 /// shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(200);
+
+/// How often the supervisor heartbeats its components.
+const SUPERVISE_POLL: Duration = Duration::from_millis(20);
 
 /// Server tunables.
 #[derive(Clone, Debug)]
@@ -79,6 +84,14 @@ pub struct ServeConfig {
     pub breaker_threshold: u32,
     /// How long the breaker stays open before admitting a probe.
     pub breaker_cooldown: Duration,
+    /// First watchdog restart backoff after a component death.
+    pub restart_backoff: Duration,
+    /// Cap on the watchdog's doubling restart backoff.
+    pub restart_backoff_cap: Duration,
+    /// Server-side socket chaos (frame splitting, mid-write resets,
+    /// accept delays, stalls, scripted thread crashes). `None` in
+    /// production.
+    pub chaos: Option<ChaosNetConfig>,
 }
 
 impl Default for ServeConfig {
@@ -95,6 +108,9 @@ impl Default for ServeConfig {
             reload_backoff: Duration::from_millis(50),
             breaker_threshold: 3,
             breaker_cooldown: Duration::from_secs(1),
+            restart_backoff: Duration::from_millis(50),
+            restart_backoff_cap: Duration::from_secs(2),
+            chaos: None,
         }
     }
 }
@@ -156,6 +172,12 @@ struct ServerMetrics {
     reload_failures: Counter,
     /// `bdrmapd_drained_total` — connections closed by graceful drain.
     drained: Counter,
+    /// `bdrmapd_watchdog_restarts_total{component=...}` — dead threads
+    /// the supervisor brought back: `[acceptor, worker]`.
+    watchdog_restarts: [Counter; 2],
+    /// `bdrmapd_watchdog_heartbeats_total` — supervision ticks, proof
+    /// the watchdog itself is alive.
+    watchdog_heartbeats: Counter,
 }
 
 impl ServerMetrics {
@@ -174,6 +196,17 @@ impl ServerMetrics {
             reloads: registry.counter("bdrmapd_reloads_total", &[]),
             reload_failures: registry.counter("bdrmapd_reload_failures_total", &[]),
             drained: registry.counter("bdrmapd_drained_total", &[]),
+            watchdog_restarts: [
+                registry.counter(
+                    "bdrmapd_watchdog_restarts_total",
+                    &[("component", "acceptor")],
+                ),
+                registry.counter(
+                    "bdrmapd_watchdog_restarts_total",
+                    &[("component", "worker")],
+                ),
+            ],
+            watchdog_heartbeats: registry.counter("bdrmapd_watchdog_heartbeats_total", &[]),
             registry,
         }
     }
@@ -223,6 +256,9 @@ struct Shared {
     reload_attempts: u32,
     reload_backoff: Duration,
     metrics: ServerMetrics,
+    /// Socket-chaos schedule shared by the acceptor and every worker;
+    /// `None` in production.
+    chaos: Option<ChaosNet>,
 }
 
 impl Shared {
@@ -281,24 +317,32 @@ impl Shared {
 /// A running bdrmapd instance. Dropping the handle without calling
 /// [`shutdown`](Server::shutdown) leaves the threads serving until the
 /// process exits (daemon mode).
+///
+/// The handle owns a single *supervisor* thread; the acceptor and the
+/// worker pool live under it. The supervisor heartbeats its components
+/// and restarts any that die, so a panicking thread degrades into a
+/// counted restart instead of a silently smaller server.
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Build the initial index from `map` and start serving.
     pub fn start(map: &BorderMap, cfg: ServeConfig) -> io::Result<Server> {
-        Server::start_inner(map, cfg, None, 0)
+        Server::start_inner(map, cfg, ServerMetrics::new(), None, 0)
     }
 
     /// Load the newest verified-good generation from the snapshot store
     /// at `dir` (rolling back past corrupt files) and start serving it.
     /// `Reload` requests with an empty path re-read the store.
     pub fn start_from_store(dir: impl Into<PathBuf>, cfg: ServeConfig) -> io::Result<Server> {
-        let store = SnapStore::open(dir)?;
+        // The store reports into the server's private registry, so its
+        // generation/disk/quarantine gauges show up in `Metrics`
+        // responses next to the daemon's own counters.
+        let metrics = ServerMetrics::new();
+        let store = SnapStore::open_with(dir, Vfs::real(), metrics.registry.clone())?;
         let outcome = store
             .load_verified()
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
@@ -309,12 +353,13 @@ impl Server {
                 outcome.generation
             );
         }
-        Server::start_inner(&outcome.map, cfg, Some(store), outcome.generation)
+        Server::start_inner(&outcome.map, cfg, metrics, Some(store), outcome.generation)
     }
 
     fn start_inner(
         map: &BorderMap,
         cfg: ServeConfig,
+        metrics: ServerMetrics,
         store: Option<SnapStore>,
         store_generation: u64,
     ) -> io::Result<Server> {
@@ -338,28 +383,24 @@ impl Server {
             started: Instant::now(),
             reload_attempts: cfg.reload_attempts.max(1),
             reload_backoff: cfg.reload_backoff,
-            metrics: ServerMetrics::new(),
+            metrics,
+            chaos: cfg.chaos.map(ChaosNet::new),
         });
-        let listener = TcpListener::bind(&cfg.listen)?;
+        let listener = Arc::new(TcpListener::bind(&cfg.listen)?);
         let local_addr = listener.local_addr()?;
         let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
         let rx = Arc::new(Mutex::new(rx));
-        let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for _ in 0..cfg.workers.max(1) {
-            let reader = SwapCell::reader(&shared.cell);
+        let supervisor = {
             let shared = Arc::clone(&shared);
-            let rx = Arc::clone(&rx);
-            workers.push(std::thread::spawn(move || worker_loop(shared, reader, rx)));
-        }
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(shared, listener, tx))
+            let backoff = cfg.restart_backoff.max(Duration::from_millis(1));
+            let cap = cfg.restart_backoff_cap.max(backoff);
+            let workers = cfg.workers.max(1);
+            std::thread::spawn(move || supervise(shared, listener, tx, rx, workers, backoff, cap))
         };
         Ok(Server {
             local_addr,
             shared,
-            acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -395,32 +436,131 @@ impl Server {
         self.shared.health()
     }
 
+    /// Watchdog restart counts so far, as `(acceptor, worker)`.
+    pub fn watchdog_restarts(&self) -> (u64, u64) {
+        (
+            self.shared.metrics.watchdog_restarts[0].get(),
+            self.shared.metrics.watchdog_restarts[1].get(),
+        )
+    }
+
+    /// Injected network-fault counts, when chaos is configured.
+    pub fn net_fault_counts(&self) -> Option<NetFaultCounts> {
+        self.shared.chaos.as_ref().map(|c| c.counts())
+    }
+
+    /// Stop injecting network faults (no-op without chaos). The
+    /// quiescent-convergence check flips this before its final sweep.
+    pub fn quiesce_chaos(&self) {
+        if let Some(c) = &self.shared.chaos {
+            c.quiesce();
+        }
+    }
+
     /// Stop accepting, drain the workers, and join every thread.
     /// In-flight connections finish the frames they have buffered,
     /// then close.
     pub fn shutdown(mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
-        // Wake the acceptor out of its blocking accept.
+        // Wake the acceptor out of its blocking accept; the supervisor
+        // joins it and the workers before exiting.
         let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
+        if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
     }
 }
 
-fn accept_loop(
+/// Run the acceptor and the worker pool under a watchdog: heartbeat
+/// every component, join any that died (a panic, scripted or real), and
+/// respawn it after a capped doubling backoff. Restarts are counted per
+/// component in the metric registry; the snapshot store's rollback
+/// contract means a restarted component always finds a servable index,
+/// so supervision never has to reason about partial state.
+fn supervise(
     shared: Arc<Shared>,
-    listener: TcpListener,
-    tx: std::sync::mpsc::SyncSender<TcpStream>,
+    listener: Arc<TcpListener>,
+    tx: SyncSender<TcpStream>,
+    rx: Arc<Mutex<Receiver<TcpStream>>>,
+    worker_count: usize,
+    backoff0: Duration,
+    backoff_cap: Duration,
 ) {
-    for stream in listener.incoming() {
+    let spawn_acceptor = |shared: &Arc<Shared>, tx: SyncSender<TcpStream>| {
+        let shared = Arc::clone(shared);
+        let listener = Arc::clone(&listener);
+        std::thread::spawn(move || accept_loop(shared, listener, tx))
+    };
+    let spawn_worker = |shared: &Arc<Shared>| {
+        let reader = SwapCell::reader(&shared.cell);
+        let shared = Arc::clone(shared);
+        let rx = Arc::clone(&rx);
+        std::thread::spawn(move || worker_loop(shared, reader, rx))
+    };
+    // The supervisor — not the acceptor — owns `tx`: an acceptor panic
+    // must not drop the last sender, or every idle worker would see a
+    // disconnected queue and exit right when we want to restart one
+    // thread, not the whole pool.
+    let mut acceptor = spawn_acceptor(&shared, tx.clone());
+    let mut workers: Vec<JoinHandle<()>> =
+        (0..worker_count).map(|_| spawn_worker(&shared)).collect();
+    let mut acceptor_backoff = backoff0;
+    let mut worker_backoff = backoff0;
+    while !shared.stop.load(Ordering::SeqCst) {
+        std::thread::sleep(SUPERVISE_POLL);
+        shared.metrics.watchdog_heartbeats.inc();
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        if acceptor.is_finished() {
+            let _ = acceptor.join();
+            shared.metrics.watchdog_restarts[0].inc();
+            std::thread::sleep(acceptor_backoff);
+            acceptor_backoff = (acceptor_backoff * 2).min(backoff_cap);
+            acceptor = spawn_acceptor(&shared, tx.clone());
+        }
+        for slot in workers.iter_mut() {
+            if slot.is_finished() && !shared.stop.load(Ordering::SeqCst) {
+                shared.metrics.watchdog_restarts[1].inc();
+                std::thread::sleep(worker_backoff);
+                worker_backoff = (worker_backoff * 2).min(backoff_cap);
+                let dead = std::mem::replace(slot, spawn_worker(&shared));
+                let _ = dead.join();
+            }
+        }
+    }
+    // Shutdown: the acceptor was woken by the handle's connect; join
+    // it, then drop the last sender so idle workers drain and exit.
+    let _ = acceptor.join();
+    drop(tx);
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, tx: SyncSender<TcpStream>) {
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok((stream, _)) = listener.accept() else {
+            continue;
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if let Some(chaos) = &shared.chaos {
+            let action = chaos.on_accept();
+            if action.panic {
+                // Scripted crash: the supervisor must notice, count,
+                // and respawn this thread. The accepted connection is
+                // dropped un-acked, so clients retry it.
+                panic!("chaos: scripted acceptor crash");
+            }
+            if let Some(d) = action.delay {
+                std::thread::sleep(d);
+            }
+        }
         match tx.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
@@ -430,7 +570,6 @@ fn accept_loop(
             }
             Err(TrySendError::Disconnected(_)) => break,
         }
-        // The sender half dies with this loop; workers drain and exit.
     }
 }
 
@@ -461,7 +600,7 @@ fn worker_loop(
 /// Serve one connection until the peer closes it, a robustness policy
 /// evicts it, or shutdown drains it.
 fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStream) {
-    let mut conn = match Conn::new(stream, shared.limits) {
+    let mut conn = match Conn::new(stream, shared.limits, shared.chaos.clone()) {
         Ok(conn) => conn,
         Err(_) => {
             // A socket we cannot arm timeouts on could pin this worker
@@ -474,6 +613,20 @@ fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStrea
         match conn.next_event() {
             Ok(ConnEvent::Frames(frames)) => {
                 for payload in frames {
+                    // Chaos charges one draw per *received frame* — a
+                    // deterministic event count, unlike read polls.
+                    if let Some(chaos) = &shared.chaos {
+                        let action = chaos.on_frame();
+                        if action.panic {
+                            // Scripted crash before any response: the
+                            // query is un-acked, the client retries,
+                            // the supervisor respawns this worker.
+                            panic!("chaos: scripted worker crash");
+                        }
+                        if let Some(d) = action.stall {
+                            std::thread::sleep(d);
+                        }
+                    }
                     let response = match Request::decode(&payload) {
                         Ok(req) => handle(shared, reader, req),
                         Err(e) => {
@@ -481,7 +634,7 @@ fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStrea
                             Response::Error(format!("malformed request: {e}"))
                         }
                     };
-                    if write_frame(conn.stream(), &response.encode()).is_err() {
+                    if conn.send(&response.encode()).is_err() {
                         return;
                     }
                 }
@@ -535,25 +688,30 @@ fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Res
     resp
 }
 
-fn dispatch(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+/// The pure data-plane answer for a query request against one index:
+/// exactly what a worker would serve, minus the transport. `None` for
+/// control-plane requests. The chaos harness compares live responses
+/// against this to prove no fault ever corrupted an answer.
+pub fn answer(idx: &QueryIndex, req: &Request) -> Option<Response> {
     match req {
-        Request::Owner(a) => {
-            let idx = reader.load();
-            Response::Owner(idx.owner_of(a))
-        }
-        Request::Border(a) => {
-            let idx = reader.load();
-            Response::Border(idx.border_of(a).map(Into::into))
-        }
-        Request::Neighbor(asn) => {
-            let idx = reader.load();
-            let links = idx
-                .links_of_neighbor(asn)
+        Request::Owner(a) => Some(Response::Owner(idx.owner_of(*a))),
+        Request::Border(a) => Some(Response::Border(idx.border_of(*a).map(Into::into))),
+        Request::Neighbor(asn) => Some(Response::Neighbor(
+            idx.links_of_neighbor(*asn)
                 .iter()
                 .filter_map(|&id| idx.link_answer(id))
                 .map(Into::into)
-                .collect();
-            Response::Neighbor(links)
+                .collect(),
+        )),
+        _ => None,
+    }
+}
+
+fn dispatch(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+    match req {
+        Request::Owner(_) | Request::Border(_) | Request::Neighbor(_) => {
+            let idx = reader.load();
+            answer(&idx, &req).expect("query requests always have an answer")
         }
         Request::Stats => {
             let idx = reader.load();

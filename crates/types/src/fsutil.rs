@@ -6,22 +6,48 @@
 //! so they must never be observable half-written.
 
 use std::ffi::OsString;
-use std::io;
+use std::io::{self, Write};
 use std::path::Path;
 
-/// Write `data` to `path` atomically: the bytes land in a sibling
-/// temporary file first and are renamed into place, so a crash mid-write
-/// leaves either the old file or the new one, never a torn mix.
+/// Write `data` to `path` atomically *and durably*: the bytes land in a
+/// sibling temporary file first, are fsynced, renamed into place, and
+/// the parent directory is fsynced. A crash mid-write leaves either the
+/// old file or the new one, never a torn mix — and once this returns,
+/// a power loss cannot roll the rename back out of the directory.
 pub fn write_atomic(path: &Path, data: &[u8]) -> io::Result<()> {
     let tmp = tmp_sibling(path);
-    std::fs::write(&tmp, data)?;
-    std::fs::rename(&tmp, path)
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        // fsync the temp file *before* the rename: renaming first could
+        // publish a name whose bytes are still only in the page cache.
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path)
+}
+
+/// fsync the directory containing `path`, so the rename that just put
+/// `path` in place survives power loss. Directory fds are a Unix
+/// notion; elsewhere this is a no-op.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
 }
 
 /// The temporary sibling used by [`write_atomic`]: the same path with
 /// `.tmp` appended, which stays in the same directory (and therefore on
 /// the same filesystem, keeping the rename atomic).
-fn tmp_sibling(path: &Path) -> OsString {
+pub(crate) fn tmp_sibling(path: &Path) -> OsString {
     let mut tmp = path.as_os_str().to_os_string();
     tmp.push(".tmp");
     tmp

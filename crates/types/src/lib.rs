@@ -17,6 +17,7 @@ pub mod prefix;
 pub mod rir;
 pub mod swap;
 pub mod trie;
+pub mod vfs;
 pub mod wire;
 
 pub use asn::{Asn, OrgId, Relationship};
@@ -26,6 +27,7 @@ pub use prefix::Prefix;
 pub use rir::RirRecord;
 pub use swap::{SwapCell, SwapReader};
 pub use trie::{PrefixSet, PrefixTrie};
+pub use vfs::{ChaosFsConfig, ChaosVfs, FaultKind, FsFaultBudget, Vfs, VfsBackend};
 
 /// Convenience alias: the workspace is IPv4-only, like the paper's study.
 pub type Addr = std::net::Ipv4Addr;
