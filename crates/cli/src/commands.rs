@@ -197,12 +197,19 @@ pub fn run(args: &Args) -> Result<(), ArgError> {
             "published generation {generation} into {dir} (serve it with `bdrmap serve --snap-dir {dir}`)"
         );
     }
+    write_metrics_out(args)?;
+    Ok(())
+}
+
+/// Write the global metric exposition to `--metrics-out`, when given.
+///
+/// Everything recorded during the invocation — probe engine, alias
+/// resolution, pipeline stages, heuristics attribution — lands in one
+/// Prometheus-style exposition. Count-valued families are pure
+/// functions of (preset, seed, fault flags); only `_us` wall-clock
+/// families vary between identically-seeded runs.
+fn write_metrics_out(args: &Args) -> Result<(), ArgError> {
     if let Some(out) = args.get("metrics-out") {
-        // Everything recorded during this run — probe engine, alias
-        // resolution, pipeline stages, heuristics attribution — in one
-        // Prometheus-style exposition. Count-valued families are pure
-        // functions of (preset, seed, fault flags); only `_us`
-        // wall-clock families vary between identically-seeded runs.
         bdrmap_types::fsutil::write_atomic(
             std::path::Path::new(out),
             bdrmap_obs::global().render().as_bytes(),
@@ -221,7 +228,18 @@ pub fn merge(args: &Args) -> Result<(), ArgError> {
     let nvps = nvps.min(sc.num_vps());
     let bcfg = bdrmap_config(args)?;
     let maps: Vec<_> = (0..nvps).map(|i| sc.run_vp(i, &bcfg)).collect();
+    // Each per-VP run above reports its stage timings through
+    // `run_stages`; the cross-VP union is the one stage that happens
+    // nowhere else, so it gets accounted here.
+    let t = std::time::Instant::now();
     let merged = merge_maps(&maps);
+    bdrmap_core::pipeline::record_extra_stage("merge", t.elapsed().as_secs_f64() * 1e3);
+    let reg = bdrmap_obs::global();
+    reg.gauge("bdrmap_merge_vps", &[]).set(merged.vps as u64);
+    reg.gauge("bdrmap_merge_routers", &[])
+        .set(merged.routers.len() as u64);
+    reg.gauge("bdrmap_merge_links", &[])
+        .set(merged.links.len() as u64);
     println!(
         "merged {} VPs: {} routers, {} links, {} neighbors",
         merged.vps,
@@ -241,6 +259,7 @@ pub fn merge(args: &Args) -> Result<(), ArgError> {
         ]);
     }
     println!("\n{}", t.render());
+    write_metrics_out(args)?;
     Ok(())
 }
 
@@ -537,7 +556,12 @@ pub fn fleet(args: &Args) -> Result<(), ArgError> {
     let mut cfg = preset(args)?;
     cfg.extra_vp_hosts = args.get_parse("hosts", 5)?;
     let sc = Scenario::build(args.get("preset").unwrap_or("tiny"), &cfg);
+    // Every hosted VP runs through `run_bdrmap` → `run_stages`, so the
+    // per-stage histograms accumulate across the whole fleet; the
+    // cross-host sweep itself is timed as its own stage.
+    let t = std::time::Instant::now();
     let results = bdrmap_eval::fleet::run_fleet(&sc, &bdrmap_config(args)?);
+    bdrmap_core::pipeline::record_extra_stage("fleet", t.elapsed().as_secs_f64() * 1e3);
     let mut t = TextTable::new(&["host", "kind", "links", "accuracy", "coverage"]);
     for r in &results {
         t.row(vec![
@@ -559,6 +583,7 @@ pub fn fleet(args: &Args) -> Result<(), ArgError> {
         results.len(),
         avg * 100.0
     );
+    write_metrics_out(args)?;
     Ok(())
 }
 
@@ -1172,6 +1197,216 @@ pub fn bench_pipeline(args: &Args) -> Result<(), ArgError> {
         st.cache.hit_rate() * 100.0,
     );
     println!("wrote {out}");
+    Ok(())
+}
+
+/// `bdrmap watch`: the incremental-inference driver.
+///
+/// Streams the VP's target blocks through a live
+/// [`bdrmap_core::IncrementalEngine`] in `--batches` chunks. Every pass
+/// re-infers only the dirty region of the router graph and replays
+/// untouched alias tests from the cache, then (unless `--no-shadow`) is
+/// byte-checked against a from-scratch `run_stages` rebuild over the
+/// same cumulative traces — divergence is a hard error, not a warning.
+/// With `--snap-dir` each pass publishes a generation into the
+/// crash-safe store; `--serve` additionally boots bdrmapd from that
+/// store after the first pass and hot-swaps it after every later one
+/// via the Reload RPC, asserting the served generation advanced.
+/// Per-pass rows land in `--json` (default BENCH_incremental.json).
+pub fn watch(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_core::{snapshot, Batch, IncrementalEngine, SnapStore};
+
+    let out = args.get("json").unwrap_or("BENCH_incremental.json");
+    let preset_name = args.get("preset").unwrap_or("tiny");
+    let cfg = preset(args)?;
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let bcfg = bdrmap_config(args)?;
+    let batches: usize = args.get_parse("batches", 4)?;
+    if batches == 0 {
+        return Err(ArgError("--batches must be at least 1".into()));
+    }
+    let no_shadow = args.flag("no-shadow");
+    if args.flag("serve") && args.get("snap-dir").is_none() {
+        return Err(ArgError(
+            "--serve requires --snap-dir (bdrmapd boots from the store)".into(),
+        ));
+    }
+
+    let sc = Scenario::build(preset_name, &cfg);
+    let vp = vp_index(args, &sc)?;
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    if targets.is_empty() {
+        return Err(ArgError("no target blocks to watch".into()));
+    }
+    let chunk = targets.len().div_ceil(batches);
+    let ip2as_probe = sc.input.ip2as_for_probing();
+
+    // One live prober feeds every pass. The engine's virtual tick must
+    // match its pacing so replayed alias tasks charge the same budget a
+    // fresh engine would.
+    let prober = sc.engine(vp);
+    let pps = bdrmap_probe::EngineConfig::default().pps;
+    let mut engine = IncrementalEngine::new(bcfg, 1_000_000 / pps as u64);
+
+    let store = match args.get("snap-dir") {
+        Some(dir) => Some((
+            dir,
+            SnapStore::open(dir)
+                .map_err(|e| ArgError(format!("opening snapshot store {dir}: {e}")))?,
+        )),
+        None => None,
+    };
+    let mut server: Option<Server> = None;
+    let mut rows = Vec::new();
+
+    for chunk_targets in targets.chunks(chunk) {
+        let coll = bdrmap_probe::run_traces(
+            &prober,
+            chunk_targets,
+            bdrmap_probe::RunOptions {
+                parallelism: bcfg.parallelism,
+                addrs_per_block: bcfg.addrs_per_block,
+                use_stop_sets: bcfg.use_stop_sets,
+                quarantine: None,
+            },
+            |a| ip2as_probe.is_external(a),
+        );
+        let (map, report) = engine.apply(&prober, &sc.input, Batch::upserts(coll.traces));
+        let bytes = snapshot::encode(&map);
+
+        let (full_ms, identical) = if no_shadow {
+            (None, None)
+        } else {
+            let t = std::time::Instant::now();
+            let shadow = bdrmap_core::run_stages(
+                &sc.engine(vp),
+                &sc.input,
+                &bcfg,
+                engine.shadow_collection(),
+            );
+            let full_ms = t.elapsed().as_secs_f64() * 1e3;
+            let shadow_bytes = snapshot::encode(&shadow.map);
+            if shadow_bytes != bytes {
+                return Err(ArgError(format!(
+                    "pass {}: incremental map diverged from the from-scratch rebuild \
+                     ({} vs {} bytes) — determinism bug",
+                    report.pass,
+                    bytes.len(),
+                    shadow_bytes.len()
+                )));
+            }
+            (Some(full_ms), Some(true))
+        };
+
+        let generation = match &store {
+            Some((dir, st)) => Some(
+                st.publish(&map)
+                    .map_err(|e| ArgError(format!("publishing into {dir}: {e}")))?,
+            ),
+            None => None,
+        };
+
+        if let (Some(generation), Some((dir, _))) = (generation, &store) {
+            if args.flag("serve") {
+                match &server {
+                    None => {
+                        let listen = args.get("listen").unwrap_or("127.0.0.1:0").to_string();
+                        let s = Server::start_from_store(dir, serve_config(args, listen)?)
+                            .map_err(|e| {
+                                ArgError(format!("starting bdrmapd from store {dir}: {e}"))
+                            })?;
+                        println!(
+                            "bdrmapd serving store {dir} generation {} on {}",
+                            s.store_generation(),
+                            s.local_addr()
+                        );
+                        server = Some(s);
+                    }
+                    Some(s) => {
+                        let resp =
+                            call_retry(&s.local_addr(), &Request::Reload(String::new()), 60)?;
+                        if !matches!(resp, Response::Reloaded { .. }) {
+                            return Err(ArgError(format!(
+                                "pass {}: reload rejected: {resp:?}",
+                                report.pass
+                            )));
+                        }
+                        if s.store_generation() != generation {
+                            return Err(ArgError(format!(
+                                "pass {}: bdrmapd serves generation {} after reload, \
+                                 store has {generation}",
+                                report.pass,
+                                s.store_generation()
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        println!(
+            "pass {}: +{} traces ({} held), {} routers, {} re-inferred / {} reused, \
+             alias {} hits / {} misses, {:.1} ms{}{}",
+            report.pass,
+            report.added,
+            report.traces,
+            report.routers,
+            report.reinferred,
+            report.reused,
+            report.alias_cache_hits,
+            report.alias_cache_misses,
+            report.pass_ms,
+            match full_ms {
+                Some(f) => format!(" (full rebuild {f:.1} ms, identical)"),
+                None => String::new(),
+            },
+            match generation {
+                Some(g) => format!(" [generation {g}]"),
+                None => String::new(),
+            },
+        );
+
+        rows.push(format!(
+            "    {{\"pass\": {}, \"traces\": {}, \"added\": {}, \"replaced\": {}, \
+             \"retracted\": {}, \"routers\": {}, \"dirty\": {}, \"reinferred\": {}, \
+             \"reused\": {}, \"alias_cache_hits\": {}, \"alias_cache_misses\": {}, \
+             \"alias_packets\": {}, \"pass_ms\": {:.3}, \"full_ms\": {}, \
+             \"identical\": {}, \"generation\": {}}}",
+            report.pass,
+            report.traces,
+            report.added,
+            report.replaced,
+            report.retracted,
+            report.routers,
+            report.dirty,
+            report.reinferred,
+            report.reused,
+            report.alias_cache_hits,
+            report.alias_cache_misses,
+            report.alias_packets,
+            report.pass_ms,
+            full_ms.map_or("null".into(), |f: f64| format!("{f:.3}")),
+            identical.map_or("null".into(), |b: bool| b.to_string()),
+            generation.map_or("null".into(), |g| g.to_string()),
+        ));
+    }
+
+    if let Some(s) = server.take() {
+        println!("shutting down bdrmapd on {}", s.local_addr());
+        s.shutdown();
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"incremental\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"alias_parallelism\": {par},\n  \"batches\": {nbatches},\n  \"shadow_checked\": {shadow},\n  \"passes\": [\n{rows}\n  ]\n}}\n",
+        par = bcfg.alias_parallelism,
+        nbatches = rows.len(),
+        shadow = !no_shadow,
+        rows = rows.join(",\n"),
+    );
+    bdrmap_types::fsutil::write_atomic(std::path::Path::new(out), json.as_bytes())
+        .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+    println!("wrote {out}");
+    write_metrics_out(args)?;
     Ok(())
 }
 

@@ -50,6 +50,7 @@ const VALUE_KEYS: &[&str] = &[
     "metrics-out",
     "rounds",
     "dir",
+    "batches",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -61,6 +62,8 @@ const FLAGS: &[&str] = &[
     "health",
     "reload-store",
     "metrics",
+    "serve",
+    "no-shadow",
     "help",
 ];
 
@@ -90,6 +93,9 @@ COMMANDS:
     fuzz        seeded hostile-input fuzzing of the snapshot + wire codecs
     chaos       end-to-end seeded fault injection: probe, publish, and serve
                 under filesystem + socket chaos, asserting system invariants
+    watch       stream trace batches through the incremental engine: each
+                pass re-infers only the dirty region, shadow-checks against
+                a from-scratch rebuild, and can publish + hot-swap bdrmapd
     bench-pipeline  time every pipeline stage, write BENCH_pipeline.json
 
 OPTIONS:
@@ -139,8 +145,19 @@ SERVING (serve / query / loadgen):
     --stall-conns <n>    `loadgen`: extra slow-loris connections (default 0)
     --json <path>        loadgen/bench-pipeline: report path (bench-pipeline
                          default: BENCH_pipeline.json)
-    --metrics-out <path> `run`: write the pipeline/probe metric exposition
-                         to this file after the run
+    --metrics-out <path> run/merge/fleet/watch: write the pipeline/probe
+                         metric exposition to this file after the run
+
+WATCH (watch):
+    --batches <n>        split the target blocks into n probe batches (default 4)
+    --no-shadow          skip the per-pass byte-check against a from-scratch
+                         rebuild (the check is the correctness contract;
+                         only skip it when timing incremental passes alone)
+    --snap-dir <dir>     publish each pass as a new store generation
+    --serve              with --snap-dir: boot bdrmapd from the store and
+                         hot-swap it after every pass (--listen, default
+                         127.0.0.1:0)
+    --json <path>        per-pass report (default BENCH_incremental.json)
 
 FUZZING (fuzz):
     --iters <n>          seeded mutations to run (default 10000)
@@ -192,6 +209,7 @@ fn main() {
         "loadgen" => commands::loadgen(&args),
         "fuzz" => commands::fuzz(&args),
         "chaos" => commands::chaos(&args),
+        "watch" => commands::watch(&args),
         "bench-pipeline" => commands::bench_pipeline(&args),
         other => {
             eprintln!("error: unknown command: {other}\n\n{}", usage());

@@ -12,12 +12,15 @@
 //! Ally/MBT IPID time-series tests run last over only the pairs the
 //! cheap stages left unresolved. Each stage fans its tests across
 //! scoped worker threads as independent tasks (see
-//! [`Prober::ally_task`]); tasks are numbered canonically and their
-//! results applied in task order, so the output is byte-identical to
-//! the serial run at any parallelism.
+//! [`Prober::ally_task`]); task ids are content-keyed hashes (a pure
+//! function of the test kind and addresses, see [`task_id`]) and their
+//! results applied in job order, so the output is byte-identical to
+//! the serial run at any parallelism — and a pair re-tested in a later
+//! run (the incremental engine's case) replays the exact same virtual
+//! timeline and yields the exact same verdict and packet count.
 
 use crate::input::{IpMapper, Mapping};
-use bdrmap_probe::{AliasVerdict, Prober, ProberShard, ShardBudget, Trace};
+use bdrmap_probe::{AliasVerdict, Prober, ProberShard, ShardBudget, Trace, TASK_BUCKETS};
 use bdrmap_types::wire::WireWriter;
 use bdrmap_types::{addr_bits, Addr};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
@@ -73,6 +76,37 @@ pub struct AliasStats {
     pub packets: u64,
     /// Per-worker traffic partition.
     pub shards: Vec<ShardBudget>,
+    /// Traffic partitioned by stable task-id hash bucket
+    /// ([`ShardBudget::shard`] is the bucket, 0..16). Unlike `shards`,
+    /// this partition is byte-identical at any parallelism.
+    pub hash_shards: Vec<ShardBudget>,
+}
+
+/// The stable, content-keyed task id for an alias test: a splitmix64
+/// hash of the test kind and the addresses. Ids do not depend on how
+/// many other tasks a run happens to schedule, so the same test in any
+/// later run replays the same virtual probe timeline (the byte-
+/// determinism the incremental engine's scoped re-testing relies on).
+pub fn task_id(kind: TaskKind, a: Addr, b: Addr) -> u64 {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+    let ab = ((u32::from(a) as u64) << 32) | u32::from(b) as u64;
+    mix(mix(kind as u64) ^ ab)
+}
+
+/// The alias-test kinds [`task_id`] distinguishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Mercator source-address probe (single address; pass it twice).
+    Mercator = 1,
+    /// Prefixscan subnet-mate test of a directed (prev, cur) segment.
+    Prefixscan = 2,
+    /// Ally/MBT IPID time-series test of a canonical pair.
+    Ally = 3,
 }
 
 /// Confirmed alias pairs and vetoes.
@@ -143,39 +177,44 @@ fn absorb_shard(shards: &mut Vec<ShardBudget>, b: ShardBudget) {
 
 /// Run one stage's tasks sharded across scoped workers.
 ///
-/// Task `i` gets the canonical id `task_base + i` and lands on worker
-/// `i % workers`; each worker drives its own [`ProberShard`] and
-/// collects `(index, result)` pairs, which are merged back in index
-/// order. Because every task is self-contained (its responses depend
-/// only on its id and addresses, not on scheduling — see
+/// Each job carries its content-keyed task id (see [`task_id`]); job
+/// `i` lands on worker `i % workers`, each worker drives its own
+/// [`ProberShard`], and `(index, result)` pairs are merged back in
+/// index order. Because every task is self-contained (its responses
+/// depend only on its id and addresses, not on scheduling — see
 /// [`Prober::ally_task`]), the merged result vector is identical at
 /// any worker count, including the inline `workers == 1` path.
 fn run_tasks<P, J, R>(
     prober: &P,
     parallelism: usize,
-    task_base: u64,
-    jobs: &[J],
+    jobs: &[(u64, J)],
     run: impl Fn(&mut ProberShard<'_, P>, u64, &J) -> R + Sync,
     shards: &mut Vec<ShardBudget>,
+    hash_shards: &mut Vec<ShardBudget>,
 ) -> Vec<R>
 where
     P: Prober + ?Sized,
     J: Sync,
     R: Send,
 {
+    let absorb_buckets = |shards: &mut Vec<ShardBudget>, b: [ShardBudget; TASK_BUCKETS]| {
+        for bucket in b {
+            absorb_shard(shards, bucket);
+        }
+    };
     let workers = parallelism.max(1).min(jobs.len().max(1));
     if workers <= 1 {
         let mut shard = ProberShard::new(prober, 0);
         let out = jobs
             .iter()
-            .enumerate()
-            .map(|(i, j)| run(&mut shard, task_base + i as u64, j))
+            .map(|&(t, ref j)| run(&mut shard, t, j))
             .collect();
         absorb_shard(shards, shard.budget());
+        absorb_buckets(hash_shards, shard.bucket_budgets());
         return out;
     }
     let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(jobs.len()));
-    let budgets: Mutex<Vec<ShardBudget>> = Mutex::new(Vec::new());
+    let budgets: Mutex<Vec<(ShardBudget, [ShardBudget; TASK_BUCKETS])>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for w in 0..workers {
             let results = &results;
@@ -186,16 +225,21 @@ where
                 let mut local: Vec<(usize, R)> = Vec::new();
                 let mut i = w;
                 while i < jobs.len() {
-                    local.push((i, run(&mut shard, task_base + i as u64, &jobs[i])));
+                    let (t, ref j) = jobs[i];
+                    local.push((i, run(&mut shard, t, j)));
                     i += workers;
                 }
                 results.lock().unwrap().extend(local);
-                budgets.lock().unwrap().push(shard.budget());
+                budgets
+                    .lock()
+                    .unwrap()
+                    .push((shard.budget(), shard.bucket_budgets()));
             });
         }
     });
-    for b in budgets.into_inner().unwrap() {
+    for (b, buckets) in budgets.into_inner().unwrap() {
         absorb_shard(shards, b);
+        absorb_buckets(hash_shards, buckets);
     }
     let mut collected = results.into_inner().unwrap();
     collected.sort_unstable_by_key(|&(i, _)| i);
@@ -212,8 +256,8 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     let mut data = AliasData::default();
     let mut stats = AliasStats::default();
     let mut shards: Vec<ShardBudget> = Vec::new();
+    let mut hash_shards: Vec<ShardBudget> = Vec::new();
     let par = cfg.parallelism.max(1);
-    let mut task_base: u64 = 0;
 
     // --- Candidate generation (sequential, canonical order). ----------
     // Mercator: every distinct time-exceeded address.
@@ -221,7 +265,10 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     for tr in traces {
         te_addrs.extend(tr.te_addrs());
     }
-    let merc_jobs: Vec<Addr> = te_addrs.into_iter().collect();
+    let merc_jobs: Vec<(u64, Addr)> = te_addrs
+        .into_iter()
+        .map(|a| (task_id(TaskKind::Mercator, a, a), a))
+        .collect();
 
     // Prefixscan: each (prev, cur) adjacency where cur might be a
     // far-side interface. The same pair discovered from multiple traces
@@ -237,13 +284,13 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     }
     let mut seen: HashSet<(Addr, Addr)> = HashSet::new();
     stats.prefixscan_candidates = segments.len() as u64;
-    let mut pf_jobs: Vec<(Addr, Addr)> = Vec::new();
+    let mut pf_jobs: Vec<(u64, (Addr, Addr))> = Vec::new();
     for &(prev, cur) in &segments {
         if cfg.staged && !seen.insert(AliasData::key(prev, cur)) {
             stats.prefixscan_deduped += 1;
             continue;
         }
-        pf_jobs.push((prev, cur));
+        pf_jobs.push((task_id(TaskKind::Prefixscan, prev, cur), (prev, cur)));
     }
 
     // --- Stage 1: Mercator (cheapest — one probe per address). --------
@@ -251,14 +298,13 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     let merc_results = run_tasks(
         prober,
         par,
-        task_base,
         &merc_jobs,
         |sh, t, &a| sh.mercator(t, a),
         &mut shards,
+        &mut hash_shards,
     );
-    task_base += merc_jobs.len() as u64;
     let mut by_src: BTreeMap<Addr, Vec<Addr>> = BTreeMap::new();
-    for (&a, m) in merc_jobs.iter().zip(&merc_results) {
+    for (&(_, a), m) in merc_jobs.iter().zip(&merc_results) {
         let Some(m) = m else { continue };
         if m.responded_from != a {
             data.aliases.push((a, m.responded_from));
@@ -284,13 +330,12 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     let pf_results = run_tasks(
         prober,
         par,
-        task_base,
         &pf_jobs,
         |sh, t, &(prev, cur)| sh.prefixscan(t, prev, cur),
         &mut shards,
+        &mut hash_shards,
     );
-    task_base += pf_jobs.len() as u64;
-    for (&(prev, cur), mate) in pf_jobs.iter().zip(&pf_results) {
+    for (&(_, (prev, cur)), mate) in pf_jobs.iter().zip(&pf_results) {
         data.pairs_tested += 1;
         if let Some(mate) = *mate {
             data.ptp_confirmed.push((prev, cur));
@@ -325,7 +370,7 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
             .extend(set.iter().copied());
     }
     let mut tested: HashSet<(Addr, Addr)> = HashSet::new();
-    let mut ally_jobs: Vec<(Addr, Addr)> = Vec::new();
+    let mut ally_jobs: Vec<(u64, (Addr, Addr))> = Vec::new();
     for set in by_pred.values() {
         // Only same-mapping candidates: two successors in different
         // networks are not plausibly one router.
@@ -360,7 +405,7 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
                 }
                 tested.insert(key);
                 budget -= 1;
-                ally_jobs.push((a, b));
+                ally_jobs.push((task_id(TaskKind::Ally, a, b), (a, b)));
             }
         }
     }
@@ -368,12 +413,12 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
     let ally_results = run_tasks(
         prober,
         par,
-        task_base,
         &ally_jobs,
         |sh, t, &(a, b)| sh.ally(t, a, b),
         &mut shards,
+        &mut hash_shards,
     );
-    for (&(a, b), v) in ally_jobs.iter().zip(&ally_results) {
+    for (&(_, (a, b)), v) in ally_jobs.iter().zip(&ally_results) {
         data.pairs_tested += 1;
         match v {
             AliasVerdict::Aliases => data.aliases.push((a, b)),
@@ -386,6 +431,7 @@ pub fn resolve<P: Prober + ?Sized, M: IpMapper>(
 
     stats.packets = shards.iter().map(|s| s.packets).sum();
     stats.shards = shards;
+    stats.hash_shards = hash_shards;
     data.stats = stats;
     data
 }

@@ -98,6 +98,21 @@ fn bgp_neighbor(input: &Input, n: Asn) -> bool {
     input.vp_asns.iter().any(|&v| input.view.has_link(v, n))
 }
 
+/// The per-router outcome of the §5.4.1–§5.4.6 walk, captured *before*
+/// the §5.4.7 collapse rewrites tags. Seeding a later [`infer_seeded`]
+/// call with a router's decision reproduces exactly the state the walk
+/// would have computed, so the downstream passes (collapse, link
+/// extraction, silent neighbors) — which always re-run in full — see
+/// identical inputs. `owner: None` is a real decision (no heuristic
+/// fired), distinct from "not yet inferred".
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OwnerDecision {
+    /// Inferred operator, if any heuristic fired.
+    pub owner: Option<Asn>,
+    /// The heuristic that fired.
+    pub tag: Option<Heuristic>,
+}
+
 /// Run the full inference and emit the border map.
 pub fn infer<M: IpMapper>(
     graph: &ObservedGraph,
@@ -105,17 +120,43 @@ pub fn infer<M: IpMapper>(
     ip2as: &M,
     collection: TraceCollection,
 ) -> BorderMap {
+    infer_seeded(graph, input, ip2as, collection, &[]).0
+}
+
+/// [`infer`] with per-router seeds: a router with `Some(decision)` skips
+/// the ownership walk and adopts the decision verbatim. Returns the map
+/// plus every router's decision (seeded or freshly computed) for the
+/// next pass. `seeds` may be shorter than the router count; missing
+/// entries mean "compute".
+pub fn infer_seeded<M: IpMapper>(
+    graph: &ObservedGraph,
+    input: &Input,
+    ip2as: &M,
+    collection: TraceCollection,
+    seeds: &[Option<OwnerDecision>],
+) -> (BorderMap, Vec<OwnerDecision>) {
     let n = graph.routers.len();
     let mut st = OwnerState {
         owner: vec![None; n],
         tag: vec![None; n],
     };
+    let mut done = vec![false; n];
+    for (r, seed) in seeds.iter().take(n).enumerate() {
+        if let Some(d) = seed {
+            st.owner[r] = d.owner;
+            st.tag[r] = d.tag;
+            done[r] = true;
+        }
+    }
     let order = graph.hop_order();
     let vp_asn = ip2as.vp_asn();
 
     // ---------------------------------------------------------- §5.4.1
     // First pass: routers of the hosting network.
     for &r in &order {
+        if done[r] {
+            continue;
+        }
         let rr = &graph.routers[r];
         if classify(ip2as, &rr.addrs) != RClass::AllVp {
             continue;
@@ -194,7 +235,7 @@ pub fn infer<M: IpMapper>(
 
     // ------------------------------------------------- §5.4.2 – §5.4.6
     for &r in &order {
-        if st.owner[r].is_some() {
+        if done[r] || st.owner[r].is_some() {
             continue;
         }
         let rr = &graph.routers[r];
@@ -215,6 +256,16 @@ pub fn infer<M: IpMapper>(
             }
         }
     }
+
+    // Capture decisions before §5.4.7 rewrites tags: seeding from the
+    // pre-collapse state and re-running the collapse reproduces the
+    // post-collapse state exactly.
+    let decisions: Vec<OwnerDecision> = (0..n)
+        .map(|r| OwnerDecision {
+            owner: st.owner[r],
+            tag: st.tag[r],
+        })
+        .collect();
 
     // ---------------------------------------------------------- §5.4.7
     // Collapse single-interface near-side routers that all front the
@@ -388,12 +439,13 @@ pub fn infer<M: IpMapper>(
         }
     }
 
-    BorderMap {
+    let map = BorderMap {
         routers: router_out,
         links,
         packets: collection.budget.packets,
         elapsed_ms: collection.budget.elapsed_ms,
-    }
+    };
+    (map, decisions)
 }
 
 /// §5.4.2 and §5.4.4(4.2)–§5.4.6: a far-side candidate numbered from the

@@ -1,0 +1,577 @@
+//! Incremental inference: stream trace batches into a live router
+//! graph and re-run the §5.4 walk over only the dirty region.
+//!
+//! The one-shot pipeline ([`crate::pipeline::run_stages`]) rebuilds
+//! everything from scratch per run. [`IncrementalEngine`] instead keeps
+//! the cumulative trace set (keyed by destination), and per batch:
+//!
+//! 1. replays alias resolution through a [`CachingProber`] — task ids
+//!    are content-keyed ([`crate::aliases::task_id`]), so a pair tested
+//!    in an earlier pass replays its cached verdict and packet count
+//!    byte-for-byte, and only genuinely new pairs touch the network;
+//! 2. rebuilds the router graph (cheap, pure CPU) and diffs each
+//!    router's canonical record against the previous pass;
+//! 3. expands the dirty set to its closure (everything whose §5.4
+//!    decision could observe a change) and re-runs the ownership walk
+//!    over only that region, seeding every clean router with its
+//!    previous decision ([`crate::heuristics::infer_seeded`]).
+//!
+//! The correctness contract is absolute: after any batch sequence the
+//! emitted map is byte-identical to a from-scratch [`run_stages`] over
+//! the same cumulative traces (see `shadow_collection` and the
+//! property tests). Two properties carry the argument:
+//!
+//! * **Probe determinism.** Alias verdicts and packet counts are pure
+//!   functions of (topology, task id, addresses); ids are pure
+//!   functions of the test content. A fresh engine only ever charges
+//!   `packets += n; clock += n·tick` per task, so the cumulative
+//!   budget a shadow rebuild reports is `Σ packets` and
+//!   `Σ packets · tick / 1000` — exactly what [`CachingProber`]
+//!   synthesises from cached counts.
+//! * **Walk locality.** A router's §5.4.1–§5.4.6 decision reads its own
+//!   record, its neighbours' records, the paths through it, and the
+//!   IP-to-AS mappings of those addresses — never another router's
+//!   decision. Dirtying every router whose inputs changed, plus one
+//!   adjacency step, therefore covers every decision that could
+//!   differ; the global post-passes (§5.4.7 collapse, link extraction,
+//!   §5.4.8 silent neighbours) are cheap and re-run in full.
+
+use crate::aliases::{self, AliasConfig, AliasData};
+use crate::graph::ObservedGraph;
+use crate::heuristics::{self, OwnerDecision};
+use crate::input::{Input, Ip2AsCache, IpMapper, Mapping};
+use crate::output::BorderMap;
+use crate::BdrmapConfig;
+use bdrmap_probe::{
+    AliasVerdict, MercatorResult, ProbeBudget, Prober, StopSet, Trace, TraceCollection,
+};
+use bdrmap_types::{Addr, Asn};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One batch of trace-set edits.
+#[derive(Clone, Debug, Default)]
+pub struct Batch {
+    /// Traces to add, or to replace if a trace to the same destination
+    /// is already held.
+    pub upserts: Vec<Trace>,
+    /// Destinations whose traces are withdrawn.
+    pub retractions: Vec<Addr>,
+}
+
+impl Batch {
+    /// A batch that only adds/replaces traces.
+    pub fn upserts(traces: Vec<Trace>) -> Batch {
+        Batch {
+            upserts: traces,
+            retractions: Vec::new(),
+        }
+    }
+}
+
+/// What one [`IncrementalEngine::apply`] pass did.
+#[derive(Clone, Debug, Default)]
+pub struct PassReport {
+    /// 1-based pass number.
+    pub pass: u64,
+    /// Cumulative traces after the batch.
+    pub traces: usize,
+    /// Batch edits that introduced a new destination.
+    pub added: usize,
+    /// Batch edits that replaced an existing destination's trace.
+    pub replaced: usize,
+    /// Destinations withdrawn.
+    pub retracted: usize,
+    /// Routers in the rebuilt graph.
+    pub routers: usize,
+    /// Routers whose direct inputs changed.
+    pub dirty: usize,
+    /// Dirty set after closure expansion — the re-inferred region.
+    pub reinferred: usize,
+    /// Routers that reused their previous decision.
+    pub reused: usize,
+    /// True when no previous pass existed (everything inferred).
+    pub full_walk: bool,
+    /// Alias tasks answered from the cache.
+    pub alias_cache_hits: u64,
+    /// Alias tasks that probed the network.
+    pub alias_cache_misses: u64,
+    /// Alias packets the cumulative budget accounts for this pass.
+    pub alias_packets: u64,
+    /// Addresses whose IP-to-AS mapping changed since the last pass.
+    pub remapped_addrs: usize,
+    /// Wall-clock for the whole pass, ms.
+    pub pass_ms: f64,
+}
+
+/// Cache key for one alias task: kind, content-keyed id, addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum TaskKey {
+    Mercator(u64, Addr),
+    Prefixscan(u64, Addr, Addr),
+    Ally(u64, Addr, Addr),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TaskResult {
+    Mercator(Option<MercatorResult>),
+    Prefixscan(Option<Addr>),
+    Ally(AliasVerdict),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CachedTask {
+    result: TaskResult,
+    packets: u64,
+}
+
+/// A [`Prober`] that memoizes alias tasks and synthesises the budget a
+/// fresh engine running exactly these tasks would report.
+///
+/// On a hit the cached verdict and packet count are replayed without
+/// touching the inner prober; on a miss the inner prober runs the task
+/// (its result is a pure function of the task id and addresses, so
+/// caching is sound) and the outcome is stored. [`Prober::budget`]
+/// returns `packets = Σ charged` and `elapsed_ms = Σ charged · tick_us
+/// / 1000` — the exact totals a fresh [`bdrmap_probe::ProbeEngine`]
+/// accumulates when it runs only alias tasks, which is what a
+/// from-scratch `run_stages` rebuild observes at budget-capture time.
+pub struct CachingProber<'a, P: Prober + ?Sized> {
+    inner: &'a P,
+    cache: Mutex<HashMap<TaskKey, CachedTask>>,
+    tick_us: u64,
+    charged: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<'a, P: Prober + ?Sized> CachingProber<'a, P> {
+    /// Wrap `inner`, paced at `tick_us` microseconds per packet (use
+    /// `1_000_000 / pps` of the engine the shadow rebuild will use).
+    pub fn new(inner: &'a P, tick_us: u64) -> Self {
+        CachingProber {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            tick_us,
+            charged: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// (cache hits, cache misses) so far.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Reset the per-pass charge and hit/miss counters, keeping the
+    /// cached task results.
+    fn begin_pass(&self) {
+        self.charged.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn lookup(&self, key: &TaskKey) -> Option<CachedTask> {
+        let hit = self.cache.lock().unwrap().get(key).copied();
+        if let Some(c) = hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.charged.fetch_add(c.packets, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn store(&self, key: TaskKey, result: TaskResult, packets: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.charged.fetch_add(packets, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .unwrap()
+            .insert(key, CachedTask { result, packets });
+    }
+}
+
+impl<P: Prober + ?Sized> Prober for CachingProber<'_, P> {
+    fn trace(&self, dst: Addr, target_as: Asn, stop: &StopSet) -> Trace {
+        self.inner.trace(dst, target_as, stop)
+    }
+
+    // The sequential primitives are uncached passthroughs; the staged
+    // alias engine only ever calls the task forms below.
+    fn ally(&self, a: Addr, b: Addr) -> AliasVerdict {
+        self.inner.ally(a, b)
+    }
+
+    fn mercator(&self, a: Addr) -> Option<MercatorResult> {
+        self.inner.mercator(a)
+    }
+
+    fn prefixscan(&self, prev_hop: Addr, addr: Addr) -> Option<Addr> {
+        self.inner.prefixscan(prev_hop, addr)
+    }
+
+    fn budget(&self) -> ProbeBudget {
+        let packets = self.charged.load(Ordering::Relaxed);
+        ProbeBudget {
+            packets,
+            elapsed_ms: packets * self.tick_us / 1000,
+        }
+    }
+
+    fn ally_task(&self, task: u64, a: Addr, b: Addr) -> (AliasVerdict, u64) {
+        let key = TaskKey::Ally(task, a, b);
+        if let Some(c) = self.lookup(&key) {
+            if let TaskResult::Ally(v) = c.result {
+                return (v, c.packets);
+            }
+        }
+        let (v, packets) = self.inner.ally_task(task, a, b);
+        self.store(key, TaskResult::Ally(v), packets);
+        (v, packets)
+    }
+
+    fn mercator_task(&self, task: u64, a: Addr) -> (Option<MercatorResult>, u64) {
+        let key = TaskKey::Mercator(task, a);
+        if let Some(c) = self.lookup(&key) {
+            if let TaskResult::Mercator(m) = c.result {
+                return (m, c.packets);
+            }
+        }
+        let (m, packets) = self.inner.mercator_task(task, a);
+        self.store(key, TaskResult::Mercator(m), packets);
+        (m, packets)
+    }
+
+    fn prefixscan_task(&self, task: u64, prev_hop: Addr, addr: Addr) -> (Option<Addr>, u64) {
+        let key = TaskKey::Prefixscan(task, prev_hop, addr);
+        if let Some(c) = self.lookup(&key) {
+            if let TaskResult::Prefixscan(m) = c.result {
+                return (m, c.packets);
+            }
+        }
+        let (m, packets) = self.inner.prefixscan_task(task, prev_hop, addr);
+        self.store(key, TaskResult::Prefixscan(m), packets);
+        (m, packets)
+    }
+}
+
+/// Everything a router's §5.4.1–§5.4.6 decision reads from its own
+/// graph node, in index-free form (neighbours as canonical keys). Two
+/// passes where a router's record, its neighbours' records, the paths
+/// through it, and the relevant IP-to-AS mappings are all unchanged
+/// compute the same decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RouterRecord {
+    addrs: BTreeSet<Addr>,
+    min_hop: u8,
+    dests: BTreeSet<Asn>,
+    final_dests: BTreeSet<Asn>,
+    succ_keys: BTreeSet<Addr>,
+    pred_keys: BTreeSet<Addr>,
+    succ_addrs: BTreeSet<Addr>,
+}
+
+/// Index-free form of a trace's path: the target AS plus (router key,
+/// hop address) per hop. Other-ICMP addresses are excluded — they feed
+/// only the always-rerun global post-passes.
+type PathForm = (Asn, Vec<(Addr, Addr)>);
+
+/// State the previous pass left behind.
+struct PrevPass {
+    records: BTreeMap<Addr, RouterRecord>,
+    decisions: BTreeMap<Addr, OwnerDecision>,
+    paths: BTreeMap<Addr, PathForm>,
+    mappings: HashMap<Addr, Mapping>,
+}
+
+/// The long-lived incremental engine. Feed it batches with
+/// [`IncrementalEngine::apply`]; each call returns the updated map,
+/// byte-identical to a from-scratch rebuild over
+/// [`IncrementalEngine::shadow_collection`].
+pub struct IncrementalEngine {
+    cfg: BdrmapConfig,
+    tick_us: u64,
+    traces: BTreeMap<Addr, Trace>,
+    cache: Option<HashMap<TaskKey, CachedTask>>,
+    prev: Option<PrevPass>,
+    pass: u64,
+}
+
+impl IncrementalEngine {
+    /// A fresh engine. `tick_us` must match the per-packet pacing of
+    /// the probers that will feed it (`1_000_000 / pps`).
+    pub fn new(cfg: BdrmapConfig, tick_us: u64) -> IncrementalEngine {
+        IncrementalEngine {
+            cfg,
+            tick_us,
+            traces: BTreeMap::new(),
+            cache: Some(HashMap::new()),
+            prev: None,
+            pass: 0,
+        }
+    }
+
+    /// Number of traces currently held.
+    pub fn trace_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Passes applied so far.
+    pub fn passes(&self) -> u64 {
+        self.pass
+    }
+
+    /// The cumulative traces in canonical (destination-sorted) order,
+    /// with a zeroed budget: exactly what a from-scratch shadow rebuild
+    /// must feed `run_stages` to reproduce this engine's latest map
+    /// byte-for-byte (the budget is overwritten from the prober at the
+    /// capture point inside `run_stages`).
+    pub fn shadow_collection(&self) -> TraceCollection {
+        TraceCollection {
+            traces: self.traces.values().cloned().collect(),
+            budget: ProbeBudget::default(),
+        }
+    }
+
+    /// Apply one batch and emit the updated map.
+    pub fn apply<P: Prober + ?Sized>(
+        &mut self,
+        prober: &P,
+        input: &Input,
+        batch: Batch,
+    ) -> (BorderMap, PassReport) {
+        let t0 = Instant::now();
+        self.pass += 1;
+        let mut report = PassReport {
+            pass: self.pass,
+            ..PassReport::default()
+        };
+
+        // -------------------------------------------- trace-set edits
+        for tr in batch.upserts {
+            if self.traces.insert(tr.dst, tr).is_some() {
+                report.replaced += 1;
+            } else {
+                report.added += 1;
+            }
+        }
+        for dst in batch.retractions {
+            if self.traces.remove(&dst).is_some() {
+                report.retracted += 1;
+            }
+        }
+        let traces: Vec<Trace> = self.traces.values().cloned().collect();
+        report.traces = traces.len();
+
+        // --------------------------------- ip2as (with VP estimation)
+        let ip2as = input.ip2as_with_estimation(&traces);
+        let cache = Ip2AsCache::new(&ip2as);
+
+        // ------------------------------- alias resolution (replayed)
+        let caching = CachingProber {
+            inner: prober,
+            cache: Mutex::new(self.cache.take().unwrap_or_default()),
+            tick_us: self.tick_us,
+            charged: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        };
+        caching.begin_pass();
+        let alias_data = if self.cfg.alias_resolution {
+            aliases::resolve(
+                &caching,
+                &traces,
+                &cache,
+                &AliasConfig {
+                    max_ally_per_set: self.cfg.max_ally_per_set,
+                    parallelism: self.cfg.alias_parallelism,
+                    staged: true,
+                },
+            )
+        } else {
+            AliasData::default()
+        };
+        let (hits, misses) = caching.cache_stats();
+        report.alias_cache_hits = hits;
+        report.alias_cache_misses = misses;
+        let budget = caching.budget();
+        report.alias_packets = budget.packets;
+
+        // ------------------------------------------------ graph build
+        let graph = ObservedGraph::build(&traces, &alias_data, &cache);
+        let n = graph.routers.len();
+        report.routers = n;
+
+        // Canonical keys and records.
+        let keys: Vec<Addr> = graph
+            .routers
+            .iter()
+            .map(|r| *r.addrs.iter().next().expect("router with no address"))
+            .collect();
+        let records: Vec<RouterRecord> = graph
+            .routers
+            .iter()
+            .map(|r| RouterRecord {
+                addrs: r.addrs.clone(),
+                min_hop: r.min_hop,
+                dests: r.dests.clone(),
+                final_dests: r.final_dests.clone(),
+                succ_keys: r.succs.iter().map(|&s| keys[s]).collect(),
+                pred_keys: r.preds.iter().map(|&p| keys[p]).collect(),
+                succ_addrs: r.succ_addrs.clone(),
+            })
+            .collect();
+        let path_forms: BTreeMap<Addr, PathForm> = graph
+            .paths
+            .iter()
+            .map(|p| {
+                let form: Vec<(Addr, Addr)> =
+                    p.routers.iter().map(|&(r, a)| (keys[r], a)).collect();
+                (p.dst, (p.target_as, form))
+            })
+            .collect();
+        let mappings: HashMap<Addr, Mapping> = graph
+            .addr_router
+            .keys()
+            .map(|&a| (a, cache.lookup(a)))
+            .collect();
+
+        // ------------------------------------------- dirty set + seeds
+        let seeds: Vec<Option<OwnerDecision>> = match &self.prev {
+            None => {
+                report.full_walk = true;
+                report.dirty = n;
+                report.reinferred = n;
+                Vec::new()
+            }
+            Some(prev) => {
+                let mut dirty: HashSet<usize> = HashSet::new();
+
+                // Routers whose own canonical record changed (covers
+                // new routers and neighbours of removed ones).
+                for i in 0..n {
+                    if prev.records.get(&keys[i]) != Some(&records[i]) {
+                        dirty.insert(i);
+                    }
+                }
+
+                // Addresses whose IP-to-AS mapping changed: the
+                // containing router reads them via `classify`, its
+                // preds via `succ_addrs`/`nextas`, and every router on
+                // a path carrying them via the path scans.
+                let mut remapped: HashSet<Addr> = HashSet::new();
+                for (&a, m) in &mappings {
+                    if prev.mappings.get(&a).is_some_and(|pm| pm != m) {
+                        remapped.insert(a);
+                        if let Some(&r) = graph.addr_router.get(&a) {
+                            dirty.insert(r);
+                            dirty.extend(graph.routers[r].preds.iter().copied());
+                        }
+                    }
+                }
+                report.remapped_addrs = remapped.len();
+
+                // Paths that changed, appeared, or vanished dirty every
+                // router they touch(ed): the walk scans whole paths
+                // (H1.2's vp-after check, OneNetConsecutive, the
+                // unrouted suffix scan).
+                let mark_form = |dirty: &mut HashSet<usize>, form: &PathForm| {
+                    for &(_, a) in &form.1 {
+                        if let Some(&r) = graph.addr_router.get(&a) {
+                            dirty.insert(r);
+                        }
+                    }
+                };
+                for (dst, form) in &path_forms {
+                    if prev.paths.get(dst) != Some(form) {
+                        mark_form(&mut dirty, form);
+                        if let Some(old) = prev.paths.get(dst) {
+                            mark_form(&mut dirty, old);
+                        }
+                    }
+                }
+                for (dst, old) in &prev.paths {
+                    if !path_forms.contains_key(dst) {
+                        mark_form(&mut dirty, old);
+                    }
+                }
+                for path in &graph.paths {
+                    if path.routers.iter().any(|&(_, a)| remapped.contains(&a)) {
+                        for &(r, _) in &path.routers {
+                            dirty.insert(r);
+                        }
+                    }
+                }
+                report.dirty = dirty.len();
+
+                // Closure: one adjacency step covers every cross-router
+                // read (a pred's addresses, a succ's record).
+                let mut closure = dirty.clone();
+                for &r in &dirty {
+                    closure.extend(graph.routers[r].preds.iter().copied());
+                    closure.extend(graph.routers[r].succs.iter().copied());
+                }
+                report.reinferred = closure.len();
+
+                (0..n)
+                    .map(|i| {
+                        if closure.contains(&i) {
+                            None
+                        } else {
+                            prev.decisions.get(&keys[i]).copied()
+                        }
+                    })
+                    .collect()
+            }
+        };
+        report.reused = seeds.iter().filter(|s| s.is_some()).count();
+
+        // ------------------------------------------- seeded inference
+        let collection = TraceCollection { traces, budget };
+        let (map, decisions) = heuristics::infer_seeded(&graph, input, &cache, collection, &seeds);
+
+        // ------------------------------------------------- next-pass state
+        self.cache = Some(caching.cache.into_inner().unwrap());
+        self.prev = Some(PrevPass {
+            records: keys.iter().copied().zip(records).collect(),
+            decisions: keys.iter().copied().zip(decisions).collect(),
+            paths: path_forms,
+            mappings,
+        });
+
+        report.pass_ms = t0.elapsed().as_secs_f64() * 1e3;
+        record_pass_metrics(&report);
+        (map, report)
+    }
+}
+
+/// Mirror a pass report into the process-wide metric registry.
+fn record_pass_metrics(report: &PassReport) {
+    let reg = bdrmap_obs::global();
+    reg.counter("bdrmap_incremental_passes_total", &[]).inc();
+    reg.counter("bdrmap_incremental_traces_added_total", &[])
+        .add(report.added as u64);
+    reg.counter("bdrmap_incremental_traces_replaced_total", &[])
+        .add(report.replaced as u64);
+    reg.counter("bdrmap_incremental_traces_retracted_total", &[])
+        .add(report.retracted as u64);
+    reg.counter("bdrmap_incremental_routers_reinferred_total", &[])
+        .add(report.reinferred as u64);
+    reg.counter("bdrmap_incremental_routers_reused_total", &[])
+        .add(report.reused as u64);
+    reg.counter("bdrmap_incremental_alias_cache_hits_total", &[])
+        .add(report.alias_cache_hits);
+    reg.counter("bdrmap_incremental_alias_cache_misses_total", &[])
+        .add(report.alias_cache_misses);
+    reg.gauge("bdrmap_incremental_traces", &[])
+        .set(report.traces as u64);
+    reg.histogram("bdrmap_incremental_dirty_routers", &[])
+        .record(report.reinferred as u64);
+    reg.histogram("bdrmap_incremental_pass_us", &[])
+        .record((report.pass_ms * 1e3) as u64);
+}

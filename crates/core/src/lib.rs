@@ -32,6 +32,7 @@ pub mod aliases;
 pub mod beyond;
 pub mod graph;
 pub mod heuristics;
+pub mod incremental;
 pub mod input;
 pub mod merge;
 pub mod output;
@@ -40,8 +41,9 @@ pub mod query;
 pub mod snapshot;
 pub mod snapstore;
 
-pub use aliases::{AliasConfig, AliasStats};
+pub use aliases::{task_id, AliasConfig, AliasStats, TaskKind};
 pub use beyond::{far_links, FarLink};
+pub use incremental::{Batch, CachingProber, IncrementalEngine, PassReport};
 pub use input::{CacheStats, Input, Ip2As, Ip2AsCache, IpMapper, Mapping};
 pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};

@@ -61,6 +61,13 @@ fn record_stage(reg: &Registry, stage: &str, ms: f64) {
         .record((ms * 1e3) as u64);
 }
 
+/// Record a stage outside [`run_stages`] — e.g. the cross-VP merge or
+/// an incremental pass — into the same `bdrmap_pipeline_stage_us`
+/// family, so every inference stage reports through one metric.
+pub fn record_extra_stage(stage: &str, ms: f64) {
+    record_stage(bdrmap_obs::global(), stage, ms);
+}
+
 /// Publish the run's work accounting — alias-stage tests, dedup wins,
 /// per-shard traffic, cache effectiveness, per-rule heuristic
 /// attribution — as counters. All of these are virtual-time
@@ -78,8 +85,11 @@ fn record_work(reg: &Registry, map: &BorderMap, alias: &AliasStats, cache: &Cach
     dedup("ally").add(alias.ally_deduped);
     reg.counter("bdrmap_alias_staged_out_total", &[])
         .add(alias.ally_staged_out);
-    for s in &alias.shards {
-        let shard = s.shard.to_string();
+    // Shard labels are stable hash-range buckets of the task id, not
+    // worker indices: the label set (and each bucket's value) survives
+    // a change of alias parallelism.
+    for s in &alias.hash_shards {
+        let shard = format!("h{:x}", s.shard);
         reg.counter("bdrmap_alias_shard_tests_total", &[("shard", &shard)])
             .add(s.tests);
         reg.counter("bdrmap_alias_shard_packets_total", &[("shard", &shard)])

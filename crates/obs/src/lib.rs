@@ -53,9 +53,11 @@
 
 mod metrics;
 mod registry;
+mod window;
 
 pub use metrics::{Counter, Gauge, Histogram, BUCKETS};
 pub use registry::{MetricKind, Registry};
+pub use window::{HistogramSnapshot, HistogramWindows};
 
 use std::sync::OnceLock;
 use std::time::Instant;

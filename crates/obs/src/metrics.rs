@@ -129,7 +129,7 @@ impl Histogram {
     }
 
     /// Inclusive upper bound of bucket `i`.
-    fn bound_of(i: usize) -> u64 {
+    pub(crate) fn bound_of(i: usize) -> u64 {
         match i {
             0 => 0,
             64 => u64::MAX,

@@ -1,0 +1,212 @@
+//! Windowed histogram views for long-lived processes.
+//!
+//! A [`Histogram`](crate::Histogram) accumulates forever, so a daemon
+//! that has been up for a week reports all-time quantiles — useless for
+//! "how were the last few passes". [`HistogramWindows`] keeps a ring of
+//! per-window deltas over a live histogram: call
+//! [`HistogramWindows::rotate`] on whatever cadence defines a window
+//! (per scrape, per incremental pass, per minute) and read quantiles
+//! from the delta it returns or from [`HistogramWindows::merged`] over
+//! the retained ring. The source histogram is never reset, so all-time
+//! totals and renders stay intact.
+
+use crate::metrics::{Histogram, BUCKETS};
+
+/// An immutable point-in-time copy of a histogram's state, or a delta
+/// between two such copies. Supports the same nearest-rank quantile as
+/// the live histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    sum: u64,
+    count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Capture the current state of `h`.
+    ///
+    /// Buckets, sum, and count are read with independent relaxed loads;
+    /// under concurrent writers the copy may straddle a `record`, which
+    /// only shifts a sample across adjacent windows — never loses it —
+    /// because deltas are taken against the previous capture.
+    pub fn capture(h: &Histogram) -> HistogramSnapshot {
+        let mut s = HistogramSnapshot::default();
+        for i in 0..BUCKETS {
+            s.buckets[i] = h.bucket_count(i);
+        }
+        s.sum = h.sum();
+        s.count = h.count();
+        s
+    }
+
+    /// The samples recorded between `earlier` and `self` (saturating,
+    /// so a torn concurrent capture can't underflow).
+    pub fn delta(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut d = HistogramSnapshot::default();
+        for i in 0..BUCKETS {
+            d.buckets[i] = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        d.sum = self.sum.wrapping_sub(earlier.sum);
+        d.count = self.count.saturating_sub(earlier.count);
+        d
+    }
+
+    /// Fold another snapshot's samples into this one (exact, like
+    /// [`Histogram::merge_from`]).
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        for i in 0..BUCKETS {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Nearest-rank quantile with [`Histogram::quantile`] semantics.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Histogram::bound_of(i);
+            }
+        }
+        Histogram::bound_of(BUCKETS - 1)
+    }
+}
+
+/// A ring of per-window deltas over a live histogram.
+pub struct HistogramWindows {
+    source: Histogram,
+    last: HistogramSnapshot,
+    ring: std::collections::VecDeque<HistogramSnapshot>,
+    capacity: usize,
+}
+
+impl HistogramWindows {
+    /// Track `source`, retaining up to `capacity` closed windows
+    /// (`capacity` ≥ 1). Samples recorded before this call fall into
+    /// no window — the baseline is captured now.
+    pub fn new(source: &Histogram, capacity: usize) -> HistogramWindows {
+        HistogramWindows {
+            last: HistogramSnapshot::capture(source),
+            source: source.clone(),
+            ring: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Close the current window: the delta since the previous rotate
+    /// joins the ring (evicting the oldest beyond capacity) and is
+    /// returned.
+    pub fn rotate(&mut self) -> HistogramSnapshot {
+        let now = HistogramSnapshot::capture(&self.source);
+        let delta = now.delta(&self.last);
+        self.last = now;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(delta.clone());
+        delta
+    }
+
+    /// Closed windows currently retained, oldest first.
+    pub fn windows(&self) -> impl Iterator<Item = &HistogramSnapshot> {
+        self.ring.iter()
+    }
+
+    /// The union of the most recent `n` closed windows (all of them
+    /// when `n` ≥ retained count).
+    pub fn merged(&self, n: usize) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        let skip = self.ring.len().saturating_sub(n);
+        for w in self.ring.iter().skip(skip) {
+            out.merge_from(w);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_isolates_window_samples() {
+        let h = Histogram::new();
+        h.record(100); // before tracking: baseline, no window sees it
+        let mut w = HistogramWindows::new(&h, 4);
+        h.record(1);
+        h.record(2);
+        let d1 = w.rotate();
+        assert_eq!(d1.count(), 2);
+        assert_eq!(d1.sum(), 3);
+        h.record(1000);
+        let d2 = w.rotate();
+        assert_eq!(d2.count(), 1);
+        assert_eq!(d2.quantile(0.5), Histogram::bucket_bound(1000));
+        // The live histogram kept everything.
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn ring_evicts_beyond_capacity_and_merges_exactly() {
+        let h = Histogram::new();
+        let mut w = HistogramWindows::new(&h, 2);
+        for v in [1u64, 2, 3] {
+            h.record(v);
+            w.rotate();
+        }
+        // Capacity 2: the window holding `1` was evicted.
+        assert_eq!(w.windows().count(), 2);
+        let m = w.merged(2);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum(), 5);
+        // merged(1) is just the newest window.
+        assert_eq!(w.merged(1).sum(), 3);
+        // An empty rotate yields an empty window.
+        assert_eq!(w.rotate().count(), 0);
+    }
+
+    #[test]
+    fn snapshot_quantile_matches_live_histogram() {
+        let h = Histogram::new();
+        let mut w = HistogramWindows::new(&h, 1);
+        for v in [0u64, 1, 2, 4, 8] {
+            h.record(v);
+        }
+        let d = w.rotate();
+        for q in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
+            assert_eq!(d.quantile(q), h.quantile(q), "q={q}");
+        }
+    }
+}

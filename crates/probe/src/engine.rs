@@ -38,9 +38,14 @@ const ALIAS_EPOCH_MS: u64 = 1 << 40;
 /// ([`Runtime`]), this makes each test's responses a pure function of
 /// (topology, task id, addresses) — independent of worker count and
 /// scheduling — which is what lets the sharded alias engine promise
-/// byte-identical output at any parallelism.
+/// byte-identical output at any parallelism, and lets a later run
+/// replay a test bit-for-bit. Task ids are content-keyed 64-bit hashes,
+/// so the window base wraps; two tasks sharing a window stay
+/// independent because each owns a private [`Runtime`].
 fn alias_task_time(task: u64, n: u64) -> u64 {
-    ALIAS_EPOCH_MS + task * ALIAS_TASK_WINDOW_MS + n * 10
+    ALIAS_EPOCH_MS
+        .wrapping_add(task.wrapping_mul(ALIAS_TASK_WINDOW_MS))
+        .wrapping_add(n * 10)
 }
 
 /// Engine configuration.
@@ -164,13 +169,28 @@ impl ShardBudget {
     }
 }
 
+/// Number of stable hash-range task buckets (see [`task_bucket`]).
+pub const TASK_BUCKETS: usize = 16;
+
+/// The stable hash-range bucket of a task id: its top four bits. Task
+/// ids are content-keyed hashes (pure functions of the test kind and
+/// addresses), so a task lands in the same bucket in every run
+/// regardless of worker count — bucket-keyed metric labels survive
+/// parallelism changes, unlike worker-index labels.
+pub fn task_bucket(task: u64) -> usize {
+    (task >> 60) as usize
+}
+
 /// A per-worker handle over a shared [`Prober`] for the sharded alias
 /// engine: forwards each test as a self-contained task and keeps a
 /// partitioned budget, so a parallel alias run can report which worker
-/// spent what without contending on the prober's global counters.
+/// spent what without contending on the prober's global counters. It
+/// also tallies per hash-range bucket of the task id, a partition that
+/// is identical at any parallelism.
 pub struct ProberShard<'a, P: Prober + ?Sized> {
     prober: &'a P,
     tally: ShardBudget,
+    buckets: [ShardBudget; TASK_BUCKETS],
 }
 
 impl<'a, P: Prober + ?Sized> ProberShard<'a, P> {
@@ -182,36 +202,51 @@ impl<'a, P: Prober + ?Sized> ProberShard<'a, P> {
                 shard,
                 ..ShardBudget::default()
             },
+            buckets: std::array::from_fn(|i| ShardBudget {
+                shard: i,
+                ..ShardBudget::default()
+            }),
         }
+    }
+
+    fn tally(&mut self, task: u64, packets: u64) {
+        self.tally.tests += 1;
+        self.tally.packets += packets;
+        let b = &mut self.buckets[task_bucket(task)];
+        b.tests += 1;
+        b.packets += packets;
     }
 
     /// Run one Ally task through this shard.
     pub fn ally(&mut self, task: u64, a: Addr, b: Addr) -> AliasVerdict {
         let (v, packets) = self.prober.ally_task(task, a, b);
-        self.tally.tests += 1;
-        self.tally.packets += packets;
+        self.tally(task, packets);
         v
     }
 
     /// Run one Mercator task through this shard.
     pub fn mercator(&mut self, task: u64, a: Addr) -> Option<MercatorResult> {
         let (m, packets) = self.prober.mercator_task(task, a);
-        self.tally.tests += 1;
-        self.tally.packets += packets;
+        self.tally(task, packets);
         m
     }
 
     /// Run one prefixscan task through this shard.
     pub fn prefixscan(&mut self, task: u64, prev_hop: Addr, addr: Addr) -> Option<Addr> {
         let (m, packets) = self.prober.prefixscan_task(task, prev_hop, addr);
-        self.tally.tests += 1;
-        self.tally.packets += packets;
+        self.tally(task, packets);
         m
     }
 
     /// The traffic this shard has accounted for.
     pub fn budget(&self) -> ShardBudget {
         self.tally
+    }
+
+    /// The same traffic partitioned by task-id hash bucket ([`ShardBudget::shard`]
+    /// holds the bucket index, 0..[`TASK_BUCKETS`]).
+    pub fn bucket_budgets(&self) -> [ShardBudget; TASK_BUCKETS] {
+        self.buckets
     }
 }
 

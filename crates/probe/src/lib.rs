@@ -40,8 +40,8 @@ pub mod tslp;
 pub use alias::{AliasVerdict, MercatorResult};
 pub use checkpoint::{run_traces_checkpointed, Checkpoint, CheckpointConfig};
 pub use engine::{
-    run_traces, EngineConfig, ProbeBudget, ProbeEngine, Prober, ProberShard, RunOptions,
-    ShardBudget, TraceCollection,
+    run_traces, task_bucket, EngineConfig, ProbeBudget, ProbeEngine, Prober, ProberShard,
+    RunOptions, ShardBudget, TraceCollection, TASK_BUCKETS,
 };
 pub use health::{Quarantine, QuarantinePolicy};
 pub use midar::{monotonic_bounds_test, IpidSample, IpidSeries, MbtOutcome};
