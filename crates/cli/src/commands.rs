@@ -712,8 +712,14 @@ fn serve_map(args: &Args) -> Result<(bdrmap_core::BorderMap, Vec<(Prefix, Asn)>)
 }
 
 fn serve_config(args: &Args, listen: String) -> Result<ServeConfig, ArgError> {
+    let backend = match args.get("server-backend") {
+        Some(s) => s.parse::<bdrmap_serve::ServerBackend>().map_err(ArgError)?,
+        None => bdrmap_serve::ServerBackend::default(),
+    };
     Ok(ServeConfig {
         listen,
+        backend,
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
         workers: args.get_parse("workers", 4)?,
         queue: args.get_parse("queue", 128)?,
         prefix_owners: Vec::new(),
@@ -730,10 +736,11 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
         let cfg = serve_config(args, listen)?;
         let workers = cfg.workers;
         let queue = cfg.queue;
+        let backend = cfg.backend;
         let server = Server::start_from_store(dir, cfg)
             .map_err(|e| ArgError(format!("starting bdrmapd from store {dir}: {e}")))?;
         println!(
-            "bdrmapd serving store {dir} generation {} on {} ({} workers, accept queue {})",
+            "bdrmapd serving store {dir} generation {} on {} ({backend} backend, {} workers, accept queue {})",
             server.store_generation(),
             server.local_addr(),
             workers,
@@ -748,10 +755,11 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
         };
         let workers = cfg.workers;
         let queue = cfg.queue;
+        let backend = cfg.backend;
         let server =
             Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
         println!(
-            "bdrmapd serving {} routers / {} links on {} ({} workers, accept queue {})",
+            "bdrmapd serving {} routers / {} links on {} ({backend} backend, {} workers, accept queue {})",
             map.routers.len(),
             map.links.len(),
             server.local_addr(),
@@ -760,6 +768,9 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
         );
         server
     };
+    if let Some(ma) = server.metrics_addr() {
+        println!("metrics:   curl http://{ma}/metrics");
+    }
     println!(
         "query it:  bdrmap query --connect {} --stats",
         server.local_addr()
@@ -917,6 +928,9 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
 /// query mix); without it, infers a map, serves it in-process, and
 /// fires a mid-run hot swap — the CI smoke path.
 pub fn loadgen(args: &Args) -> Result<(), ArgError> {
+    if args.get("connections").is_some() {
+        return loadgen_scale(args);
+    }
     let secs: f64 = args.get_parse("secs", 2.0)?;
     if secs <= 0.0 || !secs.is_finite() {
         return Err(ArgError(format!("--secs must be positive, got {secs}")));
@@ -1050,6 +1064,231 @@ pub fn loadgen(args: &Args) -> Result<(), ArgError> {
         )));
     }
     Ok(())
+}
+
+/// `bdrmap loadgen --connections N`: scale mode. One epoll client loop
+/// holds N concurrent connections (a fraction idle as keepalive
+/// ballast, the rest pipelined closed-loop) against an in-process or
+/// remote bdrmapd, then writes `BENCH_serve_scale.json`. Hard-fails on
+/// any acked-then-lost query or any evicted idle connection.
+#[cfg(target_os = "linux")]
+fn loadgen_scale(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_serve::{ScaleConfig, ScaleLoopStat};
+
+    let connections: usize = args.get_parse("connections", 1000)?;
+    if connections == 0 {
+        return Err(ArgError("--connections must be at least 1".into()));
+    }
+    let idle_frac: f64 = args.get_parse("idle-frac", 0.5)?;
+    if !(0.0..=1.0).contains(&idle_frac) || !idle_frac.is_finite() {
+        return Err(ArgError(format!(
+            "--idle-frac must be in [0,1], got {idle_frac}"
+        )));
+    }
+    let secs: f64 = args.get_parse("secs", 5.0)?;
+    if secs <= 0.0 || !secs.is_finite() {
+        return Err(ArgError(format!("--secs must be positive, got {secs}")));
+    }
+    let scfg = ScaleConfig {
+        connections,
+        idle_frac,
+        duration: std::time::Duration::from_secs_f64(secs),
+        pipeline: args.get_parse("pipeline", 4)?,
+    };
+    let mut report = if let Some(connect) = args.get("connect") {
+        let addr: std::net::SocketAddr = connect
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --connect address: {connect}")))?;
+        let snap = args.get("snapshot").ok_or_else(|| {
+            ArgError("loadgen --connect needs --snapshot <path> to derive the query mix".into())
+        })?;
+        let map = bdrmap_core::snapshot::load(std::path::Path::new(snap))
+            .map_err(|e| ArgError(format!("reading {snap}: {e}")))?;
+        let mut report =
+            bdrmap_serve::loadgen::run_scale(addr, &bdrmap_serve::queries_for_map(&map), &scfg)
+                .map_err(|e| ArgError(format!("scale load generation failed: {e}")))?;
+        // A remote server's backend is whatever the operator started;
+        // trust the flag if given, otherwise label it unknown.
+        report.backend = args.get("server-backend").unwrap_or("unknown").to_string();
+        // Per-loop counters live in the remote server's process; pull
+        // them out of its metrics exposition over the query protocol.
+        if let Ok(mut client) = Client::connect(&addr) {
+            if let Ok(Response::Metrics(text)) = client.call(&Request::Metrics) {
+                report.loops = scale_loops_from_exposition(&text);
+            }
+        }
+        report
+    } else {
+        let (map, prefix_owners) = serve_map(args)?;
+        let mut cfg = ServeConfig {
+            prefix_owners,
+            ..serve_config(args, "127.0.0.1:0".to_string())?
+        };
+        if args.get("queue").is_none() {
+            // The benchmark measures capacity, not admission control:
+            // by default every connection fits the budget. Pass --queue
+            // explicitly to exercise shedding.
+            cfg.queue = connections + 1024;
+        }
+        let backend = cfg.backend;
+        let server =
+            Server::start(&map, cfg).map_err(|e| ArgError(format!("starting bdrmapd: {e}")))?;
+        let result = bdrmap_serve::loadgen::run_scale(
+            server.local_addr(),
+            &bdrmap_serve::queries_for_map(&map),
+            &scfg,
+        );
+        let mut report =
+            result.map_err(|e| ArgError(format!("scale load generation failed: {e}")))?;
+        report.backend = backend.to_string();
+        report.loops = server
+            .loop_stats()
+            .iter()
+            .map(|l| ScaleLoopStat {
+                index: l.index,
+                wakeups: l.wakeups,
+                events: l.events,
+                reads: l.reads,
+                frames: l.frames,
+                writevs: l.writevs,
+                accepts: l.accepts,
+                batch_p50: l.batch_p50,
+                batch_p99: l.batch_p99,
+            })
+            .collect();
+        server.shutdown();
+        report
+    };
+    report.connections = connections;
+    println!(
+        "{} conns ({} active / {} idle) on {} backend for {:.2}s: {} ok | {:.0} qps | p50 {} us, p99 {} us, p99.9 {} us",
+        report.connections,
+        report.active_conns,
+        report.idle_conns,
+        report.backend,
+        report.duration_s,
+        report.queries_ok,
+        report.qps,
+        report.p50_us,
+        report.p99_us,
+        report.p999_us
+    );
+    println!(
+        "integrity: {} lost, {} idle evicted | admission: {} shed, {} unadmitted, {} connect failures",
+        report.lost,
+        report.idle_evicted,
+        report.shed_conns,
+        report.unadmitted,
+        report.connect_failures
+    );
+    for l in &report.loops {
+        println!(
+            "loop {}: {} wakeups, {} events (batch p50 {}, p99 {}), {} reads, {} frames, {} writevs, {} accepts",
+            l.index, l.wakeups, l.events, l.batch_p50, l.batch_p99, l.reads, l.frames, l.writevs,
+            l.accepts
+        );
+    }
+    let json = args.get("json").unwrap_or("BENCH_serve_scale.json");
+    report
+        .write_json(std::path::Path::new(json))
+        .map_err(|e| ArgError(format!("writing {json}: {e}")))?;
+    println!("wrote {json}");
+    if report.queries_ok == 0 {
+        return Err(ArgError(
+            "scale load generator completed zero successful queries".into(),
+        ));
+    }
+    if report.lost > 0 {
+        return Err(ArgError(format!(
+            "{} acknowledged queries were lost in flight",
+            report.lost
+        )));
+    }
+    if report.idle_evicted > 0 {
+        return Err(ArgError(format!(
+            "{} idle keepalive connections were evicted",
+            report.idle_evicted
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(not(target_os = "linux"))]
+fn loadgen_scale(_args: &Args) -> Result<(), ArgError> {
+    Err(ArgError(
+        "loadgen --connections (scale mode) needs the Linux epoll client loop".into(),
+    ))
+}
+
+/// Reconstruct per-event-loop counters from a remote bdrmapd's metrics
+/// exposition (`bdrmapd_loop_*{loop="i"}` families). Batch quantiles
+/// are recovered from the cumulative histogram buckets with the same
+/// nearest-rank rule the in-process path uses, so remote and local
+/// reports agree on semantics (remote values are bucket upper bounds).
+#[cfg(target_os = "linux")]
+fn scale_loops_from_exposition(text: &str) -> Vec<bdrmap_serve::ScaleLoopStat> {
+    use std::collections::BTreeMap;
+    let mut loops: BTreeMap<usize, bdrmap_serve::ScaleLoopStat> = BTreeMap::new();
+    // (loop index, cumulative count) per bucket bound, in line order.
+    let mut buckets: BTreeMap<usize, Vec<(u64, u64)>> = BTreeMap::new();
+    let mut counts: BTreeMap<usize, u64> = BTreeMap::new();
+    fn parse<'a>(line: &'a str, name: &str) -> Option<(usize, &'a str, u64)> {
+        let rest = line.strip_prefix(name)?.strip_prefix('{')?;
+        let (labels, value) = rest.split_once("} ")?;
+        let li = labels.split_once("loop=\"")?.1.split('"').next()?;
+        Some((li.parse().ok()?, labels, value.trim().parse().ok()?))
+    }
+    for line in text.lines() {
+        for (name, field) in [
+            ("bdrmapd_loop_wakeups_total", 0usize),
+            ("bdrmapd_loop_events_total", 1),
+            ("bdrmapd_loop_reads_total", 2),
+            ("bdrmapd_loop_frames_total", 3),
+            ("bdrmapd_loop_writevs_total", 4),
+            ("bdrmapd_loop_accepts_total", 5),
+        ] {
+            if let Some((li, _, v)) = parse(line, name) {
+                let l = loops.entry(li).or_default();
+                l.index = li;
+                match field {
+                    0 => l.wakeups = v,
+                    1 => l.events = v,
+                    2 => l.reads = v,
+                    3 => l.frames = v,
+                    4 => l.writevs = v,
+                    _ => l.accepts = v,
+                }
+            }
+        }
+        if let Some((li, labels, cum)) = parse(line, "bdrmapd_loop_event_batch_bucket") {
+            let le = labels
+                .split_once("le=\"")
+                .and_then(|(_, r)| r.split('"').next())
+                .map(|b| b.parse::<u64>().unwrap_or(u64::MAX))
+                .unwrap_or(u64::MAX);
+            buckets.entry(li).or_default().push((le, cum));
+        }
+        if let Some((li, _, v)) = parse(line, "bdrmapd_loop_event_batch_count") {
+            counts.insert(li, v);
+        }
+    }
+    for (li, bs) in &buckets {
+        let count = counts.get(li).copied().unwrap_or(0);
+        if count == 0 {
+            continue;
+        }
+        let quantile = |q: f64| -> u64 {
+            let rank = ((count as f64) * q).ceil().clamp(1.0, count as f64) as u64;
+            bs.iter()
+                .find(|(_, cum)| *cum >= rank)
+                .map(|(le, _)| *le)
+                .unwrap_or(0)
+        };
+        let l = loops.entry(*li).or_default();
+        l.batch_p50 = quantile(0.50);
+        l.batch_p99 = quantile(0.99);
+    }
+    loops.into_values().collect()
 }
 
 /// `bdrmap fuzz`: seeded structure-aware fuzzing of the BDRM snapshot
@@ -1791,12 +2030,19 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
         accept_panic_after: Some(2),
         worker_panic_after: Some(5),
     };
-    let scfg = ServeConfig {
+    let mut scfg = ServeConfig {
         restart_backoff: Duration::from_millis(10),
         restart_backoff_cap: Duration::from_millis(80),
         chaos: Some(net_cfg),
         ..serve_config(args, "127.0.0.1:0".to_string())?
     };
+    if args.get("server-backend").is_none() {
+        // The chaos report is byte-identical per seed pair, and the
+        // threads backend is the reference that contract was cut
+        // against; epoll runs opt in via --server-backend epoll (CI
+        // does, asserting invariants rather than bytes).
+        scfg.backend = bdrmap_serve::ServerBackend::Threads;
+    }
     let server = Server::start_from_store(&snapdir, scfg)
         .map_err(|e| ArgError(format!("starting bdrmapd from {}: {e}", snapdir.display())))?;
     if server.store_generation() != last_gen {

@@ -34,6 +34,11 @@ const VALUE_KEYS: &[&str] = &[
     "connect",
     "workers",
     "queue",
+    "server-backend",
+    "metrics-addr",
+    "connections",
+    "idle-frac",
+    "pipeline",
     "addr",
     "border",
     "neighbor",
@@ -128,8 +133,12 @@ SERVING (serve / query / loadgen):
                          files, quarantining them)
     --snapshot <path>    serve/loadgen: use a saved snapshot instead of inferring
     --listen <addr>      `serve`: bind address (default 127.0.0.1:47700)
-    --workers <n>        worker threads (default 4)
+    --workers <n>        worker threads / event loops (default 4)
     --queue <n>          accept-queue depth before shedding (default 128)
+    --server-backend <threads|epoll>  serving backend (default: epoll on
+                         Linux, threads elsewhere; chaos pins threads)
+    --metrics-addr <addr>  serve/loadgen: also serve GET /metrics over
+                         plain HTTP on this address (epoll backend only)
     --connect <addr>     query/loadgen: a running bdrmapd to talk to
     --addr <ip>          `query`: who owns this address?
     --border <ip>        `query`: which border link carries this interface?
@@ -143,6 +152,13 @@ SERVING (serve / query / loadgen):
     --secs <f>           `loadgen`: run time in seconds (default 2)
     --corrupt-rate <f>   `loadgen`: fraction of requests sent corrupted [0,1]
     --stall-conns <n>    `loadgen`: extra slow-loris connections (default 0)
+    --connections <n>    `loadgen`: scale mode (Linux) — hold n concurrent
+                         connections from one epoll client loop and write
+                         BENCH_serve_scale.json (overrides --conns)
+    --idle-frac <f>      `loadgen` scale mode: fraction of connections
+                         parked as idle keepalive ballast (default 0.5)
+    --pipeline <n>       `loadgen` scale mode: frames in flight per active
+                         connection (default 4)
     --json <path>        loadgen/bench-pipeline: report path (bench-pipeline
                          default: BENCH_pipeline.json)
     --metrics-out <path> run/merge/fleet/watch: write the pipeline/probe

@@ -276,6 +276,15 @@ impl ChaosNet {
         }
     }
 
+    /// Which scripted panics have fired so far, as
+    /// `(acceptor, worker)`. The event backend's supervisor uses this
+    /// to attribute a dead loop to the component whose scripted crash
+    /// killed it, keeping restart counters comparable across backends.
+    pub fn scripted_fired(&self) -> (bool, bool) {
+        let st = self.lock();
+        (st.acceptor_panicked, st.worker_panicked)
+    }
+
     /// Called once per response frame about to be written; `frame_len`
     /// is the full encoded length including the length prefix.
     pub fn write_plan(&self, frame_len: usize) -> WritePlan {
@@ -369,10 +378,82 @@ pub enum ConnEvent {
     Closed,
 }
 
+/// Why a [`FrameBuf`] refused its contents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// A length prefix exceeded the frame cap.
+    Oversize(usize),
+    /// More than `max_inflight` complete frames buffered at once.
+    Flood,
+}
+
+/// Policy-enforcing accumulator for length-prefixed frames, shared by
+/// the blocking [`Conn`] and the event backend's per-connection state
+/// machines. Push raw bytes in, extract complete payloads out; the
+/// oversize check runs on the length prefix alone (the payload is
+/// never buffered) and the flood cap bounds frames per extraction.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    max_frame: usize,
+    max_inflight: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer enforcing the given caps.
+    pub fn new(max_frame: usize, max_inflight: usize) -> FrameBuf {
+        FrameBuf {
+            buf: Vec::new(),
+            max_frame,
+            max_inflight: max_inflight.max(1),
+        }
+    }
+
+    /// Append raw bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// True when bytes of an incomplete frame (or unextracted complete
+    /// frames) are buffered — the state a request deadline applies to.
+    pub fn has_bytes(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Pull every complete frame out, in arrival order. Errors on
+    /// oversize length prefixes and on inflight floods; complete
+    /// frames parsed before the violation are dropped with the
+    /// connection, exactly as the blocking backend behaves.
+    pub fn extract(&mut self) -> Result<Vec<Vec<u8>>, FrameError> {
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        loop {
+            let rest = &self.buf[pos..];
+            if rest.len() < 4 {
+                break;
+            }
+            let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            if len > self.max_frame {
+                return Err(FrameError::Oversize(len));
+            }
+            if rest.len() < 4 + len {
+                break;
+            }
+            frames.push(rest[4..4 + len].to_vec());
+            if frames.len() > self.max_inflight {
+                return Err(FrameError::Flood);
+            }
+            pos += 4 + len;
+        }
+        self.buf.drain(..pos);
+        Ok(frames)
+    }
+}
+
 /// A framed connection with deadlines.
 pub struct Conn {
     stream: TcpStream,
-    buf: Vec<u8>,
+    buf: FrameBuf,
     /// When the oldest incomplete frame started arriving.
     partial_since: Option<Instant>,
     limits: ConnLimits,
@@ -398,7 +479,7 @@ impl Conn {
             .map_err(ConnError::Setup)?;
         Ok(Conn {
             stream,
-            buf: Vec::new(),
+            buf: FrameBuf::new(limits.max_frame, limits.max_inflight),
             partial_since: None,
             limits,
             chaos,
@@ -448,28 +529,11 @@ impl Conn {
     /// Pull every complete frame out of the buffer. Errors on oversize
     /// length prefixes and on inflight floods.
     fn extract(&mut self) -> Result<Vec<Vec<u8>>, ConnError> {
-        let mut frames = Vec::new();
-        let mut pos = 0usize;
-        loop {
-            let rest = &self.buf[pos..];
-            if rest.len() < 4 {
-                break;
-            }
-            let len = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
-            if len > self.limits.max_frame {
-                return Err(ConnError::Oversize(len));
-            }
-            if rest.len() < 4 + len {
-                break;
-            }
-            frames.push(rest[4..4 + len].to_vec());
-            if frames.len() > self.limits.max_inflight {
-                return Err(ConnError::Flood);
-            }
-            pos += 4 + len;
-        }
-        self.buf.drain(..pos);
-        if self.buf.is_empty() {
+        let frames = self.buf.extract().map_err(|e| match e {
+            FrameError::Oversize(n) => ConnError::Oversize(n),
+            FrameError::Flood => ConnError::Flood,
+        })?;
+        if !self.buf.has_bytes() {
             self.partial_since = None;
         }
         Ok(frames)
@@ -485,17 +549,17 @@ impl Conn {
             let mut chunk = [0u8; 4096];
             match self.stream.read(&mut chunk) {
                 Ok(0) => {
-                    return if self.buf.is_empty() {
+                    return if !self.buf.has_bytes() {
                         Ok(ConnEvent::Closed)
                     } else {
                         Err(ConnError::MidFrameEof)
                     };
                 }
                 Ok(n) => {
-                    if self.buf.is_empty() {
+                    if !self.buf.has_bytes() {
                         self.partial_since = Some(Instant::now());
                     }
-                    self.buf.extend_from_slice(&chunk[..n]);
+                    self.buf.push(&chunk[..n]);
                     // Check the deadline after successful reads too: a
                     // drip-feeding peer keeps the socket "live" and
                     // would otherwise never hit the timeout branch.
@@ -832,6 +896,33 @@ mod tests {
             assert!(matches!(net.write_plan(64), WritePlan::Intact));
         }
         assert_eq!(net.counts(), NetFaultCounts::default());
+    }
+
+    #[test]
+    fn framebuf_extracts_incrementally() {
+        let mut fb = FrameBuf::new(1024, 8);
+        let f = frame(b"abc");
+        fb.push(&f[..5]);
+        assert_eq!(fb.extract().unwrap(), Vec::<Vec<u8>>::new());
+        assert!(fb.has_bytes());
+        fb.push(&f[5..]);
+        fb.push(&frame(b"defg"));
+        let got = fb.extract().unwrap();
+        assert_eq!(got, vec![b"abc".to_vec(), b"defg".to_vec()]);
+        assert!(!fb.has_bytes());
+    }
+
+    #[test]
+    fn framebuf_enforces_caps() {
+        let mut fb = FrameBuf::new(8, 2);
+        fb.push(&(64u32).to_be_bytes());
+        assert_eq!(fb.extract(), Err(FrameError::Oversize(64)));
+
+        let mut fb = FrameBuf::new(1024, 2);
+        for _ in 0..3 {
+            fb.push(&frame(b"x"));
+        }
+        assert_eq!(fb.extract(), Err(FrameError::Flood));
     }
 
     #[test]

@@ -500,6 +500,455 @@ pub fn run(addr: SocketAddr, queries: &[Request], cfg: &LoadgenConfig) -> io::Re
     })
 }
 
+// ---- high-connection scale mode -------------------------------------
+//
+// The closed-loop generator above spends a thread per connection; at
+// tens of thousands of connections that is exactly the architecture the
+// epoll server backend exists to beat. The scale mode drives the same
+// protocol from a single epoll loop on the client side: a configurable
+// fraction of connections sit idle as keepalive ballast while the rest
+// run pipelined closed-loop queries.
+
+/// Scale-mode tunables (`loadgen --connections N --idle-frac F`).
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Total concurrent connections to hold open.
+    pub connections: usize,
+    /// Fraction (0..=1) of connections that stay idle after connecting:
+    /// pure keepalive ballast the server must carry for free.
+    pub idle_frac: f64,
+    /// How long the active connections keep querying.
+    pub duration: Duration,
+    /// Frames in flight per active connection (pipelining depth).
+    pub pipeline: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            connections: 1000,
+            idle_frac: 0.5,
+            duration: Duration::from_secs(5),
+            pipeline: 4,
+        }
+    }
+}
+
+/// One event loop's counters as reported in `BENCH_serve_scale.json`
+/// (mirrors [`crate::server::LoopStat`], owned here so the report can
+/// serialize without a live server handle).
+#[derive(Clone, Debug, Default)]
+pub struct ScaleLoopStat {
+    /// Loop index.
+    pub index: usize,
+    /// `epoll_wait` returns.
+    pub wakeups: u64,
+    /// Readiness events dispatched.
+    pub events: u64,
+    /// Socket reads issued.
+    pub reads: u64,
+    /// Frames decoded.
+    pub frames: u64,
+    /// Vectored writes issued.
+    pub writevs: u64,
+    /// Connections accepted.
+    pub accepts: u64,
+    /// Median events per non-empty wakeup.
+    pub batch_p50: u64,
+    /// p99 events per non-empty wakeup.
+    pub batch_p99: u64,
+}
+
+/// Results of one scale-mode run.
+#[derive(Clone, Debug, Default)]
+pub struct ScaleReport {
+    /// Server backend the run targeted (caller-provided label).
+    pub backend: String,
+    /// Connections requested.
+    pub connections: usize,
+    /// Connections running closed-loop queries.
+    pub active_conns: usize,
+    /// Connections parked as keepalive ballast.
+    pub idle_conns: usize,
+    /// Wall-clock run time in seconds.
+    pub duration_s: f64,
+    /// Queries answered with a well-formed non-error response.
+    pub queries_ok: u64,
+    /// Successful queries per second.
+    pub qps: f64,
+    /// Latency percentiles over successful queries, microseconds.
+    pub p50_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999_us: u64,
+    /// Queries lost after being acked: the connection had received
+    /// responses, then died with queries still in flight. Must be 0.
+    pub lost: u64,
+    /// In-flight queries on connections the server never served
+    /// (shed at admission, or still queued at shutdown). Not losses:
+    /// nothing on these connections was ever acknowledged.
+    pub unadmitted: u64,
+    /// Connections the server shed with an `Overload` frame.
+    pub shed_conns: u64,
+    /// Idle connections the server closed before the deadline. Must be
+    /// 0: idle keepalive ballast is not evictable load.
+    pub idle_evicted: u64,
+    /// TCP connects that failed outright.
+    pub connect_failures: u64,
+    /// Per-event-loop server counters (filled by the caller, who holds
+    /// the server handle; empty when driving a remote server).
+    pub loops: Vec<ScaleLoopStat>,
+}
+
+impl ScaleReport {
+    /// Stable JSON schema for `BENCH_serve_scale.json`.
+    pub fn to_json(&self) -> String {
+        let loops = self
+            .loops
+            .iter()
+            .map(|l| {
+                format!(
+                    "    {{\"loop\": {}, \"wakeups\": {}, \"events\": {}, \"reads\": {}, \
+                     \"frames\": {}, \"writevs\": {}, \"accepts\": {}, \"batch_p50\": {}, \
+                     \"batch_p99\": {}}}",
+                    l.index,
+                    l.wakeups,
+                    l.events,
+                    l.reads,
+                    l.frames,
+                    l.writevs,
+                    l.accepts,
+                    l.batch_p50,
+                    l.batch_p99
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let loops = if loops.is_empty() {
+            "[]".to_string()
+        } else {
+            format!("[\n{loops}\n  ]")
+        };
+        format!(
+            "{{\n  \"bench\": \"serve_scale\",\n  \"schema\": 1,\n  \"backend\": \"{}\",\n  \
+             \"connections\": {},\n  \"active_conns\": {},\n  \"idle_conns\": {},\n  \
+             \"duration_s\": {:.3},\n  \"queries_ok\": {},\n  \"qps\": {:.1},\n  \
+             \"p50_us\": {},\n  \"p99_us\": {},\n  \"p999_us\": {},\n  \"lost\": {},\n  \
+             \"unadmitted\": {},\n  \"shed_conns\": {},\n  \"idle_evicted\": {},\n  \
+             \"connect_failures\": {},\n  \"loops\": {}\n}}\n",
+            self.backend,
+            self.connections,
+            self.active_conns,
+            self.idle_conns,
+            self.duration_s,
+            self.queries_ok,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.p999_us,
+            self.lost,
+            self.unadmitted,
+            self.shed_conns,
+            self.idle_evicted,
+            self.connect_failures,
+            loops
+        )
+    }
+
+    /// Write the JSON report atomically.
+    pub fn write_json(&self, path: &std::path::Path) -> io::Result<()> {
+        bdrmap_types::fsutil::write_atomic(path, self.to_json().as_bytes())
+    }
+}
+
+/// Client-side state for one scale-mode connection.
+#[cfg(target_os = "linux")]
+struct ScaleConn {
+    stream: TcpStream,
+    idle: bool,
+    /// Send timestamps of in-flight requests, oldest first.
+    pending: std::collections::VecDeque<Instant>,
+    inbuf: crate::conn::FrameBuf,
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Registered epoll interest bits.
+    interest: u32,
+    /// Responses received on this connection (0 = never admitted).
+    recvd: u64,
+    /// The server shed us with an Overload frame.
+    shed: bool,
+    dead: bool,
+    /// Next query index for this connection's round-robin.
+    qi: usize,
+}
+
+/// Drive a server at high connection counts from one epoll loop.
+///
+/// `connections × idle_frac` connections park as keepalive ballast; the
+/// rest run `pipeline`-deep closed-loop queries until the deadline,
+/// then a grace window collects in-flight responses. The returned
+/// report distinguishes hard failures (acked-then-lost queries, evicted
+/// idle connections) from admission-control outcomes (shed, unadmitted)
+/// that are correct behaviour for an overloaded backend.
+#[cfg(target_os = "linux")]
+pub fn run_scale(
+    addr: SocketAddr,
+    queries: &[Request],
+    cfg: &ScaleConfig,
+) -> io::Result<ScaleReport> {
+    use bdrmap_types::sys::{Epoll, EpollEvent, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
+
+    if queries.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "empty query set: the border map has no routers or links",
+        ));
+    }
+    let connections = cfg.connections.max(1);
+    let idle_target = ((connections as f64) * cfg.idle_frac.clamp(0.0, 1.0)) as usize;
+    let pipeline = cfg.pipeline.max(1);
+    // Each connection needs a client-side fd (the caller's in-process
+    // server doubles that); headroom for listeners and stdio.
+    let _ = bdrmap_types::sys::ensure_nofile((connections as u64) * 2 + 512);
+
+    let ep = Epoll::new()?;
+    let mut conns: Vec<ScaleConn> = Vec::with_capacity(connections);
+    let mut connect_failures = 0u64;
+    for c in 0..connections {
+        let stream = match TcpStream::connect(addr) {
+            Ok(s) => s,
+            Err(_) => {
+                // One paced retry: a full listen backlog mid-storm is
+                // transient while the server's accept loop catches up.
+                std::thread::sleep(Duration::from_millis(10));
+                match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        connect_failures += 1;
+                        continue;
+                    }
+                }
+            }
+        };
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        let idle = c < idle_target;
+        let tok = conns.len() as u64;
+        use std::os::unix::io::AsRawFd;
+        ep.add(stream.as_raw_fd(), EPOLLIN | EPOLLRDHUP, tok)?;
+        conns.push(ScaleConn {
+            stream,
+            idle,
+            pending: std::collections::VecDeque::new(),
+            inbuf: crate::conn::FrameBuf::new(MAX_FRAME, pipeline * 2 + 8),
+            outbuf: Vec::new(),
+            outpos: 0,
+            interest: EPOLLIN | EPOLLRDHUP,
+            recvd: 0,
+            shed: false,
+            dead: false,
+            qi: c.wrapping_mul(7919),
+        });
+    }
+
+    let mut ok = 0u64;
+    let mut lost = 0u64;
+    let mut unadmitted = 0u64;
+    let mut shed_conns = 0u64;
+    let mut idle_evicted = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+
+    let enqueue = |conn: &mut ScaleConn, queries: &[Request]| {
+        let req = &queries[conn.qi % queries.len()];
+        conn.qi = conn.qi.wrapping_add(1);
+        let payload = req.encode();
+        conn.outbuf
+            .extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        conn.outbuf.extend_from_slice(&payload);
+        conn.pending.push_back(Instant::now());
+    };
+
+    // Prime the pipelines.
+    for conn in conns.iter_mut().filter(|c| !c.idle) {
+        for _ in 0..pipeline {
+            enqueue(conn, queries);
+        }
+    }
+
+    let start = Instant::now();
+    let deadline = start + cfg.duration;
+    let grace = deadline + Duration::from_secs(2);
+    let mut events = vec![EpollEvent::default(); 1024];
+    loop {
+        let now = Instant::now();
+        if now >= grace {
+            break;
+        }
+        let in_flight = conns.iter().any(|c| !c.dead && !c.pending.is_empty());
+        let writable = conns.iter().any(|c| !c.dead && c.outpos < c.outbuf.len());
+        if now >= deadline && !in_flight && !writable {
+            break;
+        }
+        // Flush pass: push queued request bytes until the kernel pushes
+        // back, then lean on EPOLLOUT.
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.dead || conn.outpos >= conn.outbuf.len() {
+                continue;
+            }
+            loop {
+                match conn.stream.write(&conn.outbuf[conn.outpos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.outpos += n;
+                        if conn.outpos >= conn.outbuf.len() {
+                            conn.outbuf.clear();
+                            conn.outpos = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            let want = if conn.outpos < conn.outbuf.len() {
+                EPOLLIN | EPOLLRDHUP | EPOLLOUT
+            } else {
+                EPOLLIN | EPOLLRDHUP
+            };
+            if !conn.dead && want != conn.interest {
+                use std::os::unix::io::AsRawFd;
+                conn.interest = want;
+                let _ = ep.modify(conn.stream.as_raw_fd(), want, i as u64);
+            }
+        }
+        let n = ep.wait(&mut events, 25)?;
+        for e in events.iter().take(n) {
+            let idx = e.data as usize;
+            let Some(conn) = conns.get_mut(idx) else {
+                continue;
+            };
+            if conn.dead {
+                continue;
+            }
+            // Read everything available, then classify the frames.
+            let mut eof = false;
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(nread) => conn.inbuf.push(&chunk[..nread]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            let frames = conn.inbuf.extract().unwrap_or_default();
+            for payload in frames {
+                match Response::decode(&payload) {
+                    Ok(Response::Overload) if conn.recvd == 0 => {
+                        // Shed at admission: nothing was ever acked.
+                        conn.shed = true;
+                        shed_conns += 1;
+                        unadmitted += conn.pending.len() as u64;
+                        conn.pending.clear();
+                    }
+                    Ok(Response::Error(_)) | Err(_) => {
+                        // Goodbye/error frame: the in-flight query it
+                        // answers is gone, but it was never acked.
+                        if conn.pending.pop_front().is_some() {
+                            unadmitted += 1;
+                        }
+                    }
+                    Ok(_) => {
+                        if let Some(sent) = conn.pending.pop_front() {
+                            latencies.push(sent.elapsed().as_micros() as u64);
+                            ok += 1;
+                            conn.recvd += 1;
+                            if Instant::now() < deadline {
+                                enqueue(conn, queries);
+                            }
+                        }
+                    }
+                }
+            }
+            if eof {
+                conn.dead = true;
+                let in_flight = conn.pending.len() as u64;
+                if conn.idle {
+                    // A shed connection's close is admission control
+                    // (already counted in shed_conns), not an eviction
+                    // of admitted idle ballast.
+                    if !conn.shed && Instant::now() < deadline {
+                        idle_evicted += 1;
+                    }
+                } else if in_flight > 0 {
+                    if conn.recvd > 0 {
+                        // The server served this connection, then
+                        // dropped acked queries: a hard failure.
+                        lost += in_flight;
+                    } else {
+                        unadmitted += in_flight;
+                    }
+                }
+                conn.pending.clear();
+            }
+        }
+    }
+    // Whatever is still pending after the grace window on a live,
+    // previously-served connection counts as lost.
+    for conn in &conns {
+        if conn.dead || conn.pending.is_empty() {
+            continue;
+        }
+        if conn.recvd > 0 {
+            lost += conn.pending.len() as u64;
+        } else {
+            unadmitted += conn.pending.len() as u64;
+        }
+    }
+    let elapsed = start
+        .elapsed()
+        .as_secs_f64()
+        .min(cfg.duration.as_secs_f64());
+    latencies.sort_unstable();
+    Ok(ScaleReport {
+        backend: String::new(),
+        connections,
+        active_conns: conns.iter().filter(|c| !c.idle).count(),
+        idle_conns: conns.iter().filter(|c| c.idle).count(),
+        duration_s: elapsed,
+        queries_ok: ok,
+        qps: if elapsed > 0.0 {
+            ok as f64 / elapsed
+        } else {
+            0.0
+        },
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        p999_us: percentile(&latencies, 0.999),
+        lost,
+        unadmitted,
+        shed_conns,
+        idle_evicted,
+        connect_failures,
+        loops: Vec::new(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -629,6 +1078,59 @@ mod tests {
         assert!(!json.contains("ok_owner"), "per-op counts leaked into JSON");
         let none = LoadReport::default().to_json();
         assert!(none.contains("\"reload\": null"));
+    }
+
+    #[test]
+    fn scale_report_json_is_stable() {
+        let report = ScaleReport {
+            backend: "epoll".to_string(),
+            connections: 20000,
+            active_conns: 10000,
+            idle_conns: 10000,
+            duration_s: 10.0,
+            queries_ok: 123456,
+            qps: 12345.6,
+            p50_us: 40,
+            p99_us: 900,
+            p999_us: 4000,
+            lost: 0,
+            unadmitted: 3,
+            shed_conns: 1,
+            idle_evicted: 0,
+            connect_failures: 0,
+            loops: vec![ScaleLoopStat {
+                index: 0,
+                wakeups: 1000,
+                events: 5000,
+                reads: 4000,
+                frames: 123456,
+                writevs: 3000,
+                accepts: 20000,
+                batch_p50: 4,
+                batch_p99: 64,
+            }],
+        };
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"serve_scale\"",
+            "\"schema\": 1",
+            "\"backend\": \"epoll\"",
+            "\"connections\": 20000",
+            "\"active_conns\": 10000",
+            "\"idle_conns\": 10000",
+            "\"queries_ok\": 123456",
+            "\"p99_us\": 900",
+            "\"lost\": 0",
+            "\"unadmitted\": 3",
+            "\"shed_conns\": 1",
+            "\"idle_evicted\": 0",
+            "\"connect_failures\": 0",
+            "\"batch_p99\": 64",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        let empty = ScaleReport::default().to_json();
+        assert!(empty.contains("\"loops\": []"));
     }
 
     #[test]

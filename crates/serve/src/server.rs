@@ -54,16 +54,70 @@ use std::time::{Duration, Instant};
 const READ_POLL: Duration = Duration::from_millis(200);
 
 /// How often the supervisor heartbeats its components.
-const SUPERVISE_POLL: Duration = Duration::from_millis(20);
+pub(crate) const SUPERVISE_POLL: Duration = Duration::from_millis(20);
+
+/// Which connection-handling engine a [`Server`] runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerBackend {
+    /// The original fixed pool of blocking worker threads: one thread
+    /// serves one connection at a time, a bounded channel queues the
+    /// rest, and the acceptor sheds beyond it.
+    Threads,
+    /// Shared-nothing epoll readiness loops (Linux only): every loop
+    /// multiplexes thousands of non-blocking connections through
+    /// per-connection state machines, with a hashed timer wheel for
+    /// deadlines and vectored writes for response bursts.
+    Epoll,
+}
+
+impl Default for ServerBackend {
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ServerBackend::Epoll
+        } else {
+            ServerBackend::Threads
+        }
+    }
+}
+
+impl std::str::FromStr for ServerBackend {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "threads" => Ok(ServerBackend::Threads),
+            "epoll" => Ok(ServerBackend::Epoll),
+            other => Err(format!(
+                "unknown server backend {other:?} (expected threads|epoll)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for ServerBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ServerBackend::Threads => "threads",
+            ServerBackend::Epoll => "epoll",
+        })
+    }
+}
 
 /// Server tunables.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
     /// Listen address; use port 0 for an ephemeral port.
     pub listen: String,
-    /// Fixed worker-thread pool size.
+    /// Connection-handling engine; defaults to epoll on Linux.
+    pub backend: ServerBackend,
+    /// Optional plain-HTTP `GET /metrics` listener address (Prometheus
+    /// text exposition); `None` disables it.
+    pub metrics_addr: Option<String>,
+    /// Thread-pool size (threads backend) or event-loop count (epoll
+    /// backend).
     pub workers: usize,
     /// Bounded accept-queue depth; connections beyond it are shed.
+    /// Under epoll the same number bounds *open* connections past the
+    /// worker/loop count, so both backends shed at `workers + queue`.
     pub queue: usize,
     /// Coarse prefix-ownership layer built under every snapshot,
     /// including reloaded ones (typically the collector view's
@@ -98,6 +152,8 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             listen: "127.0.0.1:0".to_string(),
+            backend: ServerBackend::default(),
+            metrics_addr: None,
             workers: 4,
             queue: 128,
             prefix_owners: Vec::new(),
@@ -150,34 +206,97 @@ fn op_index(req: &Request) -> usize {
 /// numbers). The ad-hoc `AtomicU64`s that used to live on `Shared`
 /// migrated here; `Stats` wire responses read the same storage, so the
 /// two reporters cannot disagree.
-struct ServerMetrics {
-    registry: Registry,
+pub(crate) struct ServerMetrics {
+    pub(crate) registry: Registry,
     /// `bdrmapd_requests_total{op=...}` — every well-formed request,
     /// control frames included.
-    requests: [Counter; 7],
+    pub(crate) requests: [Counter; 7],
     /// `bdrmapd_request_us{op=...}` — wall-clock handling latency.
-    latency: [Histogram; 7],
+    pub(crate) latency: [Histogram; 7],
     /// `bdrmapd_malformed_requests_total` — frames that failed decode.
-    malformed: Counter,
+    pub(crate) malformed: Counter,
     /// `bdrmapd_sheds_total` — connections shed at the accept queue.
-    sheds: Counter,
+    pub(crate) sheds: Counter,
     /// `bdrmapd_evictions_total{cause=...}`.
-    evicted_slow: Counter,
-    evicted_flood: Counter,
+    pub(crate) evicted_slow: Counter,
+    pub(crate) evicted_flood: Counter,
     /// `bdrmapd_setup_errors_total` — sockets refused at setup.
-    setup_errors: Counter,
+    pub(crate) setup_errors: Counter,
     /// `bdrmapd_reloads_total` — successful snapshot swaps.
-    reloads: Counter,
+    pub(crate) reloads: Counter,
     /// `bdrmapd_reload_failures_total` — reloads out of retries.
-    reload_failures: Counter,
+    pub(crate) reload_failures: Counter,
     /// `bdrmapd_drained_total` — connections closed by graceful drain.
-    drained: Counter,
+    pub(crate) drained: Counter,
     /// `bdrmapd_watchdog_restarts_total{component=...}` — dead threads
     /// the supervisor brought back: `[acceptor, worker]`.
-    watchdog_restarts: [Counter; 2],
+    pub(crate) watchdog_restarts: [Counter; 2],
     /// `bdrmapd_watchdog_heartbeats_total` — supervision ticks, proof
     /// the watchdog itself is alive.
-    watchdog_heartbeats: Counter,
+    pub(crate) watchdog_heartbeats: Counter,
+}
+
+/// Per-event-loop instruments (`bdrmapd_loop_*{loop=...}`), created
+/// once per loop index so watchdog respawns keep accumulating into the
+/// same series. The `reads`/`frames` counters double as the proof that
+/// idle connections cost nothing: an all-idle server holds both flat
+/// between timer ticks.
+#[derive(Clone)]
+pub(crate) struct LoopMetrics {
+    /// `epoll_wait` returns.
+    pub(crate) wakeups: Counter,
+    /// Readiness events dispatched.
+    pub(crate) events: Counter,
+    /// Events delivered per wakeup (batch-size histogram).
+    pub(crate) batch: Histogram,
+    /// `read` syscalls that returned bytes on connection sockets.
+    pub(crate) reads: Counter,
+    /// Request frames decoded (proto work).
+    pub(crate) frames: Counter,
+    /// `writev` syscalls issued for responses.
+    pub(crate) writevs: Counter,
+    /// Connections accepted by this loop.
+    pub(crate) accepts: Counter,
+}
+
+impl LoopMetrics {
+    fn new(registry: &Registry, index: usize) -> LoopMetrics {
+        let l = index.to_string();
+        let lbl: &[(&'static str, &str)] = &[("loop", &l)];
+        LoopMetrics {
+            wakeups: registry.counter("bdrmapd_loop_wakeups_total", lbl),
+            events: registry.counter("bdrmapd_loop_events_total", lbl),
+            batch: registry.histogram("bdrmapd_loop_event_batch", lbl),
+            reads: registry.counter("bdrmapd_loop_reads_total", lbl),
+            frames: registry.counter("bdrmapd_loop_frames_total", lbl),
+            writevs: registry.counter("bdrmapd_loop_writevs_total", lbl),
+            accepts: registry.counter("bdrmapd_loop_accepts_total", lbl),
+        }
+    }
+}
+
+/// One event loop's counters, snapshotted for reports
+/// (`BENCH_serve_scale.json` embeds these per loop).
+#[derive(Clone, Debug)]
+pub struct LoopStat {
+    /// Loop index (0-based).
+    pub index: usize,
+    /// `epoll_wait` returns.
+    pub wakeups: u64,
+    /// Readiness events dispatched.
+    pub events: u64,
+    /// Reads that returned bytes.
+    pub reads: u64,
+    /// Request frames decoded.
+    pub frames: u64,
+    /// Vectored writes issued.
+    pub writevs: u64,
+    /// Connections accepted.
+    pub accepts: u64,
+    /// Median events per wakeup.
+    pub batch_p50: u64,
+    /// 99th-percentile events per wakeup.
+    pub batch_p99: u64,
 }
 
 impl ServerMetrics {
@@ -239,26 +358,36 @@ struct ReloadInfo {
     swap_us: u64,
 }
 
-/// State shared by the acceptor, the workers, and the handle.
-struct Shared {
-    cell: Arc<SwapCell<QueryIndex>>,
+/// State shared by the acceptor, the workers/loops, and the handle.
+pub(crate) struct Shared {
+    pub(crate) cell: Arc<SwapCell<QueryIndex>>,
     /// Reload accounting; see [`ReloadInfo`].
     reload_info: SwapCell<ReloadInfo>,
     /// Orders concurrent reload publications so a slower reload cannot
     /// overwrite a newer triple with a stale one.
     reload_publish: Mutex<()>,
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     prefix_owners: Vec<(Prefix, Asn)>,
-    limits: ConnLimits,
+    pub(crate) limits: ConnLimits,
     breaker: Mutex<Breaker>,
     store: Option<SnapStore>,
     started: Instant,
     reload_attempts: u32,
     reload_backoff: Duration,
-    metrics: ServerMetrics,
+    pub(crate) metrics: ServerMetrics,
     /// Socket-chaos schedule shared by the acceptor and every worker;
     /// `None` in production.
-    chaos: Option<ChaosNet>,
+    pub(crate) chaos: Option<ChaosNet>,
+    /// Open proto connections across every event loop (epoll backend;
+    /// the threads backend bounds admission with its channel instead).
+    pub(crate) open_conns: std::sync::atomic::AtomicUsize,
+    /// Admission budget: connections past it are shed with one
+    /// `Overload` frame, matching the threads backend's
+    /// `workers + queue` capacity.
+    pub(crate) conn_budget: usize,
+    /// Per-loop instruments, created up front so respawned loops keep
+    /// their series. Empty under the threads backend.
+    pub(crate) loop_metrics: Vec<LoopMetrics>,
 }
 
 impl Shared {
@@ -324,6 +453,7 @@ impl Shared {
 /// counted restart instead of a silently smaller server.
 pub struct Server {
     local_addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     supervisor: Option<JoinHandle<()>>,
 }
@@ -363,6 +493,13 @@ impl Server {
         store: Option<SnapStore>,
         store_generation: u64,
     ) -> io::Result<Server> {
+        if cfg.backend == ServerBackend::Epoll && !cfg!(target_os = "linux") {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "the epoll backend requires Linux; use --server-backend threads",
+            ));
+        }
+        let workers = cfg.workers.max(1);
         let index = QueryIndex::build_with_prefixes(map, cfg.prefix_owners.iter().copied());
         let cell = Arc::new(SwapCell::new(Arc::new(index)));
         let reload_info = SwapCell::new(Arc::new(ReloadInfo {
@@ -371,6 +508,13 @@ impl Server {
             build_us: 0,
             swap_us: 0,
         }));
+        let loop_metrics = if cfg.backend == ServerBackend::Epoll {
+            (0..workers)
+                .map(|i| LoopMetrics::new(&metrics.registry, i))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             cell,
             reload_info,
@@ -385,20 +529,65 @@ impl Server {
             reload_backoff: cfg.reload_backoff,
             metrics,
             chaos: cfg.chaos.map(ChaosNet::new),
+            open_conns: std::sync::atomic::AtomicUsize::new(0),
+            conn_budget: workers + cfg.queue.max(1),
+            loop_metrics,
         });
         let listener = Arc::new(TcpListener::bind(&cfg.listen)?);
         let local_addr = listener.local_addr()?;
-        let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
-        let rx = Arc::new(Mutex::new(rx));
-        let supervisor = {
-            let shared = Arc::clone(&shared);
-            let backoff = cfg.restart_backoff.max(Duration::from_millis(1));
-            let cap = cfg.restart_backoff_cap.max(backoff);
-            let workers = cfg.workers.max(1);
-            std::thread::spawn(move || supervise(shared, listener, tx, rx, workers, backoff, cap))
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => Some(Arc::new(TcpListener::bind(addr)?)),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
+        let backoff = cfg.restart_backoff.max(Duration::from_millis(1));
+        let cap = cfg.restart_backoff_cap.max(backoff);
+        let supervisor = match cfg.backend {
+            ServerBackend::Threads => {
+                let (tx, rx) = sync_channel::<TcpStream>(cfg.queue.max(1));
+                let rx = Arc::new(Mutex::new(rx));
+                if let Some(ml) = metrics_listener {
+                    // A small polling thread scrapes independently of
+                    // the worker pool, so `/metrics` stays reachable
+                    // even when every worker is pinned.
+                    ml.set_nonblocking(true)?;
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || crate::http::polling_metrics_loop(shared, ml));
+                }
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    supervise(shared, listener, tx, rx, workers, backoff, cap)
+                })
+            }
+            ServerBackend::Epoll => {
+                #[cfg(target_os = "linux")]
+                {
+                    listener.set_nonblocking(true)?;
+                    if let Some(ml) = &metrics_listener {
+                        ml.set_nonblocking(true)?;
+                    }
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || {
+                        crate::event::supervise_loops(
+                            shared,
+                            listener,
+                            metrics_listener,
+                            workers,
+                            backoff,
+                            cap,
+                        )
+                    })
+                }
+                #[cfg(not(target_os = "linux"))]
+                unreachable!("epoll backend rejected above on non-Linux")
+            }
         };
         Ok(Server {
             local_addr,
+            metrics_addr,
             shared,
             supervisor: Some(supervisor),
         })
@@ -407,6 +596,31 @@ impl Server {
     /// The bound address (resolves ephemeral ports).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The plain-HTTP `/metrics` listener address, when configured.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// Per-event-loop counters (empty under the threads backend).
+    pub fn loop_stats(&self) -> Vec<LoopStat> {
+        self.shared
+            .loop_metrics
+            .iter()
+            .enumerate()
+            .map(|(index, lm)| LoopStat {
+                index,
+                wakeups: lm.wakeups.get(),
+                events: lm.events.get(),
+                reads: lm.reads.get(),
+                frames: lm.frames.get(),
+                writevs: lm.writevs.get(),
+                accepts: lm.accepts.get(),
+                batch_p50: lm.batch.quantile(0.50),
+                batch_p99: lm.batch.quantile(0.99),
+            })
+            .collect()
     }
 
     /// Current snapshot swap generation.
@@ -544,6 +758,10 @@ fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, tx: SyncSender<T
             break;
         }
         let Ok((stream, _)) = listener.accept() else {
+            // Usually fd exhaustion (EMFILE): accept keeps failing
+            // instantly while the backlog is non-empty, so a bare
+            // `continue` would spin the acceptor at 100% CPU.
+            std::thread::sleep(Duration::from_millis(25));
             continue;
         };
         if shared.stop.load(Ordering::SeqCst) {
@@ -679,7 +897,7 @@ fn evict(conn: &mut Conn, reason: &str) {
 /// and latency histogram; only `Owner`/`Border`/`Neighbor` contribute
 /// to the `queries` figure in `Stats`, so a client polling `Stats` or
 /// `Health` neither distorts nor vanishes from reported load.
-fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+pub(crate) fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
     let op = op_index(&req);
     shared.metrics.requests[op].inc();
     let start = Instant::now();

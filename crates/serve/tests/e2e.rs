@@ -11,7 +11,7 @@ use bdrmap_core::{snapshot, BdrmapConfig, BorderMap, QueryIndex};
 use bdrmap_eval::Scenario;
 use bdrmap_serve::{
     loadgen, queries_for_map, Client, LinkInfo, LoadgenConfig, Request, Response, ServeConfig,
-    Server,
+    Server, ServerBackend,
 };
 use bdrmap_topo::TopoConfig;
 use bdrmap_types::wire::{read_frame, MAX_FRAME};
@@ -22,12 +22,22 @@ fn infer(seed: u64, vp: usize) -> BorderMap {
     sc.run_vp(vp, &BdrmapConfig::default())
 }
 
-fn start(map: &BorderMap, workers: usize, queue: usize) -> Server {
+/// Both backends must pass every acceptance experiment in this file.
+fn backends() -> Vec<ServerBackend> {
+    let mut v = vec![ServerBackend::Threads];
+    if cfg!(target_os = "linux") {
+        v.push(ServerBackend::Epoll);
+    }
+    v
+}
+
+fn start(map: &BorderMap, workers: usize, queue: usize, backend: ServerBackend) -> Server {
     Server::start(
         map,
         ServeConfig {
             workers,
             queue,
+            backend,
             ..ServeConfig::default()
         },
     )
@@ -38,10 +48,16 @@ fn start(map: &BorderMap, workers: usize, queue: usize) -> Server {
 /// answer equals what the in-process index computes.
 #[test]
 fn serves_all_three_query_kinds_correctly() {
+    for backend in backends() {
+        serves_all_three_query_kinds_correctly_impl(backend);
+    }
+}
+
+fn serves_all_three_query_kinds_correctly_impl(backend: ServerBackend) {
     let map = infer(61, 0);
     assert!(!map.links.is_empty(), "tiny scenario must infer links");
     let reference = QueryIndex::build(&map);
-    let server = start(&map, 2, 16);
+    let server = start(&map, 2, 16, backend);
     let mut client = Client::connect(&server.local_addr()).unwrap();
 
     // Owner-of-address over every router interface in the map.
@@ -123,6 +139,12 @@ fn serves_all_three_query_kinds_correctly() {
 /// in-flight query, and post-swap responses reflect the new snapshot.
 #[test]
 fn hot_swap_under_load_loses_no_queries() {
+    for backend in backends() {
+        hot_swap_under_load_loses_no_queries_impl(backend);
+    }
+}
+
+fn hot_swap_under_load_loses_no_queries_impl(backend: ServerBackend) {
     let map_a = infer(61, 0);
     let map_b = infer(61, 1);
     let dir = std::env::temp_dir().join("bdrmap-serve-e2e");
@@ -130,7 +152,7 @@ fn hot_swap_under_load_loses_no_queries() {
     let snap_b = dir.join("map-b.bdrm");
     snapshot::save(&snap_b, &map_b).unwrap();
 
-    let server = start(&map_a, 4, 64);
+    let server = start(&map_a, 4, 64, backend);
     let queries = queries_for_map(&map_a);
     let report = loadgen::run(
         server.local_addr(),
@@ -181,8 +203,14 @@ fn hot_swap_under_load_loses_no_queries() {
 /// with a single `Overload` frame instead of piling up.
 #[test]
 fn saturated_accept_queue_sheds_overload() {
+    for backend in backends() {
+        saturated_accept_queue_sheds_overload_impl(backend);
+    }
+}
+
+fn saturated_accept_queue_sheds_overload_impl(backend: ServerBackend) {
     let map = infer(61, 0);
-    let server = start(&map, 1, 1);
+    let server = start(&map, 1, 1, backend);
 
     // Occupy the only worker: a connection is held for its lifetime.
     let mut busy = Client::connect(&server.local_addr()).unwrap();
@@ -251,8 +279,14 @@ fn scrape(text: &str, name: &str, labels: &str) -> u64 {
 /// frame shows up under its own opcode in `bdrmapd_requests_total`.
 #[test]
 fn stats_polling_neither_distorts_nor_vanishes() {
+    for backend in backends() {
+        stats_polling_neither_distorts_nor_vanishes_impl(backend);
+    }
+}
+
+fn stats_polling_neither_distorts_nor_vanishes_impl(backend: ServerBackend) {
     let map = infer(61, 0);
-    let server = start(&map, 2, 16);
+    let server = start(&map, 2, 16, backend);
     let mut client = Client::connect(&server.local_addr()).unwrap();
 
     let addr = map.routers[0]
@@ -324,6 +358,12 @@ fn stats_polling_neither_distorts_nor_vanishes() {
 /// one returned by some `Reloaded` response.
 #[test]
 fn concurrent_reloads_never_tear_the_stats_triple() {
+    for backend in backends() {
+        concurrent_reloads_never_tear_the_stats_triple_impl(backend);
+    }
+}
+
+fn concurrent_reloads_never_tear_the_stats_triple_impl(backend: ServerBackend) {
     let map = infer(61, 0);
     let map_b = infer(61, 1);
     let dir = std::env::temp_dir().join("bdrmap-serve-e2e-tear");
@@ -331,7 +371,7 @@ fn concurrent_reloads_never_tear_the_stats_triple() {
     let snap = dir.join("map-b.bdrm");
     snapshot::save(&snap, &map_b).unwrap();
 
-    let server = start(&map, 4, 64);
+    let server = start(&map, 4, 64, backend);
     let addr = server.local_addr();
     let path = snap.display().to_string();
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));

@@ -6,6 +6,7 @@ use bdrmap_core::output::{BorderMap, Heuristic, InferredLink, InferredRouter};
 use bdrmap_core::SnapStore;
 use bdrmap_serve::{
     loadgen, queries_for_map, Client, LoadgenConfig, Request, Response, ServeConfig, Server,
+    ServerBackend,
 };
 use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
 use bdrmap_types::{addr, Asn};
@@ -54,8 +55,18 @@ fn temp_store(tag: &str) -> PathBuf {
     dir
 }
 
-fn fast_cfg() -> ServeConfig {
+/// Every crash-safety property must hold on both backends.
+fn backends() -> Vec<ServerBackend> {
+    let mut v = vec![ServerBackend::Threads];
+    if cfg!(target_os = "linux") {
+        v.push(ServerBackend::Epoll);
+    }
+    v
+}
+
+fn fast_cfg(backend: ServerBackend) -> ServeConfig {
     ServeConfig {
+        backend,
         workers: 2,
         queue: 16,
         reload_attempts: 1,
@@ -93,7 +104,13 @@ fn health(server: &Server) -> bdrmap_serve::HealthInfo {
 /// store-reload re-advances the generation with the breaker closed.
 #[test]
 fn bitflip_rolls_back_then_good_reload_readvances() {
-    let dir = temp_store("bitflip");
+    for backend in backends() {
+        bitflip_rolls_back_then_good_reload_readvances_impl(backend);
+    }
+}
+
+fn bitflip_rolls_back_then_good_reload_readvances_impl(backend: ServerBackend) {
+    let dir = temp_store(&format!("bitflip-{backend}"));
     let store = SnapStore::open(&dir).unwrap();
     assert_eq!(store.publish(&map(1)).unwrap(), 1);
     assert_eq!(store.publish(&map(2)).unwrap(), 2);
@@ -105,7 +122,7 @@ fn bitflip_rolls_back_then_good_reload_readvances() {
     bytes[mid] ^= 0x10;
     std::fs::write(&victim, &bytes).unwrap();
 
-    let server = Server::start_from_store(&dir, fast_cfg()).unwrap();
+    let server = Server::start_from_store(&dir, fast_cfg(backend)).unwrap();
     let h = health(&server);
     assert_eq!(h.generation, 1, "must roll back to the last good gen");
     assert_eq!(h.breaker_state, 0);
@@ -136,7 +153,13 @@ fn bitflip_rolls_back_then_good_reload_readvances() {
 /// Acceptance: truncate the newest snapshot mid-file; same rollback.
 #[test]
 fn truncation_rolls_back() {
-    let dir = temp_store("truncate");
+    for backend in backends() {
+        truncation_rolls_back_impl(backend);
+    }
+}
+
+fn truncation_rolls_back_impl(backend: ServerBackend) {
+    let dir = temp_store(&format!("truncate-{backend}"));
     let store = SnapStore::open(&dir).unwrap();
     store.publish(&map(1)).unwrap();
     store.publish(&map(2)).unwrap();
@@ -145,7 +168,7 @@ fn truncation_rolls_back() {
     let bytes = std::fs::read(&victim).unwrap();
     std::fs::write(&victim, &bytes[..bytes.len() / 3]).unwrap();
 
-    let server = Server::start_from_store(&dir, fast_cfg()).unwrap();
+    let server = Server::start_from_store(&dir, fast_cfg(backend)).unwrap();
     assert_eq!(health(&server).generation, 1);
     assert_serves_map(&server, &map(1));
     server.shutdown();
@@ -157,10 +180,16 @@ fn truncation_rolls_back() {
 /// reload closes the breaker again.
 #[test]
 fn breaker_opens_pins_and_recovers() {
-    let dir = temp_store("breaker");
+    for backend in backends() {
+        breaker_opens_pins_and_recovers_impl(backend);
+    }
+}
+
+fn breaker_opens_pins_and_recovers_impl(backend: ServerBackend) {
+    let dir = temp_store(&format!("breaker-{backend}"));
     let store = SnapStore::open(&dir).unwrap();
     store.publish(&map(1)).unwrap();
-    let server = Server::start_from_store(&dir, fast_cfg()).unwrap();
+    let server = Server::start_from_store(&dir, fast_cfg(backend)).unwrap();
     let mut client = Client::connect(&server.local_addr()).unwrap();
 
     // Two failing reloads (threshold = 2) open the breaker.
@@ -207,10 +236,17 @@ fn breaker_opens_pins_and_recovers() {
 /// the fields asserted here are the same ones BENCH_serve.json reports.
 #[test]
 fn stalled_connections_evicted_without_hurting_healthy_p99() {
+    for backend in backends() {
+        stalled_connections_evicted_without_hurting_healthy_p99_impl(backend);
+    }
+}
+
+fn stalled_connections_evicted_without_hurting_healthy_p99_impl(backend: ServerBackend) {
     let m = map(1);
     let server = Server::start(
         &m,
         ServeConfig {
+            backend,
             workers: 4,
             request_deadline: Duration::from_millis(300),
             ..ServeConfig::default()
@@ -251,8 +287,21 @@ fn stalled_connections_evicted_without_hurting_healthy_p99() {
 /// `Error` frame — never a hang, close, or lost healthy query.
 #[test]
 fn corrupt_frames_survive_under_load() {
+    for backend in backends() {
+        corrupt_frames_survive_under_load_impl(backend);
+    }
+}
+
+fn corrupt_frames_survive_under_load_impl(backend: ServerBackend) {
     let m = map(2);
-    let server = Server::start(&m, ServeConfig::default()).unwrap();
+    let server = Server::start(
+        &m,
+        ServeConfig {
+            backend,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
     let report = loadgen::run(
         server.local_addr(),
         &queries_for_map(&m),
@@ -279,10 +328,17 @@ fn corrupt_frames_survive_under_load() {
 /// frame, and the server remains available to the next connection.
 #[test]
 fn pipelining_flood_is_evicted() {
+    for backend in backends() {
+        pipelining_flood_is_evicted_impl(backend);
+    }
+}
+
+fn pipelining_flood_is_evicted_impl(backend: ServerBackend) {
     let m = map(3);
     let server = Server::start(
         &m,
         ServeConfig {
+            backend,
             workers: 2,
             max_inflight: 1,
             ..ServeConfig::default()
@@ -328,8 +384,21 @@ fn pipelining_flood_is_evicted() {
 /// gets its answers before the close.
 #[test]
 fn shutdown_drains_inflight_frames() {
+    for backend in backends() {
+        shutdown_drains_inflight_frames_impl(backend);
+    }
+}
+
+fn shutdown_drains_inflight_frames_impl(backend: ServerBackend) {
     let m = map(4);
-    let server = Server::start(&m, ServeConfig::default()).unwrap();
+    let server = Server::start(
+        &m,
+        ServeConfig {
+            backend,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     // Queue three requests, then immediately shut down.
     for _ in 0..3 {

@@ -16,6 +16,7 @@ pub mod integrity;
 pub mod prefix;
 pub mod rir;
 pub mod swap;
+pub mod sys;
 pub mod trie;
 pub mod vfs;
 pub mod wire;

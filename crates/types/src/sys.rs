@@ -1,0 +1,275 @@
+//! Thin Linux syscall wrappers for the event-driven server.
+//!
+//! The workspace is zero-dependency by policy (no `libc`, no `mio`),
+//! but `std` already links the platform libc, so the handful of calls
+//! the epoll backend needs — `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//! `writev`, and `getrlimit`/`setrlimit` — are declared here directly
+//! and wrapped in safe, misuse-resistant types. Everything in this
+//! module is Linux-only; the serving crate gates its epoll backend on
+//! the same `cfg`.
+
+#![cfg(target_os = "linux")]
+
+use std::io::{self, IoSlice};
+use std::os::unix::io::RawFd;
+
+/// Readable readiness (or a pending accept on a listener).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition; always reported, never needs registering.
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up; always reported, never needs registering.
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down the writing half (TCP half-close). Must be
+/// registered explicitly; lets the server answer buffered requests
+/// before closing instead of treating half-close as a dead socket.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const RLIMIT_NOFILE: i32 = 7;
+
+/// One readiness event. The kernel ABI packs this struct on x86-64
+/// (no padding between the 32-bit mask and the 64-bit payload); other
+/// architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpollEvent {
+    /// `EPOLL*` readiness bits.
+    pub events: u32,
+    /// Caller-chosen token identifying the registered fd.
+    pub data: u64,
+}
+
+#[repr(C)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+    // `IoSlice` is guaranteed ABI-compatible with `struct iovec`; the
+    // declaration uses a raw pointer so the signature stays FFI-clean.
+    fn writev(fd: i32, iov: *const std::ffi::c_void, iovcnt: i32) -> isize;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+    fn geteuid() -> u32;
+}
+
+/// Linux caps one `writev` at `IOV_MAX` iovecs.
+pub const IOV_MAX: usize = 1024;
+
+/// An owned epoll instance. Registered fds are identified by a
+/// caller-chosen `u64` token; the instance closes with the handle.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` (level-triggered) for `events`, tagged `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Change the interest set of an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Deregister `fd`. Closing the fd deregisters implicitly; this is
+    /// for fds that outlive their registration (shared listeners).
+    pub fn del(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Wait up to `timeout_ms` for readiness, filling `events` from the
+    /// front. Returns the number of events delivered; an interrupting
+    /// signal counts as zero events rather than an error.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        let n = unsafe {
+            epoll_wait(
+                self.fd,
+                events.as_mut_ptr(),
+                events.len().min(i32::MAX as usize) as i32,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+/// Vectored write: submit up to [`IOV_MAX`] buffers in one syscall.
+/// Returns the number of bytes accepted (possibly short).
+pub fn writev_fd(fd: RawFd, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+    let cnt = bufs.len().min(IOV_MAX);
+    let n = unsafe { writev(fd, bufs.as_ptr() as *const std::ffi::c_void, cnt as i32) };
+    if n < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(n as usize)
+}
+
+/// Raise the open-file soft limit to at least `want` descriptors,
+/// pushing the hard limit too when running as root. Returns the soft
+/// limit actually in effect, which may be below `want` on constrained
+/// hosts — callers decide whether that is fatal.
+pub fn ensure_nofile(want: u64) -> io::Result<u64> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.cur >= want {
+        return Ok(lim.cur);
+    }
+    if lim.max < want && unsafe { geteuid() } == 0 {
+        let raised = Rlimit {
+            cur: want,
+            max: want,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } == 0 {
+            return Ok(want);
+        }
+    }
+    let target = want.min(lim.max);
+    let raised = Rlimit {
+        cur: target,
+        max: lim.max,
+    };
+    if unsafe { setrlimit(RLIMIT_NOFILE, &raised) } < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    #[test]
+    fn epoll_reports_listener_and_stream_readiness() {
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        ep.add(listener.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::default(); 8];
+        // Nothing pending: a short wait delivers zero events.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = ep.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        let (data, bits) = (events[0].data, events[0].events);
+        assert_eq!(data, 7);
+        assert_ne!(bits & EPOLLIN, 0);
+
+        // Accept, register the stream, and see data-readiness on it.
+        let (server, _) = listener.accept().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 9).unwrap();
+        client.write_all(b"ping").unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let n = ep.wait(&mut events, 100).unwrap();
+            if (0..n).any(|i| {
+                let ev = events[i];
+                ev.data == 9 && ev.events & EPOLLIN != 0
+            }) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no stream readiness");
+        }
+        ep.del(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn epoll_modify_switches_interest() {
+        let ep = Epoll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        // An empty-socket EPOLLOUT registration is immediately ready.
+        ep.add(server.as_raw_fd(), EPOLLOUT, 1).unwrap();
+        let mut events = [EpollEvent::default(); 4];
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        let ev = events[0];
+        assert_ne!(ev.events & EPOLLOUT, 0);
+        // Switch to read interest: no data yet, so no events.
+        ep.modify(server.as_raw_fd(), EPOLLIN, 1).unwrap();
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+        drop(client);
+    }
+
+    #[test]
+    fn writev_scatters_across_buffers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let bufs = [
+            IoSlice::new(b"alpha-"),
+            IoSlice::new(b"beta-"),
+            IoSlice::new(b"gamma"),
+        ];
+        let wrote = writev_fd(server.as_raw_fd(), &bufs).unwrap();
+        assert_eq!(wrote, 16);
+        let mut got = vec![0u8; 16];
+        let mut client = client;
+        client.read_exact(&mut got).unwrap();
+        assert_eq!(&got, b"alpha-beta-gamma");
+    }
+
+    #[test]
+    fn ensure_nofile_reports_a_usable_limit() {
+        let lim = ensure_nofile(1024).unwrap();
+        assert!(lim >= 1024 || lim > 0);
+        // Asking again for what we already have is a no-op success.
+        assert!(ensure_nofile(lim).unwrap() >= lim);
+    }
+}
