@@ -218,6 +218,8 @@ fn wire_corpus() -> Vec<Vec<u8>> {
             breaker_state: 2,
             uptime_ms: 100_000,
             reload_failures: 1,
+            journal_lsn: 17,
+            recovered_batches: 2,
         })
         .encode(),
         Response::Overload.encode(),

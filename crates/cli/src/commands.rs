@@ -893,11 +893,14 @@ pub fn query(args: &Args) -> Result<(), ArgError> {
         }
         Response::Health(h) => {
             println!(
-                "generation {} | swap epoch {} | breaker {} | {} reload failures | up {:.1}s",
+                "generation {} | swap epoch {} | breaker {} | {} reload failures | \
+                 journal lsn {} ({} batches recovered) | up {:.1}s",
                 h.generation,
                 h.swap_epoch,
                 breaker_name(h.breaker_state),
                 h.reload_failures,
+                h.journal_lsn,
+                h.recovered_batches,
                 h.uptime_ms as f64 / 1e3
             );
         }
@@ -1452,8 +1455,17 @@ pub fn bench_pipeline(args: &Args) -> Result<(), ArgError> {
 /// store after the first pass and hot-swaps it after every later one
 /// via the Reload RPC, asserting the served generation advanced.
 /// Per-pass rows land in `--json` (default BENCH_incremental.json).
+///
+/// With `--journal-dir` every batch is appended to a write-ahead
+/// journal *before* it is applied, and startup recovers from the
+/// newest verified checkpoint plus a journal tail replay — a killed
+/// watch loop resumes exactly where it died, and its next published
+/// map is byte-identical to a from-scratch rebuild (the shadow check
+/// holds across the crash). `--expire-after <n>` retracts traces not
+/// refreshed within n passes; `--compact-every <n>` sets the
+/// checkpoint cadence.
 pub fn watch(args: &Args) -> Result<(), ArgError> {
-    use bdrmap_core::{snapshot, Batch, IncrementalEngine, SnapStore};
+    use bdrmap_core::{snapshot, Batch, IncrementalEngine, Journal, JournalCheckpoint, SnapStore};
 
     let out = args.get("json").unwrap_or("BENCH_incremental.json");
     let preset_name = args.get("preset").unwrap_or("tiny");
@@ -1470,6 +1482,20 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
             "--serve requires --snap-dir (bdrmapd boots from the store)".into(),
         ));
     }
+    let expire_after = match args.get("expire-after") {
+        Some(_) => {
+            let n: u64 = args.get_parse("expire-after", 0)?;
+            if n == 0 {
+                return Err(ArgError("--expire-after must be at least 1".into()));
+            }
+            Some(n)
+        }
+        None => None,
+    };
+    let compact_every: u64 = args.get_parse("compact-every", 4)?;
+    if compact_every == 0 {
+        return Err(ArgError("--compact-every must be at least 1".into()));
+    }
 
     let sc = Scenario::build(preset_name, &cfg);
     let vp = vp_index(args, &sc)?;
@@ -1485,7 +1511,43 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
     // fresh engine would.
     let prober = sc.engine(vp);
     let pps = bdrmap_probe::EngineConfig::default().pps;
-    let mut engine = IncrementalEngine::new(bcfg, 1_000_000 / pps as u64);
+    let tick_us = 1_000_000 / pps as u64;
+    let mut engine = IncrementalEngine::new(bcfg, tick_us);
+
+    // Durable watch: recover from the journal before the first pass
+    // probes anything. The newest verified checkpoint seeds the engine
+    // in one bulk apply; acked batches past it replay in LSN order.
+    let mut journal: Option<Journal> = None;
+    let mut recovered_batches = 0u64;
+    let mut recovery_ms: Option<f64> = None;
+    if let Some(jdir) = args.get("journal-dir") {
+        let t = std::time::Instant::now();
+        let (j, rec) =
+            Journal::open(jdir).map_err(|e| ArgError(format!("opening journal {jdir}: {e}")))?;
+        if let Some(c) = &rec.checkpoint {
+            let (restored, _) =
+                IncrementalEngine::restore(bcfg, tick_us, &prober, &sc.input, &c.entries, c.pass);
+            engine = restored;
+        }
+        for r in &rec.tail {
+            engine.apply(&prober, &sc.input, r.batch.clone());
+        }
+        recovered_batches = rec.tail.len() as u64;
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        recovery_ms = Some(ms);
+        if rec.checkpoint.is_some() || !rec.tail.is_empty() || !rec.torn.is_empty() {
+            println!(
+                "journal {jdir}: recovered {} traces at pass {} \
+                 (checkpoint lsn {}, {} batches replayed, {} torn tails discarded) in {ms:.1} ms",
+                engine.trace_count(),
+                engine.passes(),
+                rec.checkpoint.as_ref().map_or(0, |c| c.lsn),
+                recovered_batches,
+                rec.torn.len(),
+            );
+        }
+        journal = Some(j);
+    }
 
     let store = match args.get("snap-dir") {
         Some(dir) => Some((
@@ -1510,7 +1572,41 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
             },
             |a| ip2as_probe.is_external(a),
         );
-        let (map, report) = engine.apply(&prober, &sc.input, Batch::upserts(coll.traces));
+        // Expiry runs against the engine's pre-pass clock: a trace last
+        // refreshed at pass P survives through P+n and is retracted on
+        // the first pass after that — unless this very batch refreshes
+        // it, which resets its clock instead.
+        let retractions = match expire_after {
+            Some(n) => {
+                let fresh: std::collections::HashSet<_> =
+                    coll.traces.iter().map(|t| t.dst).collect();
+                let mut ex = engine.expired(n);
+                ex.retain(|a| !fresh.contains(a));
+                ex
+            }
+            None => Vec::new(),
+        };
+        let batch = Batch {
+            upserts: coll.traces,
+            retractions,
+        };
+        // Append-before-apply: the batch must be durable before any of
+        // it takes effect. A failed append seals its segment, so one
+        // retry lands on a fresh segment with the same LSN; two
+        // failures in a row is an environment problem, not a crash the
+        // journal is built to ride out.
+        let lsn = match &mut journal {
+            Some(j) => Some(
+                j.append(seed, &batch)
+                    .or_else(|e| {
+                        println!("journal append failed ({e}); retrying on a fresh segment");
+                        j.append(seed, &batch)
+                    })
+                    .map_err(|e| ArgError(format!("journal append failed twice: {e}")))?,
+            ),
+            None => None,
+        };
+        let (map, report) = engine.apply(&prober, &sc.input, batch);
         let bytes = snapshot::encode(&map);
 
         let (full_ms, identical) = if no_shadow {
@@ -1544,6 +1640,22 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
             ),
             None => None,
         };
+
+        // Compaction after publish: the checkpoint records the
+        // generation its state had published, so a recovery never
+        // resumes ahead of what the store serves.
+        if let Some(j) = &mut journal {
+            if engine.passes().is_multiple_of(compact_every) {
+                let ckpt = JournalCheckpoint {
+                    lsn: j.lsn(),
+                    generation: generation.unwrap_or(0),
+                    pass: engine.passes(),
+                    entries: engine.checkpoint_entries(),
+                };
+                j.checkpoint(&ckpt)
+                    .map_err(|e| ArgError(format!("journal compaction failed: {e}")))?;
+            }
+        }
 
         if let (Some(generation), Some((dir, _))) = (generation, &store) {
             if args.flag("serve") {
@@ -1580,6 +1692,9 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
                         }
                     }
                 }
+                if let (Some(s), Some(j)) = (&server, &journal) {
+                    s.set_journal_state(j.lsn(), recovered_batches);
+                }
             }
         }
 
@@ -1610,7 +1725,7 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
              \"retracted\": {}, \"routers\": {}, \"dirty\": {}, \"reinferred\": {}, \
              \"reused\": {}, \"alias_cache_hits\": {}, \"alias_cache_misses\": {}, \
              \"alias_packets\": {}, \"pass_ms\": {:.3}, \"full_ms\": {}, \
-             \"identical\": {}, \"generation\": {}}}",
+             \"identical\": {}, \"generation\": {}, \"journal_lsn\": {}}}",
             report.pass,
             report.traces,
             report.added,
@@ -1627,6 +1742,7 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
             full_ms.map_or("null".into(), |f: f64| format!("{f:.3}")),
             identical.map_or("null".into(), |b: bool| b.to_string()),
             generation.map_or("null".into(), |g| g.to_string()),
+            lsn.map_or("null".into(), |l| l.to_string()),
         ));
     }
 
@@ -1635,11 +1751,23 @@ pub fn watch(args: &Args) -> Result<(), ArgError> {
         s.shutdown();
     }
 
+    let journal_json = match &journal {
+        Some(j) => format!(
+            "{{\"lsn\": {}, \"recovered_batches\": {recovered_batches}, \
+             \"recovery_ms\": {:.3}, \"segments\": {}, \"checkpoints\": {}}}",
+            j.lsn(),
+            recovery_ms.unwrap_or(0.0),
+            j.segments().map_or(0, |s| s.len()),
+            j.checkpoints().map_or(0, |c| c.len()),
+        ),
+        None => "null".into(),
+    };
     let json = format!(
-        "{{\n  \"bench\": \"incremental\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"alias_parallelism\": {par},\n  \"batches\": {nbatches},\n  \"shadow_checked\": {shadow},\n  \"passes\": [\n{rows}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"incremental\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"alias_parallelism\": {par},\n  \"batches\": {nbatches},\n  \"shadow_checked\": {shadow},\n  \"expire_after\": {expire},\n  \"journal\": {journal_json},\n  \"passes\": [\n{rows}\n  ]\n}}\n",
         par = bcfg.alias_parallelism,
         nbatches = rows.len(),
         shadow = !no_shadow,
+        expire = expire_after.map_or("null".into(), |n| n.to_string()),
         rows = rows.join(",\n"),
     );
     bdrmap_types::fsutil::write_atomic(std::path::Path::new(out), json.as_bytes())
@@ -1727,6 +1855,10 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     use bdrmap_core::{snapshot, QueryIndex, SnapStore};
     use bdrmap_serve::{answer, ChaosNetConfig, NetFaultBudget};
     use bdrmap_types::{ChaosFsConfig, ChaosVfs, FaultKind, FsFaultBudget, Vfs};
+
+    if args.flag("crash-watch") {
+        return crash_watch(args);
+    }
     use std::time::Duration;
 
     let seed: u64 = args.get_parse("seed", 42)?;
@@ -2222,6 +2354,495 @@ pub fn chaos(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// One splitmix64 step, for the crash-kill schedule. Same mixer the
+/// fault injectors use, so one seed convention covers the harness.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Where the crash-kill schedule murders the watch loop within a pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kill {
+    /// The pass completes: append, apply, publish, checkpoint.
+    None,
+    /// Killed during the journal append, with an injected append fault
+    /// (ENOSPC / short write / fsync failure). The batch was never
+    /// acked; only an fsync failure leaves it durable anyway.
+    MidAppend,
+    /// Killed after the append acked but before apply/publish. The
+    /// batch must replay from the journal tail on recovery.
+    PostAppend,
+    /// Killed during compaction, with the checkpoint rename torn.
+    /// Recovery must fall back to the previous checkpoint.
+    MidCompaction,
+    /// Killed during the snapstore publish, with an injected write
+    /// fault. The journal is ahead of the store; recovery republishes.
+    MidPublish,
+}
+
+impl Kill {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kill::None => "none",
+            Kill::MidAppend => "mid-append",
+            Kill::PostAppend => "post-append",
+            Kill::MidCompaction => "mid-compaction",
+            Kill::MidPublish => "mid-publish",
+        }
+    }
+}
+
+/// `bdrmap chaos --crash-watch`: the deterministic crash-kill recovery
+/// harness for the durable watch loop.
+///
+/// Probes the target plan once up front, records a fault-free baseline
+/// (per-pass snapshot bytes), then drives the journaled watch loop
+/// through a seeded schedule of kills — mid-append (with an injected
+/// append fault), post-append/pre-apply, mid-compaction (torn
+/// checkpoint rename), and mid-publish — "respawning" after each kill
+/// by re-opening the journal and recovering, exactly as a supervised
+/// restart would. Asserts, at every recovery:
+///
+/// 1. no acked batch is lost and no unacked batch is half-applied —
+///    the recovered trace set is exactly the durable plan prefix;
+/// 2. the recovered engine's next map is byte-identical to the
+///    fault-free baseline at the same pass;
+/// 3. published generations stay monotone across crashes;
+/// 4. the final recovered map equals a from-scratch `run_stages`
+///    rebuild, byte for byte.
+///
+/// The report (stdout summary + `--json` artifact) is a pure function
+/// of `--seed`/`--fault-seed`: CI runs the same seed twice and diffs.
+fn crash_watch(args: &Args) -> Result<(), ArgError> {
+    use bdrmap_core::{
+        snapshot, IncrementalEngine, Journal, JournalCheckpoint, JournalConfig, SnapStore,
+    };
+    use bdrmap_types::{ChaosFsConfig, ChaosVfs, FaultKind, FsFaultBudget, Vfs};
+
+    let seed: u64 = args.get_parse("seed", 42)?;
+    let fault_seed: u64 = args.get_parse("fault-seed", 1)?;
+    let batches: usize = args.get_parse("batches", 6)?;
+    if batches == 0 {
+        return Err(ArgError("--batches must be at least 1".into()));
+    }
+    let preset_name = args.get("preset").unwrap_or("tiny").to_string();
+    let cfg = preset(args)?;
+    let bcfg = bdrmap_config(args)?;
+    let dir = match args.get("dir") {
+        Some(d) => std::path::PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("bdrmap-crash-{seed}-{fault_seed}")),
+    };
+    // A clean slate keeps the whole run a pure function of the seeds.
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| ArgError(format!("creating {}: {e}", dir.display())))?;
+    let jdir = dir.join("journal");
+    let snapdir = dir.join("snapstore");
+    let registry = bdrmap_obs::Registry::new();
+    let mut violations: Vec<String> = Vec::new();
+
+    // ---- Phase A: probe the plan once, up front --------------------
+    // The kill schedule replays precomputed batches so every life sees
+    // the same edits a fault-free watch loop would, in the same order.
+    let sc = Scenario::build(&preset_name, &cfg);
+    let vp = vp_index(args, &sc)?;
+    let targets = bdrmap_probe::target_blocks(&sc.input.view, &sc.input.vp_asns);
+    if targets.is_empty() {
+        return Err(ArgError("no target blocks to watch".into()));
+    }
+    let chunk = targets.len().div_ceil(batches);
+    let ip2as = sc.input.ip2as_for_probing();
+    let prober = sc.engine(vp);
+    let pps = bdrmap_probe::EngineConfig::default().pps;
+    let tick_us = 1_000_000 / pps as u64;
+    println!(
+        "phase A: probing the {batches}-batch plan (preset {preset_name}, seed {seed}, vp {vp})"
+    );
+    let plan: Vec<bdrmap_core::Batch> = targets
+        .chunks(chunk)
+        .map(|ct| {
+            bdrmap_core::Batch::upserts(
+                bdrmap_probe::run_traces(
+                    &prober,
+                    ct,
+                    bdrmap_probe::RunOptions {
+                        parallelism: bcfg.parallelism,
+                        addrs_per_block: bcfg.addrs_per_block,
+                        use_stop_sets: bcfg.use_stop_sets,
+                        quarantine: None,
+                    },
+                    |a| ip2as.is_external(a),
+                )
+                .traces,
+            )
+        })
+        .collect();
+    let npasses = plan.len();
+    let plan_traces: usize = plan.iter().map(|b| b.upserts.len()).sum();
+
+    // ---- Phase B: fault-free baseline over the plan ----------------
+    println!("phase B: fault-free baseline ({npasses} passes, {plan_traces} traces)");
+    let mut expected: Vec<Vec<u8>> = Vec::new();
+    let mut expected_counts: Vec<usize> = Vec::new();
+    {
+        let mut base = IncrementalEngine::new(bcfg, tick_us);
+        for b in &plan {
+            let (m, rep) = base.apply(&prober, &sc.input, b.clone());
+            expected.push(snapshot::encode(&m));
+            expected_counts.push(rep.traces);
+        }
+    }
+
+    // ---- Kill schedule ---------------------------------------------
+    // One seeded draw per pass; with ≥ 4 passes the first four are a
+    // seeded permutation of the four kill kinds, so every crash point
+    // is exercised on every run. A consumed kill never re-fires: the
+    // re-run of a killed pass proceeds normally.
+    let mut rng = fault_seed ^ 0x4352_4153; // "CRAS"
+    let mut schedule: Vec<Kill> = (0..npasses)
+        .map(|_| match splitmix64(&mut rng) % 5 {
+            0 => Kill::None,
+            1 => Kill::MidAppend,
+            2 => Kill::PostAppend,
+            3 => Kill::MidCompaction,
+            _ => Kill::MidPublish,
+        })
+        .collect();
+    if npasses >= 4 {
+        let mut kinds = [
+            Kill::MidAppend,
+            Kill::PostAppend,
+            Kill::MidCompaction,
+            Kill::MidPublish,
+        ];
+        for i in (1..kinds.len()).rev() {
+            kinds.swap(i, (splitmix64(&mut rng) % (i as u64 + 1)) as usize);
+        }
+        schedule[..4].copy_from_slice(&kinds);
+    }
+    // Per-pass append fault kind, drawn for every pass so the schedule
+    // is fixed regardless of which passes actually reach an append.
+    let append_faults: Vec<FaultKind> = (0..npasses)
+        .map(|_| match splitmix64(&mut rng) % 3 {
+            0 => FaultKind::Enospc,
+            1 => FaultKind::ShortWrite,
+            _ => FaultKind::FsyncFail,
+        })
+        .collect();
+
+    // ---- Phase C: the crash-kill loop ------------------------------
+    println!("phase C: crash-kill loop over {npasses} passes");
+    let mut next_pass = 0usize; // plan index to process next
+    let mut acked = 0usize; // durable plan prefix
+    let mut total_replayed = 0u64;
+    let mut total_torn = 0u64;
+    let mut ckpts_skipped = 0u64;
+    let mut last_gen = 0u64;
+    let mut monotone = true;
+    let mut lives = 0u64;
+    let mut attempt = 0u64;
+    let mut kills = [0u64; 4]; // mid-append, post-append, mid-compaction, mid-publish
+    let mut rows: Vec<String> = Vec::new();
+    let jcfg = JournalConfig::default();
+
+    'respawn: loop {
+        lives += 1;
+        // Respawn: recover exactly as `watch --journal-dir` does.
+        let (mut journal, rec) = Journal::open_with(&jdir, Vfs::real(), registry.clone(), jcfg)
+            .map_err(|e| ArgError(format!("life {lives}: journal recovery failed: {e}")))?;
+        let mut engine = match &rec.checkpoint {
+            Some(c) => {
+                IncrementalEngine::restore(bcfg, tick_us, &prober, &sc.input, &c.entries, c.pass).0
+            }
+            None => IncrementalEngine::new(bcfg, tick_us),
+        };
+        for r in &rec.tail {
+            engine.apply(&prober, &sc.input, r.batch.clone());
+        }
+        total_replayed += rec.tail.len() as u64;
+        total_torn += rec.torn.len() as u64;
+        ckpts_skipped += rec.checkpoints_skipped as u64;
+        // No acked batch lost, no unacked batch half-applied: the
+        // recovered state is exactly the durable plan prefix.
+        let want = if acked == 0 {
+            0
+        } else {
+            expected_counts[acked - 1]
+        };
+        if engine.trace_count() != want {
+            violations.push(format!(
+                "life {lives}: recovered {} traces, the durable prefix holds {want}",
+                engine.trace_count()
+            ));
+        }
+        if journal.lsn() != acked as u64 {
+            violations.push(format!(
+                "life {lives}: recovered lsn {} does not match {acked} durable batches",
+                journal.lsn()
+            ));
+        }
+        if next_pass >= npasses {
+            // ---- Phase D: final recovery and convergence -----------
+            println!(
+                "phase D: final recovery (life {lives}, {} batches replayed) and convergence",
+                rec.tail.len()
+            );
+            let shadow = bdrmap_core::run_stages(
+                &sc.engine(vp),
+                &sc.input,
+                &bcfg,
+                engine.shadow_collection(),
+            );
+            let final_bytes = snapshot::encode(&shadow.map);
+            if &final_bytes != expected.last().unwrap() {
+                violations.push(
+                    "final: recovered map is not byte-identical to the fault-free baseline".into(),
+                );
+            }
+            let store = SnapStore::open_with(&snapdir, Vfs::real(), registry.clone())
+                .map_err(|e| ArgError(format!("opening snapshot store: {e}")))?;
+            let g = store
+                .publish(&shadow.map)
+                .map_err(|e| ArgError(format!("final publish failed: {e}")))?;
+            if g <= last_gen {
+                monotone = false;
+                violations.push(format!(
+                    "final: generation {g} did not advance past {last_gen}"
+                ));
+            }
+            last_gen = g;
+            break 'respawn;
+        }
+        let store = SnapStore::open_with(&snapdir, Vfs::real(), registry.clone())
+            .map_err(|e| ArgError(format!("opening snapshot store: {e}")))?;
+
+        while next_pass < npasses {
+            let p = next_pass;
+            attempt += 1;
+            let kill = schedule[p];
+            let batch = plan[p].clone();
+            let mut fault = "none";
+            match kill {
+                Kill::MidAppend => {
+                    schedule[p] = Kill::None;
+                    kills[0] += 1;
+                    let fk = append_faults[p];
+                    fault = fk.as_str();
+                    // The one faultable op this handle ever sees is the
+                    // append itself (reads only draw bit rot, and that
+                    // budget is zero), so the fault lands exactly there.
+                    let fsa = ChaosVfs::new(ChaosFsConfig {
+                        seed: fault_seed ^ 0x4150_5044 ^ p as u64, // "APPD"
+                        fault_rate: 1.0,
+                        budget: FsFaultBudget {
+                            enospc: u32::from(fk == FaultKind::Enospc),
+                            short_write: u32::from(fk == FaultKind::ShortWrite),
+                            fsync_fail: u32::from(fk == FaultKind::FsyncFail),
+                            torn_rename: 0,
+                            bit_rot: 0,
+                            rename_fail: 0,
+                        },
+                    });
+                    let (mut aj, _) = Journal::open_with(&jdir, fsa.vfs(), registry.clone(), jcfg)
+                        .map_err(|e| {
+                            ArgError(format!("pass {}: faulty reopen failed: {e}", p + 1))
+                        })?;
+                    if aj.append(seed, &batch).is_ok() {
+                        violations.push(format!(
+                            "pass {}: append under a scheduled {fault} fault was acked",
+                            p + 1
+                        ));
+                    }
+                    // An fsync failure leaves the full frame durable —
+                    // unacked, but recovery replays it and the retry's
+                    // identical LSN dedupes. Anything else left at most
+                    // a torn tail: the pass re-runs from scratch.
+                    if fk == FaultKind::FsyncFail {
+                        acked = p + 1;
+                        next_pass = p + 1;
+                    }
+                }
+                Kill::PostAppend => {
+                    schedule[p] = Kill::None;
+                    kills[1] += 1;
+                    journal
+                        .append(seed, &batch)
+                        .map_err(|e| ArgError(format!("pass {}: append failed: {e}", p + 1)))?;
+                    acked = p + 1;
+                    next_pass = p + 1;
+                }
+                Kill::None | Kill::MidCompaction | Kill::MidPublish => {
+                    journal
+                        .append(seed, &batch)
+                        .map_err(|e| ArgError(format!("pass {}: append failed: {e}", p + 1)))?;
+                    acked = p + 1;
+                    let (map, _report) = engine.apply(&prober, &sc.input, batch);
+                    let bytes = snapshot::encode(&map);
+                    if bytes != expected[p] {
+                        violations.push(format!(
+                            "pass {}: map diverged from the fault-free rebuild ({} vs {} bytes)",
+                            p + 1,
+                            bytes.len(),
+                            expected[p].len()
+                        ));
+                    }
+                    match kill {
+                        Kill::MidPublish => {
+                            schedule[p] = Kill::None;
+                            kills[3] += 1;
+                            fault = FaultKind::Enospc.as_str();
+                            let fsp = ChaosVfs::new(ChaosFsConfig {
+                                seed: fault_seed ^ 0x5055_424c ^ p as u64, // "PUBL"
+                                fault_rate: 1.0,
+                                budget: FsFaultBudget {
+                                    enospc: 1,
+                                    short_write: 0,
+                                    fsync_fail: 0,
+                                    torn_rename: 0,
+                                    bit_rot: 0,
+                                    rename_fail: 0,
+                                },
+                            });
+                            let cstore =
+                                SnapStore::open_with(&snapdir, fsp.vfs(), registry.clone())
+                                    .map_err(|e| {
+                                        ArgError(format!("opening snapshot store: {e}"))
+                                    })?;
+                            if cstore.publish(&map).is_ok() {
+                                violations.push(format!(
+                                    "pass {}: publish under a scheduled fault succeeded",
+                                    p + 1
+                                ));
+                            }
+                            next_pass = p + 1;
+                        }
+                        Kill::MidCompaction => {
+                            schedule[p] = Kill::None;
+                            kills[2] += 1;
+                            fault = FaultKind::TornRename.as_str();
+                            let fsc = ChaosVfs::new(ChaosFsConfig {
+                                seed: fault_seed ^ 0x434b_5054 ^ p as u64, // "CKPT"
+                                fault_rate: 1.0,
+                                budget: FsFaultBudget {
+                                    enospc: 0,
+                                    short_write: 0,
+                                    fsync_fail: 0,
+                                    torn_rename: 1,
+                                    bit_rot: 0,
+                                    rename_fail: 0,
+                                },
+                            });
+                            let (mut cj, _) =
+                                Journal::open_with(&jdir, fsc.vfs(), registry.clone(), jcfg)
+                                    .map_err(|e| {
+                                        ArgError(format!(
+                                            "pass {}: faulty reopen failed: {e}",
+                                            p + 1
+                                        ))
+                                    })?;
+                            let ckpt = JournalCheckpoint {
+                                lsn: cj.lsn(),
+                                generation: last_gen,
+                                pass: engine.passes(),
+                                entries: engine.checkpoint_entries(),
+                            };
+                            if cj.checkpoint(&ckpt).is_ok() {
+                                violations.push(format!(
+                                    "pass {}: a torn checkpoint rename went undetected",
+                                    p + 1
+                                ));
+                            }
+                            next_pass = p + 1;
+                        }
+                        _ => {
+                            let g = store.publish(&map).map_err(|e| {
+                                ArgError(format!("pass {}: publish failed: {e}", p + 1))
+                            })?;
+                            if g <= last_gen {
+                                monotone = false;
+                                violations.push(format!(
+                                    "pass {}: generation {g} did not advance past {last_gen}",
+                                    p + 1
+                                ));
+                            }
+                            last_gen = g;
+                            let ckpt = JournalCheckpoint {
+                                lsn: journal.lsn(),
+                                generation: g,
+                                pass: engine.passes(),
+                                entries: engine.checkpoint_entries(),
+                            };
+                            journal.checkpoint(&ckpt).map_err(|e| {
+                                ArgError(format!("pass {}: compaction failed: {e}", p + 1))
+                            })?;
+                            next_pass = p + 1;
+                        }
+                    }
+                }
+            }
+            // The durable LSN always equals the durable batch count:
+            // torn appends never count, fsync-failed ones always do.
+            rows.push(format!(
+                "    {{\"attempt\": {attempt}, \"pass\": {}, \"kill\": \"{}\", \
+                 \"fault\": \"{fault}\", \"acked\": {acked}, \"lsn\": {acked}}}",
+                p + 1,
+                kill.as_str(),
+            ));
+            println!(
+                "  attempt {attempt}: pass {} {} (fault {fault}); {acked}/{npasses} durable",
+                p + 1,
+                kill.as_str()
+            );
+            if kill != Kill::None {
+                continue 'respawn; // the kill: drop everything mid-flight
+            }
+        }
+    }
+
+    if total_replayed == 0 {
+        violations.push("no batch was ever replayed from the journal tail".into());
+    }
+
+    // ---- Report ----------------------------------------------------
+    // Free of wall-clock fields: two runs with the same seeds must
+    // produce byte-identical JSON.
+    let violist = violations
+        .iter()
+        .map(|v| format!("\"{}\"", v.escape_default()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"report\": \"crash-watch\",\n  \"schema\": 1,\n  \"preset\": \"{preset_name}\",\n  \"seed\": {seed},\n  \"fault_seed\": {fault_seed},\n  \"batches\": {npasses},\n  \"plan_traces\": {plan_traces},\n  \"lives\": {lives},\n  \"kills\": {{\"mid_append\": {ka}, \"post_append\": {kp}, \"mid_compaction\": {kc}, \"mid_publish\": {kb}}},\n  \"replayed_batches\": {total_replayed},\n  \"torn_tails\": {total_torn},\n  \"checkpoints_skipped\": {ckpts_skipped},\n  \"final_lsn\": {final_lsn},\n  \"final_generation\": {last_gen},\n  \"generations_monotone\": {monotone},\n  \"attempts\": [\n{rows}\n  ],\n  \"violations\": [{violist}]\n}}\n",
+        ka = kills[0],
+        kp = kills[1],
+        kc = kills[2],
+        kb = kills[3],
+        final_lsn = acked,
+        rows = rows.join(",\n"),
+    );
+    print!("{json}");
+    if let Some(out) = args.get("json") {
+        bdrmap_eval::artifacts::write_artifact(std::path::Path::new(out), &json)
+            .map_err(|e| ArgError(format!("writing {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+    if !violations.is_empty() {
+        return Err(ArgError(format!(
+            "crash-watch invariants violated:\n  {}",
+            violations.join("\n  ")
+        )));
+    }
+    println!(
+        "crash-watch: all invariants held across {lives} lives ({} kills, {total_replayed} batches replayed, {total_torn} torn tails discarded)",
+        kills.iter().sum::<u64>()
+    );
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2416,6 +3037,148 @@ mod tests {
         assert!(chaos(&args("chaos --rounds 0")).is_err());
         assert!(chaos(&args("chaos --secs 0")).is_err());
         assert!(chaos(&args("chaos --checkpoint-every 0")).is_err());
+    }
+
+    #[test]
+    fn watch_with_journal_recovers_from_tail_replay() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-watch-journal-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let jdir = dir.join("journal");
+        let json = dir.join("b.json");
+        let base = format!(
+            "watch --preset tiny --seed 9 --batches 2 --journal-dir {} --json {}",
+            jdir.display(),
+            json.display()
+        );
+        // First "process": two passes, both journaled, no checkpoint
+        // (the default cadence is 4 passes).
+        watch(&args(&base)).unwrap();
+        let first = std::fs::read_to_string(&json).unwrap();
+        assert!(first.contains("\"recovered_batches\": 0"), "{first}");
+        assert!(first.contains("\"journal_lsn\": 2"), "{first}");
+        // Second "process": recovery replays both batches from the
+        // journal tail, then every new pass still shadow-checks clean
+        // against a from-scratch rebuild (watch errors on divergence).
+        watch(&args(&base)).unwrap();
+        let second = std::fs::read_to_string(&json).unwrap();
+        assert!(second.contains("\"recovered_batches\": 2"), "{second}");
+        assert!(second.contains("\"journal_lsn\": 4"), "{second}");
+        assert!(!second.contains("\"identical\": false"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_with_journal_recovers_from_checkpoint() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-watch-ckpt-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let jdir = dir.join("journal");
+        let json = dir.join("b.json");
+        let base = format!(
+            "watch --preset tiny --seed 9 --batches 2 --compact-every 2 --journal-dir {} --json {}",
+            jdir.display(),
+            json.display()
+        );
+        watch(&args(&base)).unwrap();
+        assert!(
+            std::fs::read_dir(&jdir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .any(|e| e.file_name().to_string_lossy().ends_with(".bdrk")),
+            "pass 2 must have written a checkpoint"
+        );
+        // Recovery restores from the checkpoint (empty tail) and the
+        // restored engine's passes are byte-identical to a rebuild.
+        watch(&args(&base)).unwrap();
+        let second = std::fs::read_to_string(&json).unwrap();
+        assert!(second.contains("\"recovered_batches\": 0"), "{second}");
+        assert!(second.contains("\"journal_lsn\": 4"), "{second}");
+        assert!(!second.contains("\"identical\": false"), "{second}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn watch_expire_after_retracts_unrefreshed_traces() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-watch-expire-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("b.json");
+        // Three chunked passes with a one-pass expiry: at pass 3 the
+        // pass-1 chunk is stale (refreshed at 1, clock at 2) and is not
+        // in the pass-3 probe batch, so it must be retracted — and the
+        // shadow check proves the retracted rebuild is byte-identical.
+        watch(&args(&format!(
+            "watch --preset tiny --seed 9 --batches 3 --expire-after 1 --json {}",
+            json.display()
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"expire_after\": 1"), "{report}");
+        let pass3 = report.split("\"pass\": 3").nth(1).unwrap();
+        let retracted: u64 = pass3
+            .split("\"retracted\": ")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(retracted > 0, "pass 3 must retract the stale pass-1 chunk");
+        // A wide window never retracts anything here.
+        watch(&args(&format!(
+            "watch --preset tiny --seed 9 --batches 3 --expire-after 3 --json {}",
+            json.display()
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert_eq!(
+            report.matches("\"retracted\": 0").count(),
+            3,
+            "a 3-pass window must never expire anything: {report}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_watch_end_to_end() {
+        let dir = std::env::temp_dir().join("bdrmap-cli-crash-watch-test");
+        let json = std::env::temp_dir().join("bdrmap-cli-crash-watch-test.json");
+        chaos(&args(&format!(
+            "chaos --crash-watch --preset tiny --seed 9 --fault-seed 5 --batches 6 --dir {} --json {}",
+            dir.display(),
+            json.display()
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(&json).unwrap();
+        assert!(report.contains("\"report\": \"crash-watch\""), "{report}");
+        assert!(report.contains("\"violations\": []"), "{report}");
+        assert!(
+            report.contains("\"generations_monotone\": true"),
+            "{report}"
+        );
+        // Every crash point fired, and at least one acked batch came
+        // back from the journal tail rather than a checkpoint.
+        for k in [
+            "\"mid_append\": 1",
+            "\"post_append\": 1",
+            "\"mid_compaction\": 1",
+            "\"mid_publish\": 1",
+        ] {
+            assert!(report.contains(k), "missing {k} in {report}");
+        }
+        assert!(!report.contains("\"replayed_batches\": 0"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_file(&json).ok();
+    }
+
+    #[test]
+    fn watch_and_crash_watch_reject_bad_args() {
+        assert!(chaos(&args("chaos --crash-watch --batches 0")).is_err());
+        assert!(watch(&args("watch --preset tiny --expire-after 0")).is_err());
+        assert!(watch(&args("watch --preset tiny --compact-every 0")).is_err());
+        assert!(watch(&args("watch --preset tiny --serve")).is_err());
     }
 
     #[test]

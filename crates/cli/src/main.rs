@@ -56,6 +56,9 @@ const VALUE_KEYS: &[&str] = &[
     "rounds",
     "dir",
     "batches",
+    "journal-dir",
+    "expire-after",
+    "compact-every",
 ];
 const FLAGS: &[&str] = &[
     "full",
@@ -69,6 +72,7 @@ const FLAGS: &[&str] = &[
     "metrics",
     "serve",
     "no-shadow",
+    "crash-watch",
     "help",
 ];
 
@@ -173,6 +177,11 @@ WATCH (watch):
     --serve              with --snap-dir: boot bdrmapd from the store and
                          hot-swap it after every pass (--listen, default
                          127.0.0.1:0)
+    --journal-dir <dir>  write-ahead journal: append every batch before
+                         applying it, and recover on startup from the
+                         newest verified checkpoint + journal tail replay
+    --expire-after <n>   retract traces not refreshed within n passes
+    --compact-every <n>  journal checkpoint cadence in passes (default 4)
     --json <path>        per-pass report (default BENCH_incremental.json)
 
 FUZZING (fuzz):
@@ -182,6 +191,11 @@ FUZZING (fuzz):
 CHAOS (chaos):
     --fault-seed <u64>   fault-schedule seed (default 1); the printed report
                          and --json artifact are byte-identical per seed
+    --crash-watch        run the crash-kill recovery harness instead: kill
+                         and respawn the journaled watch loop at seeded
+                         points (mid-append, post-append, mid-compaction,
+                         mid-publish), asserting byte-identical recovery
+                         (--batches sets the plan size, default 6)
     --rounds <n>         snapshot publish rounds under fs faults (default 8)
     --secs <f>           quiesced loadgen duration (default 0.25)
     --checkpoint-every <n>  probe checkpoint cadence in target ASes (default 2)

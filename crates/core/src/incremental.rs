@@ -297,6 +297,9 @@ pub struct IncrementalEngine {
     cfg: BdrmapConfig,
     tick_us: u64,
     traces: BTreeMap<Addr, Trace>,
+    /// Pass in which each held trace was last upserted — the expiry
+    /// clock for [`IncrementalEngine::expired`].
+    refreshed: BTreeMap<Addr, u64>,
     cache: Option<HashMap<TaskKey, CachedTask>>,
     prev: Option<PrevPass>,
     pass: u64,
@@ -310,10 +313,35 @@ impl IncrementalEngine {
             cfg,
             tick_us,
             traces: BTreeMap::new(),
+            refreshed: BTreeMap::new(),
             cache: Some(HashMap::new()),
             prev: None,
             pass: 0,
         }
+    }
+
+    /// Rebuild an engine from checkpointed state: one bulk apply over
+    /// the checkpointed traces, then restore the recorded pass number
+    /// and per-trace refresh passes. Because every piece of carried
+    /// state (alias cache entries that matter, previous-pass records
+    /// and decisions) is a pure function of the cumulative trace set,
+    /// the restored engine's next map is byte-identical to what the
+    /// original engine would have published — the recovery contract
+    /// `bdrmap watch --journal-dir` relies on.
+    pub fn restore<P: Prober + ?Sized>(
+        cfg: BdrmapConfig,
+        tick_us: u64,
+        prober: &P,
+        input: &Input,
+        entries: &[(Trace, u64)],
+        pass: u64,
+    ) -> (IncrementalEngine, BorderMap) {
+        let mut eng = IncrementalEngine::new(cfg, tick_us);
+        let traces: Vec<Trace> = entries.iter().map(|(t, _)| t.clone()).collect();
+        let (map, _report) = eng.apply(prober, input, Batch::upserts(traces));
+        eng.pass = pass;
+        eng.refreshed = entries.iter().map(|(t, p)| (t.dst, *p)).collect();
+        (eng, map)
     }
 
     /// Number of traces currently held.
@@ -324,6 +352,33 @@ impl IncrementalEngine {
     /// Passes applied so far.
     pub fn passes(&self) -> u64 {
         self.pass
+    }
+
+    /// Destinations whose trace has not been refreshed within the last
+    /// `n` passes: a trace last upserted in pass `P` is reported once
+    /// the engine has applied pass `P + n`, so retracting the result in
+    /// the next batch removes it in pass `P + n + 1` — it survives
+    /// exactly `n` passes beyond its refresh. A fresh upsert resets the
+    /// clock.
+    pub fn expired(&self, n: u64) -> Vec<Addr> {
+        self.refreshed
+            .iter()
+            .filter(|&(_, &last)| self.pass.saturating_sub(last) >= n)
+            .map(|(&dst, _)| dst)
+            .collect()
+    }
+
+    /// The held traces with their last-refresh pass, destination-sorted:
+    /// everything a checkpoint must persist to rebuild this engine via
+    /// [`IncrementalEngine::restore`].
+    pub fn checkpoint_entries(&self) -> Vec<(Trace, u64)> {
+        self.traces
+            .values()
+            .map(|t| {
+                let last = self.refreshed.get(&t.dst).copied().unwrap_or(self.pass);
+                (t.clone(), last)
+            })
+            .collect()
     }
 
     /// The cumulative traces in canonical (destination-sorted) order,
@@ -354,6 +409,7 @@ impl IncrementalEngine {
 
         // -------------------------------------------- trace-set edits
         for tr in batch.upserts {
+            self.refreshed.insert(tr.dst, self.pass);
             if self.traces.insert(tr.dst, tr).is_some() {
                 report.replaced += 1;
             } else {
@@ -361,6 +417,7 @@ impl IncrementalEngine {
             }
         }
         for dst in batch.retractions {
+            self.refreshed.remove(&dst);
             if self.traces.remove(&dst).is_some() {
                 report.retracted += 1;
             }

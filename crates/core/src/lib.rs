@@ -34,6 +34,7 @@ pub mod graph;
 pub mod heuristics;
 pub mod incremental;
 pub mod input;
+pub mod journal;
 pub mod merge;
 pub mod output;
 pub mod pipeline;
@@ -45,6 +46,7 @@ pub use aliases::{task_id, AliasConfig, AliasStats, TaskKind};
 pub use beyond::{far_links, FarLink};
 pub use incremental::{Batch, CachingProber, IncrementalEngine, PassReport};
 pub use input::{CacheStats, Input, Ip2As, Ip2AsCache, IpMapper, Mapping};
+pub use journal::{Journal, JournalCheckpoint, JournalConfig, JournalError, JournalRecord};
 pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};
 pub use pipeline::{run_stages, PipelineRun, StageReport};

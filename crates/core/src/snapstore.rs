@@ -206,6 +206,16 @@ impl SnapStore {
         Ok(gens)
     }
 
+    /// The newest generation the store considers current: the max of
+    /// what the manifest references and what exists on disk, `0` for an
+    /// empty store. This is the value [`SnapStore::publish`] increments
+    /// from, and what a journal checkpoint records to tie durable
+    /// engine state to the snapshot it produced.
+    pub fn newest_generation(&self) -> io::Result<u64> {
+        let latest = self.generations()?.last().copied().unwrap_or(0);
+        Ok(latest.max(self.manifest_generation().unwrap_or(0)))
+    }
+
     /// Refresh the store-health gauges: the generation currently
     /// referenced, total snapshot bytes on disk, and how many files sit
     /// in quarantine.
@@ -238,9 +248,8 @@ impl SnapStore {
     /// manifest. Returns the new generation number. Errors carry the
     /// offending path.
     pub fn publish(&self, map: &BorderMap) -> io::Result<u64> {
-        let latest = self.generations()?.last().copied().unwrap_or(0);
-        let gen = latest
-            .max(self.manifest_generation().unwrap_or(0))
+        let gen = self
+            .newest_generation()?
             .checked_add(1)
             .expect("snapshot generation counter overflowed u64");
         let path = self.path_of(gen);

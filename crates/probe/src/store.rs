@@ -49,6 +49,104 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
+/// Serialize one trace body (the per-trace record above, without its
+/// length prefix). The write-ahead journal reuses this framing so
+/// journaled batches and stored collections share one codec.
+pub fn encode_trace(body: &mut BytesMut, tr: &Trace) {
+    body.put_u32(u32::from(tr.dst));
+    body.put_u32(tr.target_as.0);
+    body.put_u8(match tr.stop {
+        TraceStop::Completed => 0,
+        TraceStop::GapLimit => 1,
+        TraceStop::StopSet => 2,
+        TraceStop::MaxTtl => 3,
+    });
+    body.put_u16(tr.hops.len() as u16);
+    for h in &tr.hops {
+        body.put_u8(h.ttl);
+        match h.addr {
+            Some(a) => {
+                let flags = 1u8 | ((h.time_exceeded as u8) << 1) | ((h.other_icmp as u8) << 2);
+                body.put_u8(flags);
+                body.put_u32(u32::from(a));
+                body.put_u16(h.ipid);
+            }
+            None => body.put_u8(0),
+        }
+    }
+}
+
+/// Parse one trace body produced by [`encode_trace`], consuming it from
+/// `body`.
+pub fn decode_trace(body: &mut Bytes) -> Result<Trace, StoreError> {
+    if body.remaining() < 4 + 4 + 1 + 2 {
+        return Err(StoreError::Truncated);
+    }
+    let dst = bdrmap_types::addr(body.get_u32());
+    let target_as = bdrmap_types::Asn(body.get_u32());
+    let stop = match body.get_u8() {
+        0 => TraceStop::Completed,
+        1 => TraceStop::GapLimit,
+        2 => TraceStop::StopSet,
+        _ => TraceStop::MaxTtl,
+    };
+    let hop_count = body.get_u16() as usize;
+    let mut hops = Vec::with_capacity(hop_count.min(1 << 12));
+    for _ in 0..hop_count {
+        if body.remaining() < 2 {
+            return Err(StoreError::Truncated);
+        }
+        let ttl = body.get_u8();
+        let flags = body.get_u8();
+        if flags & 1 != 0 {
+            if body.remaining() < 6 {
+                return Err(StoreError::Truncated);
+            }
+            hops.push(TraceHop {
+                ttl,
+                addr: Some(bdrmap_types::addr(body.get_u32())),
+                time_exceeded: flags & 2 != 0,
+                other_icmp: flags & 4 != 0,
+                ipid: body.get_u16(),
+            });
+        } else {
+            hops.push(TraceHop {
+                ttl,
+                addr: None,
+                time_exceeded: false,
+                other_icmp: false,
+                ipid: 0,
+            });
+        }
+    }
+    Ok(Trace {
+        dst,
+        target_as,
+        hops,
+        stop,
+    })
+}
+
+/// [`encode_trace`] into a plain byte vector, for callers (the
+/// write-ahead journal) that frame traces with the dependency-free wire
+/// helpers instead of `bytes`.
+pub fn trace_to_vec(tr: &Trace) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    encode_trace(&mut body, tr);
+    body.to_vec()
+}
+
+/// Decode one trace from a slice produced by [`trace_to_vec`]. The
+/// whole slice must be consumed — trailing bytes are corruption.
+pub fn trace_from_slice(data: &[u8]) -> Result<Trace, StoreError> {
+    let mut body = Bytes::copy_from_slice(data);
+    let tr = decode_trace(&mut body)?;
+    if body.remaining() > 0 {
+        return Err(StoreError::Truncated);
+    }
+    Ok(tr)
+}
+
 /// Serialize a trace collection.
 pub fn encode(coll: &TraceCollection) -> Bytes {
     let mut buf = BytesMut::new();
@@ -59,27 +157,7 @@ pub fn encode(coll: &TraceCollection) -> Bytes {
     buf.put_u32(coll.traces.len() as u32);
     for tr in &coll.traces {
         let mut body = BytesMut::new();
-        body.put_u32(u32::from(tr.dst));
-        body.put_u32(tr.target_as.0);
-        body.put_u8(match tr.stop {
-            TraceStop::Completed => 0,
-            TraceStop::GapLimit => 1,
-            TraceStop::StopSet => 2,
-            TraceStop::MaxTtl => 3,
-        });
-        body.put_u16(tr.hops.len() as u16);
-        for h in &tr.hops {
-            body.put_u8(h.ttl);
-            match h.addr {
-                Some(a) => {
-                    let flags = 1u8 | ((h.time_exceeded as u8) << 1) | ((h.other_icmp as u8) << 2);
-                    body.put_u8(flags);
-                    body.put_u32(u32::from(a));
-                    body.put_u16(h.ipid);
-                }
-                None => body.put_u8(0),
-            }
-        }
+        encode_trace(&mut body, tr);
         buf.put_u32(body.len() as u32);
         buf.extend_from_slice(&body);
     }
@@ -113,52 +191,7 @@ pub fn decode(mut data: Bytes) -> Result<TraceCollection, StoreError> {
             return Err(StoreError::Truncated);
         }
         let mut body = data.split_to(body_len);
-        if body.remaining() < 4 + 4 + 1 + 2 {
-            return Err(StoreError::Truncated);
-        }
-        let dst = bdrmap_types::addr(body.get_u32());
-        let target_as = bdrmap_types::Asn(body.get_u32());
-        let stop = match body.get_u8() {
-            0 => TraceStop::Completed,
-            1 => TraceStop::GapLimit,
-            2 => TraceStop::StopSet,
-            _ => TraceStop::MaxTtl,
-        };
-        let hop_count = body.get_u16() as usize;
-        let mut hops = Vec::with_capacity(hop_count.min(1 << 12));
-        for _ in 0..hop_count {
-            if body.remaining() < 2 {
-                return Err(StoreError::Truncated);
-            }
-            let ttl = body.get_u8();
-            let flags = body.get_u8();
-            if flags & 1 != 0 {
-                if body.remaining() < 6 {
-                    return Err(StoreError::Truncated);
-                }
-                hops.push(TraceHop {
-                    ttl,
-                    addr: Some(bdrmap_types::addr(body.get_u32())),
-                    time_exceeded: flags & 2 != 0,
-                    other_icmp: flags & 4 != 0,
-                    ipid: body.get_u16(),
-                });
-            } else {
-                hops.push(TraceHop {
-                    ttl,
-                    addr: None,
-                    time_exceeded: false,
-                    other_icmp: false,
-                    ipid: 0,
-                });
-            }
-        }
-        traces.push(Trace {
-            dst,
-            target_as,
-            hops,
-            stop,
-        });
+        traces.push(decode_trace(&mut body)?);
     }
     Ok(TraceCollection {
         traces,
@@ -268,6 +301,20 @@ mod tests {
             assert_eq!(a.target_as, b.target_as);
             assert_eq!(a.stop, b.stop);
             assert_eq!(a.hops, b.hops);
+        }
+    }
+
+    #[test]
+    fn single_trace_vec_round_trip() {
+        for tr in &sample().traces {
+            let body = trace_to_vec(tr);
+            let back = trace_from_slice(&body).unwrap();
+            assert_eq!(&back, tr);
+            // Trailing garbage and truncation are both corruption.
+            let mut padded = body.clone();
+            padded.push(0);
+            assert!(trace_from_slice(&padded).is_err());
+            assert!(trace_from_slice(&body[..body.len() - 1]).is_err());
         }
     }
 

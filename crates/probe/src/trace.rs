@@ -35,7 +35,7 @@ pub enum TraceStop {
 }
 
 /// A finished traceroute.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Trace {
     /// The probed address.
     pub dst: Addr,

@@ -248,6 +248,14 @@ pub struct HealthInfo {
     pub uptime_ms: u64,
     /// Reloads that exhausted their retry budget since start.
     pub reload_failures: u64,
+    /// Last acknowledged write-ahead journal LSN (0 without a journal).
+    ///
+    /// This and `recovered_batches` are append-only wire extensions:
+    /// the encoder always writes them, the decoder defaults them to 0
+    /// when a pre-journal peer sent the short form.
+    pub journal_lsn: u64,
+    /// Batches replayed from the journal tail at startup recovery.
+    pub recovered_batches: u64,
 }
 
 /// A server response.
@@ -422,6 +430,8 @@ impl Response {
                 w.put_u8(h.breaker_state);
                 w.put_u64(h.uptime_ms);
                 w.put_u64(h.reload_failures);
+                w.put_u64(h.journal_lsn);
+                w.put_u64(h.recovered_batches);
             }
             Response::Metrics(text) => {
                 w.put_u8(ST_OK);
@@ -504,13 +514,23 @@ impl Response {
                 routers: r.get_u32()?,
                 links: r.get_u32()?,
             },
-            (ST_OK, OP_HEALTH) => Response::Health(HealthInfo {
-                generation: r.get_u64()?,
-                swap_epoch: r.get_u64()?,
-                breaker_state: r.get_u8()?,
-                uptime_ms: r.get_u64()?,
-                reload_failures: r.get_u64()?,
-            }),
+            (ST_OK, OP_HEALTH) => {
+                let mut h = HealthInfo {
+                    generation: r.get_u64()?,
+                    swap_epoch: r.get_u64()?,
+                    breaker_state: r.get_u8()?,
+                    uptime_ms: r.get_u64()?,
+                    reload_failures: r.get_u64()?,
+                    journal_lsn: 0,
+                    recovered_batches: 0,
+                };
+                // Append-only extension: a pre-journal peer stops here.
+                if r.remaining() > 0 {
+                    h.journal_lsn = r.get_u64()?;
+                    h.recovered_batches = r.get_u64()?;
+                }
+                Response::Health(h)
+            }
             (ST_OK, OP_METRICS) => Response::Metrics(r.get_str()?.to_string()),
             (ST_OK | ST_NOT_FOUND, op) => return Err(ProtoError::UnknownOpcode(op)),
             (st, _) => return Err(ProtoError::UnknownStatus(st)),
@@ -616,6 +636,8 @@ mod tests {
                 breaker_state: 2,
                 uptime_ms: 123456,
                 reload_failures: 1,
+                journal_lsn: 42,
+                recovered_batches: 6,
             }),
             Response::Metrics("# TYPE x counter\nx 1\n".into()),
             Response::Metrics(String::new()),
@@ -625,6 +647,44 @@ mod tests {
         for resp in resps {
             assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn health_decodes_pre_journal_short_form() {
+        // A payload from a server built before the journal fields
+        // existed: the two trailing u64s default to zero.
+        let mut w = WireWriter::new();
+        w.put_u8(ST_OK);
+        w.put_u8(OP_HEALTH);
+        w.put_u64(7); // generation
+        w.put_u64(3); // swap_epoch
+        w.put_u8(2); // breaker_state
+        w.put_u64(123456); // uptime_ms
+        w.put_u64(1); // reload_failures
+        let got = Response::decode(&w.into_vec()).unwrap();
+        assert_eq!(
+            got,
+            Response::Health(HealthInfo {
+                generation: 7,
+                swap_epoch: 3,
+                breaker_state: 2,
+                uptime_ms: 123456,
+                reload_failures: 1,
+                journal_lsn: 0,
+                recovered_batches: 0,
+            })
+        );
+        // A partial extension (one trailing u64) is still truncation.
+        let mut w = WireWriter::new();
+        w.put_u8(ST_OK);
+        w.put_u8(OP_HEALTH);
+        w.put_u64(7);
+        w.put_u64(3);
+        w.put_u8(2);
+        w.put_u64(123456);
+        w.put_u64(1);
+        w.put_u64(9);
+        assert!(Response::decode(&w.into_vec()).is_err());
     }
 
     #[test]

@@ -43,7 +43,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -388,6 +388,11 @@ pub(crate) struct Shared {
     /// Per-loop instruments, created up front so respawned loops keep
     /// their series. Empty under the threads backend.
     pub(crate) loop_metrics: Vec<LoopMetrics>,
+    /// Last acknowledged journal LSN of the watch loop feeding this
+    /// server; 0 when no journal is attached.
+    journal_lsn: AtomicU64,
+    /// Batches the watch loop replayed from the journal tail at start.
+    recovered_batches: AtomicU64,
 }
 
 impl Shared {
@@ -426,6 +431,8 @@ impl Shared {
             breaker_state: self.breaker_code(),
             uptime_ms: self.started.elapsed().as_millis() as u64,
             reload_failures: self.metrics.reload_failures.get(),
+            journal_lsn: self.journal_lsn.load(Ordering::Relaxed),
+            recovered_batches: self.recovered_batches.load(Ordering::Relaxed),
         }
     }
 
@@ -532,6 +539,8 @@ impl Server {
             open_conns: std::sync::atomic::AtomicUsize::new(0),
             conn_budget: workers + cfg.queue.max(1),
             loop_metrics,
+            journal_lsn: AtomicU64::new(0),
+            recovered_batches: AtomicU64::new(0),
         });
         let listener = Arc::new(TcpListener::bind(&cfg.listen)?);
         let local_addr = listener.local_addr()?;
@@ -648,6 +657,17 @@ impl Server {
     /// Health as a control client would see it.
     pub fn health(&self) -> HealthInfo {
         self.shared.health()
+    }
+
+    /// Record the watch loop's journal position so `Health` responses
+    /// expose replay state without scraping metrics. `lsn` is the last
+    /// acknowledged journal LSN; `recovered` is how many batches
+    /// startup recovery replayed from the journal tail.
+    pub fn set_journal_state(&self, lsn: u64, recovered: u64) {
+        self.shared.journal_lsn.store(lsn, Ordering::Relaxed);
+        self.shared
+            .recovered_batches
+            .store(recovered, Ordering::Relaxed);
     }
 
     /// Watchdog restart counts so far, as `(acceptor, worker)`.

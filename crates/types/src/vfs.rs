@@ -40,10 +40,27 @@ pub trait VfsBackend: Send + Sync {
     /// Write a whole file atomically (write-to-sibling + fsync +
     /// rename + parent fsync; see [`fsutil::write_atomic`]).
     fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+    /// Append bytes to the end of a file (creating it if absent) and
+    /// fsync — the write-ahead journal's primitive. Unlike
+    /// `write_atomic` an interrupted append can leave a torn suffix;
+    /// callers must frame appended records so a reader can detect and
+    /// discard the tail.
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()>;
     /// Rename a file (quarantine moves).
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
     /// Create a directory and its parents.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real-filesystem append: open O_APPEND, write, fdatasync.
+fn real_append(path: &Path, data: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(data)?;
+    f.sync_data()
 }
 
 /// The production backend: plain `std::fs` + [`fsutil`].
@@ -56,6 +73,9 @@ impl VfsBackend for RealVfs {
     }
     fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         fsutil::write_atomic(path, data)
+    }
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        real_append(path, data)
     }
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         std::fs::rename(from, to)
@@ -104,6 +124,12 @@ impl Vfs {
     /// Write a whole file atomically + durably.
     pub fn write_atomic(&self, path: &Path, data: &[u8]) -> io::Result<()> {
         self.inner.write_atomic(path, data)
+    }
+
+    /// Append bytes to a file durably (journal writes). Torn suffixes
+    /// are possible; frame your records.
+    pub fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        self.inner.append(path, data)
     }
 
     /// Rename a file.
@@ -382,6 +408,43 @@ impl VfsBackend for ChaosVfs {
         }
     }
 
+    fn append(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        use FaultKind::*;
+        match self.draw(&[Enospc, ShortWrite, FsyncFail], path) {
+            None => real_append(path, data),
+            Some(Enospc) => Err(enospc(path)),
+            Some(ShortWrite) => {
+                // Half the record reaches the file before the device
+                // gives up: the journal now ends in a torn frame the
+                // reader must detect (CRC) and discard.
+                let cut = data.len() / 2;
+                real_append(path, &data[..cut])?;
+                Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    format!(
+                        "chaos: short append ({cut}/{} bytes) to {}",
+                        data.len(),
+                        path.display()
+                    ),
+                ))
+            }
+            Some(FsyncFail) => {
+                // Every byte landed but the fsync failed: the caller
+                // must treat the record as unacknowledged even though a
+                // post-crash reader may see it whole. Idempotent replay
+                // (LSN dedupe) is what makes this safe.
+                real_append(path, data)?;
+                Err(io::Error::other(format!(
+                    "chaos: fsync failed appending to {}",
+                    path.display()
+                )))
+            }
+            Some(TornRename) | Some(BitRot) | Some(RenameFail) => {
+                unreachable!("not append candidates")
+            }
+        }
+    }
+
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         if self.draw(&[FaultKind::RenameFail], from).is_some() {
             return Err(io::Error::other(format!(
@@ -591,6 +654,76 @@ mod tests {
         assert!(p.exists() && !q.exists());
         vfs.rename(&p, &q).unwrap();
         assert!(!p.exists() && q.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn real_append_accumulates() {
+        let dir = tmp_dir("append");
+        let vfs = Vfs::real();
+        let p = dir.join("log.wal");
+        vfs.append(&p, b"one").unwrap();
+        vfs.append(&p, b"two").unwrap();
+        assert_eq!(vfs.read(&p).unwrap(), b"onetwo");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn short_append_leaves_torn_suffix() {
+        let dir = tmp_dir("shortappend");
+        let c = chaos(
+            13,
+            1.0,
+            FsFaultBudget {
+                short_write: 1,
+                ..Default::default()
+            },
+        );
+        let vfs = c.vfs();
+        let p = dir.join("log.wal");
+        vfs.append(&p, b"head").unwrap_err();
+        // Half the record landed: the reader's framing must catch this.
+        assert_eq!(std::fs::read(&p).unwrap(), b"he");
+        // Budget spent, the next append is clean and goes after the tear.
+        vfs.append(&p, b"tail").unwrap();
+        assert_eq!(std::fs::read(&p).unwrap(), b"hetail");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_fail_append_lands_bytes_but_reports_failure() {
+        let dir = tmp_dir("fsyncappend");
+        let c = chaos(
+            15,
+            1.0,
+            FsFaultBudget {
+                fsync_fail: 1,
+                ..Default::default()
+            },
+        );
+        let vfs = c.vfs();
+        let p = dir.join("log.wal");
+        vfs.append(&p, b"ghost").unwrap_err();
+        // The unacknowledged record is nonetheless on disk whole.
+        assert_eq!(std::fs::read(&p).unwrap(), b"ghost");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn enospc_append_writes_nothing() {
+        let dir = tmp_dir("enospcappend");
+        let c = chaos(
+            17,
+            1.0,
+            FsFaultBudget {
+                enospc: 1,
+                ..Default::default()
+            },
+        );
+        let vfs = c.vfs();
+        let p = dir.join("log.wal");
+        vfs.append(&p, b"never").unwrap_err();
+        assert!(!p.exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -70,6 +70,14 @@ impl WireWriter {
         self.put_slice(v);
     }
 
+    /// Append a `u32` length followed by the bytes — for embedded
+    /// records (journal trace bodies) that can outgrow a `u16` prefix.
+    pub fn put_bytes32(&mut self, v: &[u8]) {
+        debug_assert!(v.len() <= u32::MAX as usize);
+        self.put_u32(v.len() as u32);
+        self.put_slice(v);
+    }
+
     /// Append a UTF-8 string as [`put_bytes16`](Self::put_bytes16).
     pub fn put_str(&mut self, v: &str) {
         self.put_bytes16(v.as_bytes());
@@ -135,6 +143,12 @@ impl<'a> WireReader<'a> {
     /// Next `u16`-length-prefixed byte run.
     pub fn get_bytes16(&mut self) -> Result<&'a [u8], WireError> {
         let n = self.get_u16()? as usize;
+        self.take(n)
+    }
+
+    /// Next `u32`-length-prefixed byte run.
+    pub fn get_bytes32(&mut self) -> Result<&'a [u8], WireError> {
+        let n = self.get_u32()? as usize;
         self.take(n)
     }
 
@@ -235,6 +249,19 @@ mod tests {
             let ok = r.get_u32().and_then(|_| r.get_str().map(|_| ()));
             assert_eq!(ok, Err(WireError), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn bytes32_round_trip_and_truncation() {
+        let big = vec![0xabu8; 70_000]; // longer than a u16 prefix allows
+        let mut w = WireWriter::new();
+        w.put_bytes32(&big);
+        let buf = w.into_vec();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_bytes32().unwrap(), &big[..]);
+        r.finish().unwrap();
+        let mut short = WireReader::new(&buf[..buf.len() - 1]);
+        assert_eq!(short.get_bytes32(), Err(WireError));
     }
 
     #[test]
