@@ -7,7 +7,7 @@
 //! away from a local repro.
 //!
 //! The fuzzer starts from *valid* artifacts (encoded border maps in
-//! both the v1 and v2 formats, encoded requests and responses) and
+//! the v1, v2, and v3 formats, encoded requests and responses) and
 //! applies structure-aware mutations: bit flips, byte overwrites,
 //! truncations, extensions, internal splices, and 32-bit boundary
 //! overwrites aimed at length/count fields. Two properties must hold
@@ -303,10 +303,15 @@ fn check_snapshot(bytes: &[u8]) -> Outcome {
         Err(_) => Outcome::Panicked,
         Ok(Err(_)) => Outcome::Rejected,
         Ok(Ok(map)) => {
-            // Canonical: encode of the accepted value is a fixed point.
-            let e1 = snapshot::encode(&map);
+            // Canonical: re-encoding the accepted value *in the version
+            // the mutant claimed* is a byte-level fixed point. (decode
+            // succeeded, so the preamble — and its version — is there.)
+            let version = snapshot::version_of(bytes).expect("accepted mutant has a preamble");
+            let Ok(e1) = snapshot::encode_as(&map, version) else {
+                return Outcome::NotCanonical;
+            };
             match snapshot::decode(&e1) {
-                Ok(map2) if snapshot::encode(&map2) == e1 => Outcome::Accepted,
+                Ok(map2) if snapshot::encode_as(&map2, version) == Ok(e1) => Outcome::Accepted,
                 _ => Outcome::NotCanonical,
             }
         }
@@ -366,7 +371,13 @@ pub fn run(seed: u64, iters: u64) -> FuzzReport {
     let mut rng = seed ^ 0xbd2_3a93;
     let snaps: Vec<Vec<u8>> = snapshot_corpus()
         .iter()
-        .flat_map(|m| [snapshot::encode(m), snapshot::encode_v1(m)])
+        .flat_map(|m| {
+            [
+                snapshot::encode(m).unwrap(),
+                snapshot::encode_v1(m).unwrap(),
+                snapshot::encode_v3(m).unwrap(),
+            ]
+        })
         .collect();
     let wires = wire_corpus();
     let mut report = FuzzReport::default();
@@ -412,10 +423,12 @@ mod tests {
     #[test]
     fn corpus_is_valid_before_mutation() {
         for map in snapshot_corpus() {
-            let enc = snapshot::encode(&map);
+            let enc = snapshot::encode(&map).unwrap();
             assert!(snapshot::decode(&enc).is_ok());
-            let v1 = snapshot::encode_v1(&map);
+            let v1 = snapshot::encode_v1(&map).unwrap();
             assert!(snapshot::decode(&v1).is_ok());
+            let v3 = snapshot::encode_v3(&map).unwrap();
+            assert!(snapshot::decode(&v3).is_ok());
         }
         for bytes in wire_corpus() {
             assert!(Request::decode(&bytes).is_ok() || Response::decode(&bytes).is_ok());

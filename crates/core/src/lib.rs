@@ -30,6 +30,7 @@
 
 pub mod aliases;
 pub mod beyond;
+pub mod flat;
 pub mod graph;
 pub mod heuristics;
 pub mod incremental;
@@ -44,13 +45,14 @@ pub mod snapstore;
 
 pub use aliases::{task_id, AliasConfig, AliasStats, TaskKind};
 pub use beyond::{far_links, FarLink};
+pub use flat::V3View;
 pub use incremental::{Batch, CachingProber, IncrementalEngine, PassReport};
 pub use input::{CacheStats, Input, Ip2As, Ip2AsCache, IpMapper, Mapping};
 pub use journal::{Journal, JournalCheckpoint, JournalConfig, JournalError, JournalRecord};
 pub use merge::{merge_maps, MergedMap, Merger};
 pub use output::{BorderMap, Heuristic, InferredLink, InferredRouter};
 pub use pipeline::{run_stages, PipelineRun, StageReport};
-pub use query::{BorderAnswer, LinkRec, OwnerAnswer, QueryIndex, RouterRec};
+pub use query::{AnyIndex, BorderAnswer, LinkRec, OwnerAnswer, QueryIndex, QueryRead, RouterRec};
 pub use snapstore::{LoadOutcome, Quarantined, SnapStore, StoreError};
 
 use bdrmap_probe::{run_traces, Prober, RunOptions, TraceCollection};

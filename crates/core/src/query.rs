@@ -25,8 +25,8 @@ pub struct RouterRec {
     pub heuristic: Option<Heuristic>,
     /// Minimum hop distance from the VP.
     pub min_hop: u8,
-    addr_start: u32,
-    addr_end: u32,
+    pub(crate) addr_start: u32,
+    pub(crate) addr_end: u32,
 }
 
 /// An interdomain-link row in the flat table.
@@ -48,7 +48,7 @@ pub struct LinkRec {
 
 /// What the trie stores: the most specific thing known about a prefix.
 #[derive(Clone, Copy, Debug)]
-enum TrieEntry {
+pub(crate) enum TrieEntry {
     /// A `/32` of an observed router with an inferred owner.
     Router(u32),
     /// A routed prefix with a known origin (no observed router).
@@ -86,19 +86,24 @@ pub struct BorderAnswer {
 }
 
 /// The immutable query index. See the module docs for layout.
+///
+/// The fields are crate-visible so the v3 flat codec
+/// ([`crate::flat`]) can serialize exactly the structures this builder
+/// produces — a v3 file is these tables, laid out as fixed-width
+/// records.
 pub struct QueryIndex {
-    routers: Vec<RouterRec>,
-    addr_arena: Vec<Addr>,
-    links: Vec<LinkRec>,
+    pub(crate) routers: Vec<RouterRec>,
+    pub(crate) addr_arena: Vec<Addr>,
+    pub(crate) links: Vec<LinkRec>,
     /// Link ids grouped by neighbor AS, contiguous per neighbor.
-    link_arena: Vec<u32>,
+    pub(crate) link_arena: Vec<u32>,
     /// Sorted `(neighbor, start, end)` ranges into `link_arena`.
-    neighbor_index: Vec<(Asn, u32, u32)>,
+    pub(crate) neighbor_index: Vec<(Asn, u32, u32)>,
     /// Sorted `(interface address, link id)` pairs covering both sides
     /// of every link.
-    border_index: Vec<(Addr, u32)>,
-    trie: PrefixTrie<TrieEntry>,
-    prefix_owners: u32,
+    pub(crate) border_index: Vec<(Addr, u32)>,
+    pub(crate) trie: PrefixTrie<TrieEntry>,
+    pub(crate) prefix_owners: u32,
 }
 
 impl QueryIndex {
@@ -203,9 +208,12 @@ impl QueryIndex {
     pub fn owner_of(&self, a: Addr) -> Option<OwnerAnswer> {
         let (prefix, entry) = self.trie.lookup(a)?;
         match *entry {
+            // Only owned routers enter the trie; an index that violates
+            // that answers a miss instead of panicking the read path —
+            // untrusted (file-backed) indexes reject such entries at
+            // open, so this is pure defense in depth.
             TrieEntry::Router(r) => Some(OwnerAnswer {
-                // Only owned routers enter the trie.
-                asn: self.routers[r as usize].owner.expect("owned router"),
+                asn: self.routers.get(r as usize)?.owner?,
                 prefix,
                 router: Some(r),
             }),
@@ -302,6 +310,239 @@ impl QueryIndex {
     /// Neighbor ASes with at least one link, ascending.
     pub fn neighbors(&self) -> impl Iterator<Item = Asn> + '_ {
         self.neighbor_index.iter().map(|&(a, _, _)| a)
+    }
+}
+
+/// The read contract every index backend answers: the heap
+/// [`QueryIndex`] a builder produces, the zero-copy
+/// [`V3View`](crate::flat::V3View) over snapshot bytes, and the
+/// [`AnyIndex`] that holds either. All implementations answer
+/// byte-identically over the same border map and prefix overlay — the
+/// cross-version identity suite pins that down.
+///
+/// Methods that hand out id lists or address sets return owned values:
+/// a view reads unaligned little-endian records, so it cannot lend
+/// `&[u32]` slices the way the heap index can.
+pub trait QueryRead {
+    /// Longest-prefix-match owner of `a`.
+    fn owner_of(&self, a: Addr) -> Option<OwnerAnswer>;
+    /// The border link carrying interface address `a`.
+    fn border_of(&self, a: Addr) -> Option<BorderAnswer>;
+    /// Ids of every link to neighbor `asn` (empty if none).
+    fn neighbor_links(&self, asn: Asn) -> Vec<u32>;
+    /// The border-link answer for link `id`.
+    fn link_answer(&self, id: u32) -> Option<BorderAnswer>;
+    /// The link row for `id`.
+    fn link_rec(&self, id: u32) -> Option<LinkRec>;
+    /// The router row and its interface addresses.
+    fn router_info(&self, id: u32) -> Option<(RouterRec, Vec<Addr>)>;
+    /// Number of routers.
+    fn num_routers(&self) -> u32;
+    /// Number of links.
+    fn num_links(&self) -> u32;
+    /// Number of trie entries (router `/32`s plus prefix owners).
+    fn num_prefixes(&self) -> u32;
+    /// Number of coarse prefix-owner entries layered under the routers.
+    fn num_prefix_owners(&self) -> u32;
+    /// Neighbor ASes with at least one link, ascending.
+    fn neighbor_list(&self) -> Vec<Asn>;
+}
+
+impl QueryRead for QueryIndex {
+    fn owner_of(&self, a: Addr) -> Option<OwnerAnswer> {
+        QueryIndex::owner_of(self, a)
+    }
+    fn border_of(&self, a: Addr) -> Option<BorderAnswer> {
+        QueryIndex::border_of(self, a)
+    }
+    fn neighbor_links(&self, asn: Asn) -> Vec<u32> {
+        QueryIndex::links_of_neighbor(self, asn).to_vec()
+    }
+    fn link_answer(&self, id: u32) -> Option<BorderAnswer> {
+        QueryIndex::link_answer(self, id)
+    }
+    fn link_rec(&self, id: u32) -> Option<LinkRec> {
+        QueryIndex::link(self, id).copied()
+    }
+    fn router_info(&self, id: u32) -> Option<(RouterRec, Vec<Addr>)> {
+        QueryIndex::router(self, id).map(|(r, a)| (*r, a.to_vec()))
+    }
+    fn num_routers(&self) -> u32 {
+        QueryIndex::num_routers(self)
+    }
+    fn num_links(&self) -> u32 {
+        QueryIndex::num_links(self)
+    }
+    fn num_prefixes(&self) -> u32 {
+        QueryIndex::num_prefixes(self)
+    }
+    fn num_prefix_owners(&self) -> u32 {
+        QueryIndex::num_prefix_owners(self)
+    }
+    fn neighbor_list(&self) -> Vec<Asn> {
+        self.neighbors().collect()
+    }
+}
+
+impl QueryRead for crate::flat::V3View {
+    fn owner_of(&self, a: Addr) -> Option<OwnerAnswer> {
+        crate::flat::V3View::owner_of(self, a)
+    }
+    fn border_of(&self, a: Addr) -> Option<BorderAnswer> {
+        crate::flat::V3View::border_of(self, a)
+    }
+    fn neighbor_links(&self, asn: Asn) -> Vec<u32> {
+        crate::flat::V3View::links_of_neighbor(self, asn)
+    }
+    fn link_answer(&self, id: u32) -> Option<BorderAnswer> {
+        crate::flat::V3View::link_answer(self, id)
+    }
+    fn link_rec(&self, id: u32) -> Option<LinkRec> {
+        crate::flat::V3View::link(self, id)
+    }
+    fn router_info(&self, id: u32) -> Option<(RouterRec, Vec<Addr>)> {
+        crate::flat::V3View::router(self, id)
+    }
+    fn num_routers(&self) -> u32 {
+        crate::flat::V3View::num_routers(self)
+    }
+    fn num_links(&self) -> u32 {
+        crate::flat::V3View::num_links(self)
+    }
+    fn num_prefixes(&self) -> u32 {
+        crate::flat::V3View::num_prefixes(self)
+    }
+    fn num_prefix_owners(&self) -> u32 {
+        crate::flat::V3View::num_prefix_owners(self)
+    }
+    fn neighbor_list(&self) -> Vec<Asn> {
+        self.neighbors()
+    }
+}
+
+/// A query index of either backing: a heap build (v1/v2 decode, or an
+/// in-process inference) or a zero-copy view over v3 snapshot bytes.
+/// This is what the serving daemon hot-swaps, so a v3 reload can skip
+/// the rebuild entirely while v1/v2 files keep their parse-and-build
+/// path.
+pub enum AnyIndex {
+    /// A heap-built [`QueryIndex`].
+    Heap(QueryIndex),
+    /// A validated view over v3 snapshot bytes.
+    View(crate::flat::V3View),
+}
+
+impl From<QueryIndex> for AnyIndex {
+    fn from(idx: QueryIndex) -> AnyIndex {
+        AnyIndex::Heap(idx)
+    }
+}
+
+impl From<crate::flat::V3View> for AnyIndex {
+    fn from(view: crate::flat::V3View) -> AnyIndex {
+        AnyIndex::View(view)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $method:ident $(, $arg:expr)*) => {
+        match $self {
+            AnyIndex::Heap(idx) => QueryRead::$method(idx $(, $arg)*),
+            AnyIndex::View(view) => QueryRead::$method(view $(, $arg)*),
+        }
+    };
+}
+
+impl AnyIndex {
+    /// Longest-prefix-match owner of `a`.
+    pub fn owner_of(&self, a: Addr) -> Option<OwnerAnswer> {
+        delegate!(self, owner_of, a)
+    }
+
+    /// The border link carrying interface address `a`.
+    pub fn border_of(&self, a: Addr) -> Option<BorderAnswer> {
+        delegate!(self, border_of, a)
+    }
+
+    /// Ids of every link to neighbor `asn` (empty if none).
+    pub fn links_of_neighbor(&self, asn: Asn) -> Vec<u32> {
+        delegate!(self, neighbor_links, asn)
+    }
+
+    /// The border-link answer for link `id`.
+    pub fn link_answer(&self, id: u32) -> Option<BorderAnswer> {
+        delegate!(self, link_answer, id)
+    }
+
+    /// The link row for `id`.
+    pub fn link(&self, id: u32) -> Option<LinkRec> {
+        delegate!(self, link_rec, id)
+    }
+
+    /// The router row and its interface addresses.
+    pub fn router(&self, id: u32) -> Option<(RouterRec, Vec<Addr>)> {
+        delegate!(self, router_info, id)
+    }
+
+    /// Number of routers.
+    pub fn num_routers(&self) -> u32 {
+        delegate!(self, num_routers)
+    }
+
+    /// Number of links.
+    pub fn num_links(&self) -> u32 {
+        delegate!(self, num_links)
+    }
+
+    /// Number of trie entries (router `/32`s plus prefix owners).
+    pub fn num_prefixes(&self) -> u32 {
+        delegate!(self, num_prefixes)
+    }
+
+    /// Number of coarse prefix-owner entries layered under the routers.
+    pub fn num_prefix_owners(&self) -> u32 {
+        delegate!(self, num_prefix_owners)
+    }
+
+    /// Neighbor ASes with at least one link, ascending.
+    pub fn neighbors(&self) -> Vec<Asn> {
+        delegate!(self, neighbor_list)
+    }
+}
+
+impl QueryRead for AnyIndex {
+    fn owner_of(&self, a: Addr) -> Option<OwnerAnswer> {
+        AnyIndex::owner_of(self, a)
+    }
+    fn border_of(&self, a: Addr) -> Option<BorderAnswer> {
+        AnyIndex::border_of(self, a)
+    }
+    fn neighbor_links(&self, asn: Asn) -> Vec<u32> {
+        AnyIndex::links_of_neighbor(self, asn)
+    }
+    fn link_answer(&self, id: u32) -> Option<BorderAnswer> {
+        AnyIndex::link_answer(self, id)
+    }
+    fn link_rec(&self, id: u32) -> Option<LinkRec> {
+        AnyIndex::link(self, id)
+    }
+    fn router_info(&self, id: u32) -> Option<(RouterRec, Vec<Addr>)> {
+        AnyIndex::router(self, id)
+    }
+    fn num_routers(&self) -> u32 {
+        AnyIndex::num_routers(self)
+    }
+    fn num_links(&self) -> u32 {
+        AnyIndex::num_links(self)
+    }
+    fn num_prefixes(&self) -> u32 {
+        AnyIndex::num_prefixes(self)
+    }
+    fn num_prefix_owners(&self) -> u32 {
+        AnyIndex::num_prefix_owners(self)
+    }
+    fn neighbor_list(&self) -> Vec<Asn> {
+        AnyIndex::neighbors(self)
     }
 }
 

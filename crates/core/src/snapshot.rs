@@ -10,7 +10,10 @@
 //! of its body and the file closes with a footer checksum over all
 //! preceding bytes, so a bit-flipped or truncated file is rejected with
 //! a typed error instead of decoding into garbage. Version 1 files
-//! (no checksums) remain readable.
+//! (no checksums) remain readable. Version 3 is the flat zero-copy
+//! layout documented in [`crate::flat`]; [`decode`] dispatches on the
+//! version field, and writers pick a version via [`encode_as`] /
+//! [`save_as`] (the default is [`DEFAULT_VERSION`]).
 //!
 //! Layout (v2):
 //!
@@ -34,14 +37,19 @@ use std::path::Path;
 
 /// File magic.
 const MAGIC: &[u8; 4] = b"BDRM";
-/// Current format version (v2: per-section CRC32C + footer checksum).
-const VERSION: u16 = 2;
+/// The parse-and-rebuild version with per-section CRC32C + footer.
+const V2: u16 = 2;
+/// Newest version this reader accepts (v3: the flat zero-copy layout,
+/// implemented in [`crate::flat`]).
+pub const LATEST_VERSION: u16 = crate::flat::VERSION;
+/// The version new snapshots are written as when none is requested.
+pub const DEFAULT_VERSION: u16 = LATEST_VERSION;
 /// Oldest version this reader still accepts.
-const MIN_VERSION: u16 = 1;
+pub const MIN_VERSION: u16 = 1;
 /// Heuristic byte meaning "no heuristic recorded".
 const NO_HEURISTIC: u8 = 255;
 
-/// Errors while reading a snapshot.
+/// Errors while reading (or refusing to write) a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SnapshotError {
     /// Not a border-map snapshot.
@@ -54,6 +62,10 @@ pub enum SnapshotError {
     SectionCrc(&'static str),
     /// The whole-file footer checksum failed.
     FooterCrc,
+    /// A count in the map exceeds what the requested format version can
+    /// represent. Refusing to encode beats writing a silently truncated
+    /// — but correctly checksummed — file.
+    TooLarge(&'static str),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -64,6 +76,9 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::Malformed => write!(f, "truncated or malformed snapshot"),
             SnapshotError::SectionCrc(s) => write!(f, "snapshot {s} section failed its checksum"),
             SnapshotError::FooterCrc => write!(f, "snapshot footer checksum mismatch"),
+            SnapshotError::TooLarge(s) => {
+                write!(f, "snapshot {s} count exceeds the format version's limit")
+            }
         }
     }
 }
@@ -97,6 +112,21 @@ fn get_opt_addr(r: &mut WireReader) -> Result<Option<Addr>, WireError> {
 fn encode_meta(w: &mut WireWriter, map: &BorderMap) {
     w.put_u64(map.packets);
     w.put_u64(map.elapsed_ms);
+}
+
+/// The v1/v2 router encoding stores interface counts as `u16`; a map
+/// exceeding that must be refused, not silently truncated into a
+/// wrong-but-checksummed file.
+fn check_v2_limits(map: &BorderMap) -> Result<(), SnapshotError> {
+    for router in &map.routers {
+        if router.addrs.len() > u16::MAX as usize {
+            return Err(SnapshotError::TooLarge("router interface"));
+        }
+        if router.other_addrs.len() > u16::MAX as usize {
+            return Err(SnapshotError::TooLarge("router other-interface"));
+        }
+    }
+    Ok(())
 }
 
 fn encode_routers(w: &mut WireWriter, map: &BorderMap) {
@@ -146,11 +176,14 @@ fn encode_links(w: &mut WireWriter, map: &BorderMap) {
 }
 
 /// Serialize a border map to the canonical v2 byte encoding, computing
-/// each section's CRC32C and the footer checksum as it goes.
-pub fn encode(map: &BorderMap) -> Vec<u8> {
+/// each section's CRC32C and the footer checksum as it goes. Refuses
+/// (with [`SnapshotError::TooLarge`]) any count the format cannot
+/// represent.
+pub fn encode(map: &BorderMap) -> Result<Vec<u8>, SnapshotError> {
+    check_v2_limits(map)?;
     let mut out = WireWriter::new();
     out.put_slice(MAGIC);
-    out.put_u16(VERSION);
+    out.put_u16(V2);
     for fill in [encode_meta, encode_routers, encode_links] {
         let mut section = WireWriter::new();
         fill(&mut section, map);
@@ -161,20 +194,45 @@ pub fn encode(map: &BorderMap) -> Vec<u8> {
     let mut bytes = out.into_vec();
     let footer = crc32c(&bytes);
     bytes.extend_from_slice(&footer.to_be_bytes());
-    bytes
+    Ok(bytes)
 }
 
 /// Serialize to the legacy v1 encoding (no checksums). Kept so the v1
 /// read path and the fuzzer's version-compatibility corpus stay
-/// exercised; new snapshots are always written as v2.
-pub fn encode_v1(map: &BorderMap) -> Vec<u8> {
+/// exercised; new snapshots are written as v2 or v3.
+pub fn encode_v1(map: &BorderMap) -> Result<Vec<u8>, SnapshotError> {
+    check_v2_limits(map)?;
     let mut w = WireWriter::new();
     w.put_slice(MAGIC);
     w.put_u16(1);
     encode_meta(&mut w, map);
     encode_routers(&mut w, map);
     encode_links(&mut w, map);
-    w.into_vec()
+    Ok(w.into_vec())
+}
+
+/// Serialize to the flat zero-copy v3 encoding; see [`crate::flat`].
+pub fn encode_v3(map: &BorderMap) -> Result<Vec<u8>, SnapshotError> {
+    crate::flat::encode_v3(map)
+}
+
+/// Serialize as an explicit format version (1, 2, or 3).
+pub fn encode_as(map: &BorderMap, version: u16) -> Result<Vec<u8>, SnapshotError> {
+    match version {
+        1 => encode_v1(map),
+        2 => encode(map),
+        3 => encode_v3(map),
+        v => Err(SnapshotError::BadVersion(v)),
+    }
+}
+
+/// The format version claimed by a snapshot's preamble, if the magic
+/// matches. Says nothing about the rest of the bytes.
+pub fn version_of(data: &[u8]) -> Option<u16> {
+    if data.len() < 6 || &data[..4] != MAGIC {
+        return None;
+    }
+    Some(u16::from_be_bytes([data[4], data[5]]))
 }
 
 fn decode_routers(
@@ -261,15 +319,13 @@ pub fn decode(data: &[u8]) -> Result<BorderMap, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = r.get_u16()?;
-    if version > VERSION {
-        return Err(SnapshotError::BadVersion(version));
-    }
-    if version < MIN_VERSION {
+    if !(MIN_VERSION..=LATEST_VERSION).contains(&version) {
         return Err(SnapshotError::BadVersion(version));
     }
     match version {
         1 => decode_v1_body(data, r),
-        _ => decode_v2_body(data, r),
+        2 => decode_v2_body(data, r),
+        _ => crate::flat::decode_v3(data),
     }
 }
 
@@ -337,9 +393,18 @@ fn decode_v2_body(data: &[u8], mut r: WireReader) -> Result<BorderMap, SnapshotE
     })
 }
 
-/// Write a snapshot to `path`, replacing atomically.
+/// Write a snapshot to `path` as an explicit format version, replacing
+/// atomically.
+pub fn save_as(path: &Path, map: &BorderMap, version: u16) -> std::io::Result<()> {
+    let bytes = encode_as(map, version)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    bdrmap_types::fsutil::write_atomic(path, &bytes)
+}
+
+/// Write a snapshot to `path` in the default (newest) format version,
+/// replacing atomically.
 pub fn save(path: &Path, map: &BorderMap) -> std::io::Result<()> {
-    bdrmap_types::fsutil::write_atomic(path, &encode(map))
+    save_as(path, map, DEFAULT_VERSION)
 }
 
 /// Read a snapshot from `path`.
@@ -400,7 +465,7 @@ mod tests {
     #[test]
     fn encode_decode_round_trips() {
         let map = sample();
-        let back = decode(&encode(&map)).unwrap();
+        let back = decode(&encode(&map).unwrap()).unwrap();
         assert_eq!(back.packets, map.packets);
         assert_eq!(back.elapsed_ms, map.elapsed_ms);
         assert_eq!(back.routers.len(), 2);
@@ -419,10 +484,10 @@ mod tests {
     #[test]
     fn v1_files_remain_readable() {
         let map = sample();
-        let v1 = encode_v1(&map);
+        let v1 = encode_v1(&map).unwrap();
         let back = decode(&v1).unwrap();
         // Same content, and re-encoding lands on the canonical v2 bytes.
-        assert_eq!(encode(&back), encode(&map));
+        assert_eq!(encode(&back).unwrap(), encode(&map).unwrap());
         // v1 rejects trailing garbage too.
         let mut padded = v1.clone();
         padded.push(0);
@@ -435,7 +500,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_corruption() {
-        let full = encode(&sample());
+        let full = encode(&sample()).unwrap();
         assert!(matches!(decode(b"NOPE"), Err(SnapshotError::BadMagic)));
         // Trailing garbage is rejected (footer CRC no longer aligns).
         let mut padded = full.clone();
@@ -446,7 +511,7 @@ mod tests {
         let mut bad = sample();
         bad.links[0].near = 99;
         assert!(matches!(
-            decode(&encode(&bad)),
+            decode(&encode(&bad).unwrap()),
             Err(SnapshotError::Malformed)
         ));
         // An unknown future version is rejected.
@@ -463,7 +528,7 @@ mod tests {
     /// panic or a silently short map.
     #[test]
     fn truncated_at_every_byte_offset_is_rejected() {
-        let full = encode(&sample());
+        let full = encode(&sample()).unwrap();
         for cut in 0..full.len() {
             assert!(decode(&full[..cut]).is_err(), "cut at {cut} decoded");
         }
@@ -473,7 +538,7 @@ mod tests {
     /// checksum (or an earlier structural check).
     #[test]
     fn any_bit_flip_is_rejected() {
-        let full = encode(&sample());
+        let full = encode(&sample()).unwrap();
         for byte in 0..full.len() {
             for bit in 0..8 {
                 let mut flipped = full.clone();
@@ -491,7 +556,7 @@ mod tests {
     #[test]
     fn crc_failures_are_typed() {
         let map = sample();
-        let full = encode(&map);
+        let full = encode(&map).unwrap();
         // Flip one bit inside the meta section body (packets field,
         // right after magic + version).
         let mut flipped = full.clone();
@@ -518,7 +583,61 @@ mod tests {
         let map = sample();
         save(&path, &map).unwrap();
         let back = load(&path).unwrap();
-        assert_eq!(encode(&back), encode(&map));
+        assert_eq!(encode(&back).unwrap(), encode(&map).unwrap());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// `version_of` sniffs the preamble without decoding.
+    #[test]
+    fn version_of_sniffs_preamble() {
+        let map = sample();
+        assert_eq!(version_of(&encode_v1(&map).unwrap()), Some(1));
+        assert_eq!(version_of(&encode(&map).unwrap()), Some(2));
+        assert_eq!(version_of(&encode_v3(&map).unwrap()), Some(3));
+        assert_eq!(version_of(b"NOPE"), None);
+        assert_eq!(version_of(b"BDRM"), None);
+    }
+
+    /// Regression: a 70k-interface router used to be silently truncated
+    /// to `70000 % 65536` addresses by the u16 count in the v1/v2
+    /// router record — and the CRCs would vouch for the wrong file. Now
+    /// v1/v2 refuse with a typed error, while v3 (u32 counts) encodes
+    /// and round-trips the full set.
+    #[test]
+    fn oversized_router_is_refused_by_v2_and_carried_by_v3() {
+        let n = 70_000u32;
+        let map = BorderMap {
+            routers: vec![InferredRouter {
+                addrs: (0..n).map(|i| addr(0x0a00_0000 + i)).collect(),
+                other_addrs: vec![],
+                owner: Some(Asn(64500)),
+                heuristic: None,
+                min_hop: 1,
+            }],
+            links: vec![],
+            packets: 0,
+            elapsed_ms: 0,
+        };
+        assert_eq!(
+            encode(&map),
+            Err(SnapshotError::TooLarge("router interface"))
+        );
+        assert_eq!(
+            encode_v1(&map),
+            Err(SnapshotError::TooLarge("router interface"))
+        );
+        let v3 = encode_v3(&map).unwrap();
+        let back = decode(&v3).unwrap();
+        assert_eq!(back.routers[0].addrs.len(), n as usize);
+        assert_eq!(back.routers[0].addrs, map.routers[0].addrs);
+
+        // `other_addrs` has its own u16 count with the same failure mode.
+        let mut other = sample();
+        other.routers[0].other_addrs = (0..n).map(|i| addr(0xc000_0000 + i)).collect();
+        assert_eq!(
+            encode(&other),
+            Err(SnapshotError::TooLarge("router other-interface"))
+        );
+        assert!(encode_v3(&other).is_ok());
     }
 }

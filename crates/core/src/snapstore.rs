@@ -102,6 +102,12 @@ pub struct Quarantined {
 pub struct LoadOutcome {
     /// The verified-good border map.
     pub map: BorderMap,
+    /// The exact on-disk bytes the map was decoded from. A v3 consumer
+    /// can open a zero-copy view over these instead of re-reading the
+    /// file (and racing a concurrent republish).
+    pub bytes: Vec<u8>,
+    /// The snapshot format version of `bytes`.
+    pub version: u16,
     /// The generation it was loaded from.
     pub generation: u64,
     /// Generations quarantined during this load, newest first. Empty on
@@ -122,6 +128,7 @@ pub struct SnapStore {
     dir: PathBuf,
     vfs: Vfs,
     registry: Registry,
+    version: u16,
 }
 
 impl SnapStore {
@@ -142,9 +149,26 @@ impl SnapStore {
     ) -> io::Result<SnapStore> {
         let dir = dir.into();
         vfs.create_dir_all(&dir.join(CORRUPT_DIR))?;
-        let store = SnapStore { dir, vfs, registry };
+        let store = SnapStore {
+            dir,
+            vfs,
+            registry,
+            version: snapshot::DEFAULT_VERSION,
+        };
         store.refresh_gauges();
         Ok(store)
+    }
+
+    /// Use an explicit snapshot format version for future publishes
+    /// (the load path always accepts any supported version).
+    pub fn with_snapshot_version(mut self, version: u16) -> SnapStore {
+        self.version = version;
+        self
+    }
+
+    /// The snapshot format version this store publishes.
+    pub fn snapshot_version(&self) -> u16 {
+        self.version
     }
 
     /// The store directory.
@@ -254,9 +278,9 @@ impl SnapStore {
             .expect("snapshot generation counter overflowed u64");
         let path = self.path_of(gen);
         let at = |e: io::Error| io::Error::new(e.kind(), format!("{}: {e}", path.display()));
-        self.vfs
-            .write_atomic(&path, &snapshot::encode(map))
-            .map_err(at)?;
+        let encoded = snapshot::encode_as(map, self.version)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        self.vfs.write_atomic(&path, &encoded).map_err(at)?;
         // Read-back verification: never point the manifest at bytes
         // that were not proven decodable from disk. The read goes
         // through the seam too, so injected torn renames and bit-rot
@@ -323,10 +347,12 @@ impl SnapStore {
                 .read(&path)
                 .map_err(|e| format!("read {}: {e}", path.display()))
                 .and_then(|bytes| {
-                    snapshot::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))
+                    snapshot::decode(&bytes)
+                        .map(|map| (map, bytes))
+                        .map_err(|e| format!("{}: {e}", path.display()))
                 });
             match verified {
-                Ok(map) => {
+                Ok((map, bytes)) => {
                     if self.manifest_generation() != Some(gen) {
                         self.write_manifest(gen)?;
                     }
@@ -339,8 +365,12 @@ impl SnapStore {
                         .gauge("bdrmap_snapstore_generation", &[])
                         .set(gen);
                     self.refresh_gauges();
+                    // decode() succeeded, so the preamble is present.
+                    let version = snapshot::version_of(&bytes).unwrap_or(0);
                     return Ok(LoadOutcome {
                         map,
+                        bytes,
+                        version,
                         generation: gen,
                         quarantined,
                     });

@@ -35,7 +35,7 @@ use crate::conn::{
 };
 use crate::proto::{HealthInfo, Request, Response, Stats};
 use crate::reload::Breaker;
-use bdrmap_core::{snapshot, BorderMap, QueryIndex, SnapStore};
+use bdrmap_core::{flat, snapshot, AnyIndex, BorderMap, QueryIndex, QueryRead, SnapStore};
 use bdrmap_obs::{Counter, Histogram, Registry};
 use bdrmap_types::wire::{read_frame, write_frame, MAX_FRAME};
 use bdrmap_types::{Asn, Prefix, SwapCell, SwapReader, Vfs};
@@ -360,7 +360,7 @@ struct ReloadInfo {
 
 /// State shared by the acceptor, the workers/loops, and the handle.
 pub(crate) struct Shared {
-    pub(crate) cell: Arc<SwapCell<QueryIndex>>,
+    pub(crate) cell: Arc<SwapCell<AnyIndex>>,
     /// Reload accounting; see [`ReloadInfo`].
     reload_info: SwapCell<ReloadInfo>,
     /// Orders concurrent reload publications so a slower reload cannot
@@ -396,7 +396,7 @@ pub(crate) struct Shared {
 }
 
 impl Shared {
-    fn stats(&self, idx: &QueryIndex) -> Stats {
+    fn stats(&self, idx: &AnyIndex) -> Stats {
         let info = self.reload_info.load_locked();
         Stats {
             generation: info.generation,
@@ -468,7 +468,11 @@ pub struct Server {
 impl Server {
     /// Build the initial index from `map` and start serving.
     pub fn start(map: &BorderMap, cfg: ServeConfig) -> io::Result<Server> {
-        Server::start_inner(map, cfg, ServerMetrics::new(), None, 0)
+        let index = AnyIndex::Heap(QueryIndex::build_with_prefixes(
+            map,
+            cfg.prefix_owners.iter().copied(),
+        ));
+        Server::start_inner(index, cfg, ServerMetrics::new(), None, 0)
     }
 
     /// Load the newest verified-good generation from the snapshot store
@@ -490,11 +494,23 @@ impl Server {
                 outcome.generation
             );
         }
-        Server::start_inner(&outcome.map, cfg, metrics, Some(store), outcome.generation)
+        // A v3 generation is served zero-copy: the verified bytes the
+        // store just read back *are* the index. Older versions rebuild
+        // the heap index from the decoded map.
+        let index = match outcome.version {
+            flat::VERSION => flat::V3View::open(outcome.bytes, cfg.prefix_owners.iter().copied())
+                .map(AnyIndex::View)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+            _ => AnyIndex::Heap(QueryIndex::build_with_prefixes(
+                &outcome.map,
+                cfg.prefix_owners.iter().copied(),
+            )),
+        };
+        Server::start_inner(index, cfg, metrics, Some(store), outcome.generation)
     }
 
     fn start_inner(
-        map: &BorderMap,
+        index: AnyIndex,
         cfg: ServeConfig,
         metrics: ServerMetrics,
         store: Option<SnapStore>,
@@ -507,7 +523,6 @@ impl Server {
             ));
         }
         let workers = cfg.workers.max(1);
-        let index = QueryIndex::build_with_prefixes(map, cfg.prefix_owners.iter().copied());
         let cell = Arc::new(SwapCell::new(Arc::new(index)));
         let reload_info = SwapCell::new(Arc::new(ReloadInfo {
             generation: cell.generation(),
@@ -813,7 +828,7 @@ fn accept_loop(shared: Arc<Shared>, listener: Arc<TcpListener>, tx: SyncSender<T
 
 fn worker_loop(
     shared: Arc<Shared>,
-    reader: SwapReader<QueryIndex>,
+    reader: SwapReader<AnyIndex>,
     rx: Arc<Mutex<Receiver<TcpStream>>>,
 ) {
     loop {
@@ -837,7 +852,7 @@ fn worker_loop(
 
 /// Serve one connection until the peer closes it, a robustness policy
 /// evicts it, or shutdown drains it.
-fn serve_conn(shared: &Shared, reader: &SwapReader<QueryIndex>, stream: TcpStream) {
+fn serve_conn(shared: &Shared, reader: &SwapReader<AnyIndex>, stream: TcpStream) {
     let mut conn = match Conn::new(stream, shared.limits, shared.chaos.clone()) {
         Ok(conn) => conn,
         Err(_) => {
@@ -917,7 +932,7 @@ fn evict(conn: &mut Conn, reason: &str) {
 /// and latency histogram; only `Owner`/`Border`/`Neighbor` contribute
 /// to the `queries` figure in `Stats`, so a client polling `Stats` or
 /// `Health` neither distorts nor vanishes from reported load.
-pub(crate) fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+pub(crate) fn handle(shared: &Shared, reader: &SwapReader<AnyIndex>, req: Request) -> Response {
     let op = op_index(&req);
     shared.metrics.requests[op].inc();
     let start = Instant::now();
@@ -928,16 +943,18 @@ pub(crate) fn handle(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Requ
 
 /// The pure data-plane answer for a query request against one index:
 /// exactly what a worker would serve, minus the transport. `None` for
-/// control-plane requests. The chaos harness compares live responses
-/// against this to prove no fault ever corrupted an answer.
-pub fn answer(idx: &QueryIndex, req: &Request) -> Option<Response> {
+/// control-plane requests. Generic over [`QueryRead`], so a v2 heap
+/// index and a v3 zero-copy view go through the same code — the chaos
+/// harness and the cross-version compat suite compare live responses
+/// against this to prove no fault (or codec) ever corrupted an answer.
+pub fn answer<I: QueryRead>(idx: &I, req: &Request) -> Option<Response> {
     match req {
         Request::Owner(a) => Some(Response::Owner(idx.owner_of(*a))),
         Request::Border(a) => Some(Response::Border(idx.border_of(*a).map(Into::into))),
         Request::Neighbor(asn) => Some(Response::Neighbor(
-            idx.links_of_neighbor(*asn)
-                .iter()
-                .filter_map(|&id| idx.link_answer(id))
+            idx.neighbor_links(*asn)
+                .into_iter()
+                .filter_map(|id| idx.link_answer(id))
                 .map(Into::into)
                 .collect(),
         )),
@@ -945,11 +962,11 @@ pub fn answer(idx: &QueryIndex, req: &Request) -> Option<Response> {
     }
 }
 
-fn dispatch(shared: &Shared, reader: &SwapReader<QueryIndex>, req: Request) -> Response {
+fn dispatch(shared: &Shared, reader: &SwapReader<AnyIndex>, req: Request) -> Response {
     match req {
         Request::Owner(_) | Request::Border(_) | Request::Neighbor(_) => {
             let idx = reader.load();
-            answer(&idx, &req).expect("query requests always have an answer")
+            answer(&*idx, &req).expect("query requests always have an answer")
         }
         Request::Stats => {
             let idx = reader.load();
@@ -1026,29 +1043,68 @@ fn reload(shared: &Shared, path: &str) -> Response {
 }
 
 fn reload_once(shared: &Shared, source: &ReloadSource<'_>) -> Result<Response, String> {
-    let (map, store_gen) = match source {
+    // Load phase: raw bytes plus integrity (the store's read-back
+    // verification, or the file path's checksums below).
+    let (bytes, store_gen) = match source {
         ReloadSource::File(path) => {
-            let map = snapshot::load(std::path::Path::new(path))
+            let bytes = std::fs::read(std::path::Path::new(path))
                 .map_err(|e| format!("load {path}: {e}"))?;
-            (map, None)
+            (bytes, None)
         }
         ReloadSource::Store => {
             let store = shared.store.as_ref().expect("source checked by caller");
             let outcome = store.load_verified().map_err(|e| format!("store: {e}"))?;
-            (outcome.map, Some(outcome.generation))
+            (outcome.bytes, Some(outcome.generation))
         }
     };
-    let build_start = Instant::now();
-    // A panicking index build must not kill the worker thread or leak a
+    // Build phase, under `catch_unwind`: a panicking index build (or
+    // validation pass) must not kill the worker thread or leak a
     // half-built snapshot; the old index stays live and the reload
-    // counts as a failed attempt.
-    let next = catch_unwind(AssertUnwindSafe(|| {
-        QueryIndex::build_with_prefixes(&map, shared.prefix_owners.iter().copied())
-    }))
-    .map_err(|_| "index build panicked".to_string())?;
+    // counts as a failed attempt. The phase accounting is symmetric
+    // across versions: everything a reader must check before trusting
+    // the bytes is *load* (v1/v2 `decode`; v3 integrity + structural
+    // validation), and `build_us` is what it costs to stand up the
+    // query structures afterwards. v2 pays a full index rebuild there;
+    // v3 only assembles the configured prefix overlay, which is why v3
+    // reloads report near-zero `build_us` independent of map size.
+    let (next, build_us) = match snapshot::version_of(&bytes) {
+        Some(flat::VERSION) => {
+            let layout = flat::verify_integrity(&bytes).map_err(|e| format!("verify v3: {e}"))?;
+            let proof = catch_unwind(AssertUnwindSafe(|| {
+                flat::validate_structure(&bytes, &layout)
+            }))
+            .map_err(|_| "snapshot validation panicked".to_string())?
+            .map_err(|e| format!("validate v3: {e}"))?;
+            let build_start = Instant::now();
+            let view = catch_unwind(AssertUnwindSafe(|| {
+                flat::V3View::from_validated(
+                    bytes,
+                    layout,
+                    proof,
+                    shared.prefix_owners.iter().copied(),
+                )
+            }))
+            .map_err(|_| "snapshot view assembly panicked".to_string())?;
+            (
+                AnyIndex::View(view),
+                build_start.elapsed().as_micros() as u64,
+            )
+        }
+        _ => {
+            let map = snapshot::decode(&bytes).map_err(|e| format!("decode: {e}"))?;
+            let build_start = Instant::now();
+            let idx = catch_unwind(AssertUnwindSafe(|| {
+                QueryIndex::build_with_prefixes(&map, shared.prefix_owners.iter().copied())
+            }))
+            .map_err(|_| "index build panicked".to_string())?;
+            (
+                AnyIndex::Heap(idx),
+                build_start.elapsed().as_micros() as u64,
+            )
+        }
+    };
     let routers = next.num_routers();
     let links = next.num_links();
-    let build_us = build_start.elapsed().as_micros() as u64;
     let swap_start = Instant::now();
     shared.cell.store(Arc::new(next));
     let swap_us = swap_start.elapsed().as_micros() as u64;
